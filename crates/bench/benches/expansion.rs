@@ -1,0 +1,46 @@
+//! Cost of the candidate-set expansion estimator on warm snapshots, at the two
+//! candidate budgets (`fast` vs `default`) used by the experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use churn_core::{DynamicNetwork, ModelKind, Snapshot};
+use churn_graph::expansion::{ExpansionConfig, ExpansionEstimator};
+use churn_stochastic::rng::seeded_rng;
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expansion_estimate");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [1_024usize, 4_096] {
+        let mut model = ModelKind::Sdgr.build(n, 8, 13).expect("valid parameters");
+        model.warm_up();
+        let snapshot = Snapshot::of(model.graph());
+
+        for (label, config) in [
+            ("fast", ExpansionConfig::fast()),
+            ("default", ExpansionConfig::default()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &snapshot,
+                |bencher, snapshot| {
+                    let estimator = ExpansionEstimator::new(config.clone());
+                    let mut rng = seeded_rng(99);
+                    bencher.iter(|| {
+                        criterion::black_box(estimator.estimate(
+                            snapshot,
+                            1,
+                            snapshot.len() / 2,
+                            &mut rng,
+                        ))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

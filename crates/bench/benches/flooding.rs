@@ -1,0 +1,37 @@
+//! Cost of a complete flooding run over warm SDGR / PDGR networks (the positive
+//! Table 1 cell), as a function of the network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+use churn_core::{DynamicNetwork, ModelKind};
+
+fn bench_flooding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flooding_complete_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for kind in [ModelKind::Sdgr, ModelKind::Pdgr] {
+        for n in [512usize, 2_048] {
+            // Build and warm once; each iteration clones the warm model so the
+            // measured cost is the flooding run itself (plus the clone).
+            let mut template = kind.build(n, 8, 11).expect("valid parameters");
+            template.warm_up();
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |bencher, _| {
+                bencher.iter(|| {
+                    let mut model = template.clone();
+                    let record = run_flooding(
+                        &mut model,
+                        FloodingSource::NextToJoin,
+                        &FloodingConfig::default(),
+                    );
+                    criterion::black_box(record.rounds_elapsed())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flooding);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Throughput of the Poisson churn substrate: raw jump-chain sampling and full
+//! Poisson-model jumps (churn plus topology bookkeeping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use churn_core::{PoissonConfig, PoissonModel};
+use churn_stochastic::process::BirthDeathChain;
+use churn_stochastic::rng::seeded_rng;
+
+fn bench_jump_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jump_chain");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("raw_birth_death_jump", |bencher| {
+        let chain = BirthDeathChain::new(1.0, 1.0 / 4_096.0);
+        let mut rng = seeded_rng(1);
+        bencher.iter(|| criterion::black_box(chain.next_jump(4_096, &mut rng)));
+    });
+
+    for d in [4usize, 16] {
+        let mut model = PoissonModel::new(
+            PoissonConfig::with_expected_size(4_096, d)
+                .edge_policy(churn_core::EdgePolicy::Regenerate)
+                .seed(2),
+        )
+        .expect("valid parameters");
+        // Warm to stationary size so the per-jump cost is representative.
+        model.advance_until(3.0 * 4_096.0);
+        group.bench_with_input(BenchmarkId::new("pdgr_model_jump", d), &d, |bencher, _| {
+            bencher.iter(|| criterion::black_box(model.next_jump()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jump_chain);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Cost of materialising an immutable CSR snapshot from the mutable dynamic
+//! graph, and of the BFS analyses run on it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use churn_core::{DynamicNetwork, ModelKind, Snapshot};
+use churn_graph::traversal::{bfs_distances, connected_components};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for n in [1_024usize, 8_192] {
+        let mut model = ModelKind::Pdgr.build(n, 8, 17).expect("valid parameters");
+        model.warm_up();
+
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |bencher, _| {
+            bencher.iter(|| criterion::black_box(Snapshot::of(model.graph())));
+        });
+
+        let snapshot = Snapshot::of(model.graph());
+        group.bench_with_input(BenchmarkId::new("bfs", n), &snapshot, |bencher, snapshot| {
+            bencher.iter(|| criterion::black_box(bfs_distances(snapshot, 0)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("components", n),
+            &snapshot,
+            |bencher, snapshot| {
+                bencher.iter(|| criterion::black_box(connected_components(snapshot)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

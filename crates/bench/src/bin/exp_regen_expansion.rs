@@ -1,0 +1,109 @@
+//! E5 — Vertex expansion of the models with edge regeneration.
+//!
+//! Reproduces the expansion cell of Table 1 for SDGR/PDGR (Theorem 3.15 and
+//! Theorem 4.16): with edge regeneration every warm snapshot is an ε-expander
+//! with ε ≥ 0.1, over the *full* range of subset sizes — in contrast to the
+//! models without regeneration whose full-range expansion is 0 (E1).
+//!
+//! ```text
+//! cargo run --release -p churn-bench --bin exp_regen_expansion [quick]
+//! ```
+
+use churn_analysis::{Comparison, ComparisonSet};
+use churn_bench::{preset_from_env_and_args, print_report};
+use churn_core::expansion::{expansion_trajectory, SizeRange};
+use churn_core::{theory, DynamicNetwork, ModelKind};
+use churn_graph::expansion::ExpansionConfig;
+use churn_sim::{aggregate_by_point, run_sweep, PointKey, Sweep, Table};
+use churn_stochastic::rng::seeded_rng;
+
+fn main() {
+    let preset = preset_from_env_and_args();
+    let sizes: Vec<usize> = preset.pick(vec![512], vec![1_024, 4_096]);
+    let degrees = vec![4usize, 8, 14, 21, 35];
+    let trials = preset.pick(3, 5);
+    let snapshots_per_trial = 3usize;
+
+    let sweep = Sweep::new("E5-regen-expansion")
+        .models([ModelKind::Sdgr, ModelKind::Pdgr])
+        .sizes(sizes)
+        .degrees(degrees)
+        .trials(trials)
+        .base_seed(0xE5);
+
+    let results = run_sweep(&sweep, |ctx| {
+        let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
+        model.warm_up();
+        let mut rng = seeded_rng(ctx.seed ^ 0x5E5E);
+        let reports = expansion_trajectory(
+            &mut model,
+            snapshots_per_trial,
+            (ctx.point.n / 8).max(8) as u64,
+            SizeRange::Full,
+            &ExpansionConfig::default(),
+            &mut rng,
+        );
+        // The claim is "every snapshot expands", so report the worst snapshot.
+        reports
+            .iter()
+            .filter_map(churn_core::expansion::ExpansionReport::value)
+            .fold(f64::INFINITY, f64::min)
+    });
+
+    let expansion = aggregate_by_point(&results, |r| r.value);
+
+    let mut table = Table::new(
+        format!(
+            "E5 — minimum estimated expansion over {snapshots_per_trial} snapshots per trial (full size range)"
+        ),
+        ["model", "n", "d", "worst-snapshot h_out (mean ± CI)", "min over trials", "threshold"],
+    );
+    let mut comparisons = ComparisonSet::new("E5 — Theorem 3.15 / Theorem 4.16");
+
+    for point in sweep.points() {
+        let key: PointKey = point.into();
+        let agg = expansion[&key];
+        table.push_row([
+            point.model.label().to_string(),
+            point.n.to_string(),
+            point.d.to_string(),
+            agg.display_with_ci(3),
+            format!("{:.3}", agg.min),
+            format!("{:.1}", theory::EXPANSION_THRESHOLD),
+        ]);
+        let reference = if point.model.is_streaming() {
+            "Theorem 3.15 (stated for d >= 14)"
+        } else {
+            "Theorem 4.16 (stated for d >= 35)"
+        };
+        let required = if point.model.is_streaming() { 14 } else { 35 };
+        comparisons.push(
+            Comparison::new(
+                format!("snapshot expansion, {point}"),
+                reference,
+                format!(">= {:.1}", theory::EXPANSION_THRESHOLD),
+                format!("{:.3} (worst trial {:.3})", agg.mean, agg.min),
+                if point.d >= required {
+                    agg.min >= theory::EXPANSION_THRESHOLD
+                } else {
+                    // Below the paper's stated degree the theorem makes no claim;
+                    // record whether the snapshot still expands as an observation.
+                    agg.min > 0.0
+                },
+            )
+            .with_note(if point.d >= required {
+                "degree meets the theorem's hypothesis"
+            } else {
+                "degree below the theorem's hypothesis; expansion > 0 recorded as observation"
+            }),
+        );
+    }
+
+    print_report(
+        "E5 — expansion with edge regeneration",
+        "Table 1 (Θ(1)-expansion with edge regeneration); Theorems 3.15 and 4.16",
+        preset,
+        &[table],
+        &[comparisons],
+    );
+}

@@ -1,0 +1,234 @@
+//! Constant-time uniform sampling over the set of alive nodes.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use churn_graph::NodeId;
+
+/// A set of node identifiers supporting O(1) insertion, removal and uniform
+/// sampling.
+///
+/// Both churn processes constantly need "a node chosen uniformly at random among
+/// the nodes in the network" (Definitions 3.4 and 4.9) and "a uniformly random
+/// alive node dies" (the jump chain of Lemma 4.6). A plain hash set cannot be
+/// sampled in O(1); this structure keeps a dense vector alongside a position map
+/// to make all three operations constant time.
+///
+/// # Example
+///
+/// ```
+/// use churn_core::AliveSet;
+/// use churn_graph::NodeId;
+/// use rand::SeedableRng;
+///
+/// let mut alive = AliveSet::new();
+/// alive.insert(NodeId::new(1));
+/// alive.insert(NodeId::new(2));
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let sampled = alive.sample(&mut rng).unwrap();
+/// assert!(alive.contains(sampled));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AliveSet {
+    members: Vec<NodeId>,
+    positions: HashMap<NodeId, usize>,
+}
+
+impl AliveSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        AliveSet {
+            members: Vec::with_capacity(capacity),
+            positions: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` when the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Returns `true` when `id` is a member.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.positions.contains_key(&id)
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        if self.positions.contains_key(&id) {
+            return false;
+        }
+        self.positions.insert(id, self.members.len());
+        self.members.push(id);
+        true
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let Some(pos) = self.positions.remove(&id) else {
+            return false;
+        };
+        let last = self.members.len() - 1;
+        self.members.swap(pos, last);
+        self.members.pop();
+        if pos < self.members.len() {
+            self.positions.insert(self.members[pos], pos);
+        }
+        true
+    }
+
+    /// A uniformly random member, or `None` if the set is empty.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[rng.gen_range(0..self.members.len())])
+        }
+    }
+
+    /// A uniformly random member different from `exclude`, or `None` if no such
+    /// member exists. Sampling is uniform over the set minus `exclude`.
+    pub fn sample_excluding<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        exclude: NodeId,
+    ) -> Option<NodeId> {
+        match self.members.len() {
+            0 => None,
+            1 => {
+                let only = self.members[0];
+                (only != exclude).then_some(only)
+            }
+            len => {
+                if !self.contains(exclude) {
+                    return self.sample(rng);
+                }
+                // Rejection sampling: expected < 2 draws even for len = 2.
+                loop {
+                    let candidate = self.members[rng.gen_range(0..len)];
+                    if candidate != exclude {
+                        return Some(candidate);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterator over the members in insertion-modified (arbitrary) order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// The members as a slice (arbitrary order).
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AliveSet::new();
+        assert!(s.insert(id(1)));
+        assert!(!s.insert(id(1)), "duplicate insert is rejected");
+        assert!(s.insert(id(2)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(id(1)));
+        assert!(s.remove(id(1)));
+        assert!(!s.remove(id(1)), "double removal is rejected");
+        assert!(!s.contains(id(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sample_from_empty_is_none() {
+        let s = AliveSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.sample(&mut rng).is_none());
+        assert!(s.sample_excluding(&mut rng, id(1)).is_none());
+    }
+
+    #[test]
+    fn sample_excluding_single_member() {
+        let mut s = AliveSet::new();
+        s.insert(id(7));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample_excluding(&mut rng, id(7)), None);
+        assert_eq!(s.sample_excluding(&mut rng, id(8)), Some(id(7)));
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        let mut s = AliveSet::new();
+        for raw in 0..10 {
+            s.insert(id(raw));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[s.sample(&mut rng).unwrap().raw() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "uniform sampling should give ~10000 per member, got {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_excluding_never_returns_excluded() {
+        let mut s = AliveSet::new();
+        s.insert(id(0));
+        s.insert(id(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert_eq!(s.sample_excluding(&mut rng, id(0)), Some(id(1)));
+        }
+    }
+
+    #[test]
+    fn removal_keeps_positions_consistent() {
+        let mut s = AliveSet::new();
+        for raw in 0..50 {
+            s.insert(id(raw));
+        }
+        for raw in (0..50).step_by(2) {
+            assert!(s.remove(id(raw)));
+        }
+        let remaining: HashSet<NodeId> = s.iter().collect();
+        assert_eq!(remaining.len(), 25);
+        for raw in 0..50 {
+            assert_eq!(remaining.contains(&id(raw)), raw % 2 == 1);
+            assert_eq!(s.contains(id(raw)), raw % 2 == 1);
+        }
+        assert_eq!(s.as_slice().len(), 25);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for model construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or driving a dynamic network model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The target network size is too small to be meaningful.
+    NetworkTooSmall {
+        /// Requested expected network size.
+        requested: usize,
+        /// Smallest supported size.
+        minimum: usize,
+    },
+    /// The per-node out-degree `d` is invalid.
+    InvalidDegree {
+        /// Requested degree.
+        requested: usize,
+    },
+    /// A rate parameter (λ or µ) of the Poisson model is invalid.
+    InvalidRate {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NetworkTooSmall { requested, minimum } => write!(
+                f,
+                "network size {requested} is too small (minimum supported is {minimum})"
+            ),
+            ModelError::InvalidDegree { requested } => {
+                write!(f, "out-degree {requested} is invalid (must be at least 1)")
+            }
+            ModelError::InvalidRate { parameter, value } => write!(
+                f,
+                "rate parameter {parameter} = {value} is invalid (must be finite and positive)"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::NetworkTooSmall {
+            requested: 1,
+            minimum: 2,
+        };
+        assert!(e.to_string().contains("too small"));
+        let e = ModelError::InvalidDegree { requested: 0 };
+        assert!(e.to_string().contains("out-degree"));
+        let e = ModelError::InvalidRate {
+            parameter: "lambda",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("lambda"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ModelError>();
+    }
+}

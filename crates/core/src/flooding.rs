@@ -1,0 +1,663 @@
+//! The flooding process over dynamic networks (Definitions 3.3, 4.2 and 4.3).
+//!
+//! Flooding is the diffusion process in which, one message delay after being
+//! informed, a node forwards the information to all of its current neighbours.
+//! Over a dynamic network this interacts with churn in two ways: newly informed
+//! nodes can die before forwarding, and newly born nodes start uninformed.
+//!
+//! The implementation advances in *message-delay units*: one flooding round is
+//! one call to [`DynamicNetwork::advance_time_unit`]. For streaming models this
+//! is exactly Definition 3.3. For Poisson models it is the asynchronous process
+//! of Definition 4.2 observed at integer times: the set `I_t` at observation
+//! time `t` consists of the previously informed survivors plus every node that
+//! was, at time `t − 1`, a neighbour of an informed node and is still alive at
+//! `t`. (The fully "discretized" process of Definition 4.3 — which additionally
+//! requires the connecting edge to persist throughout the interval — is a
+//! pessimistic analysis device; the synchronous observation used here is the
+//! natural simulation of the process the paper's theorems describe.)
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use churn_graph::NodeId;
+
+use crate::model::DynamicNetwork;
+use crate::ChurnSummary;
+
+/// How to pick the node that starts the broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FloodingSource {
+    /// Advance the model until the next node joins and start from it — the
+    /// paper's convention ("the flooding process starting at `t0` from the node
+    /// joining the network at round `t0`").
+    NextToJoin,
+    /// Start from the most recently joined node that is still alive (falls back
+    /// to [`FloodingSource::NextToJoin`] if none is known).
+    Newest,
+    /// Start from a specific alive node (falls back to
+    /// [`FloodingSource::NextToJoin`] if it is not alive).
+    Node(NodeId),
+}
+
+/// Stopping rules and bookkeeping limits for [`run_flooding`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloodingConfig {
+    /// Hard cap on the number of flooding rounds simulated.
+    pub max_rounds: u64,
+    /// Optional early-stop: finish as soon as the informed fraction reaches this
+    /// value (used by the partial-flooding experiments of Theorems 3.8 / 4.13).
+    pub target_fraction: Option<f64>,
+    /// Stop as soon as the broadcast is complete (`I_t ⊇ N_{t−1} ∩ N_t`).
+    pub stop_when_complete: bool,
+}
+
+impl Default for FloodingConfig {
+    fn default() -> Self {
+        FloodingConfig {
+            max_rounds: 4_096,
+            target_fraction: None,
+            stop_when_complete: true,
+        }
+    }
+}
+
+impl FloodingConfig {
+    /// Configuration with a specific round cap.
+    #[must_use]
+    pub fn with_max_rounds(max_rounds: u64) -> Self {
+        FloodingConfig {
+            max_rounds,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the early-stop target fraction.
+    #[must_use]
+    pub fn target_fraction(mut self, fraction: f64) -> Self {
+        self.target_fraction = Some(fraction);
+        self
+    }
+}
+
+/// Per-round observation of a flooding run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundStats {
+    /// Rounds elapsed since the start of the flooding (1 for the first step).
+    pub round: u64,
+    /// Model time after the step.
+    pub time: f64,
+    /// Number of informed alive nodes after the step.
+    pub informed: usize,
+    /// Number of alive nodes after the step.
+    pub alive: usize,
+    /// Number of nodes informed for the first time in this step (and alive at
+    /// its end).
+    pub newly_informed: usize,
+    /// Whether the broadcast is complete after this step.
+    pub complete: bool,
+}
+
+impl RoundStats {
+    /// Fraction of alive nodes that are informed (0 when the network is empty).
+    #[must_use]
+    pub fn informed_fraction(&self) -> f64 {
+        if self.alive == 0 {
+            0.0
+        } else {
+            self.informed as f64 / self.alive as f64
+        }
+    }
+}
+
+/// How a flooding run ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FloodingOutcome {
+    /// The broadcast completed: every node alive at the previous observation and
+    /// still alive now is informed.
+    Completed {
+        /// Rounds needed (the paper's *flooding time*).
+        rounds: u64,
+    },
+    /// The requested target fraction was reached before completion.
+    ReachedTarget {
+        /// Rounds needed to reach the target.
+        rounds: u64,
+        /// Informed fraction at that point.
+        fraction: f64,
+    },
+    /// The broadcast died out: the informed set never grew beyond a handful of
+    /// nodes (at most `d + 1`, the failure mode of Theorems 3.7 / 4.12) or every
+    /// informed node died.
+    DiedOut {
+        /// Rounds simulated before dying out or hitting the cap.
+        rounds: u64,
+        /// Largest informed-set size ever observed.
+        peak_informed: usize,
+    },
+    /// The round cap was reached without completing, reaching the target, or
+    /// dying out.
+    RoundLimit {
+        /// Informed fraction when the cap was hit.
+        fraction: f64,
+    },
+}
+
+impl FloodingOutcome {
+    /// Returns `true` when the broadcast completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, FloodingOutcome::Completed { .. })
+    }
+
+    /// Returns `true` when the broadcast died out.
+    #[must_use]
+    pub fn is_died_out(&self) -> bool {
+        matches!(self, FloodingOutcome::DiedOut { .. })
+    }
+
+    /// The number of rounds after which the run ended, when meaningful.
+    #[must_use]
+    pub fn rounds(&self) -> Option<u64> {
+        match self {
+            FloodingOutcome::Completed { rounds }
+            | FloodingOutcome::ReachedTarget { rounds, .. }
+            | FloodingOutcome::DiedOut { rounds, .. } => Some(*rounds),
+            FloodingOutcome::RoundLimit { .. } => None,
+        }
+    }
+}
+
+/// Complete record of one flooding run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloodingRecord {
+    /// The source node.
+    pub source: NodeId,
+    /// Model time at which the source was informed.
+    pub start_time: f64,
+    /// Per-round observations, in order.
+    pub rounds: Vec<RoundStats>,
+    /// How the run ended.
+    pub outcome: FloodingOutcome,
+}
+
+impl FloodingRecord {
+    /// Number of rounds simulated.
+    #[must_use]
+    pub fn rounds_elapsed(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Informed fraction at the end of the run (0 if no round was simulated).
+    #[must_use]
+    pub fn final_fraction(&self) -> f64 {
+        self.rounds.last().map_or(0.0, RoundStats::informed_fraction)
+    }
+
+    /// Largest informed-set size observed during the run.
+    #[must_use]
+    pub fn peak_informed(&self) -> usize {
+        self.rounds.iter().map(|r| r.informed).max().unwrap_or(0)
+    }
+
+    /// First round at which the informed fraction reached `fraction`, if ever.
+    #[must_use]
+    pub fn rounds_to_fraction(&self, fraction: f64) -> Option<u64> {
+        self.rounds
+            .iter()
+            .find(|r| r.informed_fraction() >= fraction)
+            .map(|r| r.round)
+    }
+}
+
+/// A step-by-step flooding process, for callers that want to interleave their
+/// own measurements between rounds. [`run_flooding`] is the batteries-included
+/// driver built on top of it.
+#[derive(Debug, Clone)]
+pub struct FloodingProcess {
+    source: NodeId,
+    start_time: f64,
+    informed: HashSet<NodeId>,
+    rounds: u64,
+    complete: bool,
+    peak_informed: usize,
+}
+
+impl FloodingProcess {
+    /// Starts a flooding process from an alive source node.
+    ///
+    /// Returns `None` if `source` is not alive in `model`.
+    pub fn from_source<M: DynamicNetwork>(model: &M, source: NodeId) -> Option<Self> {
+        if !model.contains(source) {
+            return None;
+        }
+        let mut informed = HashSet::new();
+        informed.insert(source);
+        Some(FloodingProcess {
+            source,
+            start_time: model.time(),
+            informed,
+            rounds: 0,
+            complete: false,
+            peak_informed: 1,
+        })
+    }
+
+    /// Resolves a [`FloodingSource`] (possibly advancing the model to the next
+    /// join) and starts the process from it.
+    pub fn start<M: DynamicNetwork>(model: &mut M, source: FloodingSource) -> Self {
+        let source_id = match source {
+            FloodingSource::Node(id) if model.contains(id) => Some(id),
+            FloodingSource::Newest => model.newest_node(),
+            _ => None,
+        };
+        let source_id = source_id.unwrap_or_else(|| loop {
+            let summary = model.advance_time_unit();
+            if let Some(&id) = summary.births.last() {
+                break id;
+            }
+        });
+        Self::from_source(model, source_id).expect("source is alive by construction")
+    }
+
+    /// The source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Model time at which the source was informed.
+    #[must_use]
+    pub fn start_time(&self) -> f64 {
+        self.start_time
+    }
+
+    /// The currently informed (alive) nodes.
+    #[must_use]
+    pub fn informed(&self) -> &HashSet<NodeId> {
+        &self.informed
+    }
+
+    /// Number of currently informed nodes.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.informed.len()
+    }
+
+    /// Largest informed-set size observed so far.
+    #[must_use]
+    pub fn peak_informed(&self) -> usize {
+        self.peak_informed
+    }
+
+    /// Number of rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Whether the broadcast is complete (`I_t ⊇ N_{t−1} ∩ N_t` at the last
+    /// step).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Executes one flooding round: every neighbour (in the current snapshot) of
+    /// an informed node becomes informed one time unit later, the model advances
+    /// by that time unit, and informed nodes that died are dropped.
+    pub fn step<M: DynamicNetwork>(&mut self, model: &mut M) -> RoundStats {
+        // Boundary in the current snapshot G_{t-1}.
+        let graph = model.graph();
+        let mut next: HashSet<NodeId> = self.informed.clone();
+        for &u in &self.informed {
+            if let Some(neighbors) = graph.neighbors(u) {
+                next.extend(neighbors);
+            }
+        }
+
+        // One message-delay unit of churn.
+        let summary: ChurnSummary = model.advance_time_unit();
+
+        // I_t = (I_{t-1} ∪ ∂out(I_{t-1})) ∩ N_t.
+        next.retain(|id| model.contains(*id));
+        let newly_informed = next.iter().filter(|id| !self.informed.contains(id)).count();
+        self.informed = next;
+        self.rounds += 1;
+        self.peak_informed = self.peak_informed.max(self.informed.len());
+
+        // Completion: every alive node that is not a newcomer of this interval is
+        // informed, i.e. I_t ⊇ N_{t-1} ∩ N_t.
+        let births: HashSet<NodeId> = summary.births.iter().copied().collect();
+        let alive_ids = model.alive_ids();
+        self.complete = alive_ids
+            .iter()
+            .all(|id| births.contains(id) || self.informed.contains(id));
+
+        RoundStats {
+            round: self.rounds,
+            time: model.time(),
+            informed: self.informed.len(),
+            alive: alive_ids.len(),
+            newly_informed,
+            complete: self.complete,
+        }
+    }
+}
+
+/// Runs a flooding process to termination according to `config` and returns the
+/// full record.
+///
+/// # Example
+///
+/// ```
+/// use churn_core::{EdgePolicy, StreamingConfig, StreamingModel, DynamicNetwork};
+/// use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+///
+/// # fn main() -> Result<(), churn_core::ModelError> {
+/// let mut model = StreamingModel::new(
+///     StreamingConfig::new(128, 6).edge_policy(EdgePolicy::Regenerate).seed(3),
+/// )?;
+/// model.warm_up();
+/// let record = run_flooding(&mut model, FloodingSource::NextToJoin, &FloodingConfig::default());
+/// assert!(record.final_fraction() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_flooding<M: DynamicNetwork>(
+    model: &mut M,
+    source: FloodingSource,
+    config: &FloodingConfig,
+) -> FloodingRecord {
+    let mut process = FloodingProcess::start(model, source);
+    let source_id = process.source();
+    let start_time = process.start_time();
+    let d = model.degree_parameter();
+    let mut rounds = Vec::new();
+
+    let outcome = loop {
+        let stats = process.step(model);
+        let fraction = stats.informed_fraction();
+        let informed = stats.informed;
+        let round = stats.round;
+        rounds.push(stats);
+
+        if config.stop_when_complete && process.is_complete() {
+            break FloodingOutcome::Completed { rounds: round };
+        }
+        if let Some(target) = config.target_fraction {
+            if fraction >= target {
+                break FloodingOutcome::ReachedTarget {
+                    rounds: round,
+                    fraction,
+                };
+            }
+        }
+        if informed == 0 {
+            break FloodingOutcome::DiedOut {
+                rounds: round,
+                peak_informed: process.peak_informed(),
+            };
+        }
+        if round >= config.max_rounds {
+            // Distinguish "never took off" (Theorem 3.7's failure mode) from
+            // "still spreading when the cap was hit".
+            if process.peak_informed() <= d + 1 {
+                break FloodingOutcome::DiedOut {
+                    rounds: round,
+                    peak_informed: process.peak_informed(),
+                };
+            }
+            break FloodingOutcome::RoundLimit { fraction };
+        }
+    };
+
+    FloodingRecord {
+        source: source_id,
+        start_time,
+        rounds,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        EdgePolicy, PoissonConfig, PoissonModel, StreamingConfig, StreamingModel,
+    };
+
+    fn sdgr(n: usize, d: usize, seed: u64) -> StreamingModel {
+        let mut m = StreamingModel::new(
+            StreamingConfig::new(n, d)
+                .edge_policy(EdgePolicy::Regenerate)
+                .seed(seed),
+        )
+        .unwrap();
+        m.warm_up();
+        m
+    }
+
+    fn sdg(n: usize, d: usize, seed: u64) -> StreamingModel {
+        let mut m = StreamingModel::new(StreamingConfig::new(n, d).seed(seed)).unwrap();
+        m.warm_up();
+        m
+    }
+
+    #[test]
+    fn flooding_on_sdgr_completes_quickly() {
+        // Theorem 3.16: SDGR flooding completes in O(log n) rounds w.h.p.
+        let mut model = sdgr(256, 8, 1);
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+        );
+        assert!(record.outcome.is_complete(), "outcome: {:?}", record.outcome);
+        let rounds = record.outcome.rounds().unwrap();
+        assert!(
+            rounds <= 40,
+            "completion in {rounds} rounds is far beyond O(log 256)"
+        );
+        assert!(record.final_fraction() > 0.99);
+    }
+
+    #[test]
+    fn flooding_on_sdg_reaches_most_nodes_with_large_d() {
+        // Theorem 3.8 (scaled down): with a healthy d, flooding informs a large
+        // constant fraction of an SDG network within O(log n) rounds.
+        let mut model = sdg(512, 12, 2);
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::with_max_rounds(60).target_fraction(0.8),
+        );
+        assert!(
+            record.final_fraction() >= 0.8 || record.outcome.is_complete(),
+            "informed only {:.2} of the nodes: {:?}",
+            record.final_fraction(),
+            record.outcome
+        );
+    }
+
+    #[test]
+    fn flooding_with_d_1_often_dies_out() {
+        // Theorem 3.7: with constant (tiny) d, flooding fails with constant
+        // probability. With d = 1 the source's only request frequently lands on a
+        // node with no other connections. We run several seeds and require at
+        // least one die-out, which is overwhelmingly likely.
+        let mut died = 0;
+        for seed in 0..12 {
+            let mut model = sdg(128, 1, seed);
+            let record = run_flooding(
+                &mut model,
+                FloodingSource::NextToJoin,
+                &FloodingConfig::with_max_rounds(200),
+            );
+            if record.outcome.is_died_out() {
+                died += 1;
+            }
+        }
+        assert!(died > 0, "at least one of 12 runs with d = 1 should die out");
+    }
+
+    #[test]
+    fn flooding_on_pdgr_completes() {
+        // Theorem 4.20: PDGR flooding completes in O(log n) rounds w.h.p.
+        let mut model = PoissonModel::new(
+            PoissonConfig::with_expected_size(256, 10)
+                .edge_policy(EdgePolicy::Regenerate)
+                .seed(3),
+        )
+        .unwrap();
+        model.warm_up();
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+        );
+        assert!(
+            record.outcome.is_complete(),
+            "PDGR flooding should complete: {:?}",
+            record.outcome
+        );
+        assert!(record.outcome.rounds().unwrap() <= 60);
+    }
+
+    #[test]
+    fn informed_set_grows_monotonically_in_sdgr_until_completion() {
+        let mut model = sdgr(128, 6, 4);
+        let mut process = FloodingProcess::start(&mut model, FloodingSource::NextToJoin);
+        let mut last = 1usize;
+        for _ in 0..40 {
+            let stats = process.step(&mut model);
+            // In SDGR at most one informed node dies per round while the boundary
+            // typically adds many; allow small dips but require overall growth.
+            assert!(stats.informed + 1 >= last);
+            last = stats.informed;
+            if stats.complete {
+                break;
+            }
+        }
+        assert!(process.is_complete());
+    }
+
+    #[test]
+    fn from_source_rejects_dead_nodes() {
+        let model = sdgr(64, 4, 5);
+        assert!(FloodingProcess::from_source(&model, NodeId::new(u64::MAX)).is_none());
+        let alive = model.alive_ids()[0];
+        let process = FloodingProcess::from_source(&model, alive).unwrap();
+        assert_eq!(process.informed_count(), 1);
+        assert_eq!(process.source(), alive);
+        assert_eq!(process.rounds(), 0);
+        assert!(!process.is_complete());
+    }
+
+    #[test]
+    fn source_newest_uses_newest_alive_node() {
+        let mut model = sdgr(64, 4, 6);
+        let newest = model.newest_node().unwrap();
+        let process = FloodingProcess::start(&mut model, FloodingSource::Newest);
+        assert_eq!(process.source(), newest);
+    }
+
+    #[test]
+    fn source_specific_node_is_respected_when_alive() {
+        let mut model = sdgr(64, 4, 7);
+        let target = model.alive_ids()[10];
+        let process = FloodingProcess::start(&mut model, FloodingSource::Node(target));
+        assert_eq!(process.source(), target);
+        // A dead node falls back to the next joiner.
+        let process = FloodingProcess::start(&mut model, FloodingSource::Node(NodeId::new(u64::MAX)));
+        assert!(model.contains(process.source()));
+    }
+
+    #[test]
+    fn record_accessors_are_consistent() {
+        let mut model = sdgr(128, 6, 8);
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+        );
+        assert_eq!(record.rounds_elapsed(), record.rounds.len() as u64);
+        assert!(record.peak_informed() >= 1);
+        assert!(record.rounds_to_fraction(0.5).is_some());
+        assert!(record.rounds_to_fraction(0.5) <= record.rounds_to_fraction(0.9));
+        // Round stats are monotone in round index and time.
+        for w in record.rounds.windows(2) {
+            assert_eq!(w[1].round, w[0].round + 1);
+            assert!(w[1].time >= w[0].time);
+        }
+    }
+
+    #[test]
+    fn target_fraction_stops_early() {
+        let mut model = sdgr(256, 8, 9);
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig {
+                max_rounds: 100,
+                target_fraction: Some(0.3),
+                stop_when_complete: false,
+            },
+        );
+        match record.outcome {
+            FloodingOutcome::ReachedTarget { fraction, .. } => assert!(fraction >= 0.3),
+            other => panic!("expected ReachedTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_limit_outcome_reports_fraction() {
+        let mut model = sdg(256, 8, 10);
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig {
+                max_rounds: 3,
+                target_fraction: None,
+                stop_when_complete: true,
+            },
+        );
+        // After only 3 rounds the outcome is either an early die-out or a round
+        // limit with a small fraction.
+        match record.outcome {
+            FloodingOutcome::RoundLimit { fraction } => assert!(fraction < 1.0),
+            FloodingOutcome::DiedOut { .. } => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(record.rounds_elapsed(), 3);
+    }
+
+    #[test]
+    fn round_stats_fraction_handles_empty_network() {
+        let stats = RoundStats {
+            round: 1,
+            time: 1.0,
+            informed: 0,
+            alive: 0,
+            newly_informed: 0,
+            complete: false,
+        };
+        assert_eq!(stats.informed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(FloodingOutcome::Completed { rounds: 3 }.is_complete());
+        assert!(!FloodingOutcome::Completed { rounds: 3 }.is_died_out());
+        assert_eq!(FloodingOutcome::Completed { rounds: 3 }.rounds(), Some(3));
+        assert_eq!(
+            FloodingOutcome::RoundLimit { fraction: 0.5 }.rounds(),
+            None
+        );
+        assert!(FloodingOutcome::DiedOut {
+            rounds: 5,
+            peak_informed: 2
+        }
+        .is_died_out());
+    }
+}

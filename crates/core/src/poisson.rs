@@ -1,0 +1,598 @@
+//! The Poisson dynamic graph models PDG and PDGR (Definitions 4.1, 4.9, 4.14).
+
+use std::collections::HashMap;
+
+use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator};
+use churn_stochastic::process::{BirthDeathChain, JumpKind};
+use churn_stochastic::rng::{seeded_rng, SimRng};
+
+use crate::model::DynamicNetwork;
+use crate::{ChurnSummary, EdgePolicy, ModelEvent, PoissonConfig, Result};
+
+/// The kind of churn event a Poisson jump realised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoissonEvent {
+    /// A node joined at the given time.
+    Arrival {
+        /// The new node.
+        id: NodeId,
+        /// Continuous time of the arrival.
+        time: f64,
+    },
+    /// A node died at the given time.
+    Departure {
+        /// The departed node.
+        id: NodeId,
+        /// Continuous time of the departure.
+        time: f64,
+    },
+}
+
+/// The Poisson dynamic graph: PDG without edge regeneration, PDGR with it.
+///
+/// Node churn follows Definition 4.1: arrivals form a Poisson process with rate
+/// λ and every node's lifetime is exponential with rate µ, so the expected
+/// stationary population is `n = λ/µ`. The simulation advances along the *jump
+/// chain* of Definition 4.5 (Lemma 4.6): with `N` alive nodes the next event
+/// arrives after an `Exp(Nµ + λ)` waiting time and is a death of a uniformly
+/// random alive node with probability `Nµ/(Nµ + λ)`, an arrival otherwise.
+///
+/// Topology follows Definition 4.9 (or 4.14 under [`EdgePolicy::Regenerate`]):
+/// the joining node opens `d` requests towards uniformly random alive nodes,
+/// edges vanish with either endpoint, and regeneration re-points dangling
+/// requests at fresh uniform targets immediately.
+///
+/// # Example
+///
+/// ```
+/// use churn_core::{DynamicNetwork, PoissonConfig, PoissonModel};
+///
+/// # fn main() -> Result<(), churn_core::ModelError> {
+/// let mut model = PoissonModel::new(PoissonConfig::with_expected_size(300, 6).seed(5))?;
+/// model.warm_up();
+/// let size = model.alive_count() as f64;
+/// assert!(size > 0.7 * 300.0 && size < 1.3 * 300.0, "population concentrates near n");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonModel {
+    config: PoissonConfig,
+    graph: DynamicGraph,
+    rng: SimRng,
+    chain: BirthDeathChain,
+    time: f64,
+    jumps: u64,
+    alive: crate::AliveSet,
+    birth_time: HashMap<NodeId, f64>,
+    alloc: NodeIdAllocator,
+    newest: Option<NodeId>,
+    events: Vec<ModelEvent>,
+}
+
+impl PoissonModel {
+    /// Builds an empty (time 0) Poisson model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of [`PoissonConfig::validate`].
+    pub fn new(config: PoissonConfig) -> Result<Self> {
+        config.validate()?;
+        let rng = seeded_rng(config.seed);
+        let chain = BirthDeathChain::new(config.lambda, config.mu);
+        let capacity = config.expected_size() + 16;
+        Ok(PoissonModel {
+            graph: DynamicGraph::with_capacity(capacity),
+            rng,
+            chain,
+            time: 0.0,
+            jumps: 0,
+            alive: crate::AliveSet::with_capacity(capacity),
+            birth_time: HashMap::with_capacity(capacity),
+            alloc: NodeIdAllocator::new(),
+            newest: None,
+            events: Vec::new(),
+            config,
+        })
+    }
+
+    /// The configuration the model was built from.
+    #[must_use]
+    pub fn config(&self) -> &PoissonConfig {
+        &self.config
+    }
+
+    /// Which of the paper's models this instance realises (PDG or PDGR).
+    #[must_use]
+    pub fn model_kind(&self) -> crate::ModelKind {
+        if self.config.edge_policy.regenerates() {
+            crate::ModelKind::Pdgr
+        } else {
+            crate::ModelKind::Pdg
+        }
+    }
+
+    /// Number of jump-chain rounds `r` processed so far (Definition 4.5).
+    #[must_use]
+    pub fn jump_count(&self) -> u64 {
+        self.jumps
+    }
+
+    /// Processes exactly one jump-chain event and returns it.
+    pub fn next_jump(&mut self) -> PoissonEvent {
+        let jump = self.chain.next_jump(self.alive.len() as u64, &mut self.rng);
+        self.time += jump.waiting_time;
+        self.jumps += 1;
+        match jump.kind {
+            JumpKind::Birth => {
+                let id = self.spawn();
+                PoissonEvent::Arrival {
+                    id,
+                    time: self.time,
+                }
+            }
+            JumpKind::Death => {
+                let victim = self
+                    .alive
+                    .sample(&mut self.rng)
+                    .expect("a death event implies at least one alive node");
+                self.kill(victim);
+                PoissonEvent::Departure {
+                    id: victim,
+                    time: self.time,
+                }
+            }
+        }
+    }
+
+    /// Processes `rounds` jump-chain events, returning the merged churn summary.
+    pub fn advance_jumps(&mut self, rounds: u64) -> ChurnSummary {
+        let mut summary = ChurnSummary::new();
+        for _ in 0..rounds {
+            let step = match self.next_jump() {
+                PoissonEvent::Arrival { id, .. } => ChurnSummary {
+                    births: vec![id],
+                    deaths: Vec::new(),
+                },
+                PoissonEvent::Departure { id, .. } => ChurnSummary {
+                    births: Vec::new(),
+                    deaths: vec![id],
+                },
+            };
+            summary.absorb(step);
+        }
+        summary
+    }
+
+    /// Advances continuous time up to `target`, processing every churn event in
+    /// between. Relies on the memorylessness of the exponential waiting times:
+    /// a sampled waiting time that would overshoot `target` is discarded and the
+    /// clock simply set to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is NaN or lies in the past.
+    pub fn advance_until(&mut self, target: f64) -> ChurnSummary {
+        assert!(!target.is_nan(), "target time must not be NaN");
+        assert!(
+            target >= self.time,
+            "cannot advance to {target} before the current time {}",
+            self.time
+        );
+        let mut summary = ChurnSummary::new();
+        while self.time < target {
+            let jump = self.chain.next_jump(self.alive.len() as u64, &mut self.rng);
+            if self.time + jump.waiting_time > target {
+                // Memorylessness: the residual wait past `target` is statistically
+                // identical to a fresh draw at `target`, so we may forget it.
+                self.time = target;
+                break;
+            }
+            self.time += jump.waiting_time;
+            self.jumps += 1;
+            let step = match jump.kind {
+                JumpKind::Birth => {
+                    let id = self.spawn();
+                    ChurnSummary {
+                        births: vec![id],
+                        deaths: Vec::new(),
+                    }
+                }
+                JumpKind::Death => {
+                    let victim = self
+                        .alive
+                        .sample(&mut self.rng)
+                        .expect("a death event implies at least one alive node");
+                    self.kill(victim);
+                    ChurnSummary {
+                        births: Vec::new(),
+                        deaths: vec![victim],
+                    }
+                }
+            };
+            summary.absorb(step);
+        }
+        summary
+    }
+
+    fn spawn(&mut self) -> NodeId {
+        let id = self.alloc.next_id();
+        let d = self.config.d;
+        self.graph
+            .add_node(id, d)
+            .expect("allocator never reuses identifiers");
+        if self.config.record_events {
+            self.events.push(ModelEvent::NodeJoined {
+                id,
+                time: self.time,
+            });
+        }
+        for slot in 0..d {
+            let Some(target) = self.alive.sample(&mut self.rng) else {
+                break; // first node of the network: nobody to connect to yet
+            };
+            self.graph
+                .set_out_slot(id, slot, target)
+                .expect("valid request");
+            if self.config.record_events {
+                self.events.push(ModelEvent::EdgeCreated {
+                    slot: EdgeSlot { owner: id, slot },
+                    target,
+                    time: self.time,
+                });
+            }
+        }
+        self.alive.insert(id);
+        self.birth_time.insert(id, self.time);
+        self.newest = Some(id);
+        id
+    }
+
+    fn kill(&mut self, victim: NodeId) {
+        self.alive.remove(victim);
+        self.birth_time.remove(&victim);
+        if self.newest == Some(victim) {
+            self.newest = None;
+        }
+        let removed = self
+            .graph
+            .remove_node(victim)
+            .expect("sampled victim is alive");
+        if self.config.record_events {
+            self.events.push(ModelEvent::NodeDied {
+                id: victim,
+                time: self.time,
+            });
+            for (slot, &target) in removed.out_targets.iter().enumerate() {
+                self.events.push(ModelEvent::EdgeDropped {
+                    slot: EdgeSlot {
+                        owner: victim,
+                        slot,
+                    },
+                    target,
+                    time: self.time,
+                });
+            }
+            for &slot in &removed.dangling_slots {
+                self.events.push(ModelEvent::EdgeDropped {
+                    slot,
+                    target: victim,
+                    time: self.time,
+                });
+            }
+        }
+        if self.config.edge_policy.regenerates() {
+            for slot in removed.dangling_slots {
+                let Some(target) = self.alive.sample_excluding(&mut self.rng, slot.owner) else {
+                    continue;
+                };
+                self.graph
+                    .set_out_slot(slot.owner, slot.slot, target)
+                    .expect("owner alive, slot in range, target distinct");
+                if self.config.record_events {
+                    self.events.push(ModelEvent::EdgeRegenerated {
+                        slot,
+                        target,
+                        time: self.time,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl DynamicNetwork for PoissonModel {
+    fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    fn degree_parameter(&self) -> usize {
+        self.config.d
+    }
+
+    fn expected_size(&self) -> usize {
+        self.config.expected_size()
+    }
+
+    fn edge_policy(&self) -> EdgePolicy {
+        self.config.edge_policy
+    }
+
+    fn model_kind(&self) -> crate::ModelKind {
+        PoissonModel::model_kind(self)
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+
+    fn churn_steps(&self) -> u64 {
+        self.jumps
+    }
+
+    fn birth_time(&self, id: NodeId) -> Option<f64> {
+        self.birth_time.get(&id).copied()
+    }
+
+    fn newest_node(&self) -> Option<NodeId> {
+        self.newest.filter(|id| self.graph.contains(*id))
+    }
+
+    fn advance_time_unit(&mut self) -> ChurnSummary {
+        let target = self.time + 1.0;
+        self.advance_until(target)
+    }
+
+    fn warm_up(&mut self) {
+        let target = 3.0 * self.expected_size() as f64;
+        if self.time < target {
+            self.advance_until(target);
+        }
+    }
+
+    fn is_warm(&self) -> bool {
+        self.time >= 3.0 * self.expected_size() as f64
+    }
+
+    fn drain_events(&mut self) -> Vec<ModelEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churn_graph::Snapshot;
+    use churn_stochastic::OnlineStats;
+
+    fn model(n: usize, d: usize, policy: EdgePolicy, seed: u64) -> PoissonModel {
+        PoissonModel::new(
+            PoissonConfig::with_expected_size(n, d)
+                .edge_policy(policy)
+                .seed(seed),
+        )
+        .expect("valid configuration")
+    }
+
+    #[test]
+    fn construction_rejects_invalid_configuration() {
+        assert!(PoissonModel::new(PoissonConfig::with_rates(-1.0, 0.1, 3)).is_err());
+        assert!(PoissonModel::new(PoissonConfig::with_expected_size(100, 0)).is_err());
+    }
+
+    #[test]
+    fn population_concentrates_around_expected_size() {
+        // Lemma 4.4: for t >= 3n the population is within [0.9 n, 1.1 n] w.h.p.
+        let mut m = model(500, 4, EdgePolicy::Static, 0);
+        m.warm_up();
+        assert!(m.is_warm());
+        // Sample well past the initial fill-up transient (population approaches n
+        // as 1 - e^{-t/n}, so by t = 6n the residual bias is below 0.3%).
+        m.advance_until(6.0 * 500.0);
+        let mut stats = OnlineStats::new();
+        let mut in_band = 0usize;
+        let samples = 200;
+        for _ in 0..samples {
+            m.advance_time_unit();
+            let size = m.alive_count() as f64;
+            stats.push(size);
+            if (450.0..=550.0).contains(&size) {
+                in_band += 1;
+            }
+        }
+        assert!(
+            (stats.mean() - 500.0).abs() < 50.0,
+            "mean population {} should be near 500",
+            stats.mean()
+        );
+        assert!(
+            in_band as f64 / samples as f64 > 0.8,
+            "population should stay in [0.9n, 1.1n] most of the time"
+        );
+    }
+
+    #[test]
+    fn time_advances_monotonically_and_jump_count_increases() {
+        let mut m = model(100, 3, EdgePolicy::Static, 1);
+        let mut last_time = 0.0;
+        for _ in 0..500 {
+            let event = m.next_jump();
+            let t = match event {
+                PoissonEvent::Arrival { time, .. } | PoissonEvent::Departure { time, .. } => time,
+            };
+            assert!(t >= last_time);
+            last_time = t;
+        }
+        assert_eq!(m.jump_count(), 500);
+        assert!((m.time() - last_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_until_stops_exactly_at_target() {
+        let mut m = model(100, 3, EdgePolicy::Static, 2);
+        m.advance_until(25.0);
+        assert!((m.time() - 25.0).abs() < 1e-12);
+        m.advance_until(25.0);
+        assert!((m.time() - 25.0).abs() < 1e-12, "advancing to now is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn advance_until_rejects_past_targets() {
+        let mut m = model(100, 3, EdgePolicy::Static, 3);
+        m.advance_until(10.0);
+        m.advance_until(5.0);
+    }
+
+    #[test]
+    fn lifetimes_are_exponential_with_mean_n() {
+        let n = 200usize;
+        let mut m = PoissonModel::new(
+            PoissonConfig::with_expected_size(n, 2)
+                .seed(4)
+                .record_events(true),
+        )
+        .unwrap();
+        m.advance_until(8.0 * n as f64);
+        let events = m.drain_events();
+        let mut births: HashMap<NodeId, f64> = HashMap::new();
+        let mut lifetimes = OnlineStats::new();
+        for e in events {
+            match e {
+                ModelEvent::NodeJoined { id, time } => {
+                    births.insert(id, time);
+                }
+                ModelEvent::NodeDied { id, time } => {
+                    // Only count nodes born early enough that right-censoring by the
+                    // end of the observation window is negligible (survival past
+                    // 6n has probability e^{-6}).
+                    if let Some(&b) = births.get(&id) {
+                        if b < 2.0 * n as f64 {
+                            lifetimes.push(time - b);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        assert!(lifetimes.count() > 250);
+        assert!(
+            (lifetimes.mean() - n as f64).abs() < 0.15 * n as f64,
+            "mean lifetime {} should be close to n = {n}",
+            lifetimes.mean()
+        );
+    }
+
+    #[test]
+    fn newborn_opens_d_requests() {
+        let mut m = model(300, 7, EdgePolicy::Static, 5);
+        m.warm_up();
+        // Find the next arrival.
+        let id = loop {
+            if let PoissonEvent::Arrival { id, .. } = m.next_jump() {
+                break id;
+            }
+        };
+        assert_eq!(m.graph().out_degree(id), Some(7));
+        assert_eq!(m.newest_node(), Some(id));
+    }
+
+    #[test]
+    fn with_regeneration_out_degree_stays_d() {
+        let mut m = model(150, 5, EdgePolicy::Regenerate, 6);
+        m.warm_up();
+        for _ in 0..300 {
+            m.next_jump();
+        }
+        for id in m.alive_ids() {
+            assert_eq!(
+                m.graph().out_degree(id),
+                Some(5),
+                "PDGR keeps out-degree exactly d"
+            );
+        }
+        m.graph().assert_invariants();
+    }
+
+    #[test]
+    fn without_regeneration_old_nodes_lose_out_edges() {
+        let mut m = model(150, 5, EdgePolicy::Static, 7);
+        m.warm_up();
+        for _ in 0..2_000 {
+            m.next_jump();
+        }
+        let any_decayed = m
+            .alive_ids()
+            .iter()
+            .any(|&id| m.graph().out_degree(id).unwrap() < 5);
+        assert!(
+            any_decayed,
+            "in PDG some nodes must have lost out-edges to dead neighbours"
+        );
+        m.graph().assert_invariants();
+    }
+
+    #[test]
+    fn same_seed_gives_identical_evolution() {
+        let mut a = model(100, 4, EdgePolicy::Regenerate, 11);
+        let mut b = model(100, 4, EdgePolicy::Regenerate, 11);
+        a.advance_until(250.0);
+        b.advance_until(250.0);
+        assert_eq!(a.alive_ids(), b.alive_ids());
+        assert_eq!(Snapshot::of(a.graph()), Snapshot::of(b.graph()));
+        assert_eq!(a.jump_count(), b.jump_count());
+    }
+
+    #[test]
+    fn churn_summary_reflects_births_and_deaths() {
+        let mut m = model(100, 3, EdgePolicy::Static, 12);
+        m.warm_up();
+        let before: std::collections::HashSet<NodeId> = m.alive_ids().into_iter().collect();
+        let summary = m.advance_time_unit();
+        let after: std::collections::HashSet<NodeId> = m.alive_ids().into_iter().collect();
+        for b in &summary.births {
+            assert!(after.contains(b) && !before.contains(b));
+        }
+        for d in &summary.deaths {
+            assert!(before.contains(d) && !after.contains(d));
+        }
+        // Net change matches the summary.
+        assert_eq!(
+            after.len() as i64 - before.len() as i64,
+            summary.births.len() as i64 - summary.deaths.len() as i64
+        );
+    }
+
+    #[test]
+    fn ages_are_positive_and_bounded_by_current_time() {
+        let mut m = model(200, 3, EdgePolicy::Static, 13);
+        m.advance_until(400.0);
+        for id in m.alive_ids() {
+            let age = m.age(id).unwrap();
+            assert!(age >= 0.0 && age <= m.time());
+        }
+    }
+
+    #[test]
+    fn model_kind_reflects_edge_policy() {
+        assert_eq!(
+            model(50, 2, EdgePolicy::Static, 0).model_kind(),
+            crate::ModelKind::Pdg
+        );
+        assert_eq!(
+            model(50, 2, EdgePolicy::Regenerate, 0).model_kind(),
+            crate::ModelKind::Pdgr
+        );
+    }
+
+    #[test]
+    fn graph_invariants_hold_throughout_evolution() {
+        for policy in [EdgePolicy::Static, EdgePolicy::Regenerate] {
+            let mut m = model(60, 3, policy, 14);
+            for _ in 0..500 {
+                m.next_jump();
+            }
+            m.graph().assert_invariants();
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for graph mutation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors returned by fallible [`crate::DynamicGraph`] operations.
+///
+/// All variants carry the offending node identifier(s) so callers can produce
+/// actionable diagnostics. The type implements [`std::error::Error`], `Send`
+/// and `Sync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The node is not (or no longer) present in the graph.
+    UnknownNode(NodeId),
+    /// A node with this identifier is already present.
+    DuplicateNode(NodeId),
+    /// The requested out-slot index is outside the node's out-degree.
+    SlotOutOfRange {
+        /// Owner of the out-slots.
+        node: NodeId,
+        /// Requested slot index.
+        slot: usize,
+        /// Number of out-slots the node owns.
+        len: usize,
+    },
+    /// An out-slot may not point at its own owner.
+    SelfLoop(NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "node {id} is not in the graph"),
+            GraphError::DuplicateNode(id) => write!(f, "node {id} is already in the graph"),
+            GraphError::SlotOutOfRange { node, slot, len } => write!(
+                f,
+                "out-slot {slot} of node {node} is out of range (node has {len} slots)"
+            ),
+            GraphError::SelfLoop(id) => write!(f, "node {id} may not connect to itself"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::UnknownNode(NodeId::new(3)), "v3"),
+            (GraphError::DuplicateNode(NodeId::new(4)), "already"),
+            (
+                GraphError::SlotOutOfRange {
+                    node: NodeId::new(5),
+                    slot: 9,
+                    len: 4,
+                },
+                "out of range",
+            ),
+            (GraphError::SelfLoop(NodeId::new(6)), "itself"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().unwrap().is_lowercase() || msg.starts_with("out-slot"),
+                "error messages start lowercase: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<GraphError>();
+    }
+}

@@ -1,0 +1,720 @@
+//! The mutable dynamic graph structure driven by the churn models.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, NodeId, Result};
+
+/// Identifies one of the `d` out-going connection requests a node owns.
+///
+/// The paper distinguishes, for every node `v`, between *out-edges* (the
+/// connections `v` itself requested when it was born or when regenerating) and
+/// *in-edges* (connections requested by other nodes). An [`EdgeSlot`] names one
+/// out-edge position of one node; the pair `(owner, slot)` stays stable for the
+/// owner's entire lifetime even as the slot gets re-pointed by edge
+/// regeneration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeSlot {
+    /// Node that owns (requested) the edge.
+    pub owner: NodeId,
+    /// Index of the request in `0..out_degree(owner)`.
+    pub slot: usize,
+}
+
+/// Summary of a node removal, returned by [`DynamicGraph::remove_node`].
+///
+/// The churn models need two pieces of information when a node dies:
+///
+/// * which of the dead node's own requests were connected (for bookkeeping), and
+/// * which out-slots of *surviving* nodes just lost their target — these are the
+///   slots that the edge-regeneration rule (models SDGR and PDGR) must re-point
+///   to fresh uniform targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovedNode {
+    /// Identifier of the removed node.
+    pub id: NodeId,
+    /// Targets the removed node's own out-slots were connected to.
+    pub out_targets: Vec<NodeId>,
+    /// Out-slots of surviving nodes that pointed at the removed node and are now
+    /// empty. Sorted by `(owner, slot)` for determinism.
+    pub dangling_slots: Vec<EdgeSlot>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodeRecord {
+    /// The node's own connection requests; `None` means the slot is currently
+    /// unconnected (its target died and no regeneration happened).
+    out_slots: Vec<Option<NodeId>>,
+    /// Multiset of nodes holding at least one out-slot pointing at this node,
+    /// with multiplicities.
+    in_refs: HashMap<NodeId, u32>,
+}
+
+impl NodeRecord {
+    fn filled_out(&self) -> usize {
+        self.out_slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// A dynamic graph whose nodes own a fixed array of out-going request slots.
+///
+/// This is the topology object every model of the paper mutates:
+///
+/// * joining node `v` calls [`add_node`](Self::add_node) with out-degree `d` and
+///   then [`set_out_slot`](Self::set_out_slot) for each request,
+/// * a dying node is removed with [`remove_node`](Self::remove_node), which also
+///   reports the surviving slots left dangling,
+/// * the regeneration rule re-points dangling slots with
+///   [`set_out_slot`](Self::set_out_slot).
+///
+/// For analysis (flooding, expansion) the graph is viewed *undirected*: `u` and
+/// `v` are neighbours if any out-slot of `u` points at `v` or vice versa, exactly
+/// as in the paper ("the considered graphs are always undirected", Section 3.1).
+///
+/// # Example
+///
+/// ```
+/// use churn_graph::{DynamicGraph, NodeId};
+///
+/// # fn main() -> Result<(), churn_graph::GraphError> {
+/// let mut g = DynamicGraph::new();
+/// let (a, b) = (NodeId::new(0), NodeId::new(1));
+/// g.add_node(a, 1)?;
+/// g.add_node(b, 1)?;
+/// g.set_out_slot(a, 0, b)?;
+/// assert_eq!(g.degree(a), Some(1));
+///
+/// let removed = g.remove_node(b)?;
+/// // a's only request pointed at b, so it is dangling now:
+/// assert_eq!(removed.dangling_slots.len(), 1);
+/// assert!(g.is_isolated(a).unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    nodes: HashMap<NodeId, NodeRecord>,
+    filled_slots: usize,
+}
+
+impl DynamicGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes.
+    #[must_use]
+    pub fn with_capacity(nodes: usize) -> Self {
+        DynamicGraph {
+            nodes: HashMap::with_capacity(nodes),
+            filled_slots: 0,
+        }
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Returns `true` when `id` is alive.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Iterator over the identifiers of all alive nodes, in arbitrary order.
+    ///
+    /// Use [`Self::sorted_node_ids`] when deterministic iteration order matters.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// All alive node identifiers in increasing order.
+    #[must_use]
+    pub fn sorted_node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Total number of currently connected out-slots across all nodes.
+    ///
+    /// This counts *requests*, not distinct undirected edges: if `u` and `v`
+    /// each point a slot at the other, both slots are counted. See
+    /// [`Self::distinct_edge_count`] for the undirected count.
+    #[must_use]
+    pub fn filled_slot_count(&self) -> usize {
+        self.filled_slots
+    }
+
+    /// Number of distinct undirected edges `{u, v}`.
+    ///
+    /// Computed on demand in `O(n + m)`.
+    #[must_use]
+    pub fn distinct_edge_count(&self) -> usize {
+        let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(self.filled_slots);
+        for (&u, rec) in &self.nodes {
+            for target in rec.out_slots.iter().flatten() {
+                let (a, b) = if u <= *target { (u, *target) } else { (*target, u) };
+                seen.insert((a, b));
+            }
+        }
+        seen.len()
+    }
+
+    /// Adds a node with `out_degree` (initially unconnected) out-slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if a node with this identifier is
+    /// already alive.
+    pub fn add_node(&mut self, id: NodeId, out_degree: usize) -> Result<()> {
+        if self.nodes.contains_key(&id) {
+            return Err(GraphError::DuplicateNode(id));
+        }
+        self.nodes.insert(
+            id,
+            NodeRecord {
+                out_slots: vec![None; out_degree],
+                in_refs: HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Appends an additional (unconnected) out-slot to `id` and returns its index.
+    ///
+    /// Used by callers whose out-degree is not fixed up front (e.g. Erdős–Rényi
+    /// generation or overlay protocols that grow their target out-degree).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if `id` is not alive.
+    pub fn push_out_slot(&mut self, id: NodeId) -> Result<usize> {
+        let rec = self.nodes.get_mut(&id).ok_or(GraphError::UnknownNode(id))?;
+        rec.out_slots.push(None);
+        Ok(rec.out_slots.len() - 1)
+    }
+
+    /// Points out-slot `slot` of `owner` at `target`, returning the previous
+    /// target of that slot (if any).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if `owner` or `target` is not alive,
+    /// * [`GraphError::SlotOutOfRange`] if `slot >= out_degree(owner)`,
+    /// * [`GraphError::SelfLoop`] if `owner == target`.
+    pub fn set_out_slot(
+        &mut self,
+        owner: NodeId,
+        slot: usize,
+        target: NodeId,
+    ) -> Result<Option<NodeId>> {
+        if owner == target {
+            return Err(GraphError::SelfLoop(owner));
+        }
+        if !self.nodes.contains_key(&target) {
+            return Err(GraphError::UnknownNode(target));
+        }
+        let prev = {
+            let rec = self
+                .nodes
+                .get_mut(&owner)
+                .ok_or(GraphError::UnknownNode(owner))?;
+            let len = rec.out_slots.len();
+            if slot >= len {
+                return Err(GraphError::SlotOutOfRange {
+                    node: owner,
+                    slot,
+                    len,
+                });
+            }
+            rec.out_slots[slot].replace(target)
+        };
+        if let Some(prev_target) = prev {
+            if prev_target != target {
+                self.dec_in_ref(prev_target, owner);
+                self.inc_in_ref(target, owner);
+            }
+            // filled count unchanged: slot was already occupied
+        } else {
+            self.inc_in_ref(target, owner);
+            self.filled_slots += 1;
+        }
+        Ok(prev)
+    }
+
+    /// Clears out-slot `slot` of `owner`, returning the target it pointed at.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] if `owner` is not alive,
+    /// * [`GraphError::SlotOutOfRange`] if `slot >= out_degree(owner)`.
+    pub fn clear_out_slot(&mut self, owner: NodeId, slot: usize) -> Result<Option<NodeId>> {
+        let prev = {
+            let rec = self
+                .nodes
+                .get_mut(&owner)
+                .ok_or(GraphError::UnknownNode(owner))?;
+            let len = rec.out_slots.len();
+            if slot >= len {
+                return Err(GraphError::SlotOutOfRange {
+                    node: owner,
+                    slot,
+                    len,
+                });
+            }
+            rec.out_slots[slot].take()
+        };
+        if let Some(prev_target) = prev {
+            self.dec_in_ref(prev_target, owner);
+            self.filled_slots -= 1;
+        }
+        Ok(prev)
+    }
+
+    /// Removes `id` and every edge incident to it.
+    ///
+    /// Returns a [`RemovedNode`] describing both the dead node's own requests and
+    /// the out-slots of surviving nodes that were pointing at it (now cleared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownNode`] if `id` is not alive.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<RemovedNode> {
+        let record = self.nodes.remove(&id).ok_or(GraphError::UnknownNode(id))?;
+
+        let mut out_targets = Vec::with_capacity(record.filled_out());
+        for target in record.out_slots.iter().flatten() {
+            out_targets.push(*target);
+            self.filled_slots -= 1;
+            if let Some(rec) = self.nodes.get_mut(target) {
+                Self::dec_in_ref_map(&mut rec.in_refs, id);
+            }
+        }
+
+        let mut dangling = Vec::new();
+        let mut owners: Vec<NodeId> = record.in_refs.keys().copied().collect();
+        owners.sort_unstable();
+        for owner in owners {
+            if owner == id {
+                continue;
+            }
+            if let Some(rec) = self.nodes.get_mut(&owner) {
+                for (slot, s) in rec.out_slots.iter_mut().enumerate() {
+                    if *s == Some(id) {
+                        *s = None;
+                        self.filled_slots -= 1;
+                        dangling.push(EdgeSlot { owner, slot });
+                    }
+                }
+            }
+        }
+        dangling.sort_unstable();
+
+        Ok(RemovedNode {
+            id,
+            out_targets,
+            dangling_slots: dangling,
+        })
+    }
+
+    /// The out-slots of `id`, or `None` if `id` is not alive.
+    #[must_use]
+    pub fn out_slots(&self, id: NodeId) -> Option<&[Option<NodeId>]> {
+        self.nodes.get(&id).map(|r| r.out_slots.as_slice())
+    }
+
+    /// Number of out-slots `id` owns (connected or not).
+    #[must_use]
+    pub fn out_slot_count(&self, id: NodeId) -> Option<usize> {
+        self.nodes.get(&id).map(|r| r.out_slots.len())
+    }
+
+    /// Number of currently connected out-slots of `id`.
+    #[must_use]
+    pub fn out_degree(&self, id: NodeId) -> Option<usize> {
+        self.nodes.get(&id).map(NodeRecord::filled_out)
+    }
+
+    /// Indices of the currently unconnected out-slots of `id`.
+    #[must_use]
+    pub fn empty_out_slots(&self, id: NodeId) -> Option<Vec<usize>> {
+        self.nodes.get(&id).map(|r| {
+            r.out_slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_none().then_some(i))
+                .collect()
+        })
+    }
+
+    /// Distinct nodes that hold at least one out-slot pointing at `id`.
+    #[must_use]
+    pub fn in_neighbors(&self, id: NodeId) -> Option<Vec<NodeId>> {
+        self.nodes.get(&id).map(|r| {
+            let mut v: Vec<NodeId> = r.in_refs.keys().copied().collect();
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// Total number of out-slots (of other nodes) pointing at `id`, with
+    /// multiplicity. This is the "in-degree" in the sense of requests received.
+    #[must_use]
+    pub fn in_request_count(&self, id: NodeId) -> Option<usize> {
+        self.nodes
+            .get(&id)
+            .map(|r| r.in_refs.values().map(|&c| c as usize).sum())
+    }
+
+    /// Distinct undirected neighbours of `id` (union of out-targets and
+    /// in-referencing nodes), sorted.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> Option<Vec<NodeId>> {
+        let rec = self.nodes.get(&id)?;
+        let mut set: BTreeMap<NodeId, ()> = BTreeMap::new();
+        for t in rec.out_slots.iter().flatten() {
+            set.insert(*t, ());
+        }
+        for t in rec.in_refs.keys() {
+            set.insert(*t, ());
+        }
+        Some(set.into_keys().collect())
+    }
+
+    /// Number of distinct undirected neighbours of `id`.
+    #[must_use]
+    pub fn degree(&self, id: NodeId) -> Option<usize> {
+        self.neighbors(id).map(|n| n.len())
+    }
+
+    /// Returns `true` when `id` currently has no incident edges at all (its own
+    /// requests are all dangling and no other node points at it). This is the
+    /// notion of *isolated node* of Lemmas 3.5 and 4.10 of the paper.
+    ///
+    /// Returns `None` if `id` is not alive.
+    #[must_use]
+    pub fn is_isolated(&self, id: NodeId) -> Option<bool> {
+        let rec = self.nodes.get(&id)?;
+        Some(rec.filled_out() == 0 && rec.in_refs.is_empty())
+    }
+
+    /// Returns `true` when `u` and `v` are adjacent (in either direction).
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let Some(ru) = self.nodes.get(&u) else {
+            return false;
+        };
+        if ru.out_slots.iter().flatten().any(|&t| t == v) {
+            return true;
+        }
+        ru.in_refs.contains_key(&v)
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// Checks that the in-reference multiset of every node exactly mirrors the
+    /// out-slots pointing at it, that no slot points at a dead node, that no
+    /// self-loops exist, and that the filled-slot counter is accurate.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when an invariant is violated.
+    pub fn assert_invariants(&self) {
+        let mut expected_in: HashMap<NodeId, HashMap<NodeId, u32>> = HashMap::new();
+        let mut filled = 0usize;
+        for (&u, rec) in &self.nodes {
+            for target in rec.out_slots.iter().flatten() {
+                assert!(
+                    self.nodes.contains_key(target),
+                    "out-slot of {u} points at dead node {target}"
+                );
+                assert_ne!(u, *target, "self-loop at {u}");
+                filled += 1;
+                *expected_in.entry(*target).or_default().entry(u).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(
+            filled, self.filled_slots,
+            "filled-slot counter out of sync (actual {filled}, cached {})",
+            self.filled_slots
+        );
+        for (&v, rec) in &self.nodes {
+            let expected = expected_in.remove(&v).unwrap_or_default();
+            assert_eq!(
+                rec.in_refs, expected,
+                "in-reference multiset of {v} is inconsistent"
+            );
+        }
+        assert!(
+            expected_in.is_empty(),
+            "in-references recorded for dead nodes: {expected_in:?}"
+        );
+    }
+
+    fn inc_in_ref(&mut self, target: NodeId, owner: NodeId) {
+        if let Some(rec) = self.nodes.get_mut(&target) {
+            *rec.in_refs.entry(owner).or_insert(0) += 1;
+        }
+    }
+
+    fn dec_in_ref(&mut self, target: NodeId, owner: NodeId) {
+        if let Some(rec) = self.nodes.get_mut(&target) {
+            Self::dec_in_ref_map(&mut rec.in_refs, owner);
+        }
+    }
+
+    fn dec_in_ref_map(map: &mut HashMap<NodeId, u32>, owner: NodeId) {
+        if let Some(count) = map.get_mut(&owner) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&owner);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn triangle() -> DynamicGraph {
+        // a -> b, b -> c, c -> a
+        let mut g = DynamicGraph::new();
+        for raw in 0..3 {
+            g.add_node(id(raw), 1).unwrap();
+        }
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+        g.set_out_slot(id(1), 0, id(2)).unwrap();
+        g.set_out_slot(id(2), 0, id(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph_has_no_nodes_or_edges() {
+        let g = DynamicGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.filled_slot_count(), 0);
+        assert_eq!(g.distinct_edge_count(), 0);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn add_node_rejects_duplicates() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(1), 3).unwrap();
+        assert_eq!(g.add_node(id(1), 3), Err(GraphError::DuplicateNode(id(1))));
+    }
+
+    #[test]
+    fn set_out_slot_connects_and_reports_previous_target() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..3 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        assert_eq!(g.set_out_slot(id(0), 0, id(1)).unwrap(), None);
+        assert_eq!(g.set_out_slot(id(0), 0, id(2)).unwrap(), Some(id(1)));
+        assert_eq!(g.degree(id(1)), Some(0));
+        assert_eq!(g.degree(id(2)), Some(1));
+        assert_eq!(g.filled_slot_count(), 1);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn set_out_slot_same_target_is_idempotent() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 1).unwrap();
+        g.add_node(id(1), 1).unwrap();
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+        assert_eq!(g.set_out_slot(id(0), 0, id(1)).unwrap(), Some(id(1)));
+        assert_eq!(g.filled_slot_count(), 1);
+        assert_eq!(g.in_request_count(id(1)), Some(1));
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn set_out_slot_validates_arguments() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 1).unwrap();
+        g.add_node(id(1), 1).unwrap();
+        assert_eq!(
+            g.set_out_slot(id(0), 0, id(0)),
+            Err(GraphError::SelfLoop(id(0)))
+        );
+        assert_eq!(
+            g.set_out_slot(id(0), 5, id(1)),
+            Err(GraphError::SlotOutOfRange {
+                node: id(0),
+                slot: 5,
+                len: 1
+            })
+        );
+        assert_eq!(
+            g.set_out_slot(id(0), 0, id(9)),
+            Err(GraphError::UnknownNode(id(9)))
+        );
+        assert_eq!(
+            g.set_out_slot(id(9), 0, id(1)),
+            Err(GraphError::UnknownNode(id(9)))
+        );
+    }
+
+    #[test]
+    fn clear_out_slot_disconnects() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 1).unwrap();
+        g.add_node(id(1), 1).unwrap();
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+        assert_eq!(g.clear_out_slot(id(0), 0).unwrap(), Some(id(1)));
+        assert_eq!(g.clear_out_slot(id(0), 0).unwrap(), None);
+        assert!(g.is_isolated(id(1)).unwrap());
+        assert_eq!(g.filled_slot_count(), 0);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn neighbors_union_out_and_in_edges() {
+        let g = triangle();
+        // Every node has one out-target and one in-reference, distinct.
+        for raw in 0..3 {
+            assert_eq!(g.degree(id(raw)), Some(2));
+            assert_eq!(g.out_degree(id(raw)), Some(1));
+        }
+        assert_eq!(g.distinct_edge_count(), 3);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle();
+        assert!(g.has_edge(id(0), id(1)));
+        assert!(g.has_edge(id(1), id(0)));
+        assert!(!g.has_edge(id(0), id(99)));
+    }
+
+    #[test]
+    fn remove_node_reports_dangling_slots() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..4 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        // 1, 2, 3 all point at 0; 0 points at 1.
+        g.set_out_slot(id(1), 0, id(0)).unwrap();
+        g.set_out_slot(id(2), 1, id(0)).unwrap();
+        g.set_out_slot(id(3), 0, id(0)).unwrap();
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+
+        let removed = g.remove_node(id(0)).unwrap();
+        assert_eq!(removed.id, id(0));
+        assert_eq!(removed.out_targets, vec![id(1)]);
+        assert_eq!(
+            removed.dangling_slots,
+            vec![
+                EdgeSlot {
+                    owner: id(1),
+                    slot: 0
+                },
+                EdgeSlot {
+                    owner: id(2),
+                    slot: 1
+                },
+                EdgeSlot {
+                    owner: id(3),
+                    slot: 0
+                },
+            ]
+        );
+        assert!(!g.contains(id(0)));
+        assert_eq!(g.filled_slot_count(), 0);
+        for raw in 1..4 {
+            assert!(g.is_isolated(id(raw)).unwrap());
+        }
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn remove_unknown_node_errors() {
+        let mut g = DynamicGraph::new();
+        assert_eq!(g.remove_node(id(0)), Err(GraphError::UnknownNode(id(0))));
+    }
+
+    #[test]
+    fn multiple_slots_to_same_target_tracked_with_multiplicity() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 3).unwrap();
+        g.add_node(id(1), 3).unwrap();
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+        g.set_out_slot(id(0), 1, id(1)).unwrap();
+        assert_eq!(g.in_request_count(id(1)), Some(2));
+        assert_eq!(g.degree(id(1)), Some(1));
+        g.clear_out_slot(id(0), 0).unwrap();
+        assert_eq!(g.in_request_count(id(1)), Some(1));
+        assert!(!g.is_isolated(id(1)).unwrap());
+        g.clear_out_slot(id(0), 1).unwrap();
+        assert!(g.is_isolated(id(1)).unwrap());
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn push_out_slot_grows_out_degree() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 0).unwrap();
+        g.add_node(id(1), 0).unwrap();
+        let s = g.push_out_slot(id(0)).unwrap();
+        assert_eq!(s, 0);
+        g.set_out_slot(id(0), s, id(1)).unwrap();
+        assert_eq!(g.out_slot_count(id(0)), Some(1));
+        assert_eq!(g.degree(id(1)), Some(1));
+        assert_eq!(g.push_out_slot(id(9)), Err(GraphError::UnknownNode(id(9))));
+    }
+
+    #[test]
+    fn empty_out_slots_lists_dangling_requests() {
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 3).unwrap();
+        g.add_node(id(1), 3).unwrap();
+        g.set_out_slot(id(0), 1, id(1)).unwrap();
+        assert_eq!(g.empty_out_slots(id(0)), Some(vec![0, 2]));
+        assert_eq!(g.empty_out_slots(id(7)), None);
+    }
+
+    #[test]
+    fn isolated_after_neighbor_death_without_regeneration() {
+        // The scenario behind Lemma 3.5: a node whose only connections die.
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 2).unwrap();
+        g.add_node(id(1), 2).unwrap();
+        g.add_node(id(2), 2).unwrap();
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+        g.set_out_slot(id(0), 1, id(2)).unwrap();
+        assert!(!g.is_isolated(id(0)).unwrap());
+        g.remove_node(id(1)).unwrap();
+        g.remove_node(id(2)).unwrap();
+        assert!(g.is_isolated(id(0)).unwrap());
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn sorted_node_ids_are_sorted() {
+        let mut g = DynamicGraph::new();
+        for raw in [5u64, 1, 9, 3] {
+            g.add_node(id(raw), 0).unwrap();
+        }
+        assert_eq!(g.sorted_node_ids(), vec![id(1), id(3), id(5), id(9)]);
+    }
+}

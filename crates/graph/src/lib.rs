@@ -1,0 +1,70 @@
+//! # churn-graph
+//!
+//! Dynamic graph substrate for the reproduction of *"Expansion and Flooding in
+//! Dynamic Random Networks with Node Churn"* (Becchetti, Clementi, Pasquale,
+//! Trevisan, Ziccardi — ICDCS 2021).
+//!
+//! The paper's four dynamic network models (SDG, SDGR, PDG, PDGR) all mutate the
+//! same kind of topology: every node owns a fixed number of *out-slots* (the `d`
+//! random connection requests it opens), edges are undirected for the purposes of
+//! information diffusion, and an edge disappears as soon as either endpoint dies.
+//! This crate provides that topology as a reusable data structure, together with
+//! the analysis machinery the paper's statements are about:
+//!
+//! * [`DynamicGraph`] — the mutable out-slot/in-reference adjacency structure with
+//!   O(1) amortised join / leave / rewire operations,
+//! * [`Snapshot`] — an immutable, CSR-style view of a graph at one instant,
+//! * [`traversal`] — BFS layers, connected components, diameter bounds,
+//! * [`expansion`] — outer boundaries, vertex expansion (exact for small graphs,
+//!   candidate-set estimation for large ones), isolated node census,
+//! * [`generators`] — static baselines such as the `d`-out random graph of the
+//!   paper's Lemma B.1 and Erdős–Rényi graphs,
+//! * [`metrics`] — degree statistics and histograms.
+//!
+//! Nothing in this crate knows about churn distributions or time; that lives in
+//! `churn-core`, which drives a [`DynamicGraph`] according to the paper's models.
+//!
+//! ## Example
+//!
+//! ```
+//! use churn_graph::{DynamicGraph, NodeId, Snapshot};
+//!
+//! # fn main() -> Result<(), churn_graph::GraphError> {
+//! let mut g = DynamicGraph::new();
+//! let a = NodeId::new(0);
+//! let b = NodeId::new(1);
+//! let c = NodeId::new(2);
+//! g.add_node(a, 2)?;
+//! g.add_node(b, 2)?;
+//! g.add_node(c, 2)?;
+//! g.set_out_slot(a, 0, b)?;
+//! g.set_out_slot(b, 0, c)?;
+//!
+//! let snap = Snapshot::of(&g);
+//! assert_eq!(snap.len(), 3);
+//! assert_eq!(snap.degree(b), Some(2)); // adjacent to both a and c
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod graph;
+mod node;
+mod snapshot;
+
+pub mod expansion;
+pub mod generators;
+pub mod metrics;
+pub mod traversal;
+
+pub use error::GraphError;
+pub use graph::{DynamicGraph, EdgeSlot, RemovedNode};
+pub use node::{NodeId, NodeIdAllocator};
+pub use snapshot::Snapshot;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;

@@ -1,0 +1,328 @@
+//! Immutable, compact snapshots of a [`DynamicGraph`].
+
+use std::collections::HashMap;
+
+use crate::{DynamicGraph, NodeId};
+
+/// An immutable view of a dynamic graph at one instant, stored in CSR
+/// (compressed sparse row) layout with deduplicated undirected adjacency.
+///
+/// A snapshot is what the paper calls `G_t`: the graph observed at a specific
+/// round/time. All analysis routines ([`crate::traversal`], [`crate::expansion`],
+/// [`crate::metrics`]) operate on snapshots because they need stable integer
+/// indices `0..n` rather than sparse [`NodeId`]s.
+///
+/// Node identifiers are sorted increasingly, so index order is deterministic for
+/// a given node set regardless of hash-map iteration order.
+///
+/// # Example
+///
+/// ```
+/// use churn_graph::{DynamicGraph, NodeId, Snapshot};
+///
+/// # fn main() -> Result<(), churn_graph::GraphError> {
+/// let mut g = DynamicGraph::new();
+/// for raw in 0..3 {
+///     g.add_node(NodeId::new(raw), 1)?;
+/// }
+/// g.set_out_slot(NodeId::new(0), 0, NodeId::new(1))?;
+/// let snap = Snapshot::of(&g);
+/// assert_eq!(snap.len(), 3);
+/// assert_eq!(snap.edge_count(), 1);
+/// assert_eq!(snap.neighbors_of(0), &[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    offsets: Vec<usize>,
+    adjacency: Vec<usize>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot of the current state of `graph`.
+    #[must_use]
+    pub fn of(graph: &DynamicGraph) -> Self {
+        let ids = graph.sorted_node_ids();
+        let index: HashMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+
+        let mut neighbor_lists: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+        for (i, &id) in ids.iter().enumerate() {
+            let neighbors = graph
+                .neighbors(id)
+                .expect("node listed by sorted_node_ids must be alive");
+            let list = &mut neighbor_lists[i];
+            list.reserve(neighbors.len());
+            for n in neighbors {
+                list.push(index[&n]);
+            }
+            // `DynamicGraph::neighbors` returns sorted NodeIds and ids are sorted,
+            // so indices are already sorted and deduplicated.
+        }
+
+        let mut offsets = Vec::with_capacity(ids.len() + 1);
+        let mut adjacency = Vec::new();
+        offsets.push(0);
+        for list in &neighbor_lists {
+            adjacency.extend_from_slice(list);
+            offsets.push(adjacency.len());
+        }
+
+        Snapshot {
+            ids,
+            index,
+            offsets,
+            adjacency,
+        }
+    }
+
+    /// Builds a snapshot directly from an explicit undirected edge list over
+    /// `0..n` indices. Mostly useful in tests and for static baselines.
+    ///
+    /// Duplicate edges and self-loops are ignored.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let ids: Vec<NodeId> = (0..n as u64).map(NodeId::new).collect();
+        let index: HashMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            if u == v || u >= n || v >= n {
+                continue;
+            }
+            lists[u].push(v);
+            lists[v].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adjacency = Vec::new();
+        offsets.push(0);
+        for list in &mut lists {
+            list.sort_unstable();
+            list.dedup();
+            adjacency.extend_from_slice(list);
+            offsets.push(adjacency.len());
+        }
+        Snapshot {
+            ids,
+            index,
+            offsets,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` when the snapshot has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of distinct undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// The node identifier at compact index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn id_of(&self, i: usize) -> NodeId {
+        self.ids[i]
+    }
+
+    /// All node identifiers, in increasing order (index order).
+    #[must_use]
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// The compact index of `id`, or `None` if `id` is not in the snapshot.
+    #[must_use]
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Returns `true` when `id` is part of the snapshot.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Neighbour indices of the node at index `i` (sorted, deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn neighbors_of(&self, i: usize) -> &[usize] {
+        &self.adjacency[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Neighbour identifiers of node `id`, or `None` if `id` is not present.
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> Option<Vec<NodeId>> {
+        let i = self.index_of(id)?;
+        Some(self.neighbors_of(i).iter().map(|&j| self.ids[j]).collect())
+    }
+
+    /// Degree (number of distinct neighbours) of the node at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn degree_of(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Degree of node `id`, or `None` if `id` is not present.
+    #[must_use]
+    pub fn degree(&self, id: NodeId) -> Option<usize> {
+        self.index_of(id).map(|i| self.degree_of(i))
+    }
+
+    /// Returns `true` when nodes at indices `i` and `j` are adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn adjacent(&self, i: usize, j: usize) -> bool {
+        self.neighbors_of(i).binary_search(&j).is_ok()
+    }
+
+    /// Iterator over all undirected edges as index pairs `(i, j)` with `i < j`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.len()).flat_map(move |i| {
+            self.neighbors_of(i)
+                .iter()
+                .copied()
+                .filter(move |&j| i < j)
+                .map(move |j| (i, j))
+        })
+    }
+
+    /// Indices of nodes with no neighbours (isolated in this snapshot).
+    #[must_use]
+    pub fn isolated_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.degree_of(i) == 0).collect()
+    }
+
+    /// Sum of all degrees (twice the edge count).
+    #[must_use]
+    pub fn total_degree(&self) -> usize {
+        self.adjacency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphError;
+
+    fn id(raw: u64) -> NodeId {
+        NodeId::new(raw)
+    }
+
+    fn path_graph(n: u64) -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for raw in 0..n {
+            g.add_node(id(raw), 1).unwrap();
+        }
+        for raw in 0..n - 1 {
+            g.set_out_slot(id(raw), 0, id(raw + 1)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn snapshot_of_empty_graph() {
+        let snap = Snapshot::of(&DynamicGraph::new());
+        assert!(snap.is_empty());
+        assert_eq!(snap.edge_count(), 0);
+        assert!(snap.isolated_indices().is_empty());
+    }
+
+    #[test]
+    fn snapshot_indices_follow_sorted_ids() {
+        let mut g = DynamicGraph::new();
+        for raw in [7u64, 2, 5] {
+            g.add_node(id(raw), 0).unwrap();
+        }
+        let snap = Snapshot::of(&g);
+        assert_eq!(snap.ids(), &[id(2), id(5), id(7)]);
+        assert_eq!(snap.index_of(id(5)), Some(1));
+        assert_eq!(snap.id_of(2), id(7));
+        assert_eq!(snap.index_of(id(99)), None);
+    }
+
+    #[test]
+    fn snapshot_adjacency_is_undirected_and_deduplicated() -> Result<(), GraphError> {
+        let mut g = DynamicGraph::new();
+        for raw in 0..3 {
+            g.add_node(id(raw), 2)?;
+        }
+        // Two parallel requests 0 -> 1 and one back-request 1 -> 0 collapse to a
+        // single undirected edge {0, 1}.
+        g.set_out_slot(id(0), 0, id(1))?;
+        g.set_out_slot(id(0), 1, id(1))?;
+        g.set_out_slot(id(1), 0, id(0))?;
+        g.set_out_slot(id(2), 0, id(1))?;
+        let snap = Snapshot::of(&g);
+        assert_eq!(snap.edge_count(), 2);
+        assert_eq!(snap.neighbors_of(0), &[1]);
+        assert_eq!(snap.neighbors_of(1), &[0, 2]);
+        assert!(snap.adjacent(0, 1));
+        assert!(snap.adjacent(1, 0));
+        assert!(!snap.adjacent(0, 2));
+        Ok(())
+    }
+
+    #[test]
+    fn path_snapshot_degrees_and_edges() {
+        let snap = Snapshot::of(&path_graph(5));
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.edge_count(), 4);
+        assert_eq!(snap.degree_of(0), 1);
+        assert_eq!(snap.degree_of(2), 2);
+        assert_eq!(snap.total_degree(), 8);
+        let edges: Vec<(usize, usize)> = snap.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn neighbors_by_id_translate_indices() {
+        let snap = Snapshot::of(&path_graph(3));
+        assert_eq!(snap.neighbors(id(1)), Some(vec![id(0), id(2)]));
+        assert_eq!(snap.neighbors(id(42)), None);
+        assert_eq!(snap.degree(id(0)), Some(1));
+    }
+
+    #[test]
+    fn isolated_indices_found() {
+        let mut g = path_graph(3);
+        g.add_node(id(10), 0).unwrap();
+        let snap = Snapshot::of(&g);
+        assert_eq!(snap.isolated_indices(), vec![3]);
+    }
+
+    #[test]
+    fn from_edges_ignores_self_loops_and_duplicates() {
+        let snap = Snapshot::from_edges(4, &[(0, 1), (1, 0), (2, 2), (1, 3), (9, 1)]);
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap.edge_count(), 2);
+        assert_eq!(snap.neighbors_of(1), &[0, 3]);
+        assert_eq!(snap.degree_of(2), 0);
+    }
+}

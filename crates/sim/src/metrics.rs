@@ -1,0 +1,175 @@
+//! Aggregation of trial results into summary statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use churn_stochastic::OnlineStats;
+
+use crate::{ParamPoint, TrialResult};
+
+/// Summary statistics of a set of trial values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Number of values aggregated.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Half-width of the 95% normal-approximation confidence interval.
+    pub ci95_half_width: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a slice of values. An empty slice yields a zeroed aggregate
+    /// with `count == 0`.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Aggregate {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                std_error: 0.0,
+                ci95_half_width: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let stats: OnlineStats = values.iter().copied().collect();
+        let std_error = stats.std_error();
+        Aggregate {
+            count: stats.count(),
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            std_error,
+            ci95_half_width: 1.96 * std_error,
+            min: stats.min(),
+            max: stats.max(),
+        }
+    }
+
+    /// Renders the mean with its 95% confidence interval, e.g. `12.3 ± 0.4`.
+    #[must_use]
+    pub fn display_with_ci(&self, decimals: usize) -> String {
+        format!(
+            "{:.decimals$} ± {:.decimals$}",
+            self.mean,
+            self.ci95_half_width,
+            decimals = decimals
+        )
+    }
+}
+
+/// Groups trial results by their grid point and aggregates a per-trial metric.
+///
+/// The `metric` closure extracts the value to aggregate from each trial result.
+/// Returns a map ordered by `(model, n, d)` in the sweep's natural ordering.
+pub fn aggregate_by_point<T, F>(
+    results: &[TrialResult<T>],
+    metric: F,
+) -> BTreeMap<PointKey, Aggregate>
+where
+    F: Fn(&TrialResult<T>) -> f64,
+{
+    let mut grouped: BTreeMap<PointKey, Vec<f64>> = BTreeMap::new();
+    for result in results {
+        grouped
+            .entry(PointKey::from(result.point))
+            .or_default()
+            .push(metric(result));
+    }
+    grouped
+        .into_iter()
+        .map(|(key, values)| (key, Aggregate::from_values(&values)))
+        .collect()
+}
+
+/// Orderable key for a [`ParamPoint`] (model label, then `n`, then `d`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PointKey {
+    /// Model acronym.
+    pub model: String,
+    /// Expected network size.
+    pub n: usize,
+    /// Degree parameter.
+    pub d: usize,
+}
+
+impl From<ParamPoint> for PointKey {
+    fn from(point: ParamPoint) -> Self {
+        PointKey {
+            model: point.model.label().to_string(),
+            n: point.n,
+            d: point.d,
+        }
+    }
+}
+
+impl std::fmt::Display for PointKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} n={} d={}", self.model, self.n, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churn_core::ModelKind;
+
+    #[test]
+    fn aggregate_of_known_values() {
+        let agg = Aggregate::from_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(agg.count, 8);
+        assert!((agg.mean - 5.0).abs() < 1e-12);
+        assert!((agg.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(agg.min, 2.0);
+        assert_eq!(agg.max, 9.0);
+        assert!(agg.ci95_half_width > 0.0);
+        let shown = agg.display_with_ci(2);
+        assert!(shown.starts_with("5.00 ±"));
+    }
+
+    #[test]
+    fn aggregate_of_empty_slice_is_zeroed() {
+        let agg = Aggregate::from_values(&[]);
+        assert_eq!(agg.count, 0);
+        assert_eq!(agg.mean, 0.0);
+        assert_eq!(agg.display_with_ci(1), "0.0 ± 0.0");
+    }
+
+    #[test]
+    fn grouping_by_point_aggregates_separately() {
+        let p1 = ParamPoint {
+            model: ModelKind::Sdg,
+            n: 10,
+            d: 2,
+        };
+        let p2 = ParamPoint {
+            model: ModelKind::Sdg,
+            n: 20,
+            d: 2,
+        };
+        let results = vec![
+            TrialResult { point: p1, trial: 0, seed: 0, value: 1.0 },
+            TrialResult { point: p1, trial: 1, seed: 1, value: 3.0 },
+            TrialResult { point: p2, trial: 0, seed: 2, value: 10.0 },
+        ];
+        let grouped = aggregate_by_point(&results, |r| r.value);
+        assert_eq!(grouped.len(), 2);
+        let k1 = PointKey::from(p1);
+        let k2 = PointKey::from(p2);
+        assert!((grouped[&k1].mean - 2.0).abs() < 1e-12);
+        assert_eq!(grouped[&k1].count, 2);
+        assert!((grouped[&k2].mean - 10.0).abs() < 1e-12);
+        assert!(k1 < k2, "ordering is by n for the same model and d");
+        assert_eq!(k1.to_string(), "SDG n=10 d=2");
+    }
+}

@@ -1,0 +1,269 @@
+//! Parameter points and sweep definitions.
+
+use serde::{Deserialize, Serialize};
+
+use churn_core::{AnyModel, ModelKind, Result};
+use churn_stochastic::rng::derive_seed;
+
+/// One point of a parameter grid: a model kind, an expected network size and a
+/// degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamPoint {
+    /// Which of the paper's four models.
+    pub model: ModelKind,
+    /// Expected network size `n`.
+    pub n: usize,
+    /// Out-degree parameter `d`.
+    pub d: usize,
+}
+
+impl ParamPoint {
+    /// Builds the model this point describes, with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn build(&self, seed: u64) -> Result<AnyModel> {
+        self.model.build(self.n, self.d, seed)
+    }
+
+    /// A short human-readable label, e.g. `SDGR n=1024 d=8`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} n={} d={}", self.model, self.n, self.d)
+    }
+}
+
+impl std::fmt::Display for ParamPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A full experiment grid: the cartesian product of models × sizes × degrees,
+/// each run for a number of independent trials with deterministically derived
+/// seeds.
+///
+/// ```
+/// use churn_core::ModelKind;
+/// use churn_sim::Sweep;
+///
+/// let sweep = Sweep::new("demo")
+///     .models([ModelKind::Sdg, ModelKind::Sdgr])
+///     .sizes([256, 512])
+///     .degrees([4, 8])
+///     .trials(5);
+/// assert_eq!(sweep.points().len(), 8);
+/// assert_eq!(sweep.total_trials(), 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sweep {
+    name: String,
+    models: Vec<ModelKind>,
+    sizes: Vec<usize>,
+    degrees: Vec<usize>,
+    trials: usize,
+    base_seed: u64,
+}
+
+impl Sweep {
+    /// Creates an empty sweep with the given name, one trial and base seed 0.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            models: Vec::new(),
+            sizes: Vec::new(),
+            degrees: Vec::new(),
+            trials: 1,
+            base_seed: 0,
+        }
+    }
+
+    /// Sets the model kinds to iterate over.
+    #[must_use]
+    pub fn models(mut self, models: impl IntoIterator<Item = ModelKind>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+
+    /// Sets the network sizes to iterate over.
+    #[must_use]
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Sets the degrees to iterate over.
+    #[must_use]
+    pub fn degrees(mut self, degrees: impl IntoIterator<Item = usize>) -> Self {
+        self.degrees = degrees.into_iter().collect();
+        self
+    }
+
+    /// Sets the number of independent trials per grid point (at least 1).
+    #[must_use]
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Sets the base seed all trial seeds are derived from.
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The sweep's name (used in reports and stored records).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of trials per point.
+    #[must_use]
+    pub fn trials_per_point(&self) -> usize {
+        self.trials
+    }
+
+    /// The base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The grid points, in deterministic order (model-major, then size, then
+    /// degree).
+    #[must_use]
+    pub fn points(&self) -> Vec<ParamPoint> {
+        let mut points = Vec::new();
+        for &model in &self.models {
+            for &n in &self.sizes {
+                for &d in &self.degrees {
+                    points.push(ParamPoint { model, n, d });
+                }
+            }
+        }
+        points
+    }
+
+    /// Total number of trials across the whole grid.
+    #[must_use]
+    pub fn total_trials(&self) -> usize {
+        self.points().len() * self.trials
+    }
+
+    /// The deterministic seed of a specific `(point, trial)` pair.
+    ///
+    /// Seeds depend on the point's *values* (not its position), so adding a new
+    /// size to the sweep does not change the seeds of existing points.
+    #[must_use]
+    pub fn trial_seed(&self, point: &ParamPoint, trial: usize) -> u64 {
+        let point_tag = derive_seed(
+            derive_seed(point.n as u64, point.d as u64),
+            match point.model {
+                ModelKind::Sdg => 1,
+                ModelKind::Sdgr => 2,
+                ModelKind::Pdg => 3,
+                ModelKind::Pdgr => 4,
+            },
+        );
+        derive_seed(self.base_seed ^ point_tag, trial as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn sweep() -> Sweep {
+        Sweep::new("test")
+            .models([ModelKind::Sdg, ModelKind::Pdgr])
+            .sizes([64, 128])
+            .degrees([2, 4, 8])
+            .trials(3)
+            .base_seed(11)
+    }
+
+    #[test]
+    fn points_are_the_cartesian_product_in_order() {
+        let s = sweep();
+        let points = s.points();
+        assert_eq!(points.len(), 2 * 2 * 3);
+        assert_eq!(
+            points[0],
+            ParamPoint {
+                model: ModelKind::Sdg,
+                n: 64,
+                d: 2
+            }
+        );
+        assert_eq!(
+            points.last().unwrap(),
+            &ParamPoint {
+                model: ModelKind::Pdgr,
+                n: 128,
+                d: 8
+            }
+        );
+        assert_eq!(s.total_trials(), 36);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let s = sweep();
+        let mut seeds = HashSet::new();
+        for point in s.points() {
+            for trial in 0..s.trials_per_point() {
+                seeds.insert(s.trial_seed(&point, trial));
+            }
+        }
+        assert_eq!(seeds.len(), 36, "all (point, trial) seeds are distinct");
+        // Stability: the same point yields the same seed regardless of which
+        // other points are in the sweep.
+        let bigger = sweep().sizes([64, 128, 256]);
+        let p = ParamPoint {
+            model: ModelKind::Sdg,
+            n: 64,
+            d: 2,
+        };
+        assert_eq!(s.trial_seed(&p, 1), bigger.trial_seed(&p, 1));
+    }
+
+    #[test]
+    fn different_base_seeds_give_different_trial_seeds() {
+        let a = sweep();
+        let b = sweep().base_seed(12);
+        let p = a.points()[0];
+        assert_ne!(a.trial_seed(&p, 0), b.trial_seed(&p, 0));
+    }
+
+    #[test]
+    fn point_builds_matching_model() {
+        let p = ParamPoint {
+            model: ModelKind::Sdgr,
+            n: 32,
+            d: 3,
+        };
+        let model = p.build(5).unwrap();
+        assert_eq!(model.kind(), ModelKind::Sdgr);
+        assert_eq!(p.label(), "SDGR n=32 d=3");
+        assert_eq!(p.to_string(), p.label());
+    }
+
+    #[test]
+    fn trials_is_at_least_one() {
+        let s = Sweep::new("x").trials(0);
+        assert_eq!(s.trials_per_point(), 1);
+        assert_eq!(s.name(), "x");
+        assert_eq!(s.seed(), 0);
+    }
+
+    #[test]
+    fn empty_sweep_has_no_points() {
+        assert!(Sweep::new("empty").points().is_empty());
+        assert_eq!(Sweep::new("empty").total_trials(), 0);
+    }
+}

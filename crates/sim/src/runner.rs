@@ -1,0 +1,212 @@
+//! Parallel, seeded execution of sweeps.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ParamPoint, Sweep};
+
+/// Everything a trial function needs to know about the trial it is running.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialContext {
+    /// The grid point.
+    pub point: ParamPoint,
+    /// Trial index within the point (`0..trials`).
+    pub trial: usize,
+    /// The deterministic seed for this `(point, trial)` pair.
+    pub seed: u64,
+}
+
+/// The outcome of one trial: its context plus whatever the trial function
+/// returned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialResult<T> {
+    /// The grid point the trial belongs to.
+    pub point: ParamPoint,
+    /// Trial index within the point.
+    pub trial: usize,
+    /// Seed the trial ran with.
+    pub seed: u64,
+    /// The measured value.
+    pub value: T,
+}
+
+/// Runs every `(point, trial)` of the sweep through `trial_fn`, in parallel
+/// across the machine's cores, and returns the results sorted by point order and
+/// trial index (so the output is deterministic regardless of scheduling).
+///
+/// `trial_fn` receives a [`TrialContext`] and must be deterministic given the
+/// context (all randomness should come from `ctx.seed`).
+pub fn run_sweep<T, F>(sweep: &Sweep, trial_fn: F) -> Vec<TrialResult<T>>
+where
+    T: Send,
+    F: Fn(&TrialContext) -> T + Sync,
+{
+    let mut contexts: Vec<TrialContext> = Vec::with_capacity(sweep.total_trials());
+    for point in sweep.points() {
+        for trial in 0..sweep.trials_per_point() {
+            contexts.push(TrialContext {
+                point,
+                trial,
+                seed: sweep.trial_seed(&point, trial),
+            });
+        }
+    }
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(contexts.len().max(1));
+
+    if workers <= 1 || contexts.len() <= 1 {
+        return contexts
+            .iter()
+            .enumerate()
+            .map(|(index, ctx)| (index, ctx, trial_fn(ctx)))
+            .map(|(_, ctx, value)| TrialResult {
+                point: ctx.point,
+                trial: ctx.trial,
+                seed: ctx.seed,
+                value,
+            })
+            .collect();
+    }
+
+    // Work queue: indices into `contexts`; results carry their index so the
+    // final ordering is independent of which worker ran what.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(usize, TrialResult<T>)>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= contexts.len() {
+                    break;
+                }
+                let ctx = &contexts[index];
+                let value = trial_fn(ctx);
+                let result = TrialResult {
+                    point: ctx.point,
+                    trial: ctx.trial,
+                    seed: ctx.seed,
+                    value,
+                };
+                results
+                    .lock()
+                    .expect("no panics while holding the results lock")
+                    .push(Some((index, result)));
+            });
+        }
+    });
+
+    let mut collected: Vec<(usize, TrialResult<T>)> = results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .flatten()
+        .collect();
+    collected.sort_by_key(|(index, _)| *index);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Sequential variant of [`run_sweep`], useful inside benchmarks (where the
+/// harness already controls parallelism) and for debugging.
+pub fn run_sweep_sequential<T, F>(sweep: &Sweep, mut trial_fn: F) -> Vec<TrialResult<T>>
+where
+    F: FnMut(&TrialContext) -> T,
+{
+    let mut out = Vec::with_capacity(sweep.total_trials());
+    for point in sweep.points() {
+        for trial in 0..sweep.trials_per_point() {
+            let ctx = TrialContext {
+                point,
+                trial,
+                seed: sweep.trial_seed(&point, trial),
+            };
+            let value = trial_fn(&ctx);
+            out.push(TrialResult {
+                point: ctx.point,
+                trial: ctx.trial,
+                seed: ctx.seed,
+                value,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churn_core::ModelKind;
+
+    fn sweep() -> Sweep {
+        Sweep::new("runner-test")
+            .models([ModelKind::Sdg, ModelKind::Sdgr])
+            .sizes([16, 32])
+            .degrees([2])
+            .trials(3)
+            .base_seed(5)
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let s = sweep();
+        let parallel = run_sweep(&s, |ctx| ctx.seed ^ ctx.point.n as u64);
+        let sequential = run_sweep_sequential(&s, |ctx| ctx.seed ^ ctx.point.n as u64);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.len(), s.total_trials());
+    }
+
+    #[test]
+    fn results_are_ordered_point_major_then_trial() {
+        let s = sweep();
+        let results = run_sweep(&s, |_| 0u8);
+        let points = s.points();
+        let mut expected_index = 0;
+        for point in &points {
+            for trial in 0..s.trials_per_point() {
+                assert_eq!(results[expected_index].point, *point);
+                assert_eq!(results[expected_index].trial, trial);
+                expected_index += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn contexts_carry_the_sweeps_seeds() {
+        let s = sweep();
+        let results = run_sweep(&s, |ctx| ctx.seed);
+        for r in &results {
+            assert_eq!(r.value, s.trial_seed(&r.point, r.trial));
+            assert_eq!(r.seed, r.value);
+        }
+    }
+
+    #[test]
+    fn trial_functions_can_build_models() {
+        let s = Sweep::new("tiny")
+            .models([ModelKind::Sdgr])
+            .sizes([24])
+            .degrees([3])
+            .trials(2);
+        let results = run_sweep(&s, |ctx| {
+            use churn_core::DynamicNetwork;
+            let mut model = ctx.point.build(ctx.seed).expect("valid point");
+            model.warm_up();
+            model.alive_count()
+        });
+        assert_eq!(results.len(), 2);
+        for r in results {
+            assert_eq!(r.value, 24);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_produces_no_results() {
+        let s = Sweep::new("empty");
+        let results = run_sweep(&s, |_| 1.0f64);
+        assert!(results.is_empty());
+    }
+}

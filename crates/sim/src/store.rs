@@ -1,0 +1,122 @@
+//! JSON persistence of experiment results.
+//!
+//! The experiment binaries can persist their raw per-trial measurements so that
+//! analysis (or re-rendering of `EXPERIMENTS.md`) does not require re-running
+//! the simulations.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ParamPoint;
+
+/// One stored measurement: a named scalar for one `(point, trial)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredRecord {
+    /// Name of the experiment that produced the record (e.g. `exp_isolated_nodes`).
+    pub experiment: String,
+    /// The grid point.
+    pub point: ParamPoint,
+    /// Trial index.
+    pub trial: usize,
+    /// Seed the trial ran with.
+    pub seed: u64,
+    /// Name of the measured quantity (e.g. `isolated_fraction`).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+/// Saves records as pretty-printed JSON, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns any I/O error from directory creation or file writing, and an
+/// `InvalidData` error if serialization fails (which cannot happen for this
+/// type in practice).
+pub fn save_records(path: &Path, records: &[StoredRecord]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(records)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads records saved by [`save_records`].
+///
+/// # Errors
+///
+/// Returns any I/O error from reading the file, and an `InvalidData` error if
+/// the file does not contain a valid record list.
+pub fn load_records(path: &Path) -> io::Result<Vec<StoredRecord>> {
+    let data = fs::read_to_string(path)?;
+    serde_json::from_str(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churn_core::ModelKind;
+
+    fn sample_records() -> Vec<StoredRecord> {
+        vec![
+            StoredRecord {
+                experiment: "exp_demo".to_string(),
+                point: ParamPoint {
+                    model: ModelKind::Sdg,
+                    n: 128,
+                    d: 4,
+                },
+                trial: 0,
+                seed: 42,
+                metric: "isolated_fraction".to_string(),
+                value: 0.017,
+            },
+            StoredRecord {
+                experiment: "exp_demo".to_string(),
+                point: ParamPoint {
+                    model: ModelKind::Pdgr,
+                    n: 256,
+                    d: 8,
+                },
+                trial: 1,
+                seed: 43,
+                metric: "flooding_rounds".to_string(),
+                value: 11.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("churn-sim-test-{}", std::process::id()));
+        let path = dir.join("nested").join("records.json");
+        let records = sample_records();
+        save_records(&path, &records).unwrap();
+        let loaded = load_records(&path).unwrap();
+        assert_eq!(loaded, records);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_missing_file_errors() {
+        let path = Path::new("/nonexistent/churn-sim/records.json");
+        assert!(load_records(path).is_err());
+    }
+
+    #[test]
+    fn loading_invalid_json_errors() {
+        let dir = std::env::temp_dir().join(format!("churn-sim-badjson-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "this is not json").unwrap();
+        let err = load_records(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,281 @@
+//! A generic future-event queue for discrete-event simulation.
+//!
+//! The Poisson models schedule two kinds of future events — node arrivals and
+//! node deaths — and always process the earliest one next (Definition 4.5's jump
+//! chain is exactly the sequence of these processing instants). [`EventQueue`]
+//! provides that primitive: a binary heap keyed by `f64` time with stable FIFO
+//! tie-breaking and O(log n) cancellation by token.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+/// Token identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventToken(u64);
+
+impl EventToken {
+    /// Raw value of the token (mostly useful for logging).
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct HeapEntry<E> {
+    time: f64,
+    sequence: u64,
+    token: EventToken,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+
+impl<E> Eq for HeapEntry<E> {}
+
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want earliest time first, then FIFO.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.sequence.cmp(&self.sequence))
+    }
+}
+
+/// A future-event list ordered by event time.
+///
+/// Events are scheduled with [`schedule`](Self::schedule) and retrieved in
+/// non-decreasing time order with [`pop`](Self::pop). Cancellation is lazy: a
+/// cancelled token is remembered and its event silently skipped when it
+/// surfaces.
+///
+/// # Example
+///
+/// ```
+/// use churn_stochastic::EventQueue;
+///
+/// let mut queue = EventQueue::new();
+/// queue.schedule(3.0, "death of v1");
+/// let arrival = queue.schedule(1.0, "arrival of v2");
+/// queue.schedule(2.0, "death of v0");
+/// queue.cancel(arrival);
+/// let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!["death of v0", "death of v1"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: std::collections::HashSet<EventToken>,
+    next_sequence: u64,
+    next_token: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            next_sequence: 0,
+            next_token: 0,
+            now: 0.0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at time 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The time of the most recently popped event (0 before the first pop).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of scheduled (not yet popped, not cancelled) events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len().min(self.heap.len())
+    }
+
+    /// Returns `true` when no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` at absolute time `time` and returns a cancellation
+    /// token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or lies in the past (before [`Self::now`]).
+    pub fn schedule(&mut self, time: f64, payload: E) -> EventToken {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule an event at {time} before the current time {}",
+            self.now
+        );
+        let token = EventToken(self.next_token);
+        self.next_token += 1;
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(HeapEntry {
+            time,
+            sequence,
+            token,
+            payload,
+        });
+        token
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the token was live (not
+    /// already popped or cancelled). Cancelling an unknown token is a no-op.
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_token {
+            return false;
+        }
+        self.cancelled.insert(token)
+    }
+
+    /// Pops the earliest live event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.token) {
+                continue;
+            }
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest live event without popping it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<f64> {
+        // Lazily discard cancelled entries from the top of the heap.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.token) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.token);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_returns_events_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, 5);
+        q.schedule(1.0, 1);
+        q.schedule(3.0, 3);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cancellation_removes_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancellation reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_noop() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        q.schedule(4.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+        q.pop();
+        assert_eq!(q.now(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn scheduling_nan_panics() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! Point processes: the homogeneous Poisson process and the birth–death jump
+//! chain behind the paper's Poisson churn (Definitions 4.1 and 4.5, Lemma 4.6).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::distributions::{Exponential, Poisson};
+
+/// A homogeneous Poisson process with rate `lambda` events per unit time.
+///
+/// Provides both views the paper uses: the exponential waiting time until the
+/// next event, and the Poisson-distributed number of events in a window
+/// (Lemma 7.4 bounds arrivals in logarithmic windows this way).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoissonProcess {
+    rate: f64,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given event rate.
+    ///
+    /// Returns `None` unless `rate` is finite and strictly positive.
+    #[must_use]
+    pub fn new(rate: f64) -> Option<Self> {
+        (rate.is_finite() && rate > 0.0).then_some(PoissonProcess { rate })
+    }
+
+    /// The event rate λ.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Samples the waiting time until the next event.
+    pub fn next_arrival<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Exponential::new(self.rate)
+            .expect("rate validated at construction")
+            .sample(rng)
+    }
+
+    /// Samples the number of events falling in a window of length `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or not finite.
+    pub fn events_in_window<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> u64 {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "window duration must be finite and non-negative"
+        );
+        Poisson::new(self.rate * duration)
+            .expect("finite non-negative mean")
+            .sample(rng)
+    }
+
+    /// Samples the arrival times of all events in `[0, duration)`, sorted.
+    ///
+    /// Uses the standard conditioning property (Theorem C.3 of the paper's
+    /// appendix): given the count, arrival times are i.i.d. uniform.
+    pub fn arrivals_in_window<R: Rng + ?Sized>(&self, duration: f64, rng: &mut R) -> Vec<f64> {
+        let count = self.events_in_window(duration, rng);
+        let mut times: Vec<f64> = (0..count).map(|_| rng.gen::<f64>() * duration).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times
+    }
+}
+
+/// The kind of transition taken by the birth–death jump chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JumpKind {
+    /// A new node joins the network.
+    Birth,
+    /// An existing node dies (the caller picks *which* node uniformly — every
+    /// alive node is equally likely, by exchangeability of i.i.d. exponential
+    /// residual lifetimes).
+    Death,
+}
+
+/// One transition of the jump chain: how long the chain waited and what happened.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Jump {
+    /// Exponential waiting time until this event, with rate `N·µ + λ`
+    /// (Lemma 4.6).
+    pub waiting_time: f64,
+    /// Whether the event is a birth or a death.
+    pub kind: JumpKind,
+}
+
+/// The birth–death jump chain of Definition 4.5 / Lemma 4.6.
+///
+/// With `N` nodes alive, the time to the next event is `Exp(N·µ + λ)`; the event
+/// is a birth with probability `λ / (N·µ + λ)` and a death with probability
+/// `N·µ / (N·µ + λ)`, in which case the dying node is uniform among the alive
+/// ones.
+///
+/// # Example
+///
+/// ```
+/// use churn_stochastic::process::{BirthDeathChain, JumpKind};
+/// use churn_stochastic::rng::seeded_rng;
+///
+/// let chain = BirthDeathChain::new(1.0, 0.001); // n = λ/µ = 1000
+/// let mut rng = seeded_rng(0);
+/// let jump = chain.next_jump(0, &mut rng);
+/// // With zero nodes alive only a birth can happen.
+/// assert_eq!(jump.kind, JumpKind::Birth);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BirthDeathChain {
+    lambda: f64,
+    mu: f64,
+}
+
+impl BirthDeathChain {
+    /// Creates a chain with birth rate `lambda` and per-node death rate `mu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are finite and strictly positive.
+    #[must_use]
+    pub fn new(lambda: f64, mu: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "birth rate must be positive"
+        );
+        assert!(mu.is_finite() && mu > 0.0, "death rate must be positive");
+        BirthDeathChain { lambda, mu }
+    }
+
+    /// The birth rate λ.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The per-node death rate µ.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The stationary expected population `n = λ / µ`.
+    #[must_use]
+    pub fn expected_population(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Probability that the next event is a death, given `alive` nodes
+    /// (Lemma 4.6).
+    #[must_use]
+    pub fn death_probability(&self, alive: u64) -> f64 {
+        let total = alive as f64 * self.mu + self.lambda;
+        alive as f64 * self.mu / total
+    }
+
+    /// Probability that the next event is a birth, given `alive` nodes.
+    #[must_use]
+    pub fn birth_probability(&self, alive: u64) -> f64 {
+        1.0 - self.death_probability(alive)
+    }
+
+    /// Probability that a *specific* alive node is the one that dies at the next
+    /// event, given `alive` nodes (Lemma 4.6: `µ / (N·µ + λ)`).
+    #[must_use]
+    pub fn specific_death_probability(&self, alive: u64) -> f64 {
+        let total = alive as f64 * self.mu + self.lambda;
+        self.mu / total
+    }
+
+    /// Samples the next transition of the chain given the current population.
+    pub fn next_jump<R: Rng + ?Sized>(&self, alive: u64, rng: &mut R) -> Jump {
+        let total_rate = alive as f64 * self.mu + self.lambda;
+        let waiting_time = Exponential::new(total_rate)
+            .expect("total rate is positive")
+            .sample(rng);
+        let kind = if rng.gen::<f64>() < self.death_probability(alive) {
+            JumpKind::Death
+        } else {
+            JumpKind::Birth
+        };
+        Jump { waiting_time, kind }
+    }
+
+    /// Simulates `steps` jumps starting from population `initial`, returning the
+    /// population trajectory (one entry per jump, after the jump is applied).
+    pub fn simulate_population<R: Rng + ?Sized>(
+        &self,
+        initial: u64,
+        steps: usize,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let mut population = initial;
+        let mut trajectory = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let jump = self.next_jump(population, rng);
+            match jump.kind {
+                JumpKind::Birth => population += 1,
+                JumpKind::Death => population = population.saturating_sub(1),
+            }
+            trajectory.push(population);
+        }
+        trajectory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::stats::OnlineStats;
+
+    #[test]
+    fn poisson_process_validates_rate() {
+        assert!(PoissonProcess::new(0.0).is_none());
+        assert!(PoissonProcess::new(-3.0).is_none());
+        assert!(PoissonProcess::new(2.0).is_some());
+    }
+
+    #[test]
+    fn poisson_process_interarrival_mean() {
+        let p = PoissonProcess::new(4.0).unwrap();
+        let mut rng = seeded_rng(20);
+        let mut stats = OnlineStats::new();
+        for _ in 0..50_000 {
+            stats.push(p.next_arrival(&mut rng));
+        }
+        assert!((stats.mean() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn poisson_process_window_counts() {
+        let p = PoissonProcess::new(2.0).unwrap();
+        let mut rng = seeded_rng(21);
+        let mut stats = OnlineStats::new();
+        for _ in 0..20_000 {
+            stats.push(p.events_in_window(3.0, &mut rng) as f64);
+        }
+        assert!((stats.mean() - 6.0).abs() < 0.15);
+        assert_eq!(p.events_in_window(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_process_arrivals_are_sorted_and_in_range() {
+        let p = PoissonProcess::new(5.0).unwrap();
+        let mut rng = seeded_rng(22);
+        for _ in 0..100 {
+            let arrivals = p.arrivals_in_window(2.0, &mut rng);
+            for w in arrivals.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            for &t in &arrivals {
+                assert!((0.0..2.0).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn poisson_process_rejects_negative_window() {
+        let p = PoissonProcess::new(1.0).unwrap();
+        let mut rng = seeded_rng(23);
+        let _ = p.events_in_window(-1.0, &mut rng);
+    }
+
+    #[test]
+    fn chain_probabilities_match_lemma_4_6() {
+        // λ = 1, µ = 1/n.
+        let n = 1000.0;
+        let chain = BirthDeathChain::new(1.0, 1.0 / n);
+        // At the stationary population N = n the death probability is 1/2.
+        assert!((chain.death_probability(1000) - 0.5).abs() < 1e-12);
+        assert!((chain.birth_probability(1000) - 0.5).abs() < 1e-12);
+        // Lemma 4.7: with N in [0.9n, 1.1n] both probabilities are in [0.47, 0.53].
+        for alive in [900u64, 1000, 1100] {
+            let p = chain.death_probability(alive);
+            assert!((0.47..=0.53).contains(&p), "death prob {p} out of range");
+        }
+        // Lemma 4.6: specific node death probability is µ/(Nµ + λ).
+        let p = chain.specific_death_probability(1000);
+        assert!((p - (1.0 / n) / (1000.0 / n + 1.0)).abs() < 1e-15);
+        // Lemma 4.7 equation (4): bounds 1/(2.2 n) <= p <= 1/(1.8 n) near N = n.
+        assert!(p >= 1.0 / (2.2 * n) && p <= 1.0 / (1.8 * n));
+    }
+
+    #[test]
+    fn chain_with_zero_population_only_births() {
+        let chain = BirthDeathChain::new(1.0, 0.01);
+        assert_eq!(chain.death_probability(0), 0.0);
+        let mut rng = seeded_rng(24);
+        for _ in 0..50 {
+            assert_eq!(chain.next_jump(0, &mut rng).kind, JumpKind::Birth);
+        }
+    }
+
+    #[test]
+    fn chain_population_concentrates_around_lambda_over_mu() {
+        // Lemma 4.4: after enough steps the population is Θ(n), concretely within
+        // [0.9n, 1.1n] with overwhelming probability.
+        let n = 500.0;
+        let chain = BirthDeathChain::new(1.0, 1.0 / n);
+        assert_eq!(chain.expected_population(), 500.0);
+        let mut rng = seeded_rng(25);
+        let trajectory = chain.simulate_population(0, 40_000, &mut rng);
+        let late = &trajectory[20_000..];
+        let mean: f64 = late.iter().map(|&x| x as f64).sum::<f64>() / late.len() as f64;
+        assert!(
+            (mean - n).abs() < 0.1 * n,
+            "late population mean {mean} should be near {n}"
+        );
+        let in_band = late
+            .iter()
+            .filter(|&&x| (x as f64) >= 0.9 * n && (x as f64) <= 1.1 * n)
+            .count() as f64
+            / late.len() as f64;
+        assert!(in_band > 0.9, "population stays in [0.9n, 1.1n] most of the time");
+    }
+
+    #[test]
+    fn chain_waiting_times_shrink_with_population() {
+        let chain = BirthDeathChain::new(1.0, 0.01);
+        let mut rng = seeded_rng(26);
+        let mut small = OnlineStats::new();
+        let mut large = OnlineStats::new();
+        for _ in 0..20_000 {
+            small.push(chain.next_jump(10, &mut rng).waiting_time);
+            large.push(chain.next_jump(1000, &mut rng).waiting_time);
+        }
+        // Expected waiting times are 1/(λ+Nµ): 1/1.1 vs 1/11.
+        assert!((small.mean() - 1.0 / 1.1).abs() < 0.03);
+        assert!((large.mean() - 1.0 / 11.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "birth rate")]
+    fn chain_rejects_non_positive_lambda() {
+        let _ = BirthDeathChain::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "death rate")]
+    fn chain_rejects_non_positive_mu() {
+        let _ = BirthDeathChain::new(1.0, 0.0);
+    }
+}

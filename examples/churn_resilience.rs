@@ -1,0 +1,97 @@
+//! Churn-resilience study: how does the fraction of nodes a broadcast reaches
+//! degrade (or not) as the out-degree `d` shrinks, with and without edge
+//! regeneration?
+//!
+//! This is the workload the paper's introduction motivates: a peer-to-peer
+//! system designer choosing between "connect once at join time" (SDG/PDG) and
+//! "repair connections when neighbours leave" (SDGR/PDGR), and asking how many
+//! connections per node are needed for broadcasts to keep reaching everyone.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example churn_resilience
+//! ```
+
+use dynamic_churn_networks::core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+use dynamic_churn_networks::core::isolated::isolated_now;
+use dynamic_churn_networks::core::{DynamicNetwork, ModelKind};
+use dynamic_churn_networks::sim::{run_sweep, Aggregate, Sweep, Table};
+
+fn main() {
+    let n = 512;
+    let trials = 8;
+    println!("Churn resilience: broadcast coverage vs out-degree (n = {n}, {trials} trials)\n");
+
+    let sweep = Sweep::new("churn-resilience")
+        .models([ModelKind::Sdg, ModelKind::Sdgr])
+        .sizes([n])
+        .degrees([1, 2, 3, 4, 6, 8, 12])
+        .trials(trials)
+        .base_seed(99);
+
+    #[derive(Clone)]
+    struct Trial {
+        coverage: f64,
+        completed: bool,
+        isolated_fraction: f64,
+    }
+
+    let results = run_sweep(&sweep, |ctx| {
+        let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
+        model.warm_up();
+        let isolated_fraction = isolated_now(&model).len() as f64 / model.alive_count() as f64;
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::with_max_rounds(6 * (n as f64).log2().ceil() as u64),
+        );
+        Trial {
+            coverage: record.final_fraction(),
+            completed: record.outcome.is_complete(),
+            isolated_fraction,
+        }
+    });
+
+    let mut table = Table::new(
+        "Broadcast coverage and isolation vs degree",
+        [
+            "model",
+            "d",
+            "mean coverage",
+            "completed runs",
+            "mean isolated fraction",
+        ],
+    );
+    for point in sweep.points() {
+        let trials_for_point: Vec<&Trial> = results
+            .iter()
+            .filter(|r| r.point == point)
+            .map(|r| &r.value)
+            .collect();
+        let coverage =
+            Aggregate::from_values(&trials_for_point.iter().map(|t| t.coverage).collect::<Vec<_>>());
+        let isolated = Aggregate::from_values(
+            &trials_for_point
+                .iter()
+                .map(|t| t.isolated_fraction)
+                .collect::<Vec<_>>(),
+        );
+        let completed = trials_for_point.iter().filter(|t| t.completed).count();
+        table.push_row([
+            point.model.label().to_string(),
+            point.d.to_string(),
+            coverage.display_with_ci(3),
+            format!("{completed}/{}", trials_for_point.len()),
+            format!("{:.4}", isolated.mean),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "Reading guide: without regeneration (SDG) coverage saturates below 1 because a\n\
+         constant fraction of nodes is isolated (Lemma 3.5), and the gap closes exponentially\n\
+         in d (the 1 - e^{{-Omega(d)}} of Theorem 3.8). With regeneration (SDGR) even d = 3-4\n\
+         already gives complete broadcasts round after round (Theorem 3.16)."
+    );
+}

@@ -1,0 +1,64 @@
+//! Expansion monitor: watch the vertex expansion of a dynamic network's
+//! snapshots as churn keeps replacing nodes, with and without edge
+//! regeneration.
+//!
+//! This exercises the paper's structural results directly: SDGR/PDGR snapshots
+//! stay Θ(1)-expanders at all times (Theorems 3.15 / 4.16), while SDG/PDG
+//! snapshots always contain isolated nodes (expansion 0 over the full size
+//! range) yet still expand once only large subsets are considered (Lemma 3.6).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example expansion_monitor
+//! ```
+
+use dynamic_churn_networks::core::expansion::{measure_expansion, SizeRange};
+use dynamic_churn_networks::core::{DynamicNetwork, ModelKind};
+use dynamic_churn_networks::graph::expansion::ExpansionConfig;
+use dynamic_churn_networks::sim::Table;
+use dynamic_churn_networks::stochastic::rng::seeded_rng;
+
+fn main() {
+    let n = 1_024;
+    let d = 24;
+    let observations = 6;
+    let interval = 64;
+    println!(
+        "Expansion monitor: n = {n}, d = {d}, {observations} observations every {interval} time units\n"
+    );
+
+    let mut rng = seeded_rng(5);
+    let config = ExpansionConfig::default();
+
+    let mut table = Table::new(
+        "Estimated minimum expansion ratio of evolving snapshots",
+        ["model", "observation", "time", "full range h_out", "large sets only"],
+    );
+
+    for kind in [ModelKind::Sdg, ModelKind::Sdgr] {
+        let mut model = kind.build(n, d, 31).expect("valid parameters");
+        model.warm_up();
+        for observation in 0..observations {
+            if observation > 0 {
+                model.advance_time_units(interval);
+            }
+            let full = measure_expansion(&model, SizeRange::Full, &config, &mut rng);
+            let large = measure_expansion(&model, SizeRange::LargeSets, &config, &mut rng);
+            table.push_row([
+                kind.label().to_string(),
+                observation.to_string(),
+                format!("{:.0}", model.time()),
+                format!("{:.3}", full.value().unwrap_or(f64::NAN)),
+                format!("{:.3}", large.value().unwrap_or(f64::NAN)),
+            ]);
+        }
+    }
+
+    table.print();
+    println!(
+        "Reading guide: the SDGR column stays at or above the paper's 0.1 threshold for the\n\
+         full size range; SDG drops to 0.0 on the full range (isolated nodes) but recovers\n\
+         above the threshold when only subsets of size >= n*e^(-d/10) are considered."
+    );
+}

@@ -1,0 +1,63 @@
+//! Onion-skin walkthrough: replay the paper's key proof device (Section 3.1.2)
+//! on a realized SDG graph and watch the informed young/old layers grow phase
+//! by phase.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example onion_skin_walkthrough
+//! ```
+
+use dynamic_churn_networks::core::onion_skin::run_onion_skin;
+use dynamic_churn_networks::core::theory;
+use dynamic_churn_networks::core::{DynamicNetwork, StreamingConfig, StreamingModel};
+use dynamic_churn_networks::sim::Table;
+
+fn main() {
+    let n = 4_096;
+    let d = 64;
+    println!("Onion-skin process on an SDG graph with n = {n}, d = {d}\n");
+
+    let mut model = StreamingModel::new(StreamingConfig::new(n, d).seed(17))
+        .expect("valid parameters");
+    model.warm_up();
+
+    let trace = run_onion_skin(&model);
+
+    println!(
+        "population: {} young, {} old, {} very old; source = {}\n",
+        trace.young_population, trace.old_population, trace.very_old_population, trace.source
+    );
+
+    let mut table = Table::new(
+        "Layer growth per phase (Claim 3.10 predicts a factor of about d/20 per step)",
+        ["phase", "new young", "new old", "young total", "old total"],
+    );
+    for phase in &trace.phases {
+        table.push_row([
+            phase.phase.to_string(),
+            phase.new_young.to_string(),
+            phase.new_old.to_string(),
+            phase.young_total.to_string(),
+            phase.old_total.to_string(),
+        ]);
+    }
+    table.print();
+
+    let predicted = theory::onion_skin_growth_factor(d);
+    let factors = trace.old_growth_factors();
+    println!(
+        "reached {} nodes in {} phases; old-layer growth factors: {:?} (paper's d/20 = {:.1})",
+        trace.reached(),
+        trace.phase_count(),
+        factors
+            .iter()
+            .map(|f| format!("{f:.1}"))
+            .collect::<Vec<_>>(),
+        predicted
+    );
+    println!(
+        "\nThe early phases multiply the frontier by roughly d/20 until the construction has\n\
+         reached ~n/d nodes — exactly the engine behind the O(log n / log d) bound of Lemma 3.9."
+    );
+}

@@ -1,0 +1,84 @@
+//! Bitcoin-like overlay example: run the `churn-p2p` overlay (target out-degree
+//! 8, max in-degree 125, DNS-seed bootstrap, address gossip) under Poisson
+//! churn, check its health, and propagate a few blocks.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example p2p_gossip
+//! ```
+
+use dynamic_churn_networks::core::DynamicNetwork;
+use dynamic_churn_networks::p2p::gossip::propagate_block_series;
+use dynamic_churn_networks::p2p::health::overlay_health;
+use dynamic_churn_networks::p2p::{P2pConfig, P2pNetwork};
+use dynamic_churn_networks::sim::Table;
+
+fn main() {
+    let peers = 1_500;
+    println!("Bootstrapping a Bitcoin-like overlay with ~{peers} peers…");
+
+    let mut overlay = P2pNetwork::new(
+        P2pConfig::new(peers)
+            .target_outbound(8)
+            .max_inbound(125)
+            .dns_seed_addresses(64)
+            .gossip_addresses(16)
+            .seed(7),
+    )
+    .expect("valid overlay configuration");
+    overlay.warm_up();
+
+    let health = overlay_health(&overlay);
+    let mut health_table = Table::new(
+        "Overlay health after warm-up",
+        ["metric", "value"],
+    );
+    health_table.push_row(["online peers", &health.peers.to_string()]);
+    health_table.push_row(["mean outbound connections", &format!("{:.2}", health.mean_outbound)]);
+    health_table.push_row(["mean inbound connections", &format!("{:.2}", health.mean_inbound)]);
+    health_table.push_row(["max inbound connections", &health.max_inbound.to_string()]);
+    health_table.push_row(["isolated peers", &health.isolated_peers.to_string()]);
+    health_table.push_row([
+        "largest component fraction",
+        &format!("{:.4}", health.largest_component_fraction),
+    ]);
+    health_table.push_row([
+        "mean address-table size",
+        &format!("{:.1}", health.mean_addrman_size),
+    ]);
+    health_table.push_row([
+        "stale address fraction",
+        &format!("{:.3}", health.stale_address_fraction),
+    ]);
+    health_table.print();
+
+    println!("Propagating 5 blocks (each announced by a freshly joined peer)…\n");
+    let reports = propagate_block_series(&mut overlay, 5, 20, 200);
+
+    let mut table = Table::new(
+        "Block propagation under churn",
+        ["block", "origin", "delays to 50%", "delays to 99%", "final coverage"],
+    );
+    for (i, report) in reports.iter().enumerate() {
+        table.push_row([
+            (i + 1).to_string(),
+            report.origin.to_string(),
+            report
+                .delays_to_half
+                .map_or("-".to_string(), |r| r.to_string()),
+            report
+                .delays_to_99
+                .map_or("-".to_string(), |r| r.to_string()),
+            format!("{:.3}", report.final_coverage),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "Block propagation time stays logarithmic in the overlay size, as predicted by the\n\
+         paper's PDGR model (Theorem 4.20) — the overlay's connection-maintenance rule is\n\
+         exactly the edge-regeneration dynamics. Current overlay time: {:.0} units.",
+        overlay.time()
+    );
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: models built through the public facade,
+//! driven by the experiment harness, measured by the analysis crate.
+
+use dynamic_churn_networks::analysis::{classify_scaling, Comparison, ComparisonSet, ScalingClass};
+use dynamic_churn_networks::core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+use dynamic_churn_networks::core::{DynamicNetwork, ModelKind};
+use dynamic_churn_networks::sim::{aggregate_by_point, run_sweep, Sweep};
+
+#[test]
+fn sweep_over_all_models_flooding_coverage() {
+    // One small sweep across all four models; the regeneration models must beat
+    // the static ones in coverage at equal (n, d).
+    let sweep = Sweep::new("integration-coverage")
+        .models(ModelKind::ALL)
+        .sizes([192])
+        .degrees([6])
+        .trials(3)
+        .base_seed(1);
+
+    let results = run_sweep(&sweep, |ctx| {
+        let mut model = ctx.point.build(ctx.seed).expect("valid point");
+        model.warm_up();
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::with_max_rounds(80),
+        );
+        record.final_fraction()
+    });
+    assert_eq!(results.len(), 4 * 3);
+
+    let grouped = aggregate_by_point(&results, |r| r.value);
+    let coverage = |kind: ModelKind| {
+        grouped
+            .iter()
+            .find(|(k, _)| k.model == kind.label())
+            .map(|(_, agg)| agg.mean)
+            .expect("every model appears in the sweep")
+    };
+
+    assert!(
+        coverage(ModelKind::Sdgr) >= coverage(ModelKind::Sdg),
+        "SDGR coverage {} should be at least SDG coverage {}",
+        coverage(ModelKind::Sdgr),
+        coverage(ModelKind::Sdg)
+    );
+    assert!(
+        coverage(ModelKind::Pdgr) >= coverage(ModelKind::Pdg) - 0.02,
+        "PDGR coverage {} should be at least PDG coverage {}",
+        coverage(ModelKind::Pdgr),
+        coverage(ModelKind::Pdg)
+    );
+    assert!(coverage(ModelKind::Sdgr) > 0.99);
+    assert!(coverage(ModelKind::Pdgr) > 0.99);
+}
+
+#[test]
+fn flooding_time_of_sdgr_scales_logarithmically_not_linearly() {
+    // The shape distinction at the heart of Table 1, measured end to end through
+    // the harness and classified by the analysis crate.
+    let sizes = [64usize, 128, 256, 512, 1024];
+    let mut points = Vec::new();
+    for &n in &sizes {
+        let sweep = Sweep::new("scaling")
+            .models([ModelKind::Sdgr])
+            .sizes([n])
+            .degrees([8])
+            .trials(3)
+            .base_seed(7);
+        let results = run_sweep(&sweep, |ctx| {
+            let mut model = ctx.point.build(ctx.seed).expect("valid point");
+            model.warm_up();
+            let record = run_flooding(
+                &mut model,
+                FloodingSource::NextToJoin,
+                &FloodingConfig::default(),
+            );
+            record
+                .outcome
+                .rounds()
+                .expect("SDGR flooding completes") as f64
+        });
+        let mean = results.iter().map(|r| r.value).sum::<f64>() / results.len() as f64;
+        points.push((n as f64, mean));
+    }
+
+    // Flooding time grows with n but far slower than linearly.
+    let first = points.first().unwrap().1;
+    let last = points.last().unwrap().1;
+    assert!(last >= first, "flooding time should not shrink with n");
+    assert!(
+        last <= 4.0 * first + 8.0,
+        "a 16x larger network should cost only a few extra rounds (got {first} -> {last})"
+    );
+    assert_ne!(
+        classify_scaling(&points),
+        ScalingClass::Linear,
+        "SDGR flooding time must not look linear in n: {points:?}"
+    );
+}
+
+#[test]
+fn comparison_set_renders_measured_sweep() {
+    // The reporting pipeline used by the experiment binaries, end to end.
+    let sweep = Sweep::new("report")
+        .models([ModelKind::Sdg, ModelKind::Sdgr])
+        .sizes([128])
+        .degrees([4])
+        .trials(2)
+        .base_seed(3);
+    let results = run_sweep(&sweep, |ctx| {
+        let mut model = ctx.point.build(ctx.seed).expect("valid point");
+        model.warm_up();
+        dynamic_churn_networks::core::isolated::isolated_now(&model).len() as f64
+            / model.alive_count() as f64
+    });
+    let grouped = aggregate_by_point(&results, |r| r.value);
+
+    let mut set = ComparisonSet::new("integration — isolated nodes");
+    for (key, agg) in &grouped {
+        let regenerates = key.model.ends_with('R');
+        set.push(Comparison::new(
+            format!("isolated fraction, {key}"),
+            if regenerates { "Theorem 3.15" } else { "Lemma 3.5" },
+            if regenerates { "0" } else { "> 0" },
+            format!("{:.4}", agg.mean),
+            if regenerates { agg.mean == 0.0 } else { agg.mean > 0.0 },
+        ));
+    }
+    assert_eq!(set.len(), 2);
+    assert!(set.all_hold(), "{}", set.to_markdown());
+    let markdown = set.to_markdown();
+    assert!(markdown.contains("SDG") && markdown.contains("SDGR"));
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Types from different member crates interoperate through the facade.
+    use dynamic_churn_networks::graph::Snapshot;
+    use dynamic_churn_networks::stochastic::rng::seeded_rng;
+
+    let mut model = ModelKind::Pdgr.build(96, 5, 11).unwrap();
+    model.warm_up();
+    let snapshot = Snapshot::of(model.graph());
+    assert_eq!(snapshot.len(), model.alive_count());
+
+    let mut rng = seeded_rng(0);
+    let estimate = dynamic_churn_networks::graph::expansion::ExpansionEstimator::new(
+        dynamic_churn_networks::graph::expansion::ExpansionConfig::fast(),
+    )
+    .estimate(&snapshot, 1, snapshot.len() / 2, &mut rng);
+    assert!(estimate.value().unwrap() > 0.0, "PDGR snapshots expand");
+}

@@ -1,0 +1,77 @@
+//! Integration tests of the Bitcoin-like overlay built on top of the library:
+//! the overlay must exhibit the PDGR behaviour the paper predicts for it.
+
+use dynamic_churn_networks::core::expansion::{measure_expansion, SizeRange};
+use dynamic_churn_networks::core::DynamicNetwork;
+use dynamic_churn_networks::graph::expansion::ExpansionConfig;
+use dynamic_churn_networks::p2p::gossip::{propagate_block, propagate_block_series};
+use dynamic_churn_networks::p2p::health::overlay_health;
+use dynamic_churn_networks::p2p::{P2pConfig, P2pNetwork};
+use dynamic_churn_networks::stochastic::rng::seeded_rng;
+
+fn warm_overlay(peers: usize, seed: u64) -> P2pNetwork {
+    let mut overlay = P2pNetwork::new(P2pConfig::new(peers).seed(seed)).unwrap();
+    overlay.warm_up();
+    overlay
+}
+
+#[test]
+fn overlay_reaches_and_keeps_a_healthy_topology() {
+    let mut overlay = warm_overlay(250, 1);
+    for _ in 0..50 {
+        overlay.advance_time_unit();
+    }
+    let health = overlay_health(&overlay);
+    assert!(health.peers > 150, "overlay should hold most of its peers");
+    assert!(health.mean_outbound > 7.0, "outbound target is nearly met");
+    assert_eq!(health.isolated_peers, 0);
+    assert!(health.largest_component_fraction > 0.98);
+    assert!(health.max_inbound <= 125);
+    overlay.graph().assert_invariants();
+}
+
+#[test]
+fn overlay_snapshots_are_expanders_like_pdgr() {
+    let overlay = warm_overlay(250, 2);
+    let mut rng = seeded_rng(3);
+    let report = measure_expansion(
+        &overlay,
+        SizeRange::Full,
+        &ExpansionConfig::fast(),
+        &mut rng,
+    );
+    assert!(
+        report.value().unwrap() >= 0.1,
+        "the overlay should expand at least as well as the paper's 0.1 threshold, got {:?}",
+        report.value()
+    );
+}
+
+#[test]
+fn blocks_propagate_logarithmically_under_churn() {
+    let mut overlay = warm_overlay(250, 4);
+    let report = propagate_block(&mut overlay, 100);
+    assert!(report.final_coverage > 0.95);
+    let to_99 = report.delays_to_99.expect("99% coverage reached");
+    assert!(
+        (to_99 as f64) <= 4.0 * (250.0f64).log2(),
+        "99% coverage took {to_99} delays"
+    );
+}
+
+#[test]
+fn repeated_blocks_keep_propagating_as_the_overlay_churns() {
+    let mut overlay = warm_overlay(180, 5);
+    let reports = propagate_block_series(&mut overlay, 4, 25, 120);
+    assert_eq!(reports.len(), 4);
+    for (i, report) in reports.iter().enumerate() {
+        assert!(
+            report.final_coverage > 0.9,
+            "block {i} only reached {:.2} of the overlay",
+            report.final_coverage
+        );
+    }
+    // A quarter of the overlay's lifetime passed; the membership must have
+    // turned over noticeably while propagation kept working.
+    assert!(overlay.churn_steps() > 50);
+}
