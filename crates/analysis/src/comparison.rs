@@ -113,7 +113,14 @@ impl ComparisonSet {
     pub fn to_table(&self) -> Table {
         let mut table = Table::new(
             self.name.clone(),
-            ["quantity", "paper", "predicted", "measured", "holds", "note"],
+            [
+                "quantity",
+                "paper",
+                "predicted",
+                "measured",
+                "holds",
+                "note",
+            ],
         );
         for c in &self.comparisons {
             table.push_row([

@@ -80,7 +80,9 @@ fn churn_workload_slots(n: usize, d: usize, rounds: usize) -> usize {
 
 fn bench_adjacency_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_adjacency");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 2_048;
     let d = 8;
     let rounds = 512;
@@ -139,9 +141,13 @@ fn flooding_rounds_via_snapshot(template: &churn_core::AnyModel) -> usize {
 
 fn bench_flooding_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_flooding_neighbor_source");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
-    let mut template = ModelKind::Sdgr.build(2_048, 8, 7).expect("valid parameters");
+    let mut template = ModelKind::Sdgr
+        .build(2_048, 8, 7)
+        .expect("valid parameters");
     template.warm_up();
 
     group.bench_function("graph_neighbors", |bencher| {

@@ -10,7 +10,9 @@ use churn_stochastic::rng::seeded_rng;
 
 fn bench_expansion(c: &mut Criterion) {
     let mut group = c.benchmark_group("expansion_estimate");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [1_024usize, 4_096] {
         let mut model = ModelKind::Sdgr.build(n, 8, 13).expect("valid parameters");

@@ -9,10 +9,12 @@ use churn_core::{DynamicNetwork, ModelKind};
 
 fn bench_flooding(c: &mut Criterion) {
     let mut group = c.benchmark_group("flooding_complete_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for kind in [ModelKind::Sdgr, ModelKind::Pdgr] {
-        for n in [512usize, 2_048] {
+        for n in [512usize, 2_048, 100_000] {
             // Build and warm once; each iteration clones the warm model so the
             // measured cost is the flooding run itself (plus the clone).
             let mut template = kind.build(n, 8, 11).expect("valid parameters");

@@ -10,7 +10,9 @@ use churn_stochastic::rng::seeded_rng;
 
 fn bench_jump_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("jump_chain");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("raw_birth_death_jump", |bencher| {
         let chain = BirthDeathChain::new(1.0, 1.0 / 4_096.0);

@@ -8,21 +8,19 @@ use churn_core::{DynamicNetwork, ModelKind};
 
 fn bench_model_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_step");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for kind in ModelKind::ALL {
-        for n in [1_024usize, 4_096] {
+        for n in [1_024usize, 4_096, 100_000] {
             let mut model = kind.build(n, 8, 7).expect("valid parameters");
             model.warm_up();
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &n,
-                |bencher, _| {
-                    bencher.iter(|| {
-                        criterion::black_box(model.advance_time_unit());
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), n), &n, |bencher, _| {
+                bencher.iter(|| {
+                    criterion::black_box(model.advance_time_unit());
+                });
+            });
         }
     }
     group.finish();

@@ -9,7 +9,9 @@ use churn_graph::traversal::{bfs_distances, connected_components};
 
 fn bench_snapshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("snapshot");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for n in [1_024usize, 8_192] {
         let mut model = ModelKind::Pdgr.build(n, 8, 17).expect("valid parameters");
@@ -20,9 +22,13 @@ fn bench_snapshot(c: &mut Criterion) {
         });
 
         let snapshot = Snapshot::of(model.graph());
-        group.bench_with_input(BenchmarkId::new("bfs", n), &snapshot, |bencher, snapshot| {
-            bencher.iter(|| criterion::black_box(bfs_distances(snapshot, 0)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bfs", n),
+            &snapshot,
+            |bencher, snapshot| {
+                bencher.iter(|| criterion::black_box(bfs_distances(snapshot, 0)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("components", n),
             &snapshot,

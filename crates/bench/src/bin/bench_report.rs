@@ -1,0 +1,100 @@
+//! Merges criterion JSON-lines outputs into a single comparison report.
+//!
+//! The vendored criterion harness appends one JSON object per benchmark to the
+//! path given by `--json <path>` (or the `CHURN_BENCH_JSON` environment
+//! variable). This binary joins a *baseline* and an *optimized* run of the
+//! same benches into one machine-readable report with per-bench speedups:
+//!
+//! ```text
+//! cargo bench -p churn-bench --bench model_step -- --json baseline.jsonl   # old code
+//! cargo bench -p churn-bench --bench model_step -- --json optimized.jsonl  # new code
+//! cargo run -p churn-bench --bin bench_report -- \
+//!     --baseline baseline.jsonl --optimized optimized.jsonl --out BENCH_PR1.json
+//! ```
+//!
+//! When the same bench id appears multiple times in a file, the last entry
+//! wins (so re-running a bench refreshes its number).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use churn_sim::minijson;
+
+fn parse_args() -> (String, String, Option<String>) {
+    let mut baseline = None;
+    let mut optimized = None;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--optimized" => optimized = args.next(),
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let usage = "usage: bench_report --baseline <jsonl> --optimized <jsonl> [--out <json>]";
+    (
+        baseline.unwrap_or_else(|| panic!("{usage}")),
+        optimized.unwrap_or_else(|| panic!("{usage}")),
+        out,
+    )
+}
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let mut out = BTreeMap::new();
+    for line in data.lines().filter(|l| !l.trim().is_empty()) {
+        let parsed = match minijson::parse(line) {
+            Ok(value) => value,
+            Err(error) => {
+                eprintln!("skipping malformed line in {path} ({error}): {line}");
+                continue;
+            }
+        };
+        let id = parsed.get("id").and_then(|v| v.as_str().map(str::to_owned));
+        let mean = parsed.get("mean_ns").and_then(minijson::Value::as_f64);
+        let (Some(id), Some(mean)) = (id, mean) else {
+            eprintln!("skipping line without id/mean_ns in {path}: {line}");
+            continue;
+        };
+        out.insert(id, mean);
+    }
+    out
+}
+
+fn main() {
+    let (baseline_path, optimized_path, out_path) = parse_args();
+    let baseline = load(&baseline_path);
+    let optimized = load(&optimized_path);
+
+    let mut report = String::from("{\n  \"unit\": \"mean ns per iteration\",\n  \"benches\": [\n");
+    let mut first = true;
+    for (id, &base) in &baseline {
+        let Some(&opt) = optimized.get(id) else {
+            eprintln!("warning: {id} missing from optimized run");
+            continue;
+        };
+        if !first {
+            report.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            report,
+            "    {{\"id\": \"{id}\", \"baseline_ns\": {base:.1}, \"optimized_ns\": {opt:.1}, \"speedup\": {:.2}}}",
+            base / opt
+        );
+    }
+    report.push_str("\n  ]\n}\n");
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+}

@@ -23,7 +23,12 @@ fn main() {
     let trials = preset.pick(4, 10);
 
     let sweep = Sweep::new("E1-isolated-nodes")
-        .models([ModelKind::Sdg, ModelKind::Pdg, ModelKind::Sdgr, ModelKind::Pdgr])
+        .models([
+            ModelKind::Sdg,
+            ModelKind::Pdg,
+            ModelKind::Sdgr,
+            ModelKind::Pdgr,
+        ])
         .sizes(sizes)
         .degrees(degrees)
         .trials(trials)

@@ -132,22 +132,24 @@ fn main() {
                     2.0 * (n as f64).log2(),
                     coverage.mean()
                 ),
-                to_99.count() > 0 && to_99.mean() <= 3.0 * (n as f64).log2() && coverage.mean() > 0.95,
+                to_99.count() > 0
+                    && to_99.mean() <= 3.0 * (n as f64).log2()
+                    && coverage.mean() > 0.95,
             )
-            .with_note(format!("{blocks} blocks, each announced by a freshly joined peer")),
+            .with_note(format!(
+                "{blocks} blocks, each announced by a freshly joined peer"
+            )),
         );
-        comparisons.push(
-            Comparison::new(
-                format!("degree limits respected, n={n}"),
-                "Section 1.1 (Bitcoin Core parameters)",
-                "outbound ~ 8, inbound <= 125".to_string(),
-                format!(
-                    "mean outbound {:.2}, max inbound {}",
-                    health.mean_outbound, health.max_inbound
-                ),
-                health.mean_outbound > 7.0 && health.max_inbound <= 125,
+        comparisons.push(Comparison::new(
+            format!("degree limits respected, n={n}"),
+            "Section 1.1 (Bitcoin Core parameters)",
+            "outbound ~ 8, inbound <= 125".to_string(),
+            format!(
+                "mean outbound {:.2}, max inbound {}",
+                health.mean_outbound, health.max_inbound
             ),
-        );
+            health.mean_outbound > 7.0 && health.max_inbound <= 125,
+        ));
     }
 
     print_report(

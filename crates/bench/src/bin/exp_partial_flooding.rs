@@ -128,7 +128,10 @@ fn main() {
                 format!("coverage >= 1 - e^(-Ω(d)) within O(log n), {point}"),
                 reference,
                 format!(">= {target:.3} for most runs"),
-                format!("mean coverage {:.3}, success rate {success:.2}", coverage[&key].mean),
+                format!(
+                    "mean coverage {:.3}, success rate {success:.2}",
+                    coverage[&key].mean
+                ),
                 success >= 0.5 && coverage[&key].mean >= target - 0.05,
             )
             .with_note(

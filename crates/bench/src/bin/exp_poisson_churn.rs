@@ -97,7 +97,9 @@ fn main() {
                 format!("in band {:.1}% of observed units", 100.0 * band_fraction),
                 band_fraction > 0.9,
             )
-            .with_note(format!("{observation_units} unit-time observations after t = 6n")),
+            .with_note(format!(
+                "{observation_units} unit-time observations after t = 6n"
+            )),
         );
         let (plo, phi) = theory::jump_probability_band();
         comparisons.push(

@@ -10,7 +10,7 @@
 //! cargo run --release -p churn-bench --bin exp_static_baseline [quick]
 //! ```
 
-use churn_analysis::{classify_scaling, Comparison, ComparisonSet, ScalingClass};
+use churn_analysis::{classify_scaling, Comparison, ComparisonSet};
 use churn_bench::{preset_from_env_and_args, print_report};
 use churn_graph::expansion::{ExpansionConfig, ExpansionEstimator};
 use churn_graph::generators::d_out_random_graph;
@@ -98,7 +98,7 @@ fn main() {
                 "Lemma B.1 (+ BFS)",
                 "O(log n): at most a few·log2 n".to_string(),
                 format!("shape: {class}; series {flood_series:?}"),
-                within_log_bound && class != ScalingClass::Linear || within_log_bound,
+                within_log_bound,
             )
             .with_note("static flooding time equals graph eccentricity of the source"),
         );

@@ -13,6 +13,11 @@
 //! * The Criterion benches in `benches/` measure the library's own throughput
 //!   (model stepping, snapshotting, flooding, expansion estimation, jump-chain
 //!   sampling) plus the design ablations called out in `DESIGN.md` §6.
+//!   Passing `--json <path>` after `--` (or setting `CHURN_BENCH_JSON`) makes
+//!   every bench append one machine-readable JSON line to `<path>`; the
+//!   `bench_report` binary joins a baseline and an optimized run into a
+//!   comparison file (this is how `BENCH_PR1.json` is produced). Set
+//!   `CHURN_BENCH_FAST=1` for a one-sample smoke run (used by CI).
 //!
 //! This crate's library part only holds the small amount of shared plumbing the
 //! binaries use (preset selection and report printing).
@@ -123,7 +128,9 @@ mod tests {
         let mut table = Table::new("t", ["a"]);
         table.push_row(["1"]);
         let mut set = ComparisonSet::new("c");
-        set.push(churn_analysis::Comparison::new("x", "Lemma", "1", "1", true));
+        set.push(churn_analysis::Comparison::new(
+            "x", "Lemma", "1", "1", true,
+        ));
         print_report("E0", "demo", Preset::Quick, &[table], &[set]);
     }
 }

@@ -298,11 +298,17 @@ mod tests {
     fn poisson_config_validation_rejects_bad_values() {
         assert!(matches!(
             PoissonConfig::with_rates(0.0, 0.1, 3).validate(),
-            Err(ModelError::InvalidRate { parameter: "lambda", .. })
+            Err(ModelError::InvalidRate {
+                parameter: "lambda",
+                ..
+            })
         ));
         assert!(matches!(
             PoissonConfig::with_rates(1.0, f64::NAN, 3).validate(),
-            Err(ModelError::InvalidRate { parameter: "mu", .. })
+            Err(ModelError::InvalidRate {
+                parameter: "mu",
+                ..
+            })
         ));
         assert!(matches!(
             PoissonConfig::with_rates(1.0, 1.0, 3).validate(),

@@ -123,6 +123,22 @@ impl ChurnSummary {
         self.births.extend(later.births);
     }
 
+    /// Records a birth observed while accumulating a summary in place.
+    pub fn record_birth(&mut self, id: NodeId) {
+        self.births.push(id);
+    }
+
+    /// Records a death observed while accumulating a summary in place, with
+    /// the same net-effect semantics as [`Self::absorb`]: a node that was born
+    /// within this summary's window simply vanishes from `births`.
+    pub fn record_death(&mut self, id: NodeId) {
+        if let Some(pos) = self.births.iter().position(|&b| b == id) {
+            self.births.swap_remove(pos);
+        } else {
+            self.deaths.push(id);
+        }
+    }
+
     /// Total number of churn events summarised.
     #[must_use]
     pub fn churn_count(&self) -> usize {
@@ -145,8 +161,14 @@ mod tests {
             slot: 0,
         };
         let events = [
-            ModelEvent::NodeJoined { id: id(1), time: 1.0 },
-            ModelEvent::NodeDied { id: id(1), time: 2.0 },
+            ModelEvent::NodeJoined {
+                id: id(1),
+                time: 1.0,
+            },
+            ModelEvent::NodeDied {
+                id: id(1),
+                time: 2.0,
+            },
             ModelEvent::EdgeCreated {
                 slot,
                 target: id(2),

@@ -133,8 +133,8 @@ mod tests {
     use churn_stochastic::rng::seeded_rng;
 
     fn warm_model(n: usize, d: usize, policy: EdgePolicy, seed: u64) -> StreamingModel {
-        let mut m = StreamingModel::new(StreamingConfig::new(n, d).edge_policy(policy).seed(seed))
-            .unwrap();
+        let mut m =
+            StreamingModel::new(StreamingConfig::new(n, d).edge_policy(policy).seed(seed)).unwrap();
         m.warm_up();
         for _ in 0..n {
             m.advance_time_unit();

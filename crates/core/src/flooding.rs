@@ -191,7 +191,9 @@ impl FloodingRecord {
     /// Informed fraction at the end of the run (0 if no round was simulated).
     #[must_use]
     pub fn final_fraction(&self) -> f64 {
-        self.rounds.last().map_or(0.0, RoundStats::informed_fraction)
+        self.rounds
+            .last()
+            .map_or(0.0, RoundStats::informed_fraction)
     }
 
     /// Largest informed-set size observed during the run.
@@ -210,6 +212,68 @@ impl FloodingRecord {
     }
 }
 
+/// The informed set, stored densely: one bit per slab cell of the underlying
+/// [`churn_graph::DynamicGraph`], plus the list of informed `(index, id)`
+/// pairs. The bitset makes the per-round "is this neighbour already informed?"
+/// check a single word probe, and the entry list bounds all per-round work by
+/// the informed population instead of the network size.
+///
+/// Slab cells are recycled across churn, so after every churn interval the
+/// entries are revalidated against the live graph (`id_at(idx) == id`); stale
+/// entries — dead nodes, or cells reused by newborns — drop out and their bits
+/// are cleared. A conventional `HashSet<NodeId>` view exists only at the API
+/// boundary ([`FloodingProcess::informed`]).
+#[derive(Debug, Clone, Default)]
+struct InformedSet {
+    bits: Vec<u64>,
+    entries: Vec<(u32, NodeId)>,
+}
+
+impl InformedSet {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn ensure_capacity(&mut self, slab_len: usize) {
+        let words = slab_len.div_ceil(64);
+        if self.bits.len() < words {
+            self.bits.resize(words, 0);
+        }
+    }
+
+    #[inline]
+    fn test(&self, idx: u32) -> bool {
+        let word = (idx / 64) as usize;
+        self.bits
+            .get(word)
+            .is_some_and(|bits| bits & (1u64 << (idx % 64)) != 0)
+    }
+
+    /// Sets the bit and records the entry; returns `false` when already set.
+    #[inline]
+    fn insert(&mut self, idx: u32, id: NodeId) -> bool {
+        let word = (idx / 64) as usize;
+        let mask = 1u64 << (idx % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        if self.bits[word] & mask != 0 {
+            return false;
+        }
+        self.bits[word] |= mask;
+        self.entries.push((idx, id));
+        true
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, idx: u32) {
+        let word = (idx / 64) as usize;
+        if let Some(bits) = self.bits.get_mut(word) {
+            *bits &= !(1u64 << (idx % 64));
+        }
+    }
+}
+
 /// A step-by-step flooding process, for callers that want to interleave their
 /// own measurements between rounds. [`run_flooding`] is the batteries-included
 /// driver built on top of it.
@@ -217,7 +281,8 @@ impl FloodingRecord {
 pub struct FloodingProcess {
     source: NodeId,
     start_time: f64,
-    informed: HashSet<NodeId>,
+    informed: InformedSet,
+    neighbor_scratch: Vec<u32>,
     rounds: u64,
     complete: bool,
     peak_informed: usize,
@@ -228,15 +293,15 @@ impl FloodingProcess {
     ///
     /// Returns `None` if `source` is not alive in `model`.
     pub fn from_source<M: DynamicNetwork>(model: &M, source: NodeId) -> Option<Self> {
-        if !model.contains(source) {
-            return None;
-        }
-        let mut informed = HashSet::new();
-        informed.insert(source);
+        let source_idx = model.graph().dense_index_of(source)?;
+        let mut informed = InformedSet::default();
+        informed.ensure_capacity(model.graph().slab_len());
+        informed.insert(source_idx, source);
         Some(FloodingProcess {
             source,
             start_time: model.time(),
             informed,
+            neighbor_scratch: Vec::new(),
             rounds: 0,
             complete: false,
             peak_informed: 1,
@@ -272,10 +337,13 @@ impl FloodingProcess {
         self.start_time
     }
 
-    /// The currently informed (alive) nodes.
+    /// The currently informed (alive) nodes, as a set of identifiers.
+    ///
+    /// This is the API-boundary view of the internal bitset and is rebuilt on
+    /// every call; prefer [`Self::informed_count`] in measurement loops.
     #[must_use]
-    pub fn informed(&self) -> &HashSet<NodeId> {
-        &self.informed
+    pub fn informed(&self) -> HashSet<NodeId> {
+        self.informed.entries.iter().map(|&(_, id)| id).collect()
     }
 
     /// Number of currently informed nodes.
@@ -303,16 +371,56 @@ impl FloodingProcess {
         self.complete
     }
 
+    /// Drops informed entries whose slab cell no longer holds their node
+    /// (death, or cell reuse by a newborn). Returns how many of the first
+    /// `prefix` entries survived.
+    fn revalidate<M: DynamicNetwork>(&mut self, model: &M, prefix: usize) -> usize {
+        let graph = model.graph();
+        let mut surviving_prefix = 0usize;
+        let mut write = 0usize;
+        for read in 0..self.informed.entries.len() {
+            let (idx, id) = self.informed.entries[read];
+            if graph.id_at(idx) == Some(id) {
+                if read < prefix {
+                    surviving_prefix += 1;
+                }
+                self.informed.entries[write] = (idx, id);
+                write += 1;
+            } else {
+                self.informed.clear_bit(idx);
+            }
+        }
+        self.informed.entries.truncate(write);
+        surviving_prefix
+    }
+
     /// Executes one flooding round: every neighbour (in the current snapshot) of
     /// an informed node becomes informed one time unit later, the model advances
     /// by that time unit, and informed nodes that died are dropped.
     pub fn step<M: DynamicNetwork>(&mut self, model: &mut M) -> RoundStats {
-        // Boundary in the current snapshot G_{t-1}.
+        // The caller may have churned the model between steps (the process
+        // only observes it through this method), so first drop entries whose
+        // slab cell was vacated or recycled — otherwise the boundary sweep
+        // below would expand a newborn's adjacency as if it were informed.
+        self.revalidate(model, 0);
+
+        // Boundary in the current snapshot G_{t-1}: expand the bitset over the
+        // dense adjacency. Entries appended during the sweep are the frontier
+        // of this round; they are not re-expanded (their bits are set, so the
+        // loop over the pre-existing prefix suffices).
         let graph = model.graph();
-        let mut next: HashSet<NodeId> = self.informed.clone();
-        for &u in &self.informed {
-            if let Some(neighbors) = graph.neighbors(u) {
-                next.extend(neighbors);
+        self.informed.ensure_capacity(graph.slab_len());
+        let prev_len = self.informed.entries.len();
+        for i in 0..prev_len {
+            let (idx, _) = self.informed.entries[i];
+            self.neighbor_scratch.clear();
+            graph.neighbors_dense_into(idx, &mut self.neighbor_scratch);
+            for j in 0..self.neighbor_scratch.len() {
+                let nb = self.neighbor_scratch[j];
+                if !self.informed.test(nb) {
+                    let nb_id = graph.id_at(nb).expect("adjacency points at alive cells");
+                    self.informed.insert(nb, nb_id);
+                }
             }
         }
 
@@ -320,25 +428,28 @@ impl FloodingProcess {
         let summary: ChurnSummary = model.advance_time_unit();
 
         // I_t = (I_{t-1} ∪ ∂out(I_{t-1})) ∩ N_t.
-        next.retain(|id| model.contains(*id));
-        let newly_informed = next.iter().filter(|id| !self.informed.contains(id)).count();
-        self.informed = next;
+        let surviving_prev = self.revalidate(model, prev_len);
+        let newly_informed = self.informed.entries.len() - surviving_prev;
         self.rounds += 1;
         self.peak_informed = self.peak_informed.max(self.informed.len());
 
-        // Completion: every alive node that is not a newcomer of this interval is
-        // informed, i.e. I_t ⊇ N_{t-1} ∩ N_t.
-        let births: HashSet<NodeId> = summary.births.iter().copied().collect();
-        let alive_ids = model.alive_ids();
-        self.complete = alive_ids
+        // Completion: every alive node that is not a newcomer of this interval
+        // is informed, i.e. I_t ⊇ N_{t-1} ∩ N_t. Newborns are never informed
+        // (the boundary sweep preceded their birth), so a counting argument
+        // replaces the former full scan over the alive set.
+        let alive = model.alive_count();
+        let births_alive = summary
+            .births
             .iter()
-            .all(|id| births.contains(id) || self.informed.contains(id));
+            .filter(|&&id| model.contains(id))
+            .count();
+        self.complete = self.informed.len() + births_alive == alive;
 
         RoundStats {
             round: self.rounds,
             time: model.time(),
             informed: self.informed.len(),
-            alive: alive_ids.len(),
+            alive,
             newly_informed,
             complete: self.complete,
         }
@@ -423,9 +534,7 @@ pub fn run_flooding<M: DynamicNetwork>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        EdgePolicy, PoissonConfig, PoissonModel, StreamingConfig, StreamingModel,
-    };
+    use crate::{EdgePolicy, PoissonConfig, PoissonModel, StreamingConfig, StreamingModel};
 
     fn sdgr(n: usize, d: usize, seed: u64) -> StreamingModel {
         let mut m = StreamingModel::new(
@@ -453,7 +562,11 @@ mod tests {
             FloodingSource::NextToJoin,
             &FloodingConfig::default(),
         );
-        assert!(record.outcome.is_complete(), "outcome: {:?}", record.outcome);
+        assert!(
+            record.outcome.is_complete(),
+            "outcome: {:?}",
+            record.outcome
+        );
         let rounds = record.outcome.rounds().unwrap();
         assert!(
             rounds <= 40,
@@ -498,7 +611,10 @@ mod tests {
                 died += 1;
             }
         }
-        assert!(died > 0, "at least one of 12 runs with d = 1 should die out");
+        assert!(
+            died > 0,
+            "at least one of 12 runs with d = 1 should die out"
+        );
     }
 
     #[test]
@@ -543,6 +659,29 @@ mod tests {
     }
 
     #[test]
+    fn external_churn_between_steps_does_not_corrupt_informed_set() {
+        // The caller is allowed to advance the model outside step(). Any
+        // informed node that dies in between — including one whose slab cell
+        // is recycled by a newborn — must silently drop out instead of the
+        // newborn's neighbourhood being treated as informed.
+        let mut model = sdgr(64, 4, 21);
+        let source = model.alive_ids()[5];
+        let mut process = FloodingProcess::from_source(&model, source).unwrap();
+        // Churn the whole population over: every node alive at start (the
+        // source included) dies, and every slab cell is recycled.
+        for _ in 0..(2 * 64) {
+            model.advance_time_unit();
+        }
+        assert!(!model.contains(source));
+        let stats = process.step(&mut model);
+        // The stale source entry must not seed the newborn occupying its
+        // cell: the informed set collapses to empty (nobody was informed).
+        assert_eq!(stats.informed, 0, "stale cell must not re-seed flooding");
+        assert_eq!(process.informed_count(), 0);
+        assert!(process.informed().is_empty());
+    }
+
+    #[test]
     fn from_source_rejects_dead_nodes() {
         let model = sdgr(64, 4, 5);
         assert!(FloodingProcess::from_source(&model, NodeId::new(u64::MAX)).is_none());
@@ -569,7 +708,8 @@ mod tests {
         let process = FloodingProcess::start(&mut model, FloodingSource::Node(target));
         assert_eq!(process.source(), target);
         // A dead node falls back to the next joiner.
-        let process = FloodingProcess::start(&mut model, FloodingSource::Node(NodeId::new(u64::MAX)));
+        let process =
+            FloodingProcess::start(&mut model, FloodingSource::Node(NodeId::new(u64::MAX)));
         assert!(model.contains(process.source()));
     }
 
@@ -650,10 +790,7 @@ mod tests {
         assert!(FloodingOutcome::Completed { rounds: 3 }.is_complete());
         assert!(!FloodingOutcome::Completed { rounds: 3 }.is_died_out());
         assert_eq!(FloodingOutcome::Completed { rounds: 3 }.rounds(), Some(3));
-        assert_eq!(
-            FloodingOutcome::RoundLimit { fraction: 0.5 }.rounds(),
-            None
-        );
+        assert_eq!(FloodingOutcome::RoundLimit { fraction: 0.5 }.rounds(), None);
         assert!(FloodingOutcome::DiedOut {
             rounds: 5,
             peak_informed: 2

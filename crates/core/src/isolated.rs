@@ -217,7 +217,8 @@ mod tests {
     #[test]
     fn pdg_also_exhibits_isolated_nodes() {
         // Lemma 4.10: the Poisson model without regeneration has isolated nodes.
-        let mut model = PoissonModel::new(PoissonConfig::with_expected_size(300, 2).seed(5)).unwrap();
+        let mut model =
+            PoissonModel::new(PoissonConfig::with_expected_size(300, 2).seed(5)).unwrap();
         model.warm_up();
         let report = lifetime_isolation_report(&model, 50);
         assert!(

@@ -155,8 +155,10 @@ pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
     let mut old_reached: HashSet<NodeId> = HashSet::new();
 
     // Phase 0: the source's own d requests, restricted to old destinations.
+    // One slot buffer is reused across every per-node query below.
+    let mut slots: Vec<Option<NodeId>> = Vec::new();
     let mut old_frontier: HashSet<NodeId> = HashSet::new();
-    if let Some(slots) = graph.out_slots(source) {
+    if graph.out_slots_into(source, &mut slots) {
         for target in slots.iter().flatten() {
             if is_old(*target, &class_of) {
                 old_frontier.insert(*target);
@@ -191,9 +193,10 @@ pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
             if !is_young(v, &class_of) || young_reached.contains(&v) {
                 continue;
             }
-            let Some(slots) = graph.out_slots(v) else {
+            slots.clear();
+            if !graph.out_slots_into(v, &mut slots) {
                 continue;
-            };
+            }
             let hits_frontier = slots
                 .iter()
                 .enumerate()
@@ -209,9 +212,10 @@ pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
         // reached young nodes.
         let mut next_old_frontier: HashSet<NodeId> = HashSet::new();
         for &v in &young_frontier {
-            let Some(slots) = graph.out_slots(v) else {
+            slots.clear();
+            if !graph.out_slots_into(v, &mut slots) {
                 continue;
-            };
+            }
             for target in slots.iter().take(half_d).flatten() {
                 if is_old(*target, &class_of) && !old_reached.contains(target) {
                     next_old_frontier.insert(*target);

@@ -1,8 +1,7 @@
 //! The Poisson dynamic graph models PDG and PDGR (Definitions 4.1, 4.9, 4.14).
 
-use std::collections::HashMap;
-
-use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator};
+use churn_graph::hashing::IdHashMap;
+use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator, RemovedNode};
 use churn_stochastic::process::{BirthDeathChain, JumpKind};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
@@ -63,11 +62,14 @@ pub struct PoissonModel {
     chain: BirthDeathChain,
     time: f64,
     jumps: u64,
-    alive: crate::AliveSet,
-    birth_time: HashMap<NodeId, f64>,
+    birth_time: IdHashMap<NodeId, f64>,
     alloc: NodeIdAllocator,
     newest: Option<NodeId>,
     events: Vec<ModelEvent>,
+    /// Reused buffers: the removal report and the batch of sampled targets.
+    /// Steady-state jumps allocate nothing.
+    removal_scratch: RemovedNode,
+    sample_scratch: Vec<u32>,
 }
 
 impl PoissonModel {
@@ -87,11 +89,12 @@ impl PoissonModel {
             chain,
             time: 0.0,
             jumps: 0,
-            alive: crate::AliveSet::with_capacity(capacity),
-            birth_time: HashMap::with_capacity(capacity),
+            birth_time: IdHashMap::with_capacity_and_hasher(capacity, Default::default()),
             alloc: NodeIdAllocator::new(),
             newest: None,
             events: Vec::new(),
+            removal_scratch: RemovedNode::default(),
+            sample_scratch: Vec::new(),
             config,
         })
     }
@@ -120,7 +123,7 @@ impl PoissonModel {
 
     /// Processes exactly one jump-chain event and returns it.
     pub fn next_jump(&mut self) -> PoissonEvent {
-        let jump = self.chain.next_jump(self.alive.len() as u64, &mut self.rng);
+        let jump = self.chain.next_jump(self.graph.len() as u64, &mut self.rng);
         self.time += jump.waiting_time;
         self.jumps += 1;
         match jump.kind {
@@ -132,11 +135,15 @@ impl PoissonModel {
                 }
             }
             JumpKind::Death => {
-                let victim = self
-                    .alive
-                    .sample(&mut self.rng)
+                let victim_idx = self
+                    .graph
+                    .sample_member(&mut self.rng)
                     .expect("a death event implies at least one alive node");
-                self.kill(victim);
+                let victim = self
+                    .graph
+                    .id_at(victim_idx)
+                    .expect("sampled member is alive");
+                self.kill(victim, victim_idx);
                 PoissonEvent::Departure {
                     id: victim,
                     time: self.time,
@@ -149,17 +156,10 @@ impl PoissonModel {
     pub fn advance_jumps(&mut self, rounds: u64) -> ChurnSummary {
         let mut summary = ChurnSummary::new();
         for _ in 0..rounds {
-            let step = match self.next_jump() {
-                PoissonEvent::Arrival { id, .. } => ChurnSummary {
-                    births: vec![id],
-                    deaths: Vec::new(),
-                },
-                PoissonEvent::Departure { id, .. } => ChurnSummary {
-                    births: Vec::new(),
-                    deaths: vec![id],
-                },
-            };
-            summary.absorb(step);
+            match self.next_jump() {
+                PoissonEvent::Arrival { id, .. } => summary.record_birth(id),
+                PoissonEvent::Departure { id, .. } => summary.record_death(id),
+            }
         }
         summary
     }
@@ -181,7 +181,7 @@ impl PoissonModel {
         );
         let mut summary = ChurnSummary::new();
         while self.time < target {
-            let jump = self.chain.next_jump(self.alive.len() as u64, &mut self.rng);
+            let jump = self.chain.next_jump(self.graph.len() as u64, &mut self.rng);
             if self.time + jump.waiting_time > target {
                 // Memorylessness: the residual wait past `target` is statistically
                 // identical to a fresh draw at `target`, so we may forget it.
@@ -190,27 +190,24 @@ impl PoissonModel {
             }
             self.time += jump.waiting_time;
             self.jumps += 1;
-            let step = match jump.kind {
+            match jump.kind {
                 JumpKind::Birth => {
                     let id = self.spawn();
-                    ChurnSummary {
-                        births: vec![id],
-                        deaths: Vec::new(),
-                    }
+                    summary.record_birth(id);
                 }
                 JumpKind::Death => {
-                    let victim = self
-                        .alive
-                        .sample(&mut self.rng)
+                    let victim_idx = self
+                        .graph
+                        .sample_member(&mut self.rng)
                         .expect("a death event implies at least one alive node");
-                    self.kill(victim);
-                    ChurnSummary {
-                        births: Vec::new(),
-                        deaths: vec![victim],
-                    }
+                    let victim = self
+                        .graph
+                        .id_at(victim_idx)
+                        .expect("sampled member is alive");
+                    self.kill(victim, victim_idx);
+                    summary.record_death(victim);
                 }
-            };
-            summary.absorb(step);
+            }
         }
         summary
     }
@@ -218,8 +215,9 @@ impl PoissonModel {
     fn spawn(&mut self) -> NodeId {
         let id = self.alloc.next_id();
         let d = self.config.d;
-        self.graph
-            .add_node(id, d)
+        let idx = self
+            .graph
+            .add_node_indexed(id, d)
             .expect("allocator never reuses identifiers");
         if self.config.record_events {
             self.events.push(ModelEvent::NodeJoined {
@@ -227,14 +225,23 @@ impl PoissonModel {
                 time: self.time,
             });
         }
-        for slot in 0..d {
-            let Some(target) = self.alive.sample(&mut self.rng) else {
-                break; // first node of the network: nobody to connect to yet
-            };
+        // d uniform requests among the pre-existing nodes: the newborn is
+        // already registered in the member list, so exclude it by index.
+        // Targets are drawn in a batch before any record is touched so the
+        // per-target cache misses overlap.
+        self.sample_scratch.clear();
+        self.graph
+            .sample_members_excluding_into(&mut self.rng, idx, d, &mut self.sample_scratch);
+        for slot in 0..self.sample_scratch.len() {
+            let target_idx = self.sample_scratch[slot];
             self.graph
-                .set_out_slot(id, slot, target)
+                .set_out_slot_at(idx, slot, target_idx)
                 .expect("valid request");
             if self.config.record_events {
+                let target = self
+                    .graph
+                    .id_at(target_idx)
+                    .expect("sampled member is alive");
                 self.events.push(ModelEvent::EdgeCreated {
                     slot: EdgeSlot { owner: id, slot },
                     target,
@@ -242,21 +249,19 @@ impl PoissonModel {
                 });
             }
         }
-        self.alive.insert(id);
         self.birth_time.insert(id, self.time);
         self.newest = Some(id);
         id
     }
 
-    fn kill(&mut self, victim: NodeId) {
-        self.alive.remove(victim);
+    fn kill(&mut self, victim: NodeId, victim_idx: u32) {
         self.birth_time.remove(&victim);
         if self.newest == Some(victim) {
             self.newest = None;
         }
-        let removed = self
-            .graph
-            .remove_node(victim)
+        let mut removed = std::mem::take(&mut self.removal_scratch);
+        self.graph
+            .remove_node_into(victim_idx, &mut removed)
             .expect("sampled victim is alive");
         if self.config.record_events {
             self.events.push(ModelEvent::NodeDied {
@@ -282,22 +287,44 @@ impl PoissonModel {
             }
         }
         if self.config.edge_policy.regenerates() {
-            for slot in removed.dangling_slots {
-                let Some(target) = self.alive.sample_excluding(&mut self.rng, slot.owner) else {
+            // dangling_dense is aligned with dangling_slots and sorted by
+            // (owner id, slot), so the regeneration draw order is
+            // deterministic. Replacement targets are drawn in a batch first,
+            // letting the per-owner record touches overlap.
+            self.sample_scratch.clear();
+            for &(owner_idx, _) in &removed.dangling_dense {
+                match self.graph.sample_member_excluding(&mut self.rng, owner_idx) {
+                    Some(target_idx) => self.sample_scratch.push(target_idx),
+                    None => self.sample_scratch.push(u32::MAX),
+                }
+            }
+            for (pair, &target_idx) in removed
+                .dangling_slots
+                .iter()
+                .zip(&removed.dangling_dense)
+                .zip(&self.sample_scratch)
+            {
+                let (slot, &(owner_idx, slot_pos)) = pair;
+                if target_idx == u32::MAX {
                     continue;
-                };
+                }
                 self.graph
-                    .set_out_slot(slot.owner, slot.slot, target)
+                    .set_out_slot_at(owner_idx, slot_pos, target_idx)
                     .expect("owner alive, slot in range, target distinct");
                 if self.config.record_events {
+                    let target = self
+                        .graph
+                        .id_at(target_idx)
+                        .expect("sampled member is alive");
                     self.events.push(ModelEvent::EdgeRegenerated {
-                        slot,
+                        slot: *slot,
                         target,
                         time: self.time,
                     });
                 }
             }
         }
+        self.removal_scratch = removed;
     }
 }
 
@@ -364,6 +391,7 @@ mod tests {
     use super::*;
     use churn_graph::Snapshot;
     use churn_stochastic::OnlineStats;
+    use std::collections::HashMap;
 
     fn model(n: usize, d: usize, policy: EdgePolicy, seed: u64) -> PoissonModel {
         PoissonModel::new(
@@ -433,7 +461,10 @@ mod tests {
         m.advance_until(25.0);
         assert!((m.time() - 25.0).abs() < 1e-12);
         m.advance_until(25.0);
-        assert!((m.time() - 25.0).abs() < 1e-12, "advancing to now is a no-op");
+        assert!(
+            (m.time() - 25.0).abs() < 1e-12,
+            "advancing to now is a no-op"
+        );
     }
 
     #[test]

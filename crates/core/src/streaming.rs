@@ -1,8 +1,8 @@
 //! The streaming dynamic graph models SDG and SDGR (Definitions 3.2, 3.4, 3.13).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator};
+use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator, RemovedNode};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
 use crate::model::DynamicNetwork;
@@ -44,11 +44,16 @@ pub struct StreamingModel {
     graph: DynamicGraph,
     rng: SimRng,
     round: u64,
-    /// Birth order of alive nodes; the front is the oldest.
-    order: VecDeque<NodeId>,
-    birth_round: HashMap<NodeId, u64>,
+    /// Birth order of alive nodes as `(id, dense index)`; the front is the
+    /// oldest. Dense indices stay valid for a node's whole lifetime, so the
+    /// expiring node can be removed without an identifier lookup.
+    order: VecDeque<(NodeId, u32)>,
     alloc: NodeIdAllocator,
     events: Vec<ModelEvent>,
+    /// Reused buffers: the removal report and the batch of sampled targets.
+    /// Steady-state rounds allocate nothing.
+    removal_scratch: RemovedNode,
+    sample_scratch: Vec<u32>,
 }
 
 impl StreamingModel {
@@ -65,9 +70,10 @@ impl StreamingModel {
             rng,
             round: 0,
             order: VecDeque::with_capacity(config.n + 1),
-            birth_round: HashMap::with_capacity(config.n + 1),
             alloc: NodeIdAllocator::new(),
             events: Vec::new(),
+            removal_scratch: RemovedNode::default(),
+            sample_scratch: Vec::new(),
             config,
         })
     }
@@ -95,9 +101,13 @@ impl StreamingModel {
     }
 
     /// Birth round of an alive node.
+    ///
+    /// Identifiers are allocated monotonically, exactly one per round, so the
+    /// birth round of the node with raw identifier `k` is `k + 1` — no
+    /// per-node bookkeeping needed beyond the aliveness check.
     #[must_use]
     pub fn birth_round(&self, id: NodeId) -> Option<u64> {
-        self.birth_round.get(&id).copied()
+        self.graph.contains(id).then(|| id.raw() + 1)
     }
 
     /// Age (in rounds) of an alive node: a node born this round has age 0, the
@@ -110,7 +120,7 @@ impl StreamingModel {
     /// The oldest alive node (the next one to die), if any.
     #[must_use]
     pub fn oldest_node(&self) -> Option<NodeId> {
-        self.order.front().copied()
+        self.order.front().map(|&(id, _)| id)
     }
 
     /// Executes one round: the node that joined `n` rounds ago dies (if any),
@@ -121,11 +131,11 @@ impl StreamingModel {
 
         // Death of the node whose lifetime of exactly n rounds expired.
         if self.order.len() == self.config.n {
-            let victim = self
+            let (victim, victim_idx) = self
                 .order
                 .pop_front()
                 .expect("queue holds n nodes, so the front exists");
-            self.kill(victim);
+            self.kill(victim, victim_idx);
             summary.deaths.push(victim);
         }
 
@@ -139,22 +149,31 @@ impl StreamingModel {
     fn spawn(&mut self) -> NodeId {
         let id = self.alloc.next_id();
         let d = self.config.d;
-        self.graph
-            .add_node(id, d)
+        let idx = self
+            .graph
+            .add_node_indexed(id, d)
             .expect("allocator never reuses identifiers");
         let time = self.round as f64;
         if self.config.record_events {
             self.events.push(ModelEvent::NodeJoined { id, time });
         }
-        // d independent uniform requests among the nodes already in the network.
-        for slot in 0..d {
-            let Some(target) = self.sample_other(id) else {
-                break; // the very first node has nobody to connect to
-            };
+        // d independent uniform requests among the nodes already in the
+        // network (the newborn itself is excluded by index, an O(1) slab
+        // draw). Targets are drawn in a batch before any record is touched so
+        // the per-target cache misses overlap.
+        self.sample_scratch.clear();
+        self.graph
+            .sample_members_excluding_into(&mut self.rng, idx, d, &mut self.sample_scratch);
+        for slot in 0..self.sample_scratch.len() {
+            let target_idx = self.sample_scratch[slot];
             self.graph
-                .set_out_slot(id, slot, target)
+                .set_out_slot_at(idx, slot, target_idx)
                 .expect("slot in range, target alive, no self-loop");
             if self.config.record_events {
+                let target = self
+                    .graph
+                    .id_at(target_idx)
+                    .expect("sampled member is alive");
                 self.events.push(ModelEvent::EdgeCreated {
                     slot: EdgeSlot { owner: id, slot },
                     target,
@@ -162,17 +181,16 @@ impl StreamingModel {
                 });
             }
         }
-        self.order.push_back(id);
-        self.birth_round.insert(id, self.round);
+        self.order.push_back((id, idx));
+        debug_assert_eq!(self.birth_round(id), Some(self.round));
         id
     }
 
-    fn kill(&mut self, victim: NodeId) {
+    fn kill(&mut self, victim: NodeId, victim_idx: u32) {
         let time = self.round as f64;
-        self.birth_round.remove(&victim);
-        let removed = self
-            .graph
-            .remove_node(victim)
+        let mut removed = std::mem::take(&mut self.removal_scratch);
+        self.graph
+            .remove_node_into(victim_idx, &mut removed)
             .expect("victim from the order queue is alive");
         if self.config.record_events {
             self.events.push(ModelEvent::NodeDied { id: victim, time });
@@ -195,37 +213,45 @@ impl StreamingModel {
             }
         }
         if self.config.edge_policy.regenerates() {
-            for slot in removed.dangling_slots {
-                let Some(target) = self.sample_other(slot.owner) else {
+            // dangling_dense is aligned with dangling_slots and sorted by
+            // (owner id, slot), so the regeneration draw order is
+            // deterministic. Replacement targets are drawn in a batch first
+            // (the draws do not depend on the re-pointing), letting the
+            // per-owner record touches overlap.
+            self.sample_scratch.clear();
+            for &(owner_idx, _) in &removed.dangling_dense {
+                match self.graph.sample_member_excluding(&mut self.rng, owner_idx) {
+                    Some(target_idx) => self.sample_scratch.push(target_idx),
+                    None => self.sample_scratch.push(u32::MAX),
+                }
+            }
+            for (pair, &target_idx) in removed
+                .dangling_slots
+                .iter()
+                .zip(&removed.dangling_dense)
+                .zip(&self.sample_scratch)
+            {
+                let (slot, &(owner_idx, slot_pos)) = pair;
+                if target_idx == u32::MAX {
                     continue;
-                };
+                }
                 self.graph
-                    .set_out_slot(slot.owner, slot.slot, target)
+                    .set_out_slot_at(owner_idx, slot_pos, target_idx)
                     .expect("owner alive, slot in range, target distinct");
                 if self.config.record_events {
-                    self.events.push(ModelEvent::EdgeRegenerated { slot, target, time });
+                    let target = self
+                        .graph
+                        .id_at(target_idx)
+                        .expect("sampled member is alive");
+                    self.events.push(ModelEvent::EdgeRegenerated {
+                        slot: *slot,
+                        target,
+                        time,
+                    });
                 }
             }
         }
-    }
-
-    /// A uniformly random alive node different from `exclude`, or `None` if no
-    /// such node exists.
-    fn sample_other(&mut self, exclude: NodeId) -> Option<NodeId> {
-        // The birth-order queue is a dense, indexable view of the alive set.
-        match self.order.len() {
-            0 => None,
-            1 => {
-                let only = self.order[0];
-                (only != exclude).then_some(only)
-            }
-            len => loop {
-                let candidate = self.order[rand::Rng::gen_range(&mut self.rng, 0..len)];
-                if candidate != exclude {
-                    return Some(candidate);
-                }
-            },
-        }
+        self.removal_scratch = removed;
     }
 }
 
@@ -263,7 +289,7 @@ impl DynamicNetwork for StreamingModel {
     }
 
     fn newest_node(&self) -> Option<NodeId> {
-        self.order.back().copied()
+        self.order.back().map(|&(id, _)| id)
     }
 
     fn advance_time_unit(&mut self) -> ChurnSummary {
@@ -296,6 +322,7 @@ mod tests {
     use super::*;
     use churn_graph::Snapshot;
     use churn_stochastic::OnlineStats;
+    use std::collections::HashMap;
 
     fn model(n: usize, d: usize, policy: EdgePolicy, seed: u64) -> StreamingModel {
         StreamingModel::new(

@@ -28,6 +28,9 @@ pub enum GraphError {
     },
     /// An out-slot may not point at its own owner.
     SelfLoop(NodeId),
+    /// A dense-index operation named a slab cell that holds no node (either
+    /// never used, or vacated by a removal and not yet recycled).
+    VacantIndex(u32),
 }
 
 impl fmt::Display for GraphError {
@@ -40,6 +43,9 @@ impl fmt::Display for GraphError {
                 "out-slot {slot} of node {node} is out of range (node has {len} slots)"
             ),
             GraphError::SelfLoop(id) => write!(f, "node {id} may not connect to itself"),
+            GraphError::VacantIndex(idx) => {
+                write!(f, "dense index {idx} names a vacant slab cell")
+            }
         }
     }
 }

@@ -144,7 +144,7 @@ impl ExpansionEstimate {
     /// candidate with a worse ratio was found).
     #[must_use]
     pub fn at_least(&self, threshold: f64) -> bool {
-        self.value().map_or(false, |v| v >= threshold)
+        self.value().is_some_and(|v| v >= threshold)
     }
 }
 
@@ -168,7 +168,7 @@ pub const EXACT_EXPANSION_LIMIT: usize = 22;
 #[must_use]
 pub fn exact_isoperimetric(snapshot: &Snapshot) -> Option<ExactExpansion> {
     let n = snapshot.len();
-    if n < 2 || n > EXACT_EXPANSION_LIMIT {
+    if !(2..=EXACT_EXPANSION_LIMIT).contains(&n) {
         return None;
     }
     let half = n / 2;
@@ -180,7 +180,7 @@ pub fn exact_isoperimetric(snapshot: &Snapshot) -> Option<ExactExpansion> {
         }
         let set: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
         let ratio = outer_boundary_size(snapshot, &set) as f64 / size as f64;
-        let better = best.as_ref().map_or(true, |b| ratio < b.value);
+        let better = best.as_ref().is_none_or(|b| ratio < b.value);
         if better {
             best = Some(ExactExpansion {
                 value: ratio,
@@ -445,7 +445,7 @@ impl SearchState {
         self.evaluated += 1;
         let boundary = outer_boundary_size(snapshot, set);
         let ratio = boundary as f64 / set.len() as f64;
-        if self.worst.as_ref().map_or(true, |w| ratio < w.ratio) {
+        if self.worst.as_ref().is_none_or(|w| ratio < w.ratio) {
             self.worst = Some(ExpansionWitness {
                 size: set.len(),
                 boundary,
@@ -484,7 +484,7 @@ pub fn refine_with_custom_set(
     let ratio = boundary as f64 / distinct.len() as f64;
     let mut out = estimate;
     out.candidates_evaluated += 1;
-    if out.worst.as_ref().map_or(true, |w| ratio < w.ratio) {
+    if out.worst.as_ref().is_none_or(|w| ratio < w.ratio) {
         out.worst = Some(ExpansionWitness {
             size: distinct.len(),
             boundary,
@@ -619,7 +619,10 @@ mod tests {
         let snap = Snapshot::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         assert_eq!(expansion_of(&snap, &[]), None);
         let with_dup = expansion_of(&snap, &[1, 1]).unwrap();
-        assert!((with_dup - 2.0).abs() < 1e-12, "singleton {{1}} has boundary 2");
+        assert!(
+            (with_dup - 2.0).abs() < 1e-12,
+            "singleton {{1}} has boundary 2"
+        );
     }
 
     #[test]
@@ -706,7 +709,8 @@ mod tests {
         let mut edges: Vec<(usize, usize)> = (0..20).map(|i| (i, (i + 1) % 20)).collect();
         edges.push((20, 21));
         let snap = Snapshot::from_edges(22, &edges);
-        let est = ExpansionEstimator::new(ExpansionConfig::default()).estimate(&snap, 5, 11, &mut r);
+        let est =
+            ExpansionEstimator::new(ExpansionConfig::default()).estimate(&snap, 5, 11, &mut r);
         if let Some(w) = &est.worst {
             assert!(w.size >= 5 && w.size <= 11);
         }

@@ -181,7 +181,10 @@ mod tests {
         // unlikely, so a seeded test is stable.
         let g = d_out_random_graph(300, 3, &mut rng());
         let comps = connected_components(&Snapshot::of(&g));
-        assert!(comps.is_connected(), "3-out random graph should be connected");
+        assert!(
+            comps.is_connected(),
+            "3-out random graph should be connected"
+        );
     }
 
     #[test]

@@ -1,9 +1,30 @@
 //! The mutable dynamic graph structure driven by the churn models.
+//!
+//! # Performance architecture
+//!
+//! Internally the graph is a **slab arena**: every alive node occupies one cell
+//! of a `Vec<Option<NodeRecord>>`, vacated cells are recycled through a free
+//! list, and all adjacency bookkeeping (out-slot targets, in-reference
+//! multisets) is stored as dense `u32` slab indices rather than [`NodeId`]s.
+//! A `NodeId → u32` map is maintained only for the identifier-based public
+//! API; the churn models drive the graph through the `*_at` / `*_indexed`
+//! dense methods and never touch a hash table on their hot paths. A dense
+//! `members` vector of occupied cells (swap-remove order) supports O(1)
+//! uniform alive-node sampling.
+//!
+//! The `NodeId ↔ dense index` contract: an index returned by
+//! [`DynamicGraph::add_node_indexed`] or [`DynamicGraph::dense_index_of`]
+//! stays valid exactly as long as that node is alive. Once the node is
+//! removed, the index may be recycled for a *different* node, so callers
+//! keeping indices across removals must re-validate them via
+//! [`DynamicGraph::id_at`] (this is what the flooding bitset does after every
+//! churn interval).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::hashing::IdHashMap;
 use crate::{GraphError, NodeId, Result};
 
 /// Identifies one of the `d` out-going connection requests a node owns.
@@ -39,21 +60,153 @@ pub struct RemovedNode {
     /// Out-slots of surviving nodes that pointed at the removed node and are now
     /// empty. Sorted by `(owner, slot)` for determinism.
     pub dangling_slots: Vec<EdgeSlot>,
+    /// The same dangling slots as `(owner dense index, slot)` pairs, aligned
+    /// element-wise with `dangling_slots`, so regeneration can re-point them
+    /// without identifier lookups. The indices are valid until the owners die.
+    pub dangling_dense: Vec<(u32, usize)>,
 }
 
-#[derive(Debug, Clone, Default)]
+impl Default for RemovedNode {
+    /// An empty record (id `u64::MAX`); used as the initial state of scratch
+    /// buffers passed to [`DynamicGraph::remove_node_into`].
+    fn default() -> Self {
+        RemovedNode {
+            id: NodeId::new(u64::MAX),
+            out_targets: Vec::new(),
+            dangling_slots: Vec::new(),
+            dangling_dense: Vec::new(),
+        }
+    }
+}
+
+/// Sentinel for an unconnected out-slot (the dense-index equivalent of
+/// `None`); slab indices never reach `u32::MAX`.
+const NO_TARGET: u32 = u32::MAX;
+
+/// A copy-on-write-free small vector: the first `N` elements live inline in
+/// the record (one cache line away from the rest of the node), and only nodes
+/// whose degree exceeds `N` spill to the heap. In the stationary regime of
+/// the churn models almost no record spills, so node birth/death performs no
+/// heap allocation and cloning a graph is a flat memcpy of the slab.
+#[derive(Debug, Clone)]
+struct MiniVec<const N: usize> {
+    len: u32,
+    inline: [u32; N],
+    /// Boxed so the common no-spill record costs one pointer, not a Vec
+    /// (the double indirection only ever costs on the rare spilled nodes).
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<u32>>>,
+}
+
+impl<const N: usize> MiniVec<N> {
+    fn new() -> Self {
+        MiniVec {
+            len: 0,
+            inline: [0; N],
+            spill: None,
+        }
+    }
+
+    fn filled(len: usize, value: u32) -> Self {
+        let mut v = Self::new();
+        for _ in 0..len {
+            v.push(value);
+        }
+        v
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn spill_slice(&self) -> &[u32] {
+        self.spill.as_ref().map_or(&[], |boxed| boxed.as_slice())
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u32 {
+        if i < N {
+            self.inline[i]
+        } else {
+            self.spill_slice()[i - N]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, value: u32) {
+        if i < N {
+            self.inline[i] = value;
+        } else {
+            self.spill.as_mut().expect("index within spilled length")[i - N] = value;
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, value: u32) {
+        let i = self.len as usize;
+        if i < N {
+            self.inline[i] = value;
+        } else {
+            self.spill.get_or_insert_with(Default::default).push(value);
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn swap_remove(&mut self, i: usize) {
+        let last = self.len() - 1;
+        let moved = self.get(last);
+        self.set(i, moved);
+        if last >= N {
+            self.spill
+                .as_mut()
+                .expect("spill exists for spilled length")
+                .pop();
+        }
+        self.len -= 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.inline[..self.len().min(N)]
+            .iter()
+            .chain(self.spill_slice())
+            .copied()
+    }
+
+    fn position(&self, value: u32) -> Option<usize> {
+        self.iter().position(|x| x == value)
+    }
+
+    fn contains(&self, value: u32) -> bool {
+        self.position(value).is_some()
+    }
+}
+
+#[derive(Debug, Clone)]
 struct NodeRecord {
-    /// The node's own connection requests; `None` means the slot is currently
-    /// unconnected (its target died and no regeneration happened).
-    out_slots: Vec<Option<NodeId>>,
-    /// Multiset of nodes holding at least one out-slot pointing at this node,
-    /// with multiplicities.
-    in_refs: HashMap<NodeId, u32>,
+    /// The node's identifier (the reverse of the `NodeId → index` map).
+    id: NodeId,
+    /// Position of this node's slab index inside `DynamicGraph::members`.
+    member_pos: u32,
+    /// The node's own connection requests as dense indices; [`NO_TARGET`]
+    /// means the slot is currently unconnected (its target died and no
+    /// regeneration happened).
+    out_slots: MiniVec<8>,
+    /// Flat multiset of the out-slots (of other nodes) pointing at this node:
+    /// one entry per pointing slot, owners repeated with multiplicity.
+    /// Expected length is O(d), so linear scans beat hashing here.
+    in_refs: MiniVec<12>,
 }
 
 impl NodeRecord {
     fn filled_out(&self) -> usize {
-        self.out_slots.iter().filter(|s| s.is_some()).count()
+        self.out_slots.iter().filter(|&s| s != NO_TARGET).count()
     }
 }
 
@@ -71,6 +224,10 @@ impl NodeRecord {
 /// For analysis (flooding, expansion) the graph is viewed *undirected*: `u` and
 /// `v` are neighbours if any out-slot of `u` points at `v` or vice versa, exactly
 /// as in the paper ("the considered graphs are always undirected", Section 3.1).
+///
+/// All mutators also exist in a dense-index flavour (`add_node_indexed`,
+/// `set_out_slot_at`, `remove_node_at`, …) that skips identifier hashing; see
+/// the module docs for the index-validity contract.
 ///
 /// # Example
 ///
@@ -94,7 +251,10 @@ impl NodeRecord {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
-    nodes: HashMap<NodeId, NodeRecord>,
+    slab: Vec<Option<NodeRecord>>,
+    free: Vec<u32>,
+    members: Vec<u32>,
+    index: IdHashMap<NodeId, u32>,
     filled_slots: usize,
 }
 
@@ -109,7 +269,10 @@ impl DynamicGraph {
     #[must_use]
     pub fn with_capacity(nodes: usize) -> Self {
         DynamicGraph {
-            nodes: HashMap::with_capacity(nodes),
+            slab: Vec::with_capacity(nodes),
+            free: Vec::new(),
+            members: Vec::with_capacity(nodes),
+            index: IdHashMap::with_capacity_and_hasher(nodes, Default::default()),
             filled_slots: 0,
         }
     }
@@ -117,32 +280,32 @@ impl DynamicGraph {
     /// Number of alive nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.members.len()
     }
 
     /// Returns `true` when the graph has no nodes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.members.is_empty()
     }
 
     /// Returns `true` when `id` is alive.
     #[must_use]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
+        self.index.contains_key(&id)
     }
 
     /// Iterator over the identifiers of all alive nodes, in arbitrary order.
     ///
     /// Use [`Self::sorted_node_ids`] when deterministic iteration order matters.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.keys().copied()
+        self.members.iter().map(|&idx| self.record(idx).id)
     }
 
     /// All alive node identifiers in increasing order.
     #[must_use]
     pub fn sorted_node_ids(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let mut ids: Vec<NodeId> = self.node_ids().collect();
         ids.sort_unstable();
         ids
     }
@@ -159,18 +322,147 @@ impl DynamicGraph {
 
     /// Number of distinct undirected edges `{u, v}`.
     ///
-    /// Computed on demand in `O(n + m)`.
+    /// Computed on demand in `O(n + m log d)` without hashing: the sum of
+    /// distinct-neighbour degrees counts every undirected edge exactly twice.
     #[must_use]
     pub fn distinct_edge_count(&self) -> usize {
-        let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(self.filled_slots);
-        for (&u, rec) in &self.nodes {
-            for target in rec.out_slots.iter().flatten() {
-                let (a, b) = if u <= *target { (u, *target) } else { (*target, u) };
-                seen.insert((a, b));
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut total_degree = 0usize;
+        for &idx in &self.members {
+            scratch.clear();
+            self.neighbors_dense_into(idx, &mut scratch);
+            scratch.sort_unstable();
+            scratch.dedup();
+            total_degree += scratch.len();
+        }
+        total_degree / 2
+    }
+
+    // ------------------------------------------------------------------
+    // Dense-index surface
+    // ------------------------------------------------------------------
+
+    /// Length of the slab arena, i.e. one more than the largest dense index
+    /// ever in use. Vacant cells count; use this to size index-keyed arrays
+    /// (e.g. the flooding bitset).
+    #[must_use]
+    pub fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// The dense index of an alive node.
+    #[must_use]
+    pub fn dense_index_of(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// The identifier stored at dense index `idx`, or `None` when the cell is
+    /// vacant or out of range. This is the index-revalidation primitive: a
+    /// cached `(idx, id)` pair is still current iff `id_at(idx) == Some(id)`.
+    #[must_use]
+    pub fn id_at(&self, idx: u32) -> Option<NodeId> {
+        self.slab
+            .get(idx as usize)
+            .and_then(|cell| cell.as_ref())
+            .map(|rec| rec.id)
+    }
+
+    /// The dense indices of all alive nodes, in arbitrary (swap-remove) order.
+    #[must_use]
+    pub fn member_indices(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// A uniformly random alive node's dense index, or `None` when empty.
+    pub fn sample_member<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<u32> {
+        if self.members.is_empty() {
+            None
+        } else {
+            Some(self.members[rng.gen_range(0..self.members.len())])
+        }
+    }
+
+    /// A uniformly random alive dense index different from `exclude`, or
+    /// `None` when no such node exists. Uniform over the alive set minus
+    /// `exclude`; O(1) expected (rejection sampling).
+    pub fn sample_member_excluding<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        exclude: u32,
+    ) -> Option<u32> {
+        match self.members.len() {
+            0 => None,
+            1 => {
+                let only = self.members[0];
+                (only != exclude).then_some(only)
+            }
+            len => loop {
+                let candidate = self.members[rng.gen_range(0..len)];
+                if candidate != exclude {
+                    return Some(candidate);
+                }
+            },
+        }
+    }
+
+    /// Draws `count` independent uniform alive indices, each different from
+    /// `exclude`, appending them to `out`. Equivalent to `count` calls to
+    /// [`Self::sample_member_excluding`], but keeps the random-number /
+    /// member-table phase separate from whatever record work the caller does
+    /// next, which lets the out-of-order core overlap the cache misses of the
+    /// subsequent per-target touches.
+    ///
+    /// Stops early (appending fewer than `count`) when no valid target exists.
+    pub fn sample_members_excluding_into<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        exclude: u32,
+        count: usize,
+        out: &mut Vec<u32>,
+    ) {
+        for _ in 0..count {
+            match self.sample_member_excluding(rng, exclude) {
+                Some(idx) => out.push(idx),
+                None => break,
             }
         }
-        seen.len()
     }
+
+    /// Appends the dense indices of every undirected neighbour of `idx` to
+    /// `out` (out-slot targets first, then in-referencing owners). Duplicates
+    /// are *not* removed — callers that need a set deduplicate themselves
+    /// (the flooding bitset gets deduplication for free).
+    ///
+    /// Appends nothing when `idx` is vacant.
+    pub fn neighbors_dense_into(&self, idx: u32, out: &mut Vec<u32>) {
+        let Some(rec) = self.slab.get(idx as usize).and_then(|cell| cell.as_ref()) else {
+            return;
+        };
+        out.extend(rec.out_slots.iter().filter(|&t| t != NO_TARGET));
+        out.extend(rec.in_refs.iter());
+    }
+
+    fn record(&self, idx: u32) -> &NodeRecord {
+        self.slab[idx as usize]
+            .as_ref()
+            .expect("dense index of an alive node")
+    }
+
+    fn record_mut(&mut self, idx: u32) -> &mut NodeRecord {
+        self.slab[idx as usize]
+            .as_mut()
+            .expect("dense index of an alive node")
+    }
+
+    fn occupied(&self, idx: u32) -> bool {
+        self.slab
+            .get(idx as usize)
+            .is_some_and(|cell| cell.is_some())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation
+    // ------------------------------------------------------------------
 
     /// Adds a node with `out_degree` (initially unconnected) out-slots.
     ///
@@ -179,17 +471,39 @@ impl DynamicGraph {
     /// Returns [`GraphError::DuplicateNode`] if a node with this identifier is
     /// already alive.
     pub fn add_node(&mut self, id: NodeId, out_degree: usize) -> Result<()> {
-        if self.nodes.contains_key(&id) {
+        self.add_node_indexed(id, out_degree).map(|_| ())
+    }
+
+    /// Adds a node like [`Self::add_node`] and returns its dense index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if a node with this identifier is
+    /// already alive.
+    pub fn add_node_indexed(&mut self, id: NodeId, out_degree: usize) -> Result<u32> {
+        if self.index.contains_key(&id) {
             return Err(GraphError::DuplicateNode(id));
         }
-        self.nodes.insert(
+        let record = NodeRecord {
             id,
-            NodeRecord {
-                out_slots: vec![None; out_degree],
-                in_refs: HashMap::new(),
-            },
-        );
-        Ok(())
+            member_pos: self.members.len() as u32,
+            out_slots: MiniVec::filled(out_degree, NO_TARGET),
+            in_refs: MiniVec::new(),
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx as usize] = Some(record);
+                idx
+            }
+            None => {
+                let idx = self.slab.len() as u32;
+                self.slab.push(Some(record));
+                idx
+            }
+        };
+        self.members.push(idx);
+        self.index.insert(id, idx);
+        Ok(idx)
     }
 
     /// Appends an additional (unconnected) out-slot to `id` and returns its index.
@@ -201,9 +515,17 @@ impl DynamicGraph {
     ///
     /// Returns [`GraphError::UnknownNode`] if `id` is not alive.
     pub fn push_out_slot(&mut self, id: NodeId) -> Result<usize> {
-        let rec = self.nodes.get_mut(&id).ok_or(GraphError::UnknownNode(id))?;
-        rec.out_slots.push(None);
+        let idx = self.resolve(id)?;
+        let rec = self.record_mut(idx);
+        rec.out_slots.push(NO_TARGET);
         Ok(rec.out_slots.len() - 1)
+    }
+
+    fn resolve(&self, id: NodeId) -> Result<u32> {
+        self.index
+            .get(&id)
+            .copied()
+            .ok_or(GraphError::UnknownNode(id))
     }
 
     /// Points out-slot `slot` of `owner` at `target`, returning the previous
@@ -223,35 +545,65 @@ impl DynamicGraph {
         if owner == target {
             return Err(GraphError::SelfLoop(owner));
         }
-        if !self.nodes.contains_key(&target) {
-            return Err(GraphError::UnknownNode(target));
+        let target_idx = self.resolve(target)?;
+        let owner_idx = self.resolve(owner)?;
+        let prev = self.set_out_slot_at(owner_idx, slot, target_idx)?;
+        Ok(prev.map(|idx| self.record(idx).id))
+    }
+
+    /// Dense-index variant of [`Self::set_out_slot`]; returns the previous
+    /// target's dense index.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::set_out_slot`]; a vacant `owner_idx` or `target_idx` is
+    /// reported as [`GraphError::VacantIndex`].
+    pub fn set_out_slot_at(
+        &mut self,
+        owner_idx: u32,
+        slot: usize,
+        target_idx: u32,
+    ) -> Result<Option<u32>> {
+        if owner_idx == target_idx {
+            let id = self
+                .id_at(owner_idx)
+                .ok_or(GraphError::VacantIndex(owner_idx))?;
+            return Err(GraphError::SelfLoop(id));
+        }
+        if !self.occupied(target_idx) {
+            return Err(GraphError::VacantIndex(target_idx));
         }
         let prev = {
-            let rec = self
-                .nodes
-                .get_mut(&owner)
-                .ok_or(GraphError::UnknownNode(owner))?;
+            let Some(rec) = self
+                .slab
+                .get_mut(owner_idx as usize)
+                .and_then(Option::as_mut)
+            else {
+                return Err(GraphError::VacantIndex(owner_idx));
+            };
             let len = rec.out_slots.len();
             if slot >= len {
                 return Err(GraphError::SlotOutOfRange {
-                    node: owner,
+                    node: rec.id,
                     slot,
                     len,
                 });
             }
-            rec.out_slots[slot].replace(target)
+            let prev = rec.out_slots.get(slot);
+            rec.out_slots.set(slot, target_idx);
+            prev
         };
-        if let Some(prev_target) = prev {
-            if prev_target != target {
-                self.dec_in_ref(prev_target, owner);
-                self.inc_in_ref(target, owner);
+        if prev != NO_TARGET {
+            if prev != target_idx {
+                self.dec_in_ref(prev, owner_idx);
+                self.inc_in_ref(target_idx, owner_idx);
             }
             // filled count unchanged: slot was already occupied
         } else {
-            self.inc_in_ref(target, owner);
+            self.inc_in_ref(target_idx, owner_idx);
             self.filled_slots += 1;
         }
-        Ok(prev)
+        Ok((prev != NO_TARGET).then_some(prev))
     }
 
     /// Clears out-slot `slot` of `owner`, returning the target it pointed at.
@@ -261,26 +613,43 @@ impl DynamicGraph {
     /// * [`GraphError::UnknownNode`] if `owner` is not alive,
     /// * [`GraphError::SlotOutOfRange`] if `slot >= out_degree(owner)`.
     pub fn clear_out_slot(&mut self, owner: NodeId, slot: usize) -> Result<Option<NodeId>> {
+        let owner_idx = self.resolve(owner)?;
+        let prev = self.clear_out_slot_at(owner_idx, slot)?;
+        Ok(prev.map(|idx| self.record(idx).id))
+    }
+
+    /// Dense-index variant of [`Self::clear_out_slot`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::clear_out_slot`]; a vacant `owner_idx` is reported as
+    /// [`GraphError::VacantIndex`].
+    pub fn clear_out_slot_at(&mut self, owner_idx: u32, slot: usize) -> Result<Option<u32>> {
         let prev = {
-            let rec = self
-                .nodes
-                .get_mut(&owner)
-                .ok_or(GraphError::UnknownNode(owner))?;
+            let Some(rec) = self
+                .slab
+                .get_mut(owner_idx as usize)
+                .and_then(Option::as_mut)
+            else {
+                return Err(GraphError::VacantIndex(owner_idx));
+            };
             let len = rec.out_slots.len();
             if slot >= len {
                 return Err(GraphError::SlotOutOfRange {
-                    node: owner,
+                    node: rec.id,
                     slot,
                     len,
                 });
             }
-            rec.out_slots[slot].take()
+            let prev = rec.out_slots.get(slot);
+            rec.out_slots.set(slot, NO_TARGET);
+            prev
         };
-        if let Some(prev_target) = prev {
-            self.dec_in_ref(prev_target, owner);
+        if prev != NO_TARGET {
+            self.dec_in_ref(prev, owner_idx);
             self.filled_slots -= 1;
         }
-        Ok(prev)
+        Ok((prev != NO_TARGET).then_some(prev))
     }
 
     /// Removes `id` and every edge incident to it.
@@ -292,111 +661,205 @@ impl DynamicGraph {
     ///
     /// Returns [`GraphError::UnknownNode`] if `id` is not alive.
     pub fn remove_node(&mut self, id: NodeId) -> Result<RemovedNode> {
-        let record = self.nodes.remove(&id).ok_or(GraphError::UnknownNode(id))?;
-
-        let mut out_targets = Vec::with_capacity(record.filled_out());
-        for target in record.out_slots.iter().flatten() {
-            out_targets.push(*target);
-            self.filled_slots -= 1;
-            if let Some(rec) = self.nodes.get_mut(target) {
-                Self::dec_in_ref_map(&mut rec.in_refs, id);
-            }
-        }
-
-        let mut dangling = Vec::new();
-        let mut owners: Vec<NodeId> = record.in_refs.keys().copied().collect();
-        owners.sort_unstable();
-        for owner in owners {
-            if owner == id {
-                continue;
-            }
-            if let Some(rec) = self.nodes.get_mut(&owner) {
-                for (slot, s) in rec.out_slots.iter_mut().enumerate() {
-                    if *s == Some(id) {
-                        *s = None;
-                        self.filled_slots -= 1;
-                        dangling.push(EdgeSlot { owner, slot });
-                    }
-                }
-            }
-        }
-        dangling.sort_unstable();
-
-        Ok(RemovedNode {
-            id,
-            out_targets,
-            dangling_slots: dangling,
-        })
+        let idx = self.resolve(id)?;
+        self.remove_node_at(idx)
     }
 
-    /// The out-slots of `id`, or `None` if `id` is not alive.
+    /// Dense-index variant of [`Self::remove_node`]. The removed cell is
+    /// recycled by a later insertion, invalidating the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VacantIndex`] when `idx` holds no node.
+    pub fn remove_node_at(&mut self, idx: u32) -> Result<RemovedNode> {
+        let mut removed = RemovedNode::default();
+        self.remove_node_into(idx, &mut removed)?;
+        Ok(removed)
+    }
+
+    /// Like [`Self::remove_node_at`], but writes the removal report into a
+    /// caller-owned scratch buffer (cleared first), so steady-state churn
+    /// performs no heap allocation. The churn models pass the same buffer
+    /// every round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VacantIndex`] when `idx` holds no node; `out` is
+    /// left cleared in that case.
+    pub fn remove_node_into(&mut self, idx: u32, out: &mut RemovedNode) -> Result<()> {
+        out.id = NodeId::new(u64::MAX);
+        out.out_targets.clear();
+        out.dangling_slots.clear();
+        out.dangling_dense.clear();
+
+        let record = self
+            .slab
+            .get_mut(idx as usize)
+            .and_then(Option::take)
+            .ok_or(GraphError::VacantIndex(idx))?;
+        out.id = record.id;
+        self.index.remove(&record.id);
+
+        // Unhook from the dense member list (swap-remove, O(1)).
+        let pos = record.member_pos as usize;
+        self.members.swap_remove(pos);
+        if let Some(&moved) = self.members.get(pos) {
+            self.record_mut(moved).member_pos = pos as u32;
+        }
+        self.free.push(idx);
+
+        // The dead node's own requests: drop the in-references they created.
+        for target in record.out_slots.iter().filter(|&t| t != NO_TARGET) {
+            out.out_targets.push(self.record(target).id);
+            self.filled_slots -= 1;
+            Self::dec_in_ref_list(&mut self.record_mut(target).in_refs, idx);
+        }
+
+        // Surviving out-slots pointing at the dead node become dangling. The
+        // in-reference multiset holds one entry per pointing slot (owners
+        // repeated with multiplicity), and each iteration clears exactly the
+        // first still-pointing slot of that owner.
+        for owner in record.in_refs.iter() {
+            if owner == idx {
+                continue;
+            }
+            let owner_rec = self.record_mut(owner);
+            let owner_id = owner_rec.id;
+            let slot = owner_rec
+                .out_slots
+                .position(idx)
+                .expect("in-reference implies a pointing out-slot");
+            owner_rec.out_slots.set(slot, NO_TARGET);
+            out.dangling_slots.push(EdgeSlot {
+                owner: owner_id,
+                slot,
+            });
+            out.dangling_dense.push((owner, slot));
+        }
+        self.filled_slots -= out.dangling_slots.len();
+
+        // Sort both dangling views in lockstep by (owner, slot). Degrees are
+        // O(d), so an allocation-free insertion sort wins here.
+        for i in 1..out.dangling_slots.len() {
+            let mut j = i;
+            while j > 0 && out.dangling_slots[j - 1] > out.dangling_slots[j] {
+                out.dangling_slots.swap(j - 1, j);
+                out.dangling_dense.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Identifier-based queries
+    // ------------------------------------------------------------------
+
+    /// The out-slot targets of `id`, or `None` if `id` is not alive.
+    ///
+    /// Allocates a fresh vector and resolves every target's identifier; use
+    /// [`Self::out_slots_into`] with a reused buffer in loops over many nodes.
     #[must_use]
-    pub fn out_slots(&self, id: NodeId) -> Option<&[Option<NodeId>]> {
-        self.nodes.get(&id).map(|r| r.out_slots.as_slice())
+    pub fn out_slots(&self, id: NodeId) -> Option<Vec<Option<NodeId>>> {
+        let idx = self.dense_index_of(id)?;
+        Some(
+            self.record(idx)
+                .out_slots
+                .iter()
+                .map(|slot| (slot != NO_TARGET).then(|| self.record(slot).id))
+                .collect(),
+        )
+    }
+
+    /// Appends the out-slot targets of `id` (in slot order, `None` for
+    /// unconnected slots) to `out` without allocating; returns `false` (and
+    /// appends nothing) when `id` is not alive.
+    pub fn out_slots_into(&self, id: NodeId, out: &mut Vec<Option<NodeId>>) -> bool {
+        let Some(idx) = self.dense_index_of(id) else {
+            return false;
+        };
+        out.extend(
+            self.record(idx)
+                .out_slots
+                .iter()
+                .map(|slot| (slot != NO_TARGET).then(|| self.record(slot).id)),
+        );
+        true
     }
 
     /// Number of out-slots `id` owns (connected or not).
     #[must_use]
     pub fn out_slot_count(&self, id: NodeId) -> Option<usize> {
-        self.nodes.get(&id).map(|r| r.out_slots.len())
+        let idx = self.dense_index_of(id)?;
+        Some(self.record(idx).out_slots.len())
     }
 
     /// Number of currently connected out-slots of `id`.
     #[must_use]
     pub fn out_degree(&self, id: NodeId) -> Option<usize> {
-        self.nodes.get(&id).map(NodeRecord::filled_out)
+        let idx = self.dense_index_of(id)?;
+        Some(self.record(idx).filled_out())
     }
 
     /// Indices of the currently unconnected out-slots of `id`.
     #[must_use]
     pub fn empty_out_slots(&self, id: NodeId) -> Option<Vec<usize>> {
-        self.nodes.get(&id).map(|r| {
-            r.out_slots
+        let idx = self.dense_index_of(id)?;
+        Some(
+            self.record(idx)
+                .out_slots
                 .iter()
                 .enumerate()
-                .filter_map(|(i, s)| s.is_none().then_some(i))
-                .collect()
-        })
+                .filter_map(|(i, s)| (s == NO_TARGET).then_some(i))
+                .collect(),
+        )
     }
 
     /// Distinct nodes that hold at least one out-slot pointing at `id`.
     #[must_use]
     pub fn in_neighbors(&self, id: NodeId) -> Option<Vec<NodeId>> {
-        self.nodes.get(&id).map(|r| {
-            let mut v: Vec<NodeId> = r.in_refs.keys().copied().collect();
-            v.sort_unstable();
-            v
-        })
+        let idx = self.dense_index_of(id)?;
+        let mut v: Vec<NodeId> = self
+            .record(idx)
+            .in_refs
+            .iter()
+            .map(|owner| self.record(owner).id)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        Some(v)
     }
 
     /// Total number of out-slots (of other nodes) pointing at `id`, with
     /// multiplicity. This is the "in-degree" in the sense of requests received.
     #[must_use]
     pub fn in_request_count(&self, id: NodeId) -> Option<usize> {
-        self.nodes
-            .get(&id)
-            .map(|r| r.in_refs.values().map(|&c| c as usize).sum())
+        let idx = self.dense_index_of(id)?;
+        Some(self.record(idx).in_refs.len())
     }
 
     /// Distinct undirected neighbours of `id` (union of out-targets and
     /// in-referencing nodes), sorted.
     #[must_use]
     pub fn neighbors(&self, id: NodeId) -> Option<Vec<NodeId>> {
-        let rec = self.nodes.get(&id)?;
-        let mut set: BTreeMap<NodeId, ()> = BTreeMap::new();
-        for t in rec.out_slots.iter().flatten() {
-            set.insert(*t, ());
-        }
-        for t in rec.in_refs.keys() {
-            set.insert(*t, ());
-        }
-        Some(set.into_keys().collect())
+        let idx = self.dense_index_of(id)?;
+        let mut dense = Vec::new();
+        self.neighbors_dense_into(idx, &mut dense);
+        let mut ids: Vec<NodeId> = dense.into_iter().map(|i| self.record(i).id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
     }
 
     /// Number of distinct undirected neighbours of `id`.
     #[must_use]
     pub fn degree(&self, id: NodeId) -> Option<usize> {
-        self.neighbors(id).map(|n| n.len())
+        let idx = self.dense_index_of(id)?;
+        let mut dense = Vec::new();
+        self.neighbors_dense_into(idx, &mut dense);
+        dense.sort_unstable();
+        dense.dedup();
+        Some(dense.len())
     }
 
     /// Returns `true` when `id` currently has no incident edges at all (its own
@@ -406,43 +869,74 @@ impl DynamicGraph {
     /// Returns `None` if `id` is not alive.
     #[must_use]
     pub fn is_isolated(&self, id: NodeId) -> Option<bool> {
-        let rec = self.nodes.get(&id)?;
+        let idx = self.dense_index_of(id)?;
+        let rec = self.record(idx);
         Some(rec.filled_out() == 0 && rec.in_refs.is_empty())
     }
 
     /// Returns `true` when `u` and `v` are adjacent (in either direction).
     #[must_use]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        let Some(ru) = self.nodes.get(&u) else {
+        let (Some(u_idx), Some(v_idx)) = (self.dense_index_of(u), self.dense_index_of(v)) else {
             return false;
         };
-        if ru.out_slots.iter().flatten().any(|&t| t == v) {
-            return true;
-        }
-        ru.in_refs.contains_key(&v)
+        let rec = self.record(u_idx);
+        rec.out_slots.contains(v_idx) || rec.in_refs.contains(v_idx)
     }
 
     /// Verifies internal invariants; used by tests and debug assertions.
     ///
     /// Checks that the in-reference multiset of every node exactly mirrors the
-    /// out-slots pointing at it, that no slot points at a dead node, that no
-    /// self-loops exist, and that the filled-slot counter is accurate.
+    /// out-slots pointing at it, that no slot points at a vacant cell, that no
+    /// self-loops exist, that the filled-slot counter, free list, member list
+    /// and identifier map are consistent.
     ///
     /// # Panics
     ///
     /// Panics with a descriptive message when an invariant is violated.
     pub fn assert_invariants(&self) {
-        let mut expected_in: HashMap<NodeId, HashMap<NodeId, u32>> = HashMap::new();
+        // Slab occupancy matches members + free list.
+        assert_eq!(
+            self.members.len() + self.free.len(),
+            self.slab.len(),
+            "member list and free list must partition the slab"
+        );
+        for &idx in &self.free {
+            assert!(
+                self.slab[idx as usize].is_none(),
+                "free-list cell {idx} is occupied"
+            );
+        }
+        assert_eq!(
+            self.index.len(),
+            self.members.len(),
+            "identifier map out of sync with member list"
+        );
+
+        let mut expected_in: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut filled = 0usize;
-        for (&u, rec) in &self.nodes {
-            for target in rec.out_slots.iter().flatten() {
+        for &u in &self.members {
+            let rec = self.record(u);
+            assert_eq!(
+                self.members[rec.member_pos as usize], u,
+                "member_pos of {} is stale",
+                rec.id
+            );
+            assert_eq!(
+                self.index.get(&rec.id),
+                Some(&u),
+                "identifier map disagrees for {}",
+                rec.id
+            );
+            for target in rec.out_slots.iter().filter(|&t| t != NO_TARGET) {
                 assert!(
-                    self.nodes.contains_key(target),
-                    "out-slot of {u} points at dead node {target}"
+                    self.occupied(target),
+                    "out-slot of {} points at vacant cell {target}",
+                    rec.id
                 );
-                assert_ne!(u, *target, "self-loop at {u}");
+                assert_ne!(u, target, "self-loop at {}", rec.id);
                 filled += 1;
-                *expected_in.entry(*target).or_default().entry(u).or_insert(0) += 1;
+                expected_in.entry(target).or_default().push(u);
             }
         }
         assert_eq!(
@@ -450,37 +944,38 @@ impl DynamicGraph {
             "filled-slot counter out of sync (actual {filled}, cached {})",
             self.filled_slots
         );
-        for (&v, rec) in &self.nodes {
-            let expected = expected_in.remove(&v).unwrap_or_default();
+        for &v in &self.members {
+            let rec = self.record(v);
+            let mut expected = expected_in.remove(&v).unwrap_or_default();
+            let mut actual: Vec<u32> = rec.in_refs.iter().collect();
+            expected.sort_unstable();
+            actual.sort_unstable();
             assert_eq!(
-                rec.in_refs, expected,
-                "in-reference multiset of {v} is inconsistent"
+                actual, expected,
+                "in-reference multiset of {} is inconsistent",
+                rec.id
             );
         }
         assert!(
             expected_in.is_empty(),
-            "in-references recorded for dead nodes: {expected_in:?}"
+            "in-references recorded for vacant cells: {expected_in:?}"
         );
     }
 
-    fn inc_in_ref(&mut self, target: NodeId, owner: NodeId) {
-        if let Some(rec) = self.nodes.get_mut(&target) {
-            *rec.in_refs.entry(owner).or_insert(0) += 1;
-        }
+    #[inline]
+    fn inc_in_ref(&mut self, target: u32, owner: u32) {
+        self.record_mut(target).in_refs.push(owner);
     }
 
-    fn dec_in_ref(&mut self, target: NodeId, owner: NodeId) {
-        if let Some(rec) = self.nodes.get_mut(&target) {
-            Self::dec_in_ref_map(&mut rec.in_refs, owner);
-        }
+    #[inline]
+    fn dec_in_ref(&mut self, target: u32, owner: u32) {
+        Self::dec_in_ref_list(&mut self.record_mut(target).in_refs, owner);
     }
 
-    fn dec_in_ref_map(map: &mut HashMap<NodeId, u32>, owner: NodeId) {
-        if let Some(count) = map.get_mut(&owner) {
-            *count -= 1;
-            if *count == 0 {
-                map.remove(&owner);
-            }
+    #[inline]
+    fn dec_in_ref_list(refs: &mut MiniVec<12>, owner: u32) {
+        if let Some(pos) = refs.position(owner) {
+            refs.swap_remove(pos);
         }
     }
 }
@@ -639,6 +1134,14 @@ mod tests {
                 },
             ]
         );
+        // The dense view names the same slots in the same order.
+        assert_eq!(removed.dangling_dense.len(), removed.dangling_slots.len());
+        for (edge_slot, &(owner_idx, slot)) in
+            removed.dangling_slots.iter().zip(&removed.dangling_dense)
+        {
+            assert_eq!(g.id_at(owner_idx), Some(edge_slot.owner));
+            assert_eq!(edge_slot.slot, slot);
+        }
         assert!(!g.contains(id(0)));
         assert_eq!(g.filled_slot_count(), 0);
         for raw in 1..4 {
@@ -716,5 +1219,73 @@ mod tests {
             g.add_node(id(raw), 0).unwrap();
         }
         assert_eq!(g.sorted_node_ids(), vec![id(1), id(3), id(5), id(9)]);
+    }
+
+    #[test]
+    fn slab_cells_are_recycled_and_revalidated() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node_indexed(id(0), 1).unwrap();
+        let b = g.add_node_indexed(id(1), 1).unwrap();
+        g.set_out_slot_at(a, 0, b).unwrap();
+        assert_eq!(g.id_at(a), Some(id(0)));
+        g.remove_node_at(a).unwrap();
+        assert_eq!(g.id_at(a), None, "vacated cell holds no node");
+
+        // The freed cell is reused by the next insertion under a new id…
+        let c = g.add_node_indexed(id(2), 1).unwrap();
+        assert_eq!(c, a, "free list recycles the vacated cell");
+        // …and revalidation by identifier detects the reuse.
+        assert_eq!(g.id_at(a), Some(id(2)));
+        assert_eq!(g.dense_index_of(id(0)), None);
+        assert_eq!(g.slab_len(), 2, "slab does not grow while cells are free");
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn dense_sampling_is_uniform_over_members() {
+        use rand::SeedableRng;
+        let mut g = DynamicGraph::new();
+        for raw in 0..10 {
+            g.add_node(id(raw), 0).unwrap();
+        }
+        g.remove_node(id(3)).unwrap();
+        g.remove_node(id(7)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts: HashMap<NodeId, u32> = HashMap::new();
+        for _ in 0..80_000 {
+            let idx = g.sample_member(&mut rng).unwrap();
+            *counts.entry(g.id_at(idx).unwrap()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 8, "only alive nodes are sampled");
+        for (&node, &count) in &counts {
+            assert!(
+                (count as i64 - 10_000).abs() < 800,
+                "node {node} sampled {count} times, expected ~10000"
+            );
+        }
+        // Exclusion removes exactly the excluded member.
+        let excluded = g.dense_index_of(id(0)).unwrap();
+        for _ in 0..1000 {
+            let idx = g.sample_member_excluding(&mut rng, excluded).unwrap();
+            assert_ne!(idx, excluded);
+        }
+    }
+
+    #[test]
+    fn vacant_index_operations_error() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node_indexed(id(0), 1).unwrap();
+        assert_eq!(g.remove_node_at(99), Err(GraphError::VacantIndex(99)));
+        assert_eq!(
+            g.set_out_slot_at(a, 0, 42),
+            Err(GraphError::VacantIndex(42))
+        );
+        assert_eq!(
+            g.set_out_slot_at(17, 0, a),
+            Err(GraphError::VacantIndex(17))
+        );
+        assert_eq!(g.clear_out_slot_at(17, 0), Err(GraphError::VacantIndex(17)));
+        g.remove_node_at(a).unwrap();
+        assert_eq!(g.remove_node_at(a), Err(GraphError::VacantIndex(a)));
     }
 }

@@ -1,0 +1,90 @@
+//! A fast, non-cryptographic hasher for identifier-keyed maps.
+//!
+//! The `NodeId → dense index` map is off the dense hot paths but still sees
+//! one insert and one remove per churn event, where SipHash (std's default)
+//! costs more than the probe itself. Identifiers are allocator-issued `u64`s,
+//! not attacker-controlled input, so a SplitMix64-style finalizer gives full
+//! avalanche at a few cycles with no DoS concern.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative-finalizer hasher for small fixed-width keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); fixed-width keys use the fast paths below.
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        let mut z = value
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.0);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// The [`IdHasher`] build state.
+pub type IdBuildHasher = BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed by identifiers, hashed with [`IdHasher`].
+pub type IdHashMap<K, V> = HashMap<K, V, IdBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn map_round_trips_node_ids() {
+        let mut map: IdHashMap<NodeId, usize> = IdHashMap::default();
+        for raw in 0..1000u64 {
+            map.insert(NodeId::new(raw), raw as usize * 2);
+        }
+        for raw in 0..1000u64 {
+            assert_eq!(map.get(&NodeId::new(raw)), Some(&(raw as usize * 2)));
+        }
+        assert_eq!(map.len(), 1000);
+    }
+
+    #[test]
+    fn sequential_keys_spread_across_buckets() {
+        // Avalanche sanity: consecutive ids should differ in many bits.
+        let hash = |x: u64| {
+            let mut h = IdHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        let mut min_flips = u32::MAX;
+        for x in 0..1000u64 {
+            min_flips = min_flips.min((hash(x) ^ hash(x + 1)).count_ones());
+        }
+        assert!(
+            min_flips >= 10,
+            "adjacent keys flip at least 10 bits, got {min_flips}"
+        );
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`DynamicGraph`] — the mutable out-slot/in-reference adjacency structure with
 //!   O(1) amortised join / leave / rewire operations,
 //! * [`Snapshot`] — an immutable, CSR-style view of a graph at one instant,
+//! * [`hashing`] — the fast identifier hasher backing the `NodeId → index` map,
 //! * [`traversal`] — BFS layers, connected components, diameter bounds,
 //! * [`expansion`] — outer boundaries, vertex expansion (exact for small graphs,
 //!   candidate-set estimation for large ones), isolated node census,
@@ -23,6 +24,31 @@
 //!
 //! Nothing in this crate knows about churn distributions or time; that lives in
 //! `churn-core`, which drives a [`DynamicGraph`] according to the paper's models.
+//!
+//! ## Dense-index architecture
+//!
+//! [`DynamicGraph`] is a **slab arena**: each alive node occupies one cell of a
+//! contiguous array addressed by a dense `u32` index, vacated cells are
+//! recycled through a free list, and all adjacency state (out-slot targets,
+//! the in-reference multiset) is stored as dense indices with small inline
+//! capacity — steady-state churn touches no hash table and performs no heap
+//! allocation. Every mutator exists in two flavours:
+//!
+//! * **identifier-based** (`add_node`, `set_out_slot`, `remove_node`, …) — the
+//!   stable public API, resolving [`NodeId`]s through one hash lookup;
+//! * **dense-index** (`add_node_indexed`, `set_out_slot_at`,
+//!   `remove_node_at` / `remove_node_into`, `sample_member*`, …) — the hot
+//!   path the churn models in `churn-core` drive.
+//!
+//! **The `NodeId ↔ dense index` contract:** a dense index is valid exactly for
+//! the lifetime of the node it was returned for. After that node's removal the
+//! cell may be recycled for a different node, so any cached `(index, id)` pair
+//! must be revalidated with [`DynamicGraph::id_at`] before reuse across
+//! removals (`id_at(index) == Some(id)` iff the pair is still current —
+//! identifiers are never reused, which makes this check sound). Indices are
+//! *not* compaction-stable either: [`Snapshot`] assigns its own `0..n`
+//! positions ordered by identifier, independent of slab layout, so snapshots
+//! of equal graphs compare equal regardless of the arena's churn history.
 //!
 //! ## Example
 //!
@@ -55,6 +81,8 @@ mod error;
 mod graph;
 mod node;
 mod snapshot;
+
+pub mod hashing;
 
 pub mod expansion;
 pub mod generators;

@@ -1,7 +1,5 @@
 //! Immutable, compact snapshots of a [`DynamicGraph`].
 
-use std::collections::HashMap;
-
 use crate::{DynamicGraph, NodeId};
 
 /// An immutable view of a dynamic graph at one instant, stored in CSR
@@ -36,44 +34,58 @@ use crate::{DynamicGraph, NodeId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     ids: Vec<NodeId>,
-    index: HashMap<NodeId, usize>,
     offsets: Vec<usize>,
     adjacency: Vec<usize>,
 }
 
 impl Snapshot {
     /// Builds a snapshot of the current state of `graph`.
+    ///
+    /// Hash-free: the graph's dense slab indices are translated to compact
+    /// snapshot positions through a plain lookup array, so construction costs
+    /// one `O(n log n)` identifier sort (snapshot indices are ordered by
+    /// `NodeId`) plus a single `O(n + m log d)` adjacency pass.
     #[must_use]
     pub fn of(graph: &DynamicGraph) -> Self {
-        let ids = graph.sorted_node_ids();
-        let index: HashMap<NodeId, usize> =
-            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        // Pair every alive node's id with its slab index, then order by id so
+        // snapshot indices are deterministic regardless of slab layout.
+        let mut nodes: Vec<(NodeId, u32)> = graph
+            .member_indices()
+            .iter()
+            .map(|&idx| (graph.id_at(idx).expect("member cells are occupied"), idx))
+            .collect();
+        nodes.sort_unstable_by_key(|&(id, _)| id);
 
-        let mut neighbor_lists: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
-        for (i, &id) in ids.iter().enumerate() {
-            let neighbors = graph
-                .neighbors(id)
-                .expect("node listed by sorted_node_ids must be alive");
-            let list = &mut neighbor_lists[i];
-            list.reserve(neighbors.len());
-            for n in neighbors {
-                list.push(index[&n]);
-            }
-            // `DynamicGraph::neighbors` returns sorted NodeIds and ids are sorted,
-            // so indices are already sorted and deduplicated.
+        // slab index -> snapshot position, as a dense array (no hashing).
+        let mut slab_to_snap: Vec<u32> = vec![u32::MAX; graph.slab_len()];
+        for (pos, &(_, idx)) in nodes.iter().enumerate() {
+            slab_to_snap[idx as usize] = pos as u32;
         }
 
-        let mut offsets = Vec::with_capacity(ids.len() + 1);
-        let mut adjacency = Vec::new();
+        let mut ids = Vec::with_capacity(nodes.len());
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut adjacency = Vec::with_capacity(graph.filled_slot_count());
+        let mut dense_scratch: Vec<u32> = Vec::new();
+        let mut list_scratch: Vec<usize> = Vec::new();
         offsets.push(0);
-        for list in &neighbor_lists {
-            adjacency.extend_from_slice(list);
+        for &(id, idx) in &nodes {
+            ids.push(id);
+            dense_scratch.clear();
+            graph.neighbors_dense_into(idx, &mut dense_scratch);
+            list_scratch.clear();
+            list_scratch.extend(
+                dense_scratch
+                    .iter()
+                    .map(|&nb| slab_to_snap[nb as usize] as usize),
+            );
+            list_scratch.sort_unstable();
+            list_scratch.dedup();
+            adjacency.extend_from_slice(&list_scratch);
             offsets.push(adjacency.len());
         }
 
         Snapshot {
             ids,
-            index,
             offsets,
             adjacency,
         }
@@ -86,8 +98,6 @@ impl Snapshot {
     #[must_use]
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
         let ids: Vec<NodeId> = (0..n as u64).map(NodeId::new).collect();
-        let index: HashMap<NodeId, usize> =
-            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &(u, v) in edges {
             if u == v || u >= n || v >= n {
@@ -107,7 +117,6 @@ impl Snapshot {
         }
         Snapshot {
             ids,
-            index,
             offsets,
             adjacency,
         }
@@ -148,15 +157,17 @@ impl Snapshot {
     }
 
     /// The compact index of `id`, or `None` if `id` is not in the snapshot.
+    ///
+    /// `O(log n)` binary search over the sorted identifier array.
     #[must_use]
     pub fn index_of(&self, id: NodeId) -> Option<usize> {
-        self.index.get(&id).copied()
+        self.ids.binary_search(&id).ok()
     }
 
     /// Returns `true` when `id` is part of the snapshot.
     #[must_use]
     pub fn contains(&self, id: NodeId) -> bool {
-        self.index.contains_key(&id)
+        self.index_of(id).is_some()
     }
 
     /// Neighbour indices of the node at index `i` (sorted, deduplicated).
@@ -216,7 +227,9 @@ impl Snapshot {
     /// Indices of nodes with no neighbours (isolated in this snapshot).
     #[must_use]
     pub fn isolated_indices(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.degree_of(i) == 0).collect()
+        (0..self.len())
+            .filter(|&i| self.degree_of(i) == 0)
+            .collect()
     }
 
     /// Sum of all degrees (twice the edge count).

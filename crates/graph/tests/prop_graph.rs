@@ -19,18 +19,32 @@ use rand::SeedableRng;
 /// A random mutation applied to the graph under test.
 #[derive(Debug, Clone)]
 enum Op {
-    Add { out_degree: usize },
-    Remove { victim: usize },
-    Rewire { owner: usize, slot: usize, target: usize },
-    Clear { owner: usize, slot: usize },
+    Add {
+        out_degree: usize,
+    },
+    Remove {
+        victim: usize,
+    },
+    Rewire {
+        owner: usize,
+        slot: usize,
+        target: usize,
+    },
+    Clear {
+        owner: usize,
+        slot: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0usize..6).prop_map(|out_degree| Op::Add { out_degree }),
         (0usize..64).prop_map(|victim| Op::Remove { victim }),
-        (0usize..64, 0usize..6, 0usize..64)
-            .prop_map(|(owner, slot, target)| Op::Rewire { owner, slot, target }),
+        (0usize..64, 0usize..6, 0usize..64).prop_map(|(owner, slot, target)| Op::Rewire {
+            owner,
+            slot,
+            target
+        }),
         (0usize..64, 0usize..6).prop_map(|(owner, slot)| Op::Clear { owner, slot }),
     ]
 }
@@ -57,7 +71,11 @@ fn apply_ops(ops: &[Op]) -> DynamicGraph {
                 let id = alive.swap_remove(idx);
                 g.remove_node(id).expect("alive node");
             }
-            Op::Rewire { owner, slot, target } => {
+            Op::Rewire {
+                owner,
+                slot,
+                target,
+            } => {
                 if alive.len() < 2 {
                     continue;
                 }
@@ -86,6 +104,86 @@ fn apply_ops(ops: &[Op]) -> DynamicGraph {
         }
     }
     g
+}
+
+/// An obviously-correct identifier-keyed mirror of the out-slot semantics,
+/// used to cross-check the slab implementation (including index recycling).
+#[derive(Debug, Default)]
+struct NaiveGraph {
+    nodes: std::collections::BTreeMap<NodeId, Vec<Option<NodeId>>>,
+}
+
+impl NaiveGraph {
+    fn add(&mut self, id: NodeId, out_degree: usize) {
+        self.nodes.insert(id, vec![None; out_degree]);
+    }
+
+    fn set(&mut self, owner: NodeId, slot: usize, target: NodeId) {
+        self.nodes.get_mut(&owner).unwrap()[slot] = Some(target);
+    }
+
+    fn clear(&mut self, owner: NodeId, slot: usize) {
+        self.nodes.get_mut(&owner).unwrap()[slot] = None;
+    }
+
+    fn remove(&mut self, id: NodeId) {
+        self.nodes.remove(&id);
+        for slots in self.nodes.values_mut() {
+            for slot in slots.iter_mut() {
+                if *slot == Some(id) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    fn sorted_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    fn out_slots(&self, id: NodeId) -> Vec<Option<NodeId>> {
+        self.nodes[&id].clone()
+    }
+
+    fn filled_slot_count(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|slots| slots.iter().flatten().count())
+            .sum()
+    }
+
+    fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.nodes[&id].iter().flatten().copied().collect();
+        for (&other, slots) in &self.nodes {
+            if slots.iter().flatten().any(|&t| t == id) {
+                out.push(other);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn in_request_count(&self, id: NodeId) -> usize {
+        self.nodes
+            .values()
+            .map(|slots| slots.iter().flatten().filter(|&&t| t == id).count())
+            .sum()
+    }
+
+    fn is_isolated(&self, id: NodeId) -> bool {
+        self.neighbors(id).is_empty()
+    }
+
+    fn distinct_edge_count(&self) -> usize {
+        let mut edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for (&u, slots) in &self.nodes {
+            for &v in slots.iter().flatten() {
+                edges.insert(if u <= v { (u, v) } else { (v, u) });
+            }
+        }
+        edges.len()
+    }
 }
 
 proptest! {
@@ -167,6 +265,96 @@ proptest! {
         // Ratio is consistent with the raw boundary size.
         let ratio = expansion_of(&snap, &set).unwrap();
         prop_assert!((ratio - boundary.len() as f64 / members.len() as f64).abs() < 1e-12);
+    }
+
+    /// The slab graph agrees with a naive identifier-keyed reference under
+    /// arbitrary add/remove/rewire/clear interleavings — including after slab
+    /// cells have been vacated and recycled for new nodes, which is where a
+    /// stale dense index or unrecycled in-reference would show up.
+    #[test]
+    fn slab_recycling_matches_naive_reference(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let mut g = DynamicGraph::new();
+        let mut reference = NaiveGraph::default();
+        let mut alive: Vec<NodeId> = Vec::new();
+        let mut next_id = 0u64;
+        let mut peak_alive = 0usize;
+        for op in &ops {
+            match op {
+                Op::Add { out_degree } => {
+                    let id = NodeId::new(next_id);
+                    next_id += 1;
+                    g.add_node(id, *out_degree).expect("fresh id");
+                    reference.add(id, *out_degree);
+                    alive.push(id);
+                    peak_alive = peak_alive.max(alive.len());
+                }
+                Op::Remove { victim } => {
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let id = alive.swap_remove(victim % alive.len());
+                    let removed = g.remove_node(id).expect("alive node");
+                    reference.remove(id);
+                    // The dense dangling view names the same slots.
+                    prop_assert_eq!(removed.dangling_dense.len(), removed.dangling_slots.len());
+                    for (edge_slot, &(owner_idx, slot)) in
+                        removed.dangling_slots.iter().zip(&removed.dangling_dense)
+                    {
+                        prop_assert_eq!(g.id_at(owner_idx), Some(edge_slot.owner));
+                        prop_assert_eq!(edge_slot.slot, slot);
+                    }
+                }
+                Op::Rewire { owner, slot, target } => {
+                    if alive.len() < 2 {
+                        continue;
+                    }
+                    let o = alive[owner % alive.len()];
+                    let t = alive[target % alive.len()];
+                    if o == t {
+                        continue;
+                    }
+                    let slots = g.out_slot_count(o).unwrap_or(0);
+                    if slots == 0 {
+                        continue;
+                    }
+                    g.set_out_slot(o, slot % slots, t).expect("valid rewire");
+                    reference.set(o, slot % slots, t);
+                }
+                Op::Clear { owner, slot } => {
+                    if alive.is_empty() {
+                        continue;
+                    }
+                    let o = alive[owner % alive.len()];
+                    let slots = g.out_slot_count(o).unwrap_or(0);
+                    if slots == 0 {
+                        continue;
+                    }
+                    g.clear_out_slot(o, slot % slots).expect("valid clear");
+                    reference.clear(o, slot % slots);
+                }
+            }
+            g.assert_invariants();
+        }
+
+        // Recycling really happened: the arena never outgrows the peak
+        // concurrent population, no matter how many nodes ever existed.
+        prop_assert!(g.slab_len() <= peak_alive.max(1) || g.slab_len() == 0,
+            "slab length {} exceeds peak alive population {}", g.slab_len(), peak_alive);
+
+        // Full structural agreement with the reference.
+        prop_assert_eq!(g.sorted_node_ids(), reference.sorted_ids());
+        prop_assert_eq!(g.filled_slot_count(), reference.filled_slot_count());
+        prop_assert_eq!(g.distinct_edge_count(), reference.distinct_edge_count());
+        for &id in &reference.sorted_ids() {
+            prop_assert_eq!(g.out_slots(id).unwrap(), reference.out_slots(id));
+            prop_assert_eq!(g.neighbors(id).unwrap(), reference.neighbors(id));
+            prop_assert_eq!(g.degree(id).unwrap(), reference.neighbors(id).len());
+            prop_assert_eq!(g.in_request_count(id).unwrap(), reference.in_request_count(id));
+            prop_assert_eq!(g.is_isolated(id).unwrap(), reference.is_isolated(id));
+        }
+        let snap = Snapshot::of(&g);
+        prop_assert_eq!(snap.len(), reference.sorted_ids().len());
+        prop_assert_eq!(snap.edge_count(), reference.distinct_edge_count());
     }
 
     /// On small graphs, the candidate-set estimator never reports a value below

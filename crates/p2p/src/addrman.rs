@@ -183,7 +183,11 @@ mod tests {
         assert_eq!(many.len(), 7);
         let distinct: HashSet<NodeId> = many.iter().copied().collect();
         assert_eq!(distinct.len(), 7, "sample_many returns distinct addresses");
-        assert_eq!(a.sample_many(50, &mut rng).len(), 20, "capped at table size");
+        assert_eq!(
+            a.sample_many(50, &mut rng).len(),
+            20,
+            "capped at table size"
+        );
         assert!(a.sample_many(0, &mut rng).is_empty());
     }
 

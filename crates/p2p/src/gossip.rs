@@ -52,7 +52,11 @@ pub fn propagate_block_from(
     source: FloodingSource,
     max_delays: u64,
 ) -> PropagationReport {
-    let record = run_flooding(overlay, source, &FloodingConfig::with_max_rounds(max_delays));
+    let record = run_flooding(
+        overlay,
+        source,
+        &FloodingConfig::with_max_rounds(max_delays),
+    );
     summarize(record)
 }
 

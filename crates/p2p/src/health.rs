@@ -92,8 +92,15 @@ mod tests {
         net.warm_up();
         let health = overlay_health(&net);
         assert_eq!(health.peers, net.alive_count());
-        assert!(health.mean_outbound > 6.0, "mean outbound {}", health.mean_outbound);
-        assert!(health.mean_inbound > 6.0, "inbound mirrors outbound on average");
+        assert!(
+            health.mean_outbound > 6.0,
+            "mean outbound {}",
+            health.mean_outbound
+        );
+        assert!(
+            health.mean_inbound > 6.0,
+            "inbound mirrors outbound on average"
+        );
         assert!(health.max_inbound <= 125);
         assert_eq!(health.isolated_peers, 0);
         assert!(health.largest_component_fraction > 0.95);

@@ -357,8 +357,8 @@ impl DynamicNetwork for P2pNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use churn_graph::Snapshot;
     use churn_graph::traversal::connected_components;
+    use churn_graph::Snapshot;
 
     fn overlay(n: usize, seed: u64) -> P2pNetwork {
         let mut net = P2pNetwork::new(

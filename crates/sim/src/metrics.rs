@@ -158,9 +158,24 @@ mod tests {
             d: 2,
         };
         let results = vec![
-            TrialResult { point: p1, trial: 0, seed: 0, value: 1.0 },
-            TrialResult { point: p1, trial: 1, seed: 1, value: 3.0 },
-            TrialResult { point: p2, trial: 0, seed: 2, value: 10.0 },
+            TrialResult {
+                point: p1,
+                trial: 0,
+                seed: 0,
+                value: 1.0,
+            },
+            TrialResult {
+                point: p1,
+                trial: 1,
+                seed: 1,
+                value: 3.0,
+            },
+            TrialResult {
+                point: p2,
+                trial: 0,
+                seed: 2,
+                value: 10.0,
+            },
         ];
         let grouped = aggregate_by_point(&results, |r| r.value);
         assert_eq!(grouped.len(), 2);

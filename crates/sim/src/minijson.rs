@@ -1,0 +1,303 @@
+//! A minimal, dependency-free JSON reader.
+//!
+//! Sufficient for the files this workspace writes (experiment records from
+//! [`crate::save_records`], bench JSON-lines from the vendored criterion
+//! harness) and for standards-compliant external producers of the same
+//! shapes: full escape handling including UTF-16 surrogate pairs, and
+//! numbers kept as raw text so 64-bit integers round-trip exactly.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number, kept as its raw source text so 64-bit integers round-trip
+    /// exactly (an eager f64 conversion would corrupt seeds above 2^53).
+    Number(String),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The array items, when this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key`, when this value is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// An owned copy of the string, when this value is a string.
+    pub fn as_string(&self) -> Option<String> {
+        match self {
+            Value::String(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+
+    /// A borrowed view of the string, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (JSON `null` reads as NaN).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(raw) => raw.parse().ok(),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            // Parsed from the raw text, not through f64, so the full
+            // 64-bit range (e.g. derive_seed outputs) is preserved.
+            Value::Number(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `usize`, when it is a non-negative integer.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|x| x as usize)
+    }
+}
+
+/// Parses one complete JSON value (rejecting trailing data).
+pub fn parse(input: &str) -> Result<Value, String> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_whitespace();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, String> {
+        self.skip_whitespace();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf-8 in number")?;
+        // Validate now, but keep the raw text for lossless integer reads.
+        text.parse::<f64>()
+            .map(|_| Value::Number(text.to_owned()))
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    /// Reads the four hex digits of a `\u` escape (cursor past `\u`).
+    fn unicode_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&byte) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_owned());
+            };
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&escape) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_owned());
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.unicode_escape()?;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: must pair with \uDC00-\uDFFF.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err("unpaired high surrogate".to_owned());
+                                }
+                                self.pos += 2;
+                                let low = self.unicode_escape()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("invalid low surrogate".to_owned());
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(combined).ok_or("invalid surrogate pair")?);
+                            } else {
+                                out.push(char::from_u32(code).ok_or("unpaired low surrogate")?);
+                            }
+                        }
+                        other => {
+                            return Err(format!("invalid escape {:?}", other as char));
+                        }
+                    }
+                }
+                byte => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let len = match byte {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        _ => 3,
+                    };
+                    let start = self.pos - 1;
+                    self.pos += len;
+                    let chunk = self
+                        .bytes
+                        .get(start..self.pos)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("invalid utf-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!("expected ',' or ']', found {:?}", other as char));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return Err(format!("expected ',' or '}}', found {:?}", other as char));
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,12 @@
 //! Parallel, seeded execution of sweeps.
+//!
+//! [`run_sweep`] fans the independent `(model, n, d, trial)` cells of a sweep
+//! across all CPU cores through rayon's parallel iterators. Each cell draws
+//! its randomness exclusively from a deterministically derived per-cell seed
+//! ([`Sweep::trial_seed`]), so the result vector is identical to the
+//! sequential run no matter how the cells are scheduled.
 
-use std::sync::Mutex;
-
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::{ParamPoint, Sweep};
@@ -42,6 +47,19 @@ where
     T: Send,
     F: Fn(&TrialContext) -> T + Sync,
 {
+    let contexts = sweep_contexts(sweep);
+    contexts
+        .par_iter()
+        .map(|ctx| TrialResult {
+            point: ctx.point,
+            trial: ctx.trial,
+            seed: ctx.seed,
+            value: trial_fn(ctx),
+        })
+        .collect()
+}
+
+fn sweep_contexts(sweep: &Sweep) -> Vec<TrialContext> {
     let mut contexts: Vec<TrialContext> = Vec::with_capacity(sweep.total_trials());
     for point in sweep.points() {
         for trial in 0..sweep.trials_per_point() {
@@ -52,62 +70,7 @@ where
             });
         }
     }
-
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(contexts.len().max(1));
-
-    if workers <= 1 || contexts.len() <= 1 {
-        return contexts
-            .iter()
-            .enumerate()
-            .map(|(index, ctx)| (index, ctx, trial_fn(ctx)))
-            .map(|(_, ctx, value)| TrialResult {
-                point: ctx.point,
-                trial: ctx.trial,
-                seed: ctx.seed,
-                value,
-            })
-            .collect();
-    }
-
-    // Work queue: indices into `contexts`; results carry their index so the
-    // final ordering is independent of which worker ran what.
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<(usize, TrialResult<T>)>>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if index >= contexts.len() {
-                    break;
-                }
-                let ctx = &contexts[index];
-                let value = trial_fn(ctx);
-                let result = TrialResult {
-                    point: ctx.point,
-                    trial: ctx.trial,
-                    seed: ctx.seed,
-                    value,
-                };
-                results
-                    .lock()
-                    .expect("no panics while holding the results lock")
-                    .push(Some((index, result)));
-            });
-        }
-    });
-
-    let mut collected: Vec<(usize, TrialResult<T>)> = results
-        .into_inner()
-        .expect("all workers joined")
-        .into_iter()
-        .flatten()
-        .collect();
-    collected.sort_by_key(|(index, _)| *index);
-    collected.into_iter().map(|(_, r)| r).collect()
+    contexts
 }
 
 /// Sequential variant of [`run_sweep`], useful inside benchmarks (where the

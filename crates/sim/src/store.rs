@@ -3,6 +3,11 @@
 //! The experiment binaries can persist their raw per-trial measurements so that
 //! analysis (or re-rendering of `EXPERIMENTS.md`) does not require re-running
 //! the simulations.
+//!
+//! Serialization is hand-rolled (the build environment vendors a no-op serde
+//! stub, see `vendor/serde`), but the on-disk format matches what
+//! `serde_json::to_string_pretty` would produce for this type, so files stay
+//! forward-compatible with a real serde once it is available.
 
 use std::fs;
 use std::io;
@@ -29,21 +34,83 @@ pub struct StoredRecord {
     pub value: f64,
 }
 
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_value(value: f64) -> String {
+    if value.is_finite() {
+        let formatted = format!("{value}");
+        // JSON has no distinct integer type, but serde_json prints whole f64s
+        // with a trailing `.0`; match that so round-trips are byte-stable.
+        if formatted.contains(['.', 'e', 'E']) {
+            formatted
+        } else {
+            format!("{formatted}.0")
+        }
+    } else {
+        // JSON cannot represent non-finite numbers; serde_json writes null.
+        "null".to_owned()
+    }
+}
+
+fn record_to_json(record: &StoredRecord, out: &mut String) {
+    out.push_str("  {\n    \"experiment\": ");
+    escape_json(&record.experiment, out);
+    out.push_str(",\n    \"point\": {\n      \"model\": ");
+    escape_json(record.point.model.label(), out);
+    out.push_str(&format!(
+        ",\n      \"n\": {},\n      \"d\": {}\n    }},\n",
+        record.point.n, record.point.d
+    ));
+    out.push_str(&format!(
+        "    \"trial\": {},\n    \"seed\": {},\n    \"metric\": ",
+        record.trial, record.seed
+    ));
+    escape_json(&record.metric, out);
+    out.push_str(&format!(
+        ",\n    \"value\": {}\n  }}",
+        format_value(record.value)
+    ));
+}
+
 /// Saves records as pretty-printed JSON, creating parent directories as needed.
 ///
 /// # Errors
 ///
-/// Returns any I/O error from directory creation or file writing, and an
-/// `InvalidData` error if serialization fails (which cannot happen for this
-/// type in practice).
+/// Returns any I/O error from directory creation or file writing.
 pub fn save_records(path: &Path, records: &[StoredRecord]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
         }
     }
-    let json = serde_json::to_string_pretty(records)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut json = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        record_to_json(record, &mut json);
+        if i + 1 < records.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push(']');
+    if records.is_empty() {
+        json = "[]".to_owned();
+    }
     fs::write(path, json)
 }
 
@@ -55,8 +122,58 @@ pub fn save_records(path: &Path, records: &[StoredRecord]) -> io::Result<()> {
 /// the file does not contain a valid record list.
 pub fn load_records(path: &Path) -> io::Result<Vec<StoredRecord>> {
     let data = fs::read_to_string(path)?;
-    serde_json::from_str(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    parse_records(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
+
+fn parse_records(data: &str) -> Result<Vec<StoredRecord>, String> {
+    let value = json::parse(data)?;
+    let items = value
+        .as_array()
+        .ok_or("top-level JSON value must be an array")?;
+    items.iter().map(record_from_json).collect()
+}
+
+fn record_from_json(value: &json::Value) -> Result<StoredRecord, String> {
+    fn field<'a>(v: &'a json::Value, key: &str) -> Result<&'a json::Value, String> {
+        v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+    }
+    let point = field(value, "point")?;
+    let model = field(point, "model")?
+        .as_str()
+        .ok_or("point.model must be a string")?
+        .parse::<churn_core::ModelKind>()
+        .map_err(|e| format!("bad model kind: {e}"))?;
+    Ok(StoredRecord {
+        experiment: field(value, "experiment")?
+            .as_str()
+            .ok_or("experiment must be a string")?
+            .to_owned(),
+        point: ParamPoint {
+            model,
+            n: field(point, "n")?
+                .as_usize()
+                .ok_or("point.n must be an integer")?,
+            d: field(point, "d")?
+                .as_usize()
+                .ok_or("point.d must be an integer")?,
+        },
+        trial: field(value, "trial")?
+            .as_usize()
+            .ok_or("trial must be an integer")?,
+        seed: field(value, "seed")?
+            .as_u64()
+            .ok_or("seed must be an integer")?,
+        metric: field(value, "metric")?
+            .as_str()
+            .ok_or("metric must be a string")?
+            .to_owned(),
+        value: field(value, "value")?
+            .as_f64()
+            .ok_or("value must be a number")?,
+    })
+}
+
+use crate::minijson as json;
 
 #[cfg(test)]
 mod tests {
@@ -117,6 +234,61 @@ mod tests {
         fs::write(&path, "this is not json").unwrap();
         let err = load_records(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_record_list_round_trips() {
+        let dir = std::env::temp_dir().join(format!("churn-sim-empty-{}", std::process::id()));
+        let path = dir.join("records.json");
+        save_records(&path, &[]).unwrap();
+        assert_eq!(load_records(&path).unwrap(), Vec::new());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_range_u64_seeds_round_trip_exactly() {
+        // derive_seed outputs are uniform over all 64 bits; an f64 detour
+        // would corrupt anything above 2^53.
+        let dir = std::env::temp_dir().join(format!("churn-sim-seed-{}", std::process::id()));
+        let path = dir.join("records.json");
+        let mut records = sample_records();
+        records[0].seed = u64::MAX;
+        records[1].seed = 12_297_829_382_473_034_410;
+        save_records(&path, &records).unwrap();
+        let loaded = load_records(&path).unwrap();
+        assert_eq!(loaded[0].seed, u64::MAX);
+        assert_eq!(loaded[1].seed, 12_297_829_382_473_034_410);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // Producers that escape non-ASCII (e.g. Python's json.dumps) write
+        // astral-plane characters as UTF-16 surrogate pairs.
+        let dir = std::env::temp_dir().join(format!("churn-sim-surrogate-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("records.json");
+        let json = r#"[{"experiment": "\ud83d\ude00 demo", "point": {"model": "SDG", "n": 8, "d": 2},
+                        "trial": 0, "seed": 1, "metric": "m", "value": 1.0}]"#;
+        fs::write(&path, json).unwrap();
+        let loaded = load_records(&path).unwrap();
+        assert_eq!(loaded[0].experiment, "\u{1F600} demo");
+        // An unpaired surrogate is an error, not silent replacement.
+        fs::write(&path, r#"[{"experiment": "\ud83d oops"}]"#).unwrap();
+        assert!(load_records(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let dir = std::env::temp_dir().join(format!("churn-sim-escape-{}", std::process::id()));
+        let path = dir.join("records.json");
+        let mut records = sample_records();
+        records[0].experiment = "quote \" backslash \\ newline \n tab \t".to_string();
+        records[0].metric = "unicode Ω λ/µ".to_string();
+        save_records(&path, &records).unwrap();
+        assert_eq!(load_records(&path).unwrap(), records);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -29,7 +29,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with a title and column headers.
     #[must_use]
-    pub fn new<S: Into<String>>(title: impl Into<String>, columns: impl IntoIterator<Item = S>) -> Self {
+    pub fn new<S: Into<String>>(
+        title: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
         Table {
             title: title.into(),
             columns: columns.into_iter().map(Into::into).collect(),
@@ -138,7 +141,7 @@ impl Table {
         out.push('\n');
         out.push_str(&render_row(&self.columns));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1).max(0)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));
@@ -231,7 +234,7 @@ mod tests {
 
     #[test]
     fn float_and_int_formatting() {
-        assert_eq!(format_float(3.14159, 2), "3.14");
+        assert_eq!(format_float(1.23456, 2), "1.23");
         assert_eq!(format_float(2.0, 0), "2");
         assert_eq!(format_int(41.7), "42");
         assert_eq!(format_int(f64::NAN), "-");

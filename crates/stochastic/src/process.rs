@@ -312,7 +312,10 @@ mod tests {
             .filter(|&&x| (x as f64) >= 0.9 * n && (x as f64) <= 1.1 * n)
             .count() as f64
             / late.len() as f64;
-        assert!(in_band > 0.9, "population stays in [0.9n, 1.1n] most of the time");
+        assert!(
+            in_band > 0.9,
+            "population stays in [0.9n, 1.1n] most of the time"
+        );
     }
 
     #[test]

@@ -66,8 +66,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -259,7 +259,10 @@ impl Histogram {
     pub fn bin_range(&self, i: usize) -> (f64, f64) {
         assert!(i < self.counts.len(), "bin index out of range");
         let width = (self.high - self.low) / self.counts.len() as f64;
-        (self.low + i as f64 * width, self.low + (i + 1) as f64 * width)
+        (
+            self.low + i as f64 * width,
+            self.low + (i + 1) as f64 * width,
+        )
     }
 
     /// The fraction of samples falling in bin `i` (0 when empty).
@@ -379,7 +382,11 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LinearFit {
         slope,
         intercept,

@@ -69,8 +69,12 @@ fn main() {
             .filter(|r| r.point == point)
             .map(|r| &r.value)
             .collect();
-        let coverage =
-            Aggregate::from_values(&trials_for_point.iter().map(|t| t.coverage).collect::<Vec<_>>());
+        let coverage = Aggregate::from_values(
+            &trials_for_point
+                .iter()
+                .map(|t| t.coverage)
+                .collect::<Vec<_>>(),
+        );
         let isolated = Aggregate::from_values(
             &trials_for_point
                 .iter()

@@ -33,7 +33,13 @@ fn main() {
 
     let mut table = Table::new(
         "Estimated minimum expansion ratio of evolving snapshots",
-        ["model", "observation", "time", "full range h_out", "large sets only"],
+        [
+            "model",
+            "observation",
+            "time",
+            "full range h_out",
+            "large sets only",
+        ],
     );
 
     for kind in [ModelKind::Sdg, ModelKind::Sdgr] {

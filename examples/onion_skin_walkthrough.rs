@@ -18,8 +18,8 @@ fn main() {
     let d = 64;
     println!("Onion-skin process on an SDG graph with n = {n}, d = {d}\n");
 
-    let mut model = StreamingModel::new(StreamingConfig::new(n, d).seed(17))
-        .expect("valid parameters");
+    let mut model =
+        StreamingModel::new(StreamingConfig::new(n, d).seed(17)).expect("valid parameters");
     model.warm_up();
 
     let trace = run_onion_skin(&model);

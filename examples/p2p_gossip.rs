@@ -30,13 +30,16 @@ fn main() {
     overlay.warm_up();
 
     let health = overlay_health(&overlay);
-    let mut health_table = Table::new(
-        "Overlay health after warm-up",
-        ["metric", "value"],
-    );
+    let mut health_table = Table::new("Overlay health after warm-up", ["metric", "value"]);
     health_table.push_row(["online peers", &health.peers.to_string()]);
-    health_table.push_row(["mean outbound connections", &format!("{:.2}", health.mean_outbound)]);
-    health_table.push_row(["mean inbound connections", &format!("{:.2}", health.mean_inbound)]);
+    health_table.push_row([
+        "mean outbound connections",
+        &format!("{:.2}", health.mean_outbound),
+    ]);
+    health_table.push_row([
+        "mean inbound connections",
+        &format!("{:.2}", health.mean_inbound),
+    ]);
     health_table.push_row(["max inbound connections", &health.max_inbound.to_string()]);
     health_table.push_row(["isolated peers", &health.isolated_peers.to_string()]);
     health_table.push_row([
@@ -58,7 +61,13 @@ fn main() {
 
     let mut table = Table::new(
         "Block propagation under churn",
-        ["block", "origin", "delays to 50%", "delays to 99%", "final coverage"],
+        [
+            "block",
+            "origin",
+            "delays to 50%",
+            "delays to 99%",
+            "final coverage",
+        ],
     );
     for (i, report) in reports.iter().enumerate() {
         table.push_row([

@@ -75,10 +75,7 @@ fn flooding_time_of_sdgr_scales_logarithmically_not_linearly() {
                 FloodingSource::NextToJoin,
                 &FloodingConfig::default(),
             );
-            record
-                .outcome
-                .rounds()
-                .expect("SDGR flooding completes") as f64
+            record.outcome.rounds().expect("SDGR flooding completes") as f64
         });
         let mean = results.iter().map(|r| r.value).sum::<f64>() / results.len() as f64;
         points.push((n as f64, mean));
@@ -121,10 +118,18 @@ fn comparison_set_renders_measured_sweep() {
         let regenerates = key.model.ends_with('R');
         set.push(Comparison::new(
             format!("isolated fraction, {key}"),
-            if regenerates { "Theorem 3.15" } else { "Lemma 3.5" },
+            if regenerates {
+                "Theorem 3.15"
+            } else {
+                "Lemma 3.5"
+            },
             if regenerates { "0" } else { "> 0" },
             format!("{:.4}", agg.mean),
-            if regenerates { agg.mean == 0.0 } else { agg.mean > 0.0 },
+            if regenerates {
+                agg.mean == 0.0
+            } else {
+                agg.mean > 0.0
+            },
         ));
     }
     assert_eq!(set.len(), 2);

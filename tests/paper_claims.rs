@@ -168,15 +168,20 @@ fn without_regeneration_flooding_reaches_most_nodes() {
 /// nodes, and this actually happens with noticeable probability at small d.
 #[test]
 fn without_regeneration_flooding_sometimes_dies_out() {
+    // A run "dies out" when the informed set never grows past d + 1 nodes.
+    // The per-run die-out probability is a constant (Theorems 3.7 / 4.12), so
+    // a healthy number of seeds on a network large enough that newborn
+    // attachments rarely rescue a stalled broadcast makes this deterministic
+    // in practice.
     let mut died_somewhere = false;
     for kind in [ModelKind::Sdg, ModelKind::Pdg] {
-        for seed in 0..10 {
-            let mut model = kind.build(192, 1, 200 + seed).unwrap();
+        for seed in 0..16 {
+            let mut model = kind.build(512, 1, 200 + seed).unwrap();
             model.warm_up();
             let record = run_flooding(
                 &mut model,
                 FloodingSource::NextToJoin,
-                &FloodingConfig::with_max_rounds(100),
+                &FloodingConfig::with_max_rounds(60),
             );
             if record.outcome.is_died_out() {
                 died_somewhere = true;
@@ -185,7 +190,7 @@ fn without_regeneration_flooding_sometimes_dies_out() {
     }
     assert!(
         died_somewhere,
-        "with d = 1, at least one of 20 broadcasts should die out"
+        "with d = 1, at least one of 32 broadcasts should die out"
     );
 }
 
@@ -226,8 +231,7 @@ fn poisson_churn_demographics_match_lemmas() {
     use dynamic_churn_networks::core::{PoissonConfig, PoissonModel};
 
     let n = 400usize;
-    let mut model =
-        PoissonModel::new(PoissonConfig::with_expected_size(n, 3).seed(9)).unwrap();
+    let mut model = PoissonModel::new(PoissonConfig::with_expected_size(n, 3).seed(9)).unwrap();
     model.warm_up();
     model.advance_until(6.0 * n as f64);
 

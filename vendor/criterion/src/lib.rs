@@ -1,0 +1,351 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `measurement_time`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `black_box`, `BenchmarkId`) with a straightforward
+//! wall-clock harness: per sample the closure runs a calibrated number of
+//! iterations, and the mean / min / max ns-per-iteration over all samples is
+//! reported.
+//!
+//! # Machine-readable output
+//!
+//! Pass `--json <path>` after `--` (`cargo bench -- --json out.jsonl`) or set
+//! the `CHURN_BENCH_JSON` environment variable to append one JSON object per
+//! benchmark to `<path>`:
+//!
+//! ```json
+//! {"id":"model_step/SDGR/100000","mean_ns":123.4,"min_ns":...,"max_ns":...,"samples":20,"iters":4096}
+//! ```
+//!
+//! Substring filters work like criterion: `cargo bench -- model_step` only
+//! runs benchmark ids containing `model_step`. `CHURN_BENCH_FAST=1` shrinks
+//! the measurement to one short sample per benchmark (used by CI smoke runs).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered through `Display`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"SDGR/4096"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// The benchmark driver. Construct with [`Criterion::from_args`] (what
+/// `criterion_main!` does) or [`Criterion::default`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+    json_path: Option<String>,
+    fast: bool,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments and environment.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut filters = Vec::new();
+        let mut json_path = std::env::var("CHURN_BENCH_JSON")
+            .ok()
+            .filter(|p| !p.is_empty());
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => json_path = args.next(),
+                // Flags cargo or users may pass that the harness ignores.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                other if other.starts_with("--") => {
+                    // Unknown flag (e.g. real-criterion options like
+                    // --save-baseline): also consume its value, if any, so it
+                    // is not misread as a benchmark filter.
+                    if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                other => filters.push(other.to_owned()),
+            }
+        }
+        let fast = matches!(
+            std::env::var("CHURN_BENCH_FAST").as_deref(),
+            Ok("1") | Ok("true")
+        );
+        Criterion {
+            filters,
+            json_path,
+            fast,
+            results: Vec::new(),
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Writes the collected results; called by `criterion_main!` after all
+    /// groups have run.
+    pub fn final_summary(&mut self) {
+        let Some(path) = self.json_path.clone() else {
+            return;
+        };
+        let mut out = String::new();
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{{\"id\":\"{}\",\"mean_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"samples\":{},\"iters\":{}}}",
+                r.id, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+            );
+        }
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()));
+        if let Err(e) = write {
+            eprintln!("criterion stub: could not write {path}: {e}");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget for one benchmark's measurement phase.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |bencher| f(bencher));
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |bencher| f(bencher, input));
+        self
+    }
+
+    /// Ends the group (kept for interface compatibility; results are recorded
+    /// as each benchmark finishes).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, bench_id: &str, mut f: F) {
+        let full_id = format!("{}/{}", self.name, bench_id);
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+
+        // Calibration: find an iteration count whose batch takes roughly
+        // measurement_time / sample_size.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let (samples, budget) = if self.criterion.fast {
+            (1, Duration::from_millis(50))
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
+        let per_sample = budget / samples as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut totals_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.iters = iters;
+            f(&mut bencher);
+            totals_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean = totals_ns.iter().sum::<f64>() / totals_ns.len() as f64;
+        let min = totals_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = totals_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        println!(
+            "{full_id:<48} time: [{} {} {}]  ({samples} samples x {iters} iters)",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max),
+        );
+        self.criterion.results.push(BenchResult {
+            id: full_id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Emits the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("SDGR", 4096).id, "SDGR/4096");
+    }
+
+    #[test]
+    fn harness_measures_something() {
+        let mut criterion = Criterion::default();
+        {
+            let mut group = criterion.benchmark_group("g");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(30));
+            group.bench_function("busy", |bencher| bencher.iter(|| (0..100u64).sum::<u64>()));
+            group.finish();
+        }
+        assert_eq!(criterion.results.len(), 1);
+        assert!(criterion.results[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut criterion = Criterion {
+            filters: vec!["only_this".into()],
+            ..Criterion::default()
+        };
+        {
+            let mut group = criterion.benchmark_group("g");
+            group
+                .sample_size(1)
+                .measurement_time(Duration::from_millis(5));
+            group.bench_function("other", |bencher| bencher.iter(|| 1));
+            group.finish();
+        }
+        assert!(criterion.results.is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses — `par_iter` /
+//! `into_par_iter` followed by `map(..).collect()` or `for_each(..)` — on top
+//! of `std::thread::scope` with an atomic work queue. Parallelism is real
+//! (one worker per available core, dynamic work stealing via a shared index),
+//! results are returned in input order, and panics in worker closures are
+//! propagated to the caller like rayon does.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads a parallel call will use for `len` items.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn worker_count(len: usize) -> usize {
+    current_num_threads().min(len).max(1)
+}
+
+/// Runs `f(i)` for every `i in 0..len` across the pool, collecting results in
+/// index order. The queue hands out single indices, so uneven per-item cost
+/// (e.g. different network sizes in one sweep) balances automatically.
+fn parallel_map_indexed<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    let mut results: Vec<Option<T>> = Vec::with_capacity(len);
+    results.resize_with(len, || None);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut [Option<T>]>> =
+        results.chunks_mut(1).map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= len {
+                        break;
+                    }
+                    let value = f(index);
+                    *slots[index]
+                        .lock()
+                        .expect("slot mutex is never poisoned: each index is written once")
+                        .first_mut()
+                        .expect("chunk of size 1") = Some(value);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+
+    drop(slots);
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every index below len was processed"))
+        .collect()
+}
+
+/// Parallel iterator support types.
+pub mod iter {
+    use super::parallel_map_indexed;
+
+    /// A parallel iterator: a plan over an underlying indexed collection.
+    pub trait ParallelIterator: Sized {
+        /// Item type produced by the iterator.
+        type Item: Send;
+
+        /// Number of items.
+        fn pl_len(&self) -> usize;
+
+        /// Computes the item at `index`.
+        fn pl_get(&self, index: usize) -> Self::Item;
+
+        /// Lazily applies `f` to every item.
+        fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> Map<Self, F> {
+            Map { base: self, f }
+        }
+
+        /// Runs `f` on every item across the pool.
+        fn for_each<F: Fn(Self::Item) + Sync>(self, f: F)
+        where
+            Self: Sync,
+        {
+            parallel_map_indexed(self.pl_len(), |i| f(self.pl_get(i)));
+        }
+
+        /// Evaluates the plan across the pool, preserving input order.
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+        where
+            Self: Sync,
+        {
+            C::from_par_iter_vec(parallel_map_indexed(self.pl_len(), |i| self.pl_get(i)))
+        }
+    }
+
+    /// Collection types a parallel iterator can collect into.
+    pub trait FromParallelIterator<T> {
+        /// Builds the collection from the already-evaluated items.
+        fn from_par_iter_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Parallel iterator over `&[T]`.
+    #[derive(Debug)]
+    pub struct SliceIter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn pl_len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn pl_get(&self, index: usize) -> &'a T {
+            &self.slice[index]
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec<T>` (items are cloned out of the
+    /// backing store on demand; rayon's move semantics without unsafe code).
+    #[derive(Debug)]
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + Send + Sync> ParallelIterator for VecIter<T> {
+        type Item = T;
+
+        fn pl_len(&self) -> usize {
+            self.items.len()
+        }
+
+        fn pl_get(&self, index: usize) -> T {
+            self.items[index].clone()
+        }
+    }
+
+    /// Parallel iterator over an integer range.
+    #[derive(Debug)]
+    pub struct RangeIter {
+        start: usize,
+        end: usize,
+    }
+
+    impl ParallelIterator for RangeIter {
+        type Item = usize;
+
+        fn pl_len(&self) -> usize {
+            self.end - self.start
+        }
+
+        fn pl_get(&self, index: usize) -> usize {
+            self.start + index
+        }
+    }
+
+    /// Lazy `map` adapter.
+    #[derive(Debug)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, O, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        O: Send,
+        F: Fn(B::Item) -> O + Sync,
+    {
+        type Item = O;
+
+        fn pl_len(&self) -> usize {
+            self.base.pl_len()
+        }
+
+        fn pl_get(&self, index: usize) -> O {
+            (self.f)(self.base.pl_get(index))
+        }
+    }
+
+    /// Types convertible into a parallel iterator by reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed parallel iterator type.
+        type Iter: ParallelIterator;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = SliceIter<'a, T>;
+        fn par_iter(&'a self) -> SliceIter<'a, T> {
+            SliceIter { slice: self }
+        }
+    }
+
+    /// Types convertible into an owning parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Item: Send;
+        /// The owning parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = RangeIter;
+        fn into_par_iter(self) -> RangeIter {
+            RangeIter {
+                start: self.start,
+                end: self.end.max(self.start),
+            }
+        }
+    }
+}
+
+/// The rayon prelude: the traits needed for `par_iter` / `into_par_iter`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_values() {
+        let input: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = input.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 64);
+        assert_eq!(lens[0], 2);
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let v: Vec<usize> = (0..8).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| if x == 5 { panic!("boom") } else { x })
+            .collect();
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace derives `Serialize` / `Deserialize` on its public types so
+//! that a real serde can be dropped in once the build environment has network
+//! access. Until then this stub keeps those derives compiling: the traits are
+//! pure markers blanket-implemented for every type, and the derive macros
+//! (re-exported from the `serde_derive` stub) expand to nothing. Actual JSON
+//! persistence in the workspace is hand-rolled (see `churn-sim::store`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
