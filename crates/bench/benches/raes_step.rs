@@ -1,0 +1,47 @@
+//! Throughput of one RAES protocol round: one unit of churn plus one repair
+//! sweep over the pending-request queue.
+//!
+//! The interesting comparison is against `model_step`'s SDG/SDGR numbers at
+//! the same `(n, d)`: the protocol does strictly more work per round than the
+//! baselines (saturation checks, queue maintenance, possible retries), and
+//! `bench_report --pair` joins the two benches into `BENCH_PR2.json` to show
+//! the overhead stays within a small constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use churn_core::{ChurnSummary, DynamicNetwork};
+use churn_protocol::{RaesConfig, RaesModel, SaturationPolicy};
+
+fn bench_raes_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raes_step");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+        for n in [1_024usize, 4_096, 100_000] {
+            let config = RaesConfig::new(n, 8).saturation(policy).seed(7);
+            let mut model = RaesModel::new(config).expect("valid parameters");
+            model.warm_up();
+            // The allocation-free entry point: the summary buffer is reused,
+            // so the loop measures pure protocol work (alloc_free.rs pins the
+            // zero-allocation property).
+            let mut summary = ChurnSummary::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("RAES-{}", policy.label()), n),
+                &n,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        model.step_round_into(&mut summary);
+                        criterion::black_box(&summary);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raes_step);
+criterion_main!(benches);

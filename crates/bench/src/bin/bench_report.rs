@@ -14,39 +14,78 @@
 //!
 //! When the same bench id appears multiple times in a file, the last entry
 //! wins (so re-running a bench refreshes its number).
+//!
+//! By default benches are joined on *equal* ids (before/after runs of the same
+//! bench). To compare two *different* benches — e.g. the RAES protocol's
+//! `raes_step` against the `model_step` SDG baseline for `BENCH_PR2.json` —
+//! pass explicit `--pair <baseline_id>=<optimized_id>` mappings (repeatable);
+//! the two files may then even be the same combined run:
+//!
+//! ```text
+//! cargo run -p churn-bench --bin bench_report -- \
+//!     --baseline all.jsonl --optimized all.jsonl \
+//!     --pair model_step/SDG/100000=raes_step/RAES-reject-retry/100000 \
+//!     --out BENCH_PR2.json
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use churn_sim::minijson;
 
-fn parse_args() -> (String, String, Option<String>) {
+struct Args {
+    baseline: String,
+    optimized: String,
+    out: Option<String>,
+    /// Explicit (baseline id, optimized id) join pairs; empty = join on
+    /// equal ids.
+    pairs: Vec<(String, String)>,
+}
+
+fn parse_args() -> Args {
     let mut baseline = None;
     let mut optimized = None;
     let mut out = None;
+    let mut pairs = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline = args.next(),
             "--optimized" => optimized = args.next(),
             "--out" => out = args.next(),
+            "--pair" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--pair needs a <baseline_id>=<optimized_id> argument");
+                    std::process::exit(2);
+                });
+                let Some((base, opt)) = spec.split_once('=') else {
+                    eprintln!("malformed --pair {spec:?} (expected <baseline_id>=<optimized_id>)");
+                    std::process::exit(2);
+                };
+                pairs.push((base.to_owned(), opt.to_owned()));
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 std::process::exit(2);
             }
         }
     }
-    let usage = "usage: bench_report --baseline <jsonl> --optimized <jsonl> [--out <json>]";
-    (
-        baseline.unwrap_or_else(|| panic!("{usage}")),
-        optimized.unwrap_or_else(|| panic!("{usage}")),
+    let usage = "usage: bench_report --baseline <jsonl> --optimized <jsonl> \
+                 [--pair <baseline_id>=<optimized_id>]... [--out <json>]";
+    Args {
+        baseline: baseline.unwrap_or_else(|| panic!("{usage}")),
+        optimized: optimized.unwrap_or_else(|| panic!("{usage}")),
         out,
-    )
+        pairs,
+    }
 }
 
-fn load(path: &str) -> BTreeMap<String, f64> {
+/// Loads one jsonl recording; the flag reports whether any line lacked
+/// `median_ns` (pre-median recording, mean fallback used).
+fn load(path: &str) -> (BTreeMap<String, f64>, bool) {
     let data = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let mut out = BTreeMap::new();
+    let mut mean_fallbacks = false;
     for line in data.lines().filter(|l| !l.trim().is_empty()) {
         let parsed = match minijson::parse(line) {
             Ok(value) => value,
@@ -56,41 +95,88 @@ fn load(path: &str) -> BTreeMap<String, f64> {
             }
         };
         let id = parsed.get("id").and_then(|v| v.as_str().map(str::to_owned));
-        let mean = parsed.get("mean_ns").and_then(minijson::Value::as_f64);
-        let (Some(id), Some(mean)) = (id, mean) else {
-            eprintln!("skipping line without id/mean_ns in {path}: {line}");
+        // Prefer the steal-spike-robust median (newer recordings); fall back
+        // to the mean for files produced before median_ns existed.
+        let median = parsed.get("median_ns");
+        mean_fallbacks |= median.is_none();
+        let ns = median
+            .or_else(|| parsed.get("mean_ns"))
+            .and_then(minijson::Value::as_f64);
+        let (Some(id), Some(ns)) = (id, ns) else {
+            eprintln!("skipping line without id/median_ns/mean_ns in {path}: {line}");
             continue;
         };
-        out.insert(id, mean);
+        out.insert(id, ns);
     }
-    out
+    (out, mean_fallbacks)
 }
 
 fn main() {
-    let (baseline_path, optimized_path, out_path) = parse_args();
-    let baseline = load(&baseline_path);
-    let optimized = load(&optimized_path);
+    let args = parse_args();
+    let (baseline, baseline_means) = load(&args.baseline);
+    let (optimized, optimized_means) = load(&args.optimized);
+    if baseline_means != optimized_means {
+        eprintln!(
+            "warning: one side uses pre-median recordings (mean_ns) while the other uses \
+             median_ns — the reported speedups mix two different statistics; re-record the \
+             older file for a like-for-like comparison"
+        );
+    }
 
-    let mut report = String::from("{\n  \"unit\": \"mean ns per iteration\",\n  \"benches\": [\n");
+    // Join either on the explicit --pair mappings or on equal ids.
+    let joined: Vec<(String, String, f64, f64)> = if args.pairs.is_empty() {
+        baseline
+            .iter()
+            .filter_map(|(id, &base)| {
+                let Some(&opt) = optimized.get(id) else {
+                    eprintln!("warning: {id} missing from optimized run");
+                    return None;
+                };
+                Some((id.clone(), id.clone(), base, opt))
+            })
+            .collect()
+    } else {
+        // Explicit pairs are a stated expectation (CI smoke, the BENCH_PR2
+        // recipe): a missing id means the recipe drifted from the bench
+        // definitions, so fail loudly instead of emitting a vacuous report.
+        args.pairs
+            .iter()
+            .map(|(base_id, opt_id)| {
+                let Some(&base) = baseline.get(base_id) else {
+                    eprintln!("error: --pair id {base_id} missing from baseline run");
+                    std::process::exit(1);
+                };
+                let Some(&opt) = optimized.get(opt_id) else {
+                    eprintln!("error: --pair id {opt_id} missing from optimized run");
+                    std::process::exit(1);
+                };
+                (base_id.clone(), opt_id.clone(), base, opt)
+            })
+            .collect()
+    };
+
+    let mut report = String::from(
+        "{\n  \"unit\": \"median ns per iteration (mean for pre-median recordings)\",\n  \"benches\": [\n",
+    );
     let mut first = true;
-    for (id, &base) in &baseline {
-        let Some(&opt) = optimized.get(id) else {
-            eprintln!("warning: {id} missing from optimized run");
-            continue;
-        };
+    for (base_id, opt_id, base, opt) in &joined {
         if !first {
             report.push_str(",\n");
         }
         first = false;
+        let _ = write!(report, "    {{\"id\": \"{opt_id}\", ");
+        if base_id != opt_id {
+            let _ = write!(report, "\"baseline_id\": \"{base_id}\", ");
+        }
         let _ = write!(
             report,
-            "    {{\"id\": \"{id}\", \"baseline_ns\": {base:.1}, \"optimized_ns\": {opt:.1}, \"speedup\": {:.2}}}",
+            "\"baseline_ns\": {base:.1}, \"optimized_ns\": {opt:.1}, \"speedup\": {:.2}}}",
             base / opt
         );
     }
     report.push_str("\n  ]\n}\n");
 
-    match out_path {
+    match args.out {
         Some(path) => {
             std::fs::write(&path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
             eprintln!("wrote {path}");

@@ -26,6 +26,21 @@ pub enum ModelError {
         /// The rejected value.
         value: f64,
     },
+    /// The in-degree capacity factor `c` of a maintenance protocol (e.g. the
+    /// RAES cap `c·d`) is invalid.
+    InvalidCapacityFactor {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The requested [`crate::ModelKind`] is implemented outside `churn-core`
+    /// (e.g. the RAES protocol in `churn-protocol`), so this crate cannot
+    /// construct it.
+    ExternalModelKind {
+        /// Label of the kind (e.g. `"RAES"`).
+        kind: &'static str,
+        /// Name of the crate that implements it.
+        implemented_in: &'static str,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -41,6 +56,17 @@ impl fmt::Display for ModelError {
             ModelError::InvalidRate { parameter, value } => write!(
                 f,
                 "rate parameter {parameter} = {value} is invalid (must be finite and positive)"
+            ),
+            ModelError::InvalidCapacityFactor { value } => write!(
+                f,
+                "capacity factor c = {value} is invalid (must be finite and at least 1)"
+            ),
+            ModelError::ExternalModelKind {
+                kind,
+                implemented_in,
+            } => write!(
+                f,
+                "model kind {kind} is implemented in the {implemented_in} crate, not churn-core"
             ),
         }
     }

@@ -123,6 +123,14 @@ impl ChurnSummary {
         self.births.extend(later.births);
     }
 
+    /// Empties the summary while keeping the vectors' capacity, so a
+    /// caller-owned summary can be reused across steps without reallocating
+    /// (see `RaesModel::step_round_into` in `churn-protocol`).
+    pub fn clear(&mut self) {
+        self.births.clear();
+        self.deaths.clear();
+    }
+
     /// Records a birth observed while accumulating a summary in place.
     pub fn record_birth(&mut self, id: NodeId) {
         self.births.push(id);

@@ -46,7 +46,7 @@ impl SizeRange {
             SizeRange::Full => (1, half),
             SizeRange::LargeSets => {
                 let d = model.degree_parameter() as f64;
-                let exponent = if model.model_kind().is_streaming() {
+                let exponent = if model.has_streaming_churn() {
                     -d / 10.0
                 } else {
                     -d / 20.0

@@ -71,7 +71,7 @@ pub fn isolated_now<M: DynamicNetwork>(model: &M) -> Vec<NodeId> {
 #[must_use]
 pub fn default_isolation_horizon<M: DynamicNetwork>(model: &M) -> u64 {
     let n = model.expected_size() as u64;
-    if model.model_kind().is_streaming() {
+    if model.has_streaming_churn() {
         n
     } else {
         5 * n

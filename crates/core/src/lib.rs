@@ -80,7 +80,7 @@ pub mod theory;
 
 pub use alive::AliveSet;
 pub use any::{AnyModel, ModelKind};
-pub use config::{EdgePolicy, PoissonConfig, StreamingConfig};
+pub use config::{EdgePolicy, PoissonConfig, StreamingConfig, MIN_NETWORK_SIZE};
 pub use error::ModelError;
 pub use event::{ChurnSummary, ModelEvent};
 pub use model::DynamicNetwork;

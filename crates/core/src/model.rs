@@ -33,6 +33,16 @@ pub trait DynamicNetwork {
     /// realises.
     fn model_kind(&self) -> ModelKind;
 
+    /// Whether the model's churn process is the *streaming* one (every node
+    /// lives exactly `n` rounds), as opposed to memoryless exponential
+    /// lifetimes. Analyses whose constants depend on the churn process
+    /// (isolation horizons, large-set expansion bounds) branch on this, not
+    /// on [`Self::model_kind`] — kinds like `ModelKind::Raes` can run either
+    /// churn process, so the kind alone does not determine it.
+    fn has_streaming_churn(&self) -> bool {
+        self.model_kind().is_streaming()
+    }
+
     /// Current model time: the round index for streaming models, continuous time
     /// for Poisson models.
     fn time(&self) -> f64;

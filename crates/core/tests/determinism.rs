@@ -83,6 +83,7 @@ fn same_seed_reproduces_identical_event_logs() {
                 )
                 .map(churn_core::AnyModel::Poisson)
                 .unwrap(),
+                ModelKind::Raes => unreachable!("ALL holds only the paper's four models"),
             };
             model.advance_time_units(150);
             model.drain_events()

@@ -27,6 +27,47 @@ use serde::{Deserialize, Serialize};
 use crate::hashing::IdHashMap;
 use crate::{GraphError, NodeId, Result};
 
+/// A generation-tagged reference to a slab cell of a [`DynamicGraph`].
+///
+/// A bare dense index is only valid while the node it was obtained for is
+/// alive; revalidating it requires comparing identifiers through
+/// [`DynamicGraph::id_at`]. A `DenseHandle` additionally carries the cell's
+/// *generation* — a counter bumped on every removal and every cell reuse
+/// (odd while occupied, even while vacant) — so [`DynamicGraph::is_current`]
+/// can check validity in O(1) with one flat array probe and no identifier
+/// compare; the parity also keeps hand-constructed or deserialized handles
+/// from ever validating against a vacant cell. This is the currency of
+/// choice for queues that must survive churn, such as the RAES protocol's
+/// pending-request queue in `churn-protocol`.
+///
+/// # Example
+///
+/// ```
+/// use churn_graph::{DynamicGraph, NodeId};
+///
+/// # fn main() -> Result<(), churn_graph::GraphError> {
+/// let mut g = DynamicGraph::new();
+/// g.add_node(NodeId::new(0), 1)?;
+/// let h = g.handle_of(NodeId::new(0)).unwrap();
+/// assert!(g.is_current(h));
+/// g.remove_node(NodeId::new(0))?;
+/// assert!(!g.is_current(h));
+/// // The cell is recycled for a different node, same index, new generation.
+/// g.add_node(NodeId::new(1), 1)?;
+/// let h2 = g.handle_of(NodeId::new(1)).unwrap();
+/// assert_eq!(h.index, h2.index);
+/// assert!(!g.is_current(h) && g.is_current(h2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DenseHandle {
+    /// The slab index of the cell.
+    pub index: u32,
+    /// Generation of the cell's occupant at the time the handle was taken.
+    pub generation: u32,
+}
+
 /// Identifies one of the `d` out-going connection requests a node owns.
 ///
 /// The paper distinguishes, for every node `v`, between *out-edges* (the
@@ -172,6 +213,26 @@ impl<const N: usize> MiniVec<N> {
         self.len -= 1;
     }
 
+    /// Removes the first element, shifting the rest down (order-preserving,
+    /// O(len) — trivial at the inline sizes used here). Needed where element
+    /// order is meaningful, e.g. oldest-first in-reference eviction.
+    fn remove_front(&mut self) {
+        let len = self.len();
+        debug_assert!(len > 0, "remove_front on an empty MiniVec");
+        for j in 1..len.min(N) {
+            self.inline[j - 1] = self.inline[j];
+        }
+        if len > N {
+            let spill = self
+                .spill
+                .as_mut()
+                .expect("spill exists for spilled length");
+            self.inline[N - 1] = spill[0];
+            spill.remove(0);
+        }
+        self.len -= 1;
+    }
+
     fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.inline[..self.len().min(N)]
             .iter()
@@ -249,13 +310,35 @@ impl NodeRecord {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DynamicGraph {
     slab: Vec<Option<NodeRecord>>,
     free: Vec<u32>,
     members: Vec<u32>,
     index: IdHashMap<NodeId, u32>,
     filled_slots: usize,
+    /// Per-cell generation counters (parallel to `slab`), bumped on both
+    /// removal and cell reuse so [`DenseHandle`]s of dead occupants fail
+    /// [`Self::is_current`] in O(1). Parity encodes occupancy — odd while the
+    /// cell is occupied, even while vacant — so even a handle that was never
+    /// issued by this graph can never validate against a vacant cell.
+    generations: Vec<u32>,
+    /// While `true`, iterating occupied slab cells in index order yields node
+    /// identifiers in increasing order: no cell was ever recycled and every
+    /// insertion used a fresh identifier larger than all earlier ones. This is
+    /// the precondition of [`Snapshot`](crate::Snapshot)'s sort-free fast
+    /// path. Cleared permanently by the first free-list reuse or out-of-order
+    /// insertion.
+    id_sorted: bool,
+    /// Smallest raw identifier the next insertion may use without clearing
+    /// `id_sorted` (one past the largest identifier inserted so far).
+    next_sorted_id: u64,
+}
+
+impl Default for DynamicGraph {
+    fn default() -> Self {
+        Self::with_capacity(0)
+    }
 }
 
 impl DynamicGraph {
@@ -274,6 +357,9 @@ impl DynamicGraph {
             members: Vec::with_capacity(nodes),
             index: IdHashMap::with_capacity_and_hasher(nodes, Default::default()),
             filled_slots: 0,
+            generations: Vec::with_capacity(nodes),
+            id_sorted: true,
+            next_sorted_id: 0,
         }
     }
 
@@ -367,6 +453,51 @@ impl DynamicGraph {
             .map(|rec| rec.id)
     }
 
+    /// A generation-tagged handle for the node currently at dense index `idx`,
+    /// or `None` when the cell is vacant or out of range.
+    #[must_use]
+    pub fn handle_at(&self, idx: u32) -> Option<DenseHandle> {
+        self.occupied(idx).then(|| DenseHandle {
+            index: idx,
+            generation: self.generations[idx as usize],
+        })
+    }
+
+    /// A generation-tagged handle for an alive node.
+    #[must_use]
+    pub fn handle_of(&self, id: NodeId) -> Option<DenseHandle> {
+        self.dense_index_of(id).and_then(|idx| self.handle_at(idx))
+    }
+
+    /// Returns `true` while `handle` still refers to the node it was taken
+    /// for. O(1) — a single flat array probe, no identifier compare and no
+    /// record access: generation counters bump on every removal *and* every
+    /// reuse (odd while occupied, even while vacant), so a generation match
+    /// on an odd generation implies the cell is still in the exact occupancy
+    /// epoch the handle was issued in. The parity guard also makes this total
+    /// over arbitrary (hand-constructed or deserialized) handles: no handle
+    /// value can ever validate against a vacant cell.
+    #[must_use]
+    pub fn is_current(&self, handle: DenseHandle) -> bool {
+        let current = handle.generation % 2 == 1
+            && self.generations.get(handle.index as usize) == Some(&handle.generation);
+        debug_assert!(
+            !current || self.occupied(handle.index),
+            "odd-generation match must imply an occupied cell"
+        );
+        current
+    }
+
+    /// Returns `true` while the slab layout is *identifier-sorted*: occupied
+    /// cells visited in index order carry increasing identifiers. Holds until
+    /// the first recycled cell or out-of-order insertion, after which it stays
+    /// `false` for the graph's lifetime. [`Snapshot`](crate::Snapshot)
+    /// construction uses this to skip its identifier sort.
+    #[must_use]
+    pub fn id_sorted_layout(&self) -> bool {
+        self.id_sorted
+    }
+
     /// The dense indices of all alive nodes, in arbitrary (swap-remove) order.
     #[must_use]
     pub fn member_indices(&self) -> &[u32] {
@@ -442,6 +573,66 @@ impl DynamicGraph {
         out.extend(rec.in_refs.iter());
     }
 
+    /// Dense-index variant of [`Self::in_request_count`]: the number of
+    /// out-slots (of other nodes) currently pointing at the node in cell
+    /// `idx`, with multiplicity. `None` when the cell is vacant.
+    ///
+    /// This is the saturation check of in-degree-bounded overlay protocols
+    /// (accept a request only while `in_request_count_at < c·d`).
+    #[must_use]
+    pub fn in_request_count_at(&self, idx: u32) -> Option<usize> {
+        self.slab
+            .get(idx as usize)
+            .and_then(|cell| cell.as_ref())
+            .map(|rec| rec.in_refs.len())
+    }
+
+    /// The owner (dense index) of the earliest-recorded surviving in-reference
+    /// of the node at `idx`, or `None` when the cell is vacant or has no
+    /// in-references.
+    ///
+    /// The in-reference multiset is compacted with swap-removes, so this is
+    /// the *approximately* oldest incoming link — exact while no in-reference
+    /// was dropped, and always one of the older survivors otherwise. That is
+    /// the precision an eviction heuristic (e.g. the RAES `evict-oldest`
+    /// saturation policy) needs.
+    #[must_use]
+    pub fn oldest_in_ref_at(&self, idx: u32) -> Option<u32> {
+        let rec = self.slab.get(idx as usize).and_then(|cell| cell.as_ref())?;
+        (!rec.in_refs.is_empty()).then(|| rec.in_refs.get(0))
+    }
+
+    /// Severs the earliest-recorded in-reference of `idx` (its approximately
+    /// oldest incoming link, see [`Self::oldest_in_ref_at`]): the pointing
+    /// out-slot of the owning node is cleared. Returns the owner's dense
+    /// index and the cleared slot, or `None` when `idx` is vacant or has no
+    /// in-references.
+    ///
+    /// The in-reference list's relative order is preserved (order-preserving
+    /// front removal), so consecutive sheds walk the surviving links
+    /// oldest-first — the behaviour eviction policies under sustained
+    /// saturation depend on. Resolves each record once; this is the hot
+    /// eviction step of in-degree-capped overlay policies (the RAES
+    /// `evict-oldest` knob).
+    pub fn shed_oldest_in_ref(&mut self, idx: u32) -> Option<(u32, usize)> {
+        let rec = self.slab.get_mut(idx as usize)?.as_mut()?;
+        if rec.in_refs.is_empty() {
+            return None;
+        }
+        let owner = rec.in_refs.get(0);
+        rec.in_refs.remove_front();
+        let owner_rec = self.slab[owner as usize]
+            .as_mut()
+            .expect("in-reference owners are alive");
+        let slot = owner_rec
+            .out_slots
+            .position(idx)
+            .expect("in-reference implies a pointing out-slot");
+        owner_rec.out_slots.set(slot, NO_TARGET);
+        self.filled_slots -= 1;
+        Some((owner, slot))
+    }
+
     fn record(&self, idx: u32) -> &NodeRecord {
         self.slab[idx as usize]
             .as_ref()
@@ -492,15 +683,24 @@ impl DynamicGraph {
         };
         let idx = match self.free.pop() {
             Some(idx) => {
+                // A recycled cell breaks the index-order = id-order property.
+                self.id_sorted = false;
                 self.slab[idx as usize] = Some(record);
+                // Vacant-even → occupied-odd.
+                self.generations[idx as usize] = self.generations[idx as usize].wrapping_add(1);
                 idx
             }
             None => {
                 let idx = self.slab.len() as u32;
                 self.slab.push(Some(record));
+                self.generations.push(1);
                 idx
             }
         };
+        if id.raw() < self.next_sorted_id {
+            self.id_sorted = false;
+        }
+        self.next_sorted_id = self.next_sorted_id.max(id.raw().saturating_add(1));
         self.members.push(idx);
         self.index.insert(id, idx);
         Ok(idx)
@@ -707,6 +907,10 @@ impl DynamicGraph {
             self.record_mut(moved).member_pos = pos as u32;
         }
         self.free.push(idx);
+        // Invalidate outstanding handles to this cell: occupied-odd →
+        // vacant-even (wrapping: only equality with a live handle matters,
+        // and 2^32 reuses cannot be outstanding).
+        self.generations[idx as usize] = self.generations[idx as usize].wrapping_add(1);
 
         // The dead node's own requests: drop the in-references they created.
         for target in record.out_slots.iter().filter(|&t| t != NO_TARGET) {
@@ -912,6 +1116,28 @@ impl DynamicGraph {
             self.members.len(),
             "identifier map out of sync with member list"
         );
+        assert_eq!(
+            self.generations.len(),
+            self.slab.len(),
+            "generation counters must cover the whole slab"
+        );
+        for (idx, cell) in self.slab.iter().enumerate() {
+            assert_eq!(
+                self.generations[idx] % 2 == 1,
+                cell.is_some(),
+                "generation parity of cell {idx} must encode its occupancy"
+            );
+        }
+        if self.id_sorted {
+            let mut last: Option<NodeId> = None;
+            for cell in self.slab.iter().flatten() {
+                assert!(
+                    last.is_none_or(|prev| prev < cell.id),
+                    "id_sorted layout flag is set but slab order is not id-sorted"
+                );
+                last = Some(cell.id);
+            }
+        }
 
         let mut expected_in: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut filled = 0usize;
@@ -1269,6 +1495,179 @@ mod tests {
             let idx = g.sample_member_excluding(&mut rng, excluded).unwrap();
             assert_ne!(idx, excluded);
         }
+    }
+
+    #[test]
+    fn handles_revalidate_in_o1_across_recycling() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node_indexed(id(0), 1).unwrap();
+        let b = g.add_node_indexed(id(1), 1).unwrap();
+        let ha = g.handle_at(a).unwrap();
+        let hb = g.handle_of(id(1)).unwrap();
+        assert_eq!(hb.index, b);
+        assert!(g.is_current(ha) && g.is_current(hb));
+
+        g.remove_node_at(a).unwrap();
+        assert!(!g.is_current(ha), "handle dies with its node");
+        assert_eq!(g.handle_at(a), None, "vacant cells yield no handle");
+
+        // Recycling the cell must not resurrect the stale handle.
+        let c = g.add_node_indexed(id(2), 1).unwrap();
+        assert_eq!(c, a);
+        assert!(!g.is_current(ha));
+        let hc = g.handle_at(c).unwrap();
+        assert!(g.is_current(hc));
+        assert_eq!(hc.index, ha.index);
+        assert_ne!(hc.generation, ha.generation);
+        // Out-of-range indices are handled gracefully.
+        assert_eq!(g.handle_at(99), None);
+        assert!(!g.is_current(DenseHandle {
+            index: 99,
+            generation: 0
+        }));
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn forged_handles_never_validate_against_vacant_cells() {
+        // DenseHandle's fields are public, so a caller (or a deserializer)
+        // can construct handles the graph never issued. Those must never
+        // report current for a vacant cell: vacant cells carry even
+        // generations and valid handles only ever carry odd ones.
+        let mut g = DynamicGraph::new();
+        let a = g.add_node_indexed(id(0), 0).unwrap();
+        g.remove_node_at(a).unwrap();
+        let vacant_generation = {
+            // Reconstruct the vacant cell's current counter by probing the
+            // next occupancy: reuse bumps it by exactly one.
+            let reused = g.add_node_indexed(id(1), 0).unwrap();
+            assert_eq!(reused, a);
+            let occupied = g.handle_at(a).unwrap().generation;
+            g.remove_node_at(a).unwrap();
+            occupied.wrapping_add(1)
+        };
+        for generation in [vacant_generation, 0, 1, 2, 3, u32::MAX] {
+            assert!(
+                !g.is_current(DenseHandle {
+                    index: a,
+                    generation
+                }),
+                "no handle value may validate against the vacant cell \
+                 (tried generation {generation})"
+            );
+        }
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn dense_protocol_queries_mirror_id_api() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..4 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        let at = |raw: u64, g: &DynamicGraph| g.dense_index_of(id(raw)).unwrap();
+        g.set_out_slot(id(1), 0, id(0)).unwrap();
+        g.set_out_slot(id(2), 0, id(0)).unwrap();
+        g.set_out_slot(id(2), 1, id(0)).unwrap();
+        let zero = at(0, &g);
+        assert_eq!(g.in_request_count_at(zero), Some(3));
+        assert_eq!(g.in_request_count_at(99), None);
+        // Oldest in-reference is the first recorded one (node 1).
+        assert_eq!(g.oldest_in_ref_at(zero), Some(at(1, &g)));
+        assert_eq!(g.oldest_in_ref_at(at(3, &g)), None, "no in-references");
+        assert_eq!(g.oldest_in_ref_at(99), None);
+    }
+
+    #[test]
+    fn shed_oldest_in_ref_clears_the_earliest_pointing_slot() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..4 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        g.set_out_slot(id(1), 1, id(0)).unwrap();
+        g.set_out_slot(id(2), 0, id(0)).unwrap();
+        let zero = g.dense_index_of(id(0)).unwrap();
+        let one = g.dense_index_of(id(1)).unwrap();
+
+        // The earliest in-reference (node 1, slot 1) is shed first.
+        assert_eq!(g.shed_oldest_in_ref(zero), Some((one, 1)));
+        assert_eq!(g.in_request_count(id(0)), Some(1));
+        assert_eq!(g.out_degree(id(1)), Some(0));
+        g.assert_invariants();
+
+        // Then node 2's, after which nothing is left to shed.
+        let two = g.dense_index_of(id(2)).unwrap();
+        assert_eq!(g.shed_oldest_in_ref(zero), Some((two, 0)));
+        assert_eq!(g.shed_oldest_in_ref(zero), None, "no in-references left");
+        assert_eq!(g.shed_oldest_in_ref(99), None, "vacant index");
+        assert!(g.is_isolated(id(0)).unwrap());
+        assert_eq!(g.filled_slot_count(), 0);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn consecutive_sheds_walk_in_refs_oldest_first() {
+        // Three or more links expose ordering bugs a pair cannot: a
+        // swap-remove-based shed would evict newest after the first call.
+        let mut g = DynamicGraph::new();
+        for raw in 0..5 {
+            g.add_node(id(raw), 1).unwrap();
+        }
+        for raw in 1..5 {
+            g.set_out_slot(id(raw), 0, id(0)).unwrap();
+        }
+        let zero = g.dense_index_of(id(0)).unwrap();
+        let shed_owner = |g: &mut DynamicGraph| {
+            let (owner, _) = g.shed_oldest_in_ref(zero).unwrap();
+            g.id_at(owner).unwrap()
+        };
+        assert_eq!(shed_owner(&mut g), id(1));
+        assert_eq!(shed_owner(&mut g), id(2));
+        assert_eq!(shed_owner(&mut g), id(3));
+        assert_eq!(shed_owner(&mut g), id(4));
+        g.assert_invariants();
+
+        // Same walk with enough links to spill past the inline in-reference
+        // capacity (12), covering remove_front's spill branch.
+        let mut g = DynamicGraph::new();
+        g.add_node(id(0), 1).unwrap();
+        for raw in 1..=15 {
+            g.add_node(id(raw), 1).unwrap();
+            g.set_out_slot(id(raw), 0, id(0)).unwrap();
+        }
+        let zero = g.dense_index_of(id(0)).unwrap();
+        for raw in 1..=15 {
+            let (owner, _) = g.shed_oldest_in_ref(zero).unwrap();
+            assert_eq!(g.id_at(owner), Some(id(raw)));
+            g.assert_invariants();
+        }
+        assert!(g.is_isolated(id(0)).unwrap());
+    }
+
+    #[test]
+    fn id_sorted_layout_tracks_insertion_order_and_recycling() {
+        let mut g = DynamicGraph::new();
+        assert!(g.id_sorted_layout(), "empty graph is trivially sorted");
+        for raw in 0..5 {
+            g.add_node(id(raw), 0).unwrap();
+        }
+        assert!(g.id_sorted_layout());
+        // Removal alone keeps the ordering of the surviving cells.
+        g.remove_node(id(2)).unwrap();
+        assert!(g.id_sorted_layout());
+        g.assert_invariants();
+        // The next insertion recycles the vacated cell and breaks it.
+        g.add_node(id(7), 0).unwrap();
+        assert!(!g.id_sorted_layout());
+        g.assert_invariants();
+
+        // Out-of-order identifiers also break it, even without recycling.
+        let mut g = DynamicGraph::new();
+        g.add_node(id(5), 0).unwrap();
+        assert!(g.id_sorted_layout());
+        g.add_node(id(3), 0).unwrap();
+        assert!(!g.id_sorted_layout());
+        g.assert_invariants();
     }
 
     #[test]

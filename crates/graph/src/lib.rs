@@ -45,10 +45,15 @@
 //! cell may be recycled for a different node, so any cached `(index, id)` pair
 //! must be revalidated with [`DynamicGraph::id_at`] before reuse across
 //! removals (`id_at(index) == Some(id)` iff the pair is still current —
-//! identifiers are never reused, which makes this check sound). Indices are
-//! *not* compaction-stable either: [`Snapshot`] assigns its own `0..n`
-//! positions ordered by identifier, independent of slab layout, so snapshots
-//! of equal graphs compare equal regardless of the arena's churn history.
+//! identifiers are never reused, which makes this check sound). For caches
+//! that should not carry identifiers at all, [`DenseHandle`] packs the index
+//! with the cell's generation counter, making revalidation
+//! ([`DynamicGraph::is_current`]) a flat O(1) probe with no identifier
+//! compare; this is what the RAES protocol's pending-request queue in
+//! `churn-protocol` uses. Indices are *not* compaction-stable either:
+//! [`Snapshot`] assigns its own `0..n` positions ordered by identifier,
+//! independent of slab layout, so snapshots of equal graphs compare equal
+//! regardless of the arena's churn history.
 //!
 //! ## Example
 //!
@@ -90,7 +95,7 @@ pub mod metrics;
 pub mod traversal;
 
 pub use error::GraphError;
-pub use graph::{DynamicGraph, EdgeSlot, RemovedNode};
+pub use graph::{DenseHandle, DynamicGraph, EdgeSlot, RemovedNode};
 pub use node::{NodeId, NodeIdAllocator};
 pub use snapshot::Snapshot;
 

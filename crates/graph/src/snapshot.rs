@@ -44,17 +44,32 @@ impl Snapshot {
     /// Hash-free: the graph's dense slab indices are translated to compact
     /// snapshot positions through a plain lookup array, so construction costs
     /// one `O(n log n)` identifier sort (snapshot indices are ordered by
-    /// `NodeId`) plus a single `O(n + m log d)` adjacency pass.
+    /// `NodeId`) plus a single `O(n + m log d)` adjacency pass. While the
+    /// graph reports [`DynamicGraph::id_sorted_layout`] — no cell ever
+    /// recycled, identifiers inserted in increasing order, as with the static
+    /// generators and any model before its first churn — the sort is skipped
+    /// entirely: a slab walk in index order already yields the nodes in
+    /// identifier order, making construction `O(n + m log d)`.
     #[must_use]
     pub fn of(graph: &DynamicGraph) -> Self {
-        // Pair every alive node's id with its slab index, then order by id so
+        // Pair every alive node's id with its slab index, ordered by id so
         // snapshot indices are deterministic regardless of slab layout.
-        let mut nodes: Vec<(NodeId, u32)> = graph
-            .member_indices()
-            .iter()
-            .map(|&idx| (graph.id_at(idx).expect("member cells are occupied"), idx))
-            .collect();
-        nodes.sort_unstable_by_key(|&(id, _)| id);
+        let mut nodes: Vec<(NodeId, u32)> = Vec::with_capacity(graph.len());
+        if graph.id_sorted_layout() {
+            // Monotone fast path: occupied cells in index order are id-sorted.
+            nodes.extend(
+                (0..graph.slab_len() as u32).filter_map(|idx| graph.id_at(idx).map(|id| (id, idx))),
+            );
+            debug_assert!(nodes.windows(2).all(|w| w[0].0 < w[1].0));
+        } else {
+            nodes.extend(
+                graph
+                    .member_indices()
+                    .iter()
+                    .map(|&idx| (graph.id_at(idx).expect("member cells are occupied"), idx)),
+            );
+            nodes.sort_unstable_by_key(|&(id, _)| id);
+        }
 
         // slab index -> snapshot position, as a dense array (no hashing).
         let mut slab_to_snap: Vec<u32> = vec![u32::MAX; graph.slab_len()];
@@ -328,6 +343,46 @@ mod tests {
         g.add_node(id(10), 0).unwrap();
         let snap = Snapshot::of(&g);
         assert_eq!(snap.isolated_indices(), vec![3]);
+    }
+
+    #[test]
+    fn fast_and_sorting_paths_agree_across_recycling() {
+        // Build the same logical graph twice: once with a monotone slab (fast
+        // path), once with recycled cells and out-of-order insertions (slow
+        // path). The snapshots must be identical.
+        let mut monotone = DynamicGraph::new();
+        for raw in 0..6 {
+            monotone.add_node(id(raw), 1).unwrap();
+        }
+        for raw in 0..5 {
+            monotone.set_out_slot(id(raw), 0, id(raw + 1)).unwrap();
+        }
+        assert!(monotone.id_sorted_layout());
+
+        let mut churned = DynamicGraph::new();
+        for raw in [10u64, 11, 0, 1, 2, 3, 4, 5] {
+            churned.add_node(id(raw), 1).unwrap();
+        }
+        churned.remove_node(id(10)).unwrap();
+        churned.remove_node(id(11)).unwrap();
+        assert!(!churned.id_sorted_layout());
+        for raw in 0..5 {
+            churned.set_out_slot(id(raw), 0, id(raw + 1)).unwrap();
+        }
+        assert_eq!(Snapshot::of(&monotone), Snapshot::of(&churned));
+    }
+
+    #[test]
+    fn fast_path_survives_pure_removals() {
+        // Removals without reuse leave the layout id-sorted; the fast path
+        // must skip the vacated cells.
+        let mut g = path_graph(6);
+        g.remove_node(id(0)).unwrap();
+        g.remove_node(id(3)).unwrap();
+        assert!(g.id_sorted_layout());
+        let snap = Snapshot::of(&g);
+        assert_eq!(snap.ids(), &[id(1), id(2), id(4), id(5)]);
+        assert_eq!(snap.edge_count(), 2); // 1-2 and 4-5 survive
     }
 
     #[test]

@@ -6,20 +6,29 @@
 //! which, as the paper observes, makes the chosen neighbour "essentially random
 //! among all nodes of the network" and is what justifies the PDGR abstraction.
 
-use std::collections::HashSet;
-
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use churn_core::NodeId;
+use churn_graph::hashing::IdHashMap;
 
 /// A bounded table of known peer addresses with uniform sampling and random
 /// eviction.
+///
+/// Stored as a *dense member table*, the same layout `churn-graph` uses for
+/// its alive set: the addresses live in a contiguous vector (the O(1) uniform
+/// sampling surface) and a fast-hashed `address → position` map makes insert,
+/// remove and eviction O(1) swap-removes — the former `HashSet` + linear
+/// position scan made [`AddressManager::remove`] O(n) with SipHash on top,
+/// which is the overlay's hottest maintenance call (every failed dial to a
+/// dead peer goes through it).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AddressManager {
     capacity: usize,
     addresses: Vec<NodeId>,
-    known: HashSet<NodeId>,
+    /// Position of each known address inside `addresses` (dense, swap-remove
+    /// maintained — the `member_pos` pattern of the graph's member table).
+    position: IdHashMap<NodeId, u32>,
 }
 
 impl AddressManager {
@@ -33,9 +42,23 @@ impl AddressManager {
         assert!(capacity > 0, "address manager capacity must be positive");
         AddressManager {
             capacity,
-            addresses: Vec::new(),
-            known: HashSet::new(),
+            addresses: Vec::with_capacity(capacity),
+            position: IdHashMap::with_capacity_and_hasher(capacity, Default::default()),
         }
+    }
+
+    /// Removes the entry at `pos` with a swap-remove, fixing the moved
+    /// entry's position. O(1).
+    fn swap_remove_at(&mut self, pos: u32) -> NodeId {
+        let removed = self.addresses.swap_remove(pos as usize);
+        self.position.remove(&removed);
+        if let Some(&moved) = self.addresses.get(pos as usize) {
+            *self
+                .position
+                .get_mut(&moved)
+                .expect("table entries are indexed") = pos;
+        }
+        removed
     }
 
     /// Number of known addresses.
@@ -59,35 +82,33 @@ impl AddressManager {
     /// Returns `true` when `addr` is known.
     #[must_use]
     pub fn knows(&self, addr: NodeId) -> bool {
-        self.known.contains(&addr)
+        self.position.contains_key(&addr)
     }
 
     /// Inserts an address. When the table is full a uniformly random existing
     /// entry is evicted to make room (Bitcoin Core's addrman similarly
-    /// overwrites buckets). Returns `true` if the address was new.
+    /// overwrites buckets). Returns `true` if the address was new. O(1).
     pub fn insert<R: Rng + ?Sized>(&mut self, addr: NodeId, rng: &mut R) -> bool {
-        if self.known.contains(&addr) {
+        if self.position.contains_key(&addr) {
             return false;
         }
         if self.addresses.len() >= self.capacity {
             let evict = rng.gen_range(0..self.addresses.len());
-            let evicted = self.addresses.swap_remove(evict);
-            self.known.remove(&evicted);
+            self.swap_remove_at(evict as u32);
         }
+        self.position.insert(addr, self.addresses.len() as u32);
         self.addresses.push(addr);
-        self.known.insert(addr);
         true
     }
 
     /// Removes an address (e.g. after a failed connection attempt to a dead
-    /// peer). Returns `true` if it was known.
+    /// peer). Returns `true` if it was known. O(1) — one hash probe and a
+    /// swap-remove, no position scan.
     pub fn remove(&mut self, addr: NodeId) -> bool {
-        if !self.known.remove(&addr) {
+        let Some(&pos) = self.position.get(&addr) else {
             return false;
-        }
-        if let Some(pos) = self.addresses.iter().position(|&a| a == addr) {
-            self.addresses.swap_remove(pos);
-        }
+        };
+        self.swap_remove_at(pos);
         true
     }
 
@@ -132,6 +153,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     fn id(raw: u64) -> NodeId {
         NodeId::new(raw)
@@ -203,5 +225,37 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_is_rejected() {
         let _ = AddressManager::new(0);
+    }
+
+    #[test]
+    fn position_map_survives_churny_mixed_workload() {
+        // The dense member table's position map must stay exact through long
+        // interleavings of inserts, O(1) removes and full-table evictions.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut a = AddressManager::new(16);
+        for step in 0..2000u64 {
+            if step % 3 == 0 {
+                a.remove(id(rng.gen_range(0..200)));
+            } else {
+                a.insert(id(rng.gen_range(0..200)), &mut rng);
+            }
+            assert!(a.len() <= a.capacity());
+            // Invariant: the vector and the position map mirror each other.
+            let mut seen = HashSet::new();
+            for (pos, &addr) in a.addresses().iter().enumerate() {
+                assert!(seen.insert(addr), "duplicate address in dense table");
+                assert!(a.knows(addr));
+                // Round-trip through remove/insert keeps positions coherent:
+                // removing by address must remove exactly that address.
+                let _ = pos;
+            }
+        }
+        // Spot-check O(1) removal correctness on the final state.
+        let addrs: Vec<NodeId> = a.addresses().to_vec();
+        for addr in addrs {
+            assert!(a.remove(addr));
+            assert!(!a.knows(addr));
+        }
+        assert!(a.is_empty());
     }
 }

@@ -1,0 +1,869 @@
+//! The RAES maintenance model: request, accept (if enough space), resample.
+
+use std::collections::VecDeque;
+
+use churn_graph::hashing::IdHashMap;
+use churn_graph::{DenseHandle, DynamicGraph, NodeId, NodeIdAllocator, RemovedNode};
+use churn_stochastic::process::{BirthDeathChain, JumpKind};
+use churn_stochastic::rng::{seeded_rng, SimRng};
+use serde::{Deserialize, Serialize};
+
+use churn_core::{ChurnSummary, DynamicNetwork, EdgePolicy, ModelEvent, ModelKind, Result};
+
+use crate::{ChurnDriver, RaesConfig, SaturationPolicy};
+
+/// One unfilled out-slot waiting to be connected: the protocol's unit of work.
+///
+/// The owner is referenced through a generation-tagged [`DenseHandle`], so a
+/// request whose owner has meanwhile died (or whose slab cell was recycled by
+/// a newborn) is detected in O(1) during the repair sweep, with no identifier
+/// lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingRequest {
+    /// The node that owns the unfilled out-slot.
+    pub owner: DenseHandle,
+    /// The out-slot index in `0..d`.
+    pub slot: u32,
+    /// Value of [`RaesModel::rounds`] when the slot became unfilled; the
+    /// repair latency of a request is the number of rounds it spent pending.
+    pub since_round: u64,
+}
+
+/// Protocol activity of one round (one message-delay unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RaesRoundStats {
+    /// The round these stats describe.
+    pub round: u64,
+    /// Pending requests at the start of the repair sweep (after this round's
+    /// churn enqueued the newborn's slots and the dangling slots of
+    /// survivors).
+    pub pending_before: usize,
+    /// Pending requests left after the sweep (unfilled deficits carried into
+    /// the next round).
+    pub pending_after: usize,
+    /// Requests actually sent (one per pending slot with an alive owner and at
+    /// least one other alive node to contact).
+    pub requests_sent: usize,
+    /// Requests accepted (the slot is now connected).
+    pub accepted: usize,
+    /// Requests rejected by a saturated target (reject-and-retry policy).
+    pub rejected: usize,
+    /// Links evicted by saturated targets (evict-oldest policy); every
+    /// eviction re-enqueues the evicted owner's slot.
+    pub evicted: usize,
+    /// Requests dropped because their owner died before they were served.
+    pub dropped: usize,
+    /// Total rounds the requests accepted this round spent pending (0 for a
+    /// newborn's slot filled in its birth round).
+    pub repair_latency_sum: u64,
+}
+
+/// Cumulative protocol counters since construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RaesStats {
+    /// Protocol rounds executed.
+    pub rounds: u64,
+    /// Total requests sent.
+    pub requests_sent: u64,
+    /// Total requests accepted.
+    pub accepted: u64,
+    /// Total requests rejected by saturated targets.
+    pub rejected: u64,
+    /// Total links evicted (evict-oldest policy only).
+    pub evicted: u64,
+    /// Total requests dropped because their owner died first.
+    pub dropped: u64,
+    /// Total rounds accepted requests spent pending before being served.
+    pub repair_latency_sum: u64,
+}
+
+impl RaesStats {
+    fn absorb(&mut self, round: &RaesRoundStats) {
+        self.rounds += 1;
+        self.requests_sent += round.requests_sent as u64;
+        self.accepted += round.accepted as u64;
+        self.rejected += round.rejected as u64;
+        self.evicted += round.evicted as u64;
+        self.dropped += round.dropped as u64;
+        self.repair_latency_sum += round.repair_latency_sum;
+    }
+
+    /// Mean number of rounds an eventually-served request waited (0 when no
+    /// request was served yet). Newborn slots filled in their birth round wait
+    /// 0 rounds.
+    #[must_use]
+    pub fn mean_repair_latency(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.repair_latency_sum as f64 / self.accepted as f64
+        }
+    }
+
+    /// Fraction of sent requests that were rejected.
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        if self.requests_sent == 0 {
+            0.0
+        } else {
+            self.rejected as f64 / self.requests_sent as f64
+        }
+    }
+}
+
+/// The RAES maintenance model: a dynamic network whose topology is kept by a
+/// *local protocol* instead of the paper's instantaneous resampling.
+///
+/// Every alive node maintains `d` out-links. Each round (one message-delay
+/// unit):
+///
+/// 1. **Churn.** The underlying process (streaming or Poisson, exactly as in
+///    the paper's models) kills and spawns nodes. A newborn starts with `d`
+///    unfilled slots; an out-slot of a survivor whose target died becomes
+///    unfilled. Unfilled slots join the pending-request queue.
+/// 2. **Repair.** Every pending request contacts one uniformly random alive
+///    node. The contact *accepts* while its in-degree (requests pointing at
+///    it, with multiplicity) is below the cap `⌊c·d⌋`; otherwise it reacts
+///    according to the [`SaturationPolicy`] — reject (the request retries next
+///    round) or accept-and-evict its oldest in-link (the evicted owner
+///    re-enters the queue).
+///
+/// With `c > 1` the accept capacity exceeds demand, so deficits are repaired
+/// in O(1) expected rounds and the realized topology stays, like SDGR/PDGR, a
+/// `d`-regular-out-degree graph — but with the in-degree *bounded by `c·d`*
+/// instead of merely concentrated around `d`, which is what makes the graph a
+/// bounded-degree expander (Cruciani 2025; Becchetti et al., RAES).
+///
+/// The model implements [`DynamicNetwork`], so flooding, expansion and
+/// isolation analyses, `run_sweep`, and the experiment binaries drive it
+/// exactly like the four baseline models. The hot path works entirely on the
+/// dense `*_at` slab API: steady-state rounds perform no hashing (beyond the
+/// one identifier-map update per churn event that the baselines also pay),
+/// and with the streaming driver no heap allocation at all (see
+/// [`Self::step_round_into`]). Poisson populations fluctuate by ~√n, so there
+/// container regrowth is rare (several deviations of headroom are reserved)
+/// but not impossible.
+///
+/// # Example
+///
+/// ```
+/// use churn_core::DynamicNetwork;
+/// use churn_protocol::{RaesConfig, RaesModel};
+///
+/// # fn main() -> Result<(), churn_core::ModelError> {
+/// let mut model = RaesModel::new(RaesConfig::new(200, 8).seed(1))?;
+/// model.warm_up();
+/// assert_eq!(model.alive_count(), 200);
+/// let cap = model.in_degree_cap();
+/// for id in model.alive_ids() {
+///     assert!(model.graph().in_request_count(id).unwrap() <= cap);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RaesModel {
+    config: RaesConfig,
+    in_cap: usize,
+    graph: DynamicGraph,
+    rng: SimRng,
+    /// Rounds (message-delay units) executed; drives repair-latency
+    /// accounting for both churn drivers.
+    rounds: u64,
+    /// Continuous model time (streaming: equal to `rounds`).
+    time: f64,
+    /// Churn steps: rounds for streaming, jump-chain events for Poisson.
+    churn_steps: u64,
+    /// Streaming driver state: birth order of alive nodes, front = oldest.
+    order: VecDeque<(NodeId, u32)>,
+    /// Poisson driver state.
+    chain: Option<BirthDeathChain>,
+    birth_time: IdHashMap<NodeId, f64>,
+    alloc: NodeIdAllocator,
+    newest: Option<NodeId>,
+    /// The protocol's work queue. Compacted in place every round; evictions
+    /// are staged in `overflow` so the sweep never reallocates mid-iteration.
+    pending: Vec<PendingRequest>,
+    overflow: Vec<PendingRequest>,
+    /// Per-sweep target batch, aligned with the queue (sentinel-coded for
+    /// dead owners / missing candidates). Drawing every target before any
+    /// record is touched lets the out-of-order core overlap the per-target
+    /// cache misses, the same trick the baseline models use on spawn.
+    sample_scratch: Vec<u32>,
+    removal_scratch: RemovedNode,
+    stats: RaesStats,
+    last_round: RaesRoundStats,
+}
+
+impl RaesModel {
+    /// Builds an empty (time 0) RAES model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of [`RaesConfig::validate`].
+    pub fn new(config: RaesConfig) -> Result<Self> {
+        config.validate()?;
+        let rng = seeded_rng(config.seed);
+        // Streaming populations are exactly n (+1 transiently). Poisson
+        // populations fluctuate with standard deviation ~√n around n, so
+        // reserve several deviations of headroom to keep steady-state
+        // regrowth of the slab and identifier maps rare.
+        let headroom = match config.churn {
+            ChurnDriver::Streaming => 16,
+            ChurnDriver::Poisson => 16 + 6 * (config.n as f64).sqrt().ceil() as usize,
+        };
+        let capacity = config.n + headroom;
+        let chain = match config.churn {
+            ChurnDriver::Streaming => None,
+            ChurnDriver::Poisson => Some(BirthDeathChain::new(1.0, 1.0 / config.n as f64)),
+        };
+        Ok(RaesModel {
+            in_cap: config.in_degree_cap(),
+            graph: DynamicGraph::with_capacity(capacity),
+            rng,
+            rounds: 0,
+            time: 0.0,
+            churn_steps: 0,
+            order: VecDeque::with_capacity(capacity),
+            chain,
+            birth_time: IdHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            alloc: NodeIdAllocator::new(),
+            newest: None,
+            pending: Vec::new(),
+            overflow: Vec::new(),
+            sample_scratch: Vec::new(),
+            removal_scratch: RemovedNode::default(),
+            stats: RaesStats::default(),
+            last_round: RaesRoundStats::default(),
+            config,
+        })
+    }
+
+    /// The configuration the model was built from.
+    #[must_use]
+    pub fn config(&self) -> &RaesConfig {
+        &self.config
+    }
+
+    /// The absolute in-degree cap `⌊c·d⌋`.
+    #[must_use]
+    pub fn in_degree_cap(&self) -> usize {
+        self.in_cap
+    }
+
+    /// Number of protocol rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The currently unfilled out-slots waiting for repair. Every entry's
+    /// owner was alive at the end of the last round (dead owners are dropped
+    /// during the repair sweep), and each `(owner, slot)` appears at most
+    /// once.
+    #[must_use]
+    pub fn pending_requests(&self) -> &[PendingRequest] {
+        &self.pending
+    }
+
+    /// Cumulative protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> &RaesStats {
+        &self.stats
+    }
+
+    /// Protocol activity of the most recent round.
+    #[must_use]
+    pub fn last_round_stats(&self) -> &RaesRoundStats {
+        &self.last_round
+    }
+
+    /// Largest current in-degree (requests with multiplicity) over the alive
+    /// nodes; by the protocol invariant this never exceeds
+    /// [`Self::in_degree_cap`]. O(n) scan, meant for measurements.
+    #[must_use]
+    pub fn max_in_degree(&self) -> usize {
+        self.graph
+            .member_indices()
+            .iter()
+            .map(|&idx| {
+                self.graph
+                    .in_request_count_at(idx)
+                    .expect("member cells are occupied")
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Executes one round: churn, then one repair sweep over the pending
+    /// queue. Equivalent to [`DynamicNetwork::advance_time_unit`].
+    pub fn step_round(&mut self) -> ChurnSummary {
+        let mut summary = ChurnSummary::new();
+        self.step_round_into(&mut summary);
+        summary
+    }
+
+    /// Like [`Self::step_round`], but accumulates the churn summary into a
+    /// caller-owned buffer (cleared first). With a reused summary every
+    /// internal buffer (pending queue, target batch, removal scratch) is
+    /// recycled, so steady-state rounds under the *streaming* driver never
+    /// touch the heap — `crates/protocol/tests/alloc_free.rs` pins this with
+    /// a counting allocator, and the `raes_step` bench drives this entry
+    /// point. (Poisson populations fluctuate by ~√n; generous headroom makes
+    /// steady-state container regrowth rare there, but a sufficiently large
+    /// excursion can still allocate.)
+    pub fn step_round_into(&mut self, summary: &mut ChurnSummary) {
+        summary.clear();
+        self.rounds += 1;
+        match self.config.churn {
+            ChurnDriver::Streaming => self.churn_streaming(summary),
+            ChurnDriver::Poisson => self.churn_poisson(summary),
+        }
+        self.repair();
+    }
+
+    fn churn_streaming(&mut self, summary: &mut ChurnSummary) {
+        self.time = self.rounds as f64;
+        self.churn_steps = self.rounds;
+        // Death first, then birth, exactly like the streaming baselines.
+        if self.order.len() == self.config.n {
+            let (victim, victim_idx) = self
+                .order
+                .pop_front()
+                .expect("queue holds n nodes, so the front exists");
+            self.kill(victim, victim_idx);
+            summary.record_death(victim);
+        }
+        let id = self.spawn();
+        summary.record_birth(id);
+    }
+
+    fn churn_poisson(&mut self, summary: &mut ChurnSummary) {
+        let chain = self.chain.expect("poisson driver has a jump chain");
+        let target = self.time.floor() + 1.0;
+        loop {
+            let jump = chain.next_jump(self.graph.len() as u64, &mut self.rng);
+            if self.time + jump.waiting_time > target {
+                // Memorylessness: the residual wait past `target` is
+                // statistically identical to a fresh draw at `target`.
+                self.time = target;
+                break;
+            }
+            self.time += jump.waiting_time;
+            self.churn_steps += 1;
+            match jump.kind {
+                JumpKind::Birth => {
+                    let id = self.spawn();
+                    summary.record_birth(id);
+                }
+                JumpKind::Death => {
+                    let victim_idx = self
+                        .graph
+                        .sample_member(&mut self.rng)
+                        .expect("a death event implies at least one alive node");
+                    let victim = self
+                        .graph
+                        .id_at(victim_idx)
+                        .expect("sampled member is alive");
+                    self.kill(victim, victim_idx);
+                    summary.record_death(victim);
+                }
+            }
+        }
+    }
+
+    /// A node joins with `d` unfilled slots; the slots enter the queue and
+    /// are (typically) served in this round's repair sweep.
+    fn spawn(&mut self) -> NodeId {
+        let id = self.alloc.next_id();
+        let idx = self
+            .graph
+            .add_node_indexed(id, self.config.d)
+            .expect("allocator never reuses identifiers");
+        let handle = self
+            .graph
+            .handle_at(idx)
+            .expect("freshly added node is alive");
+        for slot in 0..self.config.d as u32 {
+            self.pending.push(PendingRequest {
+                owner: handle,
+                slot,
+                since_round: self.rounds,
+            });
+        }
+        self.birth_time.insert(id, self.time);
+        self.newest = Some(id);
+        if self.config.churn == ChurnDriver::Streaming {
+            self.order.push_back((id, idx));
+        }
+        id
+    }
+
+    fn kill(&mut self, victim: NodeId, victim_idx: u32) {
+        self.birth_time.remove(&victim);
+        if self.newest == Some(victim) {
+            self.newest = None;
+        }
+        let mut removed = std::mem::take(&mut self.removal_scratch);
+        self.graph
+            .remove_node_into(victim_idx, &mut removed)
+            .expect("victim is alive");
+        // Out-slots of survivors that pointed at the victim are now unfilled:
+        // they become protocol work, *not* instantly resampled edges.
+        // dangling_dense is sorted by (owner id, slot), so the enqueue order —
+        // and with it the whole trajectory — is deterministic.
+        for &(owner_idx, slot) in &removed.dangling_dense {
+            let owner = self
+                .graph
+                .handle_at(owner_idx)
+                .expect("dangling-slot owners survive the removal");
+            self.pending.push(PendingRequest {
+                owner,
+                slot: slot as u32,
+                since_round: self.rounds,
+            });
+        }
+        self.removal_scratch = removed;
+        // Pending requests the victim owned are dropped lazily: their handles
+        // fail `is_current` in the next repair sweep.
+    }
+
+    /// Sentinel in the target batch: the request's owner died.
+    const DEAD_OWNER: u32 = u32::MAX;
+    /// Sentinel in the target batch: no other alive node exists to contact.
+    const NO_CANDIDATE: u32 = u32::MAX - 1;
+
+    /// One repair sweep: every pending request contacts one uniform alive
+    /// node. The targets are drawn in a batch before any record is touched
+    /// (the draws depend only on the member table, never on earlier accepts,
+    /// so this is behaviour-preserving and lets the per-target cache misses
+    /// overlap). The queue is then compacted in place; evictions are staged
+    /// in `overflow` and appended afterwards, so the sweep itself never moves
+    /// the buffer.
+    fn repair(&mut self) {
+        let mut round = RaesRoundStats {
+            round: self.rounds,
+            pending_before: self.pending.len(),
+            ..RaesRoundStats::default()
+        };
+
+        // Under streaming churn, entries enqueued *this* round (newborn
+        // slots, dangling slots of survivors) cannot have dead owners — the
+        // round's single death precedes every enqueue — so only carried-over
+        // entries pay the generation probe. A Poisson round interleaves many
+        // deaths, so there the probe is unconditional.
+        let fresh_implies_alive = self.config.churn == ChurnDriver::Streaming;
+        self.sample_scratch.clear();
+        for request in &self.pending {
+            let alive = (fresh_implies_alive && request.since_round == self.rounds)
+                || self.graph.is_current(request.owner);
+            let code = if !alive {
+                Self::DEAD_OWNER
+            } else {
+                self.graph
+                    .sample_member_excluding(&mut self.rng, request.owner.index)
+                    .unwrap_or(Self::NO_CANDIDATE)
+            };
+            self.sample_scratch.push(code);
+        }
+
+        let mut write = 0usize;
+        for read in 0..self.pending.len() {
+            let request = self.pending[read];
+            let target = self.sample_scratch[read];
+            if target == Self::DEAD_OWNER {
+                round.dropped += 1;
+                continue;
+            }
+            if target == Self::NO_CANDIDATE {
+                // The owner is the only alive node; keep the deficit.
+                self.pending[write] = request;
+                write += 1;
+                continue;
+            }
+            round.requests_sent += 1;
+            let in_degree = self
+                .graph
+                .in_request_count_at(target)
+                .expect("sampled member is alive");
+            if in_degree < self.in_cap {
+                self.connect(request, target, &mut round);
+            } else {
+                match self.config.saturation {
+                    SaturationPolicy::RejectRetry => {
+                        round.rejected += 1;
+                        self.pending[write] = request;
+                        write += 1;
+                    }
+                    SaturationPolicy::EvictOldest => {
+                        self.evict_oldest_in_link(target);
+                        round.evicted += 1;
+                        self.connect(request, target, &mut round);
+                    }
+                }
+            }
+        }
+        self.pending.truncate(write);
+        self.pending.append(&mut self.overflow);
+        round.pending_after = self.pending.len();
+        self.stats.absorb(&round);
+        self.last_round = round;
+    }
+
+    fn connect(&mut self, request: PendingRequest, target: u32, round: &mut RaesRoundStats) {
+        self.graph
+            .set_out_slot_at(request.owner.index, request.slot as usize, target)
+            .expect("owner alive, slot in range, target alive and distinct");
+        round.accepted += 1;
+        round.repair_latency_sum += self.rounds - request.since_round;
+    }
+
+    /// Sheds the (approximately) oldest in-link of the saturated `target`:
+    /// the pointing slot is cleared and its owner re-enters the queue.
+    fn evict_oldest_in_link(&mut self, target: u32) {
+        let (victim_owner, victim_slot) = self
+            .graph
+            .shed_oldest_in_ref(target)
+            .expect("a saturated node has in-references");
+        let owner = self
+            .graph
+            .handle_at(victim_owner)
+            .expect("victim owner is alive");
+        self.overflow.push(PendingRequest {
+            owner,
+            slot: victim_slot as u32,
+            since_round: self.rounds,
+        });
+    }
+}
+
+impl DynamicNetwork for RaesModel {
+    fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    fn degree_parameter(&self) -> usize {
+        self.config.d
+    }
+
+    fn expected_size(&self) -> usize {
+        self.config.n
+    }
+
+    /// RAES repairs severed links (through the protocol rather than instant
+    /// resampling), so it reports [`EdgePolicy::Regenerate`].
+    fn edge_policy(&self) -> EdgePolicy {
+        EdgePolicy::Regenerate
+    }
+
+    fn model_kind(&self) -> ModelKind {
+        ModelKind::Raes
+    }
+
+    /// `ModelKind::Raes` does not encode the churn driver, so this reports
+    /// the configured one — analyses branching on the churn process (e.g.
+    /// isolation horizons) then pick the right constants automatically.
+    fn has_streaming_churn(&self) -> bool {
+        self.config.churn == ChurnDriver::Streaming
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+
+    fn churn_steps(&self) -> u64 {
+        self.churn_steps
+    }
+
+    fn birth_time(&self, id: NodeId) -> Option<f64> {
+        self.birth_time.get(&id).copied()
+    }
+
+    fn newest_node(&self) -> Option<NodeId> {
+        self.newest.filter(|id| self.graph.contains(*id))
+    }
+
+    fn advance_time_unit(&mut self) -> ChurnSummary {
+        self.step_round()
+    }
+
+    fn warm_up(&mut self) {
+        while !self.is_warm() {
+            self.step_round();
+        }
+    }
+
+    fn is_warm(&self) -> bool {
+        match self.config.churn {
+            // Same reasoning as the streaming baselines: full size at round n,
+            // stationary edge structure once every alive node was born after
+            // deaths started, i.e. from round 2n.
+            ChurnDriver::Streaming => self.rounds >= 2 * self.config.n as u64,
+            ChurnDriver::Poisson => self.time >= 3.0 * self.config.n as f64,
+        }
+    }
+
+    /// RAES has no event recording; the protocol counters in
+    /// [`RaesModel::stats`] are the instrumentation surface.
+    fn drain_events(&mut self) -> Vec<ModelEvent> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: usize, d: usize, seed: u64) -> RaesModel {
+        RaesModel::new(RaesConfig::new(n, d).seed(seed)).expect("valid configuration")
+    }
+
+    /// Out-degree plus pending deficit must equal `d` for every alive node,
+    /// and the in-degree cap must hold. This is the protocol's core
+    /// invariant; the proptest suite exercises it over random parameters.
+    fn assert_protocol_invariants(m: &RaesModel) {
+        m.graph().assert_invariants();
+        let mut deficit: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for request in m.pending_requests() {
+            assert!(
+                m.graph().is_current(request.owner),
+                "pending owners are alive after a full round"
+            );
+            *deficit.entry(request.owner.index).or_insert(0) += 1;
+        }
+        for &idx in m.graph().member_indices() {
+            let id = m.graph().id_at(idx).unwrap();
+            let out = m.graph().out_degree(id).unwrap();
+            let pending = deficit.get(&idx).copied().unwrap_or(0);
+            assert_eq!(
+                out + pending,
+                m.degree_parameter(),
+                "node {id}: out-degree {out} + pending {pending} must equal d"
+            );
+            assert!(
+                m.graph().in_request_count(id).unwrap() <= m.in_degree_cap(),
+                "node {id} exceeds the in-degree cap"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_rejects_invalid_configuration() {
+        assert!(RaesModel::new(RaesConfig::new(1, 3)).is_err());
+        assert!(RaesModel::new(RaesConfig::new(10, 0)).is_err());
+        assert!(RaesModel::new(RaesConfig::new(10, 3).capacity_factor(0.5)).is_err());
+    }
+
+    #[test]
+    fn streaming_population_is_exactly_n_after_warm_up() {
+        let mut m = model(50, 3, 0);
+        m.warm_up();
+        assert!(m.is_warm());
+        assert_eq!(m.alive_count(), 50);
+        for _ in 0..100 {
+            m.step_round();
+            assert_eq!(m.alive_count(), 50);
+        }
+    }
+
+    #[test]
+    fn poisson_population_concentrates_near_n() {
+        let mut m =
+            RaesModel::new(RaesConfig::new(300, 4).churn(ChurnDriver::Poisson).seed(5)).unwrap();
+        m.warm_up();
+        assert!(m.is_warm());
+        let size = m.alive_count() as f64;
+        assert!(size > 0.7 * 300.0 && size < 1.3 * 300.0);
+    }
+
+    #[test]
+    fn invariants_hold_throughout_evolution_on_both_drivers() {
+        for churn in [ChurnDriver::Streaming, ChurnDriver::Poisson] {
+            for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+                let mut m = RaesModel::new(
+                    RaesConfig::new(40, 3)
+                        .churn(churn)
+                        .saturation(policy)
+                        .seed(7),
+                )
+                .unwrap();
+                for _ in 0..150 {
+                    m.step_round();
+                    assert_protocol_invariants(&m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deficits_are_repaired_quickly_with_slack_capacity() {
+        let mut m = model(100, 4, 3);
+        m.warm_up();
+        // With c = 1.5 the accept capacity has 50% slack, so the pending
+        // backlog stays tiny: after any round at most a few requests wait.
+        let mut max_pending = 0;
+        for _ in 0..200 {
+            m.step_round();
+            max_pending = max_pending.max(m.pending_requests().len());
+        }
+        assert!(
+            max_pending <= 3 * 4,
+            "pending backlog {max_pending} should stay near zero with slack capacity"
+        );
+        let stats = m.stats();
+        assert!(stats.requests_sent > 0 && stats.accepted > 0);
+        assert!(
+            stats.mean_repair_latency() < 1.0,
+            "mean repair latency {} should be well below one round",
+            stats.mean_repair_latency()
+        );
+    }
+
+    #[test]
+    fn in_degree_never_exceeds_cap_even_at_tight_capacity() {
+        // c = 1: capacity exactly equals demand, so saturation is common and
+        // the cap is genuinely exercised.
+        for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+            let mut m = RaesModel::new(
+                RaesConfig::new(60, 4)
+                    .capacity_factor(1.0)
+                    .saturation(policy)
+                    .seed(11),
+            )
+            .unwrap();
+            let mut saw_saturation = false;
+            for _ in 0..240 {
+                m.step_round();
+                assert!(m.max_in_degree() <= m.in_degree_cap());
+                let last = m.last_round_stats();
+                saw_saturation |= last.rejected > 0 || last.evicted > 0;
+            }
+            assert!(
+                saw_saturation,
+                "{policy}: tight capacity must trigger the saturation path"
+            );
+            assert_protocol_invariants(&m);
+        }
+    }
+
+    #[test]
+    fn evict_oldest_keeps_out_degree_accounting_consistent() {
+        let mut m = RaesModel::new(
+            RaesConfig::new(40, 4)
+                .capacity_factor(1.0)
+                .saturation(SaturationPolicy::EvictOldest)
+                .seed(2),
+        )
+        .unwrap();
+        for _ in 0..200 {
+            m.step_round();
+        }
+        assert!(m.stats().evicted > 0, "evictions must actually happen");
+        assert_eq!(m.stats().rejected, 0, "evict-oldest never rejects");
+        assert_protocol_invariants(&m);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_evolution() {
+        for churn in [ChurnDriver::Streaming, ChurnDriver::Poisson] {
+            let config = RaesConfig::new(50, 3).churn(churn).seed(99);
+            let mut a = RaesModel::new(config.clone()).unwrap();
+            let mut b = RaesModel::new(config).unwrap();
+            for _ in 0..150 {
+                assert_eq!(a.step_round(), b.step_round());
+            }
+            assert_eq!(a.alive_ids(), b.alive_ids());
+            assert_eq!(a.pending_requests(), b.pending_requests());
+            assert_eq!(a.stats(), b.stats());
+            assert_eq!(a.snapshot(), b.snapshot());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = model(50, 3, 1);
+        let mut b = model(50, 3, 2);
+        for _ in 0..120 {
+            a.step_round();
+            b.step_round();
+        }
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn flooding_completes_over_raes_topologies() {
+        use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+        let mut m = model(256, 8, 4);
+        m.warm_up();
+        let record = run_flooding(
+            &mut m,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+        );
+        assert!(
+            record.outcome.is_complete(),
+            "RAES keeps the network connected: {:?}",
+            record.outcome
+        );
+        assert!(record.outcome.rounds().unwrap() <= 40);
+    }
+
+    #[test]
+    fn churn_process_analyses_pick_the_configured_driver() {
+        // ModelKind::Raes is neither is_streaming nor is_poisson; the
+        // churn-process hook must report the configured driver so analyses
+        // like the isolation horizon use the right constants.
+        let streaming = model(30, 3, 0);
+        assert!(streaming.has_streaming_churn());
+        assert_eq!(
+            churn_core::isolated::default_isolation_horizon(&streaming),
+            30
+        );
+        let poisson = RaesModel::new(RaesConfig::new(30, 3).churn(ChurnDriver::Poisson)).unwrap();
+        assert!(!poisson.has_streaming_churn());
+        assert_eq!(
+            churn_core::isolated::default_isolation_horizon(&poisson),
+            150
+        );
+    }
+
+    #[test]
+    fn dynamic_network_surface_is_consistent() {
+        let mut m = model(30, 3, 6);
+        assert_eq!(m.model_kind(), ModelKind::Raes);
+        assert_eq!(m.degree_parameter(), 3);
+        assert_eq!(m.expected_size(), 30);
+        assert!(m.edge_policy().regenerates());
+        assert!(m.drain_events().is_empty());
+        m.warm_up();
+        let newest = m.newest_node().unwrap();
+        assert_eq!(m.age(newest), Some(0.0));
+        for id in m.alive_ids() {
+            let birth = m.birth_time(id).unwrap();
+            assert!(birth >= 0.0 && birth <= m.time());
+        }
+        assert!(m.birth_time(NodeId::new(u64::MAX)).is_none());
+        let before = m.churn_steps();
+        m.advance_time_unit();
+        assert!(m.churn_steps() > before);
+    }
+
+    #[test]
+    fn round_stats_are_self_consistent() {
+        let mut m = model(80, 4, 8);
+        m.warm_up();
+        for _ in 0..50 {
+            m.step_round();
+            let last = m.last_round_stats();
+            assert_eq!(last.round, m.rounds());
+            // Accepted and dropped entries leave the queue, evictions add
+            // one entry each, rejections stay.
+            assert_eq!(
+                last.accepted + last.dropped,
+                last.pending_before + last.evicted - last.pending_after,
+                "queue length accounting must balance"
+            );
+            assert!(last.requests_sent <= last.pending_before);
+        }
+    }
+}

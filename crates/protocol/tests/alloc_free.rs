@@ -1,0 +1,60 @@
+//! Verifies the "no steady-state heap allocation" guarantee of
+//! `RaesModel::advance_time_unit` with a counting global allocator.
+//!
+//! This file holds exactly one test so no concurrently running test can
+//! pollute the global allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use churn_core::{ChurnSummary, DynamicNetwork};
+use churn_protocol::{RaesConfig, RaesModel, SaturationPolicy};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+        let mut model =
+            RaesModel::new(RaesConfig::new(2_000, 8).saturation(policy).seed(3)).unwrap();
+        model.warm_up();
+        // Let every reused buffer (pending queue, sample batch, removal
+        // scratch, overflow, the caller-owned summary) reach its steady
+        // capacity.
+        let mut summary = ChurnSummary::new();
+        for _ in 0..500 {
+            model.step_round_into(&mut summary);
+        }
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..500 {
+            model.step_round_into(&mut summary);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "{policy}: steady-state protocol rounds must not touch the heap"
+        );
+    }
+}

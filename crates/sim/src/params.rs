@@ -167,6 +167,7 @@ impl Sweep {
                 ModelKind::Sdgr => 2,
                 ModelKind::Pdg => 3,
                 ModelKind::Pdgr => 4,
+                ModelKind::Raes => 5,
             },
         );
         derive_seed(self.base_seed ^ point_tag, trial as u64)

@@ -16,6 +16,8 @@
 //! * [`sim`] (`churn-sim`) — the experiment harness (sweeps, parallel trials,
 //!   tables);
 //! * [`p2p`] (`churn-p2p`) — the Bitcoin-Core-like overlay example application;
+//! * [`protocol`] (`churn-protocol`) — the RAES-style bounded-in-degree
+//!   expander maintenance protocol over the same churn processes;
 //! * [`analysis`] (`churn-analysis`) — theory-vs-measured comparisons and
 //!   scaling classification.
 //!
@@ -54,5 +56,6 @@ pub use churn_analysis as analysis;
 pub use churn_core as core;
 pub use churn_graph as graph;
 pub use churn_p2p as p2p;
+pub use churn_protocol as protocol;
 pub use churn_sim as sim;
 pub use churn_stochastic as stochastic;

@@ -15,8 +15,12 @@
 //! benchmark to `<path>`:
 //!
 //! ```json
-//! {"id":"model_step/SDGR/100000","mean_ns":123.4,"min_ns":...,"max_ns":...,"samples":20,"iters":4096}
+//! {"id":"model_step/SDGR/100000","mean_ns":123.4,"median_ns":...,"min_ns":...,"max_ns":...,"samples":20,"iters":4096}
 //! ```
+//!
+//! `median_ns` is the robust per-iteration estimate (immune to scheduler
+//! steal spikes on shared machines); `mean_ns` is kept for continuity with
+//! older recordings.
 //!
 //! Substring filters work like criterion: `cargo bench -- model_step` only
 //! runs benchmark ids containing `model_step`. `CHURN_BENCH_FAST=1` shrinks
@@ -83,6 +87,7 @@ impl Bencher {
 struct BenchResult {
     id: String,
     mean_ns: f64,
+    median_ns: f64,
     min_ns: f64,
     max_ns: f64,
     samples: usize,
@@ -160,8 +165,8 @@ impl Criterion {
         for r in &self.results {
             let _ = writeln!(
                 out,
-                "{{\"id\":\"{}\",\"mean_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"samples\":{},\"iters\":{}}}",
-                r.id, r.mean_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
+                "{{\"id\":\"{}\",\"mean_ns\":{:.3},\"median_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"samples\":{},\"iters\":{}}}",
+                r.id, r.mean_ns, r.median_ns, r.min_ns, r.max_ns, r.samples, r.iters_per_sample
             );
         }
         let write = std::fs::OpenOptions::new()
@@ -256,16 +261,31 @@ impl BenchmarkGroup<'_> {
         let mean = totals_ns.iter().sum::<f64>() / totals_ns.len() as f64;
         let min = totals_ns.iter().copied().fold(f64::INFINITY, f64::min);
         let max = totals_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // The median is robust against scheduler-steal spikes (shared or
+        // virtualised machines routinely inflate a few samples severalfold),
+        // so report it alongside the mean; `bench_report` prefers it.
+        let median = {
+            let mut sorted = totals_ns.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+            let mid = sorted.len() / 2;
+            if sorted.len().is_multiple_of(2) {
+                (sorted[mid - 1] + sorted[mid]) / 2.0
+            } else {
+                sorted[mid]
+            }
+        };
 
         println!(
-            "{full_id:<48} time: [{} {} {}]  ({samples} samples x {iters} iters)",
+            "{full_id:<48} time: [{} {} {}]  (median {}, {samples} samples x {iters} iters)",
             format_ns(min),
             format_ns(mean),
             format_ns(max),
+            format_ns(median),
         );
         self.criterion.results.push(BenchResult {
             id: full_id,
             mean_ns: mean,
+            median_ns: median,
             min_ns: min,
             max_ns: max,
             samples,
