@@ -13,7 +13,9 @@
 //! ```
 //!
 //! When the same bench id appears multiple times in a file, the last entry
-//! wins (so re-running a bench refreshes its number).
+//! wins (so re-running a bench refreshes its number). `--note <text>` embeds
+//! free-text provenance (machine core count, pinning, …) as a `"note"` field
+//! in the report — parallel-speedup comparisons are meaningless without it.
 //!
 //! By default benches are joined on *equal* ids (before/after runs of the same
 //! bench). To compare two *different* benches — e.g. the RAES protocol's
@@ -37,6 +39,10 @@ struct Args {
     baseline: String,
     optimized: String,
     out: Option<String>,
+    /// Free-text provenance embedded in the report (`"note"` field) — e.g.
+    /// the core count of the recording machine, without which a speedup
+    /// number cannot be attributed to parallelism vs algorithmics.
+    note: Option<String>,
     /// Explicit (baseline id, optimized id) join pairs; empty = join on
     /// equal ids.
     pairs: Vec<(String, String)>,
@@ -46,6 +52,7 @@ fn parse_args() -> Args {
     let mut baseline = None;
     let mut optimized = None;
     let mut out = None;
+    let mut note = None;
     let mut pairs = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +60,7 @@ fn parse_args() -> Args {
             "--baseline" => baseline = args.next(),
             "--optimized" => optimized = args.next(),
             "--out" => out = args.next(),
+            "--note" => note = args.next(),
             "--pair" => {
                 let spec = args.next().unwrap_or_else(|| {
                     eprintln!("--pair needs a <baseline_id>=<optimized_id> argument");
@@ -71,11 +79,12 @@ fn parse_args() -> Args {
         }
     }
     let usage = "usage: bench_report --baseline <jsonl> --optimized <jsonl> \
-                 [--pair <baseline_id>=<optimized_id>]... [--out <json>]";
+                 [--pair <baseline_id>=<optimized_id>]... [--note <text>] [--out <json>]";
     Args {
         baseline: baseline.unwrap_or_else(|| panic!("{usage}")),
         optimized: optimized.unwrap_or_else(|| panic!("{usage}")),
         out,
+        note,
         pairs,
     }
 }
@@ -156,8 +165,13 @@ fn main() {
     };
 
     let mut report = String::from(
-        "{\n  \"unit\": \"median ns per iteration (mean for pre-median recordings)\",\n  \"benches\": [\n",
+        "{\n  \"unit\": \"median ns per iteration (mean for pre-median recordings)\",\n",
     );
+    if let Some(note) = &args.note {
+        let escaped = note.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = writeln!(report, "  \"note\": \"{escaped}\",");
+    }
+    report.push_str("  \"benches\": [\n");
     let mut first = true;
     for (base_id, opt_id, base, opt) in &joined {
         if !first {

@@ -25,7 +25,7 @@
 
 use churn_analysis::{Comparison, ComparisonSet};
 use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+use churn_core::flooding::{run_flooding_parallel, FloodingConfig, FloodingSource};
 use churn_core::{isolated, DynamicNetwork, ModelKind};
 use churn_protocol::{RaesConfig, RaesModel};
 use churn_sim::{aggregate_by_point, run_sweep, save_records, PointKey, StoredRecord, Sweep};
@@ -52,13 +52,14 @@ struct ProtocolOutcome {
     pending_backlog: f64,
 }
 
-fn measure<M: DynamicNetwork>(model: &mut M, max_rounds: u64) -> Outcome {
+fn measure<M: DynamicNetwork>(model: &mut M, max_rounds: u64, threads: usize) -> Outcome {
     let isolated_fraction =
         isolated::isolated_now(model).len() as f64 / model.alive_count().max(1) as f64;
-    let record = run_flooding(
+    let record = run_flooding_parallel(
         model,
         FloodingSource::NextToJoin,
         &FloodingConfig::with_max_rounds(max_rounds),
+        threads,
     );
     Outcome {
         flooding_rounds: record
@@ -75,9 +76,11 @@ fn measure<M: DynamicNetwork>(model: &mut M, max_rounds: u64) -> Outcome {
 
 fn main() {
     let preset = preset_from_env_and_args();
-    let sizes = preset.pick(vec![256usize, 1_024], vec![10_000usize, 100_000]);
+    // The full grid's top row is now n = 10^6 (the sharded flooding engine
+    // under the sweep's thread budget keeps a trial there in seconds).
+    let sizes = preset.pick(vec![256usize, 1_024], vec![100_000usize, 1_000_000]);
     let degrees = vec![8usize];
-    let trials = preset.pick(6, 10);
+    let trials = preset.pick(4, 6);
 
     let sweep = Sweep::new("E11-raes-flooding")
         .models([
@@ -100,7 +103,7 @@ fn main() {
                     RaesModel::new(RaesConfig::new(ctx.point.n, ctx.point.d).seed(ctx.seed))
                         .expect("valid parameters");
                 model.warm_up();
-                let mut outcome = measure(&mut model, max_rounds);
+                let mut outcome = measure(&mut model, max_rounds, ctx.threads);
                 let alive = model.alive_count().max(1);
                 outcome.protocol = Some(ProtocolOutcome {
                     max_in_degree: model.max_in_degree(),
@@ -114,7 +117,7 @@ fn main() {
             _ => {
                 let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
                 model.warm_up();
-                measure(&mut model, max_rounds)
+                measure(&mut model, max_rounds, ctx.threads)
             }
         }
     });

@@ -12,15 +12,21 @@
 
 use churn_analysis::{classify_scaling, fit_logarithmic, Comparison, ComparisonSet, ScalingClass};
 use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
+use churn_core::flooding::{run_flooding_parallel, FloodingConfig, FloodingSource};
 use churn_core::{DynamicNetwork, ModelKind};
 use churn_sim::{aggregate_by_point, run_sweep, PointKey, Sweep, Table};
 
 fn main() {
     let preset = preset_from_env_and_args();
+    // The full grid now reaches n = 10^6: the sharded parallel frontier
+    // engine keeps a single flooding run tractable there, and the sweep-level
+    // thread budget (ctx.threads) keeps the two parallelism levels from
+    // oversubscribing the machine.
     let sizes: Vec<usize> = preset.pick(
         vec![256, 512, 1_024, 2_048],
-        vec![256, 512, 1_024, 2_048, 4_096, 8_192, 16_384],
+        vec![
+            256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 65_536, 262_144, 1_048_576,
+        ],
     );
     let degrees = vec![8usize, 21];
     let trials = preset.pick(3, 6);
@@ -35,10 +41,11 @@ fn main() {
     let results = run_sweep(&sweep, |ctx| {
         let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
         model.warm_up();
-        let record = run_flooding(
+        let record = run_flooding_parallel(
             &mut model,
             FloodingSource::NextToJoin,
             &FloodingConfig::default(),
+            ctx.threads,
         );
         match record.outcome.rounds() {
             Some(rounds) if record.outcome.is_complete() => rounds as f64,

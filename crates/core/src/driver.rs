@@ -1,0 +1,271 @@
+//! Shared churn-driver loops.
+//!
+//! Every dynamic network in this workspace runs one of two churn processes:
+//!
+//! * **streaming** (Definition 3.2): one join and — once the network is full —
+//!   one leave per round, the leaver being the node that joined `n` rounds
+//!   earlier;
+//! * **Poisson** (Definitions 4.1/4.5): the birth–death jump chain, advanced
+//!   until a continuous target time, discarding the overshooting waiting time
+//!   by memorylessness.
+//!
+//! Before this module, those loops were copied verbatim into
+//! `StreamingModel`, `PoissonModel`, the RAES protocol model and the p2p
+//! overlay — four places a semantics fix (e.g. the death-before-birth order,
+//! or the overshoot handling that Lemma 4.6 relies on) would have to be kept
+//! in sync by hand. The loops now live here once; each model contributes only
+//! what genuinely differs — how a node is spawned and killed — through the
+//! [`ChurnHost`] / [`PoissonChurnHost`] hooks.
+//!
+//! The hooks are a driver SPI, not a user API: calling `spawn` / `kill`
+//! directly on a model bypasses its round structure (queues, repair sweeps,
+//! summaries) and can violate its invariants. Drive models through
+//! [`crate::DynamicNetwork::advance_time_unit`] and friends instead.
+//!
+//! Determinism contract: the drivers perform **exactly** the random draws the
+//! inlined loops performed, in the same order, so trajectories (and recorded
+//! seeds) are unchanged by the extraction.
+
+use std::collections::VecDeque;
+
+use churn_graph::NodeId;
+use churn_stochastic::process::{BirthDeathChain, Jump, JumpKind};
+
+use crate::ChurnSummary;
+
+/// Model-specific churn hooks: how one node enters and leaves the network.
+///
+/// Implemented by every model that runs a shared churn driver. These methods
+/// are *driver plumbing* — see the module docs for why they must not be
+/// called directly.
+pub trait ChurnHost {
+    /// Spawns one node at model time `time` (identifier allocation, graph
+    /// insertion, model-specific wiring such as request placement or queue
+    /// enqueueing) and returns its identifier and dense slab index.
+    fn spawn(&mut self, time: f64) -> (NodeId, u32);
+
+    /// Kills the alive node `victim` living in slab cell `victim_idx` at
+    /// model time `time` (graph removal plus model-specific cleanup such as
+    /// edge regeneration or pending-queue bookkeeping).
+    fn kill(&mut self, victim: NodeId, victim_idx: u32, time: f64);
+}
+
+/// Additional hooks the Poisson jump-chain driver needs.
+pub trait PoissonChurnHost: ChurnHost {
+    /// Draws the next jump of `chain` given the current population (one RNG
+    /// draw; Lemma 4.6).
+    fn draw_jump(&mut self, chain: &BirthDeathChain) -> Jump;
+
+    /// Samples a uniformly random alive node as the death victim.
+    fn sample_victim(&mut self) -> (NodeId, u32);
+}
+
+/// One streaming round (Definition 3.2): the node that joined `n` rounds ago
+/// dies first — so, under regeneration, survivors repair among the `n − 1`
+/// remaining nodes before the newborn draws its targets (the order behind
+/// Lemma 3.14's edge probability) — then this round's node joins and is
+/// appended to the birth-order queue.
+///
+/// `order` is the host's birth-order queue (front = oldest), handed in
+/// separately because the host itself is mutably borrowed by the hooks; take
+/// it out with `std::mem::take` and put it back after the call.
+pub fn streaming_round<H: ChurnHost>(
+    host: &mut H,
+    order: &mut VecDeque<(NodeId, u32)>,
+    n: usize,
+    time: f64,
+    summary: &mut ChurnSummary,
+) {
+    if order.len() == n {
+        let (victim, victim_idx) = order
+            .pop_front()
+            .expect("queue holds n nodes, so the front exists");
+        host.kill(victim, victim_idx, time);
+        summary.record_death(victim);
+    }
+    let (newborn, newborn_idx) = host.spawn(time);
+    order.push_back((newborn, newborn_idx));
+    summary.record_birth(newborn);
+}
+
+/// The continuous clock of a Poisson jump-chain host: current model time plus
+/// the number of jumps processed. Kept as a detached value (it is `Copy`) so
+/// the driver can advance it while the host is mutably borrowed by the hooks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JumpClock {
+    /// Continuous model time.
+    pub time: f64,
+    /// Jump-chain events processed so far (Definition 4.5's round index).
+    pub jumps: u64,
+}
+
+/// Advances the jump chain until `target` (Definition 4.5 / Lemma 4.6),
+/// processing every churn event in between. A sampled waiting time that would
+/// overshoot `target` is discarded and the clock set to `target`: by
+/// memorylessness the residual wait past `target` is statistically identical
+/// to a fresh draw there.
+///
+/// [`ChurnSummary::record_death`]'s net-effect bookkeeping scans the window's
+/// accumulated births, so accumulating one summary over a window spanning
+/// millions of events is quadratic. Callers that discard the summary anyway —
+/// warm-up advances a window of length `3n` — should use
+/// [`poisson_advance_until_discarding`].
+pub fn poisson_advance_until<H: PoissonChurnHost>(
+    host: &mut H,
+    chain: &BirthDeathChain,
+    clock: &mut JumpClock,
+    target: f64,
+    summary: &mut ChurnSummary,
+) {
+    poisson_advance_impl(host, chain, clock, target, Some(summary));
+}
+
+/// [`poisson_advance_until`] without churn-summary accumulation: the hooks
+/// still see every event (event logs, birth times and topology mutations are
+/// identical, as is the RNG stream), only the who-was-born-and-died report is
+/// skipped. This keeps long warm-up windows linear in the event count.
+pub fn poisson_advance_until_discarding<H: PoissonChurnHost>(
+    host: &mut H,
+    chain: &BirthDeathChain,
+    clock: &mut JumpClock,
+    target: f64,
+) {
+    poisson_advance_impl(host, chain, clock, target, None);
+}
+
+fn poisson_advance_impl<H: PoissonChurnHost>(
+    host: &mut H,
+    chain: &BirthDeathChain,
+    clock: &mut JumpClock,
+    target: f64,
+    mut summary: Option<&mut ChurnSummary>,
+) {
+    while clock.time < target {
+        let jump = host.draw_jump(chain);
+        if clock.time + jump.waiting_time > target {
+            clock.time = target;
+            break;
+        }
+        clock.time += jump.waiting_time;
+        clock.jumps += 1;
+        match jump.kind {
+            JumpKind::Birth => {
+                let (id, _) = host.spawn(clock.time);
+                if let Some(summary) = summary.as_deref_mut() {
+                    summary.record_birth(id);
+                }
+            }
+            JumpKind::Death => {
+                let (victim, victim_idx) = host.sample_victim();
+                host.kill(victim, victim_idx, clock.time);
+                if let Some(summary) = summary.as_deref_mut() {
+                    summary.record_death(victim);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy host: nodes are a counter, deaths pop the recorded population.
+    struct ToyHost {
+        next: u64,
+        alive: Vec<(NodeId, u32)>,
+        rng: churn_stochastic::rng::SimRng,
+        spawn_times: Vec<f64>,
+        kill_times: Vec<f64>,
+    }
+
+    impl ToyHost {
+        fn new(seed: u64) -> Self {
+            ToyHost {
+                next: 0,
+                alive: Vec::new(),
+                rng: churn_stochastic::rng::seeded_rng(seed),
+                spawn_times: Vec::new(),
+                kill_times: Vec::new(),
+            }
+        }
+    }
+
+    impl ChurnHost for ToyHost {
+        fn spawn(&mut self, time: f64) -> (NodeId, u32) {
+            let id = NodeId::new(self.next);
+            let idx = self.next as u32;
+            self.next += 1;
+            self.alive.push((id, idx));
+            self.spawn_times.push(time);
+            (id, idx)
+        }
+
+        fn kill(&mut self, victim: NodeId, victim_idx: u32, time: f64) {
+            let pos = self
+                .alive
+                .iter()
+                .position(|&(id, idx)| (id, idx) == (victim, victim_idx))
+                .expect("victim is alive");
+            self.alive.swap_remove(pos);
+            self.kill_times.push(time);
+        }
+    }
+
+    impl PoissonChurnHost for ToyHost {
+        fn draw_jump(&mut self, chain: &BirthDeathChain) -> Jump {
+            chain.next_jump(self.alive.len() as u64, &mut self.rng)
+        }
+
+        fn sample_victim(&mut self) -> (NodeId, u32) {
+            use rand::Rng;
+            self.alive[self.rng.gen_range(0..self.alive.len())]
+        }
+    }
+
+    #[test]
+    fn streaming_round_is_death_first_then_birth_at_full_size() {
+        let mut host = ToyHost::new(0);
+        let mut order = VecDeque::new();
+        let n = 3;
+        let mut summary = ChurnSummary::new();
+        for round in 1..=10u64 {
+            summary.clear();
+            streaming_round(&mut host, &mut order, n, round as f64, &mut summary);
+            assert_eq!(summary.births.len(), 1);
+            assert_eq!(order.len(), host.alive.len());
+            if round <= n as u64 {
+                assert!(summary.deaths.is_empty(), "no deaths while filling up");
+            } else {
+                // The death is always the node that joined n rounds earlier.
+                assert_eq!(summary.deaths, vec![NodeId::new(round - 1 - n as u64)]);
+            }
+        }
+        assert_eq!(order.len(), n);
+    }
+
+    #[test]
+    fn poisson_driver_stops_exactly_at_target_and_stamps_event_times() {
+        let chain = BirthDeathChain::new(1.0, 1.0 / 50.0);
+        let mut host = ToyHost::new(7);
+        let mut clock = JumpClock::default();
+        let mut summary = ChurnSummary::new();
+        poisson_advance_until(&mut host, &chain, &mut clock, 200.0, &mut summary);
+        assert!((clock.time - 200.0).abs() < 1e-12);
+        assert!(clock.jumps > 0);
+        assert_eq!(
+            clock.jumps as usize,
+            host.spawn_times.len() + host.kill_times.len(),
+            "every jump is a spawn or a kill"
+        );
+        assert!(!host.alive.is_empty());
+        // Event timestamps are monotone and within the window.
+        let mut all: Vec<f64> = host.spawn_times.clone();
+        all.extend(&host.kill_times);
+        assert!(all.iter().all(|&t| t > 0.0 && t <= 200.0));
+        // Advancing to the current time is a no-op.
+        let jumps_before = clock.jumps;
+        poisson_advance_until(&mut host, &chain, &mut clock, 200.0, &mut summary);
+        assert_eq!(clock.jumps, jumps_before);
+    }
+}

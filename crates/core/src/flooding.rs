@@ -15,12 +15,22 @@
 //! requires the connecting edge to persist throughout the interval — is a
 //! pessimistic analysis device; the synchronous observation used here is the
 //! natural simulation of the process the paper's theorems describe.)
+//!
+//! Two engines drive the round: the sequential [`FloodingProcess`] and the
+//! sharded [`ParallelFrontier`], which fans the boundary sweep across the
+//! rayon pool and direction-switches between pushing from the informed set
+//! and pulling over the alive slab range (Ligra-style) once the informed
+//! fraction crosses the `≈ √(1/2d)` cost crossover. Both produce identical
+//! informed sets round for round ([`run_flooding`] /
+//! [`run_flooding_parallel`] return identical records); the parallel engine
+//! exists purely for wall-clock speed at `n ≥ 10^5`.
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
-use churn_graph::NodeId;
+use churn_graph::{DenseHandle, DynamicGraph, NodeId};
 
 use crate::model::DynamicNetwork;
 use crate::ChurnSummary;
@@ -212,21 +222,155 @@ impl FloodingRecord {
     }
 }
 
+/// A slab-indexed bitset whose 64-bit words are atomic, so parallel workers
+/// can merge into it lock-free while sequential users pay nothing extra.
+///
+/// * **Sequential path** ([`Self::set`], [`Self::clear`]): exclusive `&mut`
+///   access compiles the atomics down to plain loads and stores.
+/// * **Parallel path** ([`Self::set_shared`]): workers share `&AtomicBitset`
+///   and merge through a per-word atomic fetch-OR whose return value tells
+///   the calling worker whether *it* switched the bit on — exactly one worker
+///   claims each newly covered index, with no locks and no duplicate entries.
+///
+/// Set-union is order-independent, so the bitset contents after a parallel
+/// merge are bit-identical to the sequential insertion of the same indices in
+/// any order and at any thread count; `crates/core/tests/prop_flooding_bitset.rs`
+/// pins this with a property test.
+#[derive(Debug, Default)]
+pub struct AtomicBitset {
+    words: Vec<AtomicU64>,
+}
+
+impl Clone for AtomicBitset {
+    fn clone(&self) -> Self {
+        AtomicBitset {
+            words: self
+                .words
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+impl AtomicBitset {
+    /// An empty bitset pre-sized for `bits` bits.
+    #[must_use]
+    pub fn with_bit_capacity(bits: usize) -> Self {
+        let mut set = Self::default();
+        set.ensure_bits(bits);
+        set
+    }
+
+    /// Grows the word array (zero-filled) until it covers `bits` bits.
+    /// [`Self::set_shared`] requires its index to be covered beforehand —
+    /// shared workers cannot grow the array.
+    pub fn ensure_bits(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize_with(words, AtomicU64::default);
+        }
+    }
+
+    /// Number of 64-bit words currently backing the set.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    #[inline]
+    fn split(idx: u32) -> (usize, u64) {
+        ((idx / 64) as usize, 1u64 << (idx % 64))
+    }
+
+    /// Tests a bit (relaxed load; out-of-range indices read as unset).
+    #[inline]
+    #[must_use]
+    pub fn test(&self, idx: u32) -> bool {
+        let (word, mask) = Self::split(idx);
+        self.words
+            .get(word)
+            .is_some_and(|w| w.load(Ordering::Relaxed) & mask != 0)
+    }
+
+    /// Exclusive-access set, growing the words on demand; returns `true` when
+    /// the bit was newly set.
+    #[inline]
+    pub fn set(&mut self, idx: u32) -> bool {
+        let (word, mask) = Self::split(idx);
+        if word >= self.words.len() {
+            self.words.resize_with(word + 1, AtomicU64::default);
+        }
+        let w = self.words[word].get_mut();
+        if *w & mask != 0 {
+            return false;
+        }
+        *w |= mask;
+        true
+    }
+
+    /// Shared-access set: merges the bit through a per-word atomic fetch-OR.
+    /// Returns `true` iff this call switched the bit from 0 to 1 (exactly one
+    /// of any number of racing callers observes `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is beyond the capacity reserved with
+    /// [`Self::ensure_bits`]: growth needs exclusive access, so shared
+    /// writers must operate within the pre-sized range.
+    #[inline]
+    pub fn set_shared(&self, idx: u32) -> bool {
+        let (word, mask) = Self::split(idx);
+        let prev = self.words[word].fetch_or(mask, Ordering::Relaxed);
+        prev & mask == 0
+    }
+
+    /// Exclusive-access clear (out-of-range indices are a no-op).
+    #[inline]
+    pub fn clear(&mut self, idx: u32) {
+        let (word, mask) = Self::split(idx);
+        if let Some(w) = self.words.get_mut(word) {
+            *w.get_mut() &= !mask;
+        }
+    }
+
+    /// Copies the current words into `out` (replacing its contents): a frozen
+    /// point-in-time snapshot that stays valid while shared writers keep
+    /// merging into `self`. The parallel flooding engine reads the *pre-round*
+    /// informed set from such a snapshot so that intra-round discoveries can
+    /// never chain (which would break the one-hop-per-round semantics).
+    pub fn snapshot_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.words.iter().map(|w| w.load(Ordering::Relaxed)));
+    }
+}
+
+/// Probes a frozen [`AtomicBitset::snapshot_into`] word dump.
+#[inline]
+fn frozen_test(frozen: &[u64], idx: u32) -> bool {
+    frozen
+        .get((idx / 64) as usize)
+        .is_some_and(|w| w & (1u64 << (idx % 64)) != 0)
+}
+
 /// The informed set, stored densely: one bit per slab cell of the underlying
-/// [`churn_graph::DynamicGraph`], plus the list of informed `(index, id)`
-/// pairs. The bitset makes the per-round "is this neighbour already informed?"
-/// check a single word probe, and the entry list bounds all per-round work by
-/// the informed population instead of the network size.
+/// [`churn_graph::DynamicGraph`], plus the list of informed
+/// `(DenseHandle, NodeId)` entries. The bitset makes the per-round "is this
+/// neighbour already informed?" check a single word probe, and the entry list
+/// bounds all per-round work by the informed population instead of the
+/// network size.
 ///
 /// Slab cells are recycled across churn, so after every churn interval the
-/// entries are revalidated against the live graph (`id_at(idx) == id`); stale
-/// entries — dead nodes, or cells reused by newborns — drop out and their bits
-/// are cleared. A conventional `HashSet<NodeId>` view exists only at the API
-/// boundary ([`FloodingProcess::informed`]).
+/// entries are revalidated against the live graph through the
+/// generation-tagged handle ([`churn_graph::DynamicGraph::is_current`] — one
+/// flat counter probe, no identifier compare); stale entries — dead nodes, or
+/// cells reused by newborns — drop out and their bits are cleared. A
+/// conventional `HashSet<NodeId>` view exists only at the API boundary
+/// ([`FloodingProcess::informed`]).
 #[derive(Debug, Clone, Default)]
 struct InformedSet {
-    bits: Vec<u64>,
-    entries: Vec<(u32, NodeId)>,
+    bits: AtomicBitset,
+    entries: Vec<(DenseHandle, NodeId)>,
 }
 
 impl InformedSet {
@@ -235,42 +379,27 @@ impl InformedSet {
     }
 
     fn ensure_capacity(&mut self, slab_len: usize) {
-        let words = slab_len.div_ceil(64);
-        if self.bits.len() < words {
-            self.bits.resize(words, 0);
-        }
+        self.bits.ensure_bits(slab_len);
     }
 
     #[inline]
     fn test(&self, idx: u32) -> bool {
-        let word = (idx / 64) as usize;
-        self.bits
-            .get(word)
-            .is_some_and(|bits| bits & (1u64 << (idx % 64)) != 0)
+        self.bits.test(idx)
     }
 
     /// Sets the bit and records the entry; returns `false` when already set.
     #[inline]
-    fn insert(&mut self, idx: u32, id: NodeId) -> bool {
-        let word = (idx / 64) as usize;
-        let mask = 1u64 << (idx % 64);
-        if word >= self.bits.len() {
-            self.bits.resize(word + 1, 0);
-        }
-        if self.bits[word] & mask != 0 {
+    fn insert(&mut self, handle: DenseHandle, id: NodeId) -> bool {
+        if !self.bits.set(handle.index) {
             return false;
         }
-        self.bits[word] |= mask;
-        self.entries.push((idx, id));
+        self.entries.push((handle, id));
         true
     }
 
     #[inline]
     fn clear_bit(&mut self, idx: u32) {
-        let word = (idx / 64) as usize;
-        if let Some(bits) = self.bits.get_mut(word) {
-            *bits &= !(1u64 << (idx % 64));
-        }
+        self.bits.clear(idx);
     }
 }
 
@@ -282,7 +411,6 @@ pub struct FloodingProcess {
     source: NodeId,
     start_time: f64,
     informed: InformedSet,
-    neighbor_scratch: Vec<u32>,
     rounds: u64,
     complete: bool,
     peak_informed: usize,
@@ -292,16 +420,15 @@ impl FloodingProcess {
     /// Starts a flooding process from an alive source node.
     ///
     /// Returns `None` if `source` is not alive in `model`.
-    pub fn from_source<M: DynamicNetwork>(model: &M, source: NodeId) -> Option<Self> {
-        let source_idx = model.graph().dense_index_of(source)?;
+    pub fn from_source<M: DynamicNetwork + ?Sized>(model: &M, source: NodeId) -> Option<Self> {
+        let source_handle = model.graph().handle_of(source)?;
         let mut informed = InformedSet::default();
         informed.ensure_capacity(model.graph().slab_len());
-        informed.insert(source_idx, source);
+        informed.insert(source_handle, source);
         Some(FloodingProcess {
             source,
             start_time: model.time(),
             informed,
-            neighbor_scratch: Vec::new(),
             rounds: 0,
             complete: false,
             peak_informed: 1,
@@ -310,7 +437,7 @@ impl FloodingProcess {
 
     /// Resolves a [`FloodingSource`] (possibly advancing the model to the next
     /// join) and starts the process from it.
-    pub fn start<M: DynamicNetwork>(model: &mut M, source: FloodingSource) -> Self {
+    pub fn start<M: DynamicNetwork + ?Sized>(model: &mut M, source: FloodingSource) -> Self {
         let source_id = match source {
             FloodingSource::Node(id) if model.contains(id) => Some(id),
             FloodingSource::Newest => model.newest_node(),
@@ -372,62 +499,60 @@ impl FloodingProcess {
     }
 
     /// Drops informed entries whose slab cell no longer holds their node
-    /// (death, or cell reuse by a newborn). Returns how many of the first
-    /// `prefix` entries survived.
-    fn revalidate<M: DynamicNetwork>(&mut self, model: &M, prefix: usize) -> usize {
+    /// (death, or cell reuse by a newborn): the generation-tagged handle
+    /// fails [`DynamicGraph::is_current`] in O(1), with no identifier
+    /// compare and no record access. Returns how many of the first `prefix`
+    /// entries survived.
+    fn revalidate<M: DynamicNetwork + ?Sized>(&mut self, model: &M, prefix: usize) -> usize {
         let graph = model.graph();
         let mut surviving_prefix = 0usize;
         let mut write = 0usize;
         for read in 0..self.informed.entries.len() {
-            let (idx, id) = self.informed.entries[read];
-            if graph.id_at(idx) == Some(id) {
+            let (handle, id) = self.informed.entries[read];
+            if graph.is_current(handle) {
                 if read < prefix {
                     surviving_prefix += 1;
                 }
-                self.informed.entries[write] = (idx, id);
+                self.informed.entries[write] = (handle, id);
                 write += 1;
             } else {
-                self.informed.clear_bit(idx);
+                self.informed.clear_bit(handle.index);
             }
         }
         self.informed.entries.truncate(write);
         surviving_prefix
     }
 
-    /// Executes one flooding round: every neighbour (in the current snapshot) of
-    /// an informed node becomes informed one time unit later, the model advances
-    /// by that time unit, and informed nodes that died are dropped.
-    pub fn step<M: DynamicNetwork>(&mut self, model: &mut M) -> RoundStats {
-        // The caller may have churned the model between steps (the process
-        // only observes it through this method), so first drop entries whose
-        // slab cell was vacated or recycled — otherwise the boundary sweep
-        // below would expand a newborn's adjacency as if it were informed.
-        self.revalidate(model, 0);
-
-        // Boundary in the current snapshot G_{t-1}: expand the bitset over the
-        // dense adjacency. Entries appended during the sweep are the frontier
-        // of this round; they are not re-expanded (their bits are set, so the
-        // loop over the pre-existing prefix suffices).
-        let graph = model.graph();
-        self.informed.ensure_capacity(graph.slab_len());
-        let prev_len = self.informed.entries.len();
+    /// Boundary sweep in the current snapshot G_{t-1}: expands the bitset over
+    /// the dense adjacency of the first `prev_len` entries. Entries appended
+    /// during the sweep are the frontier of this round; they are not
+    /// re-expanded (their bits are set, so the loop over the pre-existing
+    /// prefix suffices). This is also the sequential fallback of
+    /// [`ParallelFrontier`].
+    fn expand_sequential(&mut self, graph: &DynamicGraph, prev_len: usize) {
         for i in 0..prev_len {
-            let (idx, _) = self.informed.entries[i];
-            self.neighbor_scratch.clear();
-            graph.neighbors_dense_into(idx, &mut self.neighbor_scratch);
-            for j in 0..self.neighbor_scratch.len() {
-                let nb = self.neighbor_scratch[j];
+            let idx = self.informed.entries[i].0.index;
+            for nb in graph.neighbor_indices_at(idx) {
                 if !self.informed.test(nb) {
+                    let nb_handle = graph
+                        .handle_at(nb)
+                        .expect("adjacency points at alive cells");
                     let nb_id = graph.id_at(nb).expect("adjacency points at alive cells");
-                    self.informed.insert(nb, nb_id);
+                    self.informed.insert(nb_handle, nb_id);
                 }
             }
         }
+    }
 
-        // One message-delay unit of churn.
-        let summary: ChurnSummary = model.advance_time_unit();
-
-        // I_t = (I_{t-1} ∪ ∂out(I_{t-1})) ∩ N_t.
+    /// Post-churn bookkeeping shared by the sequential and parallel engines:
+    /// revalidates against `I_t = (I_{t-1} ∪ ∂out(I_{t-1})) ∩ N_t`, updates
+    /// the counters and the completion flag, and builds the round stats.
+    fn finish_round<M: DynamicNetwork + ?Sized>(
+        &mut self,
+        model: &M,
+        summary: &ChurnSummary,
+        prev_len: usize,
+    ) -> RoundStats {
         let surviving_prev = self.revalidate(model, prev_len);
         let newly_informed = self.informed.entries.len() - surviving_prev;
         self.rounds += 1;
@@ -454,6 +579,382 @@ impl FloodingProcess {
             complete: self.complete,
         }
     }
+
+    /// Executes one flooding round: every neighbour (in the current snapshot) of
+    /// an informed node becomes informed one time unit later, the model advances
+    /// by that time unit, and informed nodes that died are dropped.
+    pub fn step<M: DynamicNetwork + ?Sized>(&mut self, model: &mut M) -> RoundStats {
+        // The caller may have churned the model between steps (the process
+        // only observes it through this method), so first drop entries whose
+        // slab cell was vacated or recycled — otherwise the boundary sweep
+        // below would expand a newborn's adjacency as if it were informed.
+        self.revalidate(model, 0);
+
+        let prev_len = self.informed.entries.len();
+        {
+            let graph = model.graph();
+            self.informed.ensure_capacity(graph.slab_len());
+            self.expand_sequential(graph, prev_len);
+        }
+
+        // One message-delay unit of churn.
+        let summary: ChurnSummary = model.advance_time_unit();
+        self.finish_round(model, &summary, prev_len)
+    }
+}
+
+/// Expansion strategy the [`ParallelFrontier`] engine used in a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrontierDirection {
+    /// Below the size cutoff: plain sequential sweep.
+    Sequential,
+    /// Informed set still small: shard the informed entries and push along
+    /// their adjacency.
+    Push,
+    /// Informed fraction past the crossover: shard the alive slab range and
+    /// pull — each uninformed cell scans its neighbours for an informed one.
+    Pull,
+}
+
+/// Alive-population cutoff below which [`ParallelFrontier`] stays sequential:
+/// at small sizes a round is microseconds and fork-join overhead would
+/// dominate.
+pub const PARALLEL_FLOODING_CUTOFF: usize = 1 << 14;
+
+/// Direction heuristic of the [`ParallelFrontier`] engine.
+///
+/// Per round, push costs ~`informed · 2d` random adjacency probes, while pull
+/// costs ~`alive` sequential bit probes plus, per uninformed cell, an
+/// early-exiting neighbour scan of expected length `min(2d, alive/informed)`.
+/// Equating the two puts the crossover near `informed/alive ≈ √(1/2d)`, i.e.
+/// pull wins once `informed² · 2d ≥ alive²` — for `d = 8` that is an informed
+/// fraction of 25%. Late rounds (`informed ≈ alive`) then cost a near-pure
+/// linear scan instead of `alive · 2d` random probes, which is where the bulk
+/// of a complete broadcast's work lives.
+#[must_use]
+fn pull_is_cheaper(informed: usize, alive: usize, d: usize) -> bool {
+    let informed = informed as u128;
+    let alive = alive as u128;
+    informed * informed * 2 * d.max(1) as u128 >= alive * alive
+}
+
+/// The sharded parallel flooding engine.
+///
+/// Wraps the same informed-set state as [`FloodingProcess`] (the two produce
+/// identical per-round informed sets — pinned by `tests/parallel_flooding.rs`
+/// at 1, 2, 4 and 8 threads over all five model kinds) and replaces the
+/// boundary sweep with a fork-join over the rayon pool:
+///
+/// * **Push** (small informed set): the informed entry list is cut into
+///   `threads` contiguous chunks; each worker expands its chunk's adjacency,
+///   claims newly covered cells through the shared [`AtomicBitset`]'s
+///   per-word fetch-OR, and stages the indices it won in a thread-local
+///   buffer.
+/// * **Pull** (informed fraction past [`pull_is_cheaper`]'s crossover): each
+///   worker walks one contiguous slab range
+///   ([`DynamicGraph::par_alive_ranges`]) and informs every uninformed alive
+///   cell that has a neighbour in the *frozen* pre-round bitset snapshot —
+///   frozen, so intra-round discoveries cannot chain into multi-hop spread.
+///   Late rounds therefore cost `O(alive / threads)` per worker instead of
+///   `O(informed · d)` random probes.
+/// * **Merge**: the thread-local buffers are concatenated and sorted (which
+///   shard won a boundary cell is scheduling-dependent; the sort restores a
+///   schedule-independent ascending entry order), then appended to the entry
+///   list. Since set-union is order-independent, the resulting informed set
+///   is bit-identical to the sequential engine's at any thread count.
+///
+/// Below [`PARALLEL_FLOODING_CUTOFF`] alive nodes the engine falls back to
+/// the sequential sweep outright. A one-thread budget keeps the direction
+/// switch (it is an algorithmic win, independent of parallelism); the
+/// fork-join then runs inline with a single shard.
+#[derive(Debug, Clone)]
+pub struct ParallelFrontier {
+    process: FloodingProcess,
+    threads: usize,
+    sequential_cutoff: usize,
+    /// Frozen pre-round bitset words (reused across rounds).
+    frozen: Vec<u64>,
+    /// Per-shard staging buffers of newly informed dense indices (reused).
+    shard_bufs: Vec<Vec<u32>>,
+    /// Concatenation + sort scratch for the merge phase (reused).
+    merge_scratch: Vec<u32>,
+    last_direction: FrontierDirection,
+}
+
+impl ParallelFrontier {
+    fn wrap(process: FloodingProcess, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        };
+        ParallelFrontier {
+            process,
+            threads: threads.max(1),
+            sequential_cutoff: PARALLEL_FLOODING_CUTOFF,
+            frozen: Vec::new(),
+            shard_bufs: Vec::new(),
+            merge_scratch: Vec::new(),
+            last_direction: FrontierDirection::Sequential,
+        }
+    }
+
+    /// Starts a parallel flooding process from an alive source node with a
+    /// thread budget (`0` = one shard per pool thread). Returns `None` if
+    /// `source` is not alive in `model`.
+    pub fn from_source<M: DynamicNetwork + ?Sized>(
+        model: &M,
+        source: NodeId,
+        threads: usize,
+    ) -> Option<Self> {
+        FloodingProcess::from_source(model, source).map(|p| Self::wrap(p, threads))
+    }
+
+    /// Resolves a [`FloodingSource`] (possibly advancing the model to the
+    /// next join) and starts the engine from it.
+    pub fn start<M: DynamicNetwork + ?Sized>(
+        model: &mut M,
+        source: FloodingSource,
+        threads: usize,
+    ) -> Self {
+        Self::wrap(FloodingProcess::start(model, source), threads)
+    }
+
+    /// Overrides the sequential-fallback population cutoff (default
+    /// [`PARALLEL_FLOODING_CUTOFF`]); `0` forces the sharded path at any
+    /// size, which the determinism tests use.
+    #[must_use]
+    pub fn with_sequential_cutoff(mut self, cutoff: usize) -> Self {
+        self.sequential_cutoff = cutoff;
+        self
+    }
+
+    /// The configured thread budget (also the shard count).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Expansion strategy of the most recent round.
+    #[must_use]
+    pub fn last_direction(&self) -> FrontierDirection {
+        self.last_direction
+    }
+
+    /// The source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.process.source()
+    }
+
+    /// Model time at which the source was informed.
+    #[must_use]
+    pub fn start_time(&self) -> f64 {
+        self.process.start_time()
+    }
+
+    /// The currently informed (alive) nodes, as a set of identifiers (rebuilt
+    /// on every call; prefer [`Self::informed_count`] in measurement loops).
+    #[must_use]
+    pub fn informed(&self) -> HashSet<NodeId> {
+        self.process.informed()
+    }
+
+    /// Number of currently informed nodes.
+    #[must_use]
+    pub fn informed_count(&self) -> usize {
+        self.process.informed_count()
+    }
+
+    /// Largest informed-set size observed so far.
+    #[must_use]
+    pub fn peak_informed(&self) -> usize {
+        self.process.peak_informed()
+    }
+
+    /// Number of rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.process.rounds()
+    }
+
+    /// Whether the broadcast is complete after the last step.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.process.is_complete()
+    }
+
+    /// Executes one flooding round with the sharded engine. Semantically
+    /// identical to [`FloodingProcess::step`].
+    pub fn step<M: DynamicNetwork + ?Sized>(&mut self, model: &mut M) -> RoundStats {
+        self.process.revalidate(model, 0);
+        let prev_len = self.process.informed.entries.len();
+        {
+            let graph = model.graph();
+            self.process.informed.ensure_capacity(graph.slab_len());
+            let alive = graph.len();
+            // Size is the only fallback criterion: with a one-thread budget
+            // the fork-join runs inline (one shard, no worker threads), and
+            // the push→pull direction switch is exactly as profitable — it is
+            // an algorithmic win, not a parallelism win.
+            if alive <= self.sequential_cutoff {
+                self.last_direction = FrontierDirection::Sequential;
+                self.process.expand_sequential(graph, prev_len);
+            } else {
+                let pull = pull_is_cheaper(prev_len, alive, model.degree_parameter());
+                self.last_direction = if pull {
+                    FrontierDirection::Pull
+                } else {
+                    FrontierDirection::Push
+                };
+                self.expand_parallel(graph, prev_len, pull);
+            }
+        }
+        let summary = model.advance_time_unit();
+        self.process.finish_round(model, &summary, prev_len)
+    }
+
+    /// The sharded boundary sweep (see the type docs for the push/pull
+    /// mechanics). Only touches the graph read-only; all mutation goes
+    /// through the atomic bitset and the post-join merge.
+    fn expand_parallel(&mut self, graph: &DynamicGraph, prev_len: usize, pull: bool) {
+        let informed = &self.process.informed;
+        // Only pull reads the frozen pre-round snapshot (push dedups against
+        // the live bits); skipping the O(slab_len/64) copy keeps the small
+        // early push rounds cheap.
+        if pull {
+            informed.bits.snapshot_into(&mut self.frozen);
+        }
+        let frozen: &[u64] = &self.frozen;
+        let bits = &informed.bits;
+        let entries = &informed.entries[..prev_len];
+
+        if self.shard_bufs.len() < self.threads {
+            self.shard_bufs.resize_with(self.threads, Vec::new);
+        }
+        for buf in &mut self.shard_bufs {
+            buf.clear();
+        }
+
+        rayon::scope(|s| {
+            if pull {
+                for (range, buf) in graph
+                    .par_alive_ranges(self.threads)
+                    .zip(self.shard_bufs.iter_mut())
+                {
+                    s.spawn(move |_| {
+                        for idx in range {
+                            if frozen_test(frozen, idx) {
+                                continue; // already informed before this round
+                            }
+                            // Vacant cells yield no neighbours and fall through.
+                            for nb in graph.neighbor_indices_at(idx) {
+                                if frozen_test(frozen, nb) {
+                                    if bits.set_shared(idx) {
+                                        buf.push(idx);
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                }
+            } else {
+                let chunk = prev_len.div_ceil(self.threads).max(1);
+                for (slice, buf) in entries.chunks(chunk).zip(self.shard_bufs.iter_mut()) {
+                    s.spawn(move |_| {
+                        for &(handle, _) in slice {
+                            for nb in graph.neighbor_indices_at(handle.index) {
+                                // The relaxed pre-test skips already-informed
+                                // cells cheaply; the fetch-OR arbitrates races
+                                // on genuinely new ones.
+                                if !bits.test(nb) && bits.set_shared(nb) {
+                                    buf.push(nb);
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        });
+
+        // Merge: every newly set bit was claimed by exactly one worker, so the
+        // buffers concatenate without duplicates; sorting removes the only
+        // scheduling-dependent artefact (which buffer a boundary cell landed
+        // in), keeping the entry list identical at any thread count.
+        self.merge_scratch.clear();
+        for buf in &self.shard_bufs {
+            self.merge_scratch.extend_from_slice(buf);
+        }
+        self.merge_scratch.sort_unstable();
+        for &idx in &self.merge_scratch {
+            let handle = graph
+                .handle_at(idx)
+                .expect("newly informed cells are alive");
+            let id = graph.id_at(idx).expect("newly informed cells are alive");
+            self.process.informed.entries.push((handle, id));
+        }
+    }
+}
+
+/// The shared run-to-termination loop behind [`run_flooding`] and
+/// [`run_flooding_parallel`].
+fn run_flooding_loop<M: DynamicNetwork + ?Sized>(
+    model: &mut M,
+    config: &FloodingConfig,
+    source: NodeId,
+    start_time: f64,
+    mut step_fn: impl FnMut(&mut M) -> RoundStats,
+) -> FloodingRecord {
+    let d = model.degree_parameter();
+    let mut rounds = Vec::new();
+    let mut peak_informed = 1usize;
+
+    let outcome = loop {
+        let stats = step_fn(model);
+        let fraction = stats.informed_fraction();
+        let informed = stats.informed;
+        let round = stats.round;
+        let complete = stats.complete;
+        peak_informed = peak_informed.max(informed);
+        rounds.push(stats);
+
+        if config.stop_when_complete && complete {
+            break FloodingOutcome::Completed { rounds: round };
+        }
+        if let Some(target) = config.target_fraction {
+            if fraction >= target {
+                break FloodingOutcome::ReachedTarget {
+                    rounds: round,
+                    fraction,
+                };
+            }
+        }
+        if informed == 0 {
+            break FloodingOutcome::DiedOut {
+                rounds: round,
+                peak_informed,
+            };
+        }
+        if round >= config.max_rounds {
+            // Distinguish "never took off" (Theorem 3.7's failure mode) from
+            // "still spreading when the cap was hit".
+            if peak_informed <= d + 1 {
+                break FloodingOutcome::DiedOut {
+                    rounds: round,
+                    peak_informed,
+                };
+            }
+            break FloodingOutcome::RoundLimit { fraction };
+        }
+    };
+
+    FloodingRecord {
+        source,
+        start_time,
+        rounds,
+        outcome,
+    }
 }
 
 /// Runs a flooding process to termination according to `config` and returns the
@@ -475,7 +976,7 @@ impl FloodingProcess {
 /// # Ok(())
 /// # }
 /// ```
-pub fn run_flooding<M: DynamicNetwork>(
+pub fn run_flooding<M: DynamicNetwork + ?Sized>(
     model: &mut M,
     source: FloodingSource,
     config: &FloodingConfig,
@@ -483,52 +984,23 @@ pub fn run_flooding<M: DynamicNetwork>(
     let mut process = FloodingProcess::start(model, source);
     let source_id = process.source();
     let start_time = process.start_time();
-    let d = model.degree_parameter();
-    let mut rounds = Vec::new();
+    run_flooding_loop(model, config, source_id, start_time, |m| process.step(m))
+}
 
-    let outcome = loop {
-        let stats = process.step(model);
-        let fraction = stats.informed_fraction();
-        let informed = stats.informed;
-        let round = stats.round;
-        rounds.push(stats);
-
-        if config.stop_when_complete && process.is_complete() {
-            break FloodingOutcome::Completed { rounds: round };
-        }
-        if let Some(target) = config.target_fraction {
-            if fraction >= target {
-                break FloodingOutcome::ReachedTarget {
-                    rounds: round,
-                    fraction,
-                };
-            }
-        }
-        if informed == 0 {
-            break FloodingOutcome::DiedOut {
-                rounds: round,
-                peak_informed: process.peak_informed(),
-            };
-        }
-        if round >= config.max_rounds {
-            // Distinguish "never took off" (Theorem 3.7's failure mode) from
-            // "still spreading when the cap was hit".
-            if process.peak_informed() <= d + 1 {
-                break FloodingOutcome::DiedOut {
-                    rounds: round,
-                    peak_informed: process.peak_informed(),
-                };
-            }
-            break FloodingOutcome::RoundLimit { fraction };
-        }
-    };
-
-    FloodingRecord {
-        source: source_id,
-        start_time,
-        rounds,
-        outcome,
-    }
+/// Like [`run_flooding`], but drives the sharded [`ParallelFrontier`] engine
+/// with the given thread budget (`0` = one shard per pool thread). The
+/// informed set per round — and with it the whole record — is identical to
+/// [`run_flooding`]'s at any thread count; only the wall-clock cost differs.
+pub fn run_flooding_parallel<M: DynamicNetwork + ?Sized>(
+    model: &mut M,
+    source: FloodingSource,
+    config: &FloodingConfig,
+    threads: usize,
+) -> FloodingRecord {
+    let mut engine = ParallelFrontier::start(model, source, threads);
+    let source_id = engine.source();
+    let start_time = engine.start_time();
+    run_flooding_loop(model, config, source_id, start_time, |m| engine.step(m))
 }
 
 #[cfg(test)]
@@ -783,6 +1255,130 @@ mod tests {
             complete: false,
         };
         assert_eq!(stats.informed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn atomic_bitset_exclusive_and_shared_paths_agree() {
+        let mut set = AtomicBitset::with_bit_capacity(200);
+        assert_eq!(set.word_count(), 4);
+        assert!(set.set(3) && !set.set(3));
+        assert!(set.test(3) && !set.test(4));
+        assert!(set.set_shared(130), "first shared set claims the bit");
+        assert!(!set.set_shared(130), "second shared set loses the claim");
+        assert!(set.test(130));
+        set.clear(3);
+        assert!(!set.test(3));
+        assert!(!set.test(100_000), "out of range reads as unset");
+        let mut frozen = Vec::new();
+        set.snapshot_into(&mut frozen);
+        assert!(frozen_test(&frozen, 130) && !frozen_test(&frozen, 3));
+        assert!(!frozen_test(&frozen, 100_000));
+        let cloned = set.clone();
+        assert!(cloned.test(130) && !cloned.test(3));
+        // Exclusive set grows on demand; shared set must not need to.
+        let mut growing = AtomicBitset::default();
+        assert!(growing.set(500));
+        assert!(growing.word_count() >= 8);
+    }
+
+    #[test]
+    fn pull_crossover_scales_with_degree() {
+        // d = 8 ⇒ crossover at informed/alive = 1/4.
+        assert!(!pull_is_cheaper(249, 1000, 8));
+        assert!(pull_is_cheaper(250, 1000, 8));
+        // Larger degree pulls the crossover down.
+        assert!(pull_is_cheaper(130, 1000, 32));
+        // Degenerate degree never divides by zero.
+        assert!(pull_is_cheaper(1000, 1000, 0));
+    }
+
+    /// Steps the sequential and a parallel engine in lock-step over two
+    /// identically seeded models and asserts the per-round stats and informed
+    /// sets coincide exactly.
+    fn assert_parallel_matches_sequential(threads: usize, n: usize, d: usize, seed: u64) {
+        let mut seq_model = sdgr(n, d, seed);
+        let mut par_model = sdgr(n, d, seed);
+        let mut seq = FloodingProcess::start(&mut seq_model, FloodingSource::NextToJoin);
+        let mut par = ParallelFrontier::start(&mut par_model, FloodingSource::NextToJoin, threads)
+            .with_sequential_cutoff(0);
+        assert_eq!(seq.source(), par.source());
+        let mut directions = Vec::new();
+        for _ in 0..60 {
+            let seq_stats = seq.step(&mut seq_model);
+            let par_stats = par.step(&mut par_model);
+            directions.push(par.last_direction());
+            assert_eq!(seq_stats, par_stats, "threads={threads}");
+            assert_eq!(seq.informed(), par.informed(), "threads={threads}");
+            if seq_stats.complete {
+                break;
+            }
+        }
+        assert!(seq.is_complete() && par.is_complete());
+        if threads > 1 {
+            assert!(
+                directions.contains(&FrontierDirection::Push)
+                    && directions.contains(&FrontierDirection::Pull),
+                "a complete broadcast must exercise both directions (saw {directions:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_sequential_at_any_thread_count() {
+        for threads in [1usize, 2, 4, 8] {
+            assert_parallel_matches_sequential(threads, 512, 8, 21);
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_external_churn_between_steps() {
+        // Mirror of external_churn_between_steps_does_not_corrupt_informed_set
+        // for the sharded engine: stale entries must drop out, not re-seed.
+        let mut model = sdgr(64, 4, 21);
+        let source = model.alive_ids()[5];
+        let mut engine = ParallelFrontier::from_source(&model, source, 4)
+            .unwrap()
+            .with_sequential_cutoff(0);
+        for _ in 0..(2 * 64) {
+            model.advance_time_unit();
+        }
+        assert!(!model.contains(source));
+        let stats = engine.step(&mut model);
+        assert_eq!(stats.informed, 0, "stale cell must not re-seed flooding");
+        assert_eq!(engine.informed_count(), 0);
+        assert!(engine.informed().is_empty());
+    }
+
+    #[test]
+    fn run_flooding_parallel_matches_run_flooding() {
+        let mut a = sdgr(300, 6, 5);
+        let mut b = sdgr(300, 6, 5);
+        let seq = run_flooding(
+            &mut a,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+        );
+        let par = run_flooding_parallel(
+            &mut b,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+            4,
+        );
+        assert_eq!(seq, par, "records must be identical engine-for-engine");
+    }
+
+    #[test]
+    fn parallel_engine_accessors_and_auto_threads() {
+        let mut model = sdgr(64, 4, 9);
+        let engine = ParallelFrontier::start(&mut model, FloodingSource::Newest, 0);
+        assert_eq!(engine.threads(), rayon::current_num_threads().max(1));
+        assert_eq!(engine.rounds(), 0);
+        assert_eq!(engine.informed_count(), 1);
+        assert_eq!(engine.peak_informed(), 1);
+        assert!(!engine.is_complete());
+        assert!(engine.start_time() >= 0.0);
+        assert_eq!(engine.last_direction(), FrontierDirection::Sequential);
+        assert!(ParallelFrontier::from_source(&model, NodeId::new(u64::MAX), 2).is_none());
     }
 
     #[test]

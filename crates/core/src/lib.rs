@@ -72,6 +72,7 @@ mod model;
 mod poisson;
 mod streaming;
 
+pub mod driver;
 pub mod expansion;
 pub mod flooding;
 pub mod isolated;

@@ -2,9 +2,10 @@
 
 use churn_graph::hashing::IdHashMap;
 use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator, RemovedNode};
-use churn_stochastic::process::{BirthDeathChain, JumpKind};
+use churn_stochastic::process::{BirthDeathChain, Jump, JumpKind};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
+use crate::driver::{self, ChurnHost, JumpClock, PoissonChurnHost};
 use crate::model::DynamicNetwork;
 use crate::{ChurnSummary, EdgePolicy, ModelEvent, PoissonConfig, Result};
 
@@ -128,22 +129,15 @@ impl PoissonModel {
         self.jumps += 1;
         match jump.kind {
             JumpKind::Birth => {
-                let id = self.spawn();
+                let (id, _) = self.spawn_node_at(self.time);
                 PoissonEvent::Arrival {
                     id,
                     time: self.time,
                 }
             }
             JumpKind::Death => {
-                let victim_idx = self
-                    .graph
-                    .sample_member(&mut self.rng)
-                    .expect("a death event implies at least one alive node");
-                let victim = self
-                    .graph
-                    .id_at(victim_idx)
-                    .expect("sampled member is alive");
-                self.kill(victim, victim_idx);
+                let (victim, victim_idx) = self.sample_victim_node();
+                self.kill_node_at(victim, victim_idx, self.time);
                 PoissonEvent::Departure {
                     id: victim,
                     time: self.time,
@@ -179,40 +173,35 @@ impl PoissonModel {
             "cannot advance to {target} before the current time {}",
             self.time
         );
+        // The jump-chain mechanics (overshoot handling included) live in the
+        // shared driver; this model contributes its spawn/kill hooks. The
+        // clock is detached for the call because the hooks mutably borrow
+        // `self`.
         let mut summary = ChurnSummary::new();
-        while self.time < target {
-            let jump = self.chain.next_jump(self.graph.len() as u64, &mut self.rng);
-            if self.time + jump.waiting_time > target {
-                // Memorylessness: the residual wait past `target` is statistically
-                // identical to a fresh draw at `target`, so we may forget it.
-                self.time = target;
-                break;
-            }
-            self.time += jump.waiting_time;
-            self.jumps += 1;
-            match jump.kind {
-                JumpKind::Birth => {
-                    let id = self.spawn();
-                    summary.record_birth(id);
-                }
-                JumpKind::Death => {
-                    let victim_idx = self
-                        .graph
-                        .sample_member(&mut self.rng)
-                        .expect("a death event implies at least one alive node");
-                    let victim = self
-                        .graph
-                        .id_at(victim_idx)
-                        .expect("sampled member is alive");
-                    self.kill(victim, victim_idx);
-                    summary.record_death(victim);
-                }
-            }
-        }
+        let chain = self.chain;
+        let mut clock = JumpClock {
+            time: self.time,
+            jumps: self.jumps,
+        };
+        driver::poisson_advance_until(self, &chain, &mut clock, target, &mut summary);
+        self.time = clock.time;
+        self.jumps = clock.jumps;
         summary
     }
 
-    fn spawn(&mut self) -> NodeId {
+    fn sample_victim_node(&mut self) -> (NodeId, u32) {
+        let victim_idx = self
+            .graph
+            .sample_member(&mut self.rng)
+            .expect("a death event implies at least one alive node");
+        let victim = self
+            .graph
+            .id_at(victim_idx)
+            .expect("sampled member is alive");
+        (victim, victim_idx)
+    }
+
+    fn spawn_node_at(&mut self, time: f64) -> (NodeId, u32) {
         let id = self.alloc.next_id();
         let d = self.config.d;
         let idx = self
@@ -220,10 +209,7 @@ impl PoissonModel {
             .add_node_indexed(id, d)
             .expect("allocator never reuses identifiers");
         if self.config.record_events {
-            self.events.push(ModelEvent::NodeJoined {
-                id,
-                time: self.time,
-            });
+            self.events.push(ModelEvent::NodeJoined { id, time });
         }
         // d uniform requests among the pre-existing nodes: the newborn is
         // already registered in the member list, so exclude it by index.
@@ -245,16 +231,16 @@ impl PoissonModel {
                 self.events.push(ModelEvent::EdgeCreated {
                     slot: EdgeSlot { owner: id, slot },
                     target,
-                    time: self.time,
+                    time,
                 });
             }
         }
-        self.birth_time.insert(id, self.time);
+        self.birth_time.insert(id, time);
         self.newest = Some(id);
-        id
+        (id, idx)
     }
 
-    fn kill(&mut self, victim: NodeId, victim_idx: u32) {
+    fn kill_node_at(&mut self, victim: NodeId, victim_idx: u32, time: f64) {
         self.birth_time.remove(&victim);
         if self.newest == Some(victim) {
             self.newest = None;
@@ -264,10 +250,7 @@ impl PoissonModel {
             .remove_node_into(victim_idx, &mut removed)
             .expect("sampled victim is alive");
         if self.config.record_events {
-            self.events.push(ModelEvent::NodeDied {
-                id: victim,
-                time: self.time,
-            });
+            self.events.push(ModelEvent::NodeDied { id: victim, time });
             for (slot, &target) in removed.out_targets.iter().enumerate() {
                 self.events.push(ModelEvent::EdgeDropped {
                     slot: EdgeSlot {
@@ -275,14 +258,14 @@ impl PoissonModel {
                         slot,
                     },
                     target,
-                    time: self.time,
+                    time,
                 });
             }
             for &slot in &removed.dangling_slots {
                 self.events.push(ModelEvent::EdgeDropped {
                     slot,
                     target: victim,
-                    time: self.time,
+                    time,
                 });
             }
         }
@@ -319,12 +302,36 @@ impl PoissonModel {
                     self.events.push(ModelEvent::EdgeRegenerated {
                         slot: *slot,
                         target,
-                        time: self.time,
+                        time,
                     });
                 }
             }
         }
         self.removal_scratch = removed;
+    }
+}
+
+/// Driver hooks (see [`crate::driver`]): the jump-chain loop lives in the
+/// shared driver; this model contributes spawning, killing, victim sampling
+/// and the jump draw (all randomness stays on the model's own RNG, in the
+/// pre-extraction order).
+impl ChurnHost for PoissonModel {
+    fn spawn(&mut self, time: f64) -> (NodeId, u32) {
+        self.spawn_node_at(time)
+    }
+
+    fn kill(&mut self, victim: NodeId, victim_idx: u32, time: f64) {
+        self.kill_node_at(victim, victim_idx, time);
+    }
+}
+
+impl PoissonChurnHost for PoissonModel {
+    fn draw_jump(&mut self, chain: &BirthDeathChain) -> Jump {
+        chain.next_jump(self.graph.len() as u64, &mut self.rng)
+    }
+
+    fn sample_victim(&mut self) -> (NodeId, u32) {
+        self.sample_victim_node()
     }
 }
 
@@ -373,7 +380,19 @@ impl DynamicNetwork for PoissonModel {
     fn warm_up(&mut self) {
         let target = 3.0 * self.expected_size() as f64;
         if self.time < target {
-            self.advance_until(target);
+            // Discard-summary path: the warm-up window spans ~5n churn
+            // events, and the net-effect summary bookkeeping is quadratic in
+            // window length (each death scans the window's births) — minutes
+            // at n = 10^6, for a report nobody reads. Same RNG stream, same
+            // trajectory, same event log.
+            let chain = self.chain;
+            let mut clock = JumpClock {
+                time: self.time,
+                jumps: self.jumps,
+            };
+            driver::poisson_advance_until_discarding(self, &chain, &mut clock, target);
+            self.time = clock.time;
+            self.jumps = clock.jumps;
         }
     }
 

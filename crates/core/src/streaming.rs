@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use churn_graph::{DynamicGraph, EdgeSlot, NodeId, NodeIdAllocator, RemovedNode};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
+use crate::driver::{self, ChurnHost};
 use crate::model::DynamicNetwork;
 use crate::{ChurnSummary, EdgePolicy, ModelEvent, Result, StreamingConfig};
 
@@ -124,29 +125,28 @@ impl StreamingModel {
     }
 
     /// Executes one round: the node that joined `n` rounds ago dies (if any),
-    /// then a new node joins and opens its `d` requests.
+    /// then a new node joins and opens its `d` requests. The death-first
+    /// order and queue mechanics live in the shared
+    /// [`driver::streaming_round`] loop; this model contributes only its
+    /// spawn/kill hooks.
     pub fn step_round(&mut self) -> ChurnSummary {
         self.round += 1;
         let mut summary = ChurnSummary::new();
-
-        // Death of the node whose lifetime of exactly n rounds expired.
-        if self.order.len() == self.config.n {
-            let (victim, victim_idx) = self
-                .order
-                .pop_front()
-                .expect("queue holds n nodes, so the front exists");
-            self.kill(victim, victim_idx);
-            summary.deaths.push(victim);
-        }
-
-        // Birth of this round's node.
-        let newborn = self.spawn();
-        summary.births.push(newborn);
-
+        // Detach the queue so the driver can mutate it alongside the hooks
+        // (a move of the VecDeque header, no allocation).
+        let mut order = std::mem::take(&mut self.order);
+        driver::streaming_round(
+            self,
+            &mut order,
+            self.config.n,
+            self.round as f64,
+            &mut summary,
+        );
+        self.order = order;
         summary
     }
 
-    fn spawn(&mut self) -> NodeId {
+    fn spawn_node(&mut self) -> (NodeId, u32) {
         let id = self.alloc.next_id();
         let d = self.config.d;
         let idx = self
@@ -181,12 +181,11 @@ impl StreamingModel {
                 });
             }
         }
-        self.order.push_back((id, idx));
         debug_assert_eq!(self.birth_round(id), Some(self.round));
-        id
+        (id, idx)
     }
 
-    fn kill(&mut self, victim: NodeId, victim_idx: u32) {
+    fn kill_node(&mut self, victim: NodeId, victim_idx: u32) {
         let time = self.round as f64;
         let mut removed = std::mem::take(&mut self.removal_scratch);
         self.graph
@@ -252,6 +251,20 @@ impl StreamingModel {
             }
         }
         self.removal_scratch = removed;
+    }
+}
+
+/// Driver hooks (see [`crate::driver`]): the streaming loop owns the birth
+/// order and the death-before-birth sequencing; the model only spawns and
+/// kills. The `time` argument is redundant for streaming models — events are
+/// stamped with the round counter.
+impl ChurnHost for StreamingModel {
+    fn spawn(&mut self, _time: f64) -> (NodeId, u32) {
+        self.spawn_node()
+    }
+
+    fn kill(&mut self, victim: NodeId, victim_idx: u32, _time: f64) {
+        self.kill_node(victim, victim_idx);
     }
 }
 

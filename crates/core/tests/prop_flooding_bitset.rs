@@ -1,0 +1,108 @@
+//! Property tests for the atomic-bitset merge underlying parallel flooding.
+//!
+//! The parallel frontier engine's correctness rests on one algebraic fact:
+//! merging shard-local index sets into the shared bitset through per-word
+//! atomic fetch-ORs yields exactly the set union, with every bit claimed by
+//! exactly one caller — regardless of how the indices are split into shards,
+//! in which order the shards run, or whether they run on real concurrent
+//! threads. These tests pin that fact directly against the sequential
+//! insertion of the same indices.
+
+use std::collections::BTreeSet;
+
+use churn_core::flooding::AtomicBitset;
+use proptest::prelude::*;
+
+/// Sequentially inserts `indices` and returns which were newly set.
+fn sequential_union(capacity: usize, indices: &[u32]) -> (AtomicBitset, BTreeSet<u32>) {
+    let mut set = AtomicBitset::with_bit_capacity(capacity);
+    let mut distinct = BTreeSet::new();
+    for &idx in indices {
+        if set.set(idx) {
+            distinct.insert(idx);
+        }
+    }
+    (set, distinct)
+}
+
+fn words(set: &AtomicBitset, capacity: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    set.snapshot_into(&mut out);
+    assert_eq!(out.len(), capacity.div_ceil(64));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded atomic merge == sequential set union, bit for bit, and the
+    /// total number of successful `set_shared` claims equals the number of
+    /// distinct indices (no bit is claimed twice, none is lost). The shards
+    /// run on real OS threads, so the fetch-OR path is exercised under true
+    /// concurrency even when the rayon pool is narrow.
+    #[test]
+    fn sharded_atomic_merge_equals_sequential_union(
+        capacity in 1usize..2_000,
+        indices in proptest::collection::vec(0u32..1_900, 0..300),
+        shards in 1usize..9,
+    ) {
+        let indices: Vec<u32> = indices.into_iter().filter(|&i| (i as usize) < capacity).collect();
+        let (sequential, distinct) = sequential_union(capacity, &indices);
+
+        let shared = AtomicBitset::with_bit_capacity(capacity);
+        let chunk = indices.len().div_ceil(shards).max(1);
+        let claims: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = indices
+                .chunks(chunk)
+                .map(|shard| {
+                    let shared = &shared;
+                    scope.spawn(move || shard.iter().filter(|&&idx| shared.set_shared(idx)).count())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread"))
+                .sum()
+        });
+
+        prop_assert_eq!(claims, distinct.len());
+        prop_assert_eq!(words(&shared, capacity), words(&sequential, capacity));
+        for idx in 0..capacity as u32 {
+            prop_assert_eq!(shared.test(idx), distinct.contains(&idx));
+        }
+    }
+
+    /// Clearing bits (what informed-entry revalidation does after churn) then
+    /// re-merging behaves like set difference followed by union.
+    #[test]
+    fn clear_then_merge_matches_set_algebra(
+        capacity in 64usize..1_000,
+        initial in proptest::collection::vec(0u32..999, 0..150),
+        cleared in proptest::collection::vec(0u32..999, 0..80),
+        merged in proptest::collection::vec(0u32..999, 0..150),
+    ) {
+        let in_range = |v: &[u32]| {
+            v.iter()
+                .copied()
+                .filter(move |&i| (i as usize) < capacity)
+                .collect::<Vec<u32>>()
+        };
+        let mut set = AtomicBitset::with_bit_capacity(capacity);
+        let mut reference: BTreeSet<u32> = BTreeSet::new();
+        for idx in in_range(&initial) {
+            set.set(idx);
+            reference.insert(idx);
+        }
+        for idx in in_range(&cleared) {
+            set.clear(idx);
+            reference.remove(&idx);
+        }
+        for idx in in_range(&merged) {
+            let newly = set.set_shared(idx);
+            prop_assert_eq!(newly, reference.insert(idx));
+        }
+        for idx in 0..capacity as u32 {
+            prop_assert_eq!(set.test(idx), reference.contains(&idx));
+        }
+    }
+}

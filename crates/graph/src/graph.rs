@@ -573,6 +573,49 @@ impl DynamicGraph {
         out.extend(rec.in_refs.iter());
     }
 
+    /// Iterates the dense indices of every undirected neighbour of `idx`
+    /// (out-slot targets first, then in-referencing owners, duplicates kept),
+    /// without touching the heap. Yields nothing when `idx` is vacant or out
+    /// of range.
+    ///
+    /// This is the read-only shared-access flavour of
+    /// [`Self::neighbors_dense_into`]: it borrows `self` immutably and
+    /// allocates nothing, so any number of threads can expand adjacency
+    /// concurrently over one `&DynamicGraph` (the parallel flooding engine in
+    /// `churn-core` does exactly that across slab shards).
+    pub fn neighbor_indices_at(&self, idx: u32) -> impl Iterator<Item = u32> + '_ {
+        self.slab
+            .get(idx as usize)
+            .and_then(|cell| cell.as_ref())
+            .into_iter()
+            .flat_map(|rec| {
+                rec.out_slots
+                    .iter()
+                    .filter(|&t| t != NO_TARGET)
+                    .chain(rec.in_refs.iter())
+            })
+    }
+
+    /// Splits the slab index space `0..slab_len` into at most `shards`
+    /// contiguous, non-overlapping ranges that together cover every alive
+    /// cell, for sharded parallel scans (each worker walks one range and
+    /// skips vacant cells via [`Self::neighbor_indices_at`] /
+    /// [`Self::id_at`]). Ranges are balanced by slab length; in the
+    /// steady-state churn regime almost every cell is alive, so this is also
+    /// balanced by population.
+    ///
+    /// Yields nothing for an empty slab; never yields an empty range.
+    pub fn par_alive_ranges(&self, shards: usize) -> impl Iterator<Item = std::ops::Range<u32>> {
+        let len = self.slab.len() as u32;
+        let shards = (shards.max(1) as u32).min(len.max(1));
+        let chunk = len.div_ceil(shards).max(1);
+        (0..shards).filter_map(move |s| {
+            let lo = s * chunk;
+            let hi = ((s + 1) * chunk).min(len);
+            (lo < hi).then_some(lo..hi)
+        })
+    }
+
     /// Dense-index variant of [`Self::in_request_count`]: the number of
     /// out-slots (of other nodes) currently pointing at the node in cell
     /// `idx`, with multiplicity. `None` when the cell is vacant.
@@ -1642,6 +1685,48 @@ mod tests {
             g.assert_invariants();
         }
         assert!(g.is_isolated(id(0)).unwrap());
+    }
+
+    #[test]
+    fn neighbor_indices_at_matches_neighbors_dense_into() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..6 {
+            g.add_node(id(raw), 3).unwrap();
+        }
+        g.set_out_slot(id(0), 0, id(1)).unwrap();
+        g.set_out_slot(id(0), 2, id(2)).unwrap();
+        g.set_out_slot(id(3), 1, id(0)).unwrap();
+        g.set_out_slot(id(4), 0, id(0)).unwrap();
+        g.remove_node(id(5)).unwrap();
+        let mut scratch = Vec::new();
+        for idx in 0..g.slab_len() as u32 {
+            scratch.clear();
+            g.neighbors_dense_into(idx, &mut scratch);
+            let iterated: Vec<u32> = g.neighbor_indices_at(idx).collect();
+            assert_eq!(iterated, scratch, "cell {idx}");
+        }
+        assert_eq!(g.neighbor_indices_at(99).count(), 0, "out of range");
+    }
+
+    #[test]
+    fn par_alive_ranges_partition_the_slab() {
+        let mut g = DynamicGraph::new();
+        assert_eq!(g.par_alive_ranges(4).count(), 0, "empty slab, no ranges");
+        for raw in 0..37 {
+            g.add_node(id(raw), 0).unwrap();
+        }
+        g.remove_node(id(5)).unwrap();
+        for shards in [1usize, 2, 3, 4, 7, 36, 37, 64] {
+            let ranges: Vec<_> = g.par_alive_ranges(shards).collect();
+            assert!(ranges.len() <= shards.max(1));
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+            // Contiguous cover of 0..slab_len with no overlap.
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, g.slab_len() as u32);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+        }
     }
 
     #[test]

@@ -4,11 +4,12 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
+use churn_core::driver::{self, ChurnHost, JumpClock, PoissonChurnHost};
 use churn_core::{
     AliveSet, ChurnSummary, DynamicNetwork, EdgePolicy, ModelEvent, ModelKind, NodeId, Result,
 };
 use churn_graph::{DynamicGraph, NodeIdAllocator};
-use churn_stochastic::process::{BirthDeathChain, JumpKind};
+use churn_stochastic::process::{BirthDeathChain, Jump};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
 use crate::{AddressManager, P2pConfig};
@@ -38,6 +39,8 @@ pub struct P2pNetwork {
     addrmans: HashMap<NodeId, AddressManager>,
     alloc: NodeIdAllocator,
     newest: Option<NodeId>,
+    /// Reused dense-neighbour buffer of the gossip relay loop.
+    gossip_scratch: Vec<u32>,
     /// Counters updated as the simulation runs, exposed via [`Self::stats`].
     connect_attempts: u64,
     connect_successes: u64,
@@ -77,6 +80,7 @@ impl P2pNetwork {
             addrmans: HashMap::with_capacity(capacity),
             alloc: NodeIdAllocator::new(),
             newest: None,
+            gossip_scratch: Vec::new(),
             connect_attempts: 0,
             connect_successes: 0,
             stale_addresses_pruned: 0,
@@ -118,10 +122,11 @@ impl P2pNetwork {
         self.graph.out_degree(peer)
     }
 
-    fn spawn_peer(&mut self) -> NodeId {
+    fn spawn_peer(&mut self, time: f64) -> (NodeId, u32) {
         let id = self.alloc.next_id();
-        self.graph
-            .add_node(id, self.config.target_outbound)
+        let idx = self
+            .graph
+            .add_node_indexed(id, self.config.target_outbound)
             .expect("allocator never reuses identifiers");
         let mut addrman = AddressManager::new(self.config.addrman_capacity);
         // DNS-seed bootstrap: a random sample of currently online peers.
@@ -132,14 +137,14 @@ impl P2pNetwork {
         }
         self.addrmans.insert(id, addrman);
         self.alive.insert(id);
-        self.birth_time.insert(id, self.time);
+        self.birth_time.insert(id, time);
         self.newest = Some(id);
         // Open outbound connections right away, like a starting node would.
         self.fill_outbound(id);
-        id
+        (id, idx)
     }
 
-    fn kill_peer(&mut self, victim: NodeId) {
+    fn kill_peer(&mut self, victim: NodeId, victim_idx: u32) {
         self.alive.remove(victim);
         self.birth_time.remove(&victim);
         self.addrmans.remove(&victim);
@@ -150,7 +155,7 @@ impl P2pNetwork {
         // next maintenance round (a real node notices the disconnection and then
         // dials a new address).
         self.graph
-            .remove_node(victim)
+            .remove_node_at(victim_idx)
             .expect("victim sampled from the alive set");
     }
 
@@ -202,14 +207,34 @@ impl P2pNetwork {
     }
 
     /// Exchanges addresses between `peer` and one of its current neighbours.
+    ///
+    /// The relay partner is drawn through the dense slab adjacency (one
+    /// neighbour-list walk into a reused scratch buffer, one identifier
+    /// resolution for the chosen partner) instead of the identifier-based
+    /// `neighbors()` query, which allocated and sorted the full
+    /// distinct-neighbour set per call — this runs once per peer per
+    /// maintenance round, making it the overlay's hottest relay loop.
     fn gossip_addresses(&mut self, peer: NodeId) {
-        let Some(neighbors) = self.graph.neighbors(peer) else {
+        let Some(peer_idx) = self.graph.dense_index_of(peer) else {
             return;
         };
-        if neighbors.is_empty() {
+        let mut scratch = std::mem::take(&mut self.gossip_scratch);
+        scratch.clear();
+        self.graph.neighbors_dense_into(peer_idx, &mut scratch);
+        let partner = if scratch.is_empty() {
+            None
+        } else {
+            // The maintenance rules never create a duplicate link between a
+            // pair (dials check `has_edge` in both directions), so the dense
+            // incident-link list is duplicate-free and this is a uniform draw
+            // over the distinct neighbours.
+            let partner_idx = scratch[self.rng.gen_range(0..scratch.len())];
+            self.graph.id_at(partner_idx)
+        };
+        self.gossip_scratch = scratch;
+        let Some(partner) = partner else {
             return;
-        }
-        let partner = neighbors[self.rng.gen_range(0..neighbors.len())];
+        };
         let Some(mut mine) = self.addrmans.remove(&peer) else {
             return;
         };
@@ -253,41 +278,51 @@ impl P2pNetwork {
         }
     }
 
-    /// Advances the underlying churn process until `target`, then runs one
-    /// maintenance pass.
+    /// Advances the underlying churn process until `target` through the
+    /// shared [`churn_core::driver::poisson_advance_until`] jump-chain loop
+    /// (the very loop the Poisson baselines run).
     fn advance_churn_until(&mut self, target: f64) -> ChurnSummary {
         let mut summary = ChurnSummary::new();
-        while self.time < target {
-            let jump = self.chain.next_jump(self.alive.len() as u64, &mut self.rng);
-            if self.time + jump.waiting_time > target {
-                self.time = target;
-                break;
-            }
-            self.time += jump.waiting_time;
-            self.jumps += 1;
-            let step = match jump.kind {
-                JumpKind::Birth => {
-                    let id = self.spawn_peer();
-                    ChurnSummary {
-                        births: vec![id],
-                        deaths: Vec::new(),
-                    }
-                }
-                JumpKind::Death => {
-                    let victim = self
-                        .alive
-                        .sample(&mut self.rng)
-                        .expect("death events require an alive peer");
-                    self.kill_peer(victim);
-                    ChurnSummary {
-                        births: Vec::new(),
-                        deaths: vec![victim],
-                    }
-                }
-            };
-            summary.absorb(step);
-        }
+        let chain = self.chain;
+        let mut clock = JumpClock {
+            time: self.time,
+            jumps: self.jumps,
+        };
+        driver::poisson_advance_until(self, &chain, &mut clock, target, &mut summary);
+        self.time = clock.time;
+        self.jumps = clock.jumps;
         summary
+    }
+}
+
+/// Driver hooks (see [`churn_core::driver`]): the overlay contributes peer
+/// bootstrap/teardown; deaths are sampled from its own alive-set (identical
+/// distribution and draw order to the pre-extraction loop).
+impl ChurnHost for P2pNetwork {
+    fn spawn(&mut self, time: f64) -> (NodeId, u32) {
+        self.spawn_peer(time)
+    }
+
+    fn kill(&mut self, victim: NodeId, victim_idx: u32, _time: f64) {
+        self.kill_peer(victim, victim_idx);
+    }
+}
+
+impl PoissonChurnHost for P2pNetwork {
+    fn draw_jump(&mut self, chain: &BirthDeathChain) -> Jump {
+        chain.next_jump(self.alive.len() as u64, &mut self.rng)
+    }
+
+    fn sample_victim(&mut self) -> (NodeId, u32) {
+        let victim = self
+            .alive
+            .sample(&mut self.rng)
+            .expect("death events require an alive peer");
+        let victim_idx = self
+            .graph
+            .dense_index_of(victim)
+            .expect("alive peers are in the graph");
+        (victim, victim_idx)
     }
 }
 

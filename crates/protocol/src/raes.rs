@@ -4,10 +4,11 @@ use std::collections::VecDeque;
 
 use churn_graph::hashing::IdHashMap;
 use churn_graph::{DenseHandle, DynamicGraph, NodeId, NodeIdAllocator, RemovedNode};
-use churn_stochastic::process::{BirthDeathChain, JumpKind};
+use churn_stochastic::process::{BirthDeathChain, Jump};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 use serde::{Deserialize, Serialize};
 
+use churn_core::driver::{self, ChurnHost, JumpClock, PoissonChurnHost};
 use churn_core::{ChurnSummary, DynamicNetwork, EdgePolicy, ModelEvent, ModelKind, Result};
 
 use crate::{ChurnDriver, RaesConfig, SaturationPolicy};
@@ -322,59 +323,34 @@ impl RaesModel {
         self.repair();
     }
 
+    /// One streaming churn round, through the shared
+    /// [`churn_core::driver::streaming_round`] loop (death first, then birth,
+    /// exactly like the streaming baselines — the loop *is* the baselines').
     fn churn_streaming(&mut self, summary: &mut ChurnSummary) {
         self.time = self.rounds as f64;
         self.churn_steps = self.rounds;
-        // Death first, then birth, exactly like the streaming baselines.
-        if self.order.len() == self.config.n {
-            let (victim, victim_idx) = self
-                .order
-                .pop_front()
-                .expect("queue holds n nodes, so the front exists");
-            self.kill(victim, victim_idx);
-            summary.record_death(victim);
-        }
-        let id = self.spawn();
-        summary.record_birth(id);
+        let mut order = std::mem::take(&mut self.order);
+        driver::streaming_round(self, &mut order, self.config.n, self.time, summary);
+        self.order = order;
     }
 
+    /// One message-delay unit of Poisson churn, through the shared
+    /// [`churn_core::driver::poisson_advance_until`] jump-chain loop.
     fn churn_poisson(&mut self, summary: &mut ChurnSummary) {
         let chain = self.chain.expect("poisson driver has a jump chain");
         let target = self.time.floor() + 1.0;
-        loop {
-            let jump = chain.next_jump(self.graph.len() as u64, &mut self.rng);
-            if self.time + jump.waiting_time > target {
-                // Memorylessness: the residual wait past `target` is
-                // statistically identical to a fresh draw at `target`.
-                self.time = target;
-                break;
-            }
-            self.time += jump.waiting_time;
-            self.churn_steps += 1;
-            match jump.kind {
-                JumpKind::Birth => {
-                    let id = self.spawn();
-                    summary.record_birth(id);
-                }
-                JumpKind::Death => {
-                    let victim_idx = self
-                        .graph
-                        .sample_member(&mut self.rng)
-                        .expect("a death event implies at least one alive node");
-                    let victim = self
-                        .graph
-                        .id_at(victim_idx)
-                        .expect("sampled member is alive");
-                    self.kill(victim, victim_idx);
-                    summary.record_death(victim);
-                }
-            }
-        }
+        let mut clock = JumpClock {
+            time: self.time,
+            jumps: self.churn_steps,
+        };
+        driver::poisson_advance_until(self, &chain, &mut clock, target, summary);
+        self.time = clock.time;
+        self.churn_steps = clock.jumps;
     }
 
     /// A node joins with `d` unfilled slots; the slots enter the queue and
     /// are (typically) served in this round's repair sweep.
-    fn spawn(&mut self) -> NodeId {
+    fn spawn_node_at(&mut self, time: f64) -> (NodeId, u32) {
         let id = self.alloc.next_id();
         let idx = self
             .graph
@@ -391,15 +367,12 @@ impl RaesModel {
                 since_round: self.rounds,
             });
         }
-        self.birth_time.insert(id, self.time);
+        self.birth_time.insert(id, time);
         self.newest = Some(id);
-        if self.config.churn == ChurnDriver::Streaming {
-            self.order.push_back((id, idx));
-        }
-        id
+        (id, idx)
     }
 
-    fn kill(&mut self, victim: NodeId, victim_idx: u32) {
+    fn kill_node(&mut self, victim: NodeId, victim_idx: u32) {
         self.birth_time.remove(&victim);
         if self.newest == Some(victim) {
             self.newest = None;
@@ -534,6 +507,38 @@ impl RaesModel {
             slot: victim_slot as u32,
             since_round: self.rounds,
         });
+    }
+}
+
+/// Driver hooks (see [`churn_core::driver`]): the churn loops are the shared
+/// ones the baseline models run — by construction, not by convention — and
+/// RAES contributes only its protocol-specific spawn (slots enter the pending
+/// queue) and kill (dangling slots become protocol work).
+impl ChurnHost for RaesModel {
+    fn spawn(&mut self, time: f64) -> (NodeId, u32) {
+        self.spawn_node_at(time)
+    }
+
+    fn kill(&mut self, victim: NodeId, victim_idx: u32, _time: f64) {
+        self.kill_node(victim, victim_idx);
+    }
+}
+
+impl PoissonChurnHost for RaesModel {
+    fn draw_jump(&mut self, chain: &BirthDeathChain) -> Jump {
+        chain.next_jump(self.graph.len() as u64, &mut self.rng)
+    }
+
+    fn sample_victim(&mut self) -> (NodeId, u32) {
+        let victim_idx = self
+            .graph
+            .sample_member(&mut self.rng)
+            .expect("a death event implies at least one alive node");
+        let victim = self
+            .graph
+            .id_at(victim_idx)
+            .expect("sampled member is alive");
+        (victim, victim_idx)
     }
 }
 

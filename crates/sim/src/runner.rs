@@ -5,6 +5,18 @@
 //! its randomness exclusively from a deterministically derived per-cell seed
 //! ([`Sweep::trial_seed`]), so the result vector is identical to the
 //! sequential run no matter how the cells are scheduled.
+//!
+//! # Thread budgeting
+//!
+//! Some trial bodies are themselves parallel (the sharded flooding engine of
+//! `churn-core`). Running an 8-thread trial inside an 8-way sweep would
+//! oversubscribe the machine 64-fold, so the runner splits the pool between
+//! the two levels: every context carries [`TrialContext::threads`], the
+//! number of threads the trial body may use. [`run_sweep`] gives each of its
+//! concurrently scheduled cells an equal share (`cores / min(cells, cores)`,
+//! at least 1 — so a single big cell gets the whole machine and a wide grid
+//! gets one thread per cell); [`run_sweep_sequential`] runs its cells one at
+//! a time and hands every cell the full pool.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -20,6 +32,12 @@ pub struct TrialContext {
     pub trial: usize,
     /// The deterministic seed for this `(point, trial)` pair.
     pub seed: u64,
+    /// Thread budget for parallelism *inside* the trial body (e.g. the
+    /// sharded flooding engine): the sweep level and the run level share one
+    /// pool, so `sweep-level concurrency × threads ≈ cores`. Always ≥ 1.
+    /// Must not influence the trial's *result* — only how fast it is
+    /// computed (the engines guarantee thread-count-independent output).
+    pub threads: usize,
 }
 
 /// The outcome of one trial: its context plus whatever the trial function
@@ -47,7 +65,7 @@ where
     T: Send,
     F: Fn(&TrialContext) -> T + Sync,
 {
-    let contexts = sweep_contexts(sweep);
+    let contexts = sweep_contexts(sweep, sweep_cell_threads(sweep.total_trials()));
     contexts
         .par_iter()
         .map(|ctx| TrialResult {
@@ -59,7 +77,16 @@ where
         .collect()
 }
 
-fn sweep_contexts(sweep: &Sweep) -> Vec<TrialContext> {
+/// Per-cell thread budget of [`run_sweep`]: the pool divided by the number of
+/// cells that will actually run concurrently, never below 1. One big cell
+/// gets the whole machine; a grid wider than the machine gets one thread per
+/// cell.
+fn sweep_cell_threads(cells: usize) -> usize {
+    let pool = rayon::current_num_threads().max(1);
+    (pool / pool.min(cells.max(1))).max(1)
+}
+
+fn sweep_contexts(sweep: &Sweep, threads: usize) -> Vec<TrialContext> {
     let mut contexts: Vec<TrialContext> = Vec::with_capacity(sweep.total_trials());
     for point in sweep.points() {
         for trial in 0..sweep.trials_per_point() {
@@ -67,6 +94,7 @@ fn sweep_contexts(sweep: &Sweep) -> Vec<TrialContext> {
                 point,
                 trial,
                 seed: sweep.trial_seed(&point, trial),
+                threads,
             });
         }
     }
@@ -74,11 +102,13 @@ fn sweep_contexts(sweep: &Sweep) -> Vec<TrialContext> {
 }
 
 /// Sequential variant of [`run_sweep`], useful inside benchmarks (where the
-/// harness already controls parallelism) and for debugging.
+/// harness already controls parallelism) and for debugging. Cells run one at
+/// a time, so each context carries the full pool as its thread budget.
 pub fn run_sweep_sequential<T, F>(sweep: &Sweep, mut trial_fn: F) -> Vec<TrialResult<T>>
 where
     F: FnMut(&TrialContext) -> T,
 {
+    let threads = rayon::current_num_threads().max(1);
     let mut out = Vec::with_capacity(sweep.total_trials());
     for point in sweep.points() {
         for trial in 0..sweep.trials_per_point() {
@@ -86,6 +116,7 @@ where
                 point,
                 trial,
                 seed: sweep.trial_seed(&point, trial),
+                threads,
             };
             let value = trial_fn(&ctx);
             out.push(TrialResult {
@@ -171,5 +202,37 @@ mod tests {
         let s = Sweep::new("empty");
         let results = run_sweep(&s, |_| 1.0f64);
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn thread_budget_splits_the_pool_between_levels() {
+        let pool = rayon::current_num_threads().max(1);
+        // One cell: the trial body gets the whole machine.
+        assert_eq!(sweep_cell_threads(1), pool);
+        // More cells than cores: one thread each, never zero.
+        assert_eq!(sweep_cell_threads(10 * pool), 1);
+        // In between: shares multiply back to at most the pool.
+        for cells in 1..=2 * pool {
+            let per_cell = sweep_cell_threads(cells);
+            assert!(per_cell >= 1);
+            assert!(per_cell * pool.min(cells) <= pool);
+        }
+        // The budget reaches the trial bodies through the context.
+        let single = Sweep::new("one-cell")
+            .models([ModelKind::Sdgr])
+            .sizes([16])
+            .degrees([2])
+            .trials(1);
+        let results = run_sweep(&single, |ctx| ctx.threads);
+        assert_eq!(results[0].value, pool);
+        let sequential = run_sweep_sequential(&single, |ctx| ctx.threads);
+        assert_eq!(
+            sequential[0].value, pool,
+            "sequential cells run alone and get the full pool"
+        );
+        let wide = sweep();
+        for r in run_sweep(&wide, |ctx| ctx.threads) {
+            assert_eq!(r.value, sweep_cell_threads(wide.total_trials()));
+        }
     }
 }

@@ -1,20 +1,37 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Implements the slice of the rayon API this workspace uses — `par_iter` /
-//! `into_par_iter` followed by `map(..).collect()` or `for_each(..)` — on top
-//! of `std::thread::scope` with an atomic work queue. Parallelism is real
-//! (one worker per available core, dynamic work stealing via a shared index),
-//! results are returned in input order, and panics in worker closures are
-//! propagated to the caller like rayon does.
+//! `into_par_iter` followed by `map(..).collect()` or `for_each(..)`, plus
+//! fork-join [`scope`] — on top of `std::thread::scope` with an atomic work
+//! queue. Parallelism is real (one worker per available core, dynamic work
+//! stealing via a shared index), results are returned in input order, and
+//! panics in worker closures are propagated to the caller like rayon does.
+//!
+//! Like real rayon, the pool width honours the `RAYON_NUM_THREADS`
+//! environment variable (read once, at the first parallel call); CI uses this
+//! to exercise narrow-pool configurations on wide machines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Number of worker threads a parallel call will use for `len` items.
+///
+/// `RAYON_NUM_THREADS` (a positive integer) overrides the detected core
+/// count, exactly like real rayon's global pool.
 #[must_use]
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
 }
 
 fn worker_count(len: usize) -> usize {
@@ -69,6 +86,90 @@ where
         .into_iter()
         .map(|slot| slot.expect("every index below len was processed"))
         .collect()
+}
+
+/// A queued scope task: boxed so tasks of different closure types share the
+/// queue; re-receives the scope so it can spawn follow-up tasks.
+type ScopeJob<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A fork-join scope handed to the closure of [`scope`]; collects spawned
+/// tasks that may borrow from the enclosing stack frame.
+pub struct Scope<'scope> {
+    jobs: Mutex<Vec<ScopeJob<'scope>>>,
+}
+
+impl std::fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let pending = self.jobs.lock().map(|q| q.len()).unwrap_or(0);
+        f.debug_struct("Scope").field("pending", &pending).finish()
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` to run on the pool before [`scope`] returns. The closure
+    /// receives the scope again, so tasks can spawn follow-up tasks.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.jobs
+            .lock()
+            .expect("a panicking job aborts the scope before new spawns")
+            .push(Box::new(body));
+    }
+
+    fn next_job(&self) -> Option<ScopeJob<'scope>> {
+        self.jobs
+            .lock()
+            .expect("a panicking job propagates before the queue is reused")
+            .pop()
+    }
+}
+
+/// Fork-join: runs `op`, then executes every task it [`Scope::spawn`]ed (and
+/// any tasks those spawn) across the pool, returning only when all of them
+/// finished. Tasks may borrow from the caller's stack, like rayon's `scope`.
+/// Panics in tasks propagate to the caller.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let sc = Scope {
+        jobs: Mutex::new(Vec::new()),
+    };
+    let result = op(&sc);
+    let queued = sc.jobs.lock().expect("no jobs ran yet").len();
+    if queued == 0 {
+        return result;
+    }
+    let workers = current_num_threads().min(queued).max(1);
+    if workers <= 1 {
+        // Run inline; a task may spawn more, so drain until empty.
+        while let Some(job) = sc.next_job() {
+            job(&sc);
+        }
+        return result;
+    }
+    std::thread::scope(|ts| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                ts.spawn(|| {
+                    // A worker that finds the queue empty may exit: whichever
+                    // worker is still running the task that spawns more will
+                    // loop around and pick them up itself.
+                    while let Some(job) = sc.next_job() {
+                        job(&sc);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    });
+    result
 }
 
 /// Parallel iterator support types.
@@ -292,5 +393,43 @@ mod tests {
             .par_iter()
             .map(|&x| if x == 5 { panic!("boom") } else { x })
             .collect();
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_task_with_stack_borrows() {
+        let mut outputs = vec![0u64; 16];
+        crate::scope(|s| {
+            for (i, slot) in outputs.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i as u64 + 1) * 3);
+            }
+        });
+        assert_eq!(
+            outputs,
+            (1..=16u64).map(|i| i * 3).collect::<Vec<_>>(),
+            "all tasks must have completed before scope returned"
+        );
+    }
+
+    #[test]
+    fn scope_supports_nested_spawns_and_returns_op_result() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let answer = crate::scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    counter.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+            42
+        });
+        assert_eq!(answer, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped boom")]
+    fn scope_propagates_task_panics() {
+        crate::scope(|s| s.spawn(|_| panic!("scoped boom")));
     }
 }
