@@ -1,0 +1,121 @@
+//! Per-round structural observation cost: maintaining a `churn-observe`
+//! `IncrementalSnapshot` + `LiveMetrics` from the graph's change feed
+//! (`observe_incremental`) vs rebuilding `Snapshot::of` every round and
+//! re-deriving the same quantities (`observe_rebuild`) — the comparison
+//! behind the `churn-observe` subsystem, at the paper's churn rates (one
+//! birth + one death per streaming round, ~2 events per Poisson time unit).
+//!
+//! `BENCH_PR4.json` is produced by pairing the two groups:
+//!
+//! ```text
+//! cargo bench -p churn-bench --bench observe -- --json observe.jsonl
+//! cargo run --release -p churn-bench --bin bench_report -- \
+//!     --baseline observe.jsonl --optimized observe.jsonl \
+//!     --pair observe_rebuild/SDG/100k=observe_incremental/SDG/100k \
+//!     --pair observe_rebuild/PDGR/100k=observe_incremental/PDGR/100k \
+//!     --pair observe_rebuild/SDG/1M=observe_incremental/SDG/1M \
+//!     --pair observe_rebuild/PDGR/1M=observe_incremental/PDGR/1M \
+//!     --note "<machine>" --out BENCH_PR4.json
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use churn_core::{AnyModel, DynamicNetwork, GraphDelta, ModelKind, Snapshot};
+use churn_observe::{IncrementalSnapshot, LiveMetrics};
+
+/// Size label chosen so no bench id is a substring of another (substring
+/// filters would otherwise match `100000` inside `1000000`).
+fn size_label(n: usize) -> &'static str {
+    match n {
+        1_000_000 => "1M",
+        100_000 => "100k",
+        _ => "n",
+    }
+}
+
+fn warm_template(kind: ModelKind, n: usize) -> AnyModel {
+    let mut template = kind.build(n, 8, 17).expect("valid parameters");
+    template.warm_up();
+    template
+}
+
+/// One observed model round: isolated count + edge count, maintained
+/// incrementally. The deliverable matches `rebuild_round` exactly.
+fn incremental_round(
+    model: &mut AnyModel,
+    inc: &mut IncrementalSnapshot,
+    metrics: &mut LiveMetrics,
+    delta: &mut GraphDelta,
+) -> (usize, usize) {
+    model.advance_time_unit();
+    model.graph_mut().take_delta_into(delta);
+    inc.apply(model.graph(), delta);
+    metrics.apply(model.graph(), delta);
+    (metrics.isolated_count(), inc.edge_count())
+}
+
+/// The pre-observe pattern: one model round, then a full CSR rebuild and a
+/// fresh census.
+fn rebuild_round(model: &mut AnyModel) -> (usize, usize) {
+    model.advance_time_unit();
+    let snapshot = Snapshot::of(model.graph());
+    let isolated = (0..snapshot.len())
+        .filter(|&i| snapshot.degree_of(i) == 0)
+        .count();
+    (isolated, snapshot.edge_count())
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let kinds = [ModelKind::Sdg, ModelKind::Pdgr];
+    let sizes = [100_000usize, 1_000_000];
+
+    let mut group = c.benchmark_group("observe_incremental");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for kind in kinds {
+        for n in sizes {
+            let mut state: Option<(AnyModel, IncrementalSnapshot, LiveMetrics, GraphDelta)> = None;
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size_label(n)),
+                &n,
+                |bencher, &n| {
+                    let (model, inc, metrics, delta) = state.get_or_insert_with(|| {
+                        let mut model = warm_template(kind, n);
+                        model.graph_mut().set_delta_recording(true);
+                        let inc = IncrementalSnapshot::new(model.graph());
+                        let metrics = LiveMetrics::new(model.graph());
+                        (model, inc, metrics, GraphDelta::new())
+                    });
+                    bencher.iter(|| {
+                        criterion::black_box(incremental_round(model, inc, metrics, delta))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("observe_rebuild");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for kind in kinds {
+        for n in sizes {
+            let mut state: Option<AnyModel> = None;
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), size_label(n)),
+                &n,
+                |bencher, &n| {
+                    let model = state.get_or_insert_with(|| warm_template(kind, n));
+                    bencher.iter(|| criterion::black_box(rebuild_round(model)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

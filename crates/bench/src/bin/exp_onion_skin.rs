@@ -21,9 +21,12 @@ use churn_stochastic::OnlineStats;
 
 fn main() {
     let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![2_048, 4_096], vec![4_096, 16_384]);
-    let degrees: Vec<usize> = preset.pick(vec![40, 64], vec![64, 128, 200]);
-    let trials = preset.pick(3, 6);
+    // The construction runs on dense slab indices since this PR (flat
+    // age-class/reached arrays, no hashing), so the full preset follows the
+    // flooding binaries to n = 10^6.
+    let sizes: Vec<usize> = preset.pick(vec![2_048, 4_096], vec![16_384, 1_000_000]);
+    let degrees: Vec<usize> = preset.pick(vec![40, 64], vec![64, 128]);
+    let trials = preset.pick(3, 3);
 
     let mut table = Table::new(
         "E9 — onion-skin growth on realized SDG graphs",
@@ -39,6 +42,10 @@ fn main() {
     let mut comparisons = ComparisonSet::new("E9 — Claim 3.10 / Lemma 3.9");
 
     for &n in &sizes {
+        // The 10^6 rows are a single-trial scale demonstration: their cost is
+        // dominated by the 2n-round warm-up (the replay itself is one O(n·d)
+        // pass per phase); the multi-trial statistics live at the smaller n.
+        let trials = if n >= 1_000_000 { 1 } else { trials };
         for &d in &degrees {
             let mut growth = OnlineStats::new();
             let mut phases = OnlineStats::new();

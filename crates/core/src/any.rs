@@ -95,8 +95,40 @@ impl ModelKind {
     /// the downstream `churn-protocol` crate (build a `RaesModel` there
     /// instead).
     pub fn build(self, n: usize, d: usize, seed: u64) -> Result<AnyModel> {
+        self.build_with_victim(n, d, seed, crate::driver::VictimPolicy::Uniform)
+    }
+
+    /// Like [`Self::build`], with an explicit death-victim policy.
+    ///
+    /// Streaming kinds accept [`VictimPolicy::OldestFirst`] as a no-op (their
+    /// death schedule already is oldest-first, Definition 3.2) and reject
+    /// [`VictimPolicy::HighestDegree`] — it would break the exact-lifetime
+    /// law. Poisson kinds run any policy through the shared adversarial
+    /// selectors in [`crate::driver`].
+    ///
+    /// [`VictimPolicy::OldestFirst`]: crate::driver::VictimPolicy::OldestFirst
+    /// [`VictimPolicy::HighestDegree`]: crate::driver::VictimPolicy::HighestDegree
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::build`], plus [`crate::ModelError::UnsupportedVictimPolicy`]
+    /// for a streaming kind with degree-targeted deaths.
+    pub fn build_with_victim(
+        self,
+        n: usize,
+        d: usize,
+        seed: u64,
+        victim: crate::driver::VictimPolicy,
+    ) -> Result<AnyModel> {
+        use crate::driver::VictimPolicy;
         match self {
             ModelKind::Sdg | ModelKind::Sdgr => {
+                if victim == VictimPolicy::HighestDegree {
+                    return Err(crate::ModelError::UnsupportedVictimPolicy {
+                        kind: self.label(),
+                        policy: victim.label(),
+                    });
+                }
                 let config = StreamingConfig::new(n, d)
                     .edge_policy(self.edge_policy())
                     .seed(seed);
@@ -105,7 +137,8 @@ impl ModelKind {
             ModelKind::Pdg | ModelKind::Pdgr => {
                 let config = PoissonConfig::with_expected_size(n, d)
                     .edge_policy(self.edge_policy())
-                    .seed(seed);
+                    .seed(seed)
+                    .victim_policy(victim);
                 Ok(AnyModel::Poisson(PoissonModel::new(config)?))
             }
             ModelKind::Raes => Err(crate::ModelError::ExternalModelKind {
@@ -190,6 +223,10 @@ macro_rules! delegate {
 impl DynamicNetwork for AnyModel {
     fn graph(&self) -> &DynamicGraph {
         delegate!(self, m => m.graph())
+    }
+
+    fn graph_mut(&mut self) -> &mut DynamicGraph {
+        delegate!(self, m => m.graph_mut())
     }
 
     fn degree_parameter(&self) -> usize {

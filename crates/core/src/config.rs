@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::driver::VictimPolicy;
 use crate::{ModelError, Result};
 
 /// Smallest supported expected network size.
@@ -157,6 +158,9 @@ pub struct PoissonConfig {
     pub seed: u64,
     /// Whether to keep a log of [`crate::ModelEvent`]s.
     pub record_events: bool,
+    /// How death events pick their victim: the paper's uniform churn, or an
+    /// adversarial (oldest-first / highest-degree) selection.
+    pub victim_policy: VictimPolicy,
 }
 
 impl PoissonConfig {
@@ -170,6 +174,7 @@ impl PoissonConfig {
             edge_policy: EdgePolicy::Static,
             seed: 0,
             record_events: false,
+            victim_policy: VictimPolicy::Uniform,
         }
     }
 
@@ -183,7 +188,15 @@ impl PoissonConfig {
             edge_policy: EdgePolicy::Static,
             seed: 0,
             record_events: false,
+            victim_policy: VictimPolicy::Uniform,
         }
+    }
+
+    /// Sets the death-victim selection policy.
+    #[must_use]
+    pub fn victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
     }
 
     /// Sets the edge policy.

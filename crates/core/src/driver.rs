@@ -28,10 +28,120 @@
 
 use std::collections::VecDeque;
 
-use churn_graph::NodeId;
+use churn_graph::{DynamicGraph, NodeId};
 use churn_stochastic::process::{BirthDeathChain, Jump, JumpKind};
+use serde::{Deserialize, Serialize};
 
 use crate::ChurnSummary;
+
+/// How a Poisson-churn model picks its death victim.
+///
+/// The paper's churn is *oblivious*: deaths hit a uniformly random alive node
+/// ([`VictimPolicy::Uniform`], Definition 4.1). The adversarial variants model
+/// an *adaptive* adversary that spends the same death budget on chosen
+/// victims — the classic robustness question for expander-maintenance
+/// protocols (RAES line of work): does the structure survive when the
+/// adversary removes the oldest nodes (whose links have decayed the most) or
+/// the best-connected ones (the hubs flooding rides on)?
+///
+/// Streaming churn already kills deterministically oldest-first (every node
+/// lives exactly `n` rounds), so [`VictimPolicy::OldestFirst`] is a no-op
+/// there and [`VictimPolicy::HighestDegree`] is rejected at model
+/// construction — it would break the exact-lifetime law the streaming
+/// analyses depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// Uniformly random alive victim (the paper's oblivious churn).
+    #[default]
+    Uniform,
+    /// The oldest alive node dies (adaptive age-targeted adversary).
+    OldestFirst,
+    /// The alive node with the most incident links dies (adaptive
+    /// degree-targeted adversary; ties broken towards the smallest
+    /// identifier). Costs one O(n) scan per death — meant for adversarial
+    /// experiments, not for the `n = 10^6` hot path.
+    HighestDegree,
+}
+
+impl VictimPolicy {
+    /// Short label used in reports and sweep seeds.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            VictimPolicy::Uniform => "uniform",
+            VictimPolicy::OldestFirst => "oldest-first",
+            VictimPolicy::HighestDegree => "highest-degree",
+        }
+    }
+
+    /// Returns `true` for the adversarial (non-uniform) policies.
+    #[must_use]
+    pub fn is_adversarial(self) -> bool {
+        !matches!(self, VictimPolicy::Uniform)
+    }
+}
+
+impl std::fmt::Display for VictimPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Selects the oldest alive node from a lazily compacted birth-order queue
+/// (front = oldest; hosts push on spawn). Entries whose slab cell no longer
+/// holds the recorded node — dead, or recycled — are popped on the way, so
+/// the amortised cost per death is O(1). Shared by every Poisson-churn host
+/// running [`VictimPolicy::OldestFirst`] ([`crate::PoissonModel`], the RAES
+/// protocol model in `churn-protocol`).
+///
+/// # Panics
+///
+/// Panics when no alive node is recorded in the queue (a death event implies
+/// at least one alive node, and hosts push every spawn).
+pub fn oldest_alive_victim(
+    graph: &DynamicGraph,
+    order: &mut VecDeque<(NodeId, u32)>,
+) -> (NodeId, u32) {
+    loop {
+        let &(id, idx) = order
+            .front()
+            .expect("a death event implies an alive node in the birth-order queue");
+        if graph.id_at(idx) == Some(id) {
+            return (id, idx);
+        }
+        order.pop_front();
+    }
+}
+
+/// Selects the alive node with the most incident links (with multiplicity,
+/// [`DynamicGraph::incident_link_count_at`]), ties broken towards the
+/// smallest identifier so the choice is independent of slab layout. O(n)
+/// member scan per death. Shared by every Poisson-churn host running
+/// [`VictimPolicy::HighestDegree`].
+///
+/// # Panics
+///
+/// Panics on an empty graph.
+pub fn highest_degree_victim(graph: &DynamicGraph) -> (NodeId, u32) {
+    let mut best: Option<(usize, NodeId, u32)> = None;
+    for &idx in graph.member_indices() {
+        let links = graph
+            .incident_link_count_at(idx)
+            .expect("member cells are occupied");
+        let id = graph.id_at(idx).expect("member cells are occupied");
+        let better = match best {
+            None => true,
+            Some((best_links, best_id, _)) => {
+                links > best_links || (links == best_links && id < best_id)
+            }
+        };
+        if better {
+            best = Some((links, id, idx));
+        }
+    }
+    let (_, id, idx) = best.expect("a death event implies at least one alive node");
+    (id, idx)
+}
 
 /// Model-specific churn hooks: how one node enters and leaves the network.
 ///
@@ -221,6 +331,59 @@ mod tests {
             use rand::Rng;
             self.alive[self.rng.gen_range(0..self.alive.len())]
         }
+    }
+
+    #[test]
+    fn victim_policy_labels_and_adversarial_flag() {
+        assert_eq!(VictimPolicy::default(), VictimPolicy::Uniform);
+        assert!(!VictimPolicy::Uniform.is_adversarial());
+        assert!(VictimPolicy::OldestFirst.is_adversarial());
+        assert!(VictimPolicy::HighestDegree.is_adversarial());
+        assert_eq!(VictimPolicy::OldestFirst.to_string(), "oldest-first");
+        assert_eq!(VictimPolicy::HighestDegree.label(), "highest-degree");
+    }
+
+    #[test]
+    fn oldest_alive_victim_skips_stale_queue_entries() {
+        use churn_graph::DynamicGraph;
+        let mut g = DynamicGraph::new();
+        let mut order: VecDeque<(NodeId, u32)> = VecDeque::new();
+        for raw in 0..4u64 {
+            let idx = g.add_node_indexed(NodeId::new(raw), 0).unwrap();
+            order.push_back((NodeId::new(raw), idx));
+        }
+        // Node 0 dies out of band and its cell is recycled by node 9: the
+        // stale front entry must be skipped, not resurrected.
+        let idx0 = g.dense_index_of(NodeId::new(0)).unwrap();
+        g.remove_node_at(idx0).unwrap();
+        let reused = g.add_node_indexed(NodeId::new(9), 0).unwrap();
+        assert_eq!(reused, idx0);
+        let (victim, idx) = oldest_alive_victim(&g, &mut order);
+        assert_eq!(victim, NodeId::new(1));
+        assert_eq!(g.id_at(idx), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn highest_degree_victim_picks_the_hub_with_id_tie_break() {
+        use churn_graph::DynamicGraph;
+        let mut g = DynamicGraph::new();
+        for raw in 0..5u64 {
+            g.add_node(NodeId::new(raw), 3).unwrap();
+        }
+        // Node 2 gets three incident links, everyone else at most two.
+        g.set_out_slot(NodeId::new(0), 0, NodeId::new(2)).unwrap();
+        g.set_out_slot(NodeId::new(1), 0, NodeId::new(2)).unwrap();
+        g.set_out_slot(NodeId::new(2), 0, NodeId::new(3)).unwrap();
+        let (victim, idx) = highest_degree_victim(&g);
+        assert_eq!(victim, NodeId::new(2));
+        assert_eq!(g.id_at(idx), Some(NodeId::new(2)));
+        // Tie-break: with all-equal degrees the smallest identifier wins.
+        let mut g = DynamicGraph::new();
+        for raw in [7u64, 3, 5] {
+            g.add_node(NodeId::new(raw), 0).unwrap();
+        }
+        let (victim, _) = highest_degree_victim(&g);
+        assert_eq!(victim, NodeId::new(3));
     }
 
     #[test]

@@ -32,6 +32,15 @@ pub enum ModelError {
         /// The rejected value.
         value: f64,
     },
+    /// The requested [`crate::driver::VictimPolicy`] cannot run on this model
+    /// kind (e.g. degree-targeted deaths on streaming churn, whose death
+    /// schedule is structurally fixed to oldest-first).
+    UnsupportedVictimPolicy {
+        /// Label of the model kind.
+        kind: &'static str,
+        /// Label of the rejected policy.
+        policy: &'static str,
+    },
     /// The requested [`crate::ModelKind`] is implemented outside `churn-core`
     /// (e.g. the RAES protocol in `churn-protocol`), so this crate cannot
     /// construct it.
@@ -60,6 +69,11 @@ impl fmt::Display for ModelError {
             ModelError::InvalidCapacityFactor { value } => write!(
                 f,
                 "capacity factor c = {value} is invalid (must be finite and at least 1)"
+            ),
+            ModelError::UnsupportedVictimPolicy { kind, policy } => write!(
+                f,
+                "victim policy {policy} is not supported by model kind {kind} \
+                 (streaming churn kills deterministically oldest-first)"
             ),
             ModelError::ExternalModelKind {
                 kind,

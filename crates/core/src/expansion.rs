@@ -40,13 +40,24 @@ impl SizeRange {
     /// snapshot size.
     #[must_use]
     pub fn bounds<M: DynamicNetwork>(&self, model: &M) -> (usize, usize) {
-        let alive = model.alive_count();
+        self.bounds_for(
+            model.alive_count(),
+            model.degree_parameter(),
+            model.has_streaming_churn(),
+        )
+    }
+
+    /// Resolves the range from raw parameters — for callers measuring on a
+    /// snapshot maintained *outside* the model (e.g. an incrementally patched
+    /// `churn-observe` snapshot) where no model reference is at hand.
+    #[must_use]
+    pub fn bounds_for(&self, alive: usize, d: usize, streaming_churn: bool) -> (usize, usize) {
         let half = (alive / 2).max(1);
         match *self {
             SizeRange::Full => (1, half),
             SizeRange::LargeSets => {
-                let d = model.degree_parameter() as f64;
-                let exponent = if model.has_streaming_churn() {
+                let d = d as f64;
+                let exponent = if streaming_churn {
                     -d / 10.0
                 } else {
                     -d / 20.0
@@ -97,12 +108,30 @@ pub fn measure_expansion<M: DynamicNetwork, R: Rng + ?Sized>(
 ) -> ExpansionReport {
     let snapshot = model.snapshot();
     let (min, max) = range.bounds(model);
-    let estimate = ExpansionEstimator::new(config.clone()).estimate(&snapshot, min, max, rng);
+    measure_expansion_on(&snapshot, (min, max), config, rng, model.time())
+}
+
+/// Measures the vertex expansion of a caller-supplied snapshot over explicit
+/// size bounds (resolve them with [`SizeRange::bounds_for`]).
+///
+/// This is the entry point for observation pipelines that keep the snapshot
+/// *incremental* (`churn-observe`): the per-round maintenance stays O(churn)
+/// and only an actual expansion measurement pays the materialisation — the
+/// model is never asked to rebuild a CSR view it already has.
+pub fn measure_expansion_on<R: Rng + ?Sized>(
+    snapshot: &churn_graph::Snapshot,
+    bounds: (usize, usize),
+    config: &ExpansionConfig,
+    rng: &mut R,
+    time: f64,
+) -> ExpansionReport {
+    let (min, max) = bounds;
+    let estimate = ExpansionEstimator::new(config.clone()).estimate(snapshot, min, max, rng);
     ExpansionReport {
         estimate,
         alive: snapshot.len(),
         size_bounds: (min, max),
-        time: model.time(),
+        time,
     }
 }
 

@@ -325,6 +325,23 @@ impl AtomicBitset {
         prev & mask == 0
     }
 
+    /// Shared-access clear: removes the bit through a per-word atomic
+    /// fetch-AND. Safe to race with other shared *clears* (set-minus is
+    /// order-independent); racing it with concurrent `set_shared` calls on
+    /// the same word would make the outcome scheduling-dependent, so the
+    /// engines never mix the two phases. Used by the parallel `is_current`
+    /// revalidation sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is beyond the capacity reserved with
+    /// [`Self::ensure_bits`] (shared writers cannot grow the array).
+    #[inline]
+    pub fn clear_shared(&self, idx: u32) {
+        let (word, mask) = Self::split(idx);
+        self.words[word].fetch_and(!mask, Ordering::Relaxed);
+    }
+
     /// Exclusive-access clear (out-of-range indices are a no-op).
     #[inline]
     pub fn clear(&mut self, idx: u32) {
@@ -414,6 +431,9 @@ pub struct FloodingProcess {
     rounds: u64,
     complete: bool,
     peak_informed: usize,
+    /// Entry-list position where the most recent round's newly informed
+    /// entries start (everything before it survived from the previous round).
+    last_new_from: usize,
 }
 
 impl FloodingProcess {
@@ -432,6 +452,7 @@ impl FloodingProcess {
             rounds: 0,
             complete: false,
             peak_informed: 1,
+            last_new_from: 0,
         })
     }
 
@@ -477,6 +498,28 @@ impl FloodingProcess {
     #[must_use]
     pub fn informed_count(&self) -> usize {
         self.informed.len()
+    }
+
+    /// Dense slab indices of the currently informed entries, in entry order.
+    /// Valid until the underlying graph churns; observers (e.g. the
+    /// informed-overlap tracker in `churn-observe`) consume these instead of
+    /// the identifier set to stay allocation- and hash-free.
+    pub fn informed_dense(&self) -> impl Iterator<Item = u32> + '_ {
+        self.informed
+            .entries
+            .iter()
+            .map(|&(handle, _)| handle.index)
+    }
+
+    /// Dense slab indices of the nodes informed for the first time in the
+    /// most recent round (and alive at its end) — the O(newly informed)
+    /// feed for incremental observers. Before the first step this yields the
+    /// source (the only node informed so far).
+    pub fn newly_informed_dense(&self) -> impl Iterator<Item = u32> + '_ {
+        let from = self.last_new_from.min(self.informed.entries.len());
+        self.informed.entries[from..]
+            .iter()
+            .map(|&(handle, _)| handle.index)
     }
 
     /// Largest informed-set size observed so far.
@@ -554,7 +597,20 @@ impl FloodingProcess {
         prev_len: usize,
     ) -> RoundStats {
         let surviving_prev = self.revalidate(model, prev_len);
+        self.finish_round_with(model, summary, surviving_prev)
+    }
+
+    /// [`Self::finish_round`] with the revalidation already done (the
+    /// parallel engine runs its sharded revalidation sweep first and hands
+    /// in the surviving-prefix count).
+    fn finish_round_with<M: DynamicNetwork + ?Sized>(
+        &mut self,
+        model: &M,
+        summary: &ChurnSummary,
+        surviving_prev: usize,
+    ) -> RoundStats {
         let newly_informed = self.informed.entries.len() - surviving_prev;
+        self.last_new_from = surviving_prev;
         self.rounds += 1;
         self.peak_informed = self.peak_informed.max(self.informed.len());
 
@@ -678,6 +734,11 @@ pub struct ParallelFrontier {
     shard_bufs: Vec<Vec<u32>>,
     /// Concatenation + sort scratch for the merge phase (reused).
     merge_scratch: Vec<u32>,
+    /// Per-shard order-preserving compaction buffers of the parallel
+    /// `is_current` revalidation sweep (reused).
+    reval_bufs: Vec<Vec<(DenseHandle, NodeId)>>,
+    /// Per-shard surviving-prefix counts of the same sweep (reused).
+    reval_counts: Vec<usize>,
     last_direction: FrontierDirection,
 }
 
@@ -695,6 +756,8 @@ impl ParallelFrontier {
             frozen: Vec::new(),
             shard_bufs: Vec::new(),
             merge_scratch: Vec::new(),
+            reval_bufs: Vec::new(),
+            reval_counts: Vec::new(),
             last_direction: FrontierDirection::Sequential,
         }
     }
@@ -784,10 +847,103 @@ impl ParallelFrontier {
         self.process.is_complete()
     }
 
+    /// Dense slab indices of the currently informed entries, in entry order.
+    pub fn informed_dense(&self) -> impl Iterator<Item = u32> + '_ {
+        self.process.informed_dense()
+    }
+
+    /// Dense slab indices of the most recent round's newly informed nodes.
+    pub fn newly_informed_dense(&self) -> impl Iterator<Item = u32> + '_ {
+        self.process.newly_informed_dense()
+    }
+
+    /// Revalidates the informed entries against the live graph, sharding the
+    /// `is_current` sweep across the thread budget once the entry list is
+    /// past the sequential cutoff. Each worker compacts one contiguous chunk
+    /// into a private buffer (relative order kept) and counts its survivors
+    /// below the `prefix` boundary; the buffers concatenate in chunk order,
+    /// so the surviving entry list — and the returned prefix count — are
+    /// **identical to the sequential [`FloodingProcess::revalidate`]** at any
+    /// thread count. Dropped entries clear their bits through the shared
+    /// atomic fetch-AND (no sets race with it: the expansion phase is over).
+    ///
+    /// This removes the last large sequential term of a late flooding round
+    /// at `n = 10^6`: the boundary sweep was already sharded, but every
+    /// entry still paid its generation probe on one thread.
+    fn revalidate_sharded<M: DynamicNetwork + ?Sized>(
+        &mut self,
+        model: &M,
+        prefix: usize,
+    ) -> usize {
+        let graph = model.graph();
+        let ParallelFrontier {
+            process,
+            threads,
+            reval_bufs,
+            reval_counts,
+            ..
+        } = self;
+        let len = process.informed.entries.len();
+        if len == 0 {
+            return 0;
+        }
+        let shards = (*threads).min(len);
+        let chunk = len.div_ceil(shards);
+        let shard_count = len.div_ceil(chunk);
+        if reval_bufs.len() < shard_count {
+            reval_bufs.resize_with(shard_count, Vec::new);
+        }
+        reval_counts.clear();
+        reval_counts.resize(shard_count, 0);
+        {
+            let entries = &process.informed.entries;
+            let bits = &process.informed.bits;
+            rayon::scope(|s| {
+                for (i, ((slice, buf), count)) in entries
+                    .chunks(chunk)
+                    .zip(reval_bufs.iter_mut())
+                    .zip(reval_counts.iter_mut())
+                    .enumerate()
+                {
+                    let offset = i * chunk;
+                    s.spawn(move |_| {
+                        buf.clear();
+                        for (j, &(handle, id)) in slice.iter().enumerate() {
+                            if graph.is_current(handle) {
+                                if offset + j < prefix {
+                                    *count += 1;
+                                }
+                                buf.push((handle, id));
+                            } else {
+                                bits.clear_shared(handle.index);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let entries = &mut process.informed.entries;
+        entries.clear();
+        for buf in &reval_bufs[..shard_count] {
+            entries.extend_from_slice(buf);
+        }
+        reval_counts.iter().sum()
+    }
+
+    /// Dispatches between the sharded and the sequential revalidation sweep
+    /// (both produce identical results; the choice is wall-clock only).
+    fn revalidate_engine<M: DynamicNetwork + ?Sized>(&mut self, model: &M, prefix: usize) -> usize {
+        if self.threads > 1 && self.process.informed.entries.len() > self.sequential_cutoff {
+            self.revalidate_sharded(model, prefix)
+        } else {
+            self.process.revalidate(model, prefix)
+        }
+    }
+
     /// Executes one flooding round with the sharded engine. Semantically
     /// identical to [`FloodingProcess::step`].
     pub fn step<M: DynamicNetwork + ?Sized>(&mut self, model: &mut M) -> RoundStats {
-        self.process.revalidate(model, 0);
+        self.revalidate_engine(model, 0);
         let prev_len = self.process.informed.entries.len();
         {
             let graph = model.graph();
@@ -811,7 +967,9 @@ impl ParallelFrontier {
             }
         }
         let summary = model.advance_time_unit();
-        self.process.finish_round(model, &summary, prev_len)
+        let surviving_prev = self.revalidate_engine(model, prev_len);
+        self.process
+            .finish_round_with(model, &summary, surviving_prev)
     }
 
     /// The sharded boundary sweep (see the type docs for the push/pull
@@ -1379,6 +1537,51 @@ mod tests {
         assert!(engine.start_time() >= 0.0);
         assert_eq!(engine.last_direction(), FrontierDirection::Sequential);
         assert!(ParallelFrontier::from_source(&model, NodeId::new(u64::MAX), 2).is_none());
+    }
+
+    #[test]
+    fn dense_informed_accessors_track_rounds() {
+        let mut model = sdgr(96, 5, 13);
+        let mut process = FloodingProcess::start(&mut model, FloodingSource::NextToJoin);
+        assert_eq!(process.informed_dense().count(), 1);
+        assert_eq!(
+            process.newly_informed_dense().count(),
+            1,
+            "before the first round the source is the newly informed set"
+        );
+        let stats = process.step(&mut model);
+        assert_eq!(process.informed_dense().count(), stats.informed);
+        assert_eq!(process.newly_informed_dense().count(), stats.newly_informed);
+        // The dense views agree with the identifier view.
+        let graph = model.graph();
+        let via_dense: HashSet<NodeId> = process
+            .informed_dense()
+            .map(|idx| graph.id_at(idx).unwrap())
+            .collect();
+        assert_eq!(via_dense, process.informed());
+        // The parallel engine exposes the same accessors.
+        let mut par_model = sdgr(96, 5, 13);
+        let mut engine = ParallelFrontier::start(&mut par_model, FloodingSource::NextToJoin, 4)
+            .with_sequential_cutoff(0);
+        let par_stats = engine.step(&mut par_model);
+        assert_eq!(par_stats, stats);
+        assert_eq!(engine.informed_dense().count(), stats.informed);
+        assert_eq!(engine.newly_informed_dense().count(), stats.newly_informed);
+    }
+
+    #[test]
+    fn shared_clear_matches_exclusive_clear() {
+        let mut set = AtomicBitset::with_bit_capacity(256);
+        for idx in [1u32, 64, 65, 200] {
+            set.set(idx);
+        }
+        set.clear_shared(64);
+        set.clear_shared(200);
+        assert!(set.test(1) && set.test(65));
+        assert!(!set.test(64) && !set.test(200));
+        // Clearing an unset bit is a no-op.
+        set.clear_shared(2);
+        assert!(!set.test(2) && set.test(1));
     }
 
     #[test]

@@ -88,8 +88,10 @@ pub use model::DynamicNetwork;
 pub use poisson::PoissonModel;
 pub use streaming::StreamingModel;
 
+pub use driver::VictimPolicy;
+
 // Re-export the identifiers users constantly need alongside the models.
-pub use churn_graph::{DynamicGraph, EdgeSlot, GraphError, NodeId, Snapshot};
+pub use churn_graph::{DynamicGraph, EdgeSlot, GraphDelta, GraphError, NodeId, Snapshot};
 
 /// Convenience result alias for model construction.
 pub type Result<T, E = ModelError> = std::result::Result<T, E>;

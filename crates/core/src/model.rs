@@ -20,6 +20,16 @@ pub trait DynamicNetwork {
     /// The realized topology at the current instant.
     fn graph(&self) -> &DynamicGraph;
 
+    /// Mutable access to the realized topology, for **observer plumbing
+    /// only**: enabling [`churn_graph::GraphDelta`] recording
+    /// ([`DynamicGraph::set_delta_recording`]) and draining recorded windows
+    /// ([`DynamicGraph::take_delta_into`]) between rounds. Mutating the
+    /// topology itself through this handle bypasses the model's round
+    /// structure (queues, regeneration, repair sweeps) and can violate its
+    /// invariants — drive models through
+    /// [`Self::advance_time_unit`] and friends instead.
+    fn graph_mut(&mut self) -> &mut DynamicGraph;
+
     /// The out-degree parameter `d` every joining node uses.
     fn degree_parameter(&self) -> usize;
 

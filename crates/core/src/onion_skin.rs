@@ -13,8 +13,6 @@
 //! *realized* SDG graph, so experiment E9 can measure the per-phase growth
 //! factors and compare them with the `d/20` prediction.
 
-use std::collections::HashSet;
-
 use serde::{Deserialize, Serialize};
 
 use churn_graph::NodeId;
@@ -110,6 +108,12 @@ pub fn classify_age(age: u64, n: usize) -> AgeClass {
     }
 }
 
+/// Age-class codes of the dense per-slab-cell classification table.
+const CLASS_YOUNG: u8 = 0;
+const CLASS_OLD: u8 = 1;
+const CLASS_VERY_OLD: u8 = 2;
+const CLASS_VACANT: u8 = 3;
+
 /// Replays the onion-skin process on the current snapshot of a streaming model
 /// (the construction is defined for the SDG model; it also runs on SDGR graphs,
 /// where it is simply a further restriction of the realized edges).
@@ -117,6 +121,13 @@ pub fn classify_age(age: u64, n: usize) -> AgeClass {
 /// The source is the most recently joined node. The process stops when a phase
 /// adds no new node or when the reached set exceeds `n` (it cannot, but the
 /// guard keeps the loop finite).
+///
+/// The construction runs entirely on the graph's dense slab indices — age
+/// classes, reached sets and frontiers are flat arrays indexed by slab cell,
+/// and adjacency is walked through the allocation-free
+/// [`churn_graph::DynamicGraph::out_slot_targets_at`] — so one replay costs
+/// `O(n·d)` per phase with no hashing, which is what lets experiment E9
+/// follow the flooding binaries to `n = 10^6`.
 #[must_use]
 pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
     let n = model.expected_size();
@@ -126,59 +137,64 @@ pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
     let source = model
         .newest_node()
         .expect("a warmed streaming model always has nodes");
+    let source_idx = graph
+        .dense_index_of(source)
+        .expect("the newest node is alive");
+    let slab_len = graph.slab_len();
 
-    // Classify the population.
+    // Classify the population into a slab-indexed table.
     let mut young_population = 0usize;
     let mut old_population = 0usize;
     let mut very_old_population = 0usize;
-    let mut class_of = std::collections::HashMap::new();
-    for id in model.alive_ids() {
+    let mut class = vec![CLASS_VACANT; slab_len];
+    for &idx in graph.member_indices() {
+        let id = graph.id_at(idx).expect("member cells are occupied");
         let age = model.age_rounds(id).expect("alive node has an age");
-        let class = classify_age(age, n);
-        match class {
-            AgeClass::Young => young_population += 1,
-            AgeClass::Old => old_population += 1,
-            AgeClass::VeryOld => very_old_population += 1,
-        }
-        class_of.insert(id, class);
+        class[idx as usize] = match classify_age(age, n) {
+            AgeClass::Young => {
+                young_population += 1;
+                CLASS_YOUNG
+            }
+            AgeClass::Old => {
+                old_population += 1;
+                CLASS_OLD
+            }
+            AgeClass::VeryOld => {
+                very_old_population += 1;
+                CLASS_VERY_OLD
+            }
+        };
     }
 
-    let is_old = |id: NodeId, map: &std::collections::HashMap<NodeId, AgeClass>| {
-        map.get(&id) == Some(&AgeClass::Old)
-    };
-    let is_young = |id: NodeId, map: &std::collections::HashMap<NodeId, AgeClass>| {
-        map.get(&id) == Some(&AgeClass::Young)
-    };
-
-    let mut young_reached: HashSet<NodeId> = HashSet::new();
-    young_reached.insert(source);
-    let mut old_reached: HashSet<NodeId> = HashSet::new();
+    let mut young_reached = vec![false; slab_len];
+    let mut old_reached = vec![false; slab_len];
+    young_reached[source_idx as usize] = true;
+    let mut young_total = 1usize;
 
     // Phase 0: the source's own d requests, restricted to old destinations.
-    // One slot buffer is reused across every per-node query below.
-    let mut slots: Vec<Option<NodeId>> = Vec::new();
-    let mut old_frontier: HashSet<NodeId> = HashSet::new();
-    if graph.out_slots_into(source, &mut slots) {
-        for target in slots.iter().flatten() {
-            if is_old(*target, &class_of) {
-                old_frontier.insert(*target);
-            }
+    let mut in_old_frontier = vec![false; slab_len];
+    let mut old_frontier: Vec<u32> = Vec::new();
+    for target in graph.out_slot_targets_at(source_idx).flatten() {
+        let t = target as usize;
+        if class[t] == CLASS_OLD && !in_old_frontier[t] {
+            in_old_frontier[t] = true;
+            old_reached[t] = true;
+            old_frontier.push(target);
         }
     }
-    old_reached.extend(old_frontier.iter().copied());
+    let mut old_total = old_frontier.len();
 
     let mut phases = vec![OnionSkinPhase {
         phase: 0,
         new_young: 0,
         new_old: old_frontier.len(),
-        young_total: young_reached.len(),
-        old_total: old_reached.len(),
+        young_total,
+        old_total,
     }];
 
     // Subsequent phases alternate: young nodes reach the old frontier via their
     // type-B requests (slots d/2..d), then the newly reached young nodes extend
     // the old set via their type-A requests (slots 0..d/2).
-    let alive = model.alive_ids();
     let mut guard = 0usize;
     loop {
         guard += 1;
@@ -188,37 +204,30 @@ pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
 
         // Step 1: young nodes not yet reached whose type-B requests hit the old
         // frontier.
-        let mut young_frontier: HashSet<NodeId> = HashSet::new();
-        for &v in &alive {
-            if !is_young(v, &class_of) || young_reached.contains(&v) {
+        let mut young_frontier: Vec<u32> = Vec::new();
+        for &v in graph.member_indices() {
+            if class[v as usize] != CLASS_YOUNG || young_reached[v as usize] {
                 continue;
             }
-            slots.clear();
-            if !graph.out_slots_into(v, &mut slots) {
-                continue;
-            }
-            let hits_frontier = slots
-                .iter()
-                .enumerate()
+            let hits_frontier = graph
+                .out_slot_targets_at(v)
                 .skip(half_d)
-                .filter_map(|(_, t)| t.as_ref())
-                .any(|t| old_frontier.contains(t));
+                .flatten()
+                .any(|t| in_old_frontier[t as usize]);
             if hits_frontier {
-                young_frontier.insert(v);
+                young_frontier.push(v);
             }
         }
 
         // Step 2: old nodes not yet reached that are type-A targets of the newly
-        // reached young nodes.
-        let mut next_old_frontier: HashSet<NodeId> = HashSet::new();
+        // reached young nodes (marking on insertion deduplicates).
+        let mut next_old_frontier: Vec<u32> = Vec::new();
         for &v in &young_frontier {
-            slots.clear();
-            if !graph.out_slots_into(v, &mut slots) {
-                continue;
-            }
-            for target in slots.iter().take(half_d).flatten() {
-                if is_old(*target, &class_of) && !old_reached.contains(target) {
-                    next_old_frontier.insert(*target);
+            for target in graph.out_slot_targets_at(v).take(half_d).flatten() {
+                let t = target as usize;
+                if class[t] == CLASS_OLD && !old_reached[t] {
+                    old_reached[t] = true;
+                    next_old_frontier.push(target);
                 }
             }
         }
@@ -227,16 +236,25 @@ pub fn run_onion_skin(model: &StreamingModel) -> OnionSkinTrace {
             break;
         }
 
-        young_reached.extend(young_frontier.iter().copied());
-        old_reached.extend(next_old_frontier.iter().copied());
+        for &v in &young_frontier {
+            young_reached[v as usize] = true;
+        }
+        young_total += young_frontier.len();
+        old_total += next_old_frontier.len();
         phases.push(OnionSkinPhase {
             phase: phases.len(),
             new_young: young_frontier.len(),
             new_old: next_old_frontier.len(),
-            young_total: young_reached.len(),
-            old_total: old_reached.len(),
+            young_total,
+            old_total,
         });
+        for &t in &old_frontier {
+            in_old_frontier[t as usize] = false;
+        }
         old_frontier = next_old_frontier;
+        for &t in &old_frontier {
+            in_old_frontier[t as usize] = true;
+        }
     }
 
     OnionSkinTrace {

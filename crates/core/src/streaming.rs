@@ -273,6 +273,10 @@ impl DynamicNetwork for StreamingModel {
         &self.graph
     }
 
+    fn graph_mut(&mut self) -> &mut DynamicGraph {
+        &mut self.graph
+    }
+
     fn degree_parameter(&self) -> usize {
         self.config.d
     }

@@ -292,7 +292,7 @@ impl ExpansionEstimator {
         let n = snapshot.len();
         let min_size = min_size.max(1);
         let max_size = max_size.min(n / 2);
-        let mut state = SearchState::new(min_size, max_size);
+        let mut state = SearchState::new(n, min_size, max_size);
         if n == 0 || min_size > max_size {
             return state.finish();
         }
@@ -358,15 +358,20 @@ impl ExpansionEstimator {
         for _ in 0..self.config.bfs_sources {
             let source = rng.gen_range(0..n);
             let layers = crate::traversal::bfs_layers(snapshot, source);
-            let mut ball: Vec<usize> = Vec::new();
+            // Grow the ball layer by layer inside one incremental sweep:
+            // evaluating every ball of one source costs O(n + m) total, not
+            // O(n) per ball.
+            state.begin();
+            let mut len = 0usize;
             for layer in layers {
-                ball.extend_from_slice(&layer);
-                if ball.len() > state.max_size {
+                len += layer.len();
+                if len > state.max_size {
                     break;
                 }
-                if ball.len() >= state.min_size {
-                    state.consider(snapshot, &ball, CandidateFamily::BfsBall);
+                for &v in &layer {
+                    state.push(snapshot, v);
                 }
+                state.record(CandidateFamily::BfsBall);
             }
         }
     }
@@ -378,22 +383,23 @@ impl ExpansionEstimator {
         state: &mut SearchState,
     ) {
         let order = spectral_order(snapshot, self.config.spectral_iterations, rng);
-        // Sweep prefixes from both ends of the ordering.
+        // Sweep prefixes from both ends of the ordering, each end as one
+        // incremental sweep (O(n + m) for all prefixes of an ordering — the
+        // classic sweep cut — instead of O(n) per prefix, which is what
+        // makes the estimator usable at n = 10^6).
         for dir in 0..2 {
-            let mut prefix: Vec<usize> = Vec::new();
             let iter: Box<dyn Iterator<Item = &usize>> = if dir == 0 {
                 Box::new(order.iter())
             } else {
                 Box::new(order.iter().rev())
             };
+            state.begin();
             for &i in iter {
-                prefix.push(i);
-                if prefix.len() > state.max_size {
+                if state.size + 1 > state.max_size {
                     break;
                 }
-                if prefix.len() >= state.min_size {
-                    state.consider(snapshot, &prefix, CandidateFamily::SpectralSweep);
-                }
+                state.push(snapshot, i);
+                state.record(CandidateFamily::SpectralSweep);
             }
         }
     }
@@ -421,38 +427,108 @@ impl ExpansionEstimator {
     }
 }
 
+/// The estimator's search accumulator: tracks the worst witness found and
+/// maintains an **incremental** boundary sweep. The member/boundary flag
+/// arrays are allocated once per estimate and reset by undoing only the flags
+/// the previous candidate touched, so evaluating a candidate costs
+/// `O(Δ · d)` in the number of newly added vertices — the prefix families
+/// (BFS balls, spectral sweeps) evaluate *all* their prefixes in one
+/// `O(n + m)` pass instead of `O(n)` per prefix. That asymptotic change is
+/// what scales the estimator from `n ≈ 10^4` to `n = 10^6`.
 struct SearchState {
     min_size: usize,
     max_size: usize,
     worst: Option<ExpansionWitness>,
     evaluated: usize,
+    /// `member[v]` — v is in the current candidate set S.
+    member: Vec<bool>,
+    /// `in_boundary[v]` — v is in ∂_out(S).
+    in_boundary: Vec<bool>,
+    /// Every vertex whose flag was set by the current sweep (for O(Δ) reset).
+    touched: Vec<usize>,
+    /// |S| of the current sweep.
+    size: usize,
+    /// |∂_out(S)| of the current sweep.
+    boundary: usize,
 }
 
 impl SearchState {
-    fn new(min_size: usize, max_size: usize) -> Self {
+    fn new(n: usize, min_size: usize, max_size: usize) -> Self {
         SearchState {
             min_size,
             max_size,
             worst: None,
             evaluated: 0,
+            member: vec![false; n],
+            in_boundary: vec![false; n],
+            touched: Vec::new(),
+            size: 0,
+            boundary: 0,
         }
     }
 
-    fn consider(&mut self, snapshot: &Snapshot, set: &[usize], family: CandidateFamily) {
-        if set.is_empty() || set.len() < self.min_size || set.len() > self.max_size {
+    /// Starts a fresh candidate sweep, undoing only the previous one's flags.
+    fn begin(&mut self) {
+        for &v in &self.touched {
+            self.member[v] = false;
+            self.in_boundary[v] = false;
+        }
+        self.touched.clear();
+        self.size = 0;
+        self.boundary = 0;
+    }
+
+    /// Adds `v` to the current candidate set, maintaining the boundary:
+    /// `v` leaves the boundary if it was in it, and each of its neighbours
+    /// outside the set joins it. Duplicate pushes are ignored.
+    fn push(&mut self, snapshot: &Snapshot, v: usize) {
+        if self.member[v] {
+            return;
+        }
+        if self.in_boundary[v] {
+            self.in_boundary[v] = false;
+            self.boundary -= 1;
+        } else {
+            self.touched.push(v);
+        }
+        self.member[v] = true;
+        self.size += 1;
+        for &u in snapshot.neighbors_of(v) {
+            if !self.member[u] && !self.in_boundary[u] {
+                self.in_boundary[u] = true;
+                self.boundary += 1;
+                self.touched.push(u);
+            }
+        }
+    }
+
+    /// Records the current sweep state as a candidate if its size is in range.
+    fn record(&mut self, family: CandidateFamily) {
+        if self.size < self.min_size || self.size > self.max_size || self.size == 0 {
             return;
         }
         self.evaluated += 1;
-        let boundary = outer_boundary_size(snapshot, set);
-        let ratio = boundary as f64 / set.len() as f64;
+        let ratio = self.boundary as f64 / self.size as f64;
         if self.worst.as_ref().is_none_or(|w| ratio < w.ratio) {
             self.worst = Some(ExpansionWitness {
-                size: set.len(),
-                boundary,
+                size: self.size,
+                boundary: self.boundary,
                 ratio,
                 family,
             });
         }
+    }
+
+    /// One-shot evaluation of an explicit (duplicate-free) candidate set.
+    fn consider(&mut self, snapshot: &Snapshot, set: &[usize], family: CandidateFamily) {
+        if set.is_empty() || set.len() < self.min_size || set.len() > self.max_size {
+            return;
+        }
+        self.begin();
+        for &v in set {
+            self.push(snapshot, v);
+        }
+        self.record(family);
     }
 
     fn finish(self) -> ExpansionEstimate {
@@ -756,6 +832,35 @@ mod tests {
             "random 4-out graph ({random_value}) should out-expand the ring ({ring_value})"
         );
         assert!(ring_value < 0.1, "a long ring is a poor vertex expander");
+    }
+
+    #[test]
+    fn incremental_sweep_matches_outer_boundary() {
+        let mut r = rng();
+        let g = generators::d_out_random_graph(120, 3, &mut r);
+        let snap = Snapshot::of(&g);
+        let mut state = SearchState::new(snap.len(), 1, snap.len() / 2);
+        let mut indices: Vec<usize> = (0..snap.len()).collect();
+        for _ in 0..20 {
+            indices.shuffle(&mut r);
+            let size = r.gen_range(1..=snap.len() / 2);
+            let set = &indices[..size];
+            state.begin();
+            for &v in set {
+                state.push(&snap, v);
+            }
+            assert_eq!(state.size, size);
+            assert_eq!(
+                state.boundary,
+                outer_boundary_size(&snap, set),
+                "incremental boundary must match the from-scratch count"
+            );
+        }
+        // Duplicate pushes are ignored.
+        state.begin();
+        state.push(&snap, 0);
+        state.push(&snap, 0);
+        assert_eq!(state.size, 1);
     }
 
     #[test]

@@ -68,6 +68,66 @@ pub struct DenseHandle {
     pub generation: u32,
 }
 
+/// A compact per-round change feed of a [`DynamicGraph`], for observers that
+/// want to keep derived structures (incremental snapshots, live metric
+/// trackers) in sync at O(changes) cost instead of rescanning the graph.
+///
+/// Recording is opt-in ([`DynamicGraph::set_delta_recording`]); with no
+/// subscriber attached every mutator pays exactly one branch. The feed is a
+/// *dirty set*, not an event log: consumers reconcile each listed cell against
+/// the graph's **final** state for the window (births/deaths carry the
+/// identifiers so per-node lifecycle bookkeeping — e.g. lifetime-isolation
+/// confirmation — stays possible even when a cell is recycled within one
+/// window).
+///
+/// Contract:
+///
+/// * `dirty` lists every slab cell whose occupancy or undirected adjacency
+///   *may* have changed since the last [`DynamicGraph::take_delta_into`].
+///   Duplicates are allowed; vacant or recycled cells are allowed. A cell not
+///   listed is guaranteed unchanged.
+/// * `births` / `deaths` list node insertions/removals in event order, as
+///   `(dense index, identifier)` pairs. A cell recycled within one window
+///   appears in both (death of the old occupant, birth of the new one); the
+///   indices of both are also in `dirty`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Nodes inserted during the window, in event order.
+    pub births: Vec<(u32, NodeId)>,
+    /// Nodes removed during the window, in event order.
+    pub deaths: Vec<(u32, NodeId)>,
+    /// Slab cells whose occupancy/adjacency may have changed (duplicates and
+    /// since-vacated cells allowed; unlisted cells are unchanged).
+    pub dirty: Vec<u32>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the delta, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.births.clear();
+        self.deaths.clear();
+        self.dirty.clear();
+    }
+
+    /// Returns `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.births.is_empty() && self.deaths.is_empty() && self.dirty.is_empty()
+    }
+
+    /// Number of churn events (births plus deaths) in the window.
+    #[must_use]
+    pub fn churn_events(&self) -> usize {
+        self.births.len() + self.deaths.len()
+    }
+}
+
 /// Identifies one of the `d` out-going connection requests a node owns.
 ///
 /// The paper distinguishes, for every node `v`, between *out-edges* (the
@@ -333,6 +393,9 @@ pub struct DynamicGraph {
     /// Smallest raw identifier the next insertion may use without clearing
     /// `id_sorted` (one past the largest identifier inserted so far).
     next_sorted_id: u64,
+    /// Change feed for observers (`None` while no subscriber is attached, so
+    /// the mutators pay one branch). Boxed to keep the graph struct lean.
+    delta: Option<Box<GraphDelta>>,
 }
 
 impl Default for DynamicGraph {
@@ -360,6 +423,49 @@ impl DynamicGraph {
             generations: Vec::with_capacity(nodes),
             id_sorted: true,
             next_sorted_id: 0,
+            delta: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Change feed
+    // ------------------------------------------------------------------
+
+    /// Enables or disables [`GraphDelta`] recording. Enabling starts an empty
+    /// window; disabling drops whatever was recorded. With recording off (the
+    /// default) every mutator pays exactly one branch for the feature.
+    pub fn set_delta_recording(&mut self, enabled: bool) {
+        if enabled {
+            if self.delta.is_none() {
+                self.delta = Some(Box::default());
+            }
+        } else {
+            self.delta = None;
+        }
+    }
+
+    /// Returns `true` while [`GraphDelta`] recording is enabled.
+    #[must_use]
+    pub fn delta_recording(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Moves the recorded delta window into `out` (cleared first) and starts
+    /// a fresh window. A no-op (beyond clearing `out`) when recording is
+    /// disabled. Buffer capacity is recycled in both directions, so a caller
+    /// draining once per round allocates nothing in steady state.
+    pub fn take_delta_into(&mut self, out: &mut GraphDelta) {
+        out.clear();
+        if let Some(delta) = self.delta.as_deref_mut() {
+            std::mem::swap(delta, out);
+        }
+    }
+
+    /// Marks a cell dirty in the change feed (no-op while recording is off).
+    #[inline]
+    fn mark_dirty(&mut self, idx: u32) {
+        if let Some(delta) = self.delta.as_deref_mut() {
+            delta.dirty.push(idx);
         }
     }
 
@@ -630,6 +736,45 @@ impl DynamicGraph {
             .map(|rec| rec.in_refs.len())
     }
 
+    /// Iterates the out-slot targets of the node at `idx`, in slot order —
+    /// `None` for an unconnected slot. Yields nothing when the cell is vacant
+    /// or out of range. This is the allocation-free dense flavour of
+    /// [`Self::out_slots`] / [`Self::empty_out_slots`]: overlay maintenance
+    /// loops walk it to find empty slots without touching the identifier map.
+    pub fn out_slot_targets_at(&self, idx: u32) -> impl Iterator<Item = Option<u32>> + '_ {
+        self.slab
+            .get(idx as usize)
+            .and_then(|cell| cell.as_ref())
+            .into_iter()
+            .flat_map(|rec| rec.out_slots.iter().map(|t| (t != NO_TARGET).then_some(t)))
+    }
+
+    /// Returns `true` when the alive nodes at `u` and `v` are adjacent in
+    /// either direction. Dense flavour of [`Self::has_edge`]: one record
+    /// access and two short linear scans, no hashing. `false` when either
+    /// cell is vacant or out of range.
+    #[must_use]
+    pub fn has_edge_at(&self, u: u32, v: u32) -> bool {
+        let Some(rec) = self.slab.get(u as usize).and_then(|cell| cell.as_ref()) else {
+            return false;
+        };
+        self.occupied(v) && (rec.out_slots.contains(v) || rec.in_refs.contains(v))
+    }
+
+    /// Number of incident links of the node at `idx`, *with multiplicity*
+    /// (its own connected out-slots plus the out-slots of others pointing at
+    /// it). `None` when the cell is vacant. O(d); zero iff the node is
+    /// isolated in the sense of Lemmas 3.5 / 4.10. This is the degree proxy
+    /// adversarial targeted-by-degree churn maximises — cheaper than the
+    /// distinct-neighbour degree, and identical except on multi-edges.
+    #[must_use]
+    pub fn incident_link_count_at(&self, idx: u32) -> Option<usize> {
+        self.slab
+            .get(idx as usize)
+            .and_then(|cell| cell.as_ref())
+            .map(|rec| rec.filled_out() + rec.in_refs.len())
+    }
+
     /// The owner (dense index) of the earliest-recorded surviving in-reference
     /// of the node at `idx`, or `None` when the cell is vacant or has no
     /// in-references.
@@ -673,6 +818,10 @@ impl DynamicGraph {
             .expect("in-reference implies a pointing out-slot");
         owner_rec.out_slots.set(slot, NO_TARGET);
         self.filled_slots -= 1;
+        if self.delta.is_some() {
+            self.mark_dirty(idx);
+            self.mark_dirty(owner);
+        }
         Some((owner, slot))
     }
 
@@ -746,6 +895,10 @@ impl DynamicGraph {
         self.next_sorted_id = self.next_sorted_id.max(id.raw().saturating_add(1));
         self.members.push(idx);
         self.index.insert(id, idx);
+        if let Some(delta) = self.delta.as_deref_mut() {
+            delta.births.push((idx, id));
+            delta.dirty.push(idx);
+        }
         Ok(idx)
     }
 
@@ -840,11 +993,20 @@ impl DynamicGraph {
             if prev != target_idx {
                 self.dec_in_ref(prev, owner_idx);
                 self.inc_in_ref(target_idx, owner_idx);
+                if self.delta.is_some() {
+                    self.mark_dirty(owner_idx);
+                    self.mark_dirty(prev);
+                    self.mark_dirty(target_idx);
+                }
             }
             // filled count unchanged: slot was already occupied
         } else {
             self.inc_in_ref(target_idx, owner_idx);
             self.filled_slots += 1;
+            if self.delta.is_some() {
+                self.mark_dirty(owner_idx);
+                self.mark_dirty(target_idx);
+            }
         }
         Ok((prev != NO_TARGET).then_some(prev))
     }
@@ -891,6 +1053,10 @@ impl DynamicGraph {
         if prev != NO_TARGET {
             self.dec_in_ref(prev, owner_idx);
             self.filled_slots -= 1;
+            if self.delta.is_some() {
+                self.mark_dirty(owner_idx);
+                self.mark_dirty(prev);
+            }
         }
         Ok((prev != NO_TARGET).then_some(prev))
     }
@@ -942,6 +1108,16 @@ impl DynamicGraph {
             .ok_or(GraphError::VacantIndex(idx))?;
         out.id = record.id;
         self.index.remove(&record.id);
+        if let Some(delta) = self.delta.as_deref_mut() {
+            delta.deaths.push((idx, record.id));
+            delta.dirty.push(idx);
+            // Every endpoint of an incident edge changes adjacency: the dead
+            // node's own targets and the owners of the slots pointing at it.
+            delta
+                .dirty
+                .extend(record.out_slots.iter().filter(|&t| t != NO_TARGET));
+            delta.dirty.extend(record.in_refs.iter());
+        }
 
         // Unhook from the dense member list (swap-remove, O(1)).
         let pos = record.member_pos as usize;
@@ -1753,6 +1929,123 @@ mod tests {
         g.add_node(id(3), 0).unwrap();
         assert!(!g.id_sorted_layout());
         g.assert_invariants();
+    }
+
+    #[test]
+    fn dense_edge_and_slot_queries_mirror_id_api() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..4 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        g.set_out_slot(id(0), 1, id(1)).unwrap();
+        g.set_out_slot(id(2), 0, id(0)).unwrap();
+        let at = |raw: u64| g.dense_index_of(id(raw)).unwrap();
+        let (zero, one, two, three) = (at(0), at(1), at(2), at(3));
+
+        assert!(g.has_edge_at(zero, one) && g.has_edge_at(one, zero));
+        assert!(g.has_edge_at(zero, two) && g.has_edge_at(two, zero));
+        assert!(!g.has_edge_at(zero, three));
+        assert!(!g.has_edge_at(99, zero) && !g.has_edge_at(zero, 99));
+
+        let slots: Vec<Option<u32>> = g.out_slot_targets_at(zero).collect();
+        assert_eq!(slots, vec![None, Some(one)]);
+        assert_eq!(g.out_slot_targets_at(99).count(), 0);
+
+        assert_eq!(g.incident_link_count_at(zero), Some(2));
+        assert_eq!(g.incident_link_count_at(three), Some(0));
+        assert_eq!(g.incident_link_count_at(99), None);
+
+        g.remove_node(id(1)).unwrap();
+        assert!(!g.has_edge_at(zero, one), "dead endpoint has no edges");
+    }
+
+    #[test]
+    fn delta_recording_tracks_churn_and_dirty_cells() {
+        let mut g = DynamicGraph::new();
+        let mut delta = GraphDelta::new();
+        // Recording off: mutations leave the drained delta empty.
+        g.add_node(id(0), 2).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.is_empty());
+
+        g.set_delta_recording(true);
+        assert!(g.delta_recording());
+        let b = g.add_node_indexed(id(1), 2).unwrap();
+        let c = g.add_node_indexed(id(2), 2).unwrap();
+        let a = g.dense_index_of(id(0)).unwrap();
+        g.set_out_slot_at(a, 0, b).unwrap();
+        g.take_delta_into(&mut delta);
+        assert_eq!(delta.births, vec![(b, id(1)), (c, id(2))]);
+        assert!(delta.deaths.is_empty());
+        assert_eq!(delta.churn_events(), 2);
+        // Births, the slot owner and the slot target are all dirty.
+        for idx in [a, b, c] {
+            assert!(delta.dirty.contains(&idx), "cell {idx} must be dirty");
+        }
+
+        // Re-pointing a slot dirties owner, old target and new target.
+        g.set_out_slot_at(a, 0, c).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.births.is_empty() && delta.deaths.is_empty());
+        for idx in [a, b, c] {
+            assert!(delta.dirty.contains(&idx), "cell {idx} must be dirty");
+        }
+
+        // Idempotent re-point records nothing.
+        g.set_out_slot_at(a, 0, c).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.is_empty());
+
+        // A removal dirties the dead cell and every surviving endpoint.
+        g.set_out_slot_at(b, 0, c).unwrap();
+        g.take_delta_into(&mut delta);
+        let removed = g.remove_node_at(c).unwrap();
+        assert_eq!(removed.id, id(2));
+        g.take_delta_into(&mut delta);
+        assert_eq!(delta.deaths, vec![(c, id(2))]);
+        for idx in [a, b, c] {
+            assert!(delta.dirty.contains(&idx), "cell {idx} must be dirty");
+        }
+
+        // Recycling within one window reports both lifecycle events.
+        let reused = g.add_node_indexed(id(3), 1).unwrap();
+        assert_eq!(reused, c);
+        g.remove_node_at(reused).unwrap();
+        g.take_delta_into(&mut delta);
+        assert_eq!(delta.births, vec![(c, id(3))]);
+        assert_eq!(delta.deaths, vec![(c, id(3))]);
+
+        g.set_delta_recording(false);
+        g.add_node(id(9), 1).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.is_empty());
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn delta_records_clear_and_shed_operations() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..3 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        let at = |raw: u64, g: &DynamicGraph| g.dense_index_of(id(raw)).unwrap();
+        g.set_out_slot(id(1), 0, id(0)).unwrap();
+        g.set_out_slot(id(2), 0, id(0)).unwrap();
+        g.set_delta_recording(true);
+        let mut delta = GraphDelta::new();
+
+        g.clear_out_slot(id(1), 0).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.dirty.contains(&at(1, &g)) && delta.dirty.contains(&at(0, &g)));
+
+        g.shed_oldest_in_ref(at(0, &g)).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.dirty.contains(&at(0, &g)) && delta.dirty.contains(&at(2, &g)));
+
+        // Clearing an already-empty slot records nothing.
+        g.clear_out_slot(id(1), 0).unwrap();
+        g.take_delta_into(&mut delta);
+        assert!(delta.is_empty());
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub mod metrics;
 pub mod traversal;
 
 pub use error::GraphError;
-pub use graph::{DenseHandle, DynamicGraph, EdgeSlot, RemovedNode};
+pub use graph::{DenseHandle, DynamicGraph, EdgeSlot, GraphDelta, RemovedNode};
 pub use node::{NodeId, NodeIdAllocator};
 pub use snapshot::Snapshot;
 

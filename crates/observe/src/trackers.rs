@@ -1,0 +1,179 @@
+//! Lifecycle-aware trackers: lifetime isolation and informed-set overlap.
+
+use churn_graph::{DynamicGraph, GraphDelta, NodeId};
+
+/// Tracks which of a population of *currently isolated* nodes stay isolated
+/// for the rest of their lifetime (Lemmas 3.5 / 4.10): a candidate is
+/// *confirmed* when it dies without ever having been seen with an incident
+/// edge, and *disqualified* the moment a delta window leaves it with one.
+///
+/// Per-round cost is O(delta): deaths are checked against the candidate set
+/// by slab index, and only dirty cells pay the incident-link probe. This
+/// replaces the `lifetime_isolation_report` pattern of cloning the model and
+/// re-scanning every candidate per round, which capped the isolation
+/// experiments at `n ≈ 10^4`.
+///
+/// Granularity: like every observer in this crate, the disqualification
+/// probe reconciles against the window's **final** state — a candidate that
+/// transiently gains and loses an edge *inside* one window (possible under
+/// Poisson churn, where a time unit spans many events) is kept, exactly as
+/// the per-unit boundary rescan of `lifetime_isolation_report` keeps it.
+/// With one delta window per `advance_time_unit` the two computations agree
+/// exactly, on both churn drivers (pinned by `tests/determinism.rs`); only
+/// the cost model differs.
+#[derive(Debug, Clone)]
+pub struct LifetimeIsolation {
+    /// Candidate flags by slab index.
+    candidate: Vec<bool>,
+    remaining: usize,
+    /// Identifiers of the initial isolated population, sorted.
+    initial: Vec<NodeId>,
+    /// Candidates that died while still isolated.
+    confirmed: Vec<NodeId>,
+}
+
+impl LifetimeIsolation {
+    /// Starts tracking from the graph's currently isolated nodes.
+    #[must_use]
+    pub fn start(graph: &DynamicGraph) -> Self {
+        let mut candidate = vec![false; graph.slab_len()];
+        let mut initial = Vec::new();
+        for &idx in graph.member_indices() {
+            if graph.incident_link_count_at(idx) == Some(0) {
+                candidate[idx as usize] = true;
+                initial.push(graph.id_at(idx).expect("member cells are occupied"));
+            }
+        }
+        initial.sort_unstable();
+        let remaining = initial.len();
+        LifetimeIsolation {
+            candidate,
+            remaining,
+            initial,
+            confirmed: Vec::new(),
+        }
+    }
+
+    /// The isolated population at start time, sorted by identifier.
+    #[must_use]
+    pub fn initial_isolated(&self) -> &[NodeId] {
+        &self.initial
+    }
+
+    /// Candidates still alive and never seen with an edge.
+    #[must_use]
+    pub fn remaining_candidates(&self) -> usize {
+        self.remaining
+    }
+
+    /// Candidates that already died while still isolated.
+    #[must_use]
+    pub fn confirmed_count(&self) -> usize {
+        self.confirmed.len()
+    }
+
+    /// Processes one delta window: candidate deaths confirm (death order in
+    /// the feed precedes any same-window rebirth of the cell, so recycling
+    /// cannot resurrect a candidacy), and dirty candidates that picked up an
+    /// incident link are disqualified for good.
+    pub fn apply(&mut self, graph: &DynamicGraph, delta: &GraphDelta) {
+        // Cells appended to the slab after `start` can never be candidates;
+        // grow the flag array so their indices stay addressable.
+        if self.candidate.len() < graph.slab_len() {
+            self.candidate.resize(graph.slab_len(), false);
+        }
+        for &(idx, id) in &delta.deaths {
+            let slot = &mut self.candidate[idx as usize];
+            if *slot {
+                *slot = false;
+                self.remaining -= 1;
+                self.confirmed.push(id);
+            }
+        }
+        for &idx in &delta.dirty {
+            let slot = &mut self.candidate[idx as usize];
+            if *slot && graph.incident_link_count_at(idx) != Some(0) {
+                *slot = false;
+                self.remaining -= 1;
+            }
+        }
+    }
+
+    /// Finishes the observation: every confirmed candidate plus every
+    /// candidate still alive (and still isolated — it has been for the whole
+    /// window), sorted by identifier. Mirrors the counting rule of
+    /// `churn_core::isolated::lifetime_isolation_report`.
+    #[must_use]
+    pub fn finish(mut self, graph: &DynamicGraph) -> Vec<NodeId> {
+        for (idx, &is_candidate) in self.candidate.iter().enumerate() {
+            if is_candidate {
+                let id = graph
+                    .id_at(idx as u32)
+                    .expect("alive candidates occupy their recorded cell");
+                self.confirmed.push(id);
+            }
+        }
+        self.confirmed.sort_unstable();
+        self.confirmed
+    }
+}
+
+/// Tracks the overlap between a flooding process's informed set and the
+/// alive population, O(newly informed + deaths) per round: the flooding
+/// engine feeds `newly_informed_dense` after each step, the delta's deaths
+/// retire entries, and the count is available without rescanning either set.
+#[derive(Debug, Clone, Default)]
+pub struct InformedOverlap {
+    informed: Vec<bool>,
+    count: usize,
+}
+
+impl InformedOverlap {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the node in slab cell `idx` informed (idempotent).
+    pub fn mark(&mut self, idx: u32) {
+        let i = idx as usize;
+        if self.informed.len() <= i {
+            self.informed.resize(i + 1, false);
+        }
+        if !self.informed[i] {
+            self.informed[i] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Retires the informed marks of every death in the window. Process the
+    /// delta **before** marking the round's newly informed nodes, so a cell
+    /// recycled by a newborn that got informed in the same round survives.
+    pub fn apply(&mut self, delta: &GraphDelta) {
+        for &(idx, _) in &delta.deaths {
+            if let Some(flag) = self.informed.get_mut(idx as usize) {
+                if *flag {
+                    *flag = false;
+                    self.count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Number of informed alive nodes.
+    #[must_use]
+    pub fn informed_alive(&self) -> usize {
+        self.count
+    }
+
+    /// Fraction of `alive` nodes that are informed (0 for an empty network).
+    #[must_use]
+    pub fn overlap_fraction(&self, alive: usize) -> f64 {
+        if alive == 0 {
+            0.0
+        } else {
+            self.count as f64 / alive as f64
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Property suite pinning the observer contracts:
+//!
+//! * [`IncrementalSnapshot`] materialises **bit-identically** to
+//!   [`Snapshot::of`] after arbitrary churn/rewire sequences, including cell
+//!   recycling, at any patch/rebuild mix;
+//! * [`LiveMetrics`] matches its from-scratch recomputation after the same
+//!   sequences.
+//!
+//! The operation stream deliberately mirrors what the churn models generate
+//! (join, leave, re-point, clear, shed) and is applied in *windows*, with one
+//! delta taken and applied per window — so recycling within a window, empty
+//! windows and windows crossing the rebuild threshold are all exercised.
+
+use churn_graph::{DynamicGraph, GraphDelta, NodeId, Snapshot};
+use churn_observe::{ApplyOutcome, IncrementalSnapshot, LiveMetrics};
+use proptest::prelude::*;
+
+/// A random mutation applied to the graph under test.
+#[derive(Debug, Clone)]
+enum Op {
+    Add {
+        out_degree: usize,
+    },
+    Remove {
+        victim: usize,
+    },
+    Rewire {
+        owner: usize,
+        slot: usize,
+        target: usize,
+    },
+    Clear {
+        owner: usize,
+        slot: usize,
+    },
+    Shed {
+        target: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..5).prop_map(|out_degree| Op::Add { out_degree }),
+        (0usize..48).prop_map(|victim| Op::Remove { victim }),
+        (0usize..48, 0usize..5, 0usize..48).prop_map(|(owner, slot, target)| Op::Rewire {
+            owner,
+            slot,
+            target
+        }),
+        (0usize..48, 0usize..5).prop_map(|(owner, slot)| Op::Clear { owner, slot }),
+        (0usize..48).prop_map(|target| Op::Shed { target }),
+    ]
+}
+
+/// Applies one op, ignoring rejected ones (the point is the mirror equality,
+/// not that every random op is valid).
+fn apply_op(g: &mut DynamicGraph, alive: &mut Vec<NodeId>, next_id: &mut u64, op: &Op) {
+    match *op {
+        Op::Add { out_degree } => {
+            let id = NodeId::new(*next_id);
+            *next_id += 1;
+            g.add_node(id, out_degree).expect("fresh identifier");
+            alive.push(id);
+        }
+        Op::Remove { victim } => {
+            if alive.is_empty() {
+                return;
+            }
+            let id = alive.swap_remove(victim % alive.len());
+            g.remove_node(id).expect("victim is alive");
+        }
+        Op::Rewire {
+            owner,
+            slot,
+            target,
+        } => {
+            if alive.is_empty() {
+                return;
+            }
+            let owner = alive[owner % alive.len()];
+            let target = alive[target % alive.len()];
+            let _ = g.set_out_slot(owner, slot, target);
+        }
+        Op::Clear { owner, slot } => {
+            if alive.is_empty() {
+                return;
+            }
+            let owner = alive[owner % alive.len()];
+            let _ = g.clear_out_slot(owner, slot);
+        }
+        Op::Shed { target } => {
+            if alive.is_empty() {
+                return;
+            }
+            let target = alive[target % alive.len()];
+            let idx = g.dense_index_of(target).expect("alive node has an index");
+            let _ = g.shed_oldest_in_ref(idx);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole contract: after every window, the incrementally patched
+    /// view materialises exactly `Snapshot::of`, and the live metrics match
+    /// their from-scratch recomputation.
+    #[test]
+    fn observers_match_from_scratch_recomputation(
+        prefix in proptest::collection::vec(op_strategy(), 0..40),
+        windows in proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..12), 1..10),
+        rebuild_fraction in prop_oneof![Just(0.25f64), Just(1e-9), Just(1.0)],
+        threads in prop_oneof![Just(1usize), Just(3)],
+    ) {
+        let mut g = DynamicGraph::new();
+        let mut alive: Vec<NodeId> = Vec::new();
+        let mut next_id = 0u64;
+        // Un-observed prefix: whatever happened before the subscriber
+        // attached must not matter.
+        for op in &prefix {
+            apply_op(&mut g, &mut alive, &mut next_id, op);
+        }
+
+        g.set_delta_recording(true);
+        let mut inc = IncrementalSnapshot::new(&g)
+            .with_rebuild_fraction(rebuild_fraction)
+            .with_threads(threads);
+        let mut metrics = LiveMetrics::new(&g);
+        let mut delta = GraphDelta::new();
+        let mut patched_windows = 0usize;
+        let mut rebuilt_windows = 0usize;
+
+        for window in &windows {
+            for op in window {
+                apply_op(&mut g, &mut alive, &mut next_id, op);
+            }
+            g.take_delta_into(&mut delta);
+            inc.apply(&g, &delta);
+            metrics.apply(&g, &delta);
+            // Empty windows trivially patch zero cells regardless of the
+            // threshold; only count windows that actually carried changes.
+            if !delta.dirty.is_empty() {
+                match inc.last_outcome() {
+                    ApplyOutcome::Patched { .. } => patched_windows += 1,
+                    ApplyOutcome::Rebuilt => rebuilt_windows += 1,
+                }
+            }
+
+            // Snapshot equality is the strongest statement: ids, offsets and
+            // adjacency all agree bit for bit.
+            let reference = Snapshot::of(&g);
+            prop_assert_eq!(inc.to_snapshot(), reference.clone());
+            prop_assert_eq!(inc.alive(), g.len());
+            prop_assert_eq!(inc.edge_count(), reference.edge_count());
+            for &idx in g.member_indices() {
+                let id = g.id_at(idx).unwrap();
+                prop_assert_eq!(inc.degree_at(idx), reference.degree(id));
+            }
+
+            // Metrics against a from-scratch tracker.
+            let fresh = LiveMetrics::new(&g);
+            prop_assert_eq!(metrics.summary(), fresh.summary());
+            prop_assert_eq!(metrics.isolated_count(), fresh.isolated_count());
+            prop_assert_eq!(metrics.max_in_requests(), fresh.max_in_requests());
+        }
+
+        // The threshold knob really selects the path: with an (effectively)
+        // zero threshold every non-empty window rebuilds, with fraction 1 on
+        // small windows it patches.
+        if rebuild_fraction < 1e-6 {
+            // Zero threshold must always rebuild.
+            prop_assert_eq!(patched_windows, 0);
+        }
+        let _ = rebuilt_windows;
+    }
+}
+
+/// Deterministic regression: a round-shaped recycling pattern (death then
+/// rebirth in the same window, recycled dense index) that once would hide
+/// behind rare proptest draws.
+#[test]
+fn same_window_recycling_is_reconciled() {
+    let mut g = DynamicGraph::new();
+    for raw in 0..6u64 {
+        g.add_node(NodeId::new(raw), 2).unwrap();
+    }
+    for raw in 0..5u64 {
+        g.set_out_slot(NodeId::new(raw), 0, NodeId::new(raw + 1))
+            .unwrap();
+    }
+    g.set_delta_recording(true);
+    let mut inc = IncrementalSnapshot::new(&g);
+    let mut metrics = LiveMetrics::new(&g);
+    let mut delta = GraphDelta::new();
+
+    // Kill node 2 and let node 10 recycle its cell within one window; also
+    // re-point a survivor's slot at the newcomer.
+    let idx2 = g.dense_index_of(NodeId::new(2)).unwrap();
+    g.remove_node(NodeId::new(2)).unwrap();
+    let idx10 = g
+        .add_node_indexed(NodeId::new(10), 2)
+        .expect("fresh identifier");
+    assert_eq!(idx10, idx2, "the freed cell must be recycled");
+    g.set_out_slot(NodeId::new(0), 1, NodeId::new(10)).unwrap();
+    g.take_delta_into(&mut delta);
+    inc.apply(&g, &delta);
+    metrics.apply(&g, &delta);
+
+    assert_eq!(inc.to_snapshot(), Snapshot::of(&g));
+    assert_eq!(metrics.summary(), LiveMetrics::new(&g).summary());
+}

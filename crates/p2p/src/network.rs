@@ -41,6 +41,8 @@ pub struct P2pNetwork {
     newest: Option<NodeId>,
     /// Reused dense-neighbour buffer of the gossip relay loop.
     gossip_scratch: Vec<u32>,
+    /// Reused empty-slot buffer of the outbound dialling loop.
+    slot_scratch: Vec<usize>,
     /// Counters updated as the simulation runs, exposed via [`Self::stats`].
     connect_attempts: u64,
     connect_successes: u64,
@@ -81,6 +83,7 @@ impl P2pNetwork {
             alloc: NodeIdAllocator::new(),
             newest: None,
             gossip_scratch: Vec::new(),
+            slot_scratch: Vec::new(),
             connect_attempts: 0,
             connect_successes: 0,
             stale_addresses_pruned: 0,
@@ -161,15 +164,31 @@ impl P2pNetwork {
 
     /// Tries to fill every empty outbound slot of `peer` with a connection to an
     /// address from its address manager, respecting the targets' inbound caps.
+    ///
+    /// Runs on the graph's dense slab indices (mirroring the PR 3 port of the
+    /// gossip relay): the peer resolves through the identifier map once, the
+    /// empty-slot scan walks the record's slot array directly into a reused
+    /// buffer, and each dialled candidate pays exactly one identifier lookup
+    /// (`dense_index_of`, which doubles as the liveness check) — the
+    /// per-candidate `contains` / `has_edge` / `in_request_count` /
+    /// `set_out_slot` hash resolutions of the identifier API are gone. The
+    /// addrman sampling order is unchanged, so trajectories are identical.
     fn fill_outbound(&mut self, peer: NodeId) {
+        let Some(peer_idx) = self.graph.dense_index_of(peer) else {
+            return;
+        };
         let Some(mut addrman) = self.addrmans.remove(&peer) else {
             return;
         };
-        let empty_slots = self
-            .graph
-            .empty_out_slots(peer)
-            .expect("peer is alive while maintaining it");
-        for slot in empty_slots {
+        let mut empty_slots = std::mem::take(&mut self.slot_scratch);
+        empty_slots.clear();
+        empty_slots.extend(
+            self.graph
+                .out_slot_targets_at(peer_idx)
+                .enumerate()
+                .filter_map(|(slot, target)| target.is_none().then_some(slot)),
+        );
+        for &slot in &empty_slots {
             // A handful of attempts per slot, like a dialler working through its
             // address table.
             for _ in 0..8 {
@@ -180,29 +199,30 @@ impl P2pNetwork {
                 if candidate == peer {
                     continue;
                 }
-                if !self.graph.contains(candidate) {
+                let Some(candidate_idx) = self.graph.dense_index_of(candidate) else {
                     // Stale address: the peer has gone offline; prune it.
                     addrman.remove(candidate);
                     self.stale_addresses_pruned += 1;
                     continue;
-                }
-                if self.graph.has_edge(peer, candidate) {
+                };
+                if self.graph.has_edge_at(peer_idx, candidate_idx) {
                     continue; // already connected (either direction)
                 }
                 let inbound = self
                     .graph
-                    .in_request_count(candidate)
+                    .in_request_count_at(candidate_idx)
                     .expect("candidate is alive");
                 if inbound >= self.config.max_inbound {
                     continue;
                 }
                 self.graph
-                    .set_out_slot(peer, slot, candidate)
+                    .set_out_slot_at(peer_idx, slot, candidate_idx)
                     .expect("valid connection");
                 self.connect_successes += 1;
                 break;
             }
         }
+        self.slot_scratch = empty_slots;
         self.addrmans.insert(peer, addrman);
     }
 
@@ -329,6 +349,10 @@ impl PoissonChurnHost for P2pNetwork {
 impl DynamicNetwork for P2pNetwork {
     fn graph(&self) -> &DynamicGraph {
         &self.graph
+    }
+
+    fn graph_mut(&mut self) -> &mut DynamicGraph {
+        &mut self.graph
     }
 
     fn degree_parameter(&self) -> usize {

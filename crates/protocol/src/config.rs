@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use churn_core::{ModelError, Result};
+use churn_core::{ModelError, Result, VictimPolicy};
 
 /// What a contacted node does with a connection request once its in-degree has
 /// reached the cap `⌊c·d⌋`.
@@ -100,6 +100,13 @@ pub struct RaesConfig {
     pub saturation: SaturationPolicy,
     /// The churn process underneath the protocol.
     pub churn: ChurnDriver,
+    /// How Poisson death events pick their victim: the paper's uniform
+    /// churn, or an adversarial (oldest-first / highest-degree) selection —
+    /// the robustness question for a bounded-degree expander-maintenance
+    /// protocol. Streaming churn is structurally oldest-first, so only
+    /// [`VictimPolicy::Uniform`] and [`VictimPolicy::OldestFirst`] validate
+    /// there.
+    pub victim_policy: VictimPolicy,
     /// RNG seed; identical configurations evolve identically.
     pub seed: u64,
 }
@@ -122,8 +129,16 @@ impl RaesConfig {
             c: Self::DEFAULT_CAPACITY_FACTOR,
             saturation: SaturationPolicy::default(),
             churn: ChurnDriver::default(),
+            victim_policy: VictimPolicy::Uniform,
             seed: 0,
         }
+    }
+
+    /// Sets the death-victim selection policy.
+    #[must_use]
+    pub fn victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim_policy = policy;
+        self
     }
 
     /// Sets the in-degree capacity factor `c`.
@@ -167,9 +182,11 @@ impl RaesConfig {
     /// # Errors
     ///
     /// Returns [`ModelError::NetworkTooSmall`] if `n < 2`,
-    /// [`ModelError::InvalidDegree`] if `d == 0` and
+    /// [`ModelError::InvalidDegree`] if `d == 0`,
     /// [`ModelError::InvalidCapacityFactor`] unless `c` is finite and at
-    /// least 1.
+    /// least 1, and [`ModelError::UnsupportedVictimPolicy`] for
+    /// degree-targeted deaths on streaming churn (whose death schedule is
+    /// structurally fixed).
     pub fn validate(&self) -> Result<()> {
         if self.n < churn_core::MIN_NETWORK_SIZE {
             return Err(ModelError::NetworkTooSmall {
@@ -182,6 +199,13 @@ impl RaesConfig {
         }
         if !(self.c.is_finite() && self.c >= 1.0) {
             return Err(ModelError::InvalidCapacityFactor { value: self.c });
+        }
+        if self.churn == ChurnDriver::Streaming && self.victim_policy == VictimPolicy::HighestDegree
+        {
+            return Err(ModelError::UnsupportedVictimPolicy {
+                kind: "RAES",
+                policy: self.victim_policy.label(),
+            });
         }
         Ok(())
     }

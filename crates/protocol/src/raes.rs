@@ -8,7 +8,7 @@ use churn_stochastic::process::{BirthDeathChain, Jump};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 use serde::{Deserialize, Serialize};
 
-use churn_core::driver::{self, ChurnHost, JumpClock, PoissonChurnHost};
+use churn_core::driver::{self, ChurnHost, JumpClock, PoissonChurnHost, VictimPolicy};
 use churn_core::{ChurnSummary, DynamicNetwork, EdgePolicy, ModelEvent, ModelKind, Result};
 
 use crate::{ChurnDriver, RaesConfig, SaturationPolicy};
@@ -369,6 +369,14 @@ impl RaesModel {
         }
         self.birth_time.insert(id, time);
         self.newest = Some(id);
+        // The streaming driver maintains the birth-order queue itself; under
+        // Poisson churn the queue is only needed (and only maintained) for
+        // the oldest-first adversarial victim policy.
+        if self.config.churn == ChurnDriver::Poisson
+            && self.config.victim_policy == VictimPolicy::OldestFirst
+        {
+            self.order.push_back((id, idx));
+        }
         (id, idx)
     }
 
@@ -530,21 +538,31 @@ impl PoissonChurnHost for RaesModel {
     }
 
     fn sample_victim(&mut self) -> (NodeId, u32) {
-        let victim_idx = self
-            .graph
-            .sample_member(&mut self.rng)
-            .expect("a death event implies at least one alive node");
-        let victim = self
-            .graph
-            .id_at(victim_idx)
-            .expect("sampled member is alive");
-        (victim, victim_idx)
+        match self.config.victim_policy {
+            VictimPolicy::Uniform => {
+                let victim_idx = self
+                    .graph
+                    .sample_member(&mut self.rng)
+                    .expect("a death event implies at least one alive node");
+                let victim = self
+                    .graph
+                    .id_at(victim_idx)
+                    .expect("sampled member is alive");
+                (victim, victim_idx)
+            }
+            VictimPolicy::OldestFirst => driver::oldest_alive_victim(&self.graph, &mut self.order),
+            VictimPolicy::HighestDegree => driver::highest_degree_victim(&self.graph),
+        }
     }
 }
 
 impl DynamicNetwork for RaesModel {
     fn graph(&self) -> &DynamicGraph {
         &self.graph
+    }
+
+    fn graph_mut(&mut self) -> &mut DynamicGraph {
+        &mut self.graph
     }
 
     fn degree_parameter(&self) -> usize {
@@ -793,6 +811,55 @@ mod tests {
             b.step_round();
         }
         assert_ne!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn adversarial_victim_policies_keep_protocol_invariants() {
+        // The robustness claim of the RAES line of work: the bounded-degree
+        // structure survives an adaptive adversary spending the same death
+        // budget on chosen victims.
+        for policy in [VictimPolicy::OldestFirst, VictimPolicy::HighestDegree] {
+            let mut m = RaesModel::new(
+                RaesConfig::new(60, 4)
+                    .churn(ChurnDriver::Poisson)
+                    .victim_policy(policy)
+                    .seed(31),
+            )
+            .unwrap();
+            for _ in 0..200 {
+                m.step_round();
+                assert!(m.max_in_degree() <= m.in_degree_cap(), "{policy}");
+            }
+            assert_protocol_invariants(&m);
+        }
+        // Oldest-first deaths hit the oldest alive node: every victim is
+        // older than all survivors at its death instant, which over a run
+        // means victims die in birth order.
+        let mut m = RaesModel::new(
+            RaesConfig::new(50, 3)
+                .churn(ChurnDriver::Poisson)
+                .victim_policy(VictimPolicy::OldestFirst)
+                .seed(32),
+        )
+        .unwrap();
+        let mut died = Vec::new();
+        for _ in 0..200 {
+            died.extend(m.step_round().deaths);
+        }
+        assert!(!died.is_empty());
+        let mut sorted = died.clone();
+        sorted.sort_unstable();
+        assert_eq!(died, sorted, "victims must die oldest-first");
+
+        // Streaming churn rejects degree-targeted deaths at validation.
+        assert!(matches!(
+            RaesModel::new(RaesConfig::new(50, 3).victim_policy(VictimPolicy::HighestDegree)),
+            Err(churn_core::ModelError::UnsupportedVictimPolicy { .. })
+        ));
+        // …but accepts oldest-first as a no-op (that is what streaming does).
+        assert!(
+            RaesModel::new(RaesConfig::new(50, 3).victim_policy(VictimPolicy::OldestFirst)).is_ok()
+        );
     }
 
     #[test]

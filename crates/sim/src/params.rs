@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use churn_core::{AnyModel, ModelKind, Result};
+use churn_core::{AnyModel, ModelKind, Result, VictimPolicy};
 use churn_stochastic::rng::derive_seed;
 
 /// One point of a parameter grid: a model kind, an expected network size and a
@@ -64,6 +64,7 @@ pub struct Sweep {
     degrees: Vec<usize>,
     trials: usize,
     base_seed: u64,
+    victim: VictimPolicy,
 }
 
 impl Sweep {
@@ -77,7 +78,25 @@ impl Sweep {
             degrees: Vec::new(),
             trials: 1,
             base_seed: 0,
+            victim: VictimPolicy::Uniform,
         }
+    }
+
+    /// Sets the death-victim policy every cell of the sweep runs with
+    /// (default: the paper's uniform churn). Build models through
+    /// [`crate::TrialContext::build_model`] for the policy to take effect;
+    /// non-uniform policies also mix a tag into the trial seeds so
+    /// adversarial runs never reuse the uniform trajectories.
+    #[must_use]
+    pub fn victim_policy(mut self, policy: VictimPolicy) -> Self {
+        self.victim = policy;
+        self
+    }
+
+    /// The death-victim policy of this sweep.
+    #[must_use]
+    pub fn victim(&self) -> VictimPolicy {
+        self.victim
     }
 
     /// Sets the model kinds to iterate over.
@@ -157,10 +176,12 @@ impl Sweep {
     /// The deterministic seed of a specific `(point, trial)` pair.
     ///
     /// Seeds depend on the point's *values* (not its position), so adding a new
-    /// size to the sweep does not change the seeds of existing points.
+    /// size to the sweep does not change the seeds of existing points. The
+    /// uniform victim policy contributes no tag, so every pre-existing
+    /// recorded seed is unchanged; adversarial sweeps mix one in.
     #[must_use]
     pub fn trial_seed(&self, point: &ParamPoint, trial: usize) -> u64 {
-        let point_tag = derive_seed(
+        let mut point_tag = derive_seed(
             derive_seed(point.n as u64, point.d as u64),
             match point.model {
                 ModelKind::Sdg => 1,
@@ -170,6 +191,16 @@ impl Sweep {
                 ModelKind::Raes => 5,
             },
         );
+        if self.victim.is_adversarial() {
+            point_tag = derive_seed(
+                point_tag,
+                match self.victim {
+                    VictimPolicy::Uniform => unreachable!("guarded by is_adversarial"),
+                    VictimPolicy::OldestFirst => 0xAD_01,
+                    VictimPolicy::HighestDegree => 0xAD_02,
+                },
+            );
+        }
         derive_seed(self.base_seed ^ point_tag, trial as u64)
     }
 }
@@ -252,6 +283,25 @@ mod tests {
         assert_eq!(model.kind(), ModelKind::Sdgr);
         assert_eq!(p.label(), "SDGR n=32 d=3");
         assert_eq!(p.to_string(), p.label());
+    }
+
+    #[test]
+    fn adversarial_victim_policies_shift_trial_seeds() {
+        let uniform = sweep();
+        let oldest = sweep().victim_policy(VictimPolicy::OldestFirst);
+        let targeted = sweep().victim_policy(VictimPolicy::HighestDegree);
+        assert_eq!(uniform.victim(), VictimPolicy::Uniform);
+        let p = uniform.points()[0];
+        // Uniform keeps the pre-existing seed derivation (recorded seeds
+        // survive); each adversarial policy gets its own stream.
+        let seeds = [
+            uniform.trial_seed(&p, 0),
+            oldest.trial_seed(&p, 0),
+            targeted.trial_seed(&p, 0),
+        ];
+        assert_ne!(seeds[0], seeds[1]);
+        assert_ne!(seeds[0], seeds[2]);
+        assert_ne!(seeds[1], seeds[2]);
     }
 
     #[test]

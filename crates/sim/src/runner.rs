@@ -21,6 +21,8 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use churn_core::{AnyModel, VictimPolicy};
+
 use crate::{ParamPoint, Sweep};
 
 /// Everything a trial function needs to know about the trial it is running.
@@ -38,6 +40,24 @@ pub struct TrialContext {
     /// Must not influence the trial's *result* — only how fast it is
     /// computed (the engines guarantee thread-count-independent output).
     pub threads: usize,
+    /// The sweep's death-victim policy ([`Sweep::victim_policy`]).
+    pub victim: VictimPolicy,
+}
+
+impl TrialContext {
+    /// Builds this cell's model with the trial seed and the sweep's victim
+    /// policy applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParamPoint::build`]'s validation errors, plus
+    /// `UnsupportedVictimPolicy` for streaming kinds under degree-targeted
+    /// deaths.
+    pub fn build_model(&self) -> churn_core::Result<AnyModel> {
+        self.point
+            .model
+            .build_with_victim(self.point.n, self.point.d, self.seed, self.victim)
+    }
 }
 
 /// The outcome of one trial: its context plus whatever the trial function
@@ -95,6 +115,7 @@ fn sweep_contexts(sweep: &Sweep, threads: usize) -> Vec<TrialContext> {
                 trial,
                 seed: sweep.trial_seed(&point, trial),
                 threads,
+                victim: sweep.victim(),
             });
         }
     }
@@ -117,6 +138,7 @@ where
                 trial,
                 seed: sweep.trial_seed(&point, trial),
                 threads,
+                victim: sweep.victim(),
             };
             let value = trial_fn(&ctx);
             out.push(TrialResult {
@@ -195,6 +217,32 @@ mod tests {
         for r in results {
             assert_eq!(r.value, 24);
         }
+    }
+
+    #[test]
+    fn contexts_carry_the_victim_policy_and_build_with_it() {
+        use churn_core::DynamicNetwork;
+        let s = Sweep::new("adversarial")
+            .models([ModelKind::Pdg])
+            .sizes([32])
+            .degrees([2])
+            .trials(1)
+            .victim_policy(VictimPolicy::OldestFirst);
+        let results = run_sweep(&s, |ctx| {
+            assert_eq!(ctx.victim, VictimPolicy::OldestFirst);
+            let mut model = ctx.build_model().expect("poisson accepts any policy");
+            model.warm_up();
+            model.alive_count() > 0
+        });
+        assert!(results[0].value);
+        // Streaming kinds reject degree-targeted deaths at build time.
+        let s = Sweep::new("invalid")
+            .models([ModelKind::Sdg])
+            .sizes([32])
+            .degrees([2])
+            .victim_policy(VictimPolicy::HighestDegree);
+        let results = run_sweep(&s, |ctx| ctx.build_model().is_err());
+        assert!(results[0].value);
     }
 
     #[test]

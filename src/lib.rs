@@ -15,6 +15,9 @@
 //!   chain, event queues and statistics;
 //! * [`sim`] (`churn-sim`) — the experiment harness (sweeps, parallel trials,
 //!   tables);
+//! * [`observe`] (`churn-observe`) — incremental snapshots and live metric
+//!   trackers over the graph's change feed, for O(churn) per-round
+//!   observation;
 //! * [`p2p`] (`churn-p2p`) — the Bitcoin-Core-like overlay example application;
 //! * [`protocol`] (`churn-protocol`) — the RAES-style bounded-in-degree
 //!   expander maintenance protocol over the same churn processes;
@@ -55,6 +58,7 @@
 pub use churn_analysis as analysis;
 pub use churn_core as core;
 pub use churn_graph as graph;
+pub use churn_observe as observe;
 pub use churn_p2p as p2p;
 pub use churn_protocol as protocol;
 pub use churn_sim as sim;
