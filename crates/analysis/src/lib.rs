@@ -21,7 +21,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod comparison;
+pub mod records;
 pub mod scaling;
 
 pub use comparison::{Comparison, ComparisonSet};
+pub use records::summarize_cells;
 pub use scaling::{classify_scaling, fit_logarithmic, ScalingClass, ScalingFit};

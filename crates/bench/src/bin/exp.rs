@@ -1,0 +1,79 @@
+//! The single experiment runner over the scenario registry.
+//!
+//! ```text
+//! exp list                          # registered scenarios
+//! exp run <name> [<name>…]         # run scenarios (full preset)
+//! exp run --all                    # run every registered scenario
+//!   --smoke                        # tiny-n smoke grids (CI runs this per PR)
+//!   --resume                       # skip cells already in the checkpoint
+//!   --out <dir>                    # output directory (default: results/)
+//! ```
+//!
+//! Every run streams one JSON record per completed cell to
+//! `<out>/<name>.jsonl` (`.smoke.jsonl` on the smoke preset). Cells already
+//! present in the file are skipped under `--resume`; because cell identity
+//! is the deterministic per-cell seed and every engine is thread-count
+//! independent, a resumed file is bit-identical to an uninterrupted run.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use churn_bench::scenarios;
+use churn_sim::scenario::{GridPreset, RunOptions};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: exp list\n       exp run <name>… | --all  [--smoke] [--resume] [--out <dir>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = scenarios::registry();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("{:<28} title", "name");
+            for scenario in registry.scenarios() {
+                println!("{:<28} {}", scenario.name(), scenario.title());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let mut names: Vec<String> = Vec::new();
+            let mut all = false;
+            let mut opts = RunOptions::default();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--all" => all = true,
+                    "--smoke" => opts.preset = GridPreset::Smoke,
+                    "--resume" => opts.resume = true,
+                    "--out" => match rest.next() {
+                        Some(dir) => opts.dir = PathBuf::from(dir),
+                        None => return usage(),
+                    },
+                    name if !name.starts_with('-') => names.push(name.to_string()),
+                    _ => return usage(),
+                }
+            }
+            if all {
+                names = registry.names().into_iter().map(str::to_string).collect();
+            }
+            if names.is_empty() {
+                return usage();
+            }
+            for name in &names {
+                if registry.get(name).is_none() {
+                    eprintln!("unknown scenario {name:?}; `exp list` shows the registry");
+                    return ExitCode::FAILURE;
+                }
+            }
+            for name in &names {
+                scenarios::run_and_report(&registry, name, &opts);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

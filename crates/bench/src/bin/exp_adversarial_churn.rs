@@ -1,166 +1,17 @@
-//! E12 — Adversarial churn: oblivious vs adaptive death schedules.
+//! E12 — adversarial churn: oblivious vs adaptive death schedules.
 //!
-//! The paper's churn is *oblivious* — deaths hit uniformly random nodes
-//! (Definition 4.1). This experiment spends the same death budget
-//! adversarially through the shared `churn_core::driver` victim selectors
-//! (`VictimPolicy`, selectable per sweep via `Sweep::victim_policy`):
+//! The robustness question of the RAES line of work: the same death budget
+//! spent adversarially (oldest-first / highest-degree victims).
 //!
-//! * **oldest-first** — kill the node whose links have decayed the longest
-//!   (for PDG, the nodes closest to isolation);
-//! * **highest-degree** — kill the best-connected node, the hubs flooding
-//!   rides on.
-//!
-//! Measured per cell: the isolated fraction of the warm network and the
-//! flooding completion behaviour. The qualitative expectation: without
-//! regeneration (PDG) the adversary amplifies isolation and can starve
-//! flooding; with regeneration (PDGR) the instant repair keeps flooding
-//! completing regardless of the schedule — the same robustness the RAES
-//! protocol line aims for with *bounded* degrees.
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenarios `adversarial-churn` and `adversarial-churn-1m` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_adversarial_churn [quick]
+//! cargo run --release -p churn-bench --bin exp_adversarial_churn [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
-use churn_core::{DynamicNetwork, ModelKind, VictimPolicy};
-use churn_observe::LiveMetrics;
-use churn_sim::{aggregate_by_point, run_sweep, PointKey, Sweep, Table};
-
-#[derive(Clone)]
-struct Measurement {
-    isolated_fraction: f64,
-    completed: bool,
-    rounds: f64,
-    final_fraction: f64,
-}
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![256], vec![512, 1_024]);
-    let degrees = vec![4usize, 8];
-    let trials = preset.pick(3, 6);
-    let policies = [
-        VictimPolicy::Uniform,
-        VictimPolicy::OldestFirst,
-        VictimPolicy::HighestDegree,
-    ];
-
-    let mut table = Table::new(
-        "E12 — isolated fraction and flooding under adversarial death schedules",
-        [
-            "policy",
-            "model",
-            "n",
-            "d",
-            "isolated fraction",
-            "flooding completed",
-            "rounds (mean)",
-            "final informed fraction",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E12 — adaptive-adversary robustness");
-    let mut isolated_by_policy: Vec<(VictimPolicy, usize, f64)> = Vec::new();
-
-    for policy in policies {
-        let sweep = Sweep::new(format!("E12-adversarial-{policy}"))
-            .models([ModelKind::Pdg, ModelKind::Pdgr])
-            .sizes(sizes.clone())
-            .degrees(degrees.clone())
-            .trials(trials)
-            .base_seed(0xE12)
-            .victim_policy(policy);
-
-        let results = run_sweep(&sweep, |ctx| {
-            let mut model = ctx.build_model().expect("poisson accepts any policy");
-            model.warm_up();
-            let metrics = LiveMetrics::new(model.graph());
-            let isolated_fraction =
-                metrics.isolated_count() as f64 / model.alive_count().max(1) as f64;
-            let record = run_flooding(
-                &mut model,
-                FloodingSource::NextToJoin,
-                &FloodingConfig::with_max_rounds(200),
-            );
-            Measurement {
-                isolated_fraction,
-                completed: record.outcome.is_complete(),
-                rounds: record.rounds_elapsed() as f64,
-                final_fraction: record.final_fraction(),
-            }
-        });
-
-        let isolated = aggregate_by_point(&results, |r| r.value.isolated_fraction);
-        let completed = aggregate_by_point(&results, |r| f64::from(u8::from(r.value.completed)));
-        let rounds = aggregate_by_point(&results, |r| r.value.rounds);
-        let informed = aggregate_by_point(&results, |r| r.value.final_fraction);
-
-        for point in sweep.points() {
-            let key: PointKey = point.into();
-            table.push_row([
-                policy.to_string(),
-                point.model.label().to_string(),
-                point.n.to_string(),
-                point.d.to_string(),
-                isolated[&key].display_with_ci(4),
-                format!("{:.0}/{trials}", completed[&key].mean * trials as f64),
-                format!("{:.1}", rounds[&key].mean),
-                format!("{:.3}", informed[&key].mean),
-            ]);
-            if point.model == ModelKind::Pdg && point.d == 4 {
-                isolated_by_policy.push((policy, point.n, isolated[&key].mean));
-            }
-            if point.model.edge_policy().regenerates() {
-                comparisons.push(
-                    Comparison::new(
-                        format!("PDGR flooding under {policy} churn, {point}"),
-                        "Theorem 4.20 (regeneration repairs any schedule)",
-                        "broadcast reaches (almost) the whole network".to_string(),
-                        format!(
-                            "completed {:.0}/{trials}, final fraction {:.3}",
-                            completed[&key].mean * trials as f64,
-                            informed[&key].mean
-                        ),
-                        informed[&key].mean >= 0.9,
-                    )
-                    .with_note("adaptive adversary, same death budget as the oblivious model"),
-                );
-            }
-        }
-    }
-
-    // Directional observation on the PDG (no-regeneration) cells: killing
-    // hubs or the oldest nodes should isolate at least as much as oblivious
-    // churn does. Each adversarial cell is compared against the uniform
-    // baseline of the *same* network size.
-    for &(policy, n, value) in &isolated_by_policy {
-        if policy == VictimPolicy::Uniform {
-            continue;
-        }
-        let Some(&(_, _, uniform)) = isolated_by_policy
-            .iter()
-            .find(|&&(p, pn, _)| p == VictimPolicy::Uniform && pn == n)
-        else {
-            continue;
-        };
-        comparisons.push(
-            Comparison::new(
-                format!("PDG isolation amplification under {policy} (n = {n}, d = 4)"),
-                "adaptive vs oblivious churn",
-                "isolated fraction >= 0.75 × uniform".to_string(),
-                format!("{value:.4} vs uniform {uniform:.4}"),
-                value >= 0.75 * uniform,
-            )
-            .with_note("mean over the d = 4 trials at this size"),
-        );
-    }
-
-    print_report(
-        "E12 — adversarial churn schedules",
-        "Robustness beyond the paper's oblivious churn (RAES line of work)",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["adversarial-churn", "adversarial-churn-1m"]);
 }

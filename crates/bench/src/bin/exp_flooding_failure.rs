@@ -1,194 +1,17 @@
-//! E3 — Flooding failure in the models without edge regeneration.
+//! E3 — flooding failure in the models without edge regeneration.
 //!
-//! Reproduces the negative flooding cell of Table 1 (Theorem 3.7 for SDG,
-//! Theorem 4.12 for PDG): with constant `d`, flooding fails to take off with
-//! constant probability (the informed set never exceeds `d + 1` nodes), and a
-//! complete broadcast needs Ω_d(n) time — in particular no run completes within
-//! `O(log n)` rounds.
+//! Table 1's negative flooding cell (Theorems 3.7 / 4.12); the scale rows
+//! live in `flooding-failure-1m`.
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenarios `flooding-failure` and `flooding-failure-1m` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_flooding_failure [quick]
+//! cargo run --release -p churn-bench --bin exp_flooding_failure [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{
-    run_flooding_parallel, FloodingConfig, FloodingOutcome, FloodingSource,
-};
-use churn_core::{DynamicNetwork, ModelKind};
-use churn_sim::{run_sweep, PointKey, Sweep, Table, TrialResult};
-use std::collections::BTreeMap;
-
-#[derive(Clone)]
-struct Outcome {
-    died_out: bool,
-    never_took_off: bool,
-    completed: bool,
-    final_fraction: f64,
-}
-
-/// One failure sweep over `(SDG, PDG) × degrees` at size `n`: per trial, the
-/// flooding record within `6·log₂ n` rounds (driven by the sharded parallel
-/// engine under the sweep's thread budget — at `n = 10^6` a single run is
-/// otherwise minutes, not seconds).
-fn failure_sweep(
-    name: &str,
-    n: usize,
-    degrees: Vec<usize>,
-    trials: usize,
-) -> Vec<TrialResult<Outcome>> {
-    let max_rounds = 6 * (n as f64).log2().ceil() as u64;
-    let sweep = Sweep::new(name)
-        .models([ModelKind::Sdg, ModelKind::Pdg])
-        .sizes([n])
-        .degrees(degrees)
-        .trials(trials)
-        .base_seed(0xE3);
-    run_sweep(&sweep, |ctx| {
-        let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
-        model.warm_up();
-        let record = run_flooding_parallel(
-            &mut model,
-            FloodingSource::NextToJoin,
-            &FloodingConfig::with_max_rounds(max_rounds),
-            ctx.threads,
-        );
-        let never_took_off = record.peak_informed() <= ctx.point.d + 1;
-        Outcome {
-            died_out: record.outcome.is_died_out(),
-            never_took_off,
-            completed: matches!(record.outcome, FloodingOutcome::Completed { .. }),
-            final_fraction: record.final_fraction(),
-        }
-    })
-}
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let n = preset.pick(256usize, 1_024);
-    let trials = preset.pick(40, 200);
-    let max_rounds = 6 * (n as f64).log2().ceil() as u64;
-
-    let mut results = failure_sweep("E3-flooding-failure", n, vec![1, 2, 3, 4], trials);
-    // Scale row (full preset only): the same failure behaviour at n = 10^6,
-    // with fewer trials — the statement checked there is qualitative (no
-    // completion within O(log n) rounds even at a million nodes), not a
-    // probability estimate.
-    let scale_n = 1_000_000usize;
-    let scale_trials = 6;
-    if !preset.is_quick() {
-        results.extend(failure_sweep(
-            "E3-flooding-failure-1M",
-            scale_n,
-            vec![1, 4],
-            scale_trials,
-        ));
-    }
-
-    // Group manually: we need counts, not means of a single metric.
-    let mut by_point: BTreeMap<PointKey, Vec<&Outcome>> = BTreeMap::new();
-    for r in &results {
-        by_point.entry(r.point.into()).or_default().push(&r.value);
-    }
-
-    let mut table = Table::new(
-        format!("E3 — flooding failures within 6·log2 n rounds (n = {n} × {trials} trials, full preset also n = 10^6 × {scale_trials})"),
-        [
-            "model",
-            "d (n)",
-            "P(never exceeds d+1 informed)",
-            "P(died out)",
-            "P(completed)",
-            "mean final coverage",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E3 — Theorem 3.7 / Theorem 4.12");
-
-    // Iterate points in first-appearance order (the statistical grid first,
-    // then the full-preset scale rows).
-    let mut points: Vec<churn_sim::ParamPoint> = Vec::new();
-    for r in &results {
-        if !points.contains(&r.point) {
-            points.push(r.point);
-        }
-    }
-    for point in points {
-        let key: PointKey = point.into();
-        let outcomes = &by_point[&key];
-        let count = outcomes.len() as f64;
-        let p_stuck = outcomes.iter().filter(|o| o.never_took_off).count() as f64 / count;
-        let p_died = outcomes.iter().filter(|o| o.died_out).count() as f64 / count;
-        let p_completed = outcomes.iter().filter(|o| o.completed).count() as f64 / count;
-        let coverage = outcomes.iter().map(|o| o.final_fraction).sum::<f64>() / count;
-        table.push_row([
-            point.model.label().to_string(),
-            format!("{} (n={})", point.d, point.n),
-            format!("{p_stuck:.3}"),
-            format!("{p_died:.3}"),
-            format!("{p_completed:.3}"),
-            format!("{coverage:.3}"),
-        ]);
-
-        let reference = if point.model.is_streaming() {
-            "Theorem 3.7"
-        } else {
-            "Theorem 4.12"
-        };
-        if point.n != n {
-            // Scale rows carry one qualitative claim: even at n = 10^6 no run
-            // completes within O(log n) rounds (probability estimates belong
-            // to the statistical grid above).
-            comparisons.push(
-                Comparison::new(
-                    format!("no completion within O(log n) rounds at scale, {point}"),
-                    reference,
-                    "completion requires Ω_d(n) time".to_string(),
-                    format!("P(completed) = {p_completed:.3}"),
-                    p_completed == 0.0,
-                )
-                .with_note(format!("{scale_trials} trials, 6·log2 n = 120 rounds each")),
-            );
-            continue;
-        }
-        // The paper's failure probability is Ω(e^{-d^2}) — already minuscule at
-        // d = 2 — and the Ω_d(n) completion lower bound needs lifetime-isolated
-        // nodes to actually be present, which at simulation sizes is only
-        // guaranteed for the smallest degrees. The quantitative comparisons are
-        // therefore made at d = 1 (and d = 2 for the completion bound); larger
-        // degrees stay in the table as observations.
-        if point.d == 1 {
-            comparisons.push(
-                Comparison::new(
-                    format!("flooding dies without taking off, {point}"),
-                    reference,
-                    "constant probability > 0".to_string(),
-                    format!("{p_stuck:.3}"),
-                    p_stuck > 0.0,
-                )
-                .with_note("failure mode: all of the source's requests hit dead-end nodes"),
-            );
-        }
-        if point.d <= 2 {
-            comparisons.push(
-                Comparison::new(
-                    format!("no completion within O(log n) rounds, {point}"),
-                    reference,
-                    "completion requires Ω_d(n) time".to_string(),
-                    format!("P(completed) = {p_completed:.3}"),
-                    p_completed < 0.05,
-                )
-                .with_note(format!(
-                    "observed over {max_rounds} rounds; lifetime-isolated nodes exist w.h.p. at this degree"
-                )),
-            );
-        }
-    }
-
-    print_report(
-        "E3 — flooding failure without edge regeneration",
-        "Table 1 (flooding negative results); Theorems 3.7 and 4.12",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["flooding-failure", "flooding-failure-1m"]);
 }

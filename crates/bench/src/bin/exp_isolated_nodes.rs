@@ -1,177 +1,17 @@
-//! E1 — Isolated nodes in the models without edge regeneration.
+//! E1 — isolated nodes in the models without edge regeneration.
 //!
-//! Reproduces the "isolated nodes" cell of Table 1 (Lemma 3.5 for SDG,
-//! Lemma 4.10 for PDG): warm SDG/PDG snapshots contain a constant fraction of
-//! nodes that are isolated and remain isolated for the rest of their lifetime,
-//! at least `e^{−2d}/6` (streaming) resp. `e^{−2d}/18` (Poisson); with edge
-//! regeneration the fraction is exactly zero.
+//! Table 1's isolated-nodes cell (Lemmas 3.5 / 4.10); the full preset also
+//! carries the `n = 10^6` rows of the incremental `churn-observe` census.
 //!
-//! Observation runs on the `churn-observe` pipeline: the isolated census and
-//! the lifetime-isolation follow-up are maintained from the graph's
-//! `GraphDelta` change feed at O(churn) per round, instead of re-scanning
-//! every candidate per round on a cloned model — which is what lets the full
-//! preset carry an `n = 10^6` grid row (models without regeneration, one
-//! trial; the laptop-scale grid keeps its multi-trial statistics).
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenarios `isolated-nodes` and `isolated-nodes-1m` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_isolated_nodes [quick]
+//! cargo run --release -p churn-bench --bin exp_isolated_nodes [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::{theory, DynamicNetwork, ModelKind};
-use churn_observe::LifetimeIsolation;
-use churn_sim::{aggregate_by_point, observe_rounds, run_sweep, Sweep, Table, TrialResult};
-
-#[derive(Clone)]
-struct Measurement {
-    isolated_fraction: f64,
-    lifetime_fraction: f64,
-}
-
-/// The O(churn)-per-round lifetime-isolation measurement: census now, then
-/// follow the candidates through the change feed for `horizon` rounds.
-fn isolation_trial<M: DynamicNetwork>(model: &mut M, horizon: u64) -> Measurement {
-    let alive = model.alive_count().max(1);
-    let mut tracker = LifetimeIsolation::start(model.graph());
-    let isolated_now = tracker.initial_isolated().len();
-    observe_rounds(model, horizon, |_, m, _, delta| {
-        tracker.apply(m.graph(), delta);
-    });
-    let lifetime = tracker.finish(model.graph());
-    Measurement {
-        isolated_fraction: isolated_now as f64 / alive as f64,
-        lifetime_fraction: lifetime.len() as f64 / alive as f64,
-    }
-}
-
-fn run_grid(sweep: &Sweep) -> Vec<TrialResult<Measurement>> {
-    run_sweep(sweep, |ctx| {
-        let mut model = ctx.build_model().expect("valid parameters");
-        model.warm_up();
-        let horizon = if ctx.point.model.is_streaming() {
-            ctx.point.n as u64
-        } else {
-            3 * ctx.point.n as u64
-        };
-        isolation_trial(&mut model, horizon)
-    })
-}
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![512], vec![1_024, 4_096]);
-    let degrees = vec![1usize, 2, 3, 4, 6];
-    let trials = preset.pick(4, 10);
-
-    let sweep = Sweep::new("E1-isolated-nodes")
-        .models([
-            ModelKind::Sdg,
-            ModelKind::Pdg,
-            ModelKind::Sdgr,
-            ModelKind::Pdgr,
-        ])
-        .sizes(sizes)
-        .degrees(degrees)
-        .trials(trials)
-        .base_seed(0xE1);
-    let results = run_grid(&sweep);
-
-    // The scale row the incremental observers buy: n = 10^6 on the full
-    // preset, models without regeneration (where the census is non-trivial),
-    // single trial.
-    let mut grids: Vec<(Sweep, Vec<TrialResult<Measurement>>, usize)> =
-        vec![(sweep, results, trials)];
-    if !preset.is_quick() {
-        let scale = Sweep::new("E1-isolated-nodes-1M")
-            .models([ModelKind::Sdg, ModelKind::Pdg])
-            .sizes([1_000_000])
-            .degrees([2, 4])
-            .trials(1)
-            .base_seed(0xE1);
-        let scale_results = run_grid(&scale);
-        grids.push((scale, scale_results, 1));
-    }
-
-    let mut table = Table::new(
-        "E1 — fraction of isolated nodes (mean ± 95% CI)",
-        [
-            "model",
-            "n",
-            "d",
-            "isolated now",
-            "isolated for life",
-            "paper lower bound",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E1 — Lemma 3.5 / Lemma 4.10 / Theorems 3.15, 4.16");
-
-    for (sweep, results, trials) in &grids {
-        let isolated = aggregate_by_point(results, |r| r.value.isolated_fraction);
-        let lifetime = aggregate_by_point(results, |r| r.value.lifetime_fraction);
-        for point in sweep.points() {
-            let key: churn_sim::PointKey = point.into();
-            let iso = isolated[&key];
-            let life = lifetime[&key];
-            let regenerates = point.model.edge_policy().regenerates();
-            let bound = if regenerates {
-                0.0
-            } else if point.model.is_streaming() {
-                theory::isolated_fraction_streaming(point.d)
-            } else {
-                theory::isolated_fraction_poisson(point.d)
-            };
-            table.push_row([
-                point.model.label().to_string(),
-                point.n.to_string(),
-                point.d.to_string(),
-                iso.display_with_ci(4),
-                life.display_with_ci(4),
-                format!("{bound:.5}"),
-            ]);
-
-            let (reference, predicted, holds) = if regenerates {
-                (
-                    if point.model.is_streaming() {
-                        "Theorem 3.15"
-                    } else {
-                        "Theorem 4.16"
-                    },
-                    "0 (every node keeps d live edges)".to_string(),
-                    iso.mean == 0.0,
-                )
-            } else {
-                // When the paper's lower bound predicts less than one node at this n,
-                // observing zero isolated nodes is consistent with it.
-                let bound_is_sub_node = bound * (point.n as f64) < 1.0;
-                (
-                    if point.model.is_streaming() {
-                        "Lemma 3.5"
-                    } else {
-                        "Lemma 4.10"
-                    },
-                    format!(">= {bound:.5}"),
-                    life.mean >= bound || bound_is_sub_node,
-                )
-            };
-            comparisons.push(
-                Comparison::new(
-                    format!("lifetime-isolated fraction, {point}"),
-                    reference,
-                    predicted,
-                    format!("{:.5}", life.mean),
-                    holds,
-                )
-                .with_note(format!("{} trials, O(churn)-per-round tracker", trials)),
-            );
-        }
-    }
-
-    print_report(
-        "E1 — isolated nodes without edge regeneration",
-        "Table 1 (isolated-nodes cell); Lemmas 3.5 and 4.10",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["isolated-nodes", "isolated-nodes-1m"]);
 }

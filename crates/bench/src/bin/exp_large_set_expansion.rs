@@ -1,151 +1,17 @@
-//! E2 — Expansion of large subsets in the models without edge regeneration.
+//! E2 — expansion of large subsets in the models without edge regeneration.
 //!
-//! Reproduces the positive expansion cell of Table 1 for SDG/PDG (Lemma 3.6 and
-//! Lemma 4.11): even though SDG/PDG snapshots contain isolated nodes, every
-//! subset of size between `n·e^{−d/10}` (streaming) / `n·e^{−d/20}` (Poisson)
-//! and `n/2` has vertex expansion at least 0.1.
+//! Table 1's large-set expansion cell (Lemmas 3.6 / 4.11), with the
+//! `n = 10^6` row as its own resumable scenario.
 //!
-//! The snapshot under measurement is maintained **incrementally**: each trial
-//! churns an observation window with a `churn-observe` `IncrementalSnapshot`
-//! patched at O(churn) per round from the graph's change feed, then
-//! materialises once for the candidate-set estimator (whose sweep families
-//! are themselves evaluated incrementally since this PR). Together with the
-//! O(n + m)-per-ordering sweep evaluation that is what lets the full preset
-//! carry an `n = 10^6` grid row.
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenarios `large-set-expansion` and `large-set-expansion-1m` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_large_set_expansion [quick]
+//! cargo run --release -p churn-bench --bin exp_large_set_expansion [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::expansion::{measure_expansion_on, SizeRange};
-use churn_core::{theory, DynamicNetwork, ModelKind};
-use churn_graph::expansion::ExpansionConfig;
-use churn_observe::IncrementalSnapshot;
-use churn_sim::{
-    aggregate_by_point, observe_rounds, run_sweep, PointKey, Sweep, Table, TrialResult,
-};
-use churn_stochastic::rng::seeded_rng;
-
-#[derive(Clone)]
-struct Measurement {
-    large_set_expansion: f64,
-    full_range_expansion: f64,
-    min_set_size: usize,
-}
-
-fn run_grid(sweep: &Sweep, config: &ExpansionConfig) -> Vec<TrialResult<Measurement>> {
-    run_sweep(sweep, |ctx| {
-        let mut model = ctx.build_model().expect("valid parameters");
-        model.warm_up();
-        // Maintain the CSR view across an observation window instead of
-        // rebuilding it at measurement time: O(churn) per round, one
-        // materialisation at the end.
-        let mut inc = IncrementalSnapshot::new(model.graph()).with_threads(ctx.threads);
-        let window = (ctx.point.n / 16).max(4) as u64;
-        observe_rounds(&mut model, window, |_, m, _, delta| {
-            inc.apply(m.graph(), delta);
-        });
-        let snapshot = inc.to_snapshot();
-        let mut rng = seeded_rng(ctx.seed ^ 0xABCD);
-        let streaming = model.has_streaming_churn();
-        let large_bounds = SizeRange::LargeSets.bounds_for(snapshot.len(), ctx.point.d, streaming);
-        let full_bounds = SizeRange::Full.bounds_for(snapshot.len(), ctx.point.d, streaming);
-        let large = measure_expansion_on(&snapshot, large_bounds, config, &mut rng, model.time());
-        let full = measure_expansion_on(&snapshot, full_bounds, config, &mut rng, model.time());
-        Measurement {
-            large_set_expansion: large.value().unwrap_or(f64::NAN),
-            full_range_expansion: full.value().unwrap_or(f64::NAN),
-            min_set_size: large.size_bounds.0,
-        }
-    })
-}
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![512], vec![1_024, 4_096]);
-    let degrees = vec![20usize, 24, 32];
-    let trials = preset.pick(3, 5);
-
-    let sweep = Sweep::new("E2-large-set-expansion")
-        .models([ModelKind::Sdg, ModelKind::Pdg])
-        .sizes(sizes)
-        .degrees(degrees)
-        .trials(trials)
-        .base_seed(0xE2);
-    let results = run_grid(&sweep, &ExpansionConfig::default());
-
-    // The scale row: n = 10^6 on the full preset, one trial, the fast
-    // candidate budget (the estimator's sweep families are incremental, so
-    // this is minutes, not days).
-    let mut grids: Vec<(Sweep, Vec<TrialResult<Measurement>>)> = vec![(sweep, results)];
-    if !preset.is_quick() {
-        let scale = Sweep::new("E2-large-set-expansion-1M")
-            .models([ModelKind::Sdg, ModelKind::Pdg])
-            .sizes([1_000_000])
-            .degrees([20])
-            .trials(1)
-            .base_seed(0xE2);
-        let scale_results = run_grid(&scale, &ExpansionConfig::fast());
-        grids.push((scale, scale_results));
-    }
-
-    let mut table = Table::new(
-        "E2 — estimated minimum expansion ratio (candidate-set minimiser)",
-        [
-            "model",
-            "n",
-            "d",
-            "large sets only",
-            "full range",
-            "large-set min size",
-            "threshold",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E2 — Lemma 3.6 / Lemma 4.11");
-
-    for (sweep, results) in &grids {
-        let large = aggregate_by_point(results, |r| r.value.large_set_expansion);
-        let full = aggregate_by_point(results, |r| r.value.full_range_expansion);
-        for point in sweep.points() {
-            let key: PointKey = point.into();
-            let min_size = results
-                .iter()
-                .find(|r| r.point == point)
-                .map_or(0, |r| r.value.min_set_size);
-            table.push_row([
-                point.model.label().to_string(),
-                point.n.to_string(),
-                point.d.to_string(),
-                large[&key].display_with_ci(3),
-                full[&key].display_with_ci(3),
-                min_size.to_string(),
-                format!("{:.1}", theory::EXPANSION_THRESHOLD),
-            ]);
-            let reference = if point.model.is_streaming() {
-                "Lemma 3.6"
-            } else {
-                "Lemma 4.11"
-            };
-            comparisons.push(
-                Comparison::new(
-                    format!("large-set expansion, {point}"),
-                    reference,
-                    format!(">= {:.1}", theory::EXPANSION_THRESHOLD),
-                    format!("{:.3}", large[&key].mean),
-                    large[&key].mean >= theory::EXPANSION_THRESHOLD,
-                )
-                .with_note("estimator returns an upper bound on h_out over the range"),
-            );
-        }
-    }
-
-    print_report(
-        "E2 — large-subset expansion without edge regeneration",
-        "Table 1 (Θ(1)-expansion of big-size node subsets); Lemmas 3.6 and 4.11",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["large-set-expansion", "large-set-expansion-1m"]);
 }

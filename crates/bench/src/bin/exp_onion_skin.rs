@@ -1,140 +1,17 @@
-//! E9 — Growth of the onion-skin process (Claim 3.10 / Lemma 3.9).
+//! E9 — growth of the onion-skin process (Claim 3.10 / Lemma 3.9).
 //!
-//! The onion-skin process is the analytical engine behind the partial-flooding
-//! theorem for SDG: starting from the newly joined source it alternates young
-//! and old layers and, per Claim 3.10, multiplies the frontier by roughly
-//! `d/20` per phase until about `n/d` nodes are reached — which is what makes
-//! the bootstrap phase of flooding take only `O(log n / log d)` rounds. This
-//! experiment replays the construction on realized SDG graphs and reports the
-//! measured per-phase growth factors and the reached fraction.
+//! The analytical engine behind the partial-flooding theorem, replayed on
+//! realized SDG graphs (the `-1m` scenario carries the scale row).
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenarios `onion-skin` and `onion-skin-1m` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_onion_skin [quick]
+//! cargo run --release -p churn-bench --bin exp_onion_skin [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::onion_skin::run_onion_skin;
-use churn_core::{theory, DynamicNetwork, StreamingConfig, StreamingModel};
-use churn_sim::Table;
-use churn_stochastic::OnlineStats;
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    // The construction runs on dense slab indices since this PR (flat
-    // age-class/reached arrays, no hashing), so the full preset follows the
-    // flooding binaries to n = 10^6.
-    let sizes: Vec<usize> = preset.pick(vec![2_048, 4_096], vec![16_384, 1_000_000]);
-    let degrees: Vec<usize> = preset.pick(vec![40, 64], vec![64, 128]);
-    let trials = preset.pick(3, 3);
-
-    let mut table = Table::new(
-        "E9 — onion-skin growth on realized SDG graphs",
-        [
-            "n",
-            "d",
-            "paper growth d/20",
-            "mean early growth factor",
-            "mean phases",
-            "mean reached fraction",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E9 — Claim 3.10 / Lemma 3.9");
-
-    for &n in &sizes {
-        // The 10^6 rows are a single-trial scale demonstration: their cost is
-        // dominated by the 2n-round warm-up (the replay itself is one O(n·d)
-        // pass per phase); the multi-trial statistics live at the smaller n.
-        let trials = if n >= 1_000_000 { 1 } else { trials };
-        for &d in &degrees {
-            let mut growth = OnlineStats::new();
-            let mut phases = OnlineStats::new();
-            let mut reached = OnlineStats::new();
-            for trial in 0..trials {
-                let mut model = StreamingModel::new(
-                    StreamingConfig::new(n, d).seed(0xE9 ^ (n as u64) ^ ((d as u64) << 20) ^ trial),
-                )
-                .expect("valid parameters");
-                model.warm_up();
-                let trace = run_onion_skin(&model);
-                // Early growth factors only: the multiplicative regime of
-                // Claim 3.10 holds while the reached sets are small compared to
-                // n (the claim's hypothesis is |Y_k|, |O_k| <= n/d, but the
-                // growth stays multiplicative well beyond that; we cut at n/4
-                // where saturation effects dominate). Claim 3.10 is a *lower*
-                // bound of d/20 per phase — the realized growth is usually much
-                // larger — so we record the first few factors.
-                let saturation = n / 4;
-                for (i, w) in trace.phases.windows(2).enumerate() {
-                    if w[1].old_total > saturation || i >= 3 {
-                        break;
-                    }
-                    if w[0].new_old > 0 {
-                        growth.push(w[1].new_old as f64 / w[0].new_old as f64);
-                    }
-                }
-                phases.push(trace.phase_count() as f64);
-                reached.push(trace.reached() as f64 / n as f64);
-            }
-
-            let predicted = theory::onion_skin_growth_factor(d);
-            table.push_row([
-                n.to_string(),
-                d.to_string(),
-                format!("{predicted:.1}"),
-                format!("{:.1}", growth.mean()),
-                format!("{:.1}", phases.mean()),
-                format!("{:.3}", reached.mean()),
-            ]);
-
-            // At laptop scale and moderate-to-large d the construction saturates
-            // (reaches more than n/4 old nodes) within two phases, so no
-            // per-phase factor below the saturation cutoff exists — that is
-            // growth *faster* than the claim's d/20 lower bound, not slower.
-            let (measured_growth, growth_holds) = if growth.count() == 0 {
-                (
-                    "saturated within 2 phases (growth above any per-phase bound)".to_string(),
-                    reached.mean() > 0.5,
-                )
-            } else {
-                (
-                    format!("{:.1}", growth.mean()),
-                    growth.mean() >= 0.5 * predicted,
-                )
-            };
-            comparisons.push(
-                Comparison::new(
-                    format!("onion-skin frontier growth, n={n} d={d}"),
-                    "Claim 3.10",
-                    format!("multiplicative growth >= d/20 = {predicted:.1} per phase"),
-                    measured_growth,
-                    growth_holds,
-                )
-                .with_note("mean of the first phases' growth factors, before saturation at n/4"),
-            );
-            comparisons.push(
-                Comparison::new(
-                    format!("onion-skin reach, n={n} d={d}"),
-                    "Lemma 3.9",
-                    "reaches Ω(n/d) nodes within O(log n / log d) phases".to_string(),
-                    format!(
-                        "reached {:.3}·n in {:.1} phases",
-                        reached.mean(),
-                        phases.mean()
-                    ),
-                    reached.mean() * n as f64 >= (n / d) as f64
-                        && phases.mean() <= 4.0 + 3.0 * (n as f64).log2() / (d as f64).log2(),
-                )
-                .with_note("the restricted construction undercounts what real flooding reaches"),
-            );
-        }
-    }
-
-    print_report(
-        "E9 — onion-skin process growth",
-        "Claim 3.10 and Lemma 3.9 (the analytical device behind Theorem 3.8)",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["onion-skin", "onion-skin-1m"]);
 }

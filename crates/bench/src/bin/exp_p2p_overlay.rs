@@ -1,162 +1,17 @@
 //! E10 — Bitcoin-like overlay under churn (the paper's motivating application).
 //!
-//! Sections 1.1 and 2 of the paper argue that the PDGR model captures how
-//! Bitcoin-Core-style overlays maintain their topology: target out-degree 8,
-//! max in-degree 125, neighbours re-dialled from a gossiped address table
-//! whenever connections are lost. This experiment runs that overlay (the
-//! `churn-p2p` crate), checks that it exhibits the PDGR behaviour — connected,
-//! expanding snapshots and logarithmic block propagation — and reports overlay
-//! health alongside propagation milestones.
+//! Overlay health and block-propagation milestones of the `churn-p2p`
+//! overlay (Sections 1.1 and 2).
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenario `p2p-overlay` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_p2p_overlay [quick]
+//! cargo run --release -p churn-bench --bin exp_p2p_overlay [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::expansion::{measure_expansion, SizeRange};
-use churn_core::{theory, DynamicNetwork};
-use churn_graph::expansion::ExpansionConfig;
-use churn_p2p::gossip::propagate_block_series;
-use churn_p2p::health::overlay_health;
-use churn_p2p::{P2pConfig, P2pNetwork};
-use churn_sim::Table;
-use churn_stochastic::rng::seeded_rng;
-use churn_stochastic::OnlineStats;
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![500], vec![1_000, 2_000]);
-    let blocks = preset.pick(3usize, 6);
-
-    let mut health_table = Table::new(
-        "E10 — overlay health after warm-up",
-        [
-            "peers (target)",
-            "peers (online)",
-            "mean outbound",
-            "mean inbound",
-            "max inbound",
-            "isolated",
-            "largest component",
-            "stale addr fraction",
-        ],
-    );
-    let mut propagation_table = Table::new(
-        "E10 — block propagation milestones",
-        [
-            "peers (target)",
-            "mean delays to 50%",
-            "mean delays to 99%",
-            "mean final coverage",
-            "2·log2 n (reference)",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E10 — PDGR as a model of Bitcoin-like overlays");
-
-    for &n in &sizes {
-        let mut overlay = P2pNetwork::new(
-            P2pConfig::new(n)
-                .target_outbound(8)
-                .max_inbound(125)
-                .seed(0xE10 ^ n as u64),
-        )
-        .expect("valid overlay configuration");
-        overlay.warm_up();
-
-        let health = overlay_health(&overlay);
-        health_table.push_row([
-            n.to_string(),
-            health.peers.to_string(),
-            format!("{:.2}", health.mean_outbound),
-            format!("{:.2}", health.mean_inbound),
-            health.max_inbound.to_string(),
-            health.isolated_peers.to_string(),
-            format!("{:.4}", health.largest_component_fraction),
-            format!("{:.3}", health.stale_address_fraction),
-        ]);
-
-        let mut rng = seeded_rng(n as u64);
-        let expansion = measure_expansion(
-            &overlay,
-            SizeRange::Full,
-            &ExpansionConfig::fast(),
-            &mut rng,
-        );
-
-        let reports = propagate_block_series(&mut overlay, blocks, 20, 200);
-        let mut to_half = OnlineStats::new();
-        let mut to_99 = OnlineStats::new();
-        let mut coverage = OnlineStats::new();
-        for report in &reports {
-            if let Some(r) = report.delays_to_half {
-                to_half.push(r as f64);
-            }
-            if let Some(r) = report.delays_to_99 {
-                to_99.push(r as f64);
-            }
-            coverage.push(report.final_coverage);
-        }
-        propagation_table.push_row([
-            n.to_string(),
-            format!("{:.1}", to_half.mean()),
-            format!("{:.1}", to_99.mean()),
-            format!("{:.3}", coverage.mean()),
-            format!("{:.1}", 2.0 * (n as f64).log2()),
-        ]);
-
-        comparisons.push(
-            Comparison::new(
-                format!("overlay stays connected and expanding, n={n}"),
-                "Theorem 4.16 (PDGR expansion)",
-                format!("expander with h_out >= {:.1}", theory::EXPANSION_THRESHOLD),
-                format!(
-                    "h_out estimate {:.3}, largest component {:.4}, isolated {}",
-                    expansion.value().unwrap_or(f64::NAN),
-                    health.largest_component_fraction,
-                    health.isolated_peers
-                ),
-                expansion.value().unwrap_or(0.0) >= theory::EXPANSION_THRESHOLD
-                    && health.isolated_peers == 0,
-            )
-            .with_note("overlay uses addrman sampling instead of idealised uniform sampling"),
-        );
-        comparisons.push(
-            Comparison::new(
-                format!("block propagation is logarithmic, n={n}"),
-                "Theorem 4.20 (PDGR flooding)",
-                "99% coverage within O(log n) message delays".to_string(),
-                format!(
-                    "{:.1} delays to 99% vs 2·log2 n = {:.1}; coverage {:.3}",
-                    to_99.mean(),
-                    2.0 * (n as f64).log2(),
-                    coverage.mean()
-                ),
-                to_99.count() > 0
-                    && to_99.mean() <= 3.0 * (n as f64).log2()
-                    && coverage.mean() > 0.95,
-            )
-            .with_note(format!(
-                "{blocks} blocks, each announced by a freshly joined peer"
-            )),
-        );
-        comparisons.push(Comparison::new(
-            format!("degree limits respected, n={n}"),
-            "Section 1.1 (Bitcoin Core parameters)",
-            "outbound ~ 8, inbound <= 125".to_string(),
-            format!(
-                "mean outbound {:.2}, max inbound {}",
-                health.mean_outbound, health.max_inbound
-            ),
-            health.mean_outbound > 7.0 && health.max_inbound <= 125,
-        ));
-    }
-
-    print_report(
-        "E10 — Bitcoin-like overlay under churn",
-        "Sections 1.1 and 2 (motivating application of the PDGR model)",
-        preset,
-        &[health_table, propagation_table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["p2p-overlay"]);
 }

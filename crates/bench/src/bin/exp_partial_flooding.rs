@@ -1,151 +1,17 @@
-//! E4 — Partial flooding in the models without edge regeneration.
+//! E4 — partial flooding in the models without edge regeneration.
 //!
-//! Reproduces the positive flooding cell of Table 1 for SDG/PDG (Theorem 3.8
-//! and Theorem 4.13): with high probability in `d`, flooding informs a fraction
-//! `1 − e^{−Ω(d)}` of the nodes within `O(log n)` rounds, even though it cannot
-//! complete (E3). The table reports, per `(model, n, d)`, the coverage reached
-//! within a logarithmic round budget and how often the paper's target fraction
-//! was met.
+//! Table 1's positive flooding cell without regeneration (Theorems 3.8 /
+//! 4.13): coverage within an `O(log n / log d)` round budget.
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenario `partial-flooding` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_partial_flooding [quick]
+//! cargo run --release -p churn-bench --bin exp_partial_flooding [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{run_flooding, FloodingConfig, FloodingSource};
-use churn_core::{theory, DynamicNetwork, ModelKind};
-use churn_sim::{aggregate_by_point, run_sweep, PointKey, Sweep, Table};
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![512, 1_024], vec![1_024, 4_096, 16_384]);
-    let degrees = vec![8usize, 12, 16, 24];
-    let trials = preset.pick(5, 12);
-
-    let sweep = Sweep::new("E4-partial-flooding")
-        .models([ModelKind::Sdg, ModelKind::Pdg])
-        .sizes(sizes)
-        .degrees(degrees)
-        .trials(trials)
-        .base_seed(0xE4);
-
-    #[derive(Clone)]
-    struct Measurement {
-        coverage: f64,
-        reached_target: bool,
-        rounds_to_target: Option<u64>,
-        budget: u64,
-    }
-
-    let results = run_sweep(&sweep, |ctx| {
-        let n = ctx.point.n;
-        let d = ctx.point.d;
-        let target = theory::partial_flooding_fraction(d, ctx.point.model.is_streaming());
-        // O(log n / log d) + O(d) rounds, with a generous constant.
-        let budget = (6.0 * (n as f64).log2() / (d as f64).log2().max(1.0)).ceil() as u64
-            + 2 * d as u64
-            + 10;
-        let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
-        model.warm_up();
-        let record = run_flooding(
-            &mut model,
-            FloodingSource::NextToJoin,
-            &FloodingConfig {
-                max_rounds: budget,
-                target_fraction: None,
-                stop_when_complete: true,
-            },
-        );
-        Measurement {
-            coverage: record.final_fraction(),
-            reached_target: record.final_fraction() >= target || record.outcome.is_complete(),
-            rounds_to_target: record.rounds_to_fraction(target),
-            budget,
-        }
-    });
-
-    let coverage = aggregate_by_point(&results, |r| r.value.coverage);
-
-    let mut table = Table::new(
-        "E4 — coverage of partial flooding within an O(log n) round budget",
-        [
-            "model",
-            "n",
-            "d",
-            "target fraction (paper)",
-            "mean coverage",
-            "P(target reached)",
-            "mean rounds to target",
-            "round budget",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E4 — Theorem 3.8 / Theorem 4.13");
-
-    for point in sweep.points() {
-        let key: PointKey = point.into();
-        let point_results: Vec<&Measurement> = results
-            .iter()
-            .filter(|r| r.point == point)
-            .map(|r| &r.value)
-            .collect();
-        let target = theory::partial_flooding_fraction(point.d, point.model.is_streaming());
-        let success = point_results.iter().filter(|m| m.reached_target).count() as f64
-            / point_results.len() as f64;
-        let rounds: Vec<f64> = point_results
-            .iter()
-            .filter_map(|m| m.rounds_to_target.map(|r| r as f64))
-            .collect();
-        let mean_rounds = if rounds.is_empty() {
-            f64::NAN
-        } else {
-            rounds.iter().sum::<f64>() / rounds.len() as f64
-        };
-        let budget = point_results.first().map_or(0, |m| m.budget);
-
-        table.push_row([
-            point.model.label().to_string(),
-            point.n.to_string(),
-            point.d.to_string(),
-            format!("{target:.3}"),
-            coverage[&key].display_with_ci(3),
-            format!("{success:.2}"),
-            if mean_rounds.is_nan() {
-                "-".to_string()
-            } else {
-                format!("{mean_rounds:.1}")
-            },
-            budget.to_string(),
-        ]);
-
-        let reference = if point.model.is_streaming() {
-            "Theorem 3.8"
-        } else {
-            "Theorem 4.13"
-        };
-        comparisons.push(
-            Comparison::new(
-                format!("coverage >= 1 - e^(-Ω(d)) within O(log n), {point}"),
-                reference,
-                format!(">= {target:.3} for most runs"),
-                format!(
-                    "mean coverage {:.3}, success rate {success:.2}",
-                    coverage[&key].mean
-                ),
-                success >= 0.5 && coverage[&key].mean >= target - 0.05,
-            )
-            .with_note(
-                "the paper's constants require d >= 200 (streaming) / 1152 (Poisson); \
-                 the qualitative behaviour already appears at the degrees used here",
-            ),
-        );
-    }
-
-    print_report(
-        "E4 — partial flooding without edge regeneration",
-        "Table 1 (flooding positive results without regeneration); Theorems 3.8 and 4.13",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["partial-flooding"]);
 }

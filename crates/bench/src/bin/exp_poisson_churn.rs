@@ -1,147 +1,17 @@
-//! E8 — Demographics of the Poisson churn process.
+//! E8 — demographics of the Poisson churn process.
 //!
-//! Reproduces the supporting lemmas the Poisson-model analysis rests on:
-//! Lemma 4.4 (the population stays within `[0.9 n, 1.1 n]` w.h.p. after time
-//! `3 n`), Lemma 4.7 (birth and death probabilities of the jump chain are both
-//! in `[0.47, 0.53]` once the population is in that band), and Lemma 4.8 (no
-//! alive node is older than `7 n·log n` rounds — here checked in time units via
-//! the equivalent exponential-tail bound).
+//! The churn substrate of every Poisson-model result (Lemmas 4.4, 4.6–4.8):
+//! population concentration, birth/death balance, age tails.
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenario `poisson-churn` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_poisson_churn [quick]
+//! cargo run --release -p churn-bench --bin exp_poisson_churn [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::{theory, DynamicNetwork, PoissonConfig, PoissonModel};
-use churn_sim::Table;
-use churn_stochastic::OnlineStats;
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![1_024, 4_096], vec![1_024, 4_096, 16_384]);
-    let observation_units = preset.pick(400u64, 1_500);
-
-    let mut table = Table::new(
-        "E8 — Poisson churn demographics after warm-up",
-        [
-            "n",
-            "mean population",
-            "fraction of time in [0.9n, 1.1n]",
-            "death share of churn events",
-            "max observed age / n",
-            "mean lifetime (Little's law) / n",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E8 — Lemmas 4.4, 4.6–4.8");
-
-    for &n in &sizes {
-        let mut model = PoissonModel::new(
-            PoissonConfig::with_expected_size(n, 2)
-                .seed(0xE8 ^ n as u64)
-                .record_events(true),
-        )
-        .expect("valid parameters");
-        model.warm_up();
-        model.advance_until(6.0 * n as f64);
-        model.drain_events();
-
-        let mut population = OnlineStats::new();
-        let mut in_band = 0u64;
-        let mut births = 0u64;
-        let mut deaths = 0u64;
-        let mut max_age: f64 = 0.0;
-        let (lo, hi) = theory::poisson_population_band(n);
-
-        for _ in 0..observation_units {
-            let summary = model.advance_time_unit();
-            births += summary.births.len() as u64;
-            deaths += summary.deaths.len() as u64;
-            let size = model.alive_count() as f64;
-            population.push(size);
-            if size >= lo && size <= hi {
-                in_band += 1;
-            }
-            for id in model.alive_ids() {
-                max_age = max_age.max(model.age(id).unwrap_or(0.0));
-            }
-            model.drain_events();
-        }
-
-        let band_fraction = in_band as f64 / observation_units as f64;
-        let death_share = deaths as f64 / (births + deaths).max(1) as f64;
-        // Little's law: mean lifetime = mean population / departure rate. This
-        // sidesteps the right-censoring bias a direct per-node measurement would
-        // have over a finite observation window.
-        let death_rate = deaths as f64 / observation_units as f64;
-        let lifetime_ratio = if death_rate > 0.0 {
-            population.mean() / death_rate / n as f64
-        } else {
-            f64::NAN
-        };
-
-        table.push_row([
-            n.to_string(),
-            format!("{:.1}", population.mean()),
-            format!("{band_fraction:.3}"),
-            format!("{death_share:.3}"),
-            format!("{:.2}", max_age / n as f64),
-            format!("{lifetime_ratio:.2}"),
-        ]);
-
-        comparisons.push(
-            Comparison::new(
-                format!("population concentration, n={n}"),
-                "Lemma 4.4",
-                "|N_t| in [0.9n, 1.1n] w.h.p.".to_string(),
-                format!("in band {:.1}% of observed units", 100.0 * band_fraction),
-                band_fraction > 0.9,
-            )
-            .with_note(format!(
-                "{observation_units} unit-time observations after t = 6n"
-            )),
-        );
-        let (plo, phi) = theory::jump_probability_band();
-        comparisons.push(
-            Comparison::new(
-                format!("birth/death balance, n={n}"),
-                "Lemma 4.7",
-                format!("death probability in [{plo}, {phi}]"),
-                format!("{death_share:.3}"),
-                death_share > plo - 0.02 && death_share < phi + 0.02,
-            )
-            .with_note("share of churn events that were deaths"),
-        );
-        comparisons.push(
-            Comparison::new(
-                format!("no extremely old nodes, n={n}"),
-                "Lemma 4.8",
-                format!(
-                    "all ages << 7·n·ln n = {:.0} time units",
-                    7.0 * n as f64 * (n as f64).ln()
-                ),
-                format!("max age {:.2}·n", max_age / n as f64),
-                max_age < 7.0 * n as f64 * (n as f64).ln(),
-            )
-            .with_note("exponential lifetimes make ages beyond a few n exceedingly rare"),
-        );
-        comparisons.push(
-            Comparison::new(
-                format!("mean lifetime, n={n}"),
-                "Definition 4.1",
-                "1/µ = n".to_string(),
-                format!("{lifetime_ratio:.2}·n"),
-                lifetime_ratio > 0.75 && lifetime_ratio < 1.35,
-            )
-            .with_note("estimated via Little's law: mean population / departure rate"),
-        );
-    }
-
-    print_report(
-        "E8 — Poisson churn demographics",
-        "Lemmas 4.4, 4.6, 4.7 and 4.8 (the churn substrate of every Poisson-model result)",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["poisson-churn"]);
 }

@@ -1,300 +1,17 @@
-//! E11 — Flooding over RAES-maintained topologies vs. the four paper models.
+//! E11 — flooding over RAES-maintained topologies vs. the four paper models.
 //!
-//! The paper's SDGR/PDGR models resample severed requests instantaneously;
-//! the RAES protocol (`churn-protocol`) repairs them through a local
-//! request/accept/reject loop with a hard in-degree cap `⌊c·d⌋`. This
-//! experiment runs the same flooding measurement over all five dynamic
-//! networks on the same `(model, n, d, trial)` grid and records, per trial:
+//! The protocol comparison grid: all five dynamic networks under one
+//! flooding measurement, with RAES health metrics on the protocol rows.
 //!
-//! * `flooding_rounds` — rounds until complete broadcast (round cap on
-//!   failure),
-//! * `completed` — 1 when the broadcast completed,
-//! * `final_fraction` — informed fraction when the run ended,
-//! * `isolated_fraction` — fraction of isolated alive nodes in the warm
-//!   topology (the SDG/PDG failure mode RAES is designed to repair),
-//! * for RAES additionally `max_in_degree`, `rejection_rate`,
-//!   `mean_repair_latency` and `pending_backlog` (pending requests per node).
-//!
-//! Raw per-trial records are saved as machine-readable JSON (the
-//! `churn-sim::store` schema) to `results/exp_raes_flooding.json`, or the
-//! path in `CHURN_RAES_JSON` when set.
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenario `raes-flooding` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_raes_flooding [quick]
+//! cargo run --release -p churn-bench --bin exp_raes_flooding [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{run_flooding_parallel, FloodingConfig, FloodingSource};
-use churn_core::{isolated, DynamicNetwork, ModelKind};
-use churn_protocol::{RaesConfig, RaesModel};
-use churn_sim::{aggregate_by_point, run_sweep, save_records, PointKey, StoredRecord, Sweep};
-use std::collections::BTreeMap;
-use std::path::PathBuf;
-
-/// Everything one trial measures.
-#[derive(Clone)]
-struct Outcome {
-    flooding_rounds: f64,
-    completed: bool,
-    final_fraction: f64,
-    isolated_fraction: f64,
-    /// RAES-only protocol health metrics.
-    protocol: Option<ProtocolOutcome>,
-}
-
-#[derive(Clone, Copy)]
-struct ProtocolOutcome {
-    max_in_degree: usize,
-    in_degree_cap: usize,
-    rejection_rate: f64,
-    mean_repair_latency: f64,
-    pending_backlog: f64,
-}
-
-fn measure<M: DynamicNetwork>(model: &mut M, max_rounds: u64, threads: usize) -> Outcome {
-    let isolated_fraction =
-        isolated::isolated_now(model).len() as f64 / model.alive_count().max(1) as f64;
-    let record = run_flooding_parallel(
-        model,
-        FloodingSource::NextToJoin,
-        &FloodingConfig::with_max_rounds(max_rounds),
-        threads,
-    );
-    Outcome {
-        flooding_rounds: record
-            .outcome
-            .rounds()
-            .unwrap_or(max_rounds)
-            .min(max_rounds) as f64,
-        completed: record.outcome.is_complete(),
-        final_fraction: record.final_fraction(),
-        isolated_fraction,
-        protocol: None,
-    }
-}
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    // The full grid's top row is now n = 10^6 (the sharded flooding engine
-    // under the sweep's thread budget keeps a trial there in seconds).
-    let sizes = preset.pick(vec![256usize, 1_024], vec![100_000usize, 1_000_000]);
-    let degrees = vec![8usize];
-    let trials = preset.pick(4, 6);
-
-    let sweep = Sweep::new("E11-raes-flooding")
-        .models([
-            ModelKind::Sdg,
-            ModelKind::Sdgr,
-            ModelKind::Pdg,
-            ModelKind::Pdgr,
-            ModelKind::Raes,
-        ])
-        .sizes(sizes.clone())
-        .degrees(degrees)
-        .trials(trials)
-        .base_seed(0xE11);
-
-    let results = run_sweep(&sweep, |ctx| {
-        let max_rounds = 8 * (ctx.point.n as f64).log2().ceil() as u64;
-        match ctx.point.model {
-            ModelKind::Raes => {
-                let mut model =
-                    RaesModel::new(RaesConfig::new(ctx.point.n, ctx.point.d).seed(ctx.seed))
-                        .expect("valid parameters");
-                model.warm_up();
-                let mut outcome = measure(&mut model, max_rounds, ctx.threads);
-                let alive = model.alive_count().max(1);
-                outcome.protocol = Some(ProtocolOutcome {
-                    max_in_degree: model.max_in_degree(),
-                    in_degree_cap: model.in_degree_cap(),
-                    rejection_rate: model.stats().rejection_rate(),
-                    mean_repair_latency: model.stats().mean_repair_latency(),
-                    pending_backlog: model.pending_requests().len() as f64 / alive as f64,
-                });
-                outcome
-            }
-            _ => {
-                let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
-                model.warm_up();
-                measure(&mut model, max_rounds, ctx.threads)
-            }
-        }
-    });
-
-    // ------------------------------------------------------------------
-    // Persist raw per-trial records (machine-readable).
-    // ------------------------------------------------------------------
-    let mut records: Vec<StoredRecord> = Vec::new();
-    for r in &results {
-        let mut push = |metric: &str, value: f64| {
-            records.push(StoredRecord {
-                experiment: "exp_raes_flooding".to_string(),
-                point: r.point,
-                trial: r.trial,
-                seed: r.seed,
-                metric: metric.to_string(),
-                value,
-            });
-        };
-        push("flooding_rounds", r.value.flooding_rounds);
-        push("completed", if r.value.completed { 1.0 } else { 0.0 });
-        push("final_fraction", r.value.final_fraction);
-        push("isolated_fraction", r.value.isolated_fraction);
-        if let Some(p) = r.value.protocol {
-            push("max_in_degree", p.max_in_degree as f64);
-            push("in_degree_cap", p.in_degree_cap as f64);
-            push("rejection_rate", p.rejection_rate);
-            push("mean_repair_latency", p.mean_repair_latency);
-            push("pending_backlog", p.pending_backlog);
-        }
-    }
-    let out_path = std::env::var("CHURN_RAES_JSON")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results/exp_raes_flooding.json"));
-    match save_records(&out_path, &records) {
-        Ok(()) => eprintln!("wrote {} records to {}", records.len(), out_path.display()),
-        Err(e) => eprintln!("WARNING: could not write {}: {e}", out_path.display()),
-    }
-
-    // ------------------------------------------------------------------
-    // Report tables.
-    // ------------------------------------------------------------------
-    let rounds_by_point = aggregate_by_point(&results, |r| r.value.flooding_rounds);
-    let mut by_point: BTreeMap<PointKey, Vec<&Outcome>> = BTreeMap::new();
-    for r in &results {
-        by_point.entry(r.point.into()).or_default().push(&r.value);
-    }
-
-    let mut table = churn_sim::Table::new(
-        format!(
-            "E11 — flooding over protocol-maintained vs. paper topologies (d = 8, {trials} trials)"
-        ),
-        [
-            "model",
-            "n",
-            "flooding rounds",
-            "P(completed)",
-            "mean final coverage",
-            "isolated fraction",
-        ],
-    );
-    let mut protocol_table = churn_sim::Table::new(
-        "E11 — RAES protocol health at measurement time",
-        [
-            "n",
-            "max in-degree",
-            "cap (c·d)",
-            "rejection rate",
-            "mean repair latency",
-            "pending / node",
-        ],
-    );
-
-    for point in sweep.points() {
-        let key: PointKey = point.into();
-        let outcomes = &by_point[&key];
-        let count = outcomes.len() as f64;
-        let p_completed = outcomes.iter().filter(|o| o.completed).count() as f64 / count;
-        let coverage = outcomes.iter().map(|o| o.final_fraction).sum::<f64>() / count;
-        let isolated = outcomes.iter().map(|o| o.isolated_fraction).sum::<f64>() / count;
-        table.push_row([
-            point.model.label().to_string(),
-            point.n.to_string(),
-            rounds_by_point[&key].display_with_ci(1),
-            format!("{p_completed:.2}"),
-            format!("{coverage:.3}"),
-            format!("{isolated:.4}"),
-        ]);
-        if point.model == ModelKind::Raes {
-            let stats: Vec<ProtocolOutcome> = outcomes.iter().filter_map(|o| o.protocol).collect();
-            let mean = |f: &dyn Fn(&ProtocolOutcome) -> f64| {
-                stats.iter().map(f).sum::<f64>() / stats.len().max(1) as f64
-            };
-            protocol_table.push_row([
-                point.n.to_string(),
-                format!("{:.1}", mean(&|p| p.max_in_degree as f64)),
-                format!("{}", stats.first().map_or(0, |p| p.in_degree_cap)),
-                format!("{:.4}", mean(&|p| p.rejection_rate)),
-                format!("{:.3}", mean(&|p| p.mean_repair_latency)),
-                format!("{:.4}", mean(&|p| p.pending_backlog)),
-            ]);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Comparisons: RAES behaves like the regenerating models, not the static
-    // ones, while additionally keeping the in-degree bounded.
-    // ------------------------------------------------------------------
-    let mut comparisons = ComparisonSet::new("E11 — RAES vs. paper baselines");
-    for &n in &sizes {
-        let key = |model: ModelKind| PointKey {
-            model: model.label().to_string(),
-            n,
-            d: 8,
-        };
-        let raes_rounds = rounds_by_point[&key(ModelKind::Raes)].mean;
-        let sdgr_rounds = rounds_by_point[&key(ModelKind::Sdgr)].mean;
-        comparisons.push(
-            Comparison::within_factor(
-                format!("RAES flooding time vs SDGR, n={n}"),
-                "Cruciani 2025 (expander maintenance); Thm 3.16 baseline",
-                sdgr_rounds,
-                raes_rounds,
-                2.0,
-            )
-            .with_note("protocol repair latency must not slow the broadcast down"),
-        );
-
-        let raes = &by_point[&key(ModelKind::Raes)];
-        let raes_completion =
-            raes.iter().filter(|o| o.completed).count() as f64 / raes.len() as f64;
-        comparisons.push(Comparison::new(
-            format!("RAES broadcast completes, n={n}"),
-            "Theorem 3.16 analogue under bounded in-degree",
-            "P(completed) = 1".to_string(),
-            format!("{raes_completion:.2}"),
-            raes_completion == 1.0,
-        ));
-
-        let cap_ok = raes.iter().all(|o| {
-            o.protocol
-                .is_some_and(|p| p.max_in_degree <= p.in_degree_cap)
-        });
-        comparisons.push(Comparison::new(
-            format!("in-degree bounded by c*d, n={n}"),
-            "RAES accept rule",
-            "max in-degree <= floor(c*d)".to_string(),
-            if cap_ok {
-                "holds on every trial"
-            } else {
-                "VIOLATED"
-            }
-            .to_string(),
-            cap_ok,
-        ));
-
-        let sdg = &by_point[&key(ModelKind::Sdg)];
-        let sdg_isolated = sdg.iter().map(|o| o.isolated_fraction).sum::<f64>() / sdg.len() as f64;
-        let raes_isolated =
-            raes.iter().map(|o| o.isolated_fraction).sum::<f64>() / raes.len() as f64;
-        comparisons.push(
-            Comparison::new(
-                format!("isolated nodes repaired, n={n}"),
-                "Lemma 3.5 (SDG failure mode)",
-                format!("well below SDG's {sdg_isolated:.4}"),
-                format!("{raes_isolated:.4}"),
-                raes_isolated < sdg_isolated / 2.0 || raes_isolated == 0.0,
-            )
-            .with_note("RAES re-requests severed links, so lifetime isolation disappears"),
-        );
-    }
-
-    print_report(
-        "E11 — flooding over RAES-maintained expanders",
-        "churn-protocol RAES vs. Table 1 baselines (Cruciani 2025, Angileri et al. 2025)",
-        preset,
-        &[table, protocol_table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["raes-flooding"]);
 }

@@ -1,233 +1,18 @@
-//! E5 — Vertex expansion of the models with edge regeneration, plus
-//! expansion-over-time of the realized RAES graph.
+//! E5 — vertex expansion of the models with edge regeneration, plus the
+//! realized RAES graph tracked over time.
 //!
-//! Reproduces the expansion cell of Table 1 for SDGR/PDGR (Theorem 3.15 and
-//! Theorem 4.16): with edge regeneration every warm snapshot is an ε-expander
-//! with ε ≥ 0.1, over the *full* range of subset sizes — in contrast to the
-//! models without regeneration whose full-range expansion is 0 (E1).
+//! Table 1's full-range expansion cell (Theorems 3.15 / 4.16) and the
+//! protocol line's expansion-over-time tracking (`raes-regen-tracking`).
 //!
-//! The per-trial snapshot trajectory is maintained through a `churn-observe`
-//! `IncrementalSnapshot` (patched O(churn) per round from the graph's change
-//! feed, materialised only at each measurement instant).
-//!
-//! The second section tracks the **realized RAES topology over time** — the
-//! remaining protocol open item: per-round live metrics (in-degree-cap
-//! occupancy, isolated count) plus periodic full-range expansion estimates of
-//! the maintained bounded-degree graph, the quantity the RAES line of work
-//! (Becchetti et al.; Cruciani 2025) proves stays Θ(1).
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenarios `regen-expansion` and `raes-regen-tracking` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_regen_expansion [quick]
+//! cargo run --release -p churn-bench --bin exp_regen_expansion [quick] [--resume]
 //! ```
 
-use churn_analysis::{Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::expansion::{measure_expansion_on, SizeRange};
-use churn_core::{theory, DynamicNetwork, ModelKind};
-use churn_graph::expansion::ExpansionConfig;
-use churn_observe::{IncrementalSnapshot, LiveMetrics};
-use churn_protocol::{RaesConfig, RaesModel, SaturationPolicy};
-use churn_sim::{aggregate_by_point, observe_rounds, run_sweep, PointKey, Sweep, Table};
-use churn_stochastic::rng::seeded_rng;
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![512], vec![1_024, 4_096]);
-    let degrees = vec![4usize, 8, 14, 21, 35];
-    let trials = preset.pick(3, 5);
-    let snapshots_per_trial = 3usize;
-
-    let sweep = Sweep::new("E5-regen-expansion")
-        .models([ModelKind::Sdgr, ModelKind::Pdgr])
-        .sizes(sizes)
-        .degrees(degrees)
-        .trials(trials)
-        .base_seed(0xE5);
-
-    let results = run_sweep(&sweep, |ctx| {
-        let mut model = ctx.build_model().expect("valid parameters");
-        model.warm_up();
-        let mut rng = seeded_rng(ctx.seed ^ 0x5E5E);
-        let config = ExpansionConfig::default();
-        let interval = (ctx.point.n / 8).max(8) as u64;
-        // The trajectory: maintain the CSR view incrementally between the
-        // sampling instants, materialise per sample. The claim is "every
-        // snapshot expands", so report the worst sample.
-        let mut inc = IncrementalSnapshot::new(model.graph()).with_threads(ctx.threads);
-        let streaming = model.has_streaming_churn();
-        let mut worst = f64::INFINITY;
-        let mut consider = |snapshot: &churn_graph::Snapshot,
-                            d: usize,
-                            time: f64,
-                            rng: &mut churn_stochastic::rng::SimRng| {
-            let bounds = SizeRange::Full.bounds_for(snapshot.len(), d, streaming);
-            if let Some(value) = measure_expansion_on(snapshot, bounds, &config, rng, time).value()
-            {
-                worst = worst.min(value);
-            }
-        };
-        consider(&inc.to_snapshot(), ctx.point.d, model.time(), &mut rng);
-        for _ in 1..snapshots_per_trial {
-            observe_rounds(&mut model, interval, |_, m, _, delta| {
-                inc.apply(m.graph(), delta);
-            });
-            consider(&inc.to_snapshot(), ctx.point.d, model.time(), &mut rng);
-        }
-        worst
-    });
-
-    let expansion = aggregate_by_point(&results, |r| r.value);
-
-    let mut table = Table::new(
-        format!(
-            "E5 — minimum estimated expansion over {snapshots_per_trial} snapshots per trial (full size range)"
-        ),
-        ["model", "n", "d", "worst-snapshot h_out (mean ± CI)", "min over trials", "threshold"],
-    );
-    let mut comparisons = ComparisonSet::new("E5 — Theorem 3.15 / Theorem 4.16");
-
-    for point in sweep.points() {
-        let key: PointKey = point.into();
-        let agg = expansion[&key];
-        table.push_row([
-            point.model.label().to_string(),
-            point.n.to_string(),
-            point.d.to_string(),
-            agg.display_with_ci(3),
-            format!("{:.3}", agg.min),
-            format!("{:.1}", theory::EXPANSION_THRESHOLD),
-        ]);
-        let reference = if point.model.is_streaming() {
-            "Theorem 3.15 (stated for d >= 14)"
-        } else {
-            "Theorem 4.16 (stated for d >= 35)"
-        };
-        let required = if point.model.is_streaming() { 14 } else { 35 };
-        comparisons.push(
-            Comparison::new(
-                format!("snapshot expansion, {point}"),
-                reference,
-                format!(">= {:.1}", theory::EXPANSION_THRESHOLD),
-                format!("{:.3} (worst trial {:.3})", agg.mean, agg.min),
-                if point.d >= required {
-                    agg.min >= theory::EXPANSION_THRESHOLD
-                } else {
-                    // Below the paper's stated degree the theorem makes no claim;
-                    // record whether the snapshot still expands as an observation.
-                    agg.min > 0.0
-                },
-            )
-            .with_note(if point.d >= required {
-                "degree meets the theorem's hypothesis"
-            } else {
-                "degree below the theorem's hypothesis; expansion > 0 recorded as observation"
-            }),
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // RAES expansion over time: the realized bounded-degree graph, tracked
-    // per round through the change feed across a 2n-round window.
-    // ------------------------------------------------------------------
-    let raes_n = preset.pick(512usize, 4_096);
-    let raes_d = 8usize;
-    let raes_samples = 8u64;
-    let raes_interval = (raes_n as u64 / 4).max(8);
-
-    let mut raes_table = Table::new(
-        "E5b — realized RAES graph tracked over time (streaming churn, c = 1.5)",
-        [
-            "policy",
-            "n",
-            "d",
-            "min h_out over time",
-            "max in-degree (cap)",
-            "mean saturated fraction",
-            "isolated rounds",
-        ],
-    );
-    for saturation in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
-        let mut model = RaesModel::new(
-            RaesConfig::new(raes_n, raes_d)
-                .saturation(saturation)
-                .seed(0xE5AE),
-        )
-        .expect("valid parameters");
-        model.warm_up();
-        let cap = model.in_degree_cap();
-        let mut rng = seeded_rng(0x5BAE);
-        let config = preset.pick(ExpansionConfig::fast(), ExpansionConfig::default());
-        let mut inc = IncrementalSnapshot::new(model.graph());
-        let mut metrics = LiveMetrics::new(model.graph());
-        let mut min_expansion = f64::INFINITY;
-        let mut max_in_degree = metrics.max_in_requests();
-        let mut saturated_sum = 0.0f64;
-        let mut saturated_rounds = 0u64;
-        let mut isolated_rounds = 0u64;
-        for _ in 0..raes_samples {
-            observe_rounds(&mut model, raes_interval, |_, m, _, delta| {
-                inc.apply(m.graph(), delta);
-                metrics.apply(m.graph(), delta);
-                max_in_degree = max_in_degree.max(metrics.max_in_requests());
-                saturated_sum +=
-                    metrics.saturated_count(cap) as f64 / m.alive_count().max(1) as f64;
-                saturated_rounds += 1;
-                isolated_rounds += u64::from(metrics.isolated_count() > 0);
-            });
-            let snapshot = inc.to_snapshot();
-            let bounds = SizeRange::Full.bounds_for(snapshot.len(), raes_d, true);
-            if let Some(value) =
-                measure_expansion_on(&snapshot, bounds, &config, &mut rng, model.time()).value()
-            {
-                min_expansion = min_expansion.min(value);
-            }
-        }
-        raes_table.push_row([
-            saturation.to_string(),
-            raes_n.to_string(),
-            raes_d.to_string(),
-            format!("{min_expansion:.3}"),
-            format!("{max_in_degree} ({cap})"),
-            format!("{:.4}", saturated_sum / saturated_rounds.max(1) as f64),
-            isolated_rounds.to_string(),
-        ]);
-        comparisons.push(
-            Comparison::new(
-                format!("RAES realized-graph expansion over time, {saturation}"),
-                "RAES (Becchetti et al.; Cruciani 2025)",
-                format!(
-                    ">= {:.1} at every sampled round",
-                    theory::EXPANSION_THRESHOLD
-                ),
-                format!("min {min_expansion:.3} over {raes_samples} samples"),
-                min_expansion >= theory::EXPANSION_THRESHOLD,
-            )
-            .with_note("full size range; snapshot maintained incrementally per round"),
-        );
-        // Isolation caveat: under reject-retry a newborn whose d requests
-        // are all rejected in its birth round stays isolated until the next
-        // repair sweep — expected protocol behaviour (the deficit is
-        // repaired in O(1) expected rounds), so the hard claim is the cap.
-        comparisons.push(
-            Comparison::new(
-                format!("RAES in-degree cap over time, {saturation}"),
-                "RAES accept rule",
-                format!("max in-degree <= {cap} at every round"),
-                format!(
-                    "max {max_in_degree}; {isolated_rounds} rounds with a transiently \
-                     isolated (fully rejected) newborn"
-                ),
-                max_in_degree <= cap,
-            )
-            .with_note("cap occupancy tracked O(churn) per round via LiveMetrics"),
-        );
-    }
-
-    print_report(
-        "E5 — expansion with edge regeneration + realized RAES tracking",
-        "Table 1 (Θ(1)-expansion with edge regeneration); Theorems 3.15 and 4.16; RAES",
-        preset,
-        &[table, raes_table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["regen-expansion", "raes-regen-tracking"]);
 }

@@ -1,114 +1,17 @@
-//! E7 — Static d-out random graph baseline (Lemma B.1).
+//! E7 — static d-out random graph baseline (Lemma B.1).
 //!
-//! The paper's appendix establishes the reference point the dynamic models are
-//! measured against: a *static* graph in which every node picks `d ≥ 3` random
-//! neighbours is a Θ(1)-expander w.h.p., hence floods in `O(log n)` rounds.
-//! This experiment regenerates that baseline: expansion estimate and (static)
-//! flooding time for `d ∈ {3, 4, 8}` across sizes, the yardstick for E5/E6.
+//! The no-churn reference point: expansion and static flooding time of a
+//! `d`-out random graph.
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenario `static-baseline` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin exp_static_baseline [quick]
+//! cargo run --release -p churn-bench --bin exp_static_baseline [quick] [--resume]
 //! ```
 
-use churn_analysis::{classify_scaling, Comparison, ComparisonSet};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_graph::expansion::{ExpansionConfig, ExpansionEstimator};
-use churn_graph::generators::d_out_random_graph;
-use churn_graph::traversal::{connected_components, static_flooding_time};
-use churn_graph::Snapshot;
-use churn_sim::Table;
-use churn_stochastic::rng::substream_rng;
-use churn_stochastic::OnlineStats;
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    let sizes: Vec<usize> = preset.pick(vec![512, 1_024, 2_048], vec![1_024, 4_096, 16_384]);
-    let degrees = [3usize, 4, 8];
-    let trials = preset.pick(3, 8);
-
-    let mut table = Table::new(
-        "E7 — static d-out random graph: expansion and flooding time",
-        [
-            "n",
-            "d",
-            "connected runs",
-            "mean h_out estimate",
-            "mean flooding time",
-            "4·log2 n",
-        ],
-    );
-    let mut comparisons = ComparisonSet::new("E7 — Lemma B.1 (static baseline)");
-
-    for &d in &degrees {
-        let mut flood_series: Vec<(f64, f64)> = Vec::new();
-        for &n in &sizes {
-            let mut expansion = OnlineStats::new();
-            let mut flooding = OnlineStats::new();
-            let mut connected = 0usize;
-            for trial in 0..trials {
-                let mut rng = substream_rng(0xE7, (n * 1_000 + d * 10 + trial) as u64);
-                let graph = d_out_random_graph(n, d, &mut rng);
-                let snapshot = Snapshot::of(&graph);
-                if connected_components(&snapshot).is_connected() {
-                    connected += 1;
-                }
-                let estimate = ExpansionEstimator::new(ExpansionConfig::fast()).estimate(
-                    &snapshot,
-                    1,
-                    snapshot.len() / 2,
-                    &mut rng,
-                );
-                if let Some(value) = estimate.value() {
-                    expansion.push(value);
-                }
-                if let Some(time) = static_flooding_time(&snapshot, 0) {
-                    flooding.push(time as f64);
-                }
-            }
-            flood_series.push((n as f64, flooding.mean()));
-            table.push_row([
-                n.to_string(),
-                d.to_string(),
-                format!("{connected}/{trials}"),
-                format!("{:.3}", expansion.mean()),
-                format!("{:.2}", flooding.mean()),
-                format!("{:.1}", 4.0 * (n as f64).log2()),
-            ]);
-
-            comparisons.push(
-                Comparison::new(
-                    format!("static d-out graph expands, n={n} d={d}"),
-                    "Lemma B.1",
-                    "Θ(1)-expander for d >= 3".to_string(),
-                    format!("{:.3}", expansion.mean()),
-                    expansion.mean() > 0.0 && connected == trials,
-                )
-                .with_note("expansion estimate is an upper bound on h_out"),
-            );
-        }
-        let class = classify_scaling(&flood_series);
-        // Over a short, nearly flat series the log-vs-linear classifier has no
-        // power; the meaningful check is the absolute logarithmic bound.
-        let within_log_bound = flood_series
-            .iter()
-            .all(|&(size, time)| time <= 4.0 * size.log2());
-        comparisons.push(
-            Comparison::new(
-                format!("static flooding time scaling, d={d}"),
-                "Lemma B.1 (+ BFS)",
-                "O(log n): at most a few·log2 n".to_string(),
-                format!("shape: {class}; series {flood_series:?}"),
-                within_log_bound,
-            )
-            .with_note("static flooding time equals graph eccentricity of the source"),
-        );
-    }
-
-    print_report(
-        "E7 — static d-out random graph baseline",
-        "Lemma B.1 (appendix): the no-churn baseline the dynamic models are compared against",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["static-baseline"]);
 }

@@ -1,117 +1,17 @@
-//! E6 — Flooding-time scaling figure for the models with edge regeneration.
+//! E6 — flooding-time scaling figure for the models with edge regeneration.
 //!
-//! Reproduces the `O(log n)` flooding-time claims of Theorems 3.16 (SDGR) and
-//! 4.20 (PDGR) as a scaling series: mean flooding completion time versus `n`
-//! over a geometric grid of network sizes, together with the fitted
-//! `a + b·log₂ n` curve and a logarithmic-vs-linear shape classification. This
-//! is the workspace's "figure" counterpart of Table 1's bottom-right cell.
+//! The `O(log n)` flooding-time series of Theorems 3.16 / 4.20, up to
+//! `n = 10^6` on the full preset.
+//!
+//! Since the scenario-engine refactor this binary is a thin shim over the
+//! registry: it runs the scenario `flooding-scaling` through the single
+//! `exp` runner machinery (records land in `results/`, `quick` maps to the
+//! smoke preset, `--resume` continues a checkpoint).
 //!
 //! ```text
-//! cargo run --release -p churn-bench --bin fig_flooding_scaling [quick]
+//! cargo run --release -p churn-bench --bin fig_flooding_scaling [quick] [--resume]
 //! ```
 
-use churn_analysis::{classify_scaling, fit_logarithmic, Comparison, ComparisonSet, ScalingClass};
-use churn_bench::{preset_from_env_and_args, print_report};
-use churn_core::flooding::{run_flooding_parallel, FloodingConfig, FloodingSource};
-use churn_core::{DynamicNetwork, ModelKind};
-use churn_sim::{aggregate_by_point, run_sweep, PointKey, Sweep, Table};
-
 fn main() {
-    let preset = preset_from_env_and_args();
-    // The full grid now reaches n = 10^6: the sharded parallel frontier
-    // engine keeps a single flooding run tractable there, and the sweep-level
-    // thread budget (ctx.threads) keeps the two parallelism levels from
-    // oversubscribing the machine.
-    let sizes: Vec<usize> = preset.pick(
-        vec![256, 512, 1_024, 2_048],
-        vec![
-            256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 65_536, 262_144, 1_048_576,
-        ],
-    );
-    let degrees = vec![8usize, 21];
-    let trials = preset.pick(3, 6);
-
-    let sweep = Sweep::new("E6-flooding-scaling")
-        .models([ModelKind::Sdgr, ModelKind::Pdgr])
-        .sizes(sizes.clone())
-        .degrees(degrees.clone())
-        .trials(trials)
-        .base_seed(0xE6);
-
-    let results = run_sweep(&sweep, |ctx| {
-        let mut model = ctx.point.build(ctx.seed).expect("valid parameters");
-        model.warm_up();
-        let record = run_flooding_parallel(
-            &mut model,
-            FloodingSource::NextToJoin,
-            &FloodingConfig::default(),
-            ctx.threads,
-        );
-        match record.outcome.rounds() {
-            Some(rounds) if record.outcome.is_complete() => rounds as f64,
-            _ => f64::NAN, // should not happen for the regeneration models
-        }
-    });
-
-    let grouped = aggregate_by_point(&results, |r| r.value);
-
-    let mut table = Table::new(
-        "E6 — flooding completion time (rounds, mean ± 95% CI)",
-        ["model", "d", "n", "log2 n", "flooding time"],
-    );
-    let mut comparisons = ComparisonSet::new("E6 — Theorem 3.16 / Theorem 4.20");
-
-    for kind in [ModelKind::Sdgr, ModelKind::Pdgr] {
-        for &d in &degrees {
-            let mut series: Vec<(f64, f64)> = Vec::new();
-            for &n in &sizes {
-                let key = PointKey {
-                    model: kind.label().to_string(),
-                    n,
-                    d,
-                };
-                let agg = grouped[&key];
-                series.push((n as f64, agg.mean));
-                table.push_row([
-                    kind.label().to_string(),
-                    d.to_string(),
-                    n.to_string(),
-                    format!("{:.1}", (n as f64).log2()),
-                    agg.display_with_ci(2),
-                ]);
-            }
-
-            let class = classify_scaling(&series);
-            let fit = fit_logarithmic(&series);
-            let reference = if kind.is_streaming() {
-                "Theorem 3.16"
-            } else {
-                "Theorem 4.20"
-            };
-            let (slope, r2) = fit.map_or((f64::NAN, f64::NAN), |f| (f.slope(), f.r_squared()));
-            comparisons.push(
-                Comparison::new(
-                    format!("flooding time scaling, {kind} d={d}"),
-                    reference,
-                    "O(log n): logarithmic growth, never linear".to_string(),
-                    format!(
-                        "fit {:.2} + {:.2}·log2 n (R² = {:.3}); shape: {class}",
-                        fit.map_or(f64::NAN, |f| f.fit.intercept),
-                        slope,
-                        r2
-                    ),
-                    class != ScalingClass::Linear && slope >= 0.0,
-                )
-                .with_note(format!("series over n = {sizes:?}")),
-            );
-        }
-    }
-
-    print_report(
-        "E6 — flooding time is logarithmic with edge regeneration (figure series)",
-        "Table 1 (flooding with edge regeneration); Theorems 3.16 and 4.20",
-        preset,
-        &[table],
-        &[comparisons],
-    );
+    churn_bench::scenarios::shim_main(&["flooding-scaling"]);
 }

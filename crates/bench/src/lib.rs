@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod scenarios;
+
 use churn_analysis::ComparisonSet;
 use churn_sim::Table;
 

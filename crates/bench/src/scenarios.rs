@@ -1,0 +1,546 @@
+//! The scenario registry: every experiment of this workspace as a
+//! declarative `churn_sim::scenario::Scenario`.
+//!
+//! This replaces the bespoke sweep loops of the 13 legacy `exp_*` / `fig_*`
+//! binaries: each experiment is now a ~15-line spec registered here and
+//! executed through the single `exp` runner (`exp run <name>|--all
+//! [--smoke] [--resume]`). The legacy binary names survive as thin shims
+//! ([`shim_main`]) that run their scenario(s) through the same engine, so
+//! existing invocations (`cargo run --bin exp_raes_flooding -- quick`) keep
+//! working.
+//!
+//! Grids: the **full** preset carries the configurations recorded in
+//! `EXPERIMENTS.md` (including the `n = 10⁶` rows, registered as separate
+//! `*-1m` scenarios so they can be run — and resumed — independently); the
+//! **smoke** preset is a tiny-`n` grid the whole registry finishes in
+//! seconds, run by CI on every PR.
+
+use churn_core::{ModelKind, VictimPolicy};
+use churn_protocol::{ChurnDriver, SaturationPolicy};
+use churn_sim::scenario::{
+    run_scenario, ExpansionSpec, FloodingSpec, Grid, GridPreset, Measurement, NetSpec, RaesNet,
+    RoundBudget, RunOptions, Scenario, ScenarioOutcome, ScenarioRegistry,
+};
+
+/// Builds the full registry. Scenario names are stable — they are the
+/// checkpoint file names under `results/`.
+#[must_use]
+pub fn registry() -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    let baselines = [
+        NetSpec::Baseline(ModelKind::Sdg),
+        NetSpec::Baseline(ModelKind::Pdg),
+        NetSpec::Baseline(ModelKind::Sdgr),
+        NetSpec::Baseline(ModelKind::Pdgr),
+    ];
+
+    // E1 — isolated nodes without edge regeneration (Lemmas 3.5 / 4.10).
+    registry.register(
+        Scenario::new(
+            "isolated-nodes",
+            "E1 — isolated nodes without edge regeneration",
+            Measurement::Isolation,
+        )
+        .reproduces("Table 1 (isolated-nodes cell); Lemmas 3.5 and 4.10")
+        .nets(baselines)
+        .full_grid(Grid::new([1_024, 4_096], [1, 2, 3, 4, 6], 10))
+        .smoke_grid(Grid::new([96], [2], 2))
+        .base_seed(0xE1),
+    );
+    registry.register(
+        Scenario::new(
+            "isolated-nodes-1m",
+            "E1 — isolated nodes at n = 10^6 (no-regeneration models)",
+            Measurement::Isolation,
+        )
+        .reproduces("Lemmas 3.5 / 4.10 at scale (churn-observe incremental census)")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Pdg),
+        ])
+        .full_grid(Grid::new([1_000_000], [2, 4], 1))
+        .smoke_grid(Grid::new([128], [2], 1))
+        .base_seed(0xE1),
+    );
+
+    // E2 — large-subset expansion without regeneration (Lemmas 3.6 / 4.11).
+    registry.register(
+        Scenario::new(
+            "large-set-expansion",
+            "E2 — large-subset expansion without edge regeneration",
+            Measurement::Expansion(ExpansionSpec {
+                initial_window_div: 16,
+                samples: 1,
+                interval_div: 16,
+                large_sets: true,
+                fast: false,
+            }),
+        )
+        .reproduces("Table 1 (large-set expansion); Lemmas 3.6 and 4.11")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Pdg),
+        ])
+        .full_grid(Grid::new([1_024, 4_096], [20, 24, 32], 5))
+        .smoke_grid(Grid::new([96], [8], 2))
+        .base_seed(0xE2),
+    );
+    registry.register(
+        Scenario::new(
+            "large-set-expansion-1m",
+            "E2 — large-subset expansion at n = 10^6",
+            Measurement::Expansion(ExpansionSpec {
+                initial_window_div: 16,
+                samples: 1,
+                interval_div: 16,
+                large_sets: true,
+                fast: true,
+            }),
+        )
+        .reproduces("Lemmas 3.6 / 4.11 at scale (incremental boundary sweep)")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Pdg),
+        ])
+        .full_grid(Grid::new([1_000_000], [20], 1))
+        .smoke_grid(Grid::new([128], [8], 1))
+        .base_seed(0xE2),
+    );
+
+    // E3 — flooding failure without regeneration (Theorems 3.7 / 4.12).
+    registry.register(
+        Scenario::new(
+            "flooding-failure",
+            "E3 — flooding failure without edge regeneration",
+            Measurement::ParallelFlooding(FloodingSpec {
+                budget: RoundBudget::Log2Times(6),
+                record_isolation: false,
+            }),
+        )
+        .reproduces("Table 1 (flooding negative results); Theorems 3.7 and 4.12")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Pdg),
+        ])
+        .full_grid(Grid::new([1_024], [1, 2, 3, 4], 200))
+        .smoke_grid(Grid::new([256], [1, 2], 3))
+        .base_seed(0xE3),
+    );
+    registry.register(
+        Scenario::new(
+            "flooding-failure-1m",
+            "E3 — no completion within O(log n) rounds at n = 10^6",
+            Measurement::ParallelFlooding(FloodingSpec {
+                budget: RoundBudget::Log2Times(6),
+                record_isolation: false,
+            }),
+        )
+        .reproduces("Theorems 3.7 / 4.12 at scale")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Pdg),
+        ])
+        .full_grid(Grid::new([1_000_000], [1, 4], 6))
+        .smoke_grid(Grid::new([256], [1], 2))
+        .base_seed(0xE3),
+    );
+
+    // E4 — partial flooding (Theorems 3.8 / 4.13).
+    registry.register(
+        Scenario::new(
+            "partial-flooding",
+            "E4 — partial flooding without edge regeneration",
+            Measurement::PartialFlooding,
+        )
+        .reproduces("Table 1 (flooding positive results); Theorems 3.8 and 4.13")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Pdg),
+        ])
+        .full_grid(Grid::new([1_024, 4_096, 16_384], [8, 12, 16, 24], 12))
+        .smoke_grid(Grid::new([256], [8], 2))
+        .base_seed(0xE4),
+    );
+
+    // E5 — expansion with edge regeneration (Theorems 3.15 / 4.16).
+    registry.register(
+        Scenario::new(
+            "regen-expansion",
+            "E5 — snapshot expansion with edge regeneration",
+            Measurement::Expansion(ExpansionSpec {
+                initial_window_div: 0,
+                samples: 3,
+                interval_div: 8,
+                large_sets: false,
+                fast: false,
+            }),
+        )
+        .reproduces("Table 1 (full-range expansion); Theorems 3.15 and 4.16")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdgr),
+            NetSpec::Baseline(ModelKind::Pdgr),
+        ])
+        .full_grid(Grid::new([1_024, 4_096], [4, 8, 14, 21, 35], 5))
+        .smoke_grid(Grid::new([96], [4], 1))
+        .base_seed(0xE5),
+    );
+
+    // E5b — realized RAES graph tracked over time (protocol line of work).
+    registry.register(
+        Scenario::new(
+            "raes-regen-tracking",
+            "E5b — realized RAES graph tracked over time",
+            Measurement::RaesTracking {
+                samples: 8,
+                interval_div: 4,
+            },
+        )
+        .reproduces("RAES expansion-over-time (Becchetti et al.; Cruciani 2025)")
+        .nets([
+            NetSpec::raes_default(),
+            NetSpec::Raes(RaesNet {
+                saturation: SaturationPolicy::EvictOldest,
+                ..RaesNet::default()
+            }),
+        ])
+        .full_grid(Grid::new([4_096], [8], 1))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE5AE),
+    );
+
+    // E6 — flooding-time scaling with regeneration (Theorems 3.16 / 4.20).
+    registry.register(
+        Scenario::new(
+            "flooding-scaling",
+            "E6 — flooding completion time with edge regeneration",
+            Measurement::ParallelFlooding(FloodingSpec {
+                budget: RoundBudget::EngineDefault,
+                record_isolation: false,
+            }),
+        )
+        .reproduces("Table 1 (flooding with regeneration); Theorems 3.16 and 4.20")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdgr),
+            NetSpec::Baseline(ModelKind::Pdgr),
+        ])
+        .full_grid(Grid::new(
+            [
+                256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 65_536, 262_144, 1_048_576,
+            ],
+            [8, 21],
+            6,
+        ))
+        .smoke_grid(Grid::new([64, 128, 256], [4], 2))
+        .base_seed(0xE6),
+    );
+
+    // E7 — static d-out random graph baseline (Lemma B.1).
+    registry.register(
+        Scenario::new(
+            "static-baseline",
+            "E7 — static d-out random graph baseline",
+            Measurement::StaticBaseline,
+        )
+        .reproduces("Lemma B.1 (appendix): the no-churn reference point")
+        .nets([NetSpec::Static])
+        .full_grid(Grid::new([1_024, 4_096, 16_384], [3, 4, 8], 8))
+        .smoke_grid(Grid::new([256], [3, 8], 2))
+        .base_seed(0xE7),
+    );
+
+    // E8 — Poisson churn demographics (Lemmas 4.4–4.8).
+    registry.register(
+        Scenario::new(
+            "poisson-churn",
+            "E8 — Poisson churn demographics",
+            Measurement::PoissonDemographics {
+                units: 1_500,
+                smoke_units: 120,
+            },
+        )
+        .reproduces("Lemmas 4.4, 4.6, 4.7 and 4.8 (the Poisson churn substrate)")
+        .nets([NetSpec::Baseline(ModelKind::Pdg)])
+        .full_grid(Grid::new([1_024, 4_096, 16_384], [2], 1))
+        .smoke_grid(Grid::new([256], [2], 1))
+        .base_seed(0xE8),
+    );
+
+    // E9 — onion-skin growth (Claim 3.10 / Lemma 3.9).
+    registry.register(
+        Scenario::new(
+            "onion-skin",
+            "E9 — onion-skin growth on realized SDG graphs",
+            Measurement::OnionSkin,
+        )
+        .reproduces("Claim 3.10 and Lemma 3.9 (the device behind Theorem 3.8)")
+        .nets([NetSpec::Baseline(ModelKind::Sdg)])
+        .full_grid(Grid::new([16_384], [64, 128], 3))
+        .smoke_grid(Grid::new([1_024], [16], 1))
+        .base_seed(0xE9),
+    );
+    registry.register(
+        Scenario::new(
+            "onion-skin-1m",
+            "E9 — onion-skin growth at n = 10^6",
+            Measurement::OnionSkin,
+        )
+        .reproduces("Claim 3.10 / Lemma 3.9 at scale (dense-index construction)")
+        .nets([NetSpec::Baseline(ModelKind::Sdg)])
+        .full_grid(Grid::new([1_000_000], [64, 128], 1))
+        .smoke_grid(Grid::new([2_048], [16], 1))
+        .base_seed(0xE9),
+    );
+
+    // E10 — Bitcoin-like overlay (Sections 1.1 and 2).
+    registry.register(
+        Scenario::new(
+            "p2p-overlay",
+            "E10 — Bitcoin-like overlay under churn",
+            Measurement::P2pPropagation {
+                blocks: 6,
+                smoke_blocks: 2,
+            },
+        )
+        .reproduces("Sections 1.1 and 2 (the PDGR model's motivating application)")
+        .nets([NetSpec::P2p])
+        .full_grid(Grid::new([1_000, 2_000], [8], 1))
+        .smoke_grid(Grid::new([300], [8], 1))
+        .base_seed(0xE10),
+    );
+
+    // E11 — flooding over all five dynamic networks (protocol comparison).
+    registry.register(
+        Scenario::new(
+            "raes-flooding",
+            "E11 — flooding over RAES-maintained vs. paper topologies",
+            Measurement::ParallelFlooding(FloodingSpec {
+                budget: RoundBudget::Log2Times(8),
+                record_isolation: true,
+            }),
+        )
+        .reproduces("churn-protocol RAES vs. Table 1 baselines (Cruciani 2025)")
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdg),
+            NetSpec::Baseline(ModelKind::Sdgr),
+            NetSpec::Baseline(ModelKind::Pdg),
+            NetSpec::Baseline(ModelKind::Pdgr),
+            NetSpec::raes_default(),
+        ])
+        .full_grid(Grid::new([100_000, 1_000_000], [8], 6))
+        .smoke_grid(Grid::new([256], [8], 2))
+        .base_seed(0xE11),
+    );
+
+    // E13 (new) — the RAES protocol axes under saturation: capacity factor,
+    // saturation policy and the attempts-per-round knob as grid axes.
+    registry.register(
+        Scenario::new(
+            "raes-saturation",
+            "E13 — RAES saturation policies and the attempts-per-round knob",
+            Measurement::ParallelFlooding(FloodingSpec {
+                budget: RoundBudget::Log2Times(8),
+                record_isolation: true,
+            }),
+        )
+        .reproduces("Protocol behaviour at c = 1 (capacity = demand): repair latency vs. attempts")
+        .nets([
+            NetSpec::Raes(RaesNet {
+                capacity: 1.0,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                capacity: 1.0,
+                attempts: 2,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                capacity: 1.0,
+                attempts: 4,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                capacity: 1.0,
+                saturation: SaturationPolicy::EvictOldest,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                churn: ChurnDriver::Poisson,
+                capacity: 1.0,
+                attempts: 2,
+                ..RaesNet::default()
+            }),
+        ])
+        .full_grid(Grid::new([4_096, 16_384], [8], 4))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE13),
+    );
+
+    // E12 — adversarial churn schedules (robustness beyond oblivious churn).
+    registry.register(
+        Scenario::new(
+            "adversarial-churn",
+            "E12 — adversarial death schedules",
+            Measurement::Flooding(FloodingSpec {
+                budget: RoundBudget::Fixed(200),
+                record_isolation: true,
+            }),
+        )
+        .reproduces("Adaptive vs. oblivious churn (RAES line of work); Theorem 4.20")
+        .nets([
+            NetSpec::Baseline(ModelKind::Pdg),
+            NetSpec::Baseline(ModelKind::Pdgr),
+        ])
+        .victims([
+            VictimPolicy::Uniform,
+            VictimPolicy::OldestFirst,
+            VictimPolicy::HighestDegree,
+        ])
+        .full_grid(Grid::new([512, 1_024], [4, 8], 6))
+        .smoke_grid(Grid::new([128], [2], 1))
+        .base_seed(0xE12),
+    );
+    registry.register(
+        Scenario::new(
+            "adversarial-churn-1m",
+            "E12 — degree-targeted churn at n = 10^6 (bucketed victim index)",
+            Measurement::Flooding(FloodingSpec {
+                budget: RoundBudget::Fixed(200),
+                record_isolation: true,
+            }),
+        )
+        .reproduces("Adversarial grids at scale, enabled by the degree-bucketed victim index")
+        .nets([NetSpec::Baseline(ModelKind::Pdgr)])
+        .victims([VictimPolicy::Uniform, VictimPolicy::HighestDegree])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([256], [4], 1))
+        .base_seed(0xE12),
+    );
+
+    registry
+}
+
+/// Runs one scenario with the given options and prints its report (header,
+/// cell/skip counts, per-point summary table).
+///
+/// # Panics
+///
+/// Panics when the scenario is unknown or the checkpoint file cannot be
+/// written — both are fatal for a CLI run.
+pub fn run_and_report(
+    registry: &ScenarioRegistry,
+    name: &str,
+    opts: &RunOptions,
+) -> ScenarioOutcome {
+    let scenario = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("unknown scenario {name:?} (try `exp list`)"));
+    println!("## {}", scenario.title());
+    println!();
+    if !scenario.reproduced_artifact().is_empty() {
+        println!(
+            "Reproduces: {}  (preset: {})",
+            scenario.reproduced_artifact(),
+            opts.preset.label()
+        );
+        println!();
+    }
+    let outcome =
+        run_scenario(scenario, opts).unwrap_or_else(|e| panic!("scenario {name:?} failed: {e}"));
+    println!(
+        "Cells: {} total, {} executed, {} resumed from checkpoint → {}",
+        outcome.total,
+        outcome.executed,
+        outcome.skipped,
+        outcome.path.display()
+    );
+    println!();
+    let table = churn_analysis::summarize_cells(
+        format!("{} — per-point means", scenario.name()),
+        &outcome.records,
+    );
+    println!("{}", table.to_markdown());
+    outcome
+}
+
+/// Entry point of the legacy experiment shims: maps the historical `quick`
+/// CLI argument / `CHURN_QUICK` environment variable to the smoke preset and
+/// runs the listed scenarios through the engine.
+pub fn shim_main(scenario_names: &[&str]) {
+    let preset = match crate::preset_from_env_and_args() {
+        crate::Preset::Quick => GridPreset::Smoke,
+        crate::Preset::Full => GridPreset::Full,
+    };
+    let resume = std::env::args().skip(1).any(|a| a == "--resume");
+    let registry = registry();
+    for name in scenario_names {
+        let opts = RunOptions {
+            preset,
+            resume,
+            ..RunOptions::default()
+        };
+        run_and_report(&registry, name, &opts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_round_trips_names_and_validates_every_scenario() {
+        let registry = registry();
+        let names = registry.names();
+        assert!(names.len() >= 16, "all legacy experiments are registered");
+        for scenario in registry.scenarios() {
+            // register() already validated; re-validate for the round trip
+            // and pin the lookup.
+            assert!(scenario.validate().is_ok(), "{}", scenario.name());
+            assert_eq!(
+                registry.get(scenario.name()).map(Scenario::name),
+                Some(scenario.name())
+            );
+            // Every scenario has a non-empty smoke grid that is genuinely
+            // small (CI runs the whole registry per PR).
+            let smoke = scenario.cells(GridPreset::Smoke);
+            assert!(!smoke.is_empty(), "{} has no smoke cells", scenario.name());
+            assert!(
+                smoke.iter().all(|c| c.n <= 2_048),
+                "{} smoke grid must stay tiny",
+                scenario.name()
+            );
+            assert!(
+                smoke.len() <= 16,
+                "{} smoke grid must stay narrow",
+                scenario.name()
+            );
+            let full = scenario.cells(GridPreset::Full);
+            assert!(!full.is_empty(), "{} has no full cells", scenario.name());
+            // Cell seeds are unique within a preset (they are the checkpoint
+            // identity).
+            for cells in [&smoke, &full] {
+                let mut seeds: Vec<u64> = cells.iter().map(|c| scenario.cell_seed(c)).collect();
+                seeds.sort_unstable();
+                seeds.dedup();
+                assert_eq!(seeds.len(), cells.len(), "{}", scenario.name());
+            }
+        }
+        // The historical experiment set is covered.
+        for name in [
+            "isolated-nodes",
+            "large-set-expansion",
+            "flooding-failure",
+            "partial-flooding",
+            "regen-expansion",
+            "raes-regen-tracking",
+            "flooding-scaling",
+            "static-baseline",
+            "poisson-churn",
+            "onion-skin",
+            "p2p-overlay",
+            "raes-flooding",
+            "adversarial-churn",
+        ] {
+            assert!(registry.get(name).is_some(), "missing scenario {name}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Golden-equivalence suite: ported scenarios reproduce the pre-refactor
+//! binaries' measurements exactly.
+//!
+//! Each test replays a legacy binary's measurement loop — the literal
+//! pre-refactor control flow: `Sweep::trial_seed` seeding,
+//! `build_with_victim`, the same warm-up / census / flooding calls — at the
+//! scenario's small-`n` smoke grid, and compares against the records the
+//! scenario engine wrote:
+//!
+//! * `adversarial-churn` (E12) and `isolated-nodes` (E1): the engine's
+//!   output file is **byte-identical** to records serialised from the legacy
+//!   loop's values.
+//! * `raes-flooding` (E11) and `flooding-scaling` (E6): every metric the
+//!   legacy binary measured is equal to the engine's value **bit for bit**
+//!   (`f64::to_bits`; the engine additionally records the informed-overlap
+//!   metrics the legacy binaries did not have, so whole-file byte equality
+//!   is checked over the shared prefix of each record's metric list).
+//!
+//! An engine trajectory can only match the legacy loop's if the per-cell
+//! seeds, model construction and measurement order are all unchanged — which
+//! is exactly what these tests pin.
+
+use std::fs;
+use std::path::PathBuf;
+
+use churn_bench::scenarios::registry;
+use churn_core::flooding::{run_flooding, run_flooding_parallel, FloodingConfig, FloodingSource};
+use churn_core::{DynamicNetwork, ModelKind};
+use churn_observe::{LifetimeIsolation, LiveMetrics};
+use churn_protocol::{RaesConfig, RaesModel};
+use churn_sim::scenario::{run_scenario, CellRecord, GridPreset, NetSpec, RunOptions, Scenario};
+use churn_sim::{observe_rounds, ParamPoint, Sweep};
+
+fn run_smoke(scenario: &Scenario, tag: &str) -> (Vec<CellRecord>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("churn-golden-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let opts = RunOptions {
+        preset: GridPreset::Smoke,
+        dir,
+        ..RunOptions::default()
+    };
+    let outcome = run_scenario(scenario, &opts).expect("scenario runs");
+    assert_eq!(outcome.executed, outcome.total);
+    (outcome.records, outcome.path)
+}
+
+/// The legacy sweep seed of a baseline cell (the pre-refactor binaries all
+/// seeded through `Sweep::trial_seed`).
+fn legacy_seed(
+    kind: ModelKind,
+    n: usize,
+    d: usize,
+    victim: churn_core::VictimPolicy,
+    trial: usize,
+    base_seed: u64,
+) -> u64 {
+    let sweep = Sweep::new("legacy")
+        .models([kind])
+        .sizes([n])
+        .degrees([d])
+        .trials(trial + 1)
+        .base_seed(base_seed)
+        .victim_policy(victim);
+    sweep.trial_seed(&ParamPoint { model: kind, n, d }, trial)
+}
+
+#[test]
+fn adversarial_churn_records_are_byte_identical_to_the_legacy_loop() {
+    let registry = registry();
+    let scenario = registry.get("adversarial-churn").unwrap();
+    let (_, path) = run_smoke(scenario, "e12");
+
+    let mut expected = String::new();
+    for cell in scenario.cells(GridPreset::Smoke) {
+        let NetSpec::Baseline(kind) = cell.net else {
+            panic!("E12 runs on baselines");
+        };
+        let seed = legacy_seed(kind, cell.n, cell.d, cell.victim, cell.trial, 0xE12);
+        assert_eq!(seed, scenario.cell_seed(&cell), "seed derivation unchanged");
+        // The pre-refactor exp_adversarial_churn measurement body.
+        let mut model = kind
+            .build_with_victim(cell.n, cell.d, seed, cell.victim)
+            .expect("valid parameters");
+        model.warm_up();
+        let metrics = LiveMetrics::new(model.graph());
+        let isolated_fraction = metrics.isolated_count() as f64 / model.alive_count().max(1) as f64;
+        let record = run_flooding(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::with_max_rounds(200),
+        );
+        let expected_record = CellRecord {
+            scenario: scenario.name().to_string(),
+            net: cell.net.label(),
+            n: cell.n,
+            d: cell.d,
+            victim: cell.victim.label().to_string(),
+            trial: cell.trial,
+            seed,
+            metrics: vec![
+                ("isolated_fraction".into(), isolated_fraction),
+                (
+                    "flooding_rounds".into(),
+                    record.outcome.rounds().unwrap_or(200).min(200) as f64,
+                ),
+                ("completed".into(), f64::from(record.outcome.is_complete())),
+                ("died_out".into(), f64::from(record.outcome.is_died_out())),
+                ("final_fraction".into(), record.final_fraction()),
+                ("peak_informed".into(), record.peak_informed() as f64),
+            ],
+        };
+        expected.push_str(&expected_record.to_json_line());
+        expected.push('\n');
+    }
+    assert_eq!(
+        fs::read_to_string(&path).unwrap(),
+        expected,
+        "engine output must be byte-identical to the legacy measurement loop"
+    );
+    fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn isolated_nodes_records_are_byte_identical_to_the_legacy_loop() {
+    let registry = registry();
+    let scenario = registry.get("isolated-nodes").unwrap();
+    let (_, path) = run_smoke(scenario, "e1");
+
+    let mut expected = String::new();
+    for cell in scenario.cells(GridPreset::Smoke) {
+        let NetSpec::Baseline(kind) = cell.net else {
+            panic!("E1 runs on baselines");
+        };
+        let seed = legacy_seed(kind, cell.n, cell.d, cell.victim, cell.trial, 0xE1);
+        // The pre-refactor exp_isolated_nodes isolation_trial body.
+        let mut model = kind
+            .build_with_victim(cell.n, cell.d, seed, cell.victim)
+            .expect("valid parameters");
+        model.warm_up();
+        let horizon = if kind.is_streaming() {
+            cell.n as u64
+        } else {
+            3 * cell.n as u64
+        };
+        let alive = model.alive_count().max(1);
+        let mut tracker = LifetimeIsolation::start(model.graph());
+        let isolated_now = tracker.initial_isolated().len();
+        observe_rounds(&mut model, horizon, |_, m, _, delta| {
+            tracker.apply(m.graph(), delta);
+        });
+        let lifetime = tracker.finish(model.graph());
+        let expected_record = CellRecord {
+            scenario: scenario.name().to_string(),
+            net: cell.net.label(),
+            n: cell.n,
+            d: cell.d,
+            victim: cell.victim.label().to_string(),
+            trial: cell.trial,
+            seed,
+            metrics: vec![
+                (
+                    "isolated_fraction".into(),
+                    isolated_now as f64 / alive as f64,
+                ),
+                (
+                    "lifetime_fraction".into(),
+                    lifetime.len() as f64 / alive as f64,
+                ),
+                ("horizon".into(), horizon as f64),
+            ],
+        };
+        expected.push_str(&expected_record.to_json_line());
+        expected.push('\n');
+    }
+    assert_eq!(
+        fs::read_to_string(&path).unwrap(),
+        expected,
+        "engine output must be byte-identical to the legacy measurement loop"
+    );
+    fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn raes_flooding_metrics_match_the_legacy_loop_bit_for_bit() {
+    let registry = registry();
+    let scenario = registry.get("raes-flooding").unwrap();
+    let (records, path) = run_smoke(scenario, "e11");
+
+    for (cell, record) in scenario.cells(GridPreset::Smoke).iter().zip(&records) {
+        let max_rounds = 8 * (cell.n as f64).log2().ceil() as u64;
+        // The pre-refactor exp_raes_flooding measurement body: the RAES rows
+        // built a default RaesConfig, the baselines went through the sweep's
+        // build path; all flooded through the sharded parallel engine.
+        let (flood, isolated_fraction, protocol) = match cell.net {
+            NetSpec::Raes(_) => {
+                let seed = legacy_seed(
+                    ModelKind::Raes,
+                    cell.n,
+                    cell.d,
+                    cell.victim,
+                    cell.trial,
+                    0xE11,
+                );
+                assert_eq!(seed, record.seed, "RAES cells keep the sweep seed tag");
+                let mut model = RaesModel::new(RaesConfig::new(cell.n, cell.d).seed(seed)).unwrap();
+                model.warm_up();
+                let isolated = churn_core::isolated::isolated_now(&model).len() as f64
+                    / model.alive_count().max(1) as f64;
+                let flood = run_flooding_parallel(
+                    &mut model,
+                    FloodingSource::NextToJoin,
+                    &FloodingConfig::with_max_rounds(max_rounds),
+                    2,
+                );
+                let alive = model.alive_count().max(1);
+                let protocol = vec![
+                    ("max_in_degree", model.max_in_degree() as f64),
+                    ("in_degree_cap", model.in_degree_cap() as f64),
+                    ("rejection_rate", model.stats().rejection_rate()),
+                    ("mean_repair_latency", model.stats().mean_repair_latency()),
+                    (
+                        "pending_backlog",
+                        model.pending_requests().len() as f64 / alive as f64,
+                    ),
+                ];
+                (flood, isolated, protocol)
+            }
+            NetSpec::Baseline(kind) => {
+                let seed = legacy_seed(kind, cell.n, cell.d, cell.victim, cell.trial, 0xE11);
+                assert_eq!(seed, record.seed);
+                let mut model = kind
+                    .build_with_victim(cell.n, cell.d, seed, cell.victim)
+                    .unwrap();
+                model.warm_up();
+                let isolated = churn_core::isolated::isolated_now(&model).len() as f64
+                    / model.alive_count().max(1) as f64;
+                let flood = run_flooding_parallel(
+                    &mut model,
+                    FloodingSource::NextToJoin,
+                    &FloodingConfig::with_max_rounds(max_rounds),
+                    2,
+                );
+                (flood, isolated, Vec::new())
+            }
+            _ => panic!("E11 has no static/p2p nets"),
+        };
+        let mut expected: Vec<(&str, f64)> = vec![
+            ("isolated_fraction", isolated_fraction),
+            (
+                "flooding_rounds",
+                flood.outcome.rounds().unwrap_or(max_rounds).min(max_rounds) as f64,
+            ),
+            ("completed", f64::from(flood.outcome.is_complete())),
+            ("died_out", f64::from(flood.outcome.is_died_out())),
+            ("final_fraction", flood.final_fraction()),
+            ("peak_informed", flood.peak_informed() as f64),
+        ];
+        expected.extend(protocol);
+        for (metric, value) in expected {
+            let engine = record
+                .metric(metric)
+                .unwrap_or_else(|| panic!("metric {metric} missing"));
+            assert_eq!(
+                engine.to_bits(),
+                value.to_bits(),
+                "{metric} must match the legacy loop bit for bit ({} {})",
+                record.net,
+                record.trial
+            );
+        }
+        // The engine additionally reports the informed-overlap pipeline.
+        assert!(record.metric("informed_alive_overlap").is_some());
+    }
+    fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn flooding_scaling_metrics_match_the_legacy_loop_bit_for_bit() {
+    let registry = registry();
+    let scenario = registry.get("flooding-scaling").unwrap();
+    let (records, path) = run_smoke(scenario, "e6");
+
+    for (cell, record) in scenario.cells(GridPreset::Smoke).iter().zip(&records) {
+        let NetSpec::Baseline(kind) = cell.net else {
+            panic!("E6 runs on baselines");
+        };
+        let seed = legacy_seed(kind, cell.n, cell.d, cell.victim, cell.trial, 0xE6);
+        assert_eq!(seed, record.seed);
+        // The pre-refactor fig_flooding_scaling trial body.
+        let mut model = kind
+            .build_with_victim(cell.n, cell.d, seed, cell.victim)
+            .unwrap();
+        model.warm_up();
+        let flood = run_flooding_parallel(
+            &mut model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+            2,
+        );
+        assert!(flood.outcome.is_complete(), "regeneration models complete");
+        assert_eq!(
+            record.metric("flooding_rounds").unwrap().to_bits(),
+            (flood.outcome.rounds().unwrap() as f64).to_bits()
+        );
+        assert_eq!(record.metric("completed"), Some(1.0));
+        assert_eq!(
+            record.metric("final_fraction").unwrap().to_bits(),
+            flood.final_fraction().to_bits()
+        );
+    }
+    fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn interrupted_registered_scenario_resumes_bit_identically() {
+    // The sim crate pins resume determinism on a synthetic scenario; this
+    // covers a *registered* one whose cells exercise the sharded parallel
+    // engine and the RAES rows.
+    let registry = registry();
+    let scenario = registry.get("raes-flooding").unwrap();
+
+    let base = std::env::temp_dir().join(format!("churn-resume-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let reference = run_scenario(
+        scenario,
+        &RunOptions {
+            preset: GridPreset::Smoke,
+            dir: base.join("reference"),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let reference_bytes = fs::read(&reference.path).unwrap();
+
+    // Kill after 4 cells, then resume.
+    let interrupted = RunOptions {
+        preset: GridPreset::Smoke,
+        dir: base.join("resumed"),
+        limit: Some(4),
+        ..RunOptions::default()
+    };
+    let partial = run_scenario(scenario, &interrupted).unwrap();
+    assert_eq!(partial.executed, 4);
+    let resumed = run_scenario(
+        scenario,
+        &RunOptions {
+            resume: true,
+            limit: None,
+            ..interrupted
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.skipped, 4);
+    assert_eq!(
+        fs::read(&resumed.path).unwrap(),
+        reference_bytes,
+        "resumed registered scenario must be bit-identical to an uninterrupted run"
+    );
+    fs::remove_dir_all(&base).ok();
+}

@@ -143,6 +143,25 @@ pub fn highest_degree_victim(graph: &DynamicGraph) -> (NodeId, u32) {
     (id, idx)
 }
 
+/// Like [`highest_degree_victim`], but served through the graph's
+/// degree-bucketed member index ([`DynamicGraph::highest_degree_member`])
+/// when a host enabled it ([`DynamicGraph::set_degree_index`]) — amortised
+/// O(1) per incident edge change instead of an O(n) member scan per death,
+/// which is what makes degree-targeted adversarial grids feasible at
+/// `n = 10^6`. Victim choice (max incident links, smallest-identifier
+/// tie-break) is identical on both paths, so trajectories do not depend on
+/// whether the index is on.
+///
+/// # Panics
+///
+/// Panics on an empty graph (a death event implies at least one alive node).
+pub fn highest_degree_victim_indexed(graph: &mut DynamicGraph) -> (NodeId, u32) {
+    let (id, idx) = graph
+        .highest_degree_member()
+        .expect("a death event implies at least one alive node");
+    (id, idx)
+}
+
 /// Model-specific churn hooks: how one node enters and leaves the network.
 ///
 /// Implemented by every model that runs a shared churn driver. These methods

@@ -32,6 +32,13 @@ pub enum ModelError {
         /// The rejected value.
         value: f64,
     },
+    /// The attempts-per-round knob of a maintenance protocol (how many
+    /// contacts a pending repair request may make within one round) is
+    /// invalid.
+    InvalidAttempts {
+        /// The rejected value (must be at least 1).
+        requested: usize,
+    },
     /// The requested [`crate::driver::VictimPolicy`] cannot run on this model
     /// kind (e.g. degree-targeted deaths on streaming churn, whose death
     /// schedule is structurally fixed to oldest-first).
@@ -65,6 +72,10 @@ impl fmt::Display for ModelError {
             ModelError::InvalidRate { parameter, value } => write!(
                 f,
                 "rate parameter {parameter} = {value} is invalid (must be finite and positive)"
+            ),
+            ModelError::InvalidAttempts { requested } => write!(
+                f,
+                "attempts-per-round {requested} is invalid (must be at least 1)"
             ),
             ModelError::InvalidCapacityFactor { value } => write!(
                 f,

@@ -1161,6 +1161,53 @@ pub fn run_flooding_parallel<M: DynamicNetwork + ?Sized>(
     run_flooding_loop(model, config, source_id, start_time, |m| engine.step(m))
 }
 
+/// Like [`run_flooding_parallel`], with the graph's [`GraphDelta`] change
+/// feed wired in: recording is (re)started before the run, and after every
+/// round `observer(model, delta, engine)` receives the round's drained churn
+/// window plus the engine (whose
+/// [`ParallelFrontier::newly_informed_dense`] lists the round's newly
+/// informed cells). One initial call — empty-or-source-selection window, the
+/// source already informed — precedes the first round, so incremental
+/// overlap trackers (`churn-observe`'s `InformedOverlap`) can seed
+/// themselves. Recording is disabled again on return.
+///
+/// The flooding trajectory is identical to [`run_flooding_parallel`]'s —
+/// observation reads, never steers.
+///
+/// [`GraphDelta`]: churn_graph::GraphDelta
+pub fn run_flooding_parallel_observed<M, F>(
+    model: &mut M,
+    source: FloodingSource,
+    config: &FloodingConfig,
+    threads: usize,
+    mut observer: F,
+) -> FloodingRecord
+where
+    M: DynamicNetwork + ?Sized,
+    F: FnMut(&M, &churn_graph::GraphDelta, &ParallelFrontier),
+{
+    // Restart recording so a stale pre-run window (e.g. a warm-up performed
+    // with recording enabled) cannot leak into the first observation.
+    model.graph_mut().set_delta_recording(false);
+    model.graph_mut().set_delta_recording(true);
+    let mut engine = ParallelFrontier::start(model, source, threads);
+    let source_id = engine.source();
+    let start_time = engine.start_time();
+    let mut delta = churn_graph::GraphDelta::new();
+    // Source selection may have advanced the model (FloodingSource::NextToJoin
+    // waits for a join); hand that window to the observer before round 1.
+    model.graph_mut().take_delta_into(&mut delta);
+    observer(&*model, &delta, &engine);
+    let record = run_flooding_loop(model, config, source_id, start_time, |m| {
+        let stats = engine.step(m);
+        m.graph_mut().take_delta_into(&mut delta);
+        observer(&*m, &delta, &engine);
+        stats
+    });
+    model.graph_mut().set_delta_recording(false);
+    record
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1595,5 +1642,53 @@ mod tests {
             peak_informed: 2
         }
         .is_died_out());
+    }
+
+    #[test]
+    fn observed_parallel_run_matches_plain_and_feeds_the_observer() {
+        let mut plain_model = sdgr(192, 6, 9);
+        let plain = run_flooding_parallel(
+            &mut plain_model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+            2,
+        );
+        let mut observed_model = sdgr(192, 6, 9);
+        let mut calls = 0u64;
+        let mut informed_seen = 0usize;
+        let observed = run_flooding_parallel_observed(
+            &mut observed_model,
+            FloodingSource::NextToJoin,
+            &FloodingConfig::default(),
+            2,
+            |m, delta, engine| {
+                if calls == 0 {
+                    // The pre-round call: only the source is informed, and the
+                    // delta covers at most the source-selection round.
+                    assert_eq!(engine.newly_informed_dense().count(), 1);
+                } else {
+                    // Streaming churn: exactly one birth and one death per
+                    // warm round reach the observer through the delta.
+                    assert_eq!(delta.births.len(), 1);
+                    assert_eq!(delta.deaths.len(), 1);
+                }
+                informed_seen += engine.newly_informed_dense().count();
+                assert_eq!(m.alive_count(), 192);
+                calls += 1;
+            },
+        );
+        assert_eq!(
+            observed, plain,
+            "observation must not change the trajectory"
+        );
+        assert_eq!(calls, observed.rounds_elapsed() + 1);
+        assert!(
+            informed_seen >= observed.rounds.last().map_or(0, |r| r.informed),
+            "every informed entry is announced exactly once while alive"
+        );
+        assert!(
+            !observed_model.graph().delta_recording(),
+            "recording is detached on return"
+        );
     }
 }

@@ -90,8 +90,15 @@ impl PoissonModel {
         let rng = seeded_rng(config.seed);
         let chain = BirthDeathChain::new(config.lambda, config.mu);
         let capacity = config.expected_size() + 16;
+        let mut graph = DynamicGraph::with_capacity(capacity);
+        if config.victim_policy == VictimPolicy::HighestDegree {
+            // Degree-targeted deaths read the hub through the bucketed index
+            // (amortised O(1) per incident edge change) instead of scanning
+            // all members per death.
+            graph.set_degree_index(true);
+        }
         Ok(PoissonModel {
-            graph: DynamicGraph::with_capacity(capacity),
+            graph,
             rng,
             chain,
             time: 0.0,
@@ -210,7 +217,7 @@ impl PoissonModel {
                 (victim, victim_idx)
             }
             VictimPolicy::OldestFirst => driver::oldest_alive_victim(&self.graph, &mut self.order),
-            VictimPolicy::HighestDegree => driver::highest_degree_victim(&self.graph),
+            VictimPolicy::HighestDegree => driver::highest_degree_victim_indexed(&mut self.graph),
         }
     }
 

@@ -396,6 +396,135 @@ pub struct DynamicGraph {
     /// Change feed for observers (`None` while no subscriber is attached, so
     /// the mutators pay one branch). Boxed to keep the graph struct lean.
     delta: Option<Box<GraphDelta>>,
+    /// Opt-in degree-bucketed member index for adversarial victim selection
+    /// (`None` unless [`Self::set_degree_index`] enabled it). Boxed like the
+    /// delta so the common case stays lean.
+    degree: Option<Box<DegreeIndex>>,
+}
+
+/// Sentinel in [`DynamicGraph::sample_members_each_excluding_into`]'s exclude
+/// list: skip this entry without consuming a random draw (the caller's
+/// request is void, e.g. its owner died). Echoed verbatim in the output.
+pub const SAMPLE_SKIP: u32 = u32::MAX;
+
+/// Sentinel in [`DynamicGraph::sample_members_each_excluding_into`]'s output:
+/// no valid candidate existed for this entry (the excluded node is the only
+/// alive one, or the graph is empty).
+pub const SAMPLE_NONE: u32 = u32::MAX - 1;
+
+/// Degree-bucketed index over the alive members, keyed by *incident link
+/// count* (filled out-slots plus in-references, with multiplicity — the
+/// quantity [`DynamicGraph::incident_link_count_at`] reports and the
+/// degree-targeted adversarial victim policy maximises).
+///
+/// Mutators do O(1) work per incident edge change: they only append the
+/// touched cell to a pending list (the same instrumentation points the
+/// [`GraphDelta`] change feed uses). Reconciliation against the current
+/// incident counts happens lazily at query time, so each change is processed
+/// at most once — replacing the O(n) member scan per adversarial death that
+/// previously made degree-targeted churn infeasible at `n = 10^6`.
+#[derive(Debug, Clone, Default)]
+struct DegreeIndex {
+    /// Cells whose incident count may have changed since the last flush.
+    pending: Vec<u32>,
+    /// Last reconciled incident count per cell (`NOT_TRACKED` when vacant).
+    known: Vec<u32>,
+    /// Position of each tracked cell inside its bucket.
+    pos: Vec<u32>,
+    /// `buckets[k]` = tracked cells with incident count `k`.
+    buckets: Vec<Vec<u32>>,
+    /// Upper bound on the highest non-empty bucket.
+    max_bucket: usize,
+}
+
+/// Marker in [`DegreeIndex::known`] for cells not currently tracked.
+const NOT_TRACKED: u32 = u32::MAX;
+
+impl DegreeIndex {
+    fn grow(&mut self, slab_len: usize) {
+        if self.known.len() < slab_len {
+            self.known.resize(slab_len, NOT_TRACKED);
+            self.pos.resize(slab_len, 0);
+        }
+    }
+
+    fn insert(&mut self, idx: u32, count: usize) {
+        if self.buckets.len() <= count {
+            self.buckets.resize_with(count + 1, Vec::new);
+        }
+        self.pos[idx as usize] = self.buckets[count].len() as u32;
+        self.buckets[count].push(idx);
+        self.known[idx as usize] = count as u32;
+        self.max_bucket = self.max_bucket.max(count);
+    }
+
+    fn remove(&mut self, idx: u32) {
+        let count = self.known[idx as usize];
+        if count == NOT_TRACKED {
+            return;
+        }
+        let bucket = &mut self.buckets[count as usize];
+        let pos = self.pos[idx as usize] as usize;
+        bucket.swap_remove(pos);
+        if let Some(&moved) = bucket.get(pos) {
+            self.pos[moved as usize] = pos as u32;
+        }
+        self.known[idx as usize] = NOT_TRACKED;
+    }
+
+    /// Reconciles every pending cell against the graph's current incident
+    /// counts. Amortised O(1) per recorded change (duplicates are cheap:
+    /// an already-reconciled cell compares equal and is skipped).
+    fn flush(&mut self, slab: &[Option<NodeRecord>]) {
+        self.grow(slab.len());
+        while let Some(idx) = self.pending.pop() {
+            let current = slab
+                .get(idx as usize)
+                .and_then(|cell| cell.as_ref())
+                .map(|rec| rec.filled_out() + rec.in_refs.len());
+            match current {
+                None => self.remove(idx),
+                Some(count) => {
+                    if self.known[idx as usize] != count as u32 {
+                        self.remove(idx);
+                        self.insert(idx, count);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tracked cell with the largest incident count, ties broken towards
+    /// the smallest identifier — exactly the choice of the reference O(n)
+    /// scan. Cost: the downward walk over empty buckets (amortised against
+    /// the insertions that raised `max_bucket`) plus one scan of the top
+    /// non-empty bucket for the identifier tie-break.
+    fn best(&mut self, slab: &[Option<NodeRecord>]) -> Option<(NodeId, u32)> {
+        let mut k = self.max_bucket;
+        loop {
+            if let Some(bucket) = self.buckets.get(k) {
+                if !bucket.is_empty() {
+                    self.max_bucket = k;
+                    let mut best: Option<(NodeId, u32)> = None;
+                    for &idx in bucket {
+                        let id = slab[idx as usize]
+                            .as_ref()
+                            .expect("tracked cells are occupied after a flush")
+                            .id;
+                        if best.is_none_or(|(best_id, _)| id < best_id) {
+                            best = Some((id, idx));
+                        }
+                    }
+                    return best;
+                }
+            }
+            if k == 0 {
+                self.max_bucket = 0;
+                return None;
+            }
+            k -= 1;
+        }
+    }
 }
 
 impl Default for DynamicGraph {
@@ -424,6 +553,7 @@ impl DynamicGraph {
             id_sorted: true,
             next_sorted_id: 0,
             delta: None,
+            degree: None,
         }
     }
 
@@ -461,11 +591,92 @@ impl DynamicGraph {
         }
     }
 
-    /// Marks a cell dirty in the change feed (no-op while recording is off).
+    /// Marks a cell dirty in the change feed and/or the degree index's
+    /// pending list (no-op while neither is attached).
     #[inline]
     fn mark_dirty(&mut self, idx: u32) {
         if let Some(delta) = self.delta.as_deref_mut() {
             delta.dirty.push(idx);
+        }
+        if let Some(degree) = self.degree.as_deref_mut() {
+            degree.pending.push(idx);
+        }
+    }
+
+    /// Returns `true` while any mutation observer (change feed or degree
+    /// index) is attached — the mutators' single-branch guard.
+    #[inline]
+    fn observing(&self) -> bool {
+        self.delta.is_some() || self.degree.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Degree-bucketed member index
+    // ------------------------------------------------------------------
+
+    /// Enables or disables the degree-bucketed member index behind
+    /// [`Self::highest_degree_member`]. Enabling builds the index from the
+    /// current members (one O(n) pass); from then on every mutator records
+    /// the touched cells in O(1) and queries reconcile lazily. Disabling
+    /// drops the index. With the index off (the default) the mutators pay
+    /// exactly one branch for the feature, shared with the change feed.
+    pub fn set_degree_index(&mut self, enabled: bool) {
+        if !enabled {
+            self.degree = None;
+            return;
+        }
+        if self.degree.is_some() {
+            return;
+        }
+        let mut index = Box::<DegreeIndex>::default();
+        index.grow(self.slab.len());
+        for &idx in &self.members {
+            let count = self
+                .incident_link_count_at(idx)
+                .expect("member cells are occupied");
+            index.insert(idx, count);
+        }
+        self.degree = Some(index);
+    }
+
+    /// Returns `true` while the degree-bucketed member index is enabled.
+    #[must_use]
+    pub fn degree_index_enabled(&self) -> bool {
+        self.degree.is_some()
+    }
+
+    /// The alive node with the most incident links (with multiplicity,
+    /// [`Self::incident_link_count_at`]), ties broken towards the smallest
+    /// identifier, or `None` for an empty graph.
+    ///
+    /// With the degree index enabled ([`Self::set_degree_index`]) this
+    /// reconciles the pending changes — amortised O(1) per incident edge
+    /// change since the last query — and reads the top bucket; without it,
+    /// one O(n) member scan. Both paths pick the identical node.
+    pub fn highest_degree_member(&mut self) -> Option<(NodeId, u32)> {
+        match self.degree.take() {
+            Some(mut index) => {
+                index.flush(&self.slab);
+                let best = index.best(&self.slab);
+                self.degree = Some(index);
+                best
+            }
+            None => {
+                let mut best: Option<(usize, NodeId, u32)> = None;
+                for &idx in &self.members {
+                    let rec = self.slab[idx as usize]
+                        .as_ref()
+                        .expect("member cells are occupied");
+                    let links = rec.filled_out() + rec.in_refs.len();
+                    let better = best.is_none_or(|(best_links, best_id, _)| {
+                        links > best_links || (links == best_links && rec.id < best_id)
+                    });
+                    if better {
+                        best = Some((links, rec.id, idx));
+                    }
+                }
+                best.map(|(_, id, idx)| (id, idx))
+            }
         }
     }
 
@@ -665,6 +876,39 @@ impl DynamicGraph {
         }
     }
 
+    /// Bulk variant of [`Self::sample_member_excluding`] with a *per-entry*
+    /// exclusion: for every entry of `excludes`, appends one uniformly random
+    /// alive index different from that entry. An input of [`SAMPLE_SKIP`] is
+    /// echoed verbatim without consuming a random draw (the caller's request
+    /// is void — e.g. a repair request whose owner died); an entry with no
+    /// valid candidate appends [`SAMPLE_NONE`].
+    ///
+    /// The output is aligned with `excludes` (`out` grows by exactly
+    /// `excludes.len()`), and the random draws are **identical in number and
+    /// order** to per-entry [`Self::sample_member_excluding`] calls over the
+    /// non-skipped entries — so folding a per-request loop into one bulk call
+    /// (the RAES repair sweep does) preserves recorded trajectories bit for
+    /// bit. The win is keeping the whole sampling phase inside one member
+    /// table walk, ahead of whatever record work the caller does next.
+    pub fn sample_members_each_excluding_into<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        excludes: &[u32],
+        out: &mut Vec<u32>,
+    ) {
+        out.reserve(excludes.len());
+        for &exclude in excludes {
+            if exclude == SAMPLE_SKIP {
+                out.push(SAMPLE_SKIP);
+                continue;
+            }
+            out.push(
+                self.sample_member_excluding(rng, exclude)
+                    .unwrap_or(SAMPLE_NONE),
+            );
+        }
+    }
+
     /// Appends the dense indices of every undirected neighbour of `idx` to
     /// `out` (out-slot targets first, then in-referencing owners). Duplicates
     /// are *not* removed — callers that need a set deduplicate themselves
@@ -818,7 +1062,7 @@ impl DynamicGraph {
             .expect("in-reference implies a pointing out-slot");
         owner_rec.out_slots.set(slot, NO_TARGET);
         self.filled_slots -= 1;
-        if self.delta.is_some() {
+        if self.observing() {
             self.mark_dirty(idx);
             self.mark_dirty(owner);
         }
@@ -895,9 +1139,11 @@ impl DynamicGraph {
         self.next_sorted_id = self.next_sorted_id.max(id.raw().saturating_add(1));
         self.members.push(idx);
         self.index.insert(id, idx);
-        if let Some(delta) = self.delta.as_deref_mut() {
-            delta.births.push((idx, id));
-            delta.dirty.push(idx);
+        if self.observing() {
+            if let Some(delta) = self.delta.as_deref_mut() {
+                delta.births.push((idx, id));
+            }
+            self.mark_dirty(idx);
         }
         Ok(idx)
     }
@@ -993,7 +1239,7 @@ impl DynamicGraph {
             if prev != target_idx {
                 self.dec_in_ref(prev, owner_idx);
                 self.inc_in_ref(target_idx, owner_idx);
-                if self.delta.is_some() {
+                if self.observing() {
                     self.mark_dirty(owner_idx);
                     self.mark_dirty(prev);
                     self.mark_dirty(target_idx);
@@ -1003,7 +1249,7 @@ impl DynamicGraph {
         } else {
             self.inc_in_ref(target_idx, owner_idx);
             self.filled_slots += 1;
-            if self.delta.is_some() {
+            if self.observing() {
                 self.mark_dirty(owner_idx);
                 self.mark_dirty(target_idx);
             }
@@ -1053,7 +1299,7 @@ impl DynamicGraph {
         if prev != NO_TARGET {
             self.dec_in_ref(prev, owner_idx);
             self.filled_slots -= 1;
-            if self.delta.is_some() {
+            if self.observing() {
                 self.mark_dirty(owner_idx);
                 self.mark_dirty(prev);
             }
@@ -1108,15 +1354,19 @@ impl DynamicGraph {
             .ok_or(GraphError::VacantIndex(idx))?;
         out.id = record.id;
         self.index.remove(&record.id);
-        if let Some(delta) = self.delta.as_deref_mut() {
-            delta.deaths.push((idx, record.id));
-            delta.dirty.push(idx);
+        if self.observing() {
+            if let Some(delta) = self.delta.as_deref_mut() {
+                delta.deaths.push((idx, record.id));
+            }
+            self.mark_dirty(idx);
             // Every endpoint of an incident edge changes adjacency: the dead
             // node's own targets and the owners of the slots pointing at it.
-            delta
-                .dirty
-                .extend(record.out_slots.iter().filter(|&t| t != NO_TARGET));
-            delta.dirty.extend(record.in_refs.iter());
+            for target in record.out_slots.iter().filter(|&t| t != NO_TARGET) {
+                self.mark_dirty(target);
+            }
+            for owner in record.in_refs.iter() {
+                self.mark_dirty(owner);
+            }
         }
 
         // Unhook from the dense member list (swap-remove, O(1)).
@@ -1428,6 +1678,8 @@ impl DynamicGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn id(raw: u64) -> NodeId {
         NodeId::new(raw)
@@ -2064,5 +2316,131 @@ mod tests {
         assert_eq!(g.clear_out_slot_at(17, 0), Err(GraphError::VacantIndex(17)));
         g.remove_node_at(a).unwrap();
         assert_eq!(g.remove_node_at(a), Err(GraphError::VacantIndex(a)));
+    }
+
+    #[test]
+    fn degree_index_matches_scan_under_random_churn() {
+        use rand::Rng;
+        // Two copies of the same evolving graph: one answers the
+        // highest-degree query through the bucketed index, the other through
+        // the O(n) scan. They must agree after every mutation, including
+        // removals, recycling and retargeted slots.
+        let mut indexed = DynamicGraph::new();
+        indexed.set_degree_index(true);
+        assert!(indexed.degree_index_enabled());
+        let mut scanned = DynamicGraph::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut next_id = 0u64;
+        let mut alive: Vec<NodeId> = Vec::new();
+        for step in 0..600 {
+            let action = rng.gen_range(0..10);
+            if alive.len() < 3 || action < 3 {
+                let node = id(next_id);
+                next_id += 1;
+                indexed.add_node(node, 3).unwrap();
+                scanned.add_node(node, 3).unwrap();
+                alive.push(node);
+            } else if action < 5 && alive.len() > 3 {
+                let victim = alive.swap_remove(rng.gen_range(0..alive.len()));
+                indexed.remove_node(victim).unwrap();
+                scanned.remove_node(victim).unwrap();
+            } else {
+                let owner = alive[rng.gen_range(0..alive.len())];
+                let target = alive[rng.gen_range(0..alive.len())];
+                let slot = rng.gen_range(0..3);
+                if owner != target {
+                    indexed.set_out_slot(owner, slot, target).unwrap();
+                    scanned.set_out_slot(owner, slot, target).unwrap();
+                } else {
+                    indexed.clear_out_slot(owner, slot).unwrap();
+                    scanned.clear_out_slot(owner, slot).unwrap();
+                }
+            }
+            assert_eq!(
+                indexed.highest_degree_member(),
+                scanned.highest_degree_member(),
+                "index and scan disagree after step {step}"
+            );
+        }
+        // Disabling drops the index; the query falls back to the scan.
+        indexed.set_degree_index(false);
+        assert!(!indexed.degree_index_enabled());
+        assert_eq!(
+            indexed.highest_degree_member(),
+            scanned.highest_degree_member()
+        );
+    }
+
+    #[test]
+    fn degree_index_tracks_shed_and_bulk_removal_endpoints() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..4u64 {
+            g.add_node(id(raw), 2).unwrap();
+        }
+        g.set_degree_index(true);
+        g.set_out_slot(id(0), 0, id(2)).unwrap();
+        g.set_out_slot(id(1), 0, id(2)).unwrap();
+        g.set_out_slot(id(3), 0, id(2)).unwrap();
+        assert_eq!(g.highest_degree_member(), Some((id(2), 2)));
+        // Shedding the oldest in-link lowers both endpoints.
+        g.shed_oldest_in_ref(2).unwrap();
+        assert_eq!(g.incident_link_count_at(2), Some(2));
+        // Removing the hub re-ranks everyone (the survivors drop to 0 links);
+        // ties break towards the smallest identifier.
+        g.remove_node(id(2)).unwrap();
+        assert_eq!(g.highest_degree_member().map(|(i, _)| i), Some(id(0)));
+        // Cell recycling: a newborn reusing the hub's cell starts at 0 links.
+        g.add_node(id(9), 2).unwrap();
+        g.set_out_slot(id(9), 0, id(3)).unwrap();
+        g.set_out_slot(id(9), 1, id(1)).unwrap();
+        assert_eq!(g.highest_degree_member(), Some((id(9), 2)));
+    }
+
+    #[test]
+    fn empty_graph_has_no_highest_degree_member() {
+        let mut g = DynamicGraph::new();
+        assert_eq!(g.highest_degree_member(), None);
+        g.set_degree_index(true);
+        assert_eq!(g.highest_degree_member(), None);
+        g.add_node(id(0), 1).unwrap();
+        g.remove_node(id(0)).unwrap();
+        assert_eq!(g.highest_degree_member(), None);
+    }
+
+    #[test]
+    fn bulk_each_excluding_draw_matches_per_entry_calls() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..20u64 {
+            g.add_node(id(raw), 0).unwrap();
+        }
+        let excludes: Vec<u32> = vec![0, SAMPLE_SKIP, 5, 19, SAMPLE_SKIP, 3];
+        let mut bulk = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        g.sample_members_each_excluding_into(&mut rng, &excludes, &mut bulk);
+        let mut reference = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for &exclude in &excludes {
+            if exclude == SAMPLE_SKIP {
+                reference.push(SAMPLE_SKIP);
+            } else {
+                reference.push(
+                    g.sample_member_excluding(&mut rng, exclude)
+                        .unwrap_or(SAMPLE_NONE),
+                );
+            }
+        }
+        assert_eq!(bulk, reference, "bulk draw must preserve the RNG stream");
+        for (&exclude, &drawn) in excludes.iter().zip(&bulk) {
+            if exclude != SAMPLE_SKIP {
+                assert_ne!(drawn, exclude);
+                assert!(g.id_at(drawn).is_some());
+            }
+        }
+        // Single-member graph: the only candidate is the excluded one.
+        let mut lone = DynamicGraph::new();
+        lone.add_node(id(0), 0).unwrap();
+        let mut out = Vec::new();
+        lone.sample_members_each_excluding_into(&mut rng, &[0], &mut out);
+        assert_eq!(out, vec![SAMPLE_NONE]);
     }
 }

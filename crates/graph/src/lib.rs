@@ -95,7 +95,9 @@ pub mod metrics;
 pub mod traversal;
 
 pub use error::GraphError;
-pub use graph::{DenseHandle, DynamicGraph, EdgeSlot, GraphDelta, RemovedNode};
+pub use graph::{
+    DenseHandle, DynamicGraph, EdgeSlot, GraphDelta, RemovedNode, SAMPLE_NONE, SAMPLE_SKIP,
+};
 pub use node::{NodeId, NodeIdAllocator};
 pub use snapshot::Snapshot;
 

@@ -167,6 +167,15 @@ impl InformedOverlap {
         self.count
     }
 
+    /// Whether the node in slab cell `idx` is currently marked informed (and
+    /// alive — deaths retire their marks). Lets end-of-run reports classify
+    /// the *uninformed* population structurally (degree class, isolation)
+    /// without keeping a second set.
+    #[must_use]
+    pub fn is_informed(&self, idx: u32) -> bool {
+        self.informed.get(idx as usize).copied().unwrap_or(false)
+    }
+
     /// Fraction of `alive` nodes that are informed (0 for an empty network).
     #[must_use]
     pub fn overlap_fraction(&self, alive: usize) -> f64 {

@@ -98,6 +98,15 @@ pub struct RaesConfig {
     pub c: f64,
     /// What a saturated node does with an incoming request.
     pub saturation: SaturationPolicy,
+    /// How many contacts a pending request may make within one repair round
+    /// (at least 1; the classic RAES rule is 1). Under
+    /// [`SaturationPolicy::RejectRetry`], a rejected request immediately
+    /// resamples a fresh uniform target up to this many times in the same
+    /// round before it is carried over — trading extra messages for lower
+    /// repair latency near saturation. [`SaturationPolicy::EvictOldest`]
+    /// serves every request on the first contact, so the knob has no effect
+    /// there.
+    pub attempts_per_round: usize,
     /// The churn process underneath the protocol.
     pub churn: ChurnDriver,
     /// How Poisson death events pick their victim: the paper's uniform
@@ -128,10 +137,19 @@ impl RaesConfig {
             d,
             c: Self::DEFAULT_CAPACITY_FACTOR,
             saturation: SaturationPolicy::default(),
+            attempts_per_round: 1,
             churn: ChurnDriver::default(),
             victim_policy: VictimPolicy::Uniform,
             seed: 0,
         }
+    }
+
+    /// Sets the number of contacts a pending request may make per round
+    /// (see [`Self::attempts_per_round`]).
+    #[must_use]
+    pub fn attempts_per_round(mut self, attempts: usize) -> Self {
+        self.attempts_per_round = attempts;
+        self
     }
 
     /// Sets the death-victim selection policy.
@@ -199,6 +217,11 @@ impl RaesConfig {
         }
         if !(self.c.is_finite() && self.c >= 1.0) {
             return Err(ModelError::InvalidCapacityFactor { value: self.c });
+        }
+        if self.attempts_per_round == 0 {
+            return Err(ModelError::InvalidAttempts {
+                requested: self.attempts_per_round,
+            });
         }
         if self.churn == ChurnDriver::Streaming && self.victim_policy == VictimPolicy::HighestDegree
         {

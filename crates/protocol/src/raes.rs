@@ -191,6 +191,10 @@ pub struct RaesModel {
     /// record is touched lets the out-of-order core overlap the per-target
     /// cache misses, the same trick the baseline models use on spawn.
     sample_scratch: Vec<u32>,
+    /// Per-sweep exclusion batch feeding the graph's bulk
+    /// `sample_members_each_excluding_into` draw: one entry per pending
+    /// request (the owner's index, or the skip sentinel for dead owners).
+    exclude_scratch: Vec<u32>,
     removal_scratch: RemovedNode,
     stats: RaesStats,
     last_round: RaesRoundStats,
@@ -218,9 +222,15 @@ impl RaesModel {
             ChurnDriver::Streaming => None,
             ChurnDriver::Poisson => Some(BirthDeathChain::new(1.0, 1.0 / config.n as f64)),
         };
+        let mut graph = DynamicGraph::with_capacity(capacity);
+        if config.victim_policy == VictimPolicy::HighestDegree {
+            // Degree-targeted adversarial deaths read the hub through the
+            // bucketed index instead of scanning all members per death.
+            graph.set_degree_index(true);
+        }
         Ok(RaesModel {
             in_cap: config.in_degree_cap(),
-            graph: DynamicGraph::with_capacity(capacity),
+            graph,
             rng,
             rounds: 0,
             time: 0.0,
@@ -233,6 +243,7 @@ impl RaesModel {
             pending: Vec::new(),
             overflow: Vec::new(),
             sample_scratch: Vec::new(),
+            exclude_scratch: Vec::new(),
             removal_scratch: RemovedNode::default(),
             stats: RaesStats::default(),
             last_round: RaesRoundStats::default(),
@@ -409,18 +420,27 @@ impl RaesModel {
         // fail `is_current` in the next repair sweep.
     }
 
-    /// Sentinel in the target batch: the request's owner died.
-    const DEAD_OWNER: u32 = u32::MAX;
+    /// Sentinel in the target batch: the request's owner died. Aliases the
+    /// graph's bulk-sampling skip sentinel, so the exclusion batch and the
+    /// target batch share one coding.
+    const DEAD_OWNER: u32 = churn_graph::SAMPLE_SKIP;
     /// Sentinel in the target batch: no other alive node exists to contact.
-    const NO_CANDIDATE: u32 = u32::MAX - 1;
+    const NO_CANDIDATE: u32 = churn_graph::SAMPLE_NONE;
 
     /// One repair sweep: every pending request contacts one uniform alive
-    /// node. The targets are drawn in a batch before any record is touched
-    /// (the draws depend only on the member table, never on earlier accepts,
-    /// so this is behaviour-preserving and lets the per-target cache misses
-    /// overlap). The queue is then compacted in place; evictions are staged
-    /// in `overflow` and appended afterwards, so the sweep itself never moves
-    /// the buffer.
+    /// node. The sweep runs in two phases folded around one bulk graph call:
+    /// first the exclusion batch (dead owners coded as skips) is built and
+    /// handed to [`DynamicGraph::sample_members_each_excluding_into`], which
+    /// draws every first-attempt target inside a single member-table walk —
+    /// the draws depend only on the member table, never on earlier accepts,
+    /// so this is behaviour-preserving (bit-identical RNG stream) and lets
+    /// the per-target cache misses overlap. The queue is then compacted in
+    /// place; evictions are staged in `overflow` and appended afterwards, so
+    /// the sweep itself never moves the buffer.
+    ///
+    /// With `attempts_per_round > 1` (reject-and-retry only), a rejected
+    /// request resamples inline up to the budget before being carried over;
+    /// the default of 1 performs exactly the classic sweep.
     fn repair(&mut self) {
         let mut round = RaesRoundStats {
             round: self.rounds,
@@ -434,20 +454,24 @@ impl RaesModel {
         // entries pay the generation probe. A Poisson round interleaves many
         // deaths, so there the probe is unconditional.
         let fresh_implies_alive = self.config.churn == ChurnDriver::Streaming;
-        self.sample_scratch.clear();
+        self.exclude_scratch.clear();
         for request in &self.pending {
             let alive = (fresh_implies_alive && request.since_round == self.rounds)
                 || self.graph.is_current(request.owner);
-            let code = if !alive {
-                Self::DEAD_OWNER
+            self.exclude_scratch.push(if alive {
+                request.owner.index
             } else {
-                self.graph
-                    .sample_member_excluding(&mut self.rng, request.owner.index)
-                    .unwrap_or(Self::NO_CANDIDATE)
-            };
-            self.sample_scratch.push(code);
+                Self::DEAD_OWNER
+            });
         }
+        self.sample_scratch.clear();
+        self.graph.sample_members_each_excluding_into(
+            &mut self.rng,
+            &self.exclude_scratch,
+            &mut self.sample_scratch,
+        );
 
+        let attempts = self.config.attempts_per_round;
         let mut write = 0usize;
         for read in 0..self.pending.len() {
             let request = self.pending[read];
@@ -473,8 +497,33 @@ impl RaesModel {
                 match self.config.saturation {
                     SaturationPolicy::RejectRetry => {
                         round.rejected += 1;
-                        self.pending[write] = request;
-                        write += 1;
+                        // Remaining attempts: resample inline. The alive set
+                        // does not change during a sweep, so the retry draws
+                        // stay uniform over the same population.
+                        let mut served = false;
+                        for _ in 1..attempts {
+                            let Some(retry) = self
+                                .graph
+                                .sample_member_excluding(&mut self.rng, request.owner.index)
+                            else {
+                                break;
+                            };
+                            round.requests_sent += 1;
+                            let in_degree = self
+                                .graph
+                                .in_request_count_at(retry)
+                                .expect("sampled member is alive");
+                            if in_degree < self.in_cap {
+                                self.connect(request, retry, &mut round);
+                                served = true;
+                                break;
+                            }
+                            round.rejected += 1;
+                        }
+                        if !served {
+                            self.pending[write] = request;
+                            write += 1;
+                        }
                     }
                     SaturationPolicy::EvictOldest => {
                         self.evict_oldest_in_link(target);
@@ -551,7 +600,7 @@ impl PoissonChurnHost for RaesModel {
                 (victim, victim_idx)
             }
             VictimPolicy::OldestFirst => driver::oldest_alive_victim(&self.graph, &mut self.order),
-            VictimPolicy::HighestDegree => driver::highest_degree_victim(&self.graph),
+            VictimPolicy::HighestDegree => driver::highest_degree_victim_indexed(&mut self.graph),
         }
     }
 }
@@ -860,6 +909,51 @@ mod tests {
         assert!(
             RaesModel::new(RaesConfig::new(50, 3).victim_policy(VictimPolicy::OldestFirst)).is_ok()
         );
+    }
+
+    #[test]
+    fn attempts_per_round_retries_rejections_within_the_round() {
+        // attempts = 0 is rejected at validation.
+        assert!(matches!(
+            RaesModel::new(RaesConfig::new(50, 3).attempts_per_round(0)),
+            Err(churn_core::ModelError::InvalidAttempts { requested: 0 })
+        ));
+        // At c = 1.0 capacity exactly equals demand, so rejections are
+        // common; a retry budget must actually spend extra contacts inside
+        // the round while every protocol invariant keeps holding.
+        let mut m = RaesModel::new(
+            RaesConfig::new(60, 4)
+                .capacity_factor(1.0)
+                .attempts_per_round(4)
+                .seed(13),
+        )
+        .unwrap();
+        let mut saw_retry = false;
+        for _ in 0..240 {
+            m.step_round();
+            let last = m.last_round_stats();
+            // More contacts than queue entries in one sweep proves an
+            // in-round retry happened (a single-attempt sweep never exceeds
+            // its queue length).
+            saw_retry |= last.requests_sent > last.pending_before;
+            assert!(m.max_in_degree() <= m.in_degree_cap());
+            assert_eq!(
+                last.accepted + last.dropped,
+                last.pending_before + last.evicted - last.pending_after,
+                "queue accounting must balance with retries"
+            );
+        }
+        assert!(saw_retry, "tight capacity with a retry budget must retry");
+        assert_protocol_invariants(&m);
+        // The default budget of 1 performs the classic sweep: the request
+        // count per round never exceeds the queue length.
+        let mut classic = RaesModel::new(RaesConfig::new(60, 4).capacity_factor(1.0).seed(13))
+            .expect("valid configuration");
+        for _ in 0..240 {
+            classic.step_round();
+            let last = classic.last_round_stats();
+            assert!(last.requests_sent <= last.pending_before);
+        }
     }
 
     #[test]

@@ -97,11 +97,11 @@ where
         .collect()
 }
 
-/// Per-cell thread budget of [`run_sweep`]: the pool divided by the number of
-/// cells that will actually run concurrently, never below 1. One big cell
-/// gets the whole machine; a grid wider than the machine gets one thread per
-/// cell.
-fn sweep_cell_threads(cells: usize) -> usize {
+/// Per-cell thread budget of [`run_sweep`] (and of the scenario engine's
+/// batches): the pool divided by the number of cells that will actually run
+/// concurrently, never below 1. One big cell gets the whole machine; a grid
+/// wider than the machine gets one thread per cell.
+pub(crate) fn sweep_cell_threads(cells: usize) -> usize {
     let pool = rayon::current_num_threads().max(1);
     (pool / pool.min(cells.max(1))).max(1)
 }

@@ -1,0 +1,1342 @@
+//! The unified scenario engine: declarative experiment specs, one runner,
+//! checkpoint/resume.
+//!
+//! A [`Scenario`] declares an experiment as data — the grid axes (network
+//! spec × size × degree × victim policy × trial), one [`Measurement`], and a
+//! full plus a smoke preset — instead of a bespoke binary with hand-rolled
+//! sweep loops. [`run_scenario`] executes the grid's cells through the same
+//! thread budgeting as [`crate::run_sweep`] (batch-level parallelism shares
+//! the pool with the sharded in-cell engines), streams one JSON record per
+//! completed cell to `results/<name>.jsonl`, and **checkpoints**: a cell
+//! whose deterministic seed already appears in the output file is skipped on
+//! the next run, so an interrupted grid resumes where it stopped and the
+//! resumed file is bit-identical to an uninterrupted run.
+//!
+//! Cell identity is the deterministic per-cell seed: it is derived from the
+//! cell's *values* (network spec, `n`, `d`, victim policy, trial index,
+//! scenario base seed) exactly like [`crate::Sweep::trial_seed`] — for the
+//! baseline model kinds and the default RAES configuration the two schemes
+//! coincide, so scenarios ported from `run_sweep`-based binaries reproduce
+//! their recorded trajectories bit for bit (the golden-equivalence suite in
+//! `churn-bench` pins this).
+//!
+//! [`ScenarioRegistry`] collects every registered scenario; the `exp` binary
+//! in `churn-bench` is the single CLI over the registry
+//! (`exp run <name>|--all [--smoke] [--resume]`).
+
+use std::collections::HashSet;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use rayon::prelude::*;
+
+use churn_core::driver::VictimPolicy;
+use churn_core::ModelKind;
+use churn_protocol::{ChurnDriver, RaesConfig, SaturationPolicy};
+use churn_stochastic::rng::derive_seed;
+
+use crate::minijson;
+use crate::store::{escape_json, format_value};
+
+mod measure;
+
+pub use measure::AnyNet;
+
+// ---------------------------------------------------------------------------
+// Network specs (the model axis of the grid)
+// ---------------------------------------------------------------------------
+
+/// Parameters of a RAES protocol network on the grid (the protocol's
+/// scenario axes: churn driver, saturation policy, capacity factor and the
+/// attempts-per-round knob).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaesNet {
+    /// Churn process underneath the protocol.
+    pub churn: ChurnDriver,
+    /// Saturation policy at the in-degree cap.
+    pub saturation: SaturationPolicy,
+    /// In-degree capacity factor `c` (cap = `⌊c·d⌋`).
+    pub capacity: f64,
+    /// Repair contacts per pending request per round (≥ 1).
+    pub attempts: usize,
+}
+
+impl Default for RaesNet {
+    fn default() -> Self {
+        RaesNet {
+            churn: ChurnDriver::Streaming,
+            saturation: SaturationPolicy::RejectRetry,
+            capacity: RaesConfig::DEFAULT_CAPACITY_FACTOR,
+            attempts: 1,
+        }
+    }
+}
+
+/// One point on the scenario's network axis: which dynamic network a cell
+/// builds. This generalises `ModelKind` to everything the workspace can
+/// measure — the paper's four baselines, the RAES maintenance protocol with
+/// its knobs, the static no-churn baseline and the Bitcoin-like overlay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetSpec {
+    /// One of the paper's four models (built via `ModelKind::build_with_victim`).
+    Baseline(ModelKind),
+    /// The RAES maintenance protocol with explicit knobs.
+    Raes(RaesNet),
+    /// A static `d`-out random graph (no churn; Lemma B.1's baseline).
+    Static,
+    /// The Bitcoin-like `churn-p2p` overlay (`d` = target outbound, max
+    /// inbound 125).
+    P2p,
+}
+
+impl NetSpec {
+    /// The default RAES network (streaming churn, reject-and-retry, `c` =
+    /// 1.5, one attempt) — seed-compatible with `ModelKind::Raes` sweeps.
+    #[must_use]
+    pub fn raes_default() -> Self {
+        NetSpec::Raes(RaesNet::default())
+    }
+
+    /// A short, stable label for reports and stored records, e.g. `SDGR`,
+    /// `RAES`, `RAES+poisson+evict-oldest`, `RAES+c1+a4`, `STATIC`, `P2P`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            NetSpec::Baseline(kind) => kind.label().to_string(),
+            NetSpec::Raes(spec) => {
+                let mut label = String::from("RAES");
+                if spec.churn == ChurnDriver::Poisson {
+                    label.push_str("+poisson");
+                }
+                if spec.saturation == SaturationPolicy::EvictOldest {
+                    label.push_str("+evict-oldest");
+                }
+                if spec.capacity != RaesConfig::DEFAULT_CAPACITY_FACTOR {
+                    label.push_str(&format!("+c{}", spec.capacity));
+                }
+                if spec.attempts != 1 {
+                    label.push_str(&format!("+a{}", spec.attempts));
+                }
+                label
+            }
+            NetSpec::Static => "STATIC".to_string(),
+            NetSpec::P2p => "P2P".to_string(),
+        }
+    }
+
+    /// The seed tag of this network spec. Baseline kinds and the default
+    /// RAES spec use exactly the tags of [`crate::Sweep::trial_seed`]
+    /// (1–5), so ported scenarios keep their recorded seeds; every
+    /// non-default RAES knob mixes a further tag, and the two new net kinds
+    /// get fresh tags.
+    fn seed_tag(&self) -> u64 {
+        match self {
+            NetSpec::Baseline(kind) => match kind {
+                ModelKind::Sdg => 1,
+                ModelKind::Sdgr => 2,
+                ModelKind::Pdg => 3,
+                ModelKind::Pdgr => 4,
+                ModelKind::Raes => 5,
+            },
+            NetSpec::Raes(spec) => {
+                let mut tag = 5;
+                if spec.churn == ChurnDriver::Poisson {
+                    tag = derive_seed(tag, 0x5AE5_0001);
+                }
+                if spec.saturation == SaturationPolicy::EvictOldest {
+                    tag = derive_seed(tag, 0x5AE5_0002);
+                }
+                if spec.capacity != RaesConfig::DEFAULT_CAPACITY_FACTOR {
+                    tag = derive_seed(tag, spec.capacity.to_bits());
+                }
+                if spec.attempts != 1 {
+                    tag = derive_seed(tag, 0x5AE5_0100 ^ spec.attempts as u64);
+                }
+                tag
+            }
+            NetSpec::Static => 6,
+            NetSpec::P2p => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for NetSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurements
+// ---------------------------------------------------------------------------
+
+/// The round budget of a flooding measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundBudget {
+    /// `factor · ⌈log₂ n⌉` rounds.
+    Log2Times(u32),
+    /// A fixed round cap.
+    Fixed(u64),
+    /// The flooding engine's default cap (4096 rounds).
+    EngineDefault,
+}
+
+impl RoundBudget {
+    fn resolve(self, n: usize) -> u64 {
+        match self {
+            RoundBudget::Log2Times(factor) => u64::from(factor) * (n as f64).log2().ceil() as u64,
+            RoundBudget::Fixed(rounds) => rounds,
+            RoundBudget::EngineDefault => {
+                churn_core::flooding::FloodingConfig::default().max_rounds
+            }
+        }
+    }
+}
+
+/// Knobs of the flooding measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodingSpec {
+    /// Round budget of the run.
+    pub budget: RoundBudget,
+    /// Also record the isolated fraction of the warm topology before the
+    /// broadcast starts (the failure mode regeneration/RAES repairs).
+    pub record_isolation: bool,
+}
+
+/// Knobs of the incremental-snapshot expansion measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpansionSpec {
+    /// Churn the model `n / initial_window_div` rounds (through the
+    /// incremental snapshot) before the first sample; 0 = sample right after
+    /// warm-up.
+    pub initial_window_div: usize,
+    /// Number of snapshots sampled per trial (the recorded value is the
+    /// worst sample — the theorems quantify over *every* snapshot).
+    pub samples: usize,
+    /// Rounds between samples, as `n / interval_div` (ignored for a single
+    /// sample).
+    pub interval_div: usize,
+    /// Also measure the large-set range (Lemmas 3.6 / 4.11) alongside the
+    /// full range.
+    pub large_sets: bool,
+    /// Use the fast estimator budget (`ExpansionConfig::fast()`), as the
+    /// `n = 10⁶` rows do.
+    pub fast: bool,
+}
+
+/// What one cell measures. Every variant runs against the cell's network
+/// spec and returns a flat list of named scalar metrics — the record schema
+/// is uniform across scenarios, so analysis tooling needs one loader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measurement {
+    /// Sequential single-frontier flooding.
+    Flooding(FloodingSpec),
+    /// Sharded parallel flooding with the `churn-observe` pipeline attached:
+    /// the informed-alive overlap is tracked per round through the graph's
+    /// change feed, and the *uninformed* population is classified
+    /// structurally (isolated / below-`d` degree) at the end of the run.
+    ParallelFlooding(FloodingSpec),
+    /// Partial-flooding coverage within the `O(log n / log d)` budget of
+    /// Theorems 3.8 / 4.13.
+    PartialFlooding,
+    /// Isolated-now census plus the Lemma 3.5 / 4.10 lifetime-isolation
+    /// follow-up over the change feed.
+    Isolation,
+    /// Vertex expansion of incrementally maintained snapshots.
+    Expansion(ExpansionSpec),
+    /// RAES realized-graph tracking over time: per-round cap occupancy and
+    /// isolation plus periodic full-range expansion (requires RAES nets).
+    RaesTracking {
+        /// Number of expansion samples.
+        samples: u64,
+        /// Rounds between samples, as `n / interval_div`.
+        interval_div: usize,
+    },
+    /// Onion-skin replay (Claim 3.10 / Lemma 3.9; requires `Baseline(Sdg)`).
+    OnionSkin,
+    /// Poisson churn demographics (Lemmas 4.4–4.8; requires a Poisson
+    /// baseline).
+    PoissonDemographics {
+        /// Unit-time observations after the settle-in window (full preset).
+        units: u64,
+        /// Observations on the smoke preset.
+        smoke_units: u64,
+    },
+    /// Static `d`-out random graph baseline (Lemma B.1; requires
+    /// [`NetSpec::Static`]).
+    StaticBaseline,
+    /// Overlay health and block propagation (requires [`NetSpec::P2p`]).
+    P2pPropagation {
+        /// Blocks propagated per cell (full preset).
+        blocks: usize,
+        /// Blocks on the smoke preset.
+        smoke_blocks: usize,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Scenario spec
+// ---------------------------------------------------------------------------
+
+/// Which grid a scenario run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridPreset {
+    /// The full grid recorded in the scenario (minutes per scenario).
+    Full,
+    /// The tiny-`n` smoke grid (seconds for the whole registry; CI runs
+    /// `exp run --all --smoke` on every PR).
+    Smoke,
+}
+
+impl GridPreset {
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GridPreset::Full => "full",
+            GridPreset::Smoke => "smoke",
+        }
+    }
+}
+
+/// One preset's grid: sizes × degrees, with a trial count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    /// Network sizes.
+    pub sizes: Vec<usize>,
+    /// Degree parameters.
+    pub degrees: Vec<usize>,
+    /// Independent trials per point.
+    pub trials: usize,
+}
+
+impl Grid {
+    /// A grid from explicit axes (trials clamped to at least 1).
+    #[must_use]
+    pub fn new(
+        sizes: impl IntoIterator<Item = usize>,
+        degrees: impl IntoIterator<Item = usize>,
+        trials: usize,
+    ) -> Self {
+        Grid {
+            sizes: sizes.into_iter().collect(),
+            degrees: degrees.into_iter().collect(),
+            trials: trials.max(1),
+        }
+    }
+}
+
+/// One fully resolved grid cell (a single trial).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// The network spec.
+    pub net: NetSpec,
+    /// Network size.
+    pub n: usize,
+    /// Degree parameter.
+    pub d: usize,
+    /// Death-victim policy.
+    pub victim: VictimPolicy,
+    /// Trial index within the point.
+    pub trial: usize,
+}
+
+/// A declarative experiment: grid axes plus one measurement. Built with a
+/// consuming builder:
+///
+/// ```
+/// use churn_core::ModelKind;
+/// use churn_sim::scenario::{
+///     FloodingSpec, Grid, Measurement, NetSpec, RoundBudget, Scenario,
+/// };
+///
+/// let scenario = Scenario::new(
+///     "demo-flooding",
+///     "Flooding over the regeneration models",
+///     Measurement::ParallelFlooding(FloodingSpec {
+///         budget: RoundBudget::EngineDefault,
+///         record_isolation: false,
+///     }),
+/// )
+/// .nets([
+///     NetSpec::Baseline(ModelKind::Sdgr),
+///     NetSpec::Baseline(ModelKind::Pdgr),
+/// ])
+/// .full_grid(Grid::new([1024, 4096], [8], 5))
+/// .smoke_grid(Grid::new([128], [4], 1))
+/// .base_seed(0xE6);
+/// assert_eq!(scenario.cells(churn_sim::scenario::GridPreset::Smoke).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    title: String,
+    /// What the scenario reproduces (paper artifact / theorem), shown in the
+    /// runner's report header.
+    reproduces: String,
+    nets: Vec<NetSpec>,
+    victims: Vec<VictimPolicy>,
+    full: Grid,
+    smoke: Grid,
+    base_seed: u64,
+    measurement: Measurement,
+}
+
+impl Scenario {
+    /// Creates a scenario with empty grids, one uniform-victim axis entry
+    /// and base seed 0.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        measurement: Measurement,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            title: title.into(),
+            reproduces: String::new(),
+            nets: Vec::new(),
+            victims: vec![VictimPolicy::Uniform],
+            full: Grid::new([], [], 1),
+            smoke: Grid::new([], [], 1),
+            base_seed: 0,
+            measurement,
+        }
+    }
+
+    /// Sets the network axis.
+    #[must_use]
+    pub fn nets(mut self, nets: impl IntoIterator<Item = NetSpec>) -> Self {
+        self.nets = nets.into_iter().collect();
+        self
+    }
+
+    /// Sets the victim-policy axis (default: uniform only).
+    #[must_use]
+    pub fn victims(mut self, victims: impl IntoIterator<Item = VictimPolicy>) -> Self {
+        self.victims = victims.into_iter().collect();
+        self
+    }
+
+    /// Sets the full-preset grid.
+    #[must_use]
+    pub fn full_grid(mut self, grid: Grid) -> Self {
+        self.full = grid;
+        self
+    }
+
+    /// Sets the smoke-preset grid (tiny `n`, so the whole registry smokes in
+    /// seconds).
+    #[must_use]
+    pub fn smoke_grid(mut self, grid: Grid) -> Self {
+        self.smoke = grid;
+        self
+    }
+
+    /// Sets the base seed all cell seeds derive from.
+    #[must_use]
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Sets the reproduced paper artifact shown in report headers.
+    #[must_use]
+    pub fn reproduces(mut self, artifact: impl Into<String>) -> Self {
+        self.reproduces = artifact.into();
+        self
+    }
+
+    /// The scenario's registry name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The human-readable title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The reproduced paper artifact (empty when not set).
+    #[must_use]
+    pub fn reproduced_artifact(&self) -> &str {
+        &self.reproduces
+    }
+
+    /// The measurement every cell runs.
+    #[must_use]
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// The network axis.
+    #[must_use]
+    pub fn net_axis(&self) -> &[NetSpec] {
+        &self.nets
+    }
+
+    /// The grid of one preset.
+    #[must_use]
+    pub fn grid(&self, preset: GridPreset) -> &Grid {
+        match preset {
+            GridPreset::Full => &self.full,
+            GridPreset::Smoke => &self.smoke,
+        }
+    }
+
+    /// The cells of one preset, in deterministic order (net-major, then
+    /// size, degree, victim, trial) — also the order records are written in.
+    #[must_use]
+    pub fn cells(&self, preset: GridPreset) -> Vec<CellSpec> {
+        let grid = self.grid(preset);
+        let mut cells = Vec::new();
+        for &net in &self.nets {
+            for &n in &grid.sizes {
+                for &d in &grid.degrees {
+                    for &victim in &self.victims {
+                        for trial in 0..grid.trials {
+                            cells.push(CellSpec {
+                                net,
+                                n,
+                                d,
+                                victim,
+                                trial,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The deterministic seed of one cell — the cell's *identity* in the
+    /// checkpoint file. Depends only on the cell's values and the base seed
+    /// (adding a grid row never re-seeds existing cells), and coincides with
+    /// [`crate::Sweep::trial_seed`] for baseline nets, so ported scenarios
+    /// reproduce their recorded trajectories.
+    #[must_use]
+    pub fn cell_seed(&self, cell: &CellSpec) -> u64 {
+        let mut point_tag = derive_seed(
+            derive_seed(cell.n as u64, cell.d as u64),
+            cell.net.seed_tag(),
+        );
+        if cell.victim.is_adversarial() {
+            point_tag = derive_seed(
+                point_tag,
+                match cell.victim {
+                    VictimPolicy::Uniform => unreachable!("guarded by is_adversarial"),
+                    VictimPolicy::OldestFirst => 0xAD_01,
+                    VictimPolicy::HighestDegree => 0xAD_02,
+                },
+            );
+        }
+        derive_seed(self.base_seed ^ point_tag, cell.trial as u64)
+    }
+
+    /// Validates that every `(net, victim, measurement)` combination is
+    /// constructible, so authoring mistakes surface at registration instead
+    /// of `n` cells into a grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid combination.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nets.is_empty() {
+            return Err(format!("scenario {:?} has an empty net axis", self.name));
+        }
+        if self.victims.is_empty() {
+            return Err(format!("scenario {:?} has an empty victim axis", self.name));
+        }
+        for &net in &self.nets {
+            for &victim in &self.victims {
+                let streaming_churn = match net {
+                    NetSpec::Baseline(kind) => kind.is_streaming(),
+                    NetSpec::Raes(spec) => spec.churn == ChurnDriver::Streaming,
+                    NetSpec::Static | NetSpec::P2p => true,
+                };
+                if streaming_churn && victim == VictimPolicy::HighestDegree {
+                    return Err(format!(
+                        "scenario {:?}: net {} cannot run degree-targeted deaths \
+                         (streaming churn has a fixed death schedule)",
+                        self.name,
+                        net.label()
+                    ));
+                }
+                if matches!(net, NetSpec::Static | NetSpec::P2p) && victim != VictimPolicy::Uniform
+                {
+                    return Err(format!(
+                        "scenario {:?}: net {} does not support victim policies",
+                        self.name,
+                        net.label()
+                    ));
+                }
+                let compatible = match self.measurement {
+                    Measurement::StaticBaseline => matches!(net, NetSpec::Static),
+                    Measurement::P2pPropagation { .. } => matches!(net, NetSpec::P2p),
+                    Measurement::RaesTracking { .. } => matches!(net, NetSpec::Raes(_)),
+                    Measurement::OnionSkin => {
+                        matches!(net, NetSpec::Baseline(ModelKind::Sdg))
+                    }
+                    Measurement::PoissonDemographics { .. } => matches!(
+                        net,
+                        NetSpec::Baseline(ModelKind::Pdg) | NetSpec::Baseline(ModelKind::Pdgr)
+                    ),
+                    _ => !matches!(net, NetSpec::Static | NetSpec::P2p),
+                };
+                if !compatible {
+                    return Err(format!(
+                        "scenario {:?}: net {} is incompatible with measurement {:?}",
+                        self.name,
+                        net.label(),
+                        self.measurement
+                    ));
+                }
+                if let NetSpec::Baseline(ModelKind::Raes) = net {
+                    return Err(format!(
+                        "scenario {:?}: use NetSpec::Raes(..) instead of \
+                         Baseline(ModelKind::Raes) (the kind alone does not \
+                         carry the protocol knobs)",
+                        self.name
+                    ));
+                }
+                if let NetSpec::Raes(spec) = net {
+                    RaesConfig::new(16, 2)
+                        .churn(spec.churn)
+                        .saturation(spec.saturation)
+                        .capacity_factor(spec.capacity)
+                        .attempts_per_round(spec.attempts)
+                        .victim_policy(victim)
+                        .validate()
+                        .map_err(|e| format!("scenario {:?}: invalid RAES net: {e}", self.name))?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cell records (the JSONL schema)
+// ---------------------------------------------------------------------------
+
+/// One completed cell: its identity plus the measured metrics, stored as one
+/// JSON line in `results/<scenario>.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Network-spec label ([`NetSpec::label`]).
+    pub net: String,
+    /// Network size.
+    pub n: usize,
+    /// Degree parameter.
+    pub d: usize,
+    /// Victim-policy label.
+    pub victim: String,
+    /// Trial index.
+    pub trial: usize,
+    /// The cell's deterministic seed — its checkpoint identity.
+    pub seed: u64,
+    /// Named scalar metrics, in measurement order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl CellRecord {
+    /// A stable grouping key for reports: `(net, n, d, victim)`.
+    #[must_use]
+    pub fn group_key(&self) -> (String, usize, usize, String) {
+        (self.net.clone(), self.n, self.d, self.victim.clone())
+    }
+
+    /// Looks up one metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(metric, _)| metric == name)
+            .map(|&(_, value)| value)
+    }
+
+    /// Serialises the record as one JSON line (no trailing newline). The
+    /// encoding is deterministic — field order fixed, metrics in measurement
+    /// order, numbers in `serde_json` format — so two runs of the same cells
+    /// produce byte-identical files.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128 + 32 * self.metrics.len());
+        out.push_str("{\"scenario\":");
+        escape_json(&self.scenario, &mut out);
+        out.push_str(",\"net\":");
+        escape_json(&self.net, &mut out);
+        out.push_str(&format!(",\"n\":{},\"d\":{},\"victim\":", self.n, self.d));
+        escape_json(&self.victim, &mut out);
+        out.push_str(&format!(
+            ",\"trial\":{},\"seed\":{},\"metrics\":{{",
+            self.trial, self.seed
+        ));
+        for (i, (metric, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json(metric, &mut out);
+            out.push(':');
+            out.push_str(&format_value(*value));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a record from one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let value = minijson::parse(line)?;
+        fn field<'a>(v: &'a minijson::Value, key: &str) -> Result<&'a minijson::Value, String> {
+            v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+        }
+        let metrics_value = field(&value, "metrics")?;
+        let minijson::Value::Object(metrics_map) = metrics_value else {
+            return Err("metrics must be an object".to_string());
+        };
+        let mut metrics = Vec::with_capacity(metrics_map.len());
+        for (metric, metric_value) in metrics_map {
+            metrics.push((
+                metric.clone(),
+                metric_value
+                    .as_f64()
+                    .ok_or_else(|| format!("metric {metric:?} must be a number"))?,
+            ));
+        }
+        Ok(CellRecord {
+            scenario: field(&value, "scenario")?
+                .as_str()
+                .ok_or("scenario must be a string")?
+                .to_owned(),
+            net: field(&value, "net")?
+                .as_str()
+                .ok_or("net must be a string")?
+                .to_owned(),
+            n: field(&value, "n")?
+                .as_usize()
+                .ok_or("n must be an integer")?,
+            d: field(&value, "d")?
+                .as_usize()
+                .ok_or("d must be an integer")?,
+            victim: field(&value, "victim")?
+                .as_str()
+                .ok_or("victim must be a string")?
+                .to_owned(),
+            trial: field(&value, "trial")?
+                .as_usize()
+                .ok_or("trial must be an integer")?,
+            seed: field(&value, "seed")?
+                .as_u64()
+                .ok_or("seed must be an integer")?,
+            metrics,
+        })
+    }
+}
+
+/// Loads every record of a scenario output file (one JSON object per line;
+/// blank lines are skipped). A trailing partial line — the signature of a
+/// run killed mid-write — is tolerated and dropped, so a resumed run simply
+/// re-executes that cell.
+///
+/// Note: JSON objects do not order their keys, so a *loaded* record's
+/// metrics come back sorted by name; the on-disk bytes keep measurement
+/// order.
+///
+/// # Errors
+///
+/// Returns any I/O error; malformed *complete* lines are reported.
+pub fn load_cell_records(path: &Path) -> io::Result<Vec<CellRecord>> {
+    read_checkpoint(path).map(|(records, _)| records)
+}
+
+/// [`load_cell_records`] plus the byte length of the valid prefix — the
+/// offset the resume path truncates to before appending, so previously
+/// written bytes are never re-serialised.
+fn read_checkpoint(path: &Path) -> io::Result<(Vec<CellRecord>, u64)> {
+    let data = fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut offset = 0usize;
+    for line in data.split_inclusive('\n') {
+        offset += line.len();
+        let complete = line.ends_with('\n');
+        let text = line.trim_end_matches(['\n', '\r']);
+        if text.trim().is_empty() {
+            if complete {
+                valid_len = offset as u64;
+            }
+            continue;
+        }
+        match CellRecord::from_json_line(text) {
+            Ok(record) if complete => {
+                records.push(record);
+                valid_len = offset as u64;
+            }
+            // A parseable-or-not tail without its newline is an interrupted
+            // write either way: drop it, the cell re-runs.
+            Ok(_) => break,
+            Err(e) => {
+                if complete {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {e}", path.display()),
+                    ));
+                }
+                break;
+            }
+        }
+    }
+    Ok((records, valid_len))
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// The collection of registered scenarios the `exp` runner serves.
+#[derive(Debug, Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<Scenario>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a scenario, validating it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or an invalid spec — registration happens
+    /// at startup, so authoring mistakes fail fast.
+    pub fn register(&mut self, scenario: Scenario) {
+        if let Err(e) = scenario.validate() {
+            panic!("invalid scenario: {e}");
+        }
+        assert!(
+            self.get(scenario.name()).is_none(),
+            "duplicate scenario name {:?}",
+            scenario.name()
+        );
+        self.entries.push(scenario);
+    }
+
+    /// Looks a scenario up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Scenario> {
+        self.entries.iter().find(|s| s.name() == name)
+    }
+
+    /// Every registered scenario, in registration order.
+    #[must_use]
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.entries
+    }
+
+    /// The registered names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(Scenario::name).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Options of one [`run_scenario`] invocation.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Which grid to run.
+    pub preset: GridPreset,
+    /// Resume from the existing output file (skip cells whose seed is
+    /// already recorded) instead of starting fresh.
+    pub resume: bool,
+    /// Directory the `<name>.jsonl` / `<name>.smoke.jsonl` files live in.
+    pub dir: PathBuf,
+    /// Stop after executing this many *new* cells (used by the
+    /// resume-determinism tests to simulate an interrupted run).
+    pub limit: Option<usize>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            preset: GridPreset::Full,
+            resume: false,
+            dir: PathBuf::from("results"),
+            limit: None,
+        }
+    }
+}
+
+/// Summary of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Every record now present in the output file, in cell order.
+    pub records: Vec<CellRecord>,
+    /// Cells executed by this invocation.
+    pub executed: usize,
+    /// Cells skipped because the checkpoint already held them.
+    pub skipped: usize,
+    /// Total cells of the grid.
+    pub total: usize,
+    /// The output file.
+    pub path: PathBuf,
+}
+
+/// The output path of a scenario under the given options.
+#[must_use]
+pub fn scenario_output_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf {
+    let suffix = match opts.preset {
+        GridPreset::Full => "jsonl",
+        GridPreset::Smoke => "smoke.jsonl",
+    };
+    opts.dir.join(format!("{}.{suffix}", scenario.name()))
+}
+
+/// Runs a scenario's grid, streaming one JSON record per completed cell to
+/// the scenario's output file.
+///
+/// Cells run in deterministic order, parallelised in batches through the
+/// same thread-budgeting rule as [`crate::run_sweep`] (each concurrently
+/// scheduled cell gets `pool / concurrent` threads for its in-cell engines,
+/// so nested parallelism never oversubscribes). After every batch the
+/// completed records are appended *in cell order* and flushed — an
+/// interrupted run therefore leaves a valid prefix-plus-subset of the full
+/// output, and a `--resume` run executes exactly the missing cells: because
+/// every cell's randomness derives from its own seed and the engines are
+/// thread-count independent, the resumed file is **bit-identical** to an
+/// uninterrupted run.
+///
+/// # Errors
+///
+/// Returns any I/O error from the checkpoint file.
+pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<ScenarioOutcome> {
+    let path = scenario_output_path(scenario, opts);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let (existing, valid_len) = if opts.resume && path.exists() {
+        read_checkpoint(&path)?
+    } else {
+        (Vec::new(), 0)
+    };
+    let done: HashSet<u64> = existing.iter().map(|r| r.seed).collect();
+
+    let cells = scenario.cells(opts.preset);
+    let total = cells.len();
+    let mut todo: Vec<(CellSpec, u64)> = cells
+        .iter()
+        .filter_map(|&cell| {
+            let seed = scenario.cell_seed(&cell);
+            (!done.contains(&seed)).then_some((cell, seed))
+        })
+        .collect();
+    let skipped = total - todo.len();
+    if let Some(limit) = opts.limit {
+        todo.truncate(limit);
+    }
+
+    // Start fresh on a non-resume run; on resume, truncate the checkpoint to
+    // its valid byte prefix (dropping a partial trailing write) and append —
+    // existing bytes are never re-serialised, which is what keeps the
+    // resumed file bit-identical to an uninterrupted run.
+    let mut file = if opts.resume && path.exists() {
+        let truncating = fs::OpenOptions::new().write(true).open(&path)?;
+        truncating.set_len(valid_len)?;
+        drop(truncating);
+        fs::OpenOptions::new().append(true).open(&path)?
+    } else {
+        fs::File::create(&path)?
+    };
+
+    let pool = rayon::current_num_threads().max(1);
+    let batch_size = (pool * 2).max(1);
+    let mut executed = 0usize;
+    for batch in todo.chunks(batch_size) {
+        let threads = crate::runner::sweep_cell_threads(batch.len());
+        let batch_records: Vec<CellRecord> = batch
+            .par_iter()
+            .map(|&(cell, seed)| {
+                let metrics =
+                    measure::run_cell(scenario.measurement(), &cell, seed, threads, opts.preset);
+                CellRecord {
+                    scenario: scenario.name().to_string(),
+                    net: cell.net.label(),
+                    n: cell.n,
+                    d: cell.d,
+                    victim: cell.victim.label().to_string(),
+                    trial: cell.trial,
+                    seed,
+                    metrics: metrics
+                        .into_iter()
+                        .map(|(metric, value)| (metric.to_string(), value))
+                        .collect(),
+                }
+            })
+            .collect();
+        for record in &batch_records {
+            file.write_all(record.to_json_line().as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        file.flush()?;
+        executed += batch_records.len();
+    }
+    drop(file);
+
+    // Report everything now in the file, in cell order (existing records
+    // keep their position; a fresh run is already ordered).
+    let records = load_cell_records(&path)?;
+    Ok(ScenarioOutcome {
+        records,
+        executed,
+        skipped,
+        total,
+        path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::new(
+            "test-flooding",
+            "tiny flooding grid",
+            Measurement::Flooding(FloodingSpec {
+                budget: RoundBudget::Fixed(64),
+                record_isolation: true,
+            }),
+        )
+        .nets([NetSpec::Baseline(ModelKind::Sdgr), NetSpec::raes_default()])
+        .full_grid(Grid::new([48, 64], [3], 2))
+        .smoke_grid(Grid::new([32], [2], 1))
+        .base_seed(0x7E57)
+    }
+
+    #[test]
+    fn cells_enumerate_net_major_in_deterministic_order() {
+        let s = tiny_scenario();
+        let cells = s.cells(GridPreset::Full);
+        assert_eq!(cells.len(), 8, "2 nets x 2 sizes x 1 degree x 2 trials");
+        assert_eq!(cells[0].net, NetSpec::Baseline(ModelKind::Sdgr));
+        assert_eq!((cells[0].n, cells[0].trial), (48, 0));
+        assert_eq!((cells[1].n, cells[1].trial), (48, 1));
+        assert_eq!(cells.last().unwrap().net, NetSpec::raes_default());
+        assert_eq!(s.cells(GridPreset::Smoke).len(), 2);
+    }
+
+    #[test]
+    fn cell_seeds_match_sweep_trial_seeds_for_baseline_nets() {
+        let s = Scenario::new(
+            "compat",
+            "seed compatibility",
+            Measurement::Flooding(FloodingSpec {
+                budget: RoundBudget::EngineDefault,
+                record_isolation: false,
+            }),
+        )
+        .nets([NetSpec::Baseline(ModelKind::Pdg)])
+        .victims([VictimPolicy::Uniform, VictimPolicy::HighestDegree])
+        .full_grid(Grid::new([256], [4], 3))
+        .base_seed(0xE12);
+        for victim in [VictimPolicy::Uniform, VictimPolicy::HighestDegree] {
+            let sweep = crate::Sweep::new("compat")
+                .models([ModelKind::Pdg])
+                .sizes([256])
+                .degrees([4])
+                .trials(3)
+                .base_seed(0xE12)
+                .victim_policy(victim);
+            let point = crate::ParamPoint {
+                model: ModelKind::Pdg,
+                n: 256,
+                d: 4,
+            };
+            for trial in 0..3 {
+                let cell = CellSpec {
+                    net: NetSpec::Baseline(ModelKind::Pdg),
+                    n: 256,
+                    d: 4,
+                    victim,
+                    trial,
+                };
+                assert_eq!(
+                    s.cell_seed(&cell),
+                    sweep.trial_seed(&point, trial),
+                    "engine and Sweep seeds must coincide ({victim}, trial {trial})"
+                );
+            }
+        }
+        // The default RAES net keeps ModelKind::Raes's sweep tag too.
+        let sweep = crate::Sweep::new("compat")
+            .models([ModelKind::Raes])
+            .sizes([256])
+            .degrees([4])
+            .base_seed(0xE12);
+        let raes_cell = CellSpec {
+            net: NetSpec::raes_default(),
+            n: 256,
+            d: 4,
+            victim: VictimPolicy::Uniform,
+            trial: 0,
+        };
+        assert_eq!(
+            s.base_seed(0xE12).cell_seed(&raes_cell),
+            sweep.trial_seed(
+                &crate::ParamPoint {
+                    model: ModelKind::Raes,
+                    n: 256,
+                    d: 4
+                },
+                0
+            )
+        );
+    }
+
+    #[test]
+    fn non_default_raes_knobs_shift_the_seed() {
+        let s = tiny_scenario();
+        let base = CellSpec {
+            net: NetSpec::raes_default(),
+            n: 64,
+            d: 3,
+            victim: VictimPolicy::Uniform,
+            trial: 0,
+        };
+        let mut seen = vec![s.cell_seed(&base)];
+        for net in [
+            NetSpec::Raes(RaesNet {
+                churn: ChurnDriver::Poisson,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                saturation: SaturationPolicy::EvictOldest,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                capacity: 1.0,
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                attempts: 4,
+                ..RaesNet::default()
+            }),
+        ] {
+            let seed = s.cell_seed(&CellSpec { net, ..base });
+            assert!(!seen.contains(&seed), "{net} must get its own seed stream");
+            seen.push(seed);
+        }
+    }
+
+    #[test]
+    fn net_labels_are_stable() {
+        assert_eq!(NetSpec::Baseline(ModelKind::Sdgr).label(), "SDGR");
+        assert_eq!(NetSpec::raes_default().label(), "RAES");
+        assert_eq!(
+            NetSpec::Raes(RaesNet {
+                churn: ChurnDriver::Poisson,
+                saturation: SaturationPolicy::EvictOldest,
+                capacity: 1.0,
+                attempts: 4,
+            })
+            .label(),
+            "RAES+poisson+evict-oldest+c1+a4"
+        );
+        assert_eq!(NetSpec::Static.label(), "STATIC");
+        assert_eq!(NetSpec::P2p.to_string(), "P2P");
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_specs() {
+        // Degree-targeted deaths on streaming churn.
+        let bad = tiny_scenario().victims([VictimPolicy::HighestDegree]);
+        assert!(bad.validate().is_err());
+        // Measurement/net mismatches.
+        let bad = Scenario::new("x", "x", Measurement::StaticBaseline)
+            .nets([NetSpec::Baseline(ModelKind::Sdg)])
+            .full_grid(Grid::new([32], [2], 1));
+        assert!(bad.validate().is_err());
+        let bad = Scenario::new("x", "x", Measurement::OnionSkin)
+            .nets([NetSpec::Baseline(ModelKind::Pdg)])
+            .full_grid(Grid::new([32], [2], 1));
+        assert!(bad.validate().is_err());
+        // Baseline(Raes) is rejected in favour of NetSpec::Raes.
+        let bad = Scenario::new(
+            "x",
+            "x",
+            Measurement::Flooding(FloodingSpec {
+                budget: RoundBudget::EngineDefault,
+                record_isolation: false,
+            }),
+        )
+        .nets([NetSpec::Baseline(ModelKind::Raes)])
+        .full_grid(Grid::new([32], [2], 1));
+        assert!(bad.validate().is_err());
+        // The tiny scenario itself is fine.
+        assert!(tiny_scenario().validate().is_ok());
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_finds_by_name() {
+        let mut registry = ScenarioRegistry::new();
+        registry.register(tiny_scenario());
+        assert!(registry.get("test-flooding").is_some());
+        assert_eq!(registry.names(), vec!["test-flooding"]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            registry.register(tiny_scenario());
+        }));
+        assert!(result.is_err(), "duplicate registration must panic");
+    }
+
+    #[test]
+    fn cell_records_round_trip_through_json_lines() {
+        let record = CellRecord {
+            scenario: "demo".to_string(),
+            net: "RAES+a4".to_string(),
+            n: 256,
+            d: 8,
+            victim: "uniform".to_string(),
+            trial: 3,
+            seed: u64::MAX,
+            metrics: vec![
+                ("flooding_rounds".to_string(), 6.0),
+                ("completed".to_string(), 1.0),
+                ("weird \"metric\"".to_string(), f64::NAN),
+            ],
+        };
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = CellRecord::from_json_line(&line).unwrap();
+        assert_eq!(parsed.scenario, record.scenario);
+        assert_eq!(parsed.seed, u64::MAX);
+        assert_eq!(parsed.metric("completed"), Some(1.0));
+        assert!(parsed.metric("weird \"metric\"").unwrap().is_nan());
+        assert_eq!(parsed.metric("missing"), None);
+    }
+
+    #[test]
+    fn run_scenario_checkpoints_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("churn-scenario-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let scenario = tiny_scenario();
+
+        // Uninterrupted reference run.
+        let full_opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.join("reference"),
+            ..RunOptions::default()
+        };
+        let reference = run_scenario(&scenario, &full_opts).unwrap();
+        assert_eq!(reference.executed, reference.total);
+        assert_eq!(reference.skipped, 0);
+        let reference_bytes = fs::read(&reference.path).unwrap();
+
+        // Interrupted run: stop after 3 cells, then resume.
+        let interrupted_opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.join("resumed"),
+            limit: Some(3),
+            ..RunOptions::default()
+        };
+        let partial = run_scenario(&scenario, &interrupted_opts).unwrap();
+        assert_eq!(partial.executed, 3);
+        let resume_opts = RunOptions {
+            resume: true,
+            limit: None,
+            ..interrupted_opts
+        };
+        let resumed = run_scenario(&scenario, &resume_opts).unwrap();
+        assert_eq!(resumed.skipped, 3);
+        assert_eq!(resumed.executed, resumed.total - 3);
+        let resumed_bytes = fs::read(&resumed.path).unwrap();
+        assert_eq!(
+            resumed_bytes, reference_bytes,
+            "interrupted-then-resumed output must be bit-identical"
+        );
+
+        // Resuming a complete file executes nothing and rewrites nothing.
+        let idle = run_scenario(&scenario, &resume_opts).unwrap();
+        assert_eq!(idle.executed, 0);
+        assert_eq!(idle.skipped, idle.total);
+        assert_eq!(fs::read(&idle.path).unwrap(), reference_bytes);
+
+        // A non-resume run starts fresh and reproduces the same bytes.
+        let fresh = run_scenario(
+            &scenario,
+            &RunOptions {
+                resume: false,
+                ..resume_opts
+            },
+        )
+        .unwrap();
+        assert_eq!(fresh.executed, fresh.total);
+        assert_eq!(fs::read(&fresh.path).unwrap(), reference_bytes);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_trailing_lines_are_dropped_on_load() {
+        let dir =
+            std::env::temp_dir().join(format!("churn-scenario-partial-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.jsonl");
+        let record = CellRecord {
+            scenario: "x".into(),
+            net: "SDG".into(),
+            n: 8,
+            d: 2,
+            victim: "uniform".into(),
+            trial: 0,
+            seed: 1,
+            metrics: vec![("m".into(), 1.0)],
+        };
+        fs::write(
+            &path,
+            format!("{}\n{{\"scenario\":\"x\",\"ne", record.to_json_line()),
+        )
+        .unwrap();
+        let loaded = load_cell_records(&path).unwrap();
+        assert_eq!(loaded, vec![record]);
+        // A malformed line that is *not* the trailing partial write errors.
+        fs::write(&path, "not json\n{}\n").unwrap();
+        assert!(load_cell_records(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smoke_and_full_presets_write_separate_files() {
+        let s = tiny_scenario();
+        let opts = RunOptions::default();
+        assert_eq!(
+            scenario_output_path(&s, &opts),
+            PathBuf::from("results/test-flooding.jsonl")
+        );
+        let smoke = RunOptions {
+            preset: GridPreset::Smoke,
+            ..opts
+        };
+        assert_eq!(
+            scenario_output_path(&s, &smoke),
+            PathBuf::from("results/test-flooding.smoke.jsonl")
+        );
+    }
+}

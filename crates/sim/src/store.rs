@@ -34,7 +34,7 @@ pub struct StoredRecord {
     pub value: f64,
 }
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -52,7 +52,7 @@ fn escape_json(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn format_value(value: f64) -> String {
+pub(crate) fn format_value(value: f64) -> String {
     if value.is_finite() {
         let formatted = format!("{value}");
         // JSON has no distinct integer type, but serde_json prints whole f64s
