@@ -14,6 +14,12 @@
 //! present in the file are skipped under `--resume`; because cell identity
 //! is the deterministic per-cell seed and every engine is thread-count
 //! independent, a resumed file is bit-identical to an uninterrupted run.
+//!
+//! Runs keep going past trouble: a panicking cell is caught and recorded in
+//! the scenario's `.failures.jsonl` side file, the rest of the grid (and
+//! every later scenario of a multi-scenario invocation) still runs, and the
+//! process exits non-zero after printing an end-of-run failure summary —
+//! `--resume` then retries exactly the failed cells.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -69,10 +75,25 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            let mut failures: Vec<(String, usize)> = Vec::new();
             for name in &names {
-                scenarios::run_and_report(&registry, name, &opts);
+                let outcome = scenarios::run_and_report(&registry, name, &opts);
+                if !outcome.failures.is_empty() {
+                    failures.push((name.clone(), outcome.failures.len()));
+                }
             }
-            ExitCode::SUCCESS
+            if failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("failure summary:");
+                for (name, count) in &failures {
+                    eprintln!(
+                        "  {name}: {count} cell(s) panicked (see the .failures.jsonl side file)"
+                    );
+                }
+                eprintln!("rerun with --resume to retry exactly the failed cells");
+                ExitCode::FAILURE
+            }
         }
         _ => usage(),
     }

@@ -16,7 +16,7 @@
 //! seconds, run by CI on every PR.
 
 use churn_core::{ModelKind, VictimPolicy};
-use churn_protocol::{ChurnDriver, SaturationPolicy};
+use churn_protocol::{AdversaryModel, AttackKind, ChurnDriver, SaturationPolicy};
 use churn_sim::scenario::{
     run_scenario, ExpansionSpec, FloodingSpec, Grid, GridPreset, Measurement, NetSpec, RaesNet,
     RoundBudget, RunOptions, Scenario, ScenarioOutcome, ScenarioRegistry,
@@ -375,6 +375,180 @@ pub fn registry() -> ScenarioRegistry {
         .base_seed(0xE13),
     );
 
+    // E14 — Byzantine protocol-level adversaries (churn-protocol behavior
+    // layer). Same measurement and base seed as E11, so the f = 0 column
+    // (plain `NetSpec::raes_default()`) shares its cell seeds with E11's
+    // RAES rows and reproduces those flooding numbers bit for bit — the
+    // zero-adversary anchor every degradation figure is read against.
+    let byz_flooding = || {
+        Measurement::ParallelFlooding(FloodingSpec {
+            budget: RoundBudget::Log2Times(8),
+            record_isolation: true,
+        })
+    };
+    let uniform = |fraction: f64, attack: AttackKind| {
+        NetSpec::Raes(RaesNet {
+            adversary: AdversaryModel::Uniform { fraction, attack },
+            ..RaesNet::default()
+        })
+    };
+    let mut byz_nets = vec![NetSpec::raes_default()];
+    for attack in [
+        AttackKind::RefuseAll,
+        AttackKind::AcceptThenDrop,
+        AttackKind::CapSaturator,
+        AttackKind::SilentOnFlood,
+    ] {
+        for fraction in [0.01, 0.05, 0.1, 0.2] {
+            byz_nets.push(uniform(fraction, attack));
+        }
+    }
+    registry.register(
+        Scenario::new(
+            "byzantine-raes",
+            "E14 — RAES flooding under uniformly corrupted populations",
+            byz_flooding(),
+        )
+        .reproduces("Degradation of E11's RAES rows under f ∈ {0, .01, .05, .1, .2} × attack kind")
+        .nets(byz_nets)
+        .full_grid(Grid::new([100_000], [8], 2))
+        .smoke_grid(Grid::new([256], [8], 1))
+        .base_seed(0xE11),
+    );
+    registry.register(
+        Scenario::new(
+            "byzantine-raes-1m",
+            "E14 — uniformly corrupted RAES flooding at n = 10^6",
+            byz_flooding(),
+        )
+        .reproduces(
+            "E14 at scale; the f = 0 row is bit-identical to raes-flooding's 10^6 RAES cell",
+        )
+        .nets([
+            NetSpec::raes_default(),
+            uniform(0.05, AttackKind::RefuseAll),
+            uniform(0.2, AttackKind::RefuseAll),
+            uniform(0.05, AttackKind::CapSaturator),
+            uniform(0.2, AttackKind::CapSaturator),
+            uniform(0.2, AttackKind::SilentOnFlood),
+        ])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([256], [8], 1))
+        .base_seed(0xE11),
+    );
+
+    // E15 — structured adversaries: eclipse (targeted-neighborhood) and
+    // join-flood cohorts, versus E14's uniform corruption.
+    registry.register(
+        Scenario::new(
+            "byzantine-eclipse",
+            "E15 — eclipse and join-flood adversaries on RAES",
+            byz_flooding(),
+        )
+        .reproduces("Targeted-victim vs. cohort-arrival corruption (f = 0 row anchors to E11)")
+        .nets([
+            NetSpec::raes_default(),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.01,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.05,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.1,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.2,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.05,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.2,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.05,
+                    cohort: 8,
+                    attack: AttackKind::SilentOnFlood,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.2,
+                    cohort: 8,
+                    attack: AttackKind::SilentOnFlood,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.2,
+                    cohort: 16,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            }),
+        ])
+        .full_grid(Grid::new([100_000], [8], 2))
+        .smoke_grid(Grid::new([256], [8], 1))
+        .base_seed(0xE11),
+    );
+    registry.register(
+        Scenario::new(
+            "byzantine-eclipse-1m",
+            "E15 — eclipse and join-flood adversaries at n = 10^6",
+            byz_flooding(),
+        )
+        .reproduces("E15 at scale (f = 0 row anchors to raes-flooding's 10^6 RAES cell)")
+        .nets([
+            NetSpec::raes_default(),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.1,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.1,
+                    cohort: 8,
+                    attack: AttackKind::SilentOnFlood,
+                },
+                ..RaesNet::default()
+            }),
+        ])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([256], [8], 1))
+        .base_seed(0xE11),
+    );
+
     // E12 — adversarial churn schedules (robustness beyond oblivious churn).
     registry.register(
         Scenario::new(
@@ -453,6 +627,19 @@ pub fn run_and_report(
         outcome.skipped,
         outcome.path.display()
     );
+    if !outcome.failures.is_empty() {
+        println!(
+            "FAILED cells: {} (recorded in the .failures.jsonl side file; \
+             `--resume` retries exactly these)",
+            outcome.failures.len()
+        );
+        for failure in &outcome.failures {
+            println!(
+                "  {} n={} d={} trial={} seed={}: {}",
+                failure.net, failure.n, failure.d, failure.trial, failure.seed, failure.error
+            );
+        }
+    }
     println!();
     let table = churn_analysis::summarize_cells(
         format!("{} — per-point means", scenario.name()),
@@ -472,13 +659,18 @@ pub fn shim_main(scenario_names: &[&str]) {
     };
     let resume = std::env::args().skip(1).any(|a| a == "--resume");
     let registry = registry();
+    let mut failed_cells = 0usize;
     for name in scenario_names {
         let opts = RunOptions {
             preset,
             resume,
             ..RunOptions::default()
         };
-        run_and_report(&registry, name, &opts);
+        failed_cells += run_and_report(&registry, name, &opts).failures.len();
+    }
+    if failed_cells > 0 {
+        eprintln!("{failed_cells} cell(s) failed; rerun with --resume to retry them");
+        std::process::exit(1);
     }
 }
 
@@ -490,7 +682,7 @@ mod tests {
     fn registry_round_trips_names_and_validates_every_scenario() {
         let registry = registry();
         let names = registry.names();
-        assert!(names.len() >= 16, "all legacy experiments are registered");
+        assert!(names.len() >= 20, "all legacy experiments are registered");
         for scenario in registry.scenarios() {
             // register() already validated; re-validate for the round trip
             // and pin the lookup.
@@ -508,8 +700,10 @@ mod tests {
                 "{} smoke grid must stay tiny",
                 scenario.name()
             );
+            // byzantine-raes carries the widest net axis (the f = 0 anchor
+            // plus 4 fractions × 4 attack kinds = 17 nets).
             assert!(
-                smoke.len() <= 16,
+                smoke.len() <= 24,
                 "{} smoke grid must stay narrow",
                 scenario.name()
             );
@@ -539,8 +733,57 @@ mod tests {
             "p2p-overlay",
             "raes-flooding",
             "adversarial-churn",
+            "byzantine-raes",
+            "byzantine-raes-1m",
+            "byzantine-eclipse",
+            "byzantine-eclipse-1m",
         ] {
             assert!(registry.get(name).is_some(), "missing scenario {name}");
+        }
+    }
+
+    #[test]
+    fn byzantine_f0_columns_share_their_cell_seeds_with_raes_flooding() {
+        // The zero-adversary anchor: every byzantine scenario's plain-RAES
+        // cells must carry exactly the cell seeds of E11's RAES rows (same
+        // base seed, same net seed tag, same measurement spec), so their
+        // records reproduce today's flooding numbers bit for bit — the
+        // protocol suite separately pins that a zero-fraction adversary is
+        // RNG-stream-identical to no adversary at all.
+        let registry = registry();
+        let e11 = registry.get("raes-flooding").unwrap();
+        let e11_seeds: std::collections::HashSet<u64> = e11
+            .cells(GridPreset::Full)
+            .iter()
+            .filter(|c| c.net.label() == "RAES")
+            .map(|c| e11.cell_seed(c))
+            .collect();
+        for name in [
+            "byzantine-raes",
+            "byzantine-raes-1m",
+            "byzantine-eclipse",
+            "byzantine-eclipse-1m",
+        ] {
+            let byz = registry.get(name).unwrap();
+            assert_eq!(
+                format!("{:?}", byz.measurement()),
+                format!("{:?}", e11.measurement()),
+                "{name} must measure exactly what E11 measures"
+            );
+            let f0: Vec<_> = byz
+                .cells(GridPreset::Full)
+                .into_iter()
+                .filter(|c| c.net.label() == "RAES")
+                .collect();
+            assert!(!f0.is_empty(), "{name} is missing its f = 0 anchor column");
+            for cell in f0 {
+                assert!(
+                    e11_seeds.contains(&byz.cell_seed(&cell)),
+                    "{name} f = 0 cell (n = {}, trial {}) must share an E11 seed",
+                    cell.n,
+                    cell.trial
+                );
+            }
         }
     }
 }

@@ -312,6 +312,64 @@ fn flooding_scaling_metrics_match_the_legacy_loop_bit_for_bit() {
 }
 
 #[test]
+fn byzantine_f0_records_reproduce_raes_flooding_bit_for_bit() {
+    // The zero-adversary acceptance gate: the f = 0 column of every
+    // byzantine scenario (a plain `NetSpec::raes_default()` net) must
+    // reproduce the corresponding `raes-flooding` RAES record exactly —
+    // same seed, same metric list, every value bit for bit. Anything the
+    // behavior layer perturbs on the honest path would show up here.
+    let registry = registry();
+    let e11 = registry.get("raes-flooding").unwrap();
+    let (e11_records, e11_path) = run_smoke(e11, "byz-anchor-e11");
+    let raes_reference: Vec<&CellRecord> = e11_records.iter().filter(|r| r.net == "RAES").collect();
+    assert!(!raes_reference.is_empty());
+
+    for (name, tag) in [
+        ("byzantine-raes", "byz-uniform"),
+        ("byzantine-eclipse", "byz-eclipse"),
+    ] {
+        let scenario = registry.get(name).unwrap();
+        let (records, path) = run_smoke(scenario, tag);
+        let mut anchors = 0;
+        for record in records.iter().filter(|r| r.net == "RAES") {
+            let reference = raes_reference
+                .iter()
+                .find(|r| r.seed == record.seed)
+                .unwrap_or_else(|| panic!("{name} f = 0 cell has no E11 twin"));
+            assert_eq!(record.n, reference.n);
+            assert_eq!(record.trial, reference.trial);
+            assert_eq!(
+                record.metrics.len(),
+                reference.metrics.len(),
+                "{name} f = 0 records must carry E11's exact metric schema"
+            );
+            for ((metric, value), (ref_metric, ref_value)) in
+                record.metrics.iter().zip(&reference.metrics)
+            {
+                assert_eq!(metric, ref_metric);
+                assert_eq!(
+                    value.to_bits(),
+                    ref_value.to_bits(),
+                    "{name} f = 0 {metric} must match raes-flooding bit for bit"
+                );
+            }
+            anchors += 1;
+        }
+        assert!(anchors > 0, "{name} smoke grid has no f = 0 anchor");
+        // Corrupted rows carry the extra byzantine metric columns the
+        // anchor rows must not have.
+        let corrupted = records
+            .iter()
+            .find(|r| r.net != "RAES")
+            .expect("byzantine scenarios have adversarial nets");
+        assert!(corrupted.metric("byz_alive_fraction").is_some());
+        assert!(corrupted.metric("honest_final_fraction").is_some());
+        fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+    fs::remove_dir_all(e11_path.parent().unwrap()).ok();
+}
+
+#[test]
 fn interrupted_registered_scenario_resumes_bit_identically() {
     // The sim crate pins resume determinism on a synthetic scenario; this
     // covers a *registered* one whose cells exercise the sharded parallel

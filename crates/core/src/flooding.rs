@@ -35,6 +35,18 @@ use churn_graph::{DenseHandle, DynamicGraph, NodeId};
 use crate::model::DynamicNetwork;
 use crate::ChurnSummary;
 
+/// Behavior-tag bit marking a node as Byzantine (assigned by a protocol
+/// layer via [`DynamicGraph::set_tag_at`]; `0` = honest). The flooding
+/// engines use this to split informed/alive counts into honest-only
+/// variants — see [`RoundStats::informed_honest`].
+pub const TAG_BYZANTINE: u8 = 0x1;
+
+/// Behavior-tag bit marking a node that never forwards the broadcast
+/// (protocol-honest on the repair path but silent on the flooding overlay).
+/// A node carrying this bit still *becomes* informed — it just never acts
+/// as a source in the boundary sweep.
+pub const TAG_NO_FORWARD: u8 = 0x2;
+
 /// How to pick the node that starts the broadcast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FloodingSource {
@@ -106,6 +118,16 @@ pub struct RoundStats {
     pub newly_informed: usize,
     /// Whether the broadcast is complete after this step.
     pub complete: bool,
+    /// Informed alive nodes carrying no behavior tag ([`TAG_BYZANTINE`]).
+    /// Equals `informed` while the graph has no tags.
+    pub informed_honest: usize,
+    /// Alive nodes carrying no behavior tag. Equals `alive` while the graph
+    /// has no tags.
+    pub alive_honest: usize,
+    /// Completion restricted to the honest subpopulation: every honest node
+    /// alive at the previous observation and still alive now is informed.
+    /// Equals `complete` while the graph has no tags.
+    pub honest_complete: bool,
 }
 
 impl RoundStats {
@@ -116,6 +138,17 @@ impl RoundStats {
             0.0
         } else {
             self.informed as f64 / self.alive as f64
+        }
+    }
+
+    /// Fraction of honest alive nodes that are informed (0 when no honest
+    /// node is alive). Equals [`Self::informed_fraction`] on untagged graphs.
+    #[must_use]
+    pub fn honest_fraction(&self) -> f64 {
+        if self.alive_honest == 0 {
+            0.0
+        } else {
+            self.informed_honest as f64 / self.alive_honest as f64
         }
     }
 }
@@ -573,8 +606,12 @@ impl FloodingProcess {
     /// prefix suffices). This is also the sequential fallback of
     /// [`ParallelFrontier`].
     fn expand_sequential(&mut self, graph: &DynamicGraph, prev_len: usize) {
+        let tagged = graph.tags_enabled();
         for i in 0..prev_len {
             let idx = self.informed.entries[i].0.index;
+            if tagged && graph.tag_at(idx) & TAG_NO_FORWARD != 0 {
+                continue; // informed but silent: never a source
+            }
             for nb in graph.neighbor_indices_at(idx) {
                 if !self.informed.test(nb) {
                     let nb_handle = graph
@@ -626,6 +663,33 @@ impl FloodingProcess {
             .count();
         self.complete = self.informed.len() + births_alive == alive;
 
+        // Honest-only accounting: on untagged graphs the honest figures
+        // coincide with the global ones at zero extra cost; with tags the
+        // split is one O(informed + births) pass over data already touched.
+        let graph = model.graph();
+        let (informed_honest, alive_honest, honest_complete) = if graph.tags_enabled() {
+            let informed_honest = self
+                .informed
+                .entries
+                .iter()
+                .filter(|&&(handle, _)| graph.tag_at(handle.index) == 0)
+                .count();
+            let alive_honest = alive - graph.tagged_member_count();
+            let honest_births = summary
+                .births
+                .iter()
+                .filter_map(|&id| graph.dense_index_of(id))
+                .filter(|&idx| graph.tag_at(idx) == 0)
+                .count();
+            (
+                informed_honest,
+                alive_honest,
+                informed_honest + honest_births == alive_honest,
+            )
+        } else {
+            (self.informed.len(), alive, self.complete)
+        };
+
         RoundStats {
             round: self.rounds,
             time: model.time(),
@@ -633,6 +697,9 @@ impl FloodingProcess {
             alive,
             newly_informed,
             complete: self.complete,
+            informed_honest,
+            alive_honest,
+            honest_complete,
         }
     }
 
@@ -986,6 +1053,7 @@ impl ParallelFrontier {
         let frozen: &[u64] = &self.frozen;
         let bits = &informed.bits;
         let entries = &informed.entries[..prev_len];
+        let tagged = graph.tags_enabled();
 
         if self.shard_bufs.len() < self.threads {
             self.shard_bufs.resize_with(self.threads, Vec::new);
@@ -1007,7 +1075,11 @@ impl ParallelFrontier {
                             }
                             // Vacant cells yield no neighbours and fall through.
                             for nb in graph.neighbor_indices_at(idx) {
-                                if frozen_test(frozen, nb) {
+                                // A silent neighbour is informed but never a
+                                // source — keep scanning for a forwarding one.
+                                if frozen_test(frozen, nb)
+                                    && (!tagged || graph.tag_at(nb) & TAG_NO_FORWARD == 0)
+                                {
                                     if bits.set_shared(idx) {
                                         buf.push(idx);
                                     }
@@ -1022,6 +1094,9 @@ impl ParallelFrontier {
                 for (slice, buf) in entries.chunks(chunk).zip(self.shard_bufs.iter_mut()) {
                     s.spawn(move |_| {
                         for &(handle, _) in slice {
+                            if tagged && graph.tag_at(handle.index) & TAG_NO_FORWARD != 0 {
+                                continue; // informed but silent: never a source
+                            }
                             for nb in graph.neighbor_indices_at(handle.index) {
                                 // The relaxed pre-test skips already-informed
                                 // cells cheaply; the fetch-OR arbitrates races
@@ -1450,6 +1525,97 @@ mod tests {
     }
 
     #[test]
+    fn no_forward_tags_keep_engines_identical_and_split_honest_counts() {
+        let mut seq_model = sdgr(512, 8, 21);
+        let mut par_model = sdgr(512, 8, 21);
+        let mut seq = FloodingProcess::start(&mut seq_model, FloodingSource::NextToJoin);
+        let mut par = ParallelFrontier::start(&mut par_model, FloodingSource::NextToJoin, 4)
+            .with_sequential_cutoff(0);
+        let source = seq.source();
+        assert_eq!(source, par.source());
+
+        // Untagged graph: the honest fields mirror the global ones.
+        let untouched = seq.step(&mut seq_model);
+        assert_eq!(untouched, par.step(&mut par_model));
+        assert_eq!(untouched.informed_honest, untouched.informed);
+        assert_eq!(untouched.alive_honest, untouched.alive);
+        assert_eq!(untouched.honest_complete, untouched.complete);
+
+        // Tag every third member (sparing the source) silent-Byzantine in
+        // both models identically.
+        let tag = TAG_BYZANTINE | TAG_NO_FORWARD;
+        for model in [&mut seq_model, &mut par_model] {
+            let members: Vec<u32> = model.graph().member_indices().to_vec();
+            let source_idx = model.graph().dense_index_of(source);
+            for idx in members.into_iter().step_by(3) {
+                if Some(idx) != source_idx {
+                    model.graph_mut().set_tag_at(idx, tag).unwrap();
+                }
+            }
+        }
+
+        for _ in 0..40 {
+            let seq_stats = seq.step(&mut seq_model);
+            let par_stats = par.step(&mut par_model);
+            assert_eq!(seq_stats, par_stats, "engines diverge under tags");
+            assert_eq!(seq.informed(), par.informed());
+            // The honest split is consistent with a direct recount.
+            let graph = seq_model.graph();
+            let honest_recount = seq
+                .informed_dense()
+                .filter(|&idx| graph.tag_at(idx) == 0)
+                .count();
+            assert_eq!(seq_stats.informed_honest, honest_recount);
+            assert_eq!(
+                seq_stats.alive_honest,
+                seq_stats.alive - graph.tagged_member_count()
+            );
+            assert!(seq_stats.informed_honest <= seq_stats.informed);
+            if seq_stats.complete {
+                assert!(
+                    seq_stats.honest_complete,
+                    "global completion implies honest completion"
+                );
+                break;
+            }
+        }
+        assert!(seq.is_complete(), "silent minority only delays flooding");
+    }
+
+    #[test]
+    fn silent_nodes_receive_but_never_forward() {
+        let mut model = sdgr(128, 4, 7);
+        let mut process = FloodingProcess::start(&mut model, FloodingSource::NextToJoin);
+        let source = process.source();
+        let source_idx = model.graph().dense_index_of(source).unwrap();
+        // Everyone except the source is silent: only the source ever forwards.
+        let members: Vec<u32> = model.graph().member_indices().to_vec();
+        for idx in members {
+            if idx != source_idx {
+                model
+                    .graph_mut()
+                    .set_tag_at(idx, TAG_BYZANTINE | TAG_NO_FORWARD)
+                    .unwrap();
+            }
+        }
+        let expected: HashSet<NodeId> = model
+            .graph()
+            .neighbor_indices_at(source_idx)
+            .map(|nb| model.graph().id_at(nb).unwrap())
+            .chain(std::iter::once(source))
+            .collect();
+        let stats = process.step(&mut model);
+        assert!(
+            process.informed().is_subset(&expected),
+            "silent nodes must not spread the broadcast"
+        );
+        assert!(
+            stats.informed > stats.informed_honest,
+            "tagged receivers are informed but not honest-informed"
+        );
+    }
+
+    #[test]
     fn round_stats_fraction_handles_empty_network() {
         let stats = RoundStats {
             round: 1,
@@ -1458,8 +1624,12 @@ mod tests {
             alive: 0,
             newly_informed: 0,
             complete: false,
+            informed_honest: 0,
+            alive_honest: 0,
+            honest_complete: false,
         };
         assert_eq!(stats.informed_fraction(), 0.0);
+        assert_eq!(stats.honest_fraction(), 0.0);
     }
 
     #[test]

@@ -400,6 +400,15 @@ pub struct DynamicGraph {
     /// (`None` unless [`Self::set_degree_index`] enabled it). Boxed like the
     /// delta so the common case stays lean.
     degree: Option<Box<DegreeIndex>>,
+    /// Opt-in per-cell behavior tags (parallel to `slab`; `0` = untagged).
+    /// Empty until the first nonzero [`Self::set_tag_at`], so graphs that
+    /// never tag pay nothing — not even a branch on the mutator paths, since
+    /// only node removal touches the tags and it checks `is_empty` first.
+    tags: Vec<u8>,
+    /// Number of alive members whose tag is nonzero (maintained by
+    /// [`Self::set_tag_at`] and node removal), so callers can account for
+    /// the tagged subpopulation in O(1).
+    tagged_members: usize,
 }
 
 /// Sentinel in [`DynamicGraph::sample_members_each_excluding_into`]'s exclude
@@ -554,6 +563,8 @@ impl DynamicGraph {
             next_sorted_id: 0,
             delta: None,
             degree: None,
+            tags: Vec::new(),
+            tagged_members: 0,
         }
     }
 
@@ -678,6 +689,63 @@ impl DynamicGraph {
                 best.map(|(_, id, idx)| (id, idx))
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Behavior tags
+    // ------------------------------------------------------------------
+
+    /// Assigns behavior tag `tag` to the alive node at dense index `idx`
+    /// (`0` clears). Tags are an opt-in per-cell byte consumers interpret
+    /// themselves (e.g. the protocol crate's Byzantine behavior codes); the
+    /// graph only stores them and clears a cell's tag on removal, so a
+    /// recycled cell never inherits its previous occupant's tag.
+    ///
+    /// Storage is allocated lazily on the first nonzero assignment: a graph
+    /// that never tags stays tag-free ([`Self::tags_enabled`] is `false`)
+    /// and pays nothing on any mutator path.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VacantIndex`] when `idx` holds no alive node.
+    pub fn set_tag_at(&mut self, idx: u32, tag: u8) -> Result<()> {
+        if !self.occupied(idx) {
+            return Err(GraphError::VacantIndex(idx));
+        }
+        if tag == 0 && self.tags.is_empty() {
+            return Ok(());
+        }
+        if self.tags.len() < self.slab.len() {
+            self.tags.resize(self.slab.len(), 0);
+        }
+        let cell = &mut self.tags[idx as usize];
+        self.tagged_members += usize::from(tag != 0);
+        self.tagged_members -= usize::from(*cell != 0);
+        *cell = tag;
+        Ok(())
+    }
+
+    /// The behavior tag of the cell at dense index `idx` (`0` for untagged,
+    /// vacant or out-of-range cells).
+    #[inline]
+    #[must_use]
+    pub fn tag_at(&self, idx: u32) -> u8 {
+        self.tags.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` once any nonzero tag has ever been assigned — the
+    /// single branch tag-aware consumers check before paying per-node tag
+    /// lookups.
+    #[inline]
+    #[must_use]
+    pub fn tags_enabled(&self) -> bool {
+        !self.tags.is_empty()
+    }
+
+    /// Number of alive members carrying a nonzero tag, in O(1).
+    #[must_use]
+    pub fn tagged_member_count(&self) -> usize {
+        self.tagged_members
     }
 
     /// Number of alive nodes.
@@ -1354,6 +1422,17 @@ impl DynamicGraph {
             .ok_or(GraphError::VacantIndex(idx))?;
         out.id = record.id;
         self.index.remove(&record.id);
+        // Clear the behavior tag so a recycled cell never inherits it. The
+        // slab may have grown past the tag array since the last assignment,
+        // hence the bounds-checked access.
+        if !self.tags.is_empty() {
+            if let Some(tag) = self.tags.get_mut(idx as usize) {
+                if *tag != 0 {
+                    self.tagged_members -= 1;
+                }
+                *tag = 0;
+            }
+        }
         if self.observing() {
             if let Some(delta) = self.delta.as_deref_mut() {
                 delta.deaths.push((idx, record.id));
@@ -2442,5 +2521,60 @@ mod tests {
         let mut out = Vec::new();
         lone.sample_members_each_excluding_into(&mut rng, &[0], &mut out);
         assert_eq!(out, vec![SAMPLE_NONE]);
+    }
+
+    #[test]
+    fn behavior_tags_are_lazy_counted_and_cleared_on_removal() {
+        let mut g = DynamicGraph::new();
+        for raw in 0..4u64 {
+            g.add_node(id(raw), 1).unwrap();
+        }
+        // Untagged graph: no storage, zero reads everywhere.
+        assert!(!g.tags_enabled());
+        assert_eq!(g.tagged_member_count(), 0);
+        assert_eq!(g.tag_at(0), 0);
+        // Clearing an untagged cell must not allocate the tag array.
+        g.set_tag_at(0, 0).unwrap();
+        assert!(!g.tags_enabled());
+
+        let a = g.dense_index_of(id(1)).unwrap();
+        g.set_tag_at(a, 0x11).unwrap();
+        assert!(g.tags_enabled());
+        assert_eq!(g.tag_at(a), 0x11);
+        assert_eq!(g.tagged_member_count(), 1);
+        // Re-tagging the same cell does not double-count.
+        g.set_tag_at(a, 0x21).unwrap();
+        assert_eq!(g.tagged_member_count(), 1);
+        // Explicit clear.
+        g.set_tag_at(a, 0).unwrap();
+        assert_eq!(g.tag_at(a), 0);
+        assert_eq!(g.tagged_member_count(), 0);
+
+        // Removal clears the tag so a recycled cell starts untagged.
+        g.set_tag_at(a, 0x43).unwrap();
+        assert_eq!(g.tagged_member_count(), 1);
+        g.remove_node(id(1)).unwrap();
+        assert_eq!(g.tagged_member_count(), 0);
+        g.add_node(id(9), 1).unwrap();
+        let recycled = g.dense_index_of(id(9)).unwrap();
+        assert_eq!(recycled, a, "free list recycles the vacated cell");
+        assert_eq!(g.tag_at(recycled), 0, "recycled cell must start untagged");
+
+        // Vacant / out-of-range cells.
+        assert!(g.set_tag_at(999, 1).is_err());
+        assert_eq!(g.tag_at(999), 0);
+
+        // Cells past the tag array (slab grown after allocation) read 0 and
+        // can be tagged, growing the array on demand.
+        for raw in 10..20u64 {
+            g.add_node(id(raw), 1).unwrap();
+        }
+        let late = g.dense_index_of(id(19)).unwrap();
+        assert_eq!(g.tag_at(late), 0);
+        g.set_tag_at(late, 0x31).unwrap();
+        assert_eq!(g.tag_at(late), 0x31);
+        assert_eq!(g.tagged_member_count(), 1);
+        g.remove_node(id(19)).unwrap();
+        assert_eq!(g.tagged_member_count(), 0);
     }
 }

@@ -28,6 +28,10 @@
 //! * [`LiveMetrics`] — degree and in-request histograms, isolated and
 //!   low-degree node counts, RAES in-degree-cap occupancy, maintained per
 //!   dirty cell.
+//! * [`BehaviorCensus`] — the alive population per behavior tag class
+//!   (honest vs. each Byzantine behavior of `churn-protocol`'s adversary
+//!   layer), maintained per dirty cell; gives the realized corrupted
+//!   fraction of a hardened scenario run at O(churn) cost.
 //! * [`LifetimeIsolation`] — the Lemma 3.5 / 4.10 census: tracks which of
 //!   the currently isolated nodes stay isolated until they die, at O(churn)
 //!   per round instead of O(candidates).
@@ -70,5 +74,5 @@ mod metrics;
 mod trackers;
 
 pub use incremental::{ApplyOutcome, IncrementalSnapshot};
-pub use metrics::{LiveMetrics, MetricsSummary};
+pub use metrics::{BehaviorCensus, BehaviorSummary, LiveMetrics, MetricsSummary};
 pub use trackers::{InformedOverlap, LifetimeIsolation};

@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use churn_core::{ModelError, Result, VictimPolicy};
 
+use crate::behavior::AdversaryModel;
+
 /// What a contacted node does with a connection request once its in-degree has
 /// reached the cap `⌊c·d⌋`.
 ///
@@ -116,6 +118,11 @@ pub struct RaesConfig {
     /// [`VictimPolicy::Uniform`] and [`VictimPolicy::OldestFirst`] validate
     /// there.
     pub victim_policy: VictimPolicy,
+    /// How Byzantine behaviors are assigned to newborn nodes (default:
+    /// [`AdversaryModel::None`]). Adversary decisions draw from a dedicated
+    /// substream, so any model with an effective corrupted fraction of 0 is
+    /// RNG-stream-identical to one with no adversary at all.
+    pub adversary: AdversaryModel,
     /// RNG seed; identical configurations evolve identically.
     pub seed: u64,
 }
@@ -140,8 +147,16 @@ impl RaesConfig {
             attempts_per_round: 1,
             churn: ChurnDriver::default(),
             victim_policy: VictimPolicy::Uniform,
+            adversary: AdversaryModel::None,
             seed: 0,
         }
+    }
+
+    /// Sets the Byzantine adversary model (see [`Self::adversary`]).
+    #[must_use]
+    pub fn adversary(mut self, adversary: AdversaryModel) -> Self {
+        self.adversary = adversary;
+        self
     }
 
     /// Sets the number of contacts a pending request may make per round
@@ -230,6 +245,21 @@ impl RaesConfig {
                 policy: self.victim_policy.label(),
             });
         }
+        if self.adversary.is_active() {
+            let fraction = self.adversary.fraction();
+            if !(fraction.is_finite() && (0.0..1.0).contains(&fraction)) {
+                return Err(ModelError::InvalidRate {
+                    parameter: "adversary fraction",
+                    value: fraction,
+                });
+            }
+            if let AdversaryModel::JoinFlood { cohort: 0, .. } = self.adversary {
+                return Err(ModelError::InvalidRate {
+                    parameter: "join-flood cohort",
+                    value: 0.0,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -277,6 +307,51 @@ mod tests {
             .capacity_factor(1.0)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn adversary_validation_bounds_fraction_and_cohort() {
+        use crate::behavior::{AdversaryModel, AttackKind};
+        let base = |adv| RaesConfig::new(100, 4).adversary(adv);
+        assert_eq!(RaesConfig::new(100, 4).adversary, AdversaryModel::None);
+        assert!(base(AdversaryModel::Uniform {
+            fraction: 0.0,
+            attack: AttackKind::RefuseAll,
+        })
+        .validate()
+        .is_ok());
+        assert!(base(AdversaryModel::Eclipse {
+            fraction: 0.2,
+            attack: AttackKind::CapSaturator,
+        })
+        .validate()
+        .is_ok());
+        for bad in [-0.1, 1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                base(AdversaryModel::Uniform {
+                    fraction: bad,
+                    attack: AttackKind::SilentOnFlood,
+                })
+                .validate(),
+                Err(ModelError::InvalidRate { .. })
+            ));
+        }
+        assert!(matches!(
+            base(AdversaryModel::JoinFlood {
+                fraction: 0.1,
+                cohort: 0,
+                attack: AttackKind::AcceptThenDrop,
+            })
+            .validate(),
+            Err(ModelError::InvalidRate { .. })
+        ));
+        assert!(base(AdversaryModel::JoinFlood {
+            fraction: 0.1,
+            cohort: 4,
+            attack: AttackKind::AcceptThenDrop,
+        })
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -60,9 +60,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod behavior;
 mod config;
 mod raes;
 
+pub use behavior::{AdversaryModel, AttackKind, Behavior};
 pub use config::{ChurnDriver, RaesConfig, SaturationPolicy};
 pub use raes::{PendingRequest, RaesModel, RaesRoundStats, RaesStats};
 

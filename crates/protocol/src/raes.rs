@@ -5,13 +5,19 @@ use std::collections::VecDeque;
 use churn_graph::hashing::IdHashMap;
 use churn_graph::{DenseHandle, DynamicGraph, NodeId, NodeIdAllocator, RemovedNode};
 use churn_stochastic::process::{BirthDeathChain, Jump};
-use churn_stochastic::rng::{seeded_rng, SimRng};
+use churn_stochastic::rng::{derive_seed, seeded_rng, SimRng};
 use serde::{Deserialize, Serialize};
 
 use churn_core::driver::{self, ChurnHost, JumpClock, PoissonChurnHost, VictimPolicy};
 use churn_core::{ChurnSummary, DynamicNetwork, EdgePolicy, ModelEvent, ModelKind, Result};
 
-use crate::{ChurnDriver, RaesConfig, SaturationPolicy};
+use crate::{AdversaryModel, Behavior, ChurnDriver, RaesConfig, SaturationPolicy};
+
+/// Seed-derivation stream tag of the adversary substream: behavior
+/// assignment and victim selection draw from `derive_seed(seed, this)`, so
+/// the main simulation stream is untouched even while an adversary is
+/// configured.
+const ADVERSARY_STREAM: u64 = 0xB12A_7A6E;
 
 /// One unfilled out-slot waiting to be connected: the protocol's unit of work.
 ///
@@ -57,6 +63,26 @@ pub struct RaesRoundStats {
     /// Total rounds the requests accepted this round spent pending (0 for a
     /// newborn's slot filled in its birth round).
     pub repair_latency_sum: u64,
+    /// Requests refused by a [`crate::Behavior::RefuseAll`] node this round
+    /// (each is also counted in `rejected` — the requester cannot tell a
+    /// refusal from genuine saturation). Always 0 without an adversary.
+    pub byz_refused: usize,
+    /// Phantom accepts by [`crate::Behavior::AcceptThenDrop`] nodes: the
+    /// handshake "succeeded" but the slot stays unfilled and the request
+    /// silently re-enters the queue. Not counted in `accepted` or `rejected`.
+    pub byz_accept_drops: usize,
+    /// Requests sent by Byzantine owners this round (cap-saturator victim
+    /// presses; also counted in `requests_sent`).
+    pub byz_requests_sent: usize,
+    /// Requests accepted whose owner is honest (untagged). Equals `accepted`
+    /// without an adversary.
+    pub honest_accepted: usize,
+    /// Rounds the honest-owned requests accepted this round spent pending.
+    /// Equals `repair_latency_sum` without an adversary.
+    pub honest_repair_latency_sum: u64,
+    /// Largest in-degree observed on a cap-saturator victim right after a
+    /// saturator press this round (0 when no saturator pressed).
+    pub victim_cap_occupancy: usize,
 }
 
 /// Cumulative protocol counters since construction.
@@ -76,6 +102,20 @@ pub struct RaesStats {
     pub dropped: u64,
     /// Total rounds accepted requests spent pending before being served.
     pub repair_latency_sum: u64,
+    /// Total requests refused by `RefuseAll` nodes (subset of `rejected`).
+    pub byz_refused: u64,
+    /// Total phantom accepts by `AcceptThenDrop` nodes.
+    pub byz_accept_drops: u64,
+    /// Total requests sent by Byzantine owners (subset of `requests_sent`).
+    pub byz_requests_sent: u64,
+    /// Total requests accepted for honest owners (subset of `accepted`;
+    /// equal without an adversary).
+    pub honest_accepted: u64,
+    /// Total pending rounds of honest-owned accepted requests (subset of
+    /// `repair_latency_sum`; equal without an adversary).
+    pub honest_repair_latency_sum: u64,
+    /// Largest cap-saturator victim in-degree ever observed after a press.
+    pub max_victim_cap_occupancy: u64,
 }
 
 impl RaesStats {
@@ -87,6 +127,26 @@ impl RaesStats {
         self.evicted += round.evicted as u64;
         self.dropped += round.dropped as u64;
         self.repair_latency_sum += round.repair_latency_sum;
+        self.byz_refused += round.byz_refused as u64;
+        self.byz_accept_drops += round.byz_accept_drops as u64;
+        self.byz_requests_sent += round.byz_requests_sent as u64;
+        self.honest_accepted += round.honest_accepted as u64;
+        self.honest_repair_latency_sum += round.honest_repair_latency_sum;
+        self.max_victim_cap_occupancy = self
+            .max_victim_cap_occupancy
+            .max(round.victim_cap_occupancy as u64);
+    }
+
+    /// Mean number of rounds an eventually-served *honest* request waited
+    /// (0 when none was served yet). Equals [`Self::mean_repair_latency`]
+    /// without an adversary.
+    #[must_use]
+    pub fn mean_honest_repair_latency(&self) -> f64 {
+        if self.honest_accepted == 0 {
+            0.0
+        } else {
+            self.honest_repair_latency_sum as f64 / self.honest_accepted as f64
+        }
     }
 
     /// Mean number of rounds an eventually-served request waited (0 when no
@@ -198,6 +258,34 @@ pub struct RaesModel {
     removal_scratch: RemovedNode,
     stats: RaesStats,
     last_round: RaesRoundStats,
+    /// Dedicated adversary substream (behavior assignment, victim picks).
+    /// Never interleaved with `rng`, so `AdversaryModel::None` and any
+    /// zero-fraction adversary leave the main stream bit-identical.
+    adv_rng: SimRng,
+    /// Join-flood burst state: corrupted spawns still owed by the current
+    /// cohort.
+    joinflood_remaining: u32,
+    /// Per-saturator victim handles, indexed by the saturator's slab cell
+    /// (empty while no saturator ever pressed). Entries are revalidated
+    /// lazily: a dead victim is re-picked on the next press.
+    saturator_victims: Vec<Option<DenseHandle>>,
+    /// The shared victim of an [`AdversaryModel::Eclipse`] adversary,
+    /// (re-)picked lazily like the per-saturator victims.
+    eclipse_victim: Option<DenseHandle>,
+}
+
+/// Outcome of one contact attempt against a chosen target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Contact {
+    /// The target accepted (possibly after shedding its oldest in-link
+    /// under [`SaturationPolicy::EvictOldest`]) and the out-slot was filled.
+    Connected,
+    /// The target rejected the request: genuine saturation under
+    /// [`SaturationPolicy::RejectRetry`], or a Byzantine refusal.
+    Refused,
+    /// A Byzantine target accepted the handshake but never holds the link:
+    /// the slot stays severed and re-enters the queue.
+    Phantom,
 }
 
 impl RaesModel {
@@ -247,6 +335,10 @@ impl RaesModel {
             removal_scratch: RemovedNode::default(),
             stats: RaesStats::default(),
             last_round: RaesRoundStats::default(),
+            adv_rng: seeded_rng(derive_seed(config.seed, ADVERSARY_STREAM)),
+            joinflood_remaining: 0,
+            saturator_victims: Vec::new(),
+            eclipse_victim: None,
             config,
         })
     }
@@ -378,6 +470,14 @@ impl RaesModel {
                 since_round: self.rounds,
             });
         }
+        if self.config.adversary.is_active() {
+            let behavior = self.draw_behavior();
+            if behavior != Behavior::Honest {
+                self.graph
+                    .set_tag_at(idx, behavior.tag())
+                    .expect("freshly added node is alive");
+            }
+        }
         self.birth_time.insert(id, time);
         self.newest = Some(id);
         // The streaming driver maintains the birth-order queue itself; under
@@ -420,9 +520,45 @@ impl RaesModel {
         // fail `is_current` in the next repair sweep.
     }
 
+    /// Draws the behavior of a newborn from the adversary substream (the
+    /// main stream is never touched). One `f64` draw per spawn for the
+    /// fraction-based models; [`AdversaryModel::None`] never calls this.
+    fn draw_behavior(&mut self) -> Behavior {
+        use rand::Rng;
+        match self.config.adversary {
+            AdversaryModel::None => Behavior::Honest,
+            AdversaryModel::Uniform { fraction, attack }
+            | AdversaryModel::Eclipse { fraction, attack } => {
+                if self.adv_rng.gen::<f64>() < fraction {
+                    attack.behavior()
+                } else {
+                    Behavior::Honest
+                }
+            }
+            AdversaryModel::JoinFlood {
+                fraction,
+                cohort,
+                attack,
+            } => {
+                if self.joinflood_remaining > 0 {
+                    self.joinflood_remaining -= 1;
+                    attack.behavior()
+                } else if self.adv_rng.gen::<f64>() < fraction / f64::from(cohort) {
+                    self.joinflood_remaining = cohort - 1;
+                    attack.behavior()
+                } else {
+                    Behavior::Honest
+                }
+            }
+        }
+    }
+
     /// Sentinel in the target batch: the request's owner died. Aliases the
     /// graph's bulk-sampling skip sentinel, so the exclusion batch and the
-    /// target batch share one coding.
+    /// target batch share one coding. An alive [`Behavior::CapSaturator`]
+    /// owner is coded with the same sentinel (it never samples a uniform
+    /// target — it presses its victim instead); the sweep disambiguates the
+    /// two cases with one generation probe.
     const DEAD_OWNER: u32 = churn_graph::SAMPLE_SKIP;
     /// Sentinel in the target batch: no other alive node exists to contact.
     const NO_CANDIDATE: u32 = churn_graph::SAMPLE_NONE;
@@ -448,6 +584,11 @@ impl RaesModel {
             ..RaesRoundStats::default()
         };
 
+        // Tags exist only once an adversary actually corrupted a node, so an
+        // honest run (including a configured adversary with fraction 0) takes
+        // every pre-existing branch unchanged.
+        let byz = self.graph.tags_enabled();
+
         // Under streaming churn, entries enqueued *this* round (newborn
         // slots, dangling slots of survivors) cannot have dead owners — the
         // round's single death precedes every enqueue — so only carried-over
@@ -458,10 +599,17 @@ impl RaesModel {
         for request in &self.pending {
             let alive = (fresh_implies_alive && request.since_round == self.rounds)
                 || self.graph.is_current(request.owner);
-            self.exclude_scratch.push(if alive {
-                request.owner.index
-            } else {
+            self.exclude_scratch.push(if !alive {
                 Self::DEAD_OWNER
+            } else if byz && self.graph.tag_at(request.owner.index) == Behavior::CapSaturator.tag()
+            {
+                // Alive saturators never draw a uniform target: the skip
+                // sentinel is echoed through the bulk sampler *without*
+                // consuming a draw, so honest requests in the same batch see
+                // the exact RNG stream they would without the saturator.
+                Self::DEAD_OWNER
+            } else {
+                request.owner.index
             });
         }
         self.sample_scratch.clear();
@@ -477,6 +625,19 @@ impl RaesModel {
             let request = self.pending[read];
             let target = self.sample_scratch[read];
             if target == Self::DEAD_OWNER {
+                if byz
+                    && self.graph.is_current(request.owner)
+                    && self.graph.tag_at(request.owner.index) == Behavior::CapSaturator.tag()
+                {
+                    // An alive saturator was coded as a skip: it spends this
+                    // slot pressing its victim's cap instead of repairing.
+                    round.byz_requests_sent += 1;
+                    if !self.press_victim(request, &mut round) {
+                        self.pending[write] = request;
+                        write += 1;
+                    }
+                    continue;
+                }
                 round.dropped += 1;
                 continue;
             }
@@ -486,17 +647,17 @@ impl RaesModel {
                 write += 1;
                 continue;
             }
-            round.requests_sent += 1;
-            let in_degree = self
-                .graph
-                .in_request_count_at(target)
-                .expect("sampled member is alive");
-            if in_degree < self.in_cap {
-                self.connect(request, target, &mut round);
-            } else {
-                match self.config.saturation {
+            match self.contact_once(request, target, byz, &mut round) {
+                Contact::Connected => {}
+                Contact::Phantom => {
+                    // AcceptThenDrop: the handshake "succeeded" but the link
+                    // is never held — the slot re-enters the queue with its
+                    // original age, so its latency keeps accruing.
+                    self.pending[write] = request;
+                    write += 1;
+                }
+                Contact::Refused => match self.config.saturation {
                     SaturationPolicy::RejectRetry => {
-                        round.rejected += 1;
                         // Remaining attempts: resample inline. The alive set
                         // does not change during a sweep, so the retry draws
                         // stay uniform over the same population.
@@ -508,17 +669,14 @@ impl RaesModel {
                             else {
                                 break;
                             };
-                            round.requests_sent += 1;
-                            let in_degree = self
-                                .graph
-                                .in_request_count_at(retry)
-                                .expect("sampled member is alive");
-                            if in_degree < self.in_cap {
-                                self.connect(request, retry, &mut round);
-                                served = true;
-                                break;
+                            match self.contact_once(request, retry, byz, &mut round) {
+                                Contact::Connected => {
+                                    served = true;
+                                    break;
+                                }
+                                Contact::Phantom => break,
+                                Contact::Refused => {}
                             }
-                            round.rejected += 1;
                         }
                         if !served {
                             self.pending[write] = request;
@@ -526,11 +684,13 @@ impl RaesModel {
                         }
                     }
                     SaturationPolicy::EvictOldest => {
-                        self.evict_oldest_in_link(target);
-                        round.evicted += 1;
-                        self.connect(request, target, &mut round);
+                        // Only a Byzantine refusal reaches here — honest
+                        // saturation always evicts-and-connects under this
+                        // policy. Keep the deficit.
+                        self.pending[write] = request;
+                        write += 1;
                     }
-                }
+                },
             }
         }
         self.pending.truncate(write);
@@ -540,12 +700,135 @@ impl RaesModel {
         self.last_round = round;
     }
 
+    /// One contact attempt against `target`: the Byzantine accept/reject
+    /// hooks fire first (a refusal is indistinguishable from saturation to
+    /// the requester), then the unchanged honest cap check. `byz` is hoisted
+    /// from [`DynamicGraph::tags_enabled`] so the honest-only run pays a
+    /// single predictable branch and consumes no extra randomness.
+    fn contact_once(
+        &mut self,
+        request: PendingRequest,
+        target: u32,
+        byz: bool,
+        round: &mut RaesRoundStats,
+    ) -> Contact {
+        round.requests_sent += 1;
+        if byz {
+            let tag = self.graph.tag_at(target);
+            if tag == Behavior::RefuseAll.tag() {
+                round.rejected += 1;
+                round.byz_refused += 1;
+                return Contact::Refused;
+            }
+            if tag == Behavior::AcceptThenDrop.tag() {
+                round.byz_accept_drops += 1;
+                return Contact::Phantom;
+            }
+        }
+        let in_degree = self
+            .graph
+            .in_request_count_at(target)
+            .expect("contacted member is alive");
+        if in_degree < self.in_cap {
+            self.connect(request, target, round);
+            return Contact::Connected;
+        }
+        match self.config.saturation {
+            SaturationPolicy::RejectRetry => {
+                round.rejected += 1;
+                Contact::Refused
+            }
+            SaturationPolicy::EvictOldest => {
+                self.evict_oldest_in_link(target);
+                round.evicted += 1;
+                self.connect(request, target, round);
+                Contact::Connected
+            }
+        }
+    }
+
+    /// One cap-saturator press: resolve (or re-pick) this saturator's victim
+    /// and spend the pending slot on the victim's in-degree cap. Returns
+    /// `true` when the out-link was filled (the request leaves the queue);
+    /// a refused or phantom press keeps the deficit so the saturator presses
+    /// again next round.
+    fn press_victim(&mut self, request: PendingRequest, round: &mut RaesRoundStats) -> bool {
+        let Some(victim) = self.saturator_victim_for(request.owner.index) else {
+            return false;
+        };
+        debug_assert_ne!(victim.index, request.owner.index);
+        let served = matches!(
+            self.contact_once(request, victim.index, true, round),
+            Contact::Connected
+        );
+        if let Some(occupancy) = self.graph.in_request_count_at(victim.index) {
+            round.victim_cap_occupancy = round.victim_cap_occupancy.max(occupancy);
+        }
+        served
+    }
+
+    /// The victim an alive [`Behavior::CapSaturator`] at slab index
+    /// `owner_idx` presses this round. Under [`AdversaryModel::Eclipse`] all
+    /// saturators share one victim (re-picked from the adversary substream
+    /// when it dies); otherwise each saturator keeps its own, cached per slab
+    /// index. Returns `None` when no distinct victim exists this round.
+    fn saturator_victim_for(&mut self, owner_idx: u32) -> Option<DenseHandle> {
+        if matches!(self.config.adversary, AdversaryModel::Eclipse { .. }) {
+            if let Some(victim) = self.eclipse_victim {
+                if self.graph.is_current(victim) {
+                    // The shared victim may be this very saturator; it then
+                    // sits the round out rather than re-target everyone.
+                    return (victim.index != owner_idx).then_some(victim);
+                }
+            }
+            let victim = self.pick_victim(owner_idx)?;
+            self.eclipse_victim = Some(victim);
+            return Some(victim);
+        }
+        let slot = owner_idx as usize;
+        if self.saturator_victims.len() <= slot {
+            self.saturator_victims.resize(slot + 1, None);
+        }
+        if let Some(victim) = self.saturator_victims[slot] {
+            if self.graph.is_current(victim) && victim.index != owner_idx {
+                return Some(victim);
+            }
+        }
+        let victim = self.pick_victim(owner_idx)?;
+        self.saturator_victims[slot] = Some(victim);
+        Some(victim)
+    }
+
+    /// Picks a fresh victim from the adversary substream: up to 8 uniform
+    /// draws, preferring an honest (untagged) node; falls back to the last
+    /// tagged candidate rather than give up.
+    fn pick_victim(&mut self, owner_idx: u32) -> Option<DenseHandle> {
+        let mut fallback = None;
+        for _ in 0..8 {
+            let idx = self
+                .graph
+                .sample_member_excluding(&mut self.adv_rng, owner_idx)?;
+            let handle = self.graph.handle_at(idx).expect("sampled member is alive");
+            if self.graph.tag_at(idx) == 0 {
+                return Some(handle);
+            }
+            fallback = Some(handle);
+        }
+        fallback
+    }
+
     fn connect(&mut self, request: PendingRequest, target: u32, round: &mut RaesRoundStats) {
         self.graph
             .set_out_slot_at(request.owner.index, request.slot as usize, target)
             .expect("owner alive, slot in range, target alive and distinct");
         round.accepted += 1;
         round.repair_latency_sum += self.rounds - request.since_round;
+        // Honest split: an empty tag array reads 0 for every index, so at
+        // f = 0 the honest counters equal the aggregates identically.
+        if self.graph.tag_at(request.owner.index) == 0 {
+            round.honest_accepted += 1;
+            round.honest_repair_latency_sum += self.rounds - request.since_round;
+        }
     }
 
     /// Sheds the (approximately) oldest in-link of the saturated `target`:
@@ -685,6 +968,7 @@ impl DynamicNetwork for RaesModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::AttackKind;
 
     fn model(n: usize, d: usize, seed: u64) -> RaesModel {
         RaesModel::new(RaesConfig::new(n, d).seed(seed)).expect("valid configuration")
@@ -1031,5 +1315,246 @@ mod tests {
             );
             assert!(last.requests_sent <= last.pending_before);
         }
+    }
+
+    #[test]
+    fn zero_fraction_adversary_is_stream_identical_to_none() {
+        // The ISSUE's hard requirement: f = 0 must be RNG-stream-identical to
+        // the un-adversarial model, for every adversary shape, on both churn
+        // drivers and both saturation policies. The adversary substream is
+        // drawn at every spawn, but with fraction 0 it never corrupts, so no
+        // tag is written and every hot-path branch stays on its honest arm.
+        let zeroes = [
+            AdversaryModel::Uniform {
+                fraction: 0.0,
+                attack: AttackKind::RefuseAll,
+            },
+            AdversaryModel::Eclipse {
+                fraction: 0.0,
+                attack: AttackKind::CapSaturator,
+            },
+            AdversaryModel::JoinFlood {
+                fraction: 0.0,
+                cohort: 4,
+                attack: AttackKind::AcceptThenDrop,
+            },
+        ];
+        for churn in [ChurnDriver::Streaming, ChurnDriver::Poisson] {
+            for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+                let base = RaesConfig::new(50, 3)
+                    .churn(churn)
+                    .saturation(policy)
+                    .seed(99);
+                let mut honest = RaesModel::new(base.clone()).unwrap();
+                let mut adversarial: Vec<RaesModel> = zeroes
+                    .iter()
+                    .map(|&adv| RaesModel::new(base.clone().adversary(adv)).unwrap())
+                    .collect();
+                for _ in 0..150 {
+                    let step = honest.step_round();
+                    for m in &mut adversarial {
+                        assert_eq!(m.step_round(), step, "{churn:?}/{policy:?}");
+                    }
+                }
+                for m in &adversarial {
+                    assert_eq!(m.alive_ids(), honest.alive_ids());
+                    assert_eq!(m.pending_requests(), honest.pending_requests());
+                    assert_eq!(m.stats(), honest.stats());
+                    assert_eq!(m.snapshot(), honest.snapshot());
+                    assert_eq!(m.graph().tagged_member_count(), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn honest_counters_mirror_aggregates_without_corruption() {
+        // Satellite invariant: with no corrupted node the per-behavior
+        // counters must sum to the existing aggregates — exactly, per round
+        // and cumulatively — for all saturation policies × both drivers.
+        for churn in [ChurnDriver::Streaming, ChurnDriver::Poisson] {
+            for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+                let mut m = RaesModel::new(
+                    RaesConfig::new(60, 4)
+                        .churn(churn)
+                        .saturation(policy)
+                        .capacity_factor(1.0)
+                        .seed(21),
+                )
+                .unwrap();
+                for _ in 0..150 {
+                    m.step_round();
+                    let last = m.last_round_stats();
+                    assert_eq!(last.honest_accepted, last.accepted);
+                    assert_eq!(last.honest_repair_latency_sum, last.repair_latency_sum);
+                    assert_eq!(last.byz_refused, 0);
+                    assert_eq!(last.byz_accept_drops, 0);
+                    assert_eq!(last.byz_requests_sent, 0);
+                    assert_eq!(last.victim_cap_occupancy, 0);
+                }
+                let stats = m.stats();
+                assert_eq!(stats.honest_accepted, stats.accepted);
+                assert_eq!(stats.honest_repair_latency_sum, stats.repair_latency_sum);
+                assert_eq!(stats.max_victim_cap_occupancy, 0);
+                assert_eq!(
+                    stats.mean_honest_repair_latency(),
+                    stats.mean_repair_latency()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refuse_all_burns_retries_and_is_counted() {
+        let adv = AdversaryModel::Uniform {
+            fraction: 0.3,
+            attack: AttackKind::RefuseAll,
+        };
+        for policy in [SaturationPolicy::RejectRetry, SaturationPolicy::EvictOldest] {
+            let base = RaesConfig::new(60, 4).saturation(policy).seed(17);
+            let mut baseline = RaesModel::new(base.clone()).unwrap();
+            let mut m = RaesModel::new(base.adversary(adv)).unwrap();
+            for _ in 0..200 {
+                baseline.step_round();
+                m.step_round();
+            }
+            assert_protocol_invariants(&m);
+            assert!(m.graph().tagged_member_count() > 0);
+            let stats = m.stats();
+            assert!(stats.byz_refused > 0, "refusals must be counted");
+            assert!(
+                stats.byz_refused <= stats.rejected,
+                "Byzantine refusals are a subset of rejections"
+            );
+            assert!(stats.rejected > baseline.stats().rejected);
+            // Refusals push honest repairs into later rounds: latency rises
+            // above the (near-zero) slack-capacity baseline.
+            assert!(stats.mean_repair_latency() > baseline.stats().mean_repair_latency());
+        }
+    }
+
+    #[test]
+    fn accept_then_drop_keeps_phantom_requests_queued_and_aging() {
+        let adv = AdversaryModel::Uniform {
+            fraction: 0.3,
+            attack: AttackKind::AcceptThenDrop,
+        };
+        let base = RaesConfig::new(60, 4).seed(23);
+        let mut baseline = RaesModel::new(base.clone()).unwrap();
+        let mut m = RaesModel::new(base.adversary(adv)).unwrap();
+        for _ in 0..200 {
+            baseline.step_round();
+            m.step_round();
+            let last = m.last_round_stats();
+            // A phantom handshake keeps its entry in place, so the queue
+            // balance identity must hold without any new term.
+            assert_eq!(
+                last.accepted + last.dropped,
+                last.pending_before + last.evicted - last.pending_after,
+                "queue accounting must balance under phantom accepts"
+            );
+        }
+        assert_protocol_invariants(&m);
+        let stats = m.stats();
+        assert!(
+            stats.byz_accept_drops > 0,
+            "phantom accepts must be counted"
+        );
+        // The requester never sees a rejection, yet its slot keeps aging:
+        // latency rises above baseline while the rejection counter does not.
+        assert!(stats.mean_repair_latency() > baseline.stats().mean_repair_latency());
+    }
+
+    #[test]
+    fn cap_saturator_presses_a_victim_to_its_cap() {
+        for adv in [
+            AdversaryModel::Uniform {
+                fraction: 0.25,
+                attack: AttackKind::CapSaturator,
+            },
+            AdversaryModel::Eclipse {
+                fraction: 0.25,
+                attack: AttackKind::CapSaturator,
+            },
+        ] {
+            let mut m = RaesModel::new(RaesConfig::new(60, 4).adversary(adv).seed(29)).unwrap();
+            for _ in 0..300 {
+                m.step_round();
+            }
+            assert_protocol_invariants(&m);
+            let stats = m.stats();
+            assert!(
+                stats.byz_requests_sent > 0,
+                "saturators must press: {adv:?}"
+            );
+            assert_eq!(
+                stats.max_victim_cap_occupancy,
+                m.in_degree_cap() as u64,
+                "sustained pressing must fill the victim's cap exactly: {adv:?}"
+            );
+            if matches!(adv, AdversaryModel::Eclipse { .. }) {
+                assert!(m.eclipse_victim.is_some(), "eclipse shares one victim");
+            }
+        }
+    }
+
+    #[test]
+    fn silent_on_flood_is_protocol_honest_but_tagged() {
+        // SilentOnFlood only poisons the flooding overlay (covered by the
+        // churn-core engine tests); on the repair path it is bit-for-bit the
+        // honest protocol even though tags are set and the Byzantine branches
+        // are live.
+        let adv = AdversaryModel::Uniform {
+            fraction: 0.3,
+            attack: AttackKind::SilentOnFlood,
+        };
+        let base = RaesConfig::new(60, 4).seed(31);
+        let mut honest = RaesModel::new(base.clone()).unwrap();
+        let mut silent = RaesModel::new(base.adversary(adv)).unwrap();
+        for _ in 0..200 {
+            assert_eq!(silent.step_round(), honest.step_round());
+        }
+        assert_eq!(silent.alive_ids(), honest.alive_ids());
+        assert_eq!(silent.snapshot(), honest.snapshot());
+        assert!(silent.graph().tagged_member_count() > 0);
+        let stats = silent.stats();
+        assert_eq!(stats.byz_refused, 0);
+        assert_eq!(stats.byz_accept_drops, 0);
+        assert_eq!(stats.byz_requests_sent, 0);
+        assert_eq!(stats.accepted, honest.stats().accepted);
+        assert!(
+            stats.honest_accepted < stats.accepted,
+            "repairs owned by corrupted nodes are not honest accepts"
+        );
+    }
+
+    #[test]
+    fn join_flood_corrupts_in_cohort_bursts() {
+        let adv = AdversaryModel::JoinFlood {
+            fraction: 0.2,
+            cohort: 5,
+            attack: AttackKind::RefuseAll,
+        };
+        let mut m = RaesModel::new(RaesConfig::new(60, 4).adversary(adv).seed(37)).unwrap();
+        let mut run = 0usize;
+        let mut max_run = 0usize;
+        for _ in 0..600 {
+            let step = m.step_round();
+            for &id in &step.births {
+                let idx = m.graph().dense_index_of(id).expect("newborn is alive");
+                if m.graph().tag_at(idx) != 0 {
+                    run += 1;
+                    max_run = max_run.max(run);
+                } else {
+                    run = 0;
+                }
+            }
+        }
+        assert!(
+            max_run >= 5,
+            "a fired burst corrupts a whole cohort of consecutive spawns (max run {max_run})"
+        );
+        assert!(m.stats().byz_refused > 0);
+        assert_protocol_invariants(&m);
     }
 }

@@ -24,7 +24,7 @@
 //! in `churn-bench` is the single CLI over the registry
 //! (`exp run <name>|--all [--smoke] [--resume]`).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -33,7 +33,7 @@ use rayon::prelude::*;
 
 use churn_core::driver::VictimPolicy;
 use churn_core::ModelKind;
-use churn_protocol::{ChurnDriver, RaesConfig, SaturationPolicy};
+use churn_protocol::{AdversaryModel, ChurnDriver, RaesConfig, SaturationPolicy};
 use churn_stochastic::rng::derive_seed;
 
 use crate::minijson;
@@ -60,6 +60,9 @@ pub struct RaesNet {
     pub capacity: f64,
     /// Repair contacts per pending request per round (≥ 1).
     pub attempts: usize,
+    /// Byzantine adversary corrupting a fraction of spawns
+    /// ([`AdversaryModel::None`] leaves the honest protocol bit-identical).
+    pub adversary: AdversaryModel,
 }
 
 impl Default for RaesNet {
@@ -69,6 +72,7 @@ impl Default for RaesNet {
             saturation: SaturationPolicy::RejectRetry,
             capacity: RaesConfig::DEFAULT_CAPACITY_FACTOR,
             attempts: 1,
+            adversary: AdversaryModel::None,
         }
     }
 }
@@ -118,6 +122,22 @@ impl NetSpec {
                 if spec.attempts != 1 {
                     label.push_str(&format!("+a{}", spec.attempts));
                 }
+                match spec.adversary {
+                    AdversaryModel::None => {}
+                    AdversaryModel::Uniform { fraction, attack } => {
+                        label.push_str(&format!("+byz-{attack}-f{fraction}"));
+                    }
+                    AdversaryModel::Eclipse { fraction, attack } => {
+                        label.push_str(&format!("+eclipse-{attack}-f{fraction}"));
+                    }
+                    AdversaryModel::JoinFlood {
+                        fraction,
+                        cohort,
+                        attack,
+                    } => {
+                        label.push_str(&format!("+joinflood-{attack}-f{fraction}-k{cohort}"));
+                    }
+                }
                 label
             }
             NetSpec::Static => "STATIC".to_string(),
@@ -152,6 +172,32 @@ impl NetSpec {
                 }
                 if spec.attempts != 1 {
                     tag = derive_seed(tag, 0x5AE5_0100 ^ spec.attempts as u64);
+                }
+                // An active adversary mixes shape, attack and fraction; the
+                // inactive default mixes nothing, keeping every recorded
+                // honest-RAES cell seed exactly as before.
+                // Shape constants live in disjoint low nibbles so
+                // `shape ^ attack.seed_code()` (codes 1–4) never collides
+                // across shapes.
+                match spec.adversary {
+                    AdversaryModel::None => {}
+                    AdversaryModel::Uniform { fraction, attack } => {
+                        tag = derive_seed(tag, 0xB12A_0010 ^ attack.seed_code());
+                        tag = derive_seed(tag, fraction.to_bits());
+                    }
+                    AdversaryModel::Eclipse { fraction, attack } => {
+                        tag = derive_seed(tag, 0xB12A_0020 ^ attack.seed_code());
+                        tag = derive_seed(tag, fraction.to_bits());
+                    }
+                    AdversaryModel::JoinFlood {
+                        fraction,
+                        cohort,
+                        attack,
+                    } => {
+                        tag = derive_seed(tag, 0xB12A_0030 ^ attack.seed_code());
+                        tag = derive_seed(tag, fraction.to_bits());
+                        tag = derive_seed(tag, u64::from(cohort));
+                    }
                 }
                 tag
             }
@@ -609,6 +655,7 @@ impl Scenario {
                         .saturation(spec.saturation)
                         .capacity_factor(spec.capacity)
                         .attempts_per_round(spec.attempts)
+                        .adversary(spec.adversary)
                         .victim_policy(victim)
                         .validate()
                         .map_err(|e| format!("scenario {:?}: invalid RAES net: {e}", self.name))?;
@@ -744,9 +791,11 @@ impl CellRecord {
 }
 
 /// Loads every record of a scenario output file (one JSON object per line;
-/// blank lines are skipped). A trailing partial line — the signature of a
-/// run killed mid-write — is tolerated and dropped, so a resumed run simply
-/// re-executes that cell.
+/// blank lines are skipped). A *trailing* partial or corrupt line — the
+/// signature of a run killed mid-write (truncated record, torn bytes, even
+/// invalid UTF-8) — is detected, logged to stderr and dropped, so a resumed
+/// run simply re-executes that cell and the repaired file comes out
+/// bit-identical to an uninterrupted run.
 ///
 /// Note: JSON objects do not order their keys, so a *loaded* record's
 /// metrics come back sorted by name; the on-disk bytes keep measurement
@@ -754,49 +803,68 @@ impl CellRecord {
 ///
 /// # Errors
 ///
-/// Returns any I/O error; malformed *complete* lines are reported.
+/// Returns any I/O error; a malformed complete line *followed by more data*
+/// cannot be a torn trailing write and is reported as corruption.
 pub fn load_cell_records(path: &Path) -> io::Result<Vec<CellRecord>> {
-    read_checkpoint(path).map(|(records, _)| records)
+    read_checkpoint(path).map(|lines| lines.into_iter().map(|l| l.record).collect())
 }
 
-/// [`load_cell_records`] plus the byte length of the valid prefix — the
-/// offset the resume path truncates to before appending, so previously
-/// written bytes are never re-serialised.
-fn read_checkpoint(path: &Path) -> io::Result<(Vec<CellRecord>, u64)> {
-    let data = fs::read_to_string(path)?;
-    let mut records = Vec::new();
-    let mut valid_len = 0u64;
-    let mut offset = 0usize;
-    for line in data.split_inclusive('\n') {
-        offset += line.len();
-        let complete = line.ends_with('\n');
-        let text = line.trim_end_matches(['\n', '\r']);
-        if text.trim().is_empty() {
-            if complete {
-                valid_len = offset as u64;
+/// One valid checkpoint line: the parsed record plus its exact on-disk bytes
+/// (sans newline). The resume path re-emits `raw` verbatim — existing
+/// records are never re-serialised, which is what keeps a repaired file
+/// bit-identical to an uninterrupted run.
+struct CheckpointLine {
+    record: CellRecord,
+    raw: String,
+}
+
+fn read_checkpoint(path: &Path) -> io::Result<Vec<CheckpointLine>> {
+    let data = fs::read(path)?;
+    let mut out = Vec::new();
+    let mut lines = data.split_inclusive(|&b| b == b'\n').peekable();
+    while let Some(line) = lines.next() {
+        let is_last = lines.peek().is_none();
+        let complete = line.last() == Some(&b'\n');
+        let parsed = std::str::from_utf8(line)
+            .map_err(|_| "invalid UTF-8".to_string())
+            .and_then(|text| {
+                let text = text.trim_end_matches(['\n', '\r']);
+                if text.trim().is_empty() {
+                    Ok(None)
+                } else {
+                    CellRecord::from_json_line(text).map(|record| Some((record, text)))
+                }
+            });
+        match parsed {
+            Ok(None) => {}
+            Ok(Some((record, text))) if complete => {
+                out.push(CheckpointLine {
+                    record,
+                    raw: text.to_string(),
+                });
             }
-            continue;
-        }
-        match CellRecord::from_json_line(text) {
-            Ok(record) if complete => {
-                records.push(record);
-                valid_len = offset as u64;
-            }
-            // A parseable-or-not tail without its newline is an interrupted
-            // write either way: drop it, the cell re-runs.
-            Ok(_) => break,
+            // A parseable tail without its newline is an interrupted write:
+            // drop it, the cell re-runs.
+            Ok(Some(_)) => break,
             Err(e) => {
-                if complete {
+                if complete && !is_last {
+                    // Corruption in the middle of the file is not a torn
+                    // write; refuse to silently lose interior records.
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("{}: {e}", path.display()),
                     ));
                 }
+                eprintln!(
+                    "warning: {}: dropping corrupt trailing line ({e}); \
+                     the cell will re-run on --resume",
+                    path.display()
+                );
                 break;
             }
         }
     }
-    Ok((records, valid_len))
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -896,6 +964,68 @@ pub struct ScenarioOutcome {
     pub total: usize,
     /// The output file.
     pub path: PathBuf,
+    /// Cells that panicked this invocation (also recorded in the
+    /// `.failures.jsonl` side file). The grid keeps running past them; a
+    /// later `--resume` retries exactly these cells.
+    pub failures: Vec<CellFailure>,
+}
+
+/// A cell that panicked during execution. Failures never enter the main
+/// checkpoint file (whose bytes stay bit-identical to a clean run); they are
+/// appended to a `.failures.jsonl` side file and surfaced in
+/// [`ScenarioOutcome::failures`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Scenario name.
+    pub scenario: String,
+    /// Network label of the cell.
+    pub net: String,
+    /// Network size.
+    pub n: usize,
+    /// Degree parameter.
+    pub d: usize,
+    /// Victim policy label.
+    pub victim: String,
+    /// Trial index.
+    pub trial: usize,
+    /// The cell's seed (its checkpoint identity — resume retries it).
+    pub seed: u64,
+    /// The panic message.
+    pub error: String,
+}
+
+impl CellFailure {
+    /// Serialises the failure as one JSON line (same identity fields as
+    /// [`CellRecord::to_json_line`], with the panic message in place of
+    /// metrics).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(160 + self.error.len());
+        out.push_str("{\"scenario\":");
+        escape_json(&self.scenario, &mut out);
+        out.push_str(",\"net\":");
+        escape_json(&self.net, &mut out);
+        out.push_str(&format!(",\"n\":{},\"d\":{},\"victim\":", self.n, self.d));
+        escape_json(&self.victim, &mut out);
+        out.push_str(&format!(
+            ",\"trial\":{},\"seed\":{},\"error\":",
+            self.trial, self.seed
+        ));
+        escape_json(&self.error, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The output path of a scenario under the given options.
@@ -908,19 +1038,34 @@ pub fn scenario_output_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf {
     opts.dir.join(format!("{}.{suffix}", scenario.name()))
 }
 
+/// The side file panicking cells are recorded to
+/// (`<name>.failures.jsonl` / `<name>.smoke.failures.jsonl`).
+#[must_use]
+pub fn scenario_failures_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf {
+    let suffix = match opts.preset {
+        GridPreset::Full => "failures.jsonl",
+        GridPreset::Smoke => "smoke.failures.jsonl",
+    };
+    opts.dir.join(format!("{}.{suffix}", scenario.name()))
+}
+
 /// Runs a scenario's grid, streaming one JSON record per completed cell to
 /// the scenario's output file.
 ///
 /// Cells run in deterministic order, parallelised in batches through the
 /// same thread-budgeting rule as [`crate::run_sweep`] (each concurrently
 /// scheduled cell gets `pool / concurrent` threads for its in-cell engines,
-/// so nested parallelism never oversubscribes). After every batch the
-/// completed records are appended *in cell order* and flushed — an
-/// interrupted run therefore leaves a valid prefix-plus-subset of the full
-/// output, and a `--resume` run executes exactly the missing cells: because
-/// every cell's randomness derives from its own seed and the engines are
-/// thread-count independent, the resumed file is **bit-identical** to an
-/// uninterrupted run.
+/// so nested parallelism never oversubscribes). The output file is written
+/// strictly *in cell order*: after every batch the writer advances past
+/// every cell whose line is available — records computed this run
+/// serialised once, records carried over from a `--resume` checkpoint
+/// copied byte-verbatim — and flushes. An interrupted run therefore leaves
+/// a valid in-order prefix of the full output, and a `--resume` run
+/// executes exactly the missing cells (including a cell dropped from a torn
+/// trailing write and cells that panicked last time) and splices them into
+/// their grid positions: because every cell's randomness derives from its
+/// own seed and the engines are thread-count independent, the repaired file
+/// is **bit-identical** to an uninterrupted run.
 ///
 /// # Errors
 ///
@@ -932,72 +1077,141 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
             fs::create_dir_all(parent)?;
         }
     }
-    let (existing, valid_len) = if opts.resume && path.exists() {
+    // Every available line, keyed by cell seed: carried-over checkpoint
+    // lines first (raw bytes, never re-serialised), freshly computed records
+    // as batches complete.
+    let mut lines: HashMap<u64, String> = if opts.resume && path.exists() {
         read_checkpoint(&path)?
+            .into_iter()
+            .map(|line| (line.record.seed, line.raw))
+            .collect()
     } else {
-        (Vec::new(), 0)
+        HashMap::new()
     };
-    let done: HashSet<u64> = existing.iter().map(|r| r.seed).collect();
 
     let cells = scenario.cells(opts.preset);
     let total = cells.len();
-    let mut todo: Vec<(CellSpec, u64)> = cells
+    let all: Vec<(CellSpec, u64)> = cells
         .iter()
-        .filter_map(|&cell| {
-            let seed = scenario.cell_seed(&cell);
-            (!done.contains(&seed)).then_some((cell, seed))
-        })
+        .map(|&cell| (cell, scenario.cell_seed(&cell)))
+        .collect();
+    let mut todo: Vec<(CellSpec, u64)> = all
+        .iter()
+        .filter(|(_, seed)| !lines.contains_key(seed))
+        .copied()
         .collect();
     let skipped = total - todo.len();
     if let Some(limit) = opts.limit {
         todo.truncate(limit);
     }
 
-    // Start fresh on a non-resume run; on resume, truncate the checkpoint to
-    // its valid byte prefix (dropping a partial trailing write) and append —
-    // existing bytes are never re-serialised, which is what keeps the
-    // resumed file bit-identical to an uninterrupted run.
-    let mut file = if opts.resume && path.exists() {
-        let truncating = fs::OpenOptions::new().write(true).open(&path)?;
-        truncating.set_len(valid_len)?;
-        drop(truncating);
-        fs::OpenOptions::new().append(true).open(&path)?
-    } else {
-        fs::File::create(&path)?
-    };
+    // The checkpoint is rewritten in cell order every run; carried-over
+    // lines only leave memory once they are written back, so an undisturbed
+    // resume loses nothing.
+    let mut file = fs::File::create(&path)?;
+
+    // Failures of a *previous* invocation are stale either way: a fresh run
+    // restarts everything, a resume retries exactly the failed cells.
+    let failures_path = scenario_failures_path(scenario, opts);
+    let _ = fs::remove_file(&failures_path);
+    let mut failures: Vec<CellFailure> = Vec::new();
+    let mut failures_file: Option<fs::File> = None;
 
     let pool = rayon::current_num_threads().max(1);
     let batch_size = (pool * 2).max(1);
     let mut executed = 0usize;
+    // Write cursor over the full grid: advanced after every batch past every
+    // cell whose line is available, stopping at the first cell that is still
+    // pending (a later batch) or has no line at all (panicked, or cut by
+    // `limit`).
+    let mut cursor = 0usize;
     for batch in todo.chunks(batch_size) {
         let threads = crate::runner::sweep_cell_threads(batch.len());
-        let batch_records: Vec<CellRecord> = batch
+        let batch_records: Vec<Result<CellRecord, Box<CellFailure>>> = batch
             .par_iter()
             .map(|&(cell, seed)| {
-                let metrics =
-                    measure::run_cell(scenario.measurement(), &cell, seed, threads, opts.preset);
-                CellRecord {
-                    scenario: scenario.name().to_string(),
-                    net: cell.net.label(),
-                    n: cell.n,
-                    d: cell.d,
-                    victim: cell.victim.label().to_string(),
-                    trial: cell.trial,
-                    seed,
-                    metrics: metrics
-                        .into_iter()
-                        .map(|(metric, value)| (metric.to_string(), value))
-                        .collect(),
+                // A panicking cell must not take the grid down: it is caught,
+                // recorded as a structured failure, and the batch (and every
+                // later batch) keeps running. The closure only touches the
+                // cell's own state, so unwind-safety holds.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Fault-injection hook for the hardening smoke tests: a
+                    // cell whose seed is listed panics deliberately.
+                    if let Ok(inject) = std::env::var("CHURN_EXP_PANIC_SEED") {
+                        if inject.split(',').any(|tok| tok.trim().parse() == Ok(seed)) {
+                            panic!("injected panic for cell seed {seed} (CHURN_EXP_PANIC_SEED)");
+                        }
+                    }
+                    measure::run_cell(scenario.measurement(), &cell, seed, threads, opts.preset)
+                }));
+                match outcome {
+                    Ok(metrics) => Ok(CellRecord {
+                        scenario: scenario.name().to_string(),
+                        net: cell.net.label(),
+                        n: cell.n,
+                        d: cell.d,
+                        victim: cell.victim.label().to_string(),
+                        trial: cell.trial,
+                        seed,
+                        metrics: metrics
+                            .into_iter()
+                            .map(|(metric, value)| (metric.to_string(), value))
+                            .collect(),
+                    }),
+                    Err(payload) => Err(Box::new(CellFailure {
+                        scenario: scenario.name().to_string(),
+                        net: cell.net.label(),
+                        n: cell.n,
+                        d: cell.d,
+                        victim: cell.victim.label().to_string(),
+                        trial: cell.trial,
+                        seed,
+                        error: panic_message(payload),
+                    })),
                 }
             })
             .collect();
-        for record in &batch_records {
-            file.write_all(record.to_json_line().as_bytes())?;
-            file.write_all(b"\n")?;
+        for result in batch_records {
+            match result {
+                Ok(record) => {
+                    lines.insert(record.seed, record.to_json_line());
+                    executed += 1;
+                }
+                Err(failure) => {
+                    let side = match failures_file.as_mut() {
+                        Some(side) => side,
+                        None => failures_file.insert(fs::File::create(&failures_path)?),
+                    };
+                    side.write_all(failure.to_json_line().as_bytes())?;
+                    side.write_all(b"\n")?;
+                    side.flush()?;
+                    failures.push(*failure);
+                }
+            }
+        }
+        while cursor < all.len() {
+            match lines.get(&all[cursor].1) {
+                Some(line) => {
+                    file.write_all(line.as_bytes())?;
+                    file.write_all(b"\n")?;
+                    cursor += 1;
+                }
+                None => break,
+            }
         }
         file.flush()?;
-        executed += batch_records.len();
     }
+    // Tail sweep: nothing is pending any more, so emit every remaining
+    // available line. Cells past a panicked or limit-cut cell keep their
+    // records; only the gap itself re-runs on --resume.
+    while cursor < all.len() {
+        if let Some(line) = lines.get(&all[cursor].1) {
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        cursor += 1;
+    }
+    file.flush()?;
     drop(file);
 
     // Report everything now in the file, in cell order (existing records
@@ -1009,12 +1223,14 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
         skipped,
         total,
         path,
+        failures,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use churn_protocol::AttackKind;
 
     fn tiny_scenario() -> Scenario {
         Scenario::new(
@@ -1139,11 +1355,72 @@ mod tests {
                 attempts: 4,
                 ..RaesNet::default()
             }),
+            // Adversary axis: distinct shapes, attacks, fractions and
+            // cohorts all get their own stream.
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Uniform {
+                    fraction: 0.05,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Uniform {
+                    fraction: 0.1,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Uniform {
+                    fraction: 0.05,
+                    attack: AttackKind::AcceptThenDrop,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.05,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.05,
+                    cohort: 4,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.05,
+                    cohort: 8,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
         ] {
             let seed = s.cell_seed(&CellSpec { net, ..base });
             assert!(!seen.contains(&seed), "{net} must get its own seed stream");
             seen.push(seed);
         }
+        // A fraction-0 adversary axis still shifts the *cell seed* (the spec
+        // is non-default) while the model trajectory itself stays identical
+        // to honest RAES given equal seeds — the stream-identity tests in
+        // churn-protocol pin that half.
+        let zero = s.cell_seed(&CellSpec {
+            net: NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Uniform {
+                    fraction: 0.0,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            }),
+            ..base
+        });
+        assert_ne!(zero, s.cell_seed(&base));
     }
 
     #[test]
@@ -1156,9 +1433,44 @@ mod tests {
                 saturation: SaturationPolicy::EvictOldest,
                 capacity: 1.0,
                 attempts: 4,
+                adversary: AdversaryModel::None,
             })
             .label(),
             "RAES+poisson+evict-oldest+c1+a4"
+        );
+        assert_eq!(
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Uniform {
+                    fraction: 0.05,
+                    attack: AttackKind::RefuseAll,
+                },
+                ..RaesNet::default()
+            })
+            .label(),
+            "RAES+byz-refuse-f0.05"
+        );
+        assert_eq!(
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::Eclipse {
+                    fraction: 0.1,
+                    attack: AttackKind::CapSaturator,
+                },
+                ..RaesNet::default()
+            })
+            .label(),
+            "RAES+eclipse-cap-sat-f0.1"
+        );
+        assert_eq!(
+            NetSpec::Raes(RaesNet {
+                adversary: AdversaryModel::JoinFlood {
+                    fraction: 0.2,
+                    cohort: 8,
+                    attack: AttackKind::SilentOnFlood,
+                },
+                ..RaesNet::default()
+            })
+            .label(),
+            "RAES+joinflood-silent-f0.2-k8"
         );
         assert_eq!(NetSpec::Static.label(), "STATIC");
         assert_eq!(NetSpec::P2p.to_string(), "P2P");
@@ -1319,6 +1631,123 @@ mod tests {
         // A malformed line that is *not* the trailing partial write errors.
         fs::write(&path, "not json\n{}\n").unwrap();
         assert!(load_cell_records(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_cells_are_recorded_and_resume_repairs_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("churn-scenario-panic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        // Distinct base seed: the injection env var matches cells by seed and
+        // is process-global, so no other test's cells may share seeds.
+        let scenario = tiny_scenario().base_seed(0xFA11);
+
+        let ref_opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.join("reference"),
+            ..RunOptions::default()
+        };
+        let reference = run_scenario(&scenario, &ref_opts).unwrap();
+        assert!(reference.failures.is_empty());
+        let reference_bytes = fs::read(&reference.path).unwrap();
+
+        // Blow up one mid-grid cell; the rest of the grid must keep running.
+        let cells = scenario.cells(GridPreset::Full);
+        let victim_seed = scenario.cell_seed(&cells[1]);
+        let opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.join("hurt"),
+            ..RunOptions::default()
+        };
+        std::env::set_var("CHURN_EXP_PANIC_SEED", victim_seed.to_string());
+        let hurt = run_scenario(&scenario, &opts).unwrap();
+        std::env::remove_var("CHURN_EXP_PANIC_SEED");
+
+        assert_eq!(hurt.failures.len(), 1);
+        assert_eq!(hurt.failures[0].seed, victim_seed);
+        assert!(hurt.failures[0].error.contains("injected panic"));
+        assert_eq!(hurt.executed, hurt.total - 1);
+        assert_eq!(hurt.records.len(), hurt.total - 1);
+        let failures_path = scenario_failures_path(&scenario, &opts);
+        let side = fs::read_to_string(&failures_path).unwrap();
+        assert_eq!(side.lines().count(), 1);
+        assert!(side.contains(&format!("\"seed\":{victim_seed}")));
+        let parsed_failure: CellFailure = hurt.failures[0].clone();
+        assert_eq!(parsed_failure.to_json_line(), side.lines().next().unwrap());
+
+        // Resume (without injection) retries exactly the failed cell, splices
+        // it into its grid position, and clears the stale failure record.
+        let resumed = run_scenario(
+            &scenario,
+            &RunOptions {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.executed, 1);
+        assert_eq!(resumed.skipped, resumed.total - 1);
+        assert!(resumed.failures.is_empty());
+        assert!(!failures_path.exists());
+        assert_eq!(
+            fs::read(&resumed.path).unwrap(),
+            reference_bytes,
+            "repaired file must be bit-identical to an uninterrupted run"
+        );
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_trailing_writes_are_repaired_bit_identically_on_resume() {
+        let dir = std::env::temp_dir().join(format!("churn-scenario-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let scenario = tiny_scenario().base_seed(0x7012);
+
+        let opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.clone(),
+            ..RunOptions::default()
+        };
+        let reference = run_scenario(&scenario, &opts).unwrap();
+        let reference_bytes = fs::read(&reference.path).unwrap();
+        let total = reference.total;
+
+        // Torn write: the trailing record loses its newline and tail bytes.
+        let mut data = reference_bytes.clone();
+        data.truncate(data.len() - 10);
+        fs::write(&reference.path, &data).unwrap();
+        let loaded = load_cell_records(&reference.path).unwrap();
+        assert_eq!(loaded.len(), total - 1, "torn trailing record is dropped");
+
+        let resume_opts = RunOptions {
+            resume: true,
+            ..opts
+        };
+        let resumed = run_scenario(&scenario, &resume_opts).unwrap();
+        assert_eq!(resumed.skipped, total - 1);
+        assert_eq!(resumed.executed, 1);
+        assert_eq!(
+            fs::read(&resumed.path).unwrap(),
+            reference_bytes,
+            "file repaired across a torn write must be bit-identical"
+        );
+
+        // A corrupt *complete* trailing line (newline intact, JSON mangled)
+        // is likewise dropped and repaired.
+        let valid_prefix_len = reference_bytes
+            .split_inclusive(|&b| b == b'\n')
+            .take(total - 1)
+            .map(<[u8]>::len)
+            .sum::<usize>();
+        let mut corrupt = reference_bytes[..valid_prefix_len].to_vec();
+        corrupt.extend_from_slice(b"{\"scenario\":garbage}\n");
+        fs::write(&reference.path, &corrupt).unwrap();
+        assert_eq!(load_cell_records(&reference.path).unwrap().len(), total - 1);
+        let repaired = run_scenario(&scenario, &resume_opts).unwrap();
+        assert_eq!(repaired.executed, 1);
+        assert_eq!(fs::read(&repaired.path).unwrap(), reference_bytes);
+
         fs::remove_dir_all(&dir).ok();
     }
 

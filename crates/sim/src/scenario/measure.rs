@@ -130,6 +130,7 @@ fn build_net(cell: &CellSpec, seed: u64) -> AnyNet {
                     .saturation(spec.saturation)
                     .capacity_factor(spec.capacity)
                     .attempts_per_round(spec.attempts)
+                    .adversary(spec.adversary)
                     .victim_policy(cell.victim)
                     .seed(seed),
             )
@@ -227,6 +228,55 @@ fn raes_metrics(model: &RaesModel, out: &mut Metrics) {
     ));
 }
 
+/// Whether the cell's net spec configures an active Byzantine adversary.
+/// The *spec* gates the Byzantine metric columns (not the realized
+/// corruption), so every trial of a net reports the same schema even when a
+/// small-`n` low-`f` trial happens to corrupt nobody.
+fn byz_spec(cell: &CellSpec) -> bool {
+    matches!(cell.net, NetSpec::Raes(spec) if spec.adversary.is_active())
+}
+
+/// Honest-only flooding variants, appended for adversarial RAES cells
+/// alongside the global figures.
+fn honest_flooding_metrics(record: &FloodingRecord, max_rounds: u64, out: &mut Metrics) {
+    let honest_rounds = record
+        .rounds
+        .iter()
+        .position(|r| r.honest_complete)
+        .map_or(max_rounds, |p| (p as u64 + 1).min(max_rounds));
+    out.push(("honest_flooding_rounds", honest_rounds as f64));
+    let last = record.rounds.last();
+    out.push((
+        "honest_completed",
+        f64::from(last.is_some_and(|r| r.honest_complete)),
+    ));
+    out.push((
+        "honest_final_fraction",
+        last.map_or(0.0, |r| r.honest_fraction()),
+    ));
+}
+
+/// Byzantine-degradation counters, appended for adversarial RAES cells.
+fn byz_raes_metrics(model: &RaesModel, out: &mut Metrics) {
+    let stats = model.stats();
+    let alive = model.alive_count().max(1);
+    out.push((
+        "byz_alive_fraction",
+        model.graph().tagged_member_count() as f64 / alive as f64,
+    ));
+    out.push(("byz_refused", stats.byz_refused as f64));
+    out.push(("byz_accept_drops", stats.byz_accept_drops as f64));
+    out.push(("byz_requests_sent", stats.byz_requests_sent as f64));
+    out.push((
+        "mean_honest_repair_latency",
+        stats.mean_honest_repair_latency(),
+    ));
+    out.push((
+        "max_victim_cap_occupancy",
+        stats.max_victim_cap_occupancy as f64,
+    ));
+}
+
 fn flooding_cell(cell: &CellSpec, seed: u64, spec: FloodingSpec) -> Metrics {
     let mut net = build_net(cell, seed);
     net.warm_up();
@@ -243,6 +293,10 @@ fn flooding_cell(cell: &CellSpec, seed: u64, spec: FloodingSpec) -> Metrics {
     flooding_metrics(&record, max_rounds, &mut out);
     if let AnyNet::Raes(model) = &net {
         raes_metrics(model, &mut out);
+        if byz_spec(cell) {
+            honest_flooding_metrics(&record, max_rounds, &mut out);
+            byz_raes_metrics(model, &mut out);
+        }
     }
     out
 }
@@ -285,11 +339,18 @@ fn parallel_flooding_cell(
     let mut uninformed = 0usize;
     let mut uninformed_isolated = 0usize;
     let mut uninformed_low_degree = 0usize;
+    let mut uninformed_honest = 0usize;
     for &idx in graph.member_indices() {
         if overlap.is_informed(idx) {
             continue;
         }
         uninformed += 1;
+        // An untagged graph reads tag 0 everywhere, so on honest runs this
+        // counter mirrors `uninformed` (it is only reported for Byzantine
+        // cells).
+        if graph.tag_at(idx) == 0 {
+            uninformed_honest += 1;
+        }
         let links = graph
             .incident_link_count_at(idx)
             .expect("member cells are occupied");
@@ -313,6 +374,11 @@ fn parallel_flooding_cell(
     ));
     if let AnyNet::Raes(model) = &net {
         raes_metrics(model, &mut out);
+        if byz_spec(cell) {
+            honest_flooding_metrics(&record, max_rounds, &mut out);
+            out.push(("uninformed_honest", uninformed_honest as f64));
+            byz_raes_metrics(model, &mut out);
+        }
     }
     out
 }
