@@ -39,9 +39,19 @@ fn main() -> ExitCode {
     let registry = scenarios::registry();
     match args.first().map(String::as_str) {
         Some("list") => {
-            println!("{:<28} title", "name");
+            println!(
+                "{:<22} {:<21} {:>5} {:>5}  title",
+                "name", "measurement", "full", "smoke"
+            );
             for scenario in registry.scenarios() {
-                println!("{:<28} {}", scenario.name(), scenario.title());
+                println!(
+                    "{:<22} {:<21} {:>5} {:>5}  {}",
+                    scenario.name(),
+                    scenario.measurement().kind(),
+                    scenario.cells(GridPreset::Full).len(),
+                    scenario.cells(GridPreset::Smoke).len(),
+                    scenario.title()
+                );
             }
             ExitCode::SUCCESS
         }

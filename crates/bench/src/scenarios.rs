@@ -16,10 +16,12 @@
 //! seconds, run by CI on every PR.
 
 use churn_core::{ModelKind, VictimPolicy};
+use churn_event::{BandwidthModel, LatencyModel};
 use churn_protocol::{AdversaryModel, AttackKind, ChurnDriver, SaturationPolicy};
 use churn_sim::scenario::{
-    run_scenario, ExpansionSpec, FloodingSpec, Grid, GridPreset, Measurement, NetSpec, RaesNet,
-    RoundBudget, RunOptions, Scenario, ScenarioOutcome, ScenarioRegistry,
+    run_scenario, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec, FloodingSpec, Grid, GridPreset,
+    Measurement, NetSpec, RaesNet, RoundBudget, RunOptions, Scenario, ScenarioOutcome,
+    ScenarioRegistry,
 };
 
 /// Builds the full registry. Scenario names are stable — they are the
@@ -590,6 +592,95 @@ pub fn registry() -> ScenarioRegistry {
         .base_seed(0xE12),
     );
 
+    // E16 — event-driven asynchronous flooding (churn-event): per-message
+    // latency, per-node bandwidth, rounds emerge from the timing. The
+    // relaxation of E6's synchronous-round assumption.
+    registry.register(
+        Scenario::new(
+            "async-flooding",
+            "E16 — asynchronous flooding with latency and bandwidth",
+            Measurement::AsyncFlooding(AsyncFloodingSpec {
+                latency: LatencyModel::Exponential { mean: 0.5 },
+                bandwidth: BandwidthModel::drop_tail(32.0, 64),
+                horizon: RoundBudget::Log2Times(6),
+            }),
+        )
+        .reproduces(
+            "Event-driven relaxation of E6: emergent rounds and completion time vs. \
+             the synchronous flooding time",
+        )
+        .nets([
+            NetSpec::Baseline(ModelKind::Sdgr),
+            NetSpec::Baseline(ModelKind::Pdgr),
+            NetSpec::raes_default(),
+        ])
+        .full_grid(Grid::new([1_024, 4_096, 16_384], [8], 5))
+        .smoke_grid(Grid::new([128, 256], [4], 1))
+        .base_seed(0xE16),
+    );
+    registry.register(
+        Scenario::new(
+            "async-flooding-1m",
+            "E16 — asynchronous flooding at n = 10^6",
+            Measurement::AsyncFlooding(AsyncFloodingSpec {
+                latency: LatencyModel::Exponential { mean: 0.5 },
+                bandwidth: BandwidthModel::drop_tail(32.0, 64),
+                horizon: RoundBudget::Log2Times(6),
+            }),
+        )
+        .reproduces("E16 at scale (one heap event per message delivery)")
+        .nets([NetSpec::Baseline(ModelKind::Sdgr), NetSpec::raes_default()])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([256], [4], 1))
+        .base_seed(0xE16),
+    );
+
+    // E17 — asynchronous RAES repair under message load: requests and
+    // accepts queue behind flood traffic on the same egress links.
+    registry.register(
+        Scenario::new(
+            "async-raes-load",
+            "E17 — RAES repair under message load",
+            Measurement::AsyncRaes(AsyncRaesSpec {
+                latency: LatencyModel::Exponential { mean: 0.5 },
+                bandwidth: BandwidthModel::delaying(32.0),
+                horizon: RoundBudget::Log2Times(6),
+                flood: true,
+            }),
+        )
+        .reproduces(
+            "Message-level RAES: repair-time percentiles with repair traffic \
+             queueing behind a concurrent flood",
+        )
+        .nets([
+            NetSpec::raes_default(),
+            NetSpec::Raes(RaesNet {
+                capacity: 1.0,
+                ..RaesNet::default()
+            }),
+        ])
+        .full_grid(Grid::new([1_024, 4_096, 16_384], [8], 5))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE17),
+    );
+    registry.register(
+        Scenario::new(
+            "async-raes-load-1m",
+            "E17 — message-level RAES repair at n = 10^6",
+            Measurement::AsyncRaes(AsyncRaesSpec {
+                latency: LatencyModel::Exponential { mean: 0.5 },
+                bandwidth: BandwidthModel::delaying(32.0),
+                horizon: RoundBudget::Log2Times(6),
+                flood: true,
+            }),
+        )
+        .reproduces("E17 at scale (initial wiring alone is ~8M request/reply messages)")
+        .nets([NetSpec::raes_default()])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE17),
+    );
+
     registry
 }
 
@@ -737,8 +828,45 @@ mod tests {
             "byzantine-raes-1m",
             "byzantine-eclipse",
             "byzantine-eclipse-1m",
+            "async-flooding",
+            "async-flooding-1m",
+            "async-raes-load",
+            "async-raes-load-1m",
         ] {
             assert!(registry.get(name).is_some(), "missing scenario {name}");
+        }
+    }
+
+    #[test]
+    fn async_scenarios_carry_event_level_measurements() {
+        let registry = registry();
+        for (name, kind) in [
+            ("async-flooding", "async-flooding"),
+            ("async-flooding-1m", "async-flooding"),
+            ("async-raes-load", "async-raes"),
+            ("async-raes-load-1m", "async-raes"),
+        ] {
+            let scenario = registry.get(name).unwrap();
+            assert_eq!(scenario.measurement().kind(), kind, "{name}");
+            // The nonzero-latency, finite-bandwidth regime is the point of
+            // these scenarios — a zero-latency registration would collapse
+            // them back into the synchronous engines.
+            match scenario.measurement() {
+                Measurement::AsyncFlooding(spec) => {
+                    assert!(matches!(
+                        spec.latency,
+                        LatencyModel::Exponential { mean } if mean > 0.0
+                    ));
+                }
+                Measurement::AsyncRaes(spec) => {
+                    assert!(matches!(
+                        spec.latency,
+                        LatencyModel::Exponential { mean } if mean > 0.0
+                    ));
+                    assert!(spec.flood, "{name} must flood while repairing");
+                }
+                other => panic!("{name} has unexpected measurement {other:?}"),
+            }
         }
     }
 

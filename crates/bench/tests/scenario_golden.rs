@@ -28,7 +28,9 @@ use churn_core::flooding::{run_flooding, run_flooding_parallel, FloodingConfig, 
 use churn_core::{DynamicNetwork, ModelKind};
 use churn_observe::{LifetimeIsolation, LiveMetrics};
 use churn_protocol::{RaesConfig, RaesModel};
-use churn_sim::scenario::{run_scenario, CellRecord, GridPreset, NetSpec, RunOptions, Scenario};
+use churn_sim::scenario::{
+    run_scenario, scenario_load_path, CellRecord, GridPreset, NetSpec, RunOptions, Scenario,
+};
 use churn_sim::{observe_rounds, ParamPoint, Sweep};
 
 fn run_smoke(scenario: &Scenario, tag: &str) -> (Vec<CellRecord>, PathBuf) {
@@ -367,6 +369,63 @@ fn byzantine_f0_records_reproduce_raes_flooding_bit_for_bit() {
         fs::remove_dir_all(path.parent().unwrap()).ok();
     }
     fs::remove_dir_all(e11_path.parent().unwrap()).ok();
+}
+
+#[test]
+fn recorded_scenario_files_stay_byte_stable_with_load_columns_sidelined() {
+    // Golden safety for the per-cell throughput columns: wall-clock data
+    // must live in the non-checkpointed `.load.jsonl` side file, never in
+    // the scenario records themselves — so every previously recorded file
+    // (E1/E3/E6/E11/E12, byzantine f = 0 rows) replays byte-identically.
+    // E1/E12 are pinned against the legacy loops above; here E3 (the widest
+    // pre-existing smoke grid) is replayed twice and compared byte for byte,
+    // and E3/E6/E11 main files are checked for leaked load keys.
+    let registry = registry();
+    let scenario = registry.get("flooding-failure").unwrap();
+
+    let base = std::env::temp_dir().join(format!("churn-golden-e3-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&base);
+    let mut bytes = Vec::new();
+    for sub in ["first", "second"] {
+        let opts = RunOptions {
+            preset: GridPreset::Smoke,
+            dir: base.join(sub),
+            ..RunOptions::default()
+        };
+        let outcome = run_scenario(scenario, &opts).expect("scenario runs");
+        assert_eq!(outcome.executed, outcome.total);
+        // The side file carries exactly one line per executed cell, in
+        // rounds/sec for a synchronous flooding scenario.
+        assert_eq!(outcome.loads.len(), outcome.executed);
+        assert!(outcome.loads.iter().all(|l| l.unit == "rounds"));
+        assert!(scenario_load_path(scenario, &opts).exists());
+        bytes.push(fs::read(&outcome.path).unwrap());
+    }
+    assert_eq!(
+        bytes[0], bytes[1],
+        "E3 records must replay byte-identically with the load columns sidelined"
+    );
+    let main_text = String::from_utf8(bytes.pop().unwrap()).unwrap();
+    for key in ["wall_s", "units_per_s", "events_processed"] {
+        assert!(
+            !main_text.contains(key),
+            "{key} leaked into the checkpointed E3 records"
+        );
+    }
+    fs::remove_dir_all(&base).ok();
+
+    for (name, tag) in [
+        ("flooding-scaling", "e6-load"),
+        ("raes-flooding", "e11-load"),
+    ] {
+        let scenario = registry.get(name).unwrap();
+        let (_, path) = run_smoke(scenario, tag);
+        let text = fs::read_to_string(&path).unwrap();
+        for key in ["wall_s", "units_per_s"] {
+            assert!(!text.contains(key), "{key} leaked into the {name} records");
+        }
+        fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
 }
 
 #[test]

@@ -1,0 +1,456 @@
+//! Asynchronous flooding: forward on message *arrival*, not on a round tick.
+//!
+//! A node that receives the rumor for the first time immediately forwards it
+//! along every incident link; each copy pays the sender's egress queue
+//! ([`crate::bandwidth`]) plus an independent latency draw
+//! ([`crate::latency`]). Rounds are not imposed — the hop depth at which
+//! deliveries happen *emerges* from the timing, and with nonzero latency the
+//! completion time in simulated units generally exceeds the synchronous
+//! round count (senders queue, stragglers arrive late).
+//!
+//! In the zero-latency / infinite-bandwidth limit on a static graph, the
+//! process collapses to breadth-first search and informs exactly the set the
+//! synchronous engine informs — the equivalence the test suite pins.
+//!
+//! Churn plugs in as just another event stream: with
+//! [`AsyncFloodingConfig::churn`] enabled, a churn tick fires each unit of
+//! simulated time at `k + 0.5` and calls the model's own
+//! [`DynamicNetwork::advance_time_unit`] — which routes through the existing
+//! `churn_core::driver` hooks (streaming rounds or the Poisson jump chain).
+//! The half-unit offset keeps the synchronous convention that a round's
+//! deliveries land before the round's churn.
+
+use std::collections::HashSet;
+
+use churn_core::flooding::TAG_NO_FORWARD;
+use churn_core::DynamicNetwork;
+use churn_graph::{DenseHandle, DynamicGraph, NodeId};
+use churn_stochastic::rng::{substream_rng, SimRng};
+
+use crate::bandwidth::{BandwidthModel, EgressQueues, Enqueue};
+use crate::latency::LatencyModel;
+use crate::sched::{Scheduler, TraceEvent};
+use crate::stats::EventStats;
+
+/// Substream tag of the latency-sampling RNG (independent of every model
+/// substream, so attaching the event layer never perturbs the churn
+/// trajectory).
+const LATENCY_STREAM: u64 = 0x0A51_C0DE;
+
+/// Trace kinds recorded by the flooding process.
+const TRACE_INFORMED: u16 = 1;
+const TRACE_DUPLICATE: u16 = 2;
+const TRACE_LOST: u16 = 3;
+const TRACE_CHURN: u16 = 4;
+
+/// Where the rumor starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncSource {
+    /// A specific alive node.
+    Node(NodeId),
+    /// The most recently born alive node.
+    Newest,
+}
+
+/// Configuration of one asynchronous flooding run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncFloodingConfig {
+    /// Per-message latency model.
+    pub latency: LatencyModel,
+    /// Per-node bandwidth model.
+    pub bandwidth: BandwidthModel,
+    /// Simulated-time horizon: events after this instant are not processed.
+    pub horizon: f64,
+    /// Advance the network one churn unit per unit of simulated time
+    /// (ticks at `k + 0.5`). Requires a finite horizon.
+    pub churn: bool,
+    /// Record the event trace (determinism suite; off in production runs).
+    pub record_trace: bool,
+}
+
+impl AsyncFloodingConfig {
+    /// A config with the given latency and bandwidth, a horizon of 4096
+    /// time units, churn on and tracing off.
+    #[must_use]
+    pub fn new(latency: LatencyModel, bandwidth: BandwidthModel) -> Self {
+        AsyncFloodingConfig {
+            latency,
+            bandwidth,
+            horizon: 4096.0,
+            churn: true,
+            record_trace: false,
+        }
+    }
+
+    /// Checks the latency/bandwidth parameters and the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        self.latency.validate()?;
+        self.bandwidth.validate()?;
+        if !self.horizon.is_finite() || self.horizon < 0.0 {
+            return Err(format!("invalid horizon {}", self.horizon));
+        }
+        Ok(())
+    }
+}
+
+/// Result of one asynchronous flooding run.
+#[derive(Debug, Clone)]
+pub struct AsyncFloodingRecord {
+    /// Alive informed nodes at the end of the run.
+    pub informed: usize,
+    /// Alive nodes at the end of the run.
+    pub alive: usize,
+    /// Whether every alive node was informed at the end.
+    pub complete: bool,
+    /// First simulated instant at which every alive node was informed.
+    pub completion_time: Option<f64>,
+    /// Deepest hop count at which a delivery informed a new node — the
+    /// emergent round structure.
+    pub emergent_rounds: u32,
+    /// Deterministic load counters.
+    pub stats: EventStats,
+    /// Recorded event trace (empty unless requested).
+    pub trace: Vec<TraceEvent>,
+    informed_ids: Vec<NodeId>,
+}
+
+impl AsyncFloodingRecord {
+    /// Fraction of alive nodes informed at the end.
+    #[must_use]
+    pub fn final_fraction(&self) -> f64 {
+        self.informed as f64 / self.alive.max(1) as f64
+    }
+
+    /// The informed alive nodes, sorted by identifier.
+    #[must_use]
+    pub fn informed_ids(&self) -> &[NodeId] {
+        &self.informed_ids
+    }
+}
+
+/// One scheduled event of the flooding process.
+enum Ev {
+    /// A rumor copy arrives at `target` (revalidated at delivery).
+    Deliver {
+        target: DenseHandle,
+        id: NodeId,
+        hop: u32,
+    },
+    /// Advance the network one churn unit.
+    ChurnTick,
+}
+
+/// The flooding state shared by the churning and the static driver.
+struct Engine {
+    latency: LatencyModel,
+    sched: Scheduler<Ev>,
+    egress: EgressQueues,
+    stats: EventStats,
+    rng: SimRng,
+    informed: HashSet<u64>,
+    entries: Vec<(DenseHandle, NodeId)>,
+    emergent_rounds: u32,
+    completion_time: Option<f64>,
+}
+
+impl Engine {
+    fn new(cfg: &AsyncFloodingConfig, seed: u64) -> Self {
+        let mut sched = Scheduler::new();
+        if cfg.record_trace {
+            sched.enable_trace();
+        }
+        Engine {
+            latency: cfg.latency,
+            sched,
+            egress: EgressQueues::new(cfg.bandwidth),
+            stats: EventStats::new(),
+            rng: substream_rng(seed, LATENCY_STREAM),
+            informed: HashSet::new(),
+            entries: Vec::new(),
+            emergent_rounds: 0,
+            completion_time: None,
+        }
+    }
+
+    /// Marks `idx` informed and forwards along its current incident links.
+    fn inform(&mut self, graph: &DynamicGraph, idx: u32, hop: u32, now: f64) {
+        let id = graph.id_at(idx).expect("informed nodes are alive");
+        let handle = graph.handle_at(idx).expect("informed nodes are alive");
+        self.informed.insert(id.raw());
+        self.entries.push((handle, id));
+        self.emergent_rounds = self.emergent_rounds.max(hop);
+        if graph.tags_enabled() && graph.tag_at(idx) & TAG_NO_FORWARD != 0 {
+            return; // informed, but does not forward (Byzantine behavior)
+        }
+        for target_idx in graph.neighbor_indices_at(idx) {
+            match self.egress.enqueue(id.raw(), now) {
+                Enqueue::Dropped => self.stats.messages_dropped += 1,
+                Enqueue::Sent {
+                    departs,
+                    queue_delay,
+                } => {
+                    self.stats.messages_sent += 1;
+                    self.stats.record_queue_delay(queue_delay);
+                    let arrival = departs + self.latency.sample(&mut self.rng);
+                    self.sched.schedule_at(
+                        arrival,
+                        Ev::Deliver {
+                            target: graph
+                                .handle_at(target_idx)
+                                .expect("neighbors of an alive node are alive"),
+                            id: graph
+                                .id_at(target_idx)
+                                .expect("neighbors of an alive node are alive"),
+                            hop: hop + 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Processes one delivery; returns `true` when a new node was informed.
+    fn deliver(
+        &mut self,
+        graph: &DynamicGraph,
+        target: DenseHandle,
+        id: NodeId,
+        hop: u32,
+        now: f64,
+    ) -> bool {
+        if !graph.is_current(target) {
+            self.stats.messages_lost += 1;
+            self.sched.record(TRACE_LOST, id.raw());
+            return false;
+        }
+        self.stats.messages_delivered += 1;
+        if self.informed.contains(&id.raw()) {
+            self.sched.record(TRACE_DUPLICATE, id.raw());
+            return false;
+        }
+        self.sched.record(TRACE_INFORMED, id.raw());
+        self.inform(graph, target.index, hop, now);
+        true
+    }
+
+    /// Drops informed entries that died in a churn window.
+    fn revalidate(&mut self, graph: &DynamicGraph) {
+        self.entries.retain(|&(handle, id)| {
+            let alive = graph.is_current(handle);
+            if !alive {
+                self.informed.remove(&id.raw());
+            }
+            alive
+        });
+    }
+
+    fn note_completion(&mut self, alive: usize, now: f64) {
+        if self.completion_time.is_none() && self.entries.len() == alive {
+            self.completion_time = Some(now);
+        }
+    }
+
+    fn into_record(mut self, alive: usize) -> AsyncFloodingRecord {
+        self.stats.events_processed = self.sched.processed();
+        self.stats.peak_backlog = self.egress.peak_backlog() as u64;
+        self.stats.sim_time = self.sched.now();
+        let mut informed_ids: Vec<NodeId> = self.entries.iter().map(|&(_, id)| id).collect();
+        informed_ids.sort_unstable();
+        AsyncFloodingRecord {
+            informed: self.entries.len(),
+            alive,
+            complete: !self.entries.is_empty() && self.entries.len() == alive,
+            completion_time: self.completion_time,
+            emergent_rounds: self.emergent_rounds,
+            trace: self.sched.take_trace(),
+            stats: self.stats,
+            informed_ids,
+        }
+    }
+}
+
+/// Runs asynchronous flooding over a dynamic network.
+///
+/// The network should be warm ([`DynamicNetwork::warm_up`]); the rumor
+/// starts at `source` at time 0. With churn enabled the model advances one
+/// unit per unit of simulated time through its own driver hooks. The run
+/// ends when the event queue drains or the horizon passes.
+///
+/// Deterministic given `(net state, cfg, seed)`: the latency RNG is an
+/// independent substream of `seed`, and the event order is total.
+///
+/// # Panics
+///
+/// Panics if the config is invalid or the source is not alive.
+pub fn run_async_flooding<N: DynamicNetwork>(
+    net: &mut N,
+    source: AsyncSource,
+    cfg: &AsyncFloodingConfig,
+    seed: u64,
+) -> AsyncFloodingRecord {
+    cfg.validate().expect("invalid async flooding config");
+    let source_id = match source {
+        AsyncSource::Node(id) => id,
+        AsyncSource::Newest => net.newest_node().expect("network has a newest node"),
+    };
+    let mut engine = Engine::new(cfg, seed);
+    let source_idx = net
+        .graph()
+        .dense_index_of(source_id)
+        .expect("flooding source is alive");
+    engine.sched.record(TRACE_INFORMED, source_id.raw());
+    engine.inform(net.graph(), source_idx, 0, 0.0);
+    engine.note_completion(net.alive_count(), 0.0);
+    if cfg.churn && cfg.horizon >= 0.5 {
+        engine.sched.schedule_at(0.5, Ev::ChurnTick);
+    }
+    while let Some(time) = engine.sched.peek_time() {
+        if time > cfg.horizon {
+            break;
+        }
+        let (now, event) = engine.sched.pop().expect("peeked event exists");
+        match event {
+            Ev::Deliver { target, id, hop } => {
+                if engine.deliver(net.graph(), target, id, hop, now) {
+                    engine.note_completion(net.alive_count(), now);
+                }
+            }
+            Ev::ChurnTick => {
+                net.advance_time_unit();
+                engine.revalidate(net.graph());
+                engine.sched.record(TRACE_CHURN, net.alive_count() as u64);
+                engine.note_completion(net.alive_count(), now);
+                if now + 1.0 <= cfg.horizon {
+                    engine.sched.schedule_at(now + 1.0, Ev::ChurnTick);
+                }
+            }
+        }
+    }
+    let alive = net.alive_count();
+    engine.into_record(alive)
+}
+
+/// Runs asynchronous flooding over a static graph (no churn regardless of
+/// [`AsyncFloodingConfig::churn`]). This is the harness of the
+/// sync-equivalence contract: in the zero-latency / infinite-bandwidth
+/// limit the informed set equals the synchronous (BFS) set and the emergent
+/// rounds equal the synchronous flooding time.
+///
+/// # Panics
+///
+/// Panics if the config is invalid or `source` is not in the graph.
+pub fn run_async_flooding_static(
+    graph: &DynamicGraph,
+    source: NodeId,
+    cfg: &AsyncFloodingConfig,
+    seed: u64,
+) -> AsyncFloodingRecord {
+    cfg.validate().expect("invalid async flooding config");
+    let mut engine = Engine::new(cfg, seed);
+    let source_idx = graph
+        .dense_index_of(source)
+        .expect("flooding source is in the graph");
+    engine.sched.record(TRACE_INFORMED, source.raw());
+    engine.inform(graph, source_idx, 0, 0.0);
+    engine.note_completion(graph.len(), 0.0);
+    while let Some(time) = engine.sched.peek_time() {
+        if time > cfg.horizon {
+            break;
+        }
+        let (now, event) = engine.sched.pop().expect("peeked event exists");
+        match event {
+            Ev::Deliver { target, id, hop } => {
+                if engine.deliver(graph, target, id, hop, now) {
+                    engine.note_completion(graph.len(), now);
+                }
+            }
+            Ev::ChurnTick => unreachable!("static runs schedule no churn ticks"),
+        }
+    }
+    engine.into_record(graph.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churn_graph::generators::d_out_random_graph;
+    use churn_stochastic::rng::seeded_rng;
+
+    #[test]
+    fn zero_latency_static_run_informs_the_whole_graph_at_time_zero() {
+        let mut rng = seeded_rng(3);
+        let graph = d_out_random_graph(64, 3, &mut rng);
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(0.0),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: 16.0,
+            churn: false,
+            record_trace: false,
+        };
+        let record = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 7);
+        assert_eq!(record.stats.sim_time, 0.0);
+        assert!(record.informed >= 1);
+        assert_eq!(record.completion_time.is_some(), record.complete);
+        assert_eq!(
+            record.stats.messages_delivered + record.stats.messages_lost,
+            record.stats.messages_sent
+        );
+        assert_eq!(record.stats.messages_lost, 0);
+    }
+
+    #[test]
+    fn unit_latency_emergent_rounds_match_hop_depth() {
+        // A directed path 0 → 1 → 2 → 3 (1-out graph built by hand).
+        let mut graph = DynamicGraph::with_capacity(4);
+        for i in 0..4u64 {
+            graph.add_node(NodeId::new(i), 1).unwrap();
+        }
+        for i in 0..3u64 {
+            graph
+                .set_out_slot(NodeId::new(i), 0, NodeId::new(i + 1))
+                .unwrap();
+        }
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(1.0),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: 64.0,
+            churn: false,
+            record_trace: false,
+        };
+        let record = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 1);
+        assert!(record.complete);
+        assert_eq!(record.emergent_rounds, 3);
+        assert_eq!(record.completion_time, Some(3.0));
+    }
+
+    #[test]
+    fn finite_bandwidth_serializes_a_stars_broadcast() {
+        // A 4-leaf star: the hub owns all out-slots, service rate 1 msg/unit.
+        let mut graph = DynamicGraph::with_capacity(5);
+        graph.add_node(NodeId::new(0), 4).unwrap();
+        for i in 1..=4u64 {
+            graph.add_node(NodeId::new(i), 0).unwrap();
+            graph
+                .set_out_slot(NodeId::new(0), (i - 1) as usize, NodeId::new(i))
+                .unwrap();
+        }
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(0.25),
+            bandwidth: BandwidthModel::delaying(1.0),
+            horizon: 64.0,
+            churn: false,
+            record_trace: false,
+        };
+        let record = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 1);
+        assert!(record.complete);
+        // Four sends at one per unit: departures 1..4, each +0.25 latency.
+        assert_eq!(record.completion_time, Some(4.25));
+        assert_eq!(record.stats.peak_backlog, 4);
+        assert!(record.stats.mean_queue_delay() > 1.0);
+        assert_eq!(record.stats.p99_queue_delay(), 4.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic load counters of one event-driven run.
+
+use churn_stochastic::OnlineStats;
+
+/// Counters and queue-delay statistics of one run.
+///
+/// Everything in here is measured in *event counts* and *simulated time*, so
+/// the record is part of the deterministic output: same seed ⇒ identical
+/// `EventStats`, bit for bit. Wall-clock throughput (events per real second)
+/// is deliberately absent — the caller measures it around the run and keeps
+/// it out of the deterministic record.
+#[derive(Debug, Clone, Default)]
+pub struct EventStats {
+    /// Events popped from the scheduler.
+    pub events_processed: u64,
+    /// Messages accepted into an egress queue.
+    pub messages_sent: u64,
+    /// Messages whose delivery event found its target alive.
+    pub messages_delivered: u64,
+    /// Messages discarded by a full drop-tail egress queue.
+    pub messages_dropped: u64,
+    /// Messages whose target had died by the delivery instant.
+    pub messages_lost: u64,
+    /// Largest egress backlog any node reached.
+    pub peak_backlog: u64,
+    /// Simulated time of the last processed event.
+    pub sim_time: f64,
+    delay: OnlineStats,
+    delays: Vec<f64>,
+}
+
+impl EventStats {
+    /// Fresh, all-zero statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        EventStats::default()
+    }
+
+    /// Records one message's egress-queue delay (waiting + service, in
+    /// simulated time).
+    pub fn record_queue_delay(&mut self, delay: f64) {
+        self.delay.push(delay);
+        self.delays.push(delay);
+    }
+
+    /// Number of recorded queue delays (= messages that entered a queue).
+    #[must_use]
+    pub fn queue_samples(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// Mean egress-queue delay in simulated time (0 with no samples).
+    #[must_use]
+    pub fn mean_queue_delay(&self) -> f64 {
+        if self.delays.is_empty() {
+            0.0
+        } else {
+            self.delay.mean()
+        }
+    }
+
+    /// 99th-percentile egress-queue delay in simulated time (0 with no
+    /// samples). Computed from the full sample set, so it is exact and
+    /// deterministic.
+    #[must_use]
+    pub fn p99_queue_delay(&self) -> f64 {
+        percentile(&self.delays, 0.99)
+    }
+
+    /// Messages still in flight (sent but neither delivered nor lost) when
+    /// the run ended — undelivered load at the horizon.
+    #[must_use]
+    pub fn messages_in_flight(&self) -> u64 {
+        self.messages_sent
+            .saturating_sub(self.messages_delivered)
+            .saturating_sub(self.messages_lost)
+    }
+}
+
+/// Exact percentile of a sample set by sorting a copy (nearest-rank). All
+/// samples must be finite. Returns 0 for an empty set.
+#[must_use]
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 0.5), 50.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn queue_delay_statistics_accumulate() {
+        let mut stats = EventStats::new();
+        assert_eq!(stats.mean_queue_delay(), 0.0);
+        for d in [1.0, 2.0, 3.0] {
+            stats.record_queue_delay(d);
+        }
+        assert_eq!(stats.queue_samples(), 3);
+        assert!((stats.mean_queue_delay() - 2.0).abs() < 1e-12);
+        assert_eq!(stats.p99_queue_delay(), 3.0);
+        stats.messages_sent = 10;
+        stats.messages_delivered = 6;
+        stats.messages_lost = 1;
+        assert_eq!(stats.messages_in_flight(), 3);
+    }
+}

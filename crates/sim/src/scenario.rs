@@ -33,6 +33,7 @@ use rayon::prelude::*;
 
 use churn_core::driver::VictimPolicy;
 use churn_core::ModelKind;
+use churn_event::{BandwidthModel, LatencyModel};
 use churn_protocol::{AdversaryModel, ChurnDriver, RaesConfig, SaturationPolicy};
 use churn_stochastic::rng::derive_seed;
 
@@ -271,6 +272,35 @@ pub struct ExpansionSpec {
     pub fast: bool,
 }
 
+/// Knobs of the event-driven asynchronous flooding measurement
+/// (`churn-event`): per-message latency, per-node bandwidth, and the
+/// simulated-time horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncFloodingSpec {
+    /// Per-message latency model.
+    pub latency: LatencyModel,
+    /// Per-node bandwidth model (FIFO egress queues).
+    pub bandwidth: BandwidthModel,
+    /// Simulated-time horizon, resolved against `n` like a round budget
+    /// (one churn round per unit of simulated time).
+    pub horizon: RoundBudget,
+}
+
+/// Knobs of the event-driven asynchronous RAES load measurement: repair
+/// requests and accepts are messages that queue behind flood traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncRaesSpec {
+    /// Per-message latency model.
+    pub latency: LatencyModel,
+    /// Per-node bandwidth model, shared by repair and flood traffic.
+    pub bandwidth: BandwidthModel,
+    /// Simulated-time horizon (= churn rounds), resolved against `n`.
+    pub horizon: RoundBudget,
+    /// Inject a flood from the newest node a quarter into the horizon, so
+    /// repair latency is measured *under load*.
+    pub flood: bool,
+}
+
 /// What one cell measures. Every variant runs against the cell's network
 /// spec and returns a flat list of named scalar metrics — the record schema
 /// is uniform across scenarios, so analysis tooling needs one loader.
@@ -319,6 +349,35 @@ pub enum Measurement {
         /// Blocks on the smoke preset.
         smoke_blocks: usize,
     },
+    /// Event-driven asynchronous flooding over a churning network: forward
+    /// on message arrival, per-message latency, per-node bandwidth; rounds
+    /// emerge from the timing. Runs on any dynamic net (baselines, RAES).
+    AsyncFlooding(AsyncFloodingSpec),
+    /// Event-driven asynchronous RAES repair under message load (requires a
+    /// [`NetSpec::Raes`] net with streaming churn and no adversary; the
+    /// saturation/attempts knobs do not apply to the message-level model).
+    AsyncRaes(AsyncRaesSpec),
+}
+
+impl Measurement {
+    /// Short kind label (shown by `exp list` next to each scenario).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Measurement::Flooding(_) => "flooding",
+            Measurement::ParallelFlooding(_) => "parallel-flooding",
+            Measurement::PartialFlooding => "partial-flooding",
+            Measurement::Isolation => "isolation",
+            Measurement::Expansion(_) => "expansion",
+            Measurement::RaesTracking { .. } => "raes-tracking",
+            Measurement::OnionSkin => "onion-skin",
+            Measurement::PoissonDemographics { .. } => "poisson-demographics",
+            Measurement::StaticBaseline => "static-baseline",
+            Measurement::P2pPropagation { .. } => "p2p-propagation",
+            Measurement::AsyncFlooding(_) => "async-flooding",
+            Measurement::AsyncRaes(_) => "async-raes",
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -624,6 +683,12 @@ impl Scenario {
                     Measurement::StaticBaseline => matches!(net, NetSpec::Static),
                     Measurement::P2pPropagation { .. } => matches!(net, NetSpec::P2p),
                     Measurement::RaesTracking { .. } => matches!(net, NetSpec::Raes(_)),
+                    Measurement::AsyncRaes(_) => matches!(
+                        net,
+                        NetSpec::Raes(spec)
+                            if spec.churn == ChurnDriver::Streaming
+                                && !spec.adversary.is_active()
+                    ),
                     Measurement::OnionSkin => {
                         matches!(net, NetSpec::Baseline(ModelKind::Sdg))
                     }
@@ -660,7 +725,29 @@ impl Scenario {
                         .validate()
                         .map_err(|e| format!("scenario {:?}: invalid RAES net: {e}", self.name))?;
                 }
+                if matches!(self.measurement, Measurement::AsyncRaes(_))
+                    && victim != VictimPolicy::Uniform
+                {
+                    return Err(format!(
+                        "scenario {:?}: the asynchronous RAES model drives its own \
+                         streaming churn and supports only uniform victims",
+                        self.name
+                    ));
+                }
             }
+        }
+        let async_models = match self.measurement {
+            Measurement::AsyncFlooding(spec) => Some((spec.latency, spec.bandwidth)),
+            Measurement::AsyncRaes(spec) => Some((spec.latency, spec.bandwidth)),
+            _ => None,
+        };
+        if let Some((latency, bandwidth)) = async_models {
+            latency
+                .validate()
+                .map_err(|e| format!("scenario {:?}: {e}", self.name))?;
+            bandwidth
+                .validate()
+                .map_err(|e| format!("scenario {:?}: {e}", self.name))?;
         }
         Ok(())
     }
@@ -968,6 +1055,10 @@ pub struct ScenarioOutcome {
     /// `.failures.jsonl` side file). The grid keeps running past them; a
     /// later `--resume` retries exactly these cells.
     pub failures: Vec<CellFailure>,
+    /// Wall-clock throughput of the cells *executed this invocation* (also
+    /// written to the non-checkpointed `.load.jsonl` side file; skipped
+    /// checkpointed cells have no load record).
+    pub loads: Vec<LoadRecord>,
 }
 
 /// A cell that panicked during execution. Failures never enter the main
@@ -1017,6 +1108,83 @@ impl CellFailure {
     }
 }
 
+/// Per-cell wall-clock throughput, written to the non-checkpointed
+/// `.load.jsonl` side file (one line per cell *executed this invocation*).
+///
+/// Wall-clock time is inherently nondeterministic, so it must never enter
+/// the main checkpoint file (whose bytes are pinned bit-identical across
+/// runs and resumes by the golden suite) — throughput lives here instead.
+/// The work-unit column adapts to the measurement: event-driven cells
+/// report events per second, round-driven cells rounds per second, and
+/// anything else counts the cell itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Network label of the cell.
+    pub net: String,
+    /// Network size.
+    pub n: usize,
+    /// Degree parameter.
+    pub d: usize,
+    /// Victim policy label.
+    pub victim: String,
+    /// Trial index.
+    pub trial: usize,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Wall-clock seconds the cell's measurement took.
+    pub wall_s: f64,
+    /// The throughput work unit (`events`, `rounds` or `cells`).
+    pub unit: &'static str,
+    /// Work units the cell performed.
+    pub units: f64,
+    /// Work units per wall-clock second.
+    pub units_per_s: f64,
+}
+
+impl LoadRecord {
+    /// Serialises the load record as one JSON line.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(200);
+        out.push_str("{\"scenario\":");
+        escape_json(&self.scenario, &mut out);
+        out.push_str(",\"net\":");
+        escape_json(&self.net, &mut out);
+        out.push_str(&format!(",\"n\":{},\"d\":{},\"victim\":", self.n, self.d));
+        escape_json(&self.victim, &mut out);
+        out.push_str(&format!(
+            ",\"trial\":{},\"seed\":{},\"wall_s\":{},\"unit\":",
+            self.trial,
+            self.seed,
+            format_value(self.wall_s)
+        ));
+        escape_json(self.unit, &mut out);
+        out.push_str(&format!(
+            ",\"units\":{},\"units_per_s\":{}}}",
+            format_value(self.units),
+            format_value(self.units_per_s)
+        ));
+        out
+    }
+}
+
+/// The throughput work unit of one cell, extracted from its metrics:
+/// event-driven measurements count processed events, round-driven ones
+/// flooding rounds; everything else counts the cell itself.
+fn cell_work_units(metrics: &[(String, f64)]) -> (&'static str, f64) {
+    for (name, unit) in [
+        ("events_processed", "events"),
+        ("flooding_rounds", "rounds"),
+    ] {
+        if let Some((_, value)) = metrics.iter().find(|(metric, _)| metric == name) {
+            return (unit, *value);
+        }
+    }
+    ("cells", 1.0)
+}
+
 /// Extracts a human-readable message from a panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -1045,6 +1213,18 @@ pub fn scenario_failures_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf
     let suffix = match opts.preset {
         GridPreset::Full => "failures.jsonl",
         GridPreset::Smoke => "smoke.failures.jsonl",
+    };
+    opts.dir.join(format!("{}.{suffix}", scenario.name()))
+}
+
+/// The side file per-cell wall-clock throughput is written to
+/// (`<name>.load.jsonl` / `<name>.smoke.load.jsonl`). Re-created on every
+/// invocation — wall-clock is not part of the deterministic checkpoint.
+#[must_use]
+pub fn scenario_load_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf {
+    let suffix = match opts.preset {
+        GridPreset::Full => "load.jsonl",
+        GridPreset::Smoke => "smoke.load.jsonl",
     };
     opts.dir.join(format!("{}.{suffix}", scenario.name()))
 }
@@ -1117,6 +1297,13 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
     let mut failures: Vec<CellFailure> = Vec::new();
     let mut failures_file: Option<fs::File> = None;
 
+    // Wall-clock throughput of this invocation's cells. Previous load files
+    // describe a different machine state — always start fresh.
+    let load_path = scenario_load_path(scenario, opts);
+    let _ = fs::remove_file(&load_path);
+    let mut loads: Vec<LoadRecord> = Vec::new();
+    let mut load_file: Option<fs::File> = None;
+
     let pool = rayon::current_num_threads().max(1);
     let batch_size = (pool * 2).max(1);
     let mut executed = 0usize;
@@ -1127,13 +1314,14 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
     let mut cursor = 0usize;
     for batch in todo.chunks(batch_size) {
         let threads = crate::runner::sweep_cell_threads(batch.len());
-        let batch_records: Vec<Result<CellRecord, Box<CellFailure>>> = batch
+        let batch_records: Vec<Result<(CellRecord, f64), Box<CellFailure>>> = batch
             .par_iter()
             .map(|&(cell, seed)| {
                 // A panicking cell must not take the grid down: it is caught,
                 // recorded as a structured failure, and the batch (and every
                 // later batch) keeps running. The closure only touches the
                 // cell's own state, so unwind-safety holds.
+                let started = std::time::Instant::now();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // Fault-injection hook for the hardening smoke tests: a
                     // cell whose seed is listed panics deliberately.
@@ -1144,20 +1332,24 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                     }
                     measure::run_cell(scenario.measurement(), &cell, seed, threads, opts.preset)
                 }));
+                let wall_s = started.elapsed().as_secs_f64();
                 match outcome {
-                    Ok(metrics) => Ok(CellRecord {
-                        scenario: scenario.name().to_string(),
-                        net: cell.net.label(),
-                        n: cell.n,
-                        d: cell.d,
-                        victim: cell.victim.label().to_string(),
-                        trial: cell.trial,
-                        seed,
-                        metrics: metrics
-                            .into_iter()
-                            .map(|(metric, value)| (metric.to_string(), value))
-                            .collect(),
-                    }),
+                    Ok(metrics) => Ok((
+                        CellRecord {
+                            scenario: scenario.name().to_string(),
+                            net: cell.net.label(),
+                            n: cell.n,
+                            d: cell.d,
+                            victim: cell.victim.label().to_string(),
+                            trial: cell.trial,
+                            seed,
+                            metrics: metrics
+                                .into_iter()
+                                .map(|(metric, value)| (metric.to_string(), value))
+                                .collect(),
+                        },
+                        wall_s,
+                    )),
                     Err(payload) => Err(Box::new(CellFailure {
                         scenario: scenario.name().to_string(),
                         net: cell.net.label(),
@@ -1173,7 +1365,29 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
             .collect();
         for result in batch_records {
             match result {
-                Ok(record) => {
+                Ok((record, wall_s)) => {
+                    let (unit, units) = cell_work_units(&record.metrics);
+                    let load = LoadRecord {
+                        scenario: record.scenario.clone(),
+                        net: record.net.clone(),
+                        n: record.n,
+                        d: record.d,
+                        victim: record.victim.clone(),
+                        trial: record.trial,
+                        seed: record.seed,
+                        wall_s,
+                        unit,
+                        units,
+                        units_per_s: if wall_s > 0.0 { units / wall_s } else { 0.0 },
+                    };
+                    let side = match load_file.as_mut() {
+                        Some(side) => side,
+                        None => load_file.insert(fs::File::create(&load_path)?),
+                    };
+                    side.write_all(load.to_json_line().as_bytes())?;
+                    side.write_all(b"\n")?;
+                    side.flush()?;
+                    loads.push(load);
                     lines.insert(record.seed, record.to_json_line());
                     executed += 1;
                 }
@@ -1224,6 +1438,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
         total,
         path,
         failures,
+        loads,
     })
 }
 
@@ -1767,5 +1982,200 @@ mod tests {
             scenario_output_path(&s, &smoke),
             PathBuf::from("results/test-flooding.smoke.jsonl")
         );
+        assert_eq!(
+            scenario_load_path(&s, &smoke),
+            PathBuf::from("results/test-flooding.smoke.load.jsonl")
+        );
+    }
+
+    #[test]
+    fn load_side_file_covers_executed_cells_and_resets_per_invocation() {
+        let dir = std::env::temp_dir().join(format!("churn-scenario-load-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let scenario = tiny_scenario().base_seed(0x10AD);
+        let opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.clone(),
+            ..RunOptions::default()
+        };
+        let outcome = run_scenario(&scenario, &opts).unwrap();
+        assert_eq!(outcome.loads.len(), outcome.total);
+        let load_path = scenario_load_path(&scenario, &opts);
+        let side = fs::read_to_string(&load_path).unwrap();
+        assert_eq!(side.lines().count(), outcome.total);
+        for load in &outcome.loads {
+            // Flooding cells report rounds-per-second throughput.
+            assert_eq!(load.unit, "rounds");
+            assert!(load.wall_s >= 0.0);
+            assert!(load.units > 0.0);
+            assert!(side.contains(&format!("\"seed\":{}", load.seed)));
+        }
+        // The main checkpoint stays free of wall-clock columns.
+        let main = fs::read_to_string(&outcome.path).unwrap();
+        assert!(!main.contains("wall_s"));
+
+        // A fully checkpointed resume executes nothing: the stale load file
+        // (another invocation's wall clock) is removed, not carried over.
+        let resumed = run_scenario(
+            &scenario,
+            &RunOptions {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.executed, 0);
+        assert!(resumed.loads.is_empty());
+        assert!(!load_path.exists());
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_measurements_run_and_record_event_columns() {
+        use churn_event::{BandwidthModel, LatencyModel};
+
+        let dir = std::env::temp_dir().join(format!("churn-scenario-async-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let flooding = Scenario::new(
+            "test-async-flooding",
+            "async flooding smoke",
+            Measurement::AsyncFlooding(AsyncFloodingSpec {
+                latency: LatencyModel::Exponential { mean: 0.3 },
+                bandwidth: BandwidthModel::drop_tail(8.0, 32),
+                horizon: RoundBudget::Fixed(24),
+            }),
+        )
+        .nets([NetSpec::Baseline(ModelKind::Sdgr), NetSpec::raes_default()])
+        .full_grid(Grid::new([48], [3], 1))
+        .base_seed(0xA51);
+        flooding.validate().unwrap();
+
+        let raes = Scenario::new(
+            "test-async-raes",
+            "async RAES load smoke",
+            Measurement::AsyncRaes(AsyncRaesSpec {
+                latency: LatencyModel::Fixed(0.1),
+                bandwidth: BandwidthModel::delaying(16.0),
+                horizon: RoundBudget::Fixed(32),
+                flood: true,
+            }),
+        )
+        .nets([NetSpec::raes_default()])
+        .full_grid(Grid::new([48], [3], 1))
+        .base_seed(0xA52);
+        raes.validate().unwrap();
+
+        let opts = RunOptions {
+            preset: GridPreset::Full,
+            dir: dir.clone(),
+            ..RunOptions::default()
+        };
+        let flood_outcome = run_scenario(&flooding, &opts).unwrap();
+        assert!(flood_outcome.failures.is_empty());
+        for record in &flood_outcome.records {
+            for column in [
+                "events_processed",
+                "messages_delivered",
+                "messages_dropped",
+                "p99_queue_delay",
+                "emergent_rounds",
+                "completion_time",
+            ] {
+                assert!(
+                    record.metrics.iter().any(|(name, _)| name == column),
+                    "missing {column} in async flooding record"
+                );
+            }
+        }
+        // Async cells report events-per-second throughput in the load file.
+        assert!(flood_outcome.loads.iter().all(|l| l.unit == "events"));
+
+        let raes_outcome = run_scenario(&raes, &opts).unwrap();
+        assert!(raes_outcome.failures.is_empty());
+        let record = &raes_outcome.records[0];
+        for column in [
+            "repairs_completed",
+            "phantoms",
+            "mean_repair_time",
+            "p99_repair_time",
+            "dangling_fraction",
+            "flood_completion_time",
+            "events_processed",
+        ] {
+            assert!(
+                record.metrics.iter().any(|(name, _)| name == column),
+                "missing {column} in async RAES record"
+            );
+        }
+        let cap = record
+            .metrics
+            .iter()
+            .find(|(name, _)| name == "in_degree_cap")
+            .unwrap()
+            .1;
+        let max_in = record
+            .metrics
+            .iter()
+            .find(|(name, _)| name == "max_in_degree")
+            .unwrap()
+            .1;
+        assert!(max_in <= cap, "cap violated: {max_in} > {cap}");
+
+        // Async runs checkpoint/resume bit-identically like every scenario.
+        let bytes = fs::read(&flood_outcome.path).unwrap();
+        let resumed = run_scenario(
+            &flooding,
+            &RunOptions {
+                resume: true,
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.executed, 0);
+        assert_eq!(fs::read(&resumed.path).unwrap(), bytes);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_raes_rejects_incompatible_nets_and_victims() {
+        use churn_event::{BandwidthModel, LatencyModel};
+
+        let spec = AsyncRaesSpec {
+            latency: LatencyModel::Fixed(0.1),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: RoundBudget::Fixed(16),
+            flood: false,
+        };
+        // Baseline nets cannot run the message-level RAES model.
+        let wrong_net = Scenario::new("bad", "t", Measurement::AsyncRaes(spec))
+            .nets([NetSpec::Baseline(ModelKind::Sdgr)])
+            .full_grid(Grid::new([32], [2], 1));
+        assert!(wrong_net.validate().is_err());
+        // Poisson-churn RAES nets are rejected (the async model streams).
+        let poisson = Scenario::new("bad2", "t", Measurement::AsyncRaes(spec))
+            .nets([NetSpec::Raes(RaesNet {
+                churn: ChurnDriver::Poisson,
+                ..RaesNet::default()
+            })])
+            .full_grid(Grid::new([32], [2], 1));
+        assert!(poisson.validate().is_err());
+        // Invalid latency parameters surface at registration.
+        let bad_latency = Scenario::new(
+            "bad3",
+            "t",
+            Measurement::AsyncFlooding(AsyncFloodingSpec {
+                latency: LatencyModel::Uniform {
+                    low: 2.0,
+                    high: 1.0,
+                },
+                bandwidth: BandwidthModel::unlimited(),
+                horizon: RoundBudget::Fixed(16),
+            }),
+        )
+        .nets([NetSpec::Baseline(ModelKind::Sdgr)])
+        .full_grid(Grid::new([32], [2], 1));
+        assert!(bad_latency.validate().is_err());
     }
 }

@@ -24,7 +24,15 @@ use churn_protocol::{RaesConfig, RaesModel};
 use churn_stochastic::rng::seeded_rng;
 use churn_stochastic::OnlineStats;
 
-use super::{CellSpec, ExpansionSpec, FloodingSpec, GridPreset, Measurement, NetSpec};
+use churn_event::{
+    run_async_flooding, run_async_raes, AsyncFloodingConfig, AsyncRaesConfig, AsyncSource,
+    EventStats,
+};
+
+use super::{
+    AsyncFloodingSpec, AsyncRaesSpec, CellSpec, ExpansionSpec, FloodingSpec, GridPreset,
+    Measurement, NetSpec,
+};
 use crate::observer::observe_rounds;
 
 /// Named metric list of one cell.
@@ -189,7 +197,100 @@ pub(super) fn run_cell(
             };
             p2p_cell(cell, seed, blocks)
         }
+        Measurement::AsyncFlooding(spec) => async_flooding_cell(cell, seed, spec),
+        Measurement::AsyncRaes(spec) => async_raes_cell(cell, seed, spec),
     }
+}
+
+/// The deterministic event-layer load columns shared by every asynchronous
+/// cell: event and message counts, queue pressure, and the simulated-time
+/// queue-delay statistics. Wall-clock throughput is *not* here — the runner
+/// measures it around the cell and writes it to the non-checkpointed
+/// `.load.jsonl` side file, keeping the main records bit-reproducible.
+fn event_stats_metrics(stats: &EventStats, out: &mut Metrics) {
+    out.push(("events_processed", stats.events_processed as f64));
+    out.push(("messages_sent", stats.messages_sent as f64));
+    out.push(("messages_delivered", stats.messages_delivered as f64));
+    out.push(("messages_dropped", stats.messages_dropped as f64));
+    out.push(("messages_lost", stats.messages_lost as f64));
+    out.push(("peak_backlog", stats.peak_backlog as f64));
+    out.push(("mean_queue_delay", stats.mean_queue_delay()));
+    out.push(("p99_queue_delay", stats.p99_queue_delay()));
+    out.push(("sim_time", stats.sim_time));
+}
+
+/// Event-driven asynchronous flooding over the cell's (churning) network.
+fn async_flooding_cell(cell: &CellSpec, seed: u64, spec: AsyncFloodingSpec) -> Metrics {
+    let mut net = build_net(cell, seed);
+    net.warm_up();
+    let horizon = spec.horizon.resolve(cell.n) as f64;
+    let cfg = AsyncFloodingConfig {
+        latency: spec.latency,
+        bandwidth: spec.bandwidth,
+        horizon,
+        churn: true,
+        record_trace: false,
+    };
+    let record = run_async_flooding(&mut net, AsyncSource::Newest, &cfg, seed);
+    let mut out: Metrics = vec![
+        ("informed", record.informed as f64),
+        ("alive", record.alive as f64),
+        ("completed", f64::from(record.complete)),
+        ("completion_time", record.completion_time.unwrap_or(horizon)),
+        ("emergent_rounds", f64::from(record.emergent_rounds)),
+        ("final_fraction", record.final_fraction()),
+    ];
+    event_stats_metrics(&record.stats, &mut out);
+    out
+}
+
+/// Event-driven asynchronous RAES repair under message load.
+fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
+    let NetSpec::Raes(net) = cell.net else {
+        unreachable!("scenario validated at registration")
+    };
+    let horizon = spec.horizon.resolve(cell.n) as f64;
+    let cfg = AsyncRaesConfig {
+        n: cell.n,
+        d: cell.d,
+        capacity_factor: net.capacity,
+        latency: spec.latency,
+        bandwidth: spec.bandwidth,
+        horizon,
+        flood_at: spec.flood.then_some(horizon / 4.0),
+        retry_timeout: 8.0,
+        record_trace: false,
+    };
+    let record = run_async_raes(&cfg, seed);
+    let mut out: Metrics = vec![
+        ("repairs_completed", record.repairs_completed as f64),
+        ("repair_requests", record.repair_requests as f64),
+        ("rejections", record.rejections as f64),
+        ("phantoms", record.phantoms as f64),
+        ("mean_repair_time", record.mean_repair_time),
+        ("p99_repair_time", record.p99_repair_time),
+        ("dangling_fraction", record.dangling_fraction),
+        ("max_in_degree", record.max_in_degree as f64),
+        ("in_degree_cap", record.in_degree_cap as f64),
+    ];
+    if spec.flood {
+        let flood = record.flood.as_ref();
+        out.push(("flood_informed", flood.map_or(0.0, |f| f.informed as f64)));
+        out.push((
+            "flood_completed",
+            flood.map_or(0.0, |f| f64::from(f.complete)),
+        ));
+        out.push((
+            "flood_completion_time",
+            flood.and_then(|f| f.completion_time).unwrap_or(horizon),
+        ));
+        out.push((
+            "flood_emergent_rounds",
+            flood.map_or(0.0, |f| f64::from(f.emergent_rounds)),
+        ));
+    }
+    event_stats_metrics(&record.stats, &mut out);
+    out
 }
 
 /// The isolated fraction of the current topology (nodes with no incident

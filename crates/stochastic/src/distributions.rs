@@ -83,6 +83,69 @@ impl Exponential {
     }
 }
 
+/// Log-normal distribution: `exp(μ + σ·Z)` for a standard normal `Z`.
+///
+/// The heavy-tailed latency model of the event-driven simulator (a few
+/// messages take much longer than the median, as wide-area links do).
+///
+/// # Example
+///
+/// ```
+/// use churn_stochastic::distributions::LogNormal;
+/// use churn_stochastic::rng::seeded_rng;
+///
+/// let latency = LogNormal::new(0.0, 0.5).unwrap();
+/// let mut rng = seeded_rng(1);
+/// assert!(latency.sample(&mut rng) > 0.0);
+/// assert_eq!(latency.median(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with log-scale location `mu` and
+    /// log-scale shape `sigma`.
+    ///
+    /// Returns `None` unless `mu` is finite and `sigma` is finite and
+    /// strictly positive.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Option<Self> {
+        (mu.is_finite() && sigma.is_finite() && sigma > 0.0).then_some(LogNormal { mu, sigma })
+    }
+
+    /// The log-scale location μ.
+    #[must_use]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The log-scale shape σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The mean `exp(μ + σ²/2)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// The median `exp(μ)`.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
 /// Poisson distribution with mean `lambda`.
 ///
 /// Small means use Knuth's product-of-uniforms method; large means (> 30) use
@@ -384,6 +447,32 @@ mod tests {
         let coin = Bernoulli::new(0.3).unwrap();
         let heads = (0..100_000).filter(|_| coin.sample(&mut rng)).count();
         assert!((heads as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn log_normal_rejects_invalid_parameters() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_none());
+        assert!(LogNormal::new(0.0, 0.0).is_none());
+        assert!(LogNormal::new(0.0, -1.0).is_none());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_none());
+        assert!(LogNormal::new(-1.0, 0.25).is_some());
+    }
+
+    #[test]
+    fn log_normal_moments_match_the_closed_form() {
+        let dist = LogNormal::new(0.3, 0.6).unwrap();
+        assert!((dist.mean() - (0.3f64 + 0.18).exp()).abs() < 1e-12);
+        assert_eq!(dist.median(), 0.3f64.exp());
+        let mut rng = seeded_rng(9);
+        let mut stats = OnlineStats::new();
+        let mut all_positive = true;
+        for _ in 0..100_000 {
+            let x = dist.sample(&mut rng);
+            all_positive &= x > 0.0;
+            stats.push(x);
+        }
+        assert!(all_positive);
+        assert!((stats.mean() - dist.mean()).abs() / dist.mean() < 0.02);
     }
 
     #[test]
