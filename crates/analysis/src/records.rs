@@ -91,6 +91,7 @@ mod tests {
             n,
             d: 4,
             victim: "uniform".into(),
+            fault: None,
             trial,
             seed: (n + trial) as u64,
             metrics: metrics.iter().map(|&(m, v)| (m.to_string(), v)).collect(),

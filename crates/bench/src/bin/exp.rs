@@ -52,6 +52,21 @@ fn main() -> ExitCode {
                     scenario.cells(GridPreset::Smoke).len(),
                     scenario.title()
                 );
+                if scenario.has_fault_axis() {
+                    let labels: Vec<String> = scenario
+                        .fault_axis()
+                        .iter()
+                        .map(churn_sim::scenario::FaultSpec::label)
+                        .collect();
+                    println!(
+                        "{:<22} {:<21} {:>5} {:>5}  faults: {}",
+                        "",
+                        "",
+                        "",
+                        "",
+                        labels.join(", ")
+                    );
+                }
             }
             ExitCode::SUCCESS
         }
@@ -86,21 +101,41 @@ fn main() -> ExitCode {
                 }
             }
             let mut failures: Vec<(String, usize)> = Vec::new();
+            let mut shed: Vec<(String, usize)> = Vec::new();
             for name in &names {
                 let outcome = scenarios::run_and_report(&registry, name, &opts);
+                // Retry-budget exhaustion is in-band graceful degradation:
+                // the cell completed and recorded how many repairs it shed.
+                // Keep it out of the exit code but visible in the summary.
+                let exhausted = outcome
+                    .records
+                    .iter()
+                    .filter(|r| r.metric("retries_exhausted").is_some_and(|v| v > 0.0))
+                    .count();
+                if exhausted > 0 {
+                    shed.push((name.clone(), exhausted));
+                }
                 if !outcome.failures.is_empty() {
                     failures.push((name.clone(), outcome.failures.len()));
                 }
             }
-            if failures.is_empty() {
-                ExitCode::SUCCESS
-            } else {
+            if !failures.is_empty() || !shed.is_empty() {
                 eprintln!("failure summary:");
+                for (name, count) in &shed {
+                    eprintln!(
+                        "  {name}: {count} cell(s) exhausted a retry budget \
+                         (in-band: completed, shed repairs counted in `retries_exhausted`)"
+                    );
+                }
                 for (name, count) in &failures {
                     eprintln!(
                         "  {name}: {count} cell(s) panicked (see the .failures.jsonl side file)"
                     );
                 }
+            }
+            if failures.is_empty() {
+                ExitCode::SUCCESS
+            } else {
                 eprintln!("rerun with --resume to retry exactly the failed cells");
                 ExitCode::FAILURE
             }

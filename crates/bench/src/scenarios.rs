@@ -16,12 +16,12 @@
 //! seconds, run by CI on every PR.
 
 use churn_core::{ModelKind, VictimPolicy};
-use churn_event::{BandwidthModel, LatencyModel};
+use churn_event::{BandwidthModel, CrashRestart, LatencyModel, LossModel, PartitionWindow};
 use churn_protocol::{AdversaryModel, AttackKind, ChurnDriver, SaturationPolicy};
 use churn_sim::scenario::{
-    run_scenario, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec, FloodingSpec, Grid, GridPreset,
-    Measurement, NetSpec, RaesNet, RoundBudget, RunOptions, Scenario, ScenarioOutcome,
-    ScenarioRegistry,
+    run_scenario, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec, FaultSpec, FloodingSpec, Grid,
+    GridPreset, Measurement, NetSpec, RaesNet, RetryPolicy, RoundBudget, RunOptions, Scenario,
+    ScenarioOutcome, ScenarioRegistry,
 };
 
 /// Builds the full registry. Scenario names are stable — they are the
@@ -681,6 +681,171 @@ pub fn registry() -> ScenarioRegistry {
         .base_seed(0xE17),
     );
 
+    // E18 — the chaos layer over E16's asynchronous flooding: i.i.d. link
+    // loss swept from 0 to 30%. Same base seed and measurement spec as
+    // async-flooding, so the loss-0 column shares its cell seeds with E16's
+    // SDGR rows and reproduces those records bit for bit (the fault-axis
+    // counterpart of the Byzantine f = 0 anchor).
+    let e16_spec = || AsyncFloodingSpec {
+        latency: LatencyModel::Exponential { mean: 0.5 },
+        bandwidth: BandwidthModel::drop_tail(32.0, 64),
+        horizon: RoundBudget::Log2Times(6),
+    };
+    let loss_axis = [
+        FaultSpec::none(),
+        FaultSpec::iid_loss(0.01),
+        FaultSpec::iid_loss(0.05),
+        FaultSpec::iid_loss(0.1),
+        FaultSpec::iid_loss(0.3),
+    ];
+    registry.register(
+        Scenario::new(
+            "lossy-flooding",
+            "E18 — asynchronous flooding under i.i.d. link loss",
+            Measurement::AsyncFlooding(e16_spec()),
+        )
+        .reproduces(
+            "Flood-completion degradation vs. link-loss rate; the loss-0 \
+             column reproduces E16's SDGR rows bit for bit",
+        )
+        .nets([NetSpec::Baseline(ModelKind::Sdgr)])
+        .faults(loss_axis)
+        .full_grid(Grid::new([1_024, 4_096], [8], 3))
+        .smoke_grid(Grid::new([128, 256], [4], 1))
+        .base_seed(0xE16),
+    );
+    registry.register(
+        Scenario::new(
+            "lossy-flooding-1m",
+            "E18 — lossy asynchronous flooding at n = 10^6",
+            Measurement::AsyncFlooding(e16_spec()),
+        )
+        .reproduces("E18 at scale (per-link loss draws ride the fault substream)")
+        .nets([NetSpec::Baseline(ModelKind::Sdgr)])
+        .faults([FaultSpec::none(), FaultSpec::iid_loss(0.1)])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([256], [4], 1))
+        .base_seed(0xE16),
+    );
+
+    // E19 — scheduled partition with pull anti-entropy healing: the flood
+    // stalls at the source block's fraction during the window, then the
+    // periodic pulls complete it after the heal. The per-block heal census
+    // and end-of-run recovery census feed the time-to-reheal and
+    // *_block_informed columns.
+    // Onset at t = 0: the flood spreads in a handful of time units, so a
+    // later onset would partition an already-informed population. Starting
+    // partitioned makes the informed curve stall at the source block until
+    // the heal, which is the recovery story the scenario measures.
+    let partition = |blocks: u32| FaultSpec {
+        partition: Some(PartitionWindow {
+            start: 0.0,
+            heal: 20.0,
+            blocks,
+        }),
+        anti_entropy: Some(1.0),
+        ..FaultSpec::none()
+    };
+    registry.register(
+        Scenario::new(
+            "partition-healing",
+            "E19 — scheduled partition, pull anti-entropy healing",
+            Measurement::AsyncFlooding(e16_spec()),
+        )
+        .reproduces(
+            "Partition-healing recovery: informed fraction stalls at the \
+             majority block during the window, anti-entropy completes the \
+             flood post-heal; time-to-reheal and redundancy columns",
+        )
+        .nets([NetSpec::Baseline(ModelKind::Sdgr)])
+        .faults([FaultSpec::none(), partition(2), partition(3)])
+        .full_grid(Grid::new([1_024, 4_096], [8], 3))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE16),
+    );
+    registry.register(
+        Scenario::new(
+            "partition-healing-1m",
+            "E19 — partition healing at n = 10^6",
+            Measurement::AsyncFlooding(e16_spec()),
+        )
+        .reproduces("E19 at scale (block membership is a pure id hash)")
+        .nets([NetSpec::Baseline(ModelKind::Sdgr)])
+        .faults([partition(2)])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([256], [4], 1))
+        .base_seed(0xE16),
+    );
+
+    // E20 — RAES repair under 30% link loss plus crash–restart, with
+    // bounded exponential-backoff retries: the run must terminate with every
+    // repair either acknowledged or shed (retries_exhausted), never wedged.
+    // Same base seed and spec as async-raes-load, so the fault-free column
+    // reproduces E17's default-net rows bit for bit.
+    let e17_spec = || AsyncRaesSpec {
+        latency: LatencyModel::Exponential { mean: 0.5 },
+        bandwidth: BandwidthModel::delaying(32.0),
+        horizon: RoundBudget::Log2Times(6),
+        flood: true,
+    };
+    let chaos_retry = RetryPolicy {
+        factor: 2.0,
+        jitter: 0.25,
+        budget: 6,
+    };
+    let crashes = CrashRestart {
+        rate: 0.002,
+        downtime: LatencyModel::Fixed(4.0),
+    };
+    registry.register(
+        Scenario::new(
+            "crash-restart-raes",
+            "E20 — RAES repair under loss and crash–restart",
+            Measurement::AsyncRaes(e17_spec()),
+        )
+        .reproduces(
+            "Graceful degradation of message-level RAES: crash–restart \
+             re-repair and 30% link loss with bounded-backoff retries \
+             (shed, counted, never wedged)",
+        )
+        .nets([NetSpec::raes_default()])
+        .faults([
+            FaultSpec::none(),
+            FaultSpec {
+                crash: Some(crashes),
+                retry: Some(chaos_retry),
+                ..FaultSpec::none()
+            },
+            FaultSpec {
+                loss: LossModel::Iid { p: 0.3 },
+                crash: Some(crashes),
+                retry: Some(chaos_retry),
+                ..FaultSpec::none()
+            },
+        ])
+        .full_grid(Grid::new([1_024, 4_096], [8], 3))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE17),
+    );
+    registry.register(
+        Scenario::new(
+            "crash-restart-raes-1m",
+            "E20 — lossy crash–restart RAES at n = 10^6",
+            Measurement::AsyncRaes(e17_spec()),
+        )
+        .reproduces("E20 at scale (retry budget bounds the retransmission volume)")
+        .nets([NetSpec::raes_default()])
+        .faults([FaultSpec {
+            loss: LossModel::Iid { p: 0.3 },
+            crash: Some(crashes),
+            retry: Some(chaos_retry),
+            ..FaultSpec::none()
+        }])
+        .full_grid(Grid::new([1_000_000], [8], 1))
+        .smoke_grid(Grid::new([128], [4], 1))
+        .base_seed(0xE17),
+    );
+
     registry
 }
 
@@ -832,6 +997,12 @@ mod tests {
             "async-flooding-1m",
             "async-raes-load",
             "async-raes-load-1m",
+            "lossy-flooding",
+            "lossy-flooding-1m",
+            "partition-healing",
+            "partition-healing-1m",
+            "crash-restart-raes",
+            "crash-restart-raes-1m",
         ] {
             assert!(registry.get(name).is_some(), "missing scenario {name}");
         }
@@ -845,6 +1016,12 @@ mod tests {
             ("async-flooding-1m", "async-flooding"),
             ("async-raes-load", "async-raes"),
             ("async-raes-load-1m", "async-raes"),
+            ("lossy-flooding", "async-flooding"),
+            ("lossy-flooding-1m", "async-flooding"),
+            ("partition-healing", "async-flooding"),
+            ("partition-healing-1m", "async-flooding"),
+            ("crash-restart-raes", "async-raes"),
+            ("crash-restart-raes-1m", "async-raes"),
         ] {
             let scenario = registry.get(name).unwrap();
             assert_eq!(scenario.measurement().kind(), kind, "{name}");
@@ -866,6 +1043,55 @@ mod tests {
                     assert!(spec.flood, "{name} must flood while repairing");
                 }
                 other => panic!("{name} has unexpected measurement {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_fault_free_columns_share_their_cell_seeds_with_e16_e17() {
+        // The fault-axis anchor: every chaos scenario's fault-free cells
+        // must carry exactly the cell seeds of its E16 / E17 sibling (same
+        // base seed, same net tag, same measurement spec), so their records
+        // reproduce today's async numbers bit for bit — the event suite
+        // separately pins that an empty `FaultPlan` is RNG-stream-identical
+        // to no fault layer at all.
+        let registry = registry();
+        for (chaos_name, anchor_name) in [
+            ("lossy-flooding", "async-flooding"),
+            ("lossy-flooding-1m", "async-flooding-1m"),
+            ("partition-healing", "async-flooding"),
+            ("crash-restart-raes", "async-raes-load"),
+        ] {
+            let anchor = registry.get(anchor_name).unwrap();
+            let chaos = registry.get(chaos_name).unwrap();
+            assert_eq!(
+                format!("{:?}", chaos.measurement()),
+                format!("{:?}", anchor.measurement()),
+                "{chaos_name} must measure exactly what {anchor_name} measures"
+            );
+            let anchor_seeds: std::collections::HashSet<u64> = anchor
+                .cells(GridPreset::Full)
+                .iter()
+                .map(|c| anchor.cell_seed(c))
+                .collect();
+            let fault_free: Vec<_> = chaos
+                .cells(GridPreset::Full)
+                .into_iter()
+                .filter(|c| c.fault.is_none())
+                .collect();
+            assert!(
+                !fault_free.is_empty(),
+                "{chaos_name} is missing its fault-free anchor column"
+            );
+            for cell in fault_free {
+                assert!(
+                    anchor_seeds.contains(&chaos.cell_seed(&cell)),
+                    "{chaos_name} fault-free cell (net {}, n = {}, trial {}) \
+                     must share an {anchor_name} seed",
+                    cell.net.label(),
+                    cell.n,
+                    cell.trial
+                );
             }
         }
     }

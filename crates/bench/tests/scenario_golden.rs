@@ -97,6 +97,7 @@ fn adversarial_churn_records_are_byte_identical_to_the_legacy_loop() {
             n: cell.n,
             d: cell.d,
             victim: cell.victim.label().to_string(),
+            fault: None,
             trial: cell.trial,
             seed,
             metrics: vec![
@@ -157,6 +158,7 @@ fn isolated_nodes_records_are_byte_identical_to_the_legacy_loop() {
             n: cell.n,
             d: cell.d,
             victim: cell.victim.label().to_string(),
+            fault: None,
             trial: cell.trial,
             seed,
             metrics: vec![
@@ -369,6 +371,142 @@ fn byzantine_f0_records_reproduce_raes_flooding_bit_for_bit() {
         fs::remove_dir_all(path.parent().unwrap()).ok();
     }
     fs::remove_dir_all(e11_path.parent().unwrap()).ok();
+}
+
+#[test]
+fn async_smoke_records_replay_the_pre_chaos_fixtures_byte_for_byte() {
+    // The fault layer's golden anchor: the E16 / E17 smoke files recorded
+    // *before* the chaos layer existed must replay byte-identically through
+    // the (now fault-aware) engines with their implicit empty `FaultPlan` —
+    // the fault path consumes zero randomness when no axis is active.
+    let registry = registry();
+    for (name, fixture) in [
+        ("async-flooding", "async-flooding.smoke.jsonl"),
+        ("async-raes-load", "async-raes-load.smoke.jsonl"),
+    ] {
+        let scenario = registry.get(name).unwrap();
+        let (_, path) = run_smoke(scenario, &format!("fixture-{name}"));
+        let fixture_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(fixture);
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            fs::read(&fixture_path).unwrap(),
+            "{name} smoke records must replay the recorded fixture byte for byte"
+        );
+        fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}
+
+#[test]
+fn chaos_fault_free_records_reproduce_e16_bit_for_bit() {
+    // The fault-rate-0 acceptance gate for the flooding-side chaos
+    // scenarios: their fault-free rows must reproduce the corresponding
+    // async-flooding records exactly — same seed, same metric list, every
+    // value bit for bit. Fault rows must carry the extra fault columns the
+    // anchors never have.
+    let registry = registry();
+    let e16 = registry.get("async-flooding").unwrap();
+    let (e16_records, e16_path) = run_smoke(e16, "chaos-anchor-e16");
+    let sdgr_reference: Vec<&CellRecord> = e16_records.iter().filter(|r| r.net == "SDGR").collect();
+    assert!(!sdgr_reference.is_empty());
+
+    for (name, tag) in [
+        ("lossy-flooding", "chaos-lossy"),
+        ("partition-healing", "chaos-part"),
+    ] {
+        let scenario = registry.get(name).unwrap();
+        let (records, path) = run_smoke(scenario, tag);
+        let mut anchors = 0;
+        for record in records.iter().filter(|r| r.fault.is_none()) {
+            let reference = sdgr_reference
+                .iter()
+                .find(|r| r.seed == record.seed)
+                .unwrap_or_else(|| panic!("{name} fault-free cell has no E16 twin"));
+            assert_eq!(record.n, reference.n);
+            assert_eq!(record.trial, reference.trial);
+            assert_eq!(
+                record.metrics.len(),
+                reference.metrics.len(),
+                "{name} fault-free records must carry E16's exact metric schema"
+            );
+            for ((metric, value), (ref_metric, ref_value)) in
+                record.metrics.iter().zip(&reference.metrics)
+            {
+                assert_eq!(metric, ref_metric);
+                assert_eq!(
+                    value.to_bits(),
+                    ref_value.to_bits(),
+                    "{name} fault-free {metric} must match async-flooding bit for bit"
+                );
+            }
+            anchors += 1;
+        }
+        assert!(anchors > 0, "{name} smoke grid has no fault-free anchor");
+        // Fault rows carry the fault counter columns the anchors lack.
+        let faulty = records
+            .iter()
+            .find(|r| r.fault.is_some())
+            .expect("chaos scenarios have fault rows");
+        assert!(faulty.metric("messages_fault_lost").is_some());
+        assert!(faulty.metric("redundancy_overhead").is_some());
+        if name == "partition-healing" {
+            assert!(faulty.metric("time_to_reheal").is_some());
+            assert!(faulty.metric("partition_recovered").is_some());
+            assert!(faulty.metric("anti_entropy_pulls").is_some());
+        }
+        fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+    fs::remove_dir_all(e16_path.parent().unwrap()).ok();
+}
+
+#[test]
+fn crash_restart_fault_free_records_reproduce_e17_bit_for_bit() {
+    // Same gate on the RAES side: crash-restart-raes's fault-free row must
+    // reproduce async-raes-load's default-net record exactly, and its chaos
+    // rows must terminate (never wedge) while reporting the retry columns.
+    let registry = registry();
+    let e17 = registry.get("async-raes-load").unwrap();
+    let (e17_records, e17_path) = run_smoke(e17, "chaos-anchor-e17");
+
+    let scenario = registry.get("crash-restart-raes").unwrap();
+    let (records, path) = run_smoke(scenario, "chaos-crash");
+    let mut anchors = 0;
+    for record in records.iter().filter(|r| r.fault.is_none()) {
+        let reference = e17_records
+            .iter()
+            .find(|r| r.seed == record.seed)
+            .unwrap_or_else(|| panic!("crash-restart-raes fault-free cell has no E17 twin"));
+        assert_eq!(
+            record.metrics.len(),
+            reference.metrics.len(),
+            "fault-free records must carry E17's exact metric schema"
+        );
+        for ((metric, value), (ref_metric, ref_value)) in
+            record.metrics.iter().zip(&reference.metrics)
+        {
+            assert_eq!(metric, ref_metric);
+            assert_eq!(
+                value.to_bits(),
+                ref_value.to_bits(),
+                "crash-restart-raes fault-free {metric} must match async-raes-load bit for bit"
+            );
+        }
+        anchors += 1;
+    }
+    assert!(anchors > 0, "crash-restart-raes smoke grid has no anchor");
+    // The 30%-loss + crash row ran to completion (run_smoke asserts every
+    // cell executed) and reports the retry/crash accounting.
+    let chaotic = records
+        .iter()
+        .find(|r| r.fault.as_deref().is_some_and(|f| f.contains("loss")))
+        .expect("crash-restart-raes has a lossy chaos row");
+    assert!(chaotic.metric("retransmits").is_some());
+    assert!(chaotic.metric("retries_exhausted").is_some());
+    assert!(chaotic.metric("p99_backoff").is_some());
+    assert!(chaotic.metric("crashes").is_some());
+    fs::remove_dir_all(path.parent().unwrap()).ok();
+    fs::remove_dir_all(e17_path.parent().unwrap()).ok();
 }
 
 #[test]

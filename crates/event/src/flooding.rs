@@ -28,6 +28,7 @@ use churn_graph::{DenseHandle, DynamicGraph, NodeId};
 use churn_stochastic::rng::{substream_rng, SimRng};
 
 use crate::bandwidth::{BandwidthModel, EgressQueues, Enqueue};
+use crate::faults::{FaultPlan, FaultState};
 use crate::latency::LatencyModel;
 use crate::sched::{Scheduler, TraceEvent};
 use crate::stats::EventStats;
@@ -42,6 +43,12 @@ const TRACE_INFORMED: u16 = 1;
 const TRACE_DUPLICATE: u16 = 2;
 const TRACE_LOST: u16 = 3;
 const TRACE_CHURN: u16 = 4;
+const TRACE_BLOCKED: u16 = 5;
+const TRACE_DOWN: u16 = 6;
+const TRACE_CRASH: u16 = 7;
+const TRACE_RESTART: u16 = 8;
+const TRACE_PULL: u16 = 9;
+const TRACE_VOID: u16 = 10;
 
 /// Where the rumor starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,14 +141,23 @@ impl AsyncFloodingRecord {
 
 /// One scheduled event of the flooding process.
 enum Ev {
-    /// A rumor copy arrives at `target` (revalidated at delivery).
+    /// A rumor copy arrives at `target` (revalidated at delivery). `from`
+    /// and `departs` carry the sender identity and departure instant for
+    /// the fault layer's partition and crashed-sender checks.
     Deliver {
         target: DenseHandle,
         id: NodeId,
+        from: u64,
+        departs: f64,
         hop: u32,
     },
     /// Advance the network one churn unit.
     ChurnTick,
+    /// A crashed node comes back up (identity kept, rumor state lost).
+    Restart { target: DenseHandle, id: NodeId },
+    /// Periodic pull round: uninformed nodes ask a random peer for the
+    /// rumor — how floods survive a healed partition.
+    AntiEntropy,
 }
 
 /// The flooding state shared by the churning and the static driver.
@@ -151,14 +167,18 @@ struct Engine {
     egress: EgressQueues,
     stats: EventStats,
     rng: SimRng,
+    faults: FaultState,
     informed: HashSet<u64>,
     entries: Vec<(DenseHandle, NodeId)>,
     emergent_rounds: u32,
     completion_time: Option<f64>,
+    /// Time of the previous churn tick — the heal census fires on the
+    /// first tick at or past each partition's heal instant.
+    last_tick: f64,
 }
 
 impl Engine {
-    fn new(cfg: &AsyncFloodingConfig, seed: u64) -> Self {
+    fn new(cfg: &AsyncFloodingConfig, plan: &FaultPlan, seed: u64) -> Self {
         let mut sched = Scheduler::new();
         if cfg.record_trace {
             sched.enable_trace();
@@ -169,10 +189,12 @@ impl Engine {
             egress: EgressQueues::new(cfg.bandwidth),
             stats: EventStats::new(),
             rng: substream_rng(seed, LATENCY_STREAM),
+            faults: FaultState::new(plan.clone(), seed),
             informed: HashSet::new(),
             entries: Vec::new(),
             emergent_rounds: 0,
             completion_time: None,
+            last_tick: 0.0,
         }
     }
 
@@ -195,36 +217,78 @@ impl Engine {
                 } => {
                     self.stats.messages_sent += 1;
                     self.stats.record_queue_delay(queue_delay);
-                    let arrival = departs + self.latency.sample(&mut self.rng);
-                    self.sched.schedule_at(
-                        arrival,
-                        Ev::Deliver {
-                            target: graph
-                                .handle_at(target_idx)
-                                .expect("neighbors of an alive node are alive"),
-                            id: graph
-                                .id_at(target_idx)
-                                .expect("neighbors of an alive node are alive"),
-                            hop: hop + 1,
-                        },
-                    );
+                    let target = graph
+                        .handle_at(target_idx)
+                        .expect("neighbors of an alive node are alive");
+                    let target_id = graph
+                        .id_at(target_idx)
+                        .expect("neighbors of an alive node are alive");
+                    // Link fate first: a wire-lost message draws no latency,
+                    // so an empty plan leaves the latency stream untouched.
+                    let copies = self.faults.copies(id.raw(), target_id.raw());
+                    if copies == 0 {
+                        self.stats.messages_fault_lost += 1;
+                        continue;
+                    }
+                    if copies == 2 {
+                        self.stats.messages_duplicated += 1;
+                    }
+                    for _ in 0..copies {
+                        let held = self.faults.reorder_delay();
+                        if held > 0.0 {
+                            self.stats.messages_reordered += 1;
+                        }
+                        let arrival = departs + self.latency.sample(&mut self.rng) + held;
+                        self.sched.schedule_at(
+                            arrival,
+                            Ev::Deliver {
+                                target,
+                                id: target_id,
+                                from: id.raw(),
+                                departs,
+                                hop: hop + 1,
+                            },
+                        );
+                    }
                 }
             }
         }
     }
 
     /// Processes one delivery; returns `true` when a new node was informed.
+    #[allow(clippy::too_many_arguments)]
     fn deliver(
         &mut self,
         graph: &DynamicGraph,
         target: DenseHandle,
         id: NodeId,
+        from: u64,
+        departs: f64,
         hop: u32,
         now: f64,
     ) -> bool {
         if !graph.is_current(target) {
             self.stats.messages_lost += 1;
             self.sched.record(TRACE_LOST, id.raw());
+            return false;
+        }
+        // Fault-layer gates, all no-ops under an empty plan: a departure
+        // inside the sender's down window was still queued at the crash and
+        // never reached the wire; an active partition cuts the link; a
+        // crashed target holds no protocol state to receive into.
+        if self.faults.was_down_at(from, departs) {
+            self.stats.messages_crash_voided += 1;
+            self.sched.record(TRACE_VOID, id.raw());
+            return false;
+        }
+        if self.faults.blocked(now, from, id.raw()) {
+            self.stats.messages_blocked += 1;
+            self.sched.record(TRACE_BLOCKED, id.raw());
+            return false;
+        }
+        if self.faults.is_down(id.raw()) {
+            self.stats.messages_to_down += 1;
+            self.sched.record(TRACE_DOWN, id.raw());
             return false;
         }
         self.stats.messages_delivered += 1;
@@ -254,10 +318,141 @@ impl Engine {
         }
     }
 
+    /// Injects this tick's crashes: each victim loses its queued egress and
+    /// its rumor state but keeps its identity, and a restart is scheduled
+    /// after a drawn downtime.
+    fn crash_sweep(&mut self, graph: &DynamicGraph, now: f64) {
+        let crashes = self.faults.crash_count(graph.len());
+        for _ in 0..crashes {
+            let Some(idx) = graph.sample_member(self.faults.rng()) else {
+                break;
+            };
+            let id = graph.id_at(idx).expect("sampled members are alive");
+            if self.faults.is_down(id.raw()) {
+                continue; // already down — the crash lands on a dead machine
+            }
+            let downtime = self.faults.downtime();
+            self.faults.mark_down(id.raw(), now);
+            self.sched.record(TRACE_CRASH, id.raw());
+            self.egress.forget(id.raw());
+            if self.informed.remove(&id.raw()) {
+                self.entries.retain(|&(_, entry_id)| entry_id != id);
+            }
+            let target = graph.handle_at(idx).expect("sampled members are alive");
+            self.sched
+                .schedule_at(now + downtime, Ev::Restart { target, id });
+        }
+    }
+
+    /// Brings a crashed node back up — unless churn killed it first, in
+    /// which case the restart is void and the node is forgotten.
+    fn restart(&mut self, graph: &DynamicGraph, target: DenseHandle, id: NodeId, now: f64) {
+        if !graph.is_current(target) {
+            self.faults.forget(id.raw());
+            return;
+        }
+        if self.faults.mark_up(id.raw(), now) {
+            self.sched.record(TRACE_RESTART, id.raw());
+        }
+    }
+
+    /// One pull round: every uninformed alive node asks one uniformly
+    /// random peer for the rumor. A pull succeeds when the partner is
+    /// informed, up, and on the same side of every active partition; the
+    /// response pays the link faults and a latency draw like any message.
+    fn anti_entropy(&mut self, graph: &DynamicGraph, now: f64) {
+        for &idx in graph.member_indices() {
+            let id = graph.id_at(idx).expect("members are alive");
+            if self.informed.contains(&id.raw()) || self.faults.is_down(id.raw()) {
+                continue;
+            }
+            let Some(partner_idx) = graph.sample_member(self.faults.rng()) else {
+                continue;
+            };
+            if partner_idx == idx {
+                continue; // self-pull finds nothing new
+            }
+            let partner = graph.id_at(partner_idx).expect("members are alive");
+            if !self.informed.contains(&partner.raw())
+                || self.faults.is_down(partner.raw())
+                || self.faults.blocked(now, partner.raw(), id.raw())
+            {
+                continue;
+            }
+            let copies = self.faults.copies(partner.raw(), id.raw());
+            if copies == 0 {
+                self.stats.messages_fault_lost += 1;
+                continue;
+            }
+            self.stats.anti_entropy_pulls += 1;
+            self.sched.record(TRACE_PULL, id.raw());
+            if copies == 2 {
+                self.stats.messages_duplicated += 1;
+            }
+            let target = graph.handle_at(idx).expect("members are alive");
+            for _ in 0..copies {
+                let held = self.faults.reorder_delay();
+                if held > 0.0 {
+                    self.stats.messages_reordered += 1;
+                }
+                let arrival = now + self.latency.sample(&mut self.rng) + held;
+                self.sched.schedule_at(
+                    arrival,
+                    Ev::Deliver {
+                        target,
+                        id,
+                        from: partner.raw(),
+                        departs: now,
+                        hop: self.emergent_rounds + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Records the per-block informed fractions at the first churn tick at
+    /// or past each partition's heal instant — the state anti-entropy has
+    /// to recover from.
+    fn heal_census(&mut self, graph: &DynamicGraph, now: f64) {
+        if self.faults.plan().partitions.is_empty() {
+            return;
+        }
+        let windows = self.faults.plan().partitions.clone();
+        for (w_idx, window) in windows.iter().enumerate() {
+            if window.heal <= self.last_tick || window.heal > now {
+                continue;
+            }
+            let blocks = window.blocks as usize;
+            let mut informed = vec![0usize; blocks];
+            let mut alive = vec![0usize; blocks];
+            for &idx in graph.member_indices() {
+                let id = graph.id_at(idx).expect("members are alive");
+                let block = self.faults.plan().block_of(w_idx, id.raw()) as usize;
+                alive[block] += 1;
+                if self.informed.contains(&id.raw()) {
+                    informed[block] += 1;
+                }
+            }
+            self.stats.heal_block_informed = informed
+                .iter()
+                .zip(&alive)
+                .map(|(&inf, &pop)| inf as f64 / pop.max(1) as f64)
+                .collect();
+            self.stats.heal_time = Some(window.heal);
+        }
+    }
+
     fn into_record(mut self, alive: usize) -> AsyncFloodingRecord {
         self.stats.events_processed = self.sched.processed();
         self.stats.peak_backlog = self.egress.peak_backlog() as u64;
         self.stats.sim_time = self.sched.now();
+        self.stats.crashes = self.faults.crashes();
+        self.stats.restarts = self.faults.restarts();
+        if let (Some(done), Some(heal)) = (self.completion_time, self.stats.heal_time) {
+            if done >= heal {
+                self.stats.time_to_reheal = Some(done - heal);
+            }
+        }
         let mut informed_ids: Vec<NodeId> = self.entries.iter().map(|&(_, id)| id).collect();
         informed_ids.sort_unstable();
         AsyncFloodingRecord {
@@ -292,12 +487,36 @@ pub fn run_async_flooding<N: DynamicNetwork>(
     cfg: &AsyncFloodingConfig,
     seed: u64,
 ) -> AsyncFloodingRecord {
+    run_async_flooding_faulty(net, source, cfg, &FaultPlan::none(), seed)
+}
+
+/// Runs asynchronous flooding over a dynamic network under a fault plan.
+///
+/// Identical to [`run_async_flooding`] plus the fault layer: link faults
+/// and partitions gate each delivery, crashes are injected at churn ticks
+/// (a crashed node loses queued egress and rumor state, keeps its identity,
+/// and restarts after a drawn downtime), and — when the plan enables it —
+/// periodic anti-entropy pull rounds let the flood complete after a
+/// partition heals. All fault randomness lives on a dedicated substream of
+/// `seed`, so an empty plan is RNG-stream-identical to the plain engine.
+///
+/// # Panics
+///
+/// Panics if the config or the plan is invalid, or the source is not alive.
+pub fn run_async_flooding_faulty<N: DynamicNetwork>(
+    net: &mut N,
+    source: AsyncSource,
+    cfg: &AsyncFloodingConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> AsyncFloodingRecord {
     cfg.validate().expect("invalid async flooding config");
+    plan.validate().expect("invalid fault plan");
     let source_id = match source {
         AsyncSource::Node(id) => id,
         AsyncSource::Newest => net.newest_node().expect("network has a newest node"),
     };
-    let mut engine = Engine::new(cfg, seed);
+    let mut engine = Engine::new(cfg, plan, seed);
     let source_idx = net
         .graph()
         .dense_index_of(source_id)
@@ -308,14 +527,25 @@ pub fn run_async_flooding<N: DynamicNetwork>(
     if cfg.churn && cfg.horizon >= 0.5 {
         engine.sched.schedule_at(0.5, Ev::ChurnTick);
     }
+    if let Some(interval) = plan.anti_entropy {
+        if interval <= cfg.horizon {
+            engine.sched.schedule_at(interval, Ev::AntiEntropy);
+        }
+    }
     while let Some(time) = engine.sched.peek_time() {
         if time > cfg.horizon {
             break;
         }
         let (now, event) = engine.sched.pop().expect("peeked event exists");
         match event {
-            Ev::Deliver { target, id, hop } => {
-                if engine.deliver(net.graph(), target, id, hop, now) {
+            Ev::Deliver {
+                target,
+                id,
+                from,
+                departs,
+                hop,
+            } => {
+                if engine.deliver(net.graph(), target, id, from, departs, hop, now) {
                     engine.note_completion(net.alive_count(), now);
                 }
             }
@@ -323,9 +553,26 @@ pub fn run_async_flooding<N: DynamicNetwork>(
                 net.advance_time_unit();
                 engine.revalidate(net.graph());
                 engine.sched.record(TRACE_CHURN, net.alive_count() as u64);
+                engine.heal_census(net.graph(), now);
+                engine.crash_sweep(net.graph(), now);
                 engine.note_completion(net.alive_count(), now);
+                engine.last_tick = now;
                 if now + 1.0 <= cfg.horizon {
                     engine.sched.schedule_at(now + 1.0, Ev::ChurnTick);
+                }
+            }
+            Ev::Restart { target, id } => {
+                engine.restart(net.graph(), target, id, now);
+            }
+            Ev::AntiEntropy => {
+                if engine.completion_time.is_none() {
+                    engine.anti_entropy(net.graph(), now);
+                    let interval = plan
+                        .anti_entropy
+                        .expect("anti-entropy event implies interval");
+                    if now + interval <= cfg.horizon {
+                        engine.sched.schedule_at(now + interval, Ev::AntiEntropy);
+                    }
                 }
             }
         }
@@ -349,26 +596,70 @@ pub fn run_async_flooding_static(
     cfg: &AsyncFloodingConfig,
     seed: u64,
 ) -> AsyncFloodingRecord {
+    run_async_flooding_static_faulty(graph, source, cfg, &FaultPlan::none(), seed)
+}
+
+/// Runs asynchronous flooding over a static graph under a fault plan.
+///
+/// Link faults, partitions and anti-entropy apply as in
+/// [`run_async_flooding_faulty`]; crash–restart is driven by churn ticks
+/// and therefore inert on static runs.
+///
+/// # Panics
+///
+/// Panics if the config or the plan is invalid, or `source` is not in the
+/// graph.
+pub fn run_async_flooding_static_faulty(
+    graph: &DynamicGraph,
+    source: NodeId,
+    cfg: &AsyncFloodingConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> AsyncFloodingRecord {
     cfg.validate().expect("invalid async flooding config");
-    let mut engine = Engine::new(cfg, seed);
+    plan.validate().expect("invalid fault plan");
+    let mut engine = Engine::new(cfg, plan, seed);
     let source_idx = graph
         .dense_index_of(source)
         .expect("flooding source is in the graph");
     engine.sched.record(TRACE_INFORMED, source.raw());
     engine.inform(graph, source_idx, 0, 0.0);
     engine.note_completion(graph.len(), 0.0);
+    if let Some(interval) = plan.anti_entropy {
+        if interval <= cfg.horizon {
+            engine.sched.schedule_at(interval, Ev::AntiEntropy);
+        }
+    }
     while let Some(time) = engine.sched.peek_time() {
         if time > cfg.horizon {
             break;
         }
         let (now, event) = engine.sched.pop().expect("peeked event exists");
         match event {
-            Ev::Deliver { target, id, hop } => {
-                if engine.deliver(graph, target, id, hop, now) {
+            Ev::Deliver {
+                target,
+                id,
+                from,
+                departs,
+                hop,
+            } => {
+                if engine.deliver(graph, target, id, from, departs, hop, now) {
                     engine.note_completion(graph.len(), now);
                 }
             }
             Ev::ChurnTick => unreachable!("static runs schedule no churn ticks"),
+            Ev::Restart { .. } => unreachable!("static runs inject no crashes"),
+            Ev::AntiEntropy => {
+                if engine.completion_time.is_none() {
+                    engine.anti_entropy(graph, now);
+                    let interval = plan
+                        .anti_entropy
+                        .expect("anti-entropy event implies interval");
+                    if now + interval <= cfg.horizon {
+                        engine.sched.schedule_at(now + interval, Ev::AntiEntropy);
+                    }
+                }
+            }
         }
     }
     engine.into_record(graph.len())
@@ -425,6 +716,86 @@ mod tests {
         assert!(record.complete);
         assert_eq!(record.emergent_rounds, 3);
         assert_eq!(record.completion_time, Some(3.0));
+    }
+
+    #[test]
+    fn full_loss_informs_only_the_source() {
+        let mut rng = seeded_rng(5);
+        let graph = d_out_random_graph(64, 3, &mut rng);
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(0.5),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: 32.0,
+            churn: false,
+            record_trace: false,
+        };
+        let mut plan = FaultPlan::none();
+        plan.loss = crate::faults::LossModel::Iid { p: 1.0 };
+        let record = run_async_flooding_static_faulty(&graph, NodeId::new(0), &cfg, &plan, 7);
+        assert_eq!(record.informed, 1, "every copy dies on the wire");
+        assert_eq!(record.stats.messages_fault_lost, record.stats.messages_sent);
+        assert_eq!(record.stats.messages_delivered, 0);
+        // The 100%-loss regime is exactly the empty-sample percentile case.
+        assert!(record.stats.p99_queue_delay().is_finite());
+    }
+
+    #[test]
+    fn duplication_doubles_copies_but_informs_the_same_set() {
+        let mut rng = seeded_rng(6);
+        let graph = d_out_random_graph(64, 3, &mut rng);
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(0.5),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: 64.0,
+            churn: false,
+            record_trace: false,
+        };
+        let baseline = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 7);
+        let mut plan = FaultPlan::none();
+        plan.duplicate_p = 1.0;
+        let doubled = run_async_flooding_static_faulty(&graph, NodeId::new(0), &cfg, &plan, 7);
+        assert_eq!(
+            doubled.stats.messages_duplicated,
+            doubled.stats.messages_sent
+        );
+        assert_eq!(
+            doubled.informed_ids(),
+            baseline.informed_ids(),
+            "delivery is idempotent: duplicates change load, not coverage"
+        );
+    }
+
+    #[test]
+    fn partition_stalls_flood_until_anti_entropy_after_heal() {
+        let mut rng = seeded_rng(9);
+        let graph = d_out_random_graph(64, 4, &mut rng);
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(0.25),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: 128.0,
+            churn: false,
+            record_trace: false,
+        };
+        // Partition from the start; heal at t = 8; pull every unit.
+        let mut plan = FaultPlan::none();
+        plan.partitions.push(crate::faults::PartitionWindow {
+            start: 0.0,
+            heal: 8.0,
+            blocks: 2,
+        });
+        plan.anti_entropy = Some(1.0);
+        let record = run_async_flooding_static_faulty(&graph, NodeId::new(0), &cfg, &plan, 7);
+        assert!(record.complete, "anti-entropy completes the flood");
+        let done = record.completion_time.expect("complete run has a time");
+        assert!(
+            done >= 8.0,
+            "the minority block cannot be informed before the heal (done at {done})"
+        );
+        assert!(record.stats.anti_entropy_pulls > 0);
+        assert!(
+            record.stats.messages_blocked > 0,
+            "the push phase hit the wall"
+        );
     }
 
     #[test]

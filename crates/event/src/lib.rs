@@ -38,6 +38,11 @@
 //!   p99 queue delay in *simulated* time. (Wall-clock throughput is
 //!   measured by the caller — it is machine-dependent and must stay out of
 //!   the deterministic record.)
+//! * [`faults`] — seeded, deterministic fault injection ([`FaultPlan`],
+//!   [`FaultState`]): per-link loss (i.i.d. or Gilbert–Elliott bursts),
+//!   duplication, bounded reordering, scheduled partitions enforced at
+//!   delivery time, and node crash–restart — all on a dedicated RNG
+//!   substream, so an empty plan is stream-identical to no fault layer.
 //! * [`flooding`] — asynchronous flooding: a node forwards when a message
 //!   *arrives*; works over any [`churn_core::DynamicNetwork`] (churn ticks
 //!   plug in through the model's own driver hooks) or over a static
@@ -50,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod faults;
 pub mod flooding;
 pub mod latency;
 pub mod raes;
@@ -57,11 +63,14 @@ pub mod sched;
 pub mod stats;
 
 pub use bandwidth::{BandwidthModel, EgressQueues, Enqueue, OverflowPolicy};
+pub use faults::{CrashRestart, FaultPlan, FaultState, LossModel, PartitionWindow};
 pub use flooding::{
-    run_async_flooding, run_async_flooding_static, AsyncFloodingConfig, AsyncFloodingRecord,
-    AsyncSource,
+    run_async_flooding, run_async_flooding_faulty, run_async_flooding_static,
+    run_async_flooding_static_faulty, AsyncFloodingConfig, AsyncFloodingRecord, AsyncSource,
 };
 pub use latency::LatencyModel;
-pub use raes::{run_async_raes, AsyncRaesConfig, AsyncRaesRecord, FloodSummary};
+pub use raes::{
+    run_async_raes, run_async_raes_faulty, AsyncRaesConfig, AsyncRaesRecord, FloodSummary,
+};
 pub use sched::{Scheduler, TraceEvent};
 pub use stats::EventStats;

@@ -37,6 +37,7 @@ use churn_graph::{DenseHandle, DynamicGraph, NodeId, RemovedNode};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
 use crate::bandwidth::{BandwidthModel, EgressQueues, Enqueue};
+use crate::faults::{FaultPlan, FaultState};
 use crate::latency::LatencyModel;
 use crate::sched::{Scheduler, TraceEvent};
 use crate::stats::{percentile, EventStats};
@@ -47,6 +48,9 @@ const TRACE_REQUEST: u16 = 11;
 const TRACE_REPLY: u16 = 12;
 const TRACE_REPAIRED: u16 = 13;
 const TRACE_FLOOD: u16 = 14;
+const TRACE_CRASH: u16 = 15;
+const TRACE_RESTART: u16 = 16;
+const TRACE_SHED: u16 = 17;
 
 /// Configuration of one asynchronous RAES run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +73,19 @@ pub struct AsyncRaesConfig {
     /// Retransmit a repair request when no reply arrived within this time
     /// (checked at churn ticks).
     pub retry_timeout: f64,
+    /// Exponential-backoff factor: the `k`-th retransmission waits
+    /// `retry_timeout · backoff_factor^k`. The default `1.0` reproduces the
+    /// constant-timeout policy bit-exactly.
+    pub backoff_factor: f64,
+    /// Jitter fraction on each backoff timeout (`0.0` = none, drawn
+    /// uniformly in `±jitter·timeout` when positive; a zero jitter draws no
+    /// randomness).
+    pub backoff_jitter: f64,
+    /// Maximum retransmissions per dangling slot before the repair is shed
+    /// (graceful degradation — counted in
+    /// [`EventStats::retries_exhausted`], never wedging the run). The
+    /// default `u32::MAX` never sheds.
+    pub retry_budget: u32,
     /// Record the event trace (determinism suite; off in production runs).
     pub record_trace: bool,
 }
@@ -88,6 +105,9 @@ impl AsyncRaesConfig {
             horizon: (4 * n) as f64,
             flood_at: Some((n / 4) as f64),
             retry_timeout: 8.0,
+            backoff_factor: 1.0,
+            backoff_jitter: 0.0,
+            retry_budget: u32::MAX,
             record_trace: false,
         }
     }
@@ -123,6 +143,15 @@ impl AsyncRaesConfig {
         }
         if !(self.retry_timeout > 0.0 && self.retry_timeout.is_finite()) {
             return Err(format!("invalid retry timeout {}", self.retry_timeout));
+        }
+        if !(self.backoff_factor >= 1.0 && self.backoff_factor.is_finite()) {
+            return Err(format!("invalid backoff factor {}", self.backoff_factor));
+        }
+        if !((0.0..1.0).contains(&self.backoff_jitter)) {
+            return Err(format!("invalid backoff jitter {}", self.backoff_jitter));
+        }
+        if self.retry_budget == 0 {
+            return Err("retry budget must be at least 1".to_string());
         }
         if let Some(at) = self.flood_at {
             if !at.is_finite() || at < 0.0 {
@@ -177,7 +206,8 @@ pub struct AsyncRaesRecord {
     pub trace: Vec<TraceEvent>,
 }
 
-/// One scheduled event.
+/// One scheduled event. `departs` on the message events carries the
+/// departure instant for the fault layer's crashed-sender check.
 enum Ev {
     /// One streaming churn round (death + birth) plus the retry sweep.
     ChurnTick,
@@ -188,14 +218,17 @@ enum Ev {
         slot: u32,
         target: DenseHandle,
         target_id: NodeId,
+        departs: f64,
     },
     /// The target's answer arrives back at `owner`.
     Reply {
         owner: DenseHandle,
+        owner_id: NodeId,
         slot: u32,
         target: DenseHandle,
         target_id: NodeId,
         accept: bool,
+        departs: f64,
     },
     /// Inject the flood at the newest alive node.
     FloodStart,
@@ -203,8 +236,13 @@ enum Ev {
     Flood {
         target: DenseHandle,
         id: NodeId,
+        from: u64,
+        departs: f64,
         hop: u32,
     },
+    /// A crashed node comes back up (identity kept, pending repairs lost
+    /// at the crash are rediscovered by rescanning its out-slots).
+    Restart { target: DenseHandle, id: NodeId },
 }
 
 /// A dangling out-slot awaiting repair.
@@ -218,6 +256,9 @@ struct PendingSlot {
     in_flight: bool,
     /// Retransmit when `now` passes this with no reply.
     deadline: f64,
+    /// Timeout-driven retransmissions so far (counted against
+    /// [`AsyncRaesConfig::retry_budget`]).
+    retries: u32,
 }
 
 struct Raes {
@@ -228,6 +269,7 @@ struct Raes {
     sched: Scheduler<Ev>,
     egress: EgressQueues,
     stats: EventStats,
+    faults: FaultState,
     order: VecDeque<(NodeId, u32)>,
     next_id: u64,
     pending: Vec<PendingSlot>,
@@ -265,6 +307,7 @@ impl ChurnHost for Raes {
                 since: time,
                 in_flight: false,
                 deadline: 0.0,
+                retries: 0,
             });
         }
         (id, idx)
@@ -288,6 +331,7 @@ impl ChurnHost for Raes {
                 since: time,
                 in_flight: false,
                 deadline: 0.0,
+                retries: 0,
             });
         }
         self.removal_scratch = removed;
@@ -299,7 +343,7 @@ impl ChurnHost for Raes {
 }
 
 impl Raes {
-    fn new(cfg: AsyncRaesConfig, seed: u64) -> Self {
+    fn new(cfg: AsyncRaesConfig, plan: &FaultPlan, seed: u64) -> Self {
         let rng = seeded_rng(seed);
         // Start empty and spawn the initial population through the same
         // join path churn uses: every node's d connect requests are capped
@@ -317,6 +361,7 @@ impl Raes {
             sched,
             egress: EgressQueues::new(cfg.bandwidth),
             stats: EventStats::new(),
+            faults: FaultState::new(plan.clone(), seed),
             order: VecDeque::with_capacity(cfg.n + 1),
             next_id: 0,
             pending: Vec::new(),
@@ -356,8 +401,27 @@ impl Raes {
         }
     }
 
-    /// Sends (or resends) the request of `pending[i]`.
+    /// The timeout of the `retries`-th retransmission:
+    /// `retry_timeout · backoff_factor^retries`, plus jitter when enabled.
+    /// The identity defaults (`factor = 1.0`, `jitter = 0.0`) reproduce the
+    /// constant timeout bit-exactly and draw no randomness.
+    fn backoff_timeout(&mut self, retries: u32) -> f64 {
+        let base = self.cfg.retry_timeout * self.cfg.backoff_factor.powi(retries as i32);
+        if self.cfg.backoff_jitter > 0.0 {
+            let u: f64 = rand::Rng::gen(&mut self.rng);
+            base * (1.0 + self.cfg.backoff_jitter * (2.0 * u - 1.0))
+        } else {
+            base
+        }
+    }
+
+    /// Sends (or resends) the request of `pending[i]`, arming its timeout.
     fn send_request(&mut self, i: usize, now: f64) {
+        let timeout = self.backoff_timeout(self.pending[i].retries);
+        self.send_request_with_timeout(i, now, timeout);
+    }
+
+    fn send_request_with_timeout(&mut self, i: usize, now: f64, timeout: f64) {
         let (owner, owner_id, slot) = {
             let p = &self.pending[i];
             (p.owner, p.owner_id, p.slot)
@@ -381,7 +445,7 @@ impl Raes {
                 self.stats.messages_dropped += 1;
                 let p = &mut self.pending[i];
                 p.in_flight = false;
-                p.deadline = now + self.cfg.retry_timeout;
+                p.deadline = now + timeout;
             }
             Enqueue::Sent {
                 departs,
@@ -390,37 +454,75 @@ impl Raes {
                 self.stats.messages_sent += 1;
                 self.stats.record_queue_delay(queue_delay);
                 self.repair_requests += 1;
-                let arrival = departs + self.cfg.latency.sample(&mut self.rng);
-                self.sched.schedule_at(
-                    arrival,
-                    Ev::Request {
-                        owner,
-                        owner_id,
-                        slot,
-                        target,
-                        target_id,
-                    },
-                );
+                let copies = self.faults.copies(owner_id.raw(), target_id.raw());
+                if copies == 0 {
+                    self.stats.messages_fault_lost += 1;
+                } else {
+                    if copies == 2 {
+                        self.stats.messages_duplicated += 1;
+                    }
+                    for _ in 0..copies {
+                        let held = self.faults.reorder_delay();
+                        if held > 0.0 {
+                            self.stats.messages_reordered += 1;
+                        }
+                        let arrival = departs + self.cfg.latency.sample(&mut self.rng) + held;
+                        self.sched.schedule_at(
+                            arrival,
+                            Ev::Request {
+                                owner,
+                                owner_id,
+                                slot,
+                                target,
+                                target_id,
+                                departs,
+                            },
+                        );
+                    }
+                }
                 let p = &mut self.pending[i];
                 p.in_flight = true;
-                p.deadline = now + self.cfg.retry_timeout;
+                p.deadline = now + timeout;
             }
         }
     }
 
     /// Drops dead owners from the pending list, then (re)sends every slot
-    /// with no live request on the wire.
+    /// with no live request on the wire. Timed-out slots pay their retry
+    /// budget: exhausted repairs are shed (counted, removed — the run never
+    /// wedges on them), the rest retransmit with exponential backoff. Down
+    /// owners wait out their crash.
     fn sweep_pending(&mut self, now: f64) {
         let graph = &self.graph;
         self.pending.retain(|p| graph.is_current(p.owner));
-        for i in 0..self.pending.len() {
+        let mut i = 0;
+        while i < self.pending.len() {
             let p = &self.pending[i];
-            if !p.in_flight || now >= p.deadline {
+            if self.faults.is_down(p.owner_id.raw()) {
+                i += 1;
+                continue;
+            }
+            let timed_out = p.in_flight && now >= p.deadline;
+            if timed_out {
+                if p.retries >= self.cfg.retry_budget {
+                    let shed = self.pending.swap_remove(i);
+                    self.stats.retries_exhausted += 1;
+                    self.stats.record_repair_retries(shed.retries);
+                    self.sched.record(TRACE_SHED, shed.owner_id.raw());
+                    continue; // swap_remove moved a new entry into i
+                }
+                self.pending[i].retries += 1;
+                let timeout = self.backoff_timeout(self.pending[i].retries);
+                self.stats.record_retransmit(timeout);
+                self.send_request_with_timeout(i, now, timeout);
+            } else if !p.in_flight {
                 self.send_request(i, now);
             }
+            i += 1;
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_request(
         &mut self,
         now: f64,
@@ -429,11 +531,28 @@ impl Raes {
         slot: u32,
         target: DenseHandle,
         target_id: NodeId,
+        request_departs: f64,
     ) {
         self.sched.record(TRACE_REQUEST, target_id.raw());
         if !self.graph.is_current(target) {
             self.stats.messages_lost += 1;
             self.phantoms += 1;
+            return;
+        }
+        // Fault gates (all no-ops under an empty plan): a request whose
+        // departure fell in the owner's down window was still queued at the
+        // crash; partitions cut the link; a crashed target cannot answer.
+        // The owner's ack-timeout recovers every one of these.
+        if self.faults.was_down_at(owner_id.raw(), request_departs) {
+            self.stats.messages_crash_voided += 1;
+            return;
+        }
+        if self.faults.blocked(now, owner_id.raw(), target_id.raw()) {
+            self.stats.messages_blocked += 1;
+            return;
+        }
+        if self.faults.is_down(target_id.raw()) {
+            self.stats.messages_to_down += 1;
             return;
         }
         self.stats.messages_delivered += 1;
@@ -461,30 +580,52 @@ impl Raes {
             } => {
                 self.stats.messages_sent += 1;
                 self.stats.record_queue_delay(queue_delay);
-                let arrival = departs + self.cfg.latency.sample(&mut self.rng);
-                self.sched.schedule_at(
-                    arrival,
-                    Ev::Reply {
-                        owner,
-                        slot,
-                        target,
-                        target_id,
-                        accept,
-                    },
-                );
+                let copies = self.faults.copies(target_id.raw(), owner_id.raw());
+                if copies == 0 {
+                    self.stats.messages_fault_lost += 1;
+                    if accept {
+                        // The accept died on the wire; the owner times out.
+                        self.release_reservation(target_id.raw());
+                    }
+                    return;
+                }
+                if copies == 2 {
+                    self.stats.messages_duplicated += 1;
+                }
+                for _ in 0..copies {
+                    let held = self.faults.reorder_delay();
+                    if held > 0.0 {
+                        self.stats.messages_reordered += 1;
+                    }
+                    let arrival = departs + self.cfg.latency.sample(&mut self.rng) + held;
+                    self.sched.schedule_at(
+                        arrival,
+                        Ev::Reply {
+                            owner,
+                            owner_id,
+                            slot,
+                            target,
+                            target_id,
+                            accept,
+                            departs,
+                        },
+                    );
+                }
             }
         }
-        let _ = owner_id;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_reply(
         &mut self,
         now: f64,
         owner: DenseHandle,
+        owner_id: NodeId,
         slot: u32,
         target: DenseHandle,
         target_id: NodeId,
         accept: bool,
+        reply_departs: f64,
     ) {
         self.sched.record(TRACE_REPLY, target_id.raw());
         if accept {
@@ -492,6 +633,18 @@ impl Raes {
         }
         if !self.graph.is_current(owner) {
             self.stats.messages_lost += 1;
+            return;
+        }
+        if self.faults.was_down_at(target_id.raw(), reply_departs) {
+            self.stats.messages_crash_voided += 1;
+            return;
+        }
+        if self.faults.blocked(now, target_id.raw(), owner_id.raw()) {
+            self.stats.messages_blocked += 1;
+            return;
+        }
+        if self.faults.is_down(owner_id.raw()) {
+            self.stats.messages_to_down += 1;
             return;
         }
         self.stats.messages_delivered += 1;
@@ -507,6 +660,7 @@ impl Raes {
                 .set_out_slot_at(owner.index, slot as usize, target.index)
                 .expect("owner and target are alive and the slot exists");
             let since = self.pending[i].since;
+            self.stats.record_repair_retries(self.pending[i].retries);
             self.pending.swap_remove(i);
             self.repairs_completed += 1;
             self.repair_times.push(now - since);
@@ -553,23 +707,59 @@ impl Raes {
                 } => {
                     self.stats.messages_sent += 1;
                     self.stats.record_queue_delay(queue_delay);
-                    let arrival = departs + self.cfg.latency.sample(&mut self.rng);
-                    self.sched.schedule_at(
-                        arrival,
-                        Ev::Flood {
-                            target,
-                            id: target_id,
-                            hop: hop + 1,
-                        },
-                    );
+                    let copies = self.faults.copies(id.raw(), target_id.raw());
+                    if copies == 0 {
+                        self.stats.messages_fault_lost += 1;
+                        continue;
+                    }
+                    if copies == 2 {
+                        self.stats.messages_duplicated += 1;
+                    }
+                    for _ in 0..copies {
+                        let held = self.faults.reorder_delay();
+                        if held > 0.0 {
+                            self.stats.messages_reordered += 1;
+                        }
+                        let arrival = departs + self.cfg.latency.sample(&mut self.rng) + held;
+                        self.sched.schedule_at(
+                            arrival,
+                            Ev::Flood {
+                                target,
+                                id: target_id,
+                                from: id.raw(),
+                                departs,
+                                hop: hop + 1,
+                            },
+                        );
+                    }
                 }
             }
         }
     }
 
-    fn on_flood(&mut self, now: f64, target: DenseHandle, id: NodeId, hop: u32) {
+    fn on_flood(
+        &mut self,
+        now: f64,
+        target: DenseHandle,
+        id: NodeId,
+        from: u64,
+        departs: f64,
+        hop: u32,
+    ) {
         if !self.graph.is_current(target) {
             self.stats.messages_lost += 1;
+            return;
+        }
+        if self.faults.was_down_at(from, departs) {
+            self.stats.messages_crash_voided += 1;
+            return;
+        }
+        if self.faults.blocked(now, from, id.raw()) {
+            self.stats.messages_blocked += 1;
+            return;
+        }
+        if self.faults.is_down(id.raw()) {
+            self.stats.messages_to_down += 1;
             return;
         }
         self.stats.messages_delivered += 1;
@@ -599,9 +789,80 @@ impl Raes {
             }
             alive
         });
+        self.crash_sweep(now);
         self.sweep_pending(now);
         if now + 1.0 <= self.cfg.horizon {
             self.sched.schedule_at(now + 1.0, Ev::ChurnTick);
+        }
+    }
+
+    /// Injects this tick's crashes: a victim loses its queued egress, its
+    /// pending repairs and its flood mark, keeps its identity, and restarts
+    /// after a drawn downtime (repairs are rediscovered then).
+    fn crash_sweep(&mut self, now: f64) {
+        let crashes = self.faults.crash_count(self.graph.len());
+        for _ in 0..crashes {
+            let Some(idx) = self.graph.sample_member(self.faults.rng()) else {
+                break;
+            };
+            let id = self.graph.id_at(idx).expect("sampled members are alive");
+            if self.faults.is_down(id.raw()) {
+                continue; // already down — the crash lands on a dead machine
+            }
+            let downtime = self.faults.downtime();
+            self.faults.mark_down(id.raw(), now);
+            self.sched.record(TRACE_CRASH, id.raw());
+            self.egress.forget(id.raw());
+            // In-flight protocol state is lost: pending repairs it owned
+            // and in-flight accepts reserved against it.
+            self.pending.retain(|p| p.owner_id != id);
+            self.reserved.remove(&id.raw());
+            if self.informed.remove(&id.raw()) {
+                self.flood_entries.retain(|&(_, entry_id)| entry_id != id);
+            }
+            let target = self
+                .graph
+                .handle_at(idx)
+                .expect("sampled members are alive");
+            self.sched
+                .schedule_at(now + downtime, Ev::Restart { target, id });
+        }
+    }
+
+    /// Brings a crashed node back up (unless churn killed it first) and
+    /// rediscovers its dangling out-slots, re-triggering RAES repair for
+    /// the state the crash destroyed.
+    fn on_restart(&mut self, now: f64, target: DenseHandle, id: NodeId) {
+        if !self.graph.is_current(target) {
+            self.faults.forget(id.raw());
+            return;
+        }
+        if !self.faults.mark_up(id.raw(), now) {
+            return;
+        }
+        self.sched.record(TRACE_RESTART, id.raw());
+        let dangling: Vec<u32> = self
+            .graph
+            .out_slot_targets_at(target.index)
+            .enumerate()
+            .filter_map(|(slot, filled)| filled.is_none().then_some(slot as u32))
+            .collect();
+        for slot in dangling {
+            let already = self
+                .pending
+                .iter()
+                .any(|p| p.owner_id == id && p.slot == slot);
+            if !already {
+                self.pending.push(PendingSlot {
+                    owner: target,
+                    owner_id: id,
+                    slot,
+                    since: now,
+                    in_flight: false,
+                    deadline: 0.0,
+                    retries: 0,
+                });
+            }
         }
     }
 
@@ -629,14 +890,19 @@ impl Raes {
                     slot,
                     target,
                     target_id,
-                } => self.on_request(now, owner, owner_id, slot, target, target_id),
+                    departs,
+                } => self.on_request(now, owner, owner_id, slot, target, target_id, departs),
                 Ev::Reply {
                     owner,
+                    owner_id,
                     slot,
                     target,
                     target_id,
                     accept,
-                } => self.on_reply(now, owner, slot, target, target_id, accept),
+                    departs,
+                } => self.on_reply(
+                    now, owner, owner_id, slot, target, target_id, accept, departs,
+                ),
                 Ev::FloodStart => {
                     self.flood_started = true;
                     let &(source_id, source_idx) =
@@ -644,7 +910,14 @@ impl Raes {
                     self.sched.record(TRACE_FLOOD, source_id.raw());
                     self.flood_inform(source_idx, 0, now);
                 }
-                Ev::Flood { target, id, hop } => self.on_flood(now, target, id, hop),
+                Ev::Flood {
+                    target,
+                    id,
+                    from,
+                    departs,
+                    hop,
+                } => self.on_flood(now, target, id, from, departs, hop),
+                Ev::Restart { target, id } => self.on_restart(now, target, id),
             }
         }
         self.finish()
@@ -654,6 +927,8 @@ impl Raes {
         self.stats.events_processed = self.sched.processed();
         self.stats.peak_backlog = self.egress.peak_backlog() as u64;
         self.stats.sim_time = self.sched.now();
+        self.stats.crashes = self.faults.crashes();
+        self.stats.restarts = self.faults.restarts();
         let graph = &self.graph;
         self.pending.retain(|p| graph.is_current(p.owner));
         let alive = self.graph.len();
@@ -694,8 +969,33 @@ impl Raes {
 /// Panics if the config is invalid.
 #[must_use]
 pub fn run_async_raes(cfg: &AsyncRaesConfig, seed: u64) -> AsyncRaesRecord {
+    run_async_raes_faulty(cfg, &FaultPlan::none(), seed)
+}
+
+/// Runs one asynchronous RAES load experiment under a fault plan.
+///
+/// Identical to [`run_async_raes`] plus the fault layer: link faults and
+/// partitions gate both repair legs and the flood; crashes at churn ticks
+/// wipe a victim's queued egress, pending repairs and flood mark (identity
+/// kept), and its restart rescans the out-slots to re-trigger repair. The
+/// retry policy (exponential backoff, jitter, bounded budget) lives on the
+/// config; with an exhausted budget the repair is shed and counted, so the
+/// run terminates either by completion or by recorded degradation — never
+/// by wedging. All fault randomness is a dedicated substream of `seed`, so
+/// an empty plan is RNG-stream-identical to the plain engine.
+///
+/// # Panics
+///
+/// Panics if the config or the plan is invalid.
+#[must_use]
+pub fn run_async_raes_faulty(
+    cfg: &AsyncRaesConfig,
+    plan: &FaultPlan,
+    seed: u64,
+) -> AsyncRaesRecord {
     cfg.validate().expect("invalid async RAES config");
-    Raes::new(*cfg, seed).run()
+    plan.validate().expect("invalid fault plan");
+    Raes::new(*cfg, plan, seed).run()
 }
 
 #[cfg(test)]
@@ -735,6 +1035,55 @@ mod tests {
         let flood = record.flood.expect("flood was injected");
         assert!(flood.completion_time.is_some());
         assert!(flood.emergent_rounds > 0);
+    }
+
+    #[test]
+    fn lossy_crashy_run_terminates_with_recovery_recorded() {
+        use crate::faults::{CrashRestart, LossModel};
+        // The acceptance regime: 30% i.i.d. loss plus crash–restart. The
+        // run must terminate via completion or recorded shed repairs —
+        // never wedge — with backoff/retransmit histograms populated.
+        let mut cfg = quick_cfg();
+        cfg.backoff_factor = 2.0;
+        cfg.retry_budget = 4;
+        let mut plan = FaultPlan::none();
+        plan.loss = LossModel::Iid { p: 0.3 };
+        plan.crash = Some(CrashRestart {
+            rate: 0.01,
+            downtime: LatencyModel::Fixed(3.0),
+        });
+        let record = run_async_raes_faulty(&cfg, &plan, 17);
+        assert_eq!(record.alive, 48);
+        assert!(record.stats.messages_fault_lost > 0);
+        assert!(record.stats.retransmits > 0, "losses force retries");
+        assert!(
+            record.stats.p99_backoff() > cfg.retry_timeout,
+            "exponential backoff grows past the base timeout"
+        );
+        assert!(record.stats.retransmit_histogram(8).is_some());
+        assert!(record.stats.crashes > 0, "crash model fired");
+        assert!(record.stats.restarts > 0, "victims came back");
+        assert!(record.max_in_degree <= record.in_degree_cap);
+        // Repairs still make progress through the chaos.
+        assert!(record.repairs_completed > 0);
+    }
+
+    #[test]
+    fn tiny_retry_budget_sheds_instead_of_wedging() {
+        use crate::faults::LossModel;
+        let mut cfg = quick_cfg();
+        cfg.retry_budget = 1;
+        cfg.retry_timeout = 0.5; // time out nearly every sweep
+        let mut plan = FaultPlan::none();
+        plan.loss = LossModel::Iid { p: 0.9 };
+        let record = run_async_raes_faulty(&cfg, &plan, 23);
+        assert!(
+            record.stats.retries_exhausted > 0,
+            "a 90%-loss wire with one retry must shed repairs"
+        );
+        // Shed repairs are recorded in the retry histogram alongside
+        // completed ones.
+        assert!(record.stats.retransmit_samples() > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Deterministic load counters of one event-driven run.
 
-use churn_stochastic::OnlineStats;
+use churn_stochastic::{Histogram, OnlineStats};
 
 /// Counters and queue-delay statistics of one run.
 ///
@@ -25,8 +25,45 @@ pub struct EventStats {
     pub peak_backlog: u64,
     /// Simulated time of the last processed event.
     pub sim_time: f64,
+    /// Messages lost on the wire by the fault layer's loss model.
+    pub messages_fault_lost: u64,
+    /// Extra copies injected by the fault layer's duplication coin.
+    pub messages_duplicated: u64,
+    /// Copies held back by the fault layer's bounded reordering.
+    pub messages_reordered: u64,
+    /// Deliveries cut by an active partition window.
+    pub messages_blocked: u64,
+    /// Deliveries that found their target crashed (down, not dead).
+    pub messages_to_down: u64,
+    /// Departures voided because the sender was down at the departure
+    /// instant — queued egress lost in a crash.
+    pub messages_crash_voided: u64,
+    /// Crash events injected by the fault layer.
+    pub crashes: u64,
+    /// Restarts completed after a crash.
+    pub restarts: u64,
+    /// Retransmissions issued by a retry policy (RAES ack-timeouts).
+    pub retransmits: u64,
+    /// Repairs shed after exhausting their retry budget (graceful
+    /// degradation: recorded, never wedged).
+    pub retries_exhausted: u64,
+    /// Anti-entropy pull requests issued after partition heals.
+    pub anti_entropy_pulls: u64,
+    /// Per-partition-block informed fractions, recorded at the moment the
+    /// most recent partition window healed (empty without partitions).
+    pub heal_block_informed: Vec<f64>,
+    /// Simulated time of the most recent partition heal observed.
+    pub heal_time: Option<f64>,
+    /// Time from the most recent partition heal to flood completion
+    /// (`None` while incomplete or without a healed partition).
+    pub time_to_reheal: Option<f64>,
     delay: OnlineStats,
     delays: Vec<f64>,
+    /// Backoff timeout chosen at each retransmission (histogram source).
+    backoff_delays: Vec<f64>,
+    /// Retransmit count per resolved repair — completed or shed
+    /// (histogram source).
+    retransmit_counts: Vec<u32>,
 }
 
 impl EventStats {
@@ -67,27 +104,137 @@ impl EventStats {
         percentile(&self.delays, 0.99)
     }
 
-    /// Messages still in flight (sent but neither delivered nor lost) when
-    /// the run ended — undelivered load at the horizon.
+    /// Messages still in flight (sent but not yet resolved) when the run
+    /// ended — undelivered load at the horizon. Duplicated copies add to
+    /// the in-flight side; every fault-layer outcome (wire loss, partition
+    /// block, down target, crash-voided departure) resolves a message.
+    /// Saturating, because anti-entropy deliveries bypass the egress queues
+    /// and can push `messages_delivered` past `messages_sent`.
     #[must_use]
     pub fn messages_in_flight(&self) -> u64 {
-        self.messages_sent
+        (self.messages_sent + self.messages_duplicated)
             .saturating_sub(self.messages_delivered)
             .saturating_sub(self.messages_lost)
+            .saturating_sub(self.messages_fault_lost)
+            .saturating_sub(self.messages_blocked)
+            .saturating_sub(self.messages_to_down)
+            .saturating_sub(self.messages_crash_voided)
+    }
+
+    /// Records one retransmission and the backoff timeout it was issued
+    /// with.
+    pub fn record_retransmit(&mut self, timeout: f64) {
+        self.retransmits += 1;
+        self.backoff_delays.push(timeout);
+    }
+
+    /// Records the retransmit count of one resolved repair (completed or
+    /// shed) — the source of [`Self::retransmit_histogram`].
+    pub fn record_repair_retries(&mut self, retries: u32) {
+        self.retransmit_counts.push(retries);
+    }
+
+    /// Number of resolved repairs with a recorded retransmit count.
+    #[must_use]
+    pub fn retransmit_samples(&self) -> usize {
+        self.retransmit_counts.len()
+    }
+
+    /// Mean retransmits per resolved repair (0 with no samples — never
+    /// NaN).
+    #[must_use]
+    pub fn mean_retransmits(&self) -> f64 {
+        if self.retransmit_counts.is_empty() {
+            0.0
+        } else {
+            self.retransmit_counts
+                .iter()
+                .map(|&c| f64::from(c))
+                .sum::<f64>()
+                / self.retransmit_counts.len() as f64
+        }
+    }
+
+    /// Largest retransmit count any resolved repair needed (0 with no
+    /// samples).
+    #[must_use]
+    pub fn max_retransmits(&self) -> u32 {
+        self.retransmit_counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Histogram of retransmits per resolved repair; `None` with no
+    /// samples (an empty sample set has no well-defined bin range).
+    #[must_use]
+    pub fn retransmit_histogram(&self, bins: usize) -> Option<Histogram> {
+        if self.retransmit_counts.is_empty() || bins == 0 {
+            return None;
+        }
+        let high = f64::from(self.max_retransmits()) + 1.0;
+        let mut hist = Histogram::new(0.0, high, bins);
+        for &count in &self.retransmit_counts {
+            hist.push(f64::from(count));
+        }
+        Some(hist)
+    }
+
+    /// 99th-percentile backoff timeout across all retransmissions (0 with
+    /// no samples).
+    #[must_use]
+    pub fn p99_backoff(&self) -> f64 {
+        percentile(&self.backoff_delays, 0.99)
+    }
+
+    /// Histogram of backoff timeouts; `None` with no retransmissions.
+    #[must_use]
+    pub fn backoff_histogram(&self, bins: usize) -> Option<Histogram> {
+        if self.backoff_delays.is_empty() || bins == 0 {
+            return None;
+        }
+        let max = self.backoff_delays.iter().copied().fold(f64::MIN, f64::max);
+        let high = if max > 0.0 { max } else { 1.0 };
+        let mut hist = Histogram::new(0.0, high, bins);
+        for &delay in &self.backoff_delays {
+            hist.push(delay);
+        }
+        Some(hist)
+    }
+
+    /// Redundant-delivery overhead: delivered messages per informed node in
+    /// excess of 1 would be the protocol-level view; at the transport level
+    /// this is the fraction of deliveries that were duplicate copies or
+    /// anti-entropy re-sends. 0 with no deliveries — never NaN.
+    #[must_use]
+    pub fn redundancy_overhead(&self) -> f64 {
+        if self.messages_delivered == 0 {
+            0.0
+        } else {
+            (self.messages_duplicated + self.anti_entropy_pulls) as f64
+                / self.messages_delivered as f64
+        }
     }
 }
 
 /// Exact percentile of a sample set by sorting a copy (nearest-rank). All
-/// samples must be finite. Returns 0 for an empty set.
+/// samples must be finite. Returns 0 for an empty set — the NaN-free
+/// convention every `EventStats` accessor follows, so 100%-loss runs (no
+/// delivered sample anywhere) still serialise to clean records. Use
+/// [`try_percentile`] to distinguish "no samples" from a true zero.
 #[must_use]
 pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
+    try_percentile(samples, q).unwrap_or(0.0)
+}
+
+/// Exact nearest-rank percentile, or `None` for an empty sample set or a
+/// non-finite `q`. Never returns NaN.
+#[must_use]
+pub fn try_percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !q.is_finite() {
+        return None;
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    Some(sorted[rank - 1])
 }
 
 #[cfg(test)]
@@ -102,6 +249,53 @@ mod tests {
         assert_eq!(percentile(&samples, 1.0), 100.0);
         assert_eq!(percentile(&[], 0.99), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn empty_sample_sets_stay_nan_free() {
+        // The 100%-loss regime: no message is ever delivered, so every
+        // sample vector is empty. Every accessor must return a finite zero
+        // or an explicit None — never NaN, never an out-of-bounds index.
+        let stats = EventStats::new();
+        assert_eq!(stats.mean_queue_delay(), 0.0);
+        assert_eq!(stats.p99_queue_delay(), 0.0);
+        assert_eq!(stats.mean_retransmits(), 0.0);
+        assert_eq!(stats.max_retransmits(), 0);
+        assert_eq!(stats.p99_backoff(), 0.0);
+        assert_eq!(stats.redundancy_overhead(), 0.0);
+        assert!(stats.retransmit_histogram(8).is_none());
+        assert!(stats.backoff_histogram(8).is_none());
+        assert_eq!(try_percentile(&[], 0.99), None);
+        assert_eq!(try_percentile(&[1.0], f64::NAN), None);
+        for value in [
+            stats.mean_queue_delay(),
+            stats.p99_queue_delay(),
+            stats.mean_retransmits(),
+            stats.p99_backoff(),
+            stats.redundancy_overhead(),
+        ] {
+            assert!(value.is_finite());
+        }
+    }
+
+    #[test]
+    fn retransmit_and_backoff_histograms_accumulate() {
+        let mut stats = EventStats::new();
+        for (retries, timeout) in [(0u32, 0.0), (2, 8.0), (2, 16.0), (5, 32.0)] {
+            stats.record_repair_retries(retries);
+            if retries > 0 {
+                stats.record_retransmit(timeout);
+            }
+        }
+        assert_eq!(stats.retransmit_samples(), 4);
+        assert_eq!(stats.retransmits, 3);
+        assert_eq!(stats.max_retransmits(), 5);
+        assert!((stats.mean_retransmits() - 2.25).abs() < 1e-12);
+        let hist = stats.retransmit_histogram(6).unwrap();
+        assert_eq!(hist.total(), 4);
+        let backoff = stats.backoff_histogram(4).unwrap();
+        assert_eq!(backoff.total(), 3);
+        assert_eq!(stats.p99_backoff(), 32.0);
     }
 
     #[test]

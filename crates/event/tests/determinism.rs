@@ -10,8 +10,9 @@
 
 use churn_core::DynamicNetwork;
 use churn_event::{
-    run_async_flooding, run_async_flooding_static, run_async_raes, AsyncFloodingConfig,
-    AsyncRaesConfig, AsyncSource, BandwidthModel, LatencyModel, Scheduler,
+    run_async_flooding, run_async_flooding_static, run_async_flooding_static_faulty,
+    run_async_raes, AsyncFloodingConfig, AsyncRaesConfig, AsyncSource, BandwidthModel, FaultPlan,
+    LatencyModel, Scheduler,
 };
 use churn_graph::generators::d_out_random_graph;
 use churn_graph::traversal::{bfs_distances, static_flooding_time};
@@ -218,4 +219,53 @@ fn queueing_and_latency_stretch_completion_beyond_the_synchronous_rounds() {
         "completion {completion} should exceed the synchronous {sync_rounds} rounds"
     );
     assert!(record.stats.mean_queue_delay() > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Duplication and bounded reordering change *when* and *how often*
+    /// messages arrive, never *whether* — with no loss, partition or crash
+    /// axis active, the async informed set on a static graph is exactly the
+    /// BFS-reachable set from the source, for arbitrary duplication and
+    /// reordering rates.
+    #[test]
+    fn duplication_and_reordering_preserve_the_informed_set(
+        seed in 0u64..(1 << 48),
+        duplicate_p in 0.0f64..0.9,
+        reorder_p in 0.0f64..0.9,
+        reorder_max in 0.1f64..4.0,
+        n in 24usize..96,
+    ) {
+        let mut rng = seeded_rng(seed ^ 0xD00D);
+        let graph = d_out_random_graph(n, 3, &mut rng);
+        let snapshot = Snapshot::of(&graph);
+        let source = NodeId::new(0);
+        let source_idx = snapshot.index_of(source).expect("node 0 exists");
+        let dist = bfs_distances(&snapshot, source_idx);
+        let mut reachable: Vec<NodeId> = dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(i, _)| snapshot.ids()[i])
+            .collect();
+        reachable.sort_unstable();
+
+        let cfg = AsyncFloodingConfig {
+            latency: LatencyModel::Fixed(1.0),
+            bandwidth: BandwidthModel::unlimited(),
+            horizon: 4096.0,
+            churn: false,
+            record_trace: false,
+        };
+        let plan = FaultPlan {
+            duplicate_p,
+            reorder_p,
+            reorder_max,
+            ..FaultPlan::none()
+        };
+        let record = run_async_flooding_static_faulty(&graph, source, &cfg, &plan, seed);
+        prop_assert_eq!(record.informed_ids(), reachable.as_slice());
+        prop_assert_eq!(record.stats.messages_fault_lost, 0);
+        prop_assert_eq!(record.stats.messages_blocked, 0);
+    }
 }

@@ -37,6 +37,10 @@
 //!   per round instead of O(candidates).
 //! * [`InformedOverlap`] — the alive-informed overlap of a flooding run,
 //!   fed by `FloodingProcess::newly_informed_dense` and the delta's deaths.
+//! * [`RecoveryCensus`] — a point-in-time per-partition-block census of
+//!   flood recovery (alive and informed counts per block of a deterministic
+//!   id-hash partition), for the chaos scenarios' heal and end-of-run
+//!   checkpoints.
 //!
 //! Typical wiring (the experiment binaries in `churn-bench` follow this
 //! shape, via `churn_sim::observe_rounds`):
@@ -75,4 +79,4 @@ mod trackers;
 
 pub use incremental::{ApplyOutcome, IncrementalSnapshot};
 pub use metrics::{BehaviorCensus, BehaviorSummary, LiveMetrics, MetricsSummary};
-pub use trackers::{InformedOverlap, LifetimeIsolation};
+pub use trackers::{InformedOverlap, LifetimeIsolation, RecoveryCensus};

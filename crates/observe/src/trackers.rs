@@ -1,4 +1,5 @@
-//! Lifecycle-aware trackers: lifetime isolation and informed-set overlap.
+//! Lifecycle-aware trackers: lifetime isolation, informed-set overlap and
+//! the partition-recovery census.
 
 use churn_graph::{DynamicGraph, GraphDelta, NodeId};
 
@@ -184,5 +185,189 @@ impl InformedOverlap {
         } else {
             self.count as f64 / alive as f64
         }
+    }
+}
+
+/// A point-in-time census of flood recovery across partition blocks: for
+/// each block of a (healed or active) partition, how many alive nodes it
+/// holds and how many of them are informed. The block assignment is a pure
+/// function of the node identifier — exactly the contract of the fault
+/// layer's deterministic partition hash — so the census needs no membership
+/// state and can be taken at any instant: at the heal (the state
+/// anti-entropy must recover from) or at the end of a run (did the minority
+/// block catch up?).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryCensus {
+    alive: Vec<usize>,
+    informed: Vec<usize>,
+}
+
+impl RecoveryCensus {
+    /// Takes the census over the graph's alive population. `block_of` maps
+    /// a raw node identifier to its block (values `≥ blocks` are clamped
+    /// into the last block), `is_informed` marks rumor possession.
+    #[must_use]
+    pub fn take(
+        graph: &DynamicGraph,
+        blocks: u32,
+        block_of: impl Fn(u64) -> u32,
+        is_informed: impl Fn(u64) -> bool,
+    ) -> Self {
+        let blocks = blocks.max(1) as usize;
+        let mut census = RecoveryCensus {
+            alive: vec![0; blocks],
+            informed: vec![0; blocks],
+        };
+        for &idx in graph.member_indices() {
+            let id = graph.id_at(idx).expect("member cells are occupied").raw();
+            let block = (block_of(id) as usize).min(blocks - 1);
+            census.alive[block] += 1;
+            if is_informed(id) {
+                census.informed[block] += 1;
+            }
+        }
+        census
+    }
+
+    /// Number of blocks the census was taken over.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Alive nodes across all blocks.
+    #[must_use]
+    pub fn alive_total(&self) -> usize {
+        self.alive.iter().sum()
+    }
+
+    /// Informed alive nodes across all blocks.
+    #[must_use]
+    pub fn informed_total(&self) -> usize {
+        self.informed.iter().sum()
+    }
+
+    /// `(alive, informed)` of one block (0s past the end).
+    #[must_use]
+    pub fn block(&self, block: usize) -> (usize, usize) {
+        (
+            self.alive.get(block).copied().unwrap_or(0),
+            self.informed.get(block).copied().unwrap_or(0),
+        )
+    }
+
+    /// Informed fraction of one block (1 for an empty block — nothing left
+    /// to recover).
+    #[must_use]
+    pub fn block_fraction(&self, block: usize) -> f64 {
+        let (alive, informed) = self.block(block);
+        if alive == 0 {
+            1.0
+        } else {
+            informed as f64 / alive as f64
+        }
+    }
+
+    /// Per-block informed fractions, in block order.
+    #[must_use]
+    pub fn fractions(&self) -> Vec<f64> {
+        (0..self.blocks()).map(|b| self.block_fraction(b)).collect()
+    }
+
+    /// The worst block's informed fraction — the recovery floor. During a
+    /// partition this is (near) zero for every block the source is not in;
+    /// after a healed, recovered flood it returns to 1.
+    #[must_use]
+    pub fn min_fraction(&self) -> f64 {
+        self.fractions().iter().copied().fold(1.0, f64::min)
+    }
+
+    /// The alive share of the largest block — the fraction the overall
+    /// informed curve stalls at while a partition confines the flood to the
+    /// source's (majority) block.
+    #[must_use]
+    pub fn majority_fraction(&self) -> f64 {
+        let total = self.alive_total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.alive.iter().copied().max().unwrap_or(0) as f64 / total as f64
+    }
+
+    /// Overall informed fraction of the alive population (1 when empty).
+    #[must_use]
+    pub fn overall_fraction(&self) -> f64 {
+        let total = self.alive_total();
+        if total == 0 {
+            return 1.0;
+        }
+        self.informed_total() as f64 / total as f64
+    }
+
+    /// `true` once every block is fully informed — the flood recovered from
+    /// the partition.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.alive
+            .iter()
+            .zip(&self.informed)
+            .all(|(&alive, &informed)| informed == alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(n: u64) -> DynamicGraph {
+        let mut graph = DynamicGraph::with_capacity(n as usize);
+        for i in 0..n {
+            graph.add_node(NodeId::new(i), 0).unwrap();
+        }
+        graph
+    }
+
+    #[test]
+    fn recovery_census_counts_blocks_and_fractions() {
+        // Even ids in block 0, odd ids in block 1; ids < 4 informed.
+        let graph = graph_of(8);
+        let census = RecoveryCensus::take(&graph, 2, |id| (id % 2) as u32, |id| id < 4);
+        assert_eq!(census.blocks(), 2);
+        assert_eq!(census.alive_total(), 8);
+        assert_eq!(census.informed_total(), 4);
+        assert_eq!(census.block(0), (4, 2));
+        assert_eq!(census.block(1), (4, 2));
+        assert_eq!(census.block(7), (0, 0));
+        assert!((census.block_fraction(0) - 0.5).abs() < 1e-12);
+        assert!((census.min_fraction() - 0.5).abs() < 1e-12);
+        assert!((census.overall_fraction() - 0.5).abs() < 1e-12);
+        assert!(!census.recovered());
+    }
+
+    #[test]
+    fn recovery_census_majority_and_recovery() {
+        // 6 nodes in block 0, 2 in block 1, everyone informed.
+        let graph = graph_of(8);
+        let census = RecoveryCensus::take(&graph, 2, |id| u32::from(id >= 6), |_| true);
+        assert!((census.majority_fraction() - 0.75).abs() < 1e-12);
+        assert!(census.recovered());
+        assert_eq!(census.fractions(), vec![1.0, 1.0]);
+        assert!((census.min_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_census_clamps_out_of_range_blocks_and_empty_graphs() {
+        let graph = graph_of(3);
+        // A block function pointing past the range lands in the last block.
+        let census = RecoveryCensus::take(&graph, 2, |_| 9, |_| false);
+        assert_eq!(census.block(1), (3, 0));
+        assert_eq!(census.min_fraction(), 0.0);
+        // Empty graph: everything trivially recovered, majority 0.
+        let empty = DynamicGraph::with_capacity(4);
+        let census = RecoveryCensus::take(&empty, 3, |_| 0, |_| true);
+        assert!(census.recovered());
+        assert_eq!(census.overall_fraction(), 1.0);
+        assert_eq!(census.majority_fraction(), 0.0);
+        assert_eq!(census.block_fraction(0), 1.0);
     }
 }

@@ -33,7 +33,9 @@ use rayon::prelude::*;
 
 use churn_core::driver::VictimPolicy;
 use churn_core::ModelKind;
-use churn_event::{BandwidthModel, LatencyModel};
+use churn_event::{
+    BandwidthModel, CrashRestart, FaultPlan, LatencyModel, LossModel, PartitionWindow,
+};
 use churn_protocol::{AdversaryModel, ChurnDriver, RaesConfig, SaturationPolicy};
 use churn_stochastic::rng::derive_seed;
 
@@ -301,6 +303,181 @@ pub struct AsyncRaesSpec {
     pub flood: bool,
 }
 
+/// The asynchronous RAES retry policy of one fault-axis point: exponential
+/// backoff with optional jitter and a bounded retransmit budget. It rides
+/// the *fault axis* rather than [`AsyncRaesSpec`] because a non-identity
+/// policy changes even fault-free trajectories (baseline retransmits exist
+/// whenever a reply outwaits the timeout, and jitter draws randomness) — on
+/// the fault axis the `none` point keeps the recorded E17 cells bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Exponential-backoff factor (`≥ 1`; the `k`-th retransmission waits
+    /// `retry_timeout · factor^k`).
+    pub factor: f64,
+    /// Jitter fraction on each backoff timeout, in `[0, 1)`.
+    pub jitter: f64,
+    /// Retransmissions per repair before it is shed (graceful degradation).
+    pub budget: u32,
+}
+
+impl RetryPolicy {
+    /// The engine's identity policy: constant timeout, no jitter, unbounded
+    /// budget — bit-identical to PR 7's fixed-timeout behaviour.
+    pub const IDENTITY: RetryPolicy = RetryPolicy {
+        factor: 1.0,
+        jitter: 0.0,
+        budget: u32::MAX,
+    };
+}
+
+/// One point on a scenario's fault axis: a [`FaultPlan`] in `Copy` spec form
+/// (at most one partition window) plus the optional RAES retry policy.
+///
+/// A spec whose every axis is inactive — including one with explicit zero
+/// rates — resolves to [`FaultPlan::none`] and mixes *no* seed tag, so
+/// fault-rate-0 rows of a fault scenario share their cell seeds (and hence
+/// their records, bit for bit) with a fault-free sibling scenario on the
+/// same base seed. This is the same anchor trick the Byzantine scenarios
+/// use with the default RAES net.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-link loss model (`Iid { p: 0.0 }` normalises to `None`).
+    pub loss: LossModel,
+    /// Duplication probability per delivered message.
+    pub duplicate_p: f64,
+    /// Reordering probability per delivered copy.
+    pub reorder_p: f64,
+    /// Maximum holding delay of a reordered copy.
+    pub reorder_max: f64,
+    /// At most one scheduled partition window.
+    pub partition: Option<PartitionWindow>,
+    /// Crash–restart process (rate 0 normalises to `None`).
+    pub crash: Option<CrashRestart>,
+    /// Anti-entropy pull period (async flooding only).
+    pub anti_entropy: Option<f64>,
+    /// RAES retry policy (async RAES only; `None` = identity).
+    pub retry: Option<RetryPolicy>,
+}
+
+impl FaultSpec {
+    /// The fault-free point of the axis — the default when a scenario never
+    /// calls [`Scenario::faults`].
+    #[must_use]
+    pub fn none() -> Self {
+        FaultSpec {
+            loss: LossModel::None,
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            reorder_max: 0.0,
+            partition: None,
+            crash: None,
+            anti_entropy: None,
+            retry: None,
+        }
+    }
+
+    /// An i.i.d.-loss-only spec (the `lossy-flooding` axis).
+    #[must_use]
+    pub fn iid_loss(p: f64) -> Self {
+        FaultSpec {
+            loss: LossModel::Iid { p },
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Resolves the spec into the engine-layer [`FaultPlan`], normalising
+    /// inactive axes (zero-rate loss and crash) away so explicit zero-rate
+    /// specs resolve to exactly [`FaultPlan::none`].
+    #[must_use]
+    pub fn resolve(&self) -> FaultPlan {
+        let loss = match self.loss {
+            LossModel::Iid { p: 0.0 } => LossModel::None,
+            other => other,
+        };
+        FaultPlan {
+            loss,
+            duplicate_p: self.duplicate_p,
+            reorder_p: self.reorder_p,
+            reorder_max: if self.reorder_p > 0.0 {
+                self.reorder_max
+            } else {
+                0.0
+            },
+            partitions: self.partition.into_iter().collect(),
+            crash: self.crash.filter(|c| c.rate > 0.0),
+            anti_entropy: self.anti_entropy,
+        }
+    }
+
+    /// `true` when the resolved plan is empty and the retry policy is the
+    /// identity — the point whose cells are bit-identical to a fault-free
+    /// sibling scenario.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.resolve().is_none() && self.effective_retry() == RetryPolicy::IDENTITY
+    }
+
+    /// The retry policy with `None` resolved to the identity.
+    #[must_use]
+    pub fn effective_retry(&self) -> RetryPolicy {
+        self.retry.unwrap_or(RetryPolicy::IDENTITY)
+    }
+
+    /// Short label for records, reports and the `exp list` fault column:
+    /// the resolved plan's label plus a `retry<budget>x<factor>j<jitter>`
+    /// part when a non-identity retry policy is set.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut label = self.resolve().label();
+        let retry = self.effective_retry();
+        if retry != RetryPolicy::IDENTITY {
+            let part = format!("retry{}x{}j{}", retry.budget, retry.factor, retry.jitter);
+            if label == "none" {
+                label = part;
+            } else {
+                label.push('+');
+                label.push_str(&part);
+            }
+        }
+        label
+    }
+
+    /// The seed tag a non-none spec mixes into the cell seed: a fold of the
+    /// label bytes, so distinct fault points get distinct streams and equal
+    /// specs written differently (e.g. `Iid { p: 0.0 }` vs. `None`) agree.
+    fn seed_tag(&self) -> u64 {
+        self.label()
+            .bytes()
+            .fold(0xFA17_0000_u64, |acc, b| derive_seed(acc, u64::from(b)))
+    }
+
+    /// Validates the resolved plan and the retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        self.resolve().validate()?;
+        let retry = self.effective_retry();
+        if !(retry.factor >= 1.0 && retry.factor.is_finite()) {
+            return Err(format!("retry backoff factor {} must be ≥ 1", retry.factor));
+        }
+        if !(0.0..1.0).contains(&retry.jitter) {
+            return Err(format!("retry jitter {} outside [0, 1)", retry.jitter));
+        }
+        if retry.budget == 0 {
+            return Err("retry budget must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
 /// What one cell measures. Every variant runs against the cell's network
 /// spec and returns a flat list of named scalar metrics — the record schema
 /// is uniform across scenarios, so analysis tooling needs one loader.
@@ -443,6 +620,9 @@ pub struct CellSpec {
     pub d: usize,
     /// Death-victim policy.
     pub victim: VictimPolicy,
+    /// Fault-axis point (the default [`FaultSpec::none`] on scenarios
+    /// without a fault axis).
+    pub fault: FaultSpec,
     /// Trial index within the point.
     pub trial: usize,
 }
@@ -482,6 +662,7 @@ pub struct Scenario {
     reproduces: String,
     nets: Vec<NetSpec>,
     victims: Vec<VictimPolicy>,
+    faults: Vec<FaultSpec>,
     full: Grid,
     smoke: Grid,
     base_seed: u64,
@@ -503,6 +684,7 @@ impl Scenario {
             reproduces: String::new(),
             nets: Vec::new(),
             victims: vec![VictimPolicy::Uniform],
+            faults: vec![FaultSpec::none()],
             full: Grid::new([], [], 1),
             smoke: Grid::new([], [], 1),
             base_seed: 0,
@@ -521,6 +703,15 @@ impl Scenario {
     #[must_use]
     pub fn victims(mut self, victims: impl IntoIterator<Item = VictimPolicy>) -> Self {
         self.victims = victims.into_iter().collect();
+        self
+    }
+
+    /// Sets the fault axis (default: the single fault-free point). Only the
+    /// event-driven measurements accept non-none points — `validate` rejects
+    /// a fault axis on round-driven measurements.
+    #[must_use]
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults = faults.into_iter().collect();
         self
     }
 
@@ -583,6 +774,20 @@ impl Scenario {
         &self.nets
     }
 
+    /// The fault axis (a single [`FaultSpec::none`] on scenarios without
+    /// one).
+    #[must_use]
+    pub fn fault_axis(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// `true` when any fault-axis point injects faults — the scenarios
+    /// `exp list` shows a fault column for.
+    #[must_use]
+    pub fn has_fault_axis(&self) -> bool {
+        self.faults.iter().any(|f| !f.is_none())
+    }
+
     /// The grid of one preset.
     #[must_use]
     pub fn grid(&self, preset: GridPreset) -> &Grid {
@@ -593,7 +798,8 @@ impl Scenario {
     }
 
     /// The cells of one preset, in deterministic order (net-major, then
-    /// size, degree, victim, trial) — also the order records are written in.
+    /// size, degree, victim, fault, trial) — also the order records are
+    /// written in.
     #[must_use]
     pub fn cells(&self, preset: GridPreset) -> Vec<CellSpec> {
         let grid = self.grid(preset);
@@ -602,14 +808,17 @@ impl Scenario {
             for &n in &grid.sizes {
                 for &d in &grid.degrees {
                     for &victim in &self.victims {
-                        for trial in 0..grid.trials {
-                            cells.push(CellSpec {
-                                net,
-                                n,
-                                d,
-                                victim,
-                                trial,
-                            });
+                        for &fault in &self.faults {
+                            for trial in 0..grid.trials {
+                                cells.push(CellSpec {
+                                    net,
+                                    n,
+                                    d,
+                                    victim,
+                                    fault,
+                                    trial,
+                                });
+                            }
                         }
                     }
                 }
@@ -638,6 +847,12 @@ impl Scenario {
                     VictimPolicy::HighestDegree => 0xAD_02,
                 },
             );
+        }
+        // Like the adversary axis, an inactive fault point mixes nothing:
+        // the `none` rows of a fault scenario share seeds (and records, bit
+        // for bit) with a fault-free sibling on the same base seed.
+        if !cell.fault.is_none() {
+            point_tag = derive_seed(point_tag, cell.fault.seed_tag());
         }
         derive_seed(self.base_seed ^ point_tag, cell.trial as u64)
     }
@@ -749,6 +964,48 @@ impl Scenario {
                 .validate()
                 .map_err(|e| format!("scenario {:?}: {e}", self.name))?;
         }
+        if self.faults.is_empty() {
+            return Err(format!("scenario {:?} has an empty fault axis", self.name));
+        }
+        for fault in &self.faults {
+            fault
+                .validate()
+                .map_err(|e| format!("scenario {:?}: {e}", self.name))?;
+            if fault.is_none() {
+                continue;
+            }
+            match self.measurement {
+                Measurement::AsyncFlooding(_) => {
+                    if fault.retry.is_some() {
+                        return Err(format!(
+                            "scenario {:?}: fault point {} sets a retry policy, \
+                             which only the async RAES measurement consumes",
+                            self.name,
+                            fault.label()
+                        ));
+                    }
+                }
+                Measurement::AsyncRaes(_) => {
+                    if fault.anti_entropy.is_some() {
+                        return Err(format!(
+                            "scenario {:?}: fault point {} sets anti-entropy, \
+                             which only the async flooding measurement consumes",
+                            self.name,
+                            fault.label()
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "scenario {:?}: fault point {} on measurement {:?} \
+                         (only the event-driven measurements inject faults)",
+                        self.name,
+                        fault.label(),
+                        self.measurement
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -771,6 +1028,9 @@ pub struct CellRecord {
     pub d: usize,
     /// Victim-policy label.
     pub victim: String,
+    /// Fault-axis label ([`FaultSpec::label`]); `None` on fault-free cells,
+    /// whose serialised lines stay byte-identical to pre-fault records.
+    pub fault: Option<String>,
     /// Trial index.
     pub trial: usize,
     /// The cell's deterministic seed — its checkpoint identity.
@@ -780,10 +1040,16 @@ pub struct CellRecord {
 }
 
 impl CellRecord {
-    /// A stable grouping key for reports: `(net, n, d, victim)`.
+    /// A stable grouping key for reports: `(net, n, d, victim)`, with the
+    /// fault label folded into the net column (`SDGR/loss0.1`) so fault
+    /// points are never averaged together.
     #[must_use]
     pub fn group_key(&self) -> (String, usize, usize, String) {
-        (self.net.clone(), self.n, self.d, self.victim.clone())
+        let net = match &self.fault {
+            Some(fault) => format!("{}/{fault}", self.net),
+            None => self.net.clone(),
+        };
+        (net, self.n, self.d, self.victim.clone())
     }
 
     /// Looks up one metric by name.
@@ -808,6 +1074,10 @@ impl CellRecord {
         escape_json(&self.net, &mut out);
         out.push_str(&format!(",\"n\":{},\"d\":{},\"victim\":", self.n, self.d));
         escape_json(&self.victim, &mut out);
+        if let Some(fault) = &self.fault {
+            out.push_str(",\"fault\":");
+            escape_json(fault, &mut out);
+        }
         out.push_str(&format!(
             ",\"trial\":{},\"seed\":{},\"metrics\":{{",
             self.trial, self.seed
@@ -866,6 +1136,10 @@ impl CellRecord {
                 .as_str()
                 .ok_or("victim must be a string")?
                 .to_owned(),
+            fault: match value.get("fault") {
+                Some(fault) => Some(fault.as_str().ok_or("fault must be a string")?.to_owned()),
+                None => None,
+            },
             trial: field(&value, "trial")?
                 .as_usize()
                 .ok_or("trial must be an integer")?,
@@ -1341,6 +1615,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                             n: cell.n,
                             d: cell.d,
                             victim: cell.victim.label().to_string(),
+                            fault: (!cell.fault.is_none()).then(|| cell.fault.label()),
                             trial: cell.trial,
                             seed,
                             metrics: metrics
@@ -1507,6 +1782,7 @@ mod tests {
                     n: 256,
                     d: 4,
                     victim,
+                    fault: FaultSpec::none(),
                     trial,
                 };
                 assert_eq!(
@@ -1527,6 +1803,7 @@ mod tests {
             n: 256,
             d: 4,
             victim: VictimPolicy::Uniform,
+            fault: FaultSpec::none(),
             trial: 0,
         };
         assert_eq!(
@@ -1550,6 +1827,7 @@ mod tests {
             n: 64,
             d: 3,
             victim: VictimPolicy::Uniform,
+            fault: FaultSpec::none(),
             trial: 0,
         };
         let mut seen = vec![s.cell_seed(&base)];
@@ -1741,6 +2019,7 @@ mod tests {
             n: 256,
             d: 8,
             victim: "uniform".to_string(),
+            fault: None,
             trial: 3,
             seed: u64::MAX,
             metrics: vec![
@@ -1832,6 +2111,7 @@ mod tests {
             n: 8,
             d: 2,
             victim: "uniform".into(),
+            fault: None,
             trial: 0,
             seed: 1,
             metrics: vec![("m".into(), 1.0)],

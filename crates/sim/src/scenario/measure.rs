@@ -16,7 +16,9 @@ use churn_graph::expansion::ExpansionConfig;
 use churn_graph::generators::d_out_random_graph;
 use churn_graph::traversal::{connected_components, static_flooding_time};
 use churn_graph::{DynamicGraph, NodeId, Snapshot};
-use churn_observe::{IncrementalSnapshot, InformedOverlap, LifetimeIsolation, LiveMetrics};
+use churn_observe::{
+    IncrementalSnapshot, InformedOverlap, LifetimeIsolation, LiveMetrics, RecoveryCensus,
+};
 use churn_p2p::gossip::propagate_block_series;
 use churn_p2p::health::overlay_health;
 use churn_p2p::{P2pConfig, P2pNetwork};
@@ -25,8 +27,8 @@ use churn_stochastic::rng::seeded_rng;
 use churn_stochastic::OnlineStats;
 
 use churn_event::{
-    run_async_flooding, run_async_raes, AsyncFloodingConfig, AsyncRaesConfig, AsyncSource,
-    EventStats,
+    run_async_flooding_faulty, run_async_raes_faulty, AsyncFloodingConfig, AsyncRaesConfig,
+    AsyncSource, EventStats,
 };
 
 use super::{
@@ -219,6 +221,21 @@ fn event_stats_metrics(stats: &EventStats, out: &mut Metrics) {
     out.push(("sim_time", stats.sim_time));
 }
 
+/// The fault-layer counters, appended only for cells with an active fault
+/// point — the `none` rows keep the pre-fault column schema, which is what
+/// their byte-for-byte anchor to the fault-free sibling scenarios rests on.
+fn fault_stats_metrics(stats: &EventStats, out: &mut Metrics) {
+    out.push(("messages_fault_lost", stats.messages_fault_lost as f64));
+    out.push(("messages_duplicated", stats.messages_duplicated as f64));
+    out.push(("messages_reordered", stats.messages_reordered as f64));
+    out.push(("messages_blocked", stats.messages_blocked as f64));
+    out.push(("messages_to_down", stats.messages_to_down as f64));
+    out.push(("messages_crash_voided", stats.messages_crash_voided as f64));
+    out.push(("crashes", stats.crashes as f64));
+    out.push(("restarts", stats.restarts as f64));
+    out.push(("redundancy_overhead", stats.redundancy_overhead()));
+}
+
 /// Event-driven asynchronous flooding over the cell's (churning) network.
 fn async_flooding_cell(cell: &CellSpec, seed: u64, spec: AsyncFloodingSpec) -> Metrics {
     let mut net = build_net(cell, seed);
@@ -231,7 +248,8 @@ fn async_flooding_cell(cell: &CellSpec, seed: u64, spec: AsyncFloodingSpec) -> M
         churn: true,
         record_trace: false,
     };
-    let record = run_async_flooding(&mut net, AsyncSource::Newest, &cfg, seed);
+    let plan = cell.fault.resolve();
+    let record = run_async_flooding_faulty(&mut net, AsyncSource::Newest, &cfg, &plan, seed);
     let mut out: Metrics = vec![
         ("informed", record.informed as f64),
         ("alive", record.alive as f64),
@@ -241,6 +259,46 @@ fn async_flooding_cell(cell: &CellSpec, seed: u64, spec: AsyncFloodingSpec) -> M
         ("final_fraction", record.final_fraction()),
     ];
     event_stats_metrics(&record.stats, &mut out);
+    if !cell.fault.is_none() {
+        fault_stats_metrics(&record.stats, &mut out);
+        out.push(("anti_entropy_pulls", record.stats.anti_entropy_pulls as f64));
+        if let Some(window) = cell.fault.partition {
+            // The heal census: per-block informed fractions at the heal
+            // instant, the stall floor during the partition, and how long
+            // the flood needed after the heal (horizon-capped when it never
+            // completed — the convention `completion_time` uses).
+            let heal = record.stats.heal_time.unwrap_or(window.heal);
+            out.push(("heal_time", heal));
+            out.push((
+                "time_to_reheal",
+                record
+                    .stats
+                    .time_to_reheal
+                    .unwrap_or((horizon - heal).max(0.0)),
+            ));
+            let fractions = &record.stats.heal_block_informed;
+            out.push((
+                "heal_min_block_informed",
+                fractions.iter().copied().fold(1.0, f64::min),
+            ));
+            out.push((
+                "heal_max_block_informed",
+                fractions.iter().copied().fold(0.0, f64::max),
+            ));
+            // End-of-run recovery census: did every block catch back up
+            // after the heal? (The heal-instant fractions above are the
+            // state anti-entropy had to recover *from*.)
+            let informed = record.informed_ids();
+            let census = RecoveryCensus::take(
+                net.graph(),
+                window.blocks,
+                |id| plan.block_of(0, id),
+                |id| informed.binary_search(&NodeId::new(id)).is_ok(),
+            );
+            out.push(("final_min_block_informed", census.min_fraction()));
+            out.push(("partition_recovered", f64::from(census.recovered())));
+        }
+    }
     out
 }
 
@@ -250,6 +308,7 @@ fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
         unreachable!("scenario validated at registration")
     };
     let horizon = spec.horizon.resolve(cell.n) as f64;
+    let retry = cell.fault.effective_retry();
     let cfg = AsyncRaesConfig {
         n: cell.n,
         d: cell.d,
@@ -259,9 +318,13 @@ fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
         horizon,
         flood_at: spec.flood.then_some(horizon / 4.0),
         retry_timeout: 8.0,
+        backoff_factor: retry.factor,
+        backoff_jitter: retry.jitter,
+        retry_budget: retry.budget,
         record_trace: false,
     };
-    let record = run_async_raes(&cfg, seed);
+    let plan = cell.fault.resolve();
+    let record = run_async_raes_faulty(&cfg, &plan, seed);
     let mut out: Metrics = vec![
         ("repairs_completed", record.repairs_completed as f64),
         ("repair_requests", record.repair_requests as f64),
@@ -290,6 +353,14 @@ fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
         ));
     }
     event_stats_metrics(&record.stats, &mut out);
+    if !cell.fault.is_none() {
+        fault_stats_metrics(&record.stats, &mut out);
+        out.push(("retransmits", record.stats.retransmits as f64));
+        out.push(("retries_exhausted", record.stats.retries_exhausted as f64));
+        out.push(("mean_retransmits", record.stats.mean_retransmits()));
+        out.push(("max_retransmits", f64::from(record.stats.max_retransmits())));
+        out.push(("p99_backoff", record.stats.p99_backoff()));
+    }
     out
 }
 

@@ -291,6 +291,119 @@ impl Bernoulli {
     }
 }
 
+/// Gilbert–Elliott two-state loss channel: a Markov chain alternating
+/// between a *good* state (loss probability `loss_good`, usually ≈ 0) and a
+/// *bad* burst state (loss probability `loss_bad`, usually near 1). Each
+/// step first moves the state (`p_gb` = good→bad, `p_bg` = bad→good), then
+/// draws the loss coin for the current state — so losses cluster into
+/// bursts of mean length `1 / p_bg` instead of falling i.i.d.
+///
+/// # Example
+///
+/// ```
+/// use churn_stochastic::distributions::GilbertElliott;
+/// use churn_stochastic::rng::seeded_rng;
+///
+/// let chan = GilbertElliott::new(0.05, 0.5, 0.0, 1.0).unwrap();
+/// let mut rng = seeded_rng(1);
+/// let mut state = chan.initial_state();
+/// let _lost: bool = chan.step(&mut state, &mut rng);
+/// assert!((chan.stationary_loss() - 0.0909).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    p_gb: f64,
+    p_bg: f64,
+    loss_good: f64,
+    loss_bad: f64,
+}
+
+/// The per-link channel state of a [`GilbertElliott`] chain: `true` while
+/// the link is in the bad (burst) state.
+pub type GilbertElliottState = bool;
+
+impl GilbertElliott {
+    /// Creates a channel with transition probabilities `p_gb` (good→bad) and
+    /// `p_bg` (bad→good) and per-state loss probabilities.
+    ///
+    /// Returns `None` unless every probability lies in `[0, 1]` and at least
+    /// one transition probability is positive (so the chain is not stuck in
+    /// an arbitrary initial state forever).
+    #[must_use]
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Option<Self> {
+        let in_unit = |p: f64| (0.0..=1.0).contains(&p);
+        (in_unit(p_gb)
+            && in_unit(p_bg)
+            && in_unit(loss_good)
+            && in_unit(loss_bad)
+            && p_gb + p_bg > 0.0)
+            .then_some(GilbertElliott {
+                p_gb,
+                p_bg,
+                loss_good,
+                loss_bad,
+            })
+    }
+
+    /// The good→bad transition probability.
+    #[must_use]
+    pub fn p_gb(&self) -> f64 {
+        self.p_gb
+    }
+
+    /// The bad→good transition probability.
+    #[must_use]
+    pub fn p_bg(&self) -> f64 {
+        self.p_bg
+    }
+
+    /// Stationary probability of being in the bad state,
+    /// `p_gb / (p_gb + p_bg)`.
+    #[must_use]
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_gb / (self.p_gb + self.p_bg)
+    }
+
+    /// Long-run loss rate: the stationary mixture of the two loss coins.
+    #[must_use]
+    pub fn stationary_loss(&self) -> f64 {
+        let bad = self.stationary_bad();
+        (1.0 - bad) * self.loss_good + bad * self.loss_bad
+    }
+
+    /// Mean burst length `1 / p_bg` (steps spent in the bad state per
+    /// visit); infinite when `p_bg == 0`.
+    #[must_use]
+    pub fn mean_burst_length(&self) -> f64 {
+        1.0 / self.p_bg
+    }
+
+    /// Every chain starts in the good state, so a link's loss history is a
+    /// pure function of its draw sequence.
+    #[must_use]
+    pub fn initial_state(&self) -> GilbertElliottState {
+        false
+    }
+
+    /// Advances the state one step and draws the loss coin for the new
+    /// state. Returns `true` when the message is lost. Always consumes
+    /// exactly two `f64` draws, so the stream layout is state-independent.
+    pub fn step<R: Rng + ?Sized>(&self, state: &mut GilbertElliottState, rng: &mut R) -> bool {
+        let flip: f64 = rng.gen();
+        *state = if *state {
+            flip >= self.p_bg
+        } else {
+            flip < self.p_gb
+        };
+        let coin: f64 = rng.gen();
+        coin < if *state {
+            self.loss_bad
+        } else {
+            self.loss_good
+        }
+    }
+}
+
 /// Draws a standard normal variate via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
@@ -473,6 +586,63 @@ mod tests {
         }
         assert!(all_positive);
         assert!((stats.mean() - dist.mean()).abs() / dist.mean() < 0.02);
+    }
+
+    #[test]
+    fn gilbert_elliott_rejects_invalid_parameters() {
+        assert!(GilbertElliott::new(-0.1, 0.5, 0.0, 1.0).is_none());
+        assert!(GilbertElliott::new(0.1, 1.5, 0.0, 1.0).is_none());
+        assert!(GilbertElliott::new(0.1, 0.5, 0.0, f64::NAN).is_none());
+        assert!(GilbertElliott::new(0.0, 0.0, 0.0, 1.0).is_none());
+        assert!(GilbertElliott::new(0.05, 0.5, 0.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_loss_matches_the_stationary_mixture() {
+        let chan = GilbertElliott::new(0.05, 0.25, 0.01, 0.8).unwrap();
+        let mut rng = seeded_rng(12);
+        let mut state = chan.initial_state();
+        let trials = 200_000;
+        let lost = (0..trials)
+            .filter(|_| chan.step(&mut state, &mut rng))
+            .count();
+        let rate = lost as f64 / trials as f64;
+        assert!(
+            (rate - chan.stationary_loss()).abs() < 0.01,
+            "empirical loss {rate} vs stationary {}",
+            chan.stationary_loss()
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_cluster_into_bursts() {
+        // With a near-deterministic bad state, consecutive losses are far
+        // more likely than the i.i.d. square of the marginal loss rate.
+        let chan = GilbertElliott::new(0.02, 0.2, 0.0, 1.0).unwrap();
+        let mut rng = seeded_rng(13);
+        let mut state = chan.initial_state();
+        let outcomes: Vec<bool> = (0..100_000)
+            .map(|_| chan.step(&mut state, &mut rng))
+            .collect();
+        let loss = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        let pairs = outcomes.windows(2).filter(|w| w[0] && w[1]).count() as f64
+            / (outcomes.len() - 1) as f64;
+        assert!(
+            pairs > 3.0 * loss * loss,
+            "consecutive-loss rate {pairs} should exceed the i.i.d. square of {loss}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_step_consumes_exactly_two_draws() {
+        let chan = GilbertElliott::new(0.05, 0.5, 0.0, 1.0).unwrap();
+        let mut a = seeded_rng(14);
+        let mut b = seeded_rng(14);
+        let mut state = chan.initial_state();
+        let _ = chan.step(&mut state, &mut a);
+        let _: f64 = b.gen();
+        let _: f64 = b.gen();
+        assert_eq!(a, b);
     }
 
     #[test]

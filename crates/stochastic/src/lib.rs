@@ -54,7 +54,9 @@ pub mod process;
 pub mod rng;
 pub mod stats;
 
-pub use distributions::{Bernoulli, Exponential, Geometric, LogNormal, Poisson};
+pub use distributions::{
+    Bernoulli, Exponential, Geometric, GilbertElliott, GilbertElliottState, LogNormal, Poisson,
+};
 pub use events::EventQueue;
 pub use process::{BirthDeathChain, Jump, JumpKind, PoissonProcess};
 pub use rng::{seeded_rng, SimRng};
