@@ -14,7 +14,10 @@
 //!   3.16/4.20 and Theorems 3.7/4.12),
 //! * [`comparison`] — side-by-side "paper claim vs measured value" rows with a
 //!   pass/fail verdict, rendered through `churn-sim` tables into the format
-//!   `EXPERIMENTS.md` uses.
+//!   `EXPERIMENTS.md` uses,
+//! * [`report`] — report regeneration: rebuilds summary tables, trajectory
+//!   summaries, and the verdict rows from the stored `results/*.jsonl` and
+//!   `results/*.series.jsonl` files without re-running any cell.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,8 +25,10 @@
 
 pub mod comparison;
 pub mod records;
+pub mod report;
 pub mod scaling;
 
 pub use comparison::{Comparison, ComparisonSet};
 pub use records::summarize_cells;
+pub use report::{scenario_report, ScenarioReport};
 pub use scaling::{classify_scaling, fit_logarithmic, ScalingClass, ScalingFit};

@@ -1,0 +1,333 @@
+//! Report regeneration from stored scenario records.
+//!
+//! The scenario engine persists everything a verdict needs: the main
+//! `results/<name>.jsonl` checkpoint (one [`CellRecord`] per cell) and, for
+//! series-enabled runs, the `results/<name>.series.jsonl` side file (one
+//! [`SeriesRecord`] per supporting cell). This module rebuilds the
+//! `EXPERIMENTS.md`-style report — per-point summary table, trajectory
+//! summaries, and the paper-claim verdict table — from those files alone,
+//! without re-running a single cell. `exp report <name>` is a thin wrapper
+//! around [`scenario_report`].
+//!
+//! The verdict rules are keyed on metric *presence*, not on scenario names:
+//! a scenario that records `completed` gets the majority-completion check, a
+//! scenario that records both `max_in_degree` and `in_degree_cap` gets the
+//! RAES cap check, and so on. New scenarios inherit verdicts by emitting the
+//! shared metric vocabulary.
+
+use churn_sim::scenario::{CellRecord, SeriesRecord};
+use churn_sim::Table;
+
+use crate::comparison::{Comparison, ComparisonSet};
+use crate::records::summarize_cells;
+
+/// A regenerated scenario report: summary tables plus the verdict rows.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Summary tables — per-point means over the stored cell records, and
+    /// (when series records are present) per-point trajectory summaries.
+    pub tables: Vec<Table>,
+    /// The paper-claim verdict rows derived from the stored metrics.
+    pub comparisons: ComparisonSet,
+}
+
+impl ScenarioReport {
+    /// Returns `true` when every derived comparison holds (vacuously true
+    /// when the scenario's metrics trigger no rule).
+    #[must_use]
+    pub fn all_hold(&self) -> bool {
+        self.comparisons.all_hold()
+    }
+}
+
+/// Rebuilds the report for `scenario` from stored records.
+///
+/// `records` comes from `load_cell_records` on the main checkpoint and must
+/// be non-empty for a meaningful report; `series` comes from
+/// `load_series_records` on the side file and may be empty (series-off runs,
+/// or measurements without per-round output).
+#[must_use]
+pub fn scenario_report(
+    scenario: &str,
+    records: &[CellRecord],
+    series: &[SeriesRecord],
+) -> ScenarioReport {
+    let mut tables = vec![summarize_cells(
+        format!("{scenario} — per-point means"),
+        records,
+    )];
+    if !series.is_empty() {
+        let derived: Vec<CellRecord> = series.iter().map(series_summary_record).collect();
+        tables.push(summarize_cells(
+            format!("{scenario} — trajectory summaries (from .series.jsonl)"),
+            &derived,
+        ));
+    }
+    ScenarioReport {
+        tables,
+        comparisons: derive_comparisons(scenario, records),
+    }
+}
+
+/// Collapses one per-round series into a flat metric record with the same
+/// cell identity, so the trajectory table reuses [`summarize_cells`] grouping.
+fn series_summary_record(series: &SeriesRecord) -> CellRecord {
+    let mut metrics: Vec<(String, f64)> = vec![("rounds".into(), series.rounds() as f64)];
+    for (name, values) in &series.series {
+        match name.as_str() {
+            "informed_fraction" => {
+                metrics.push(("final_informed".into(), last_finite(values)));
+                metrics.push(("rounds_to_half".into(), rounds_to(values, 0.5)));
+                metrics.push(("rounds_to_99".into(), rounds_to(values, 0.99)));
+            }
+            // Per-round deltas: the interesting summary is the total.
+            "newly_informed" | "duplicates" | "lost" | "blocked" | "requests" | "replies"
+            | "repaired" | "sheds" | "crashes" | "restarts" | "pulls" => {
+                metrics.push((format!("total_{name}"), finite_sum(values)));
+            }
+            // Peaks for load/saturation-shaped columns.
+            "max_in_degree" | "saturated_fraction" | "informed" => {
+                metrics.push((format!("peak_{name}"), finite_max(values)));
+            }
+            // Population columns: the end state tells the story.
+            _ => metrics.push((format!("final_{name}"), last_finite(values))),
+        }
+    }
+    CellRecord {
+        scenario: series.scenario.clone(),
+        net: series.net.clone(),
+        n: series.n,
+        d: series.d,
+        victim: series.victim.clone(),
+        fault: series.fault.clone(),
+        trial: series.trial,
+        seed: series.seed,
+        metrics,
+    }
+}
+
+/// First round index (1-based, as a count of rounds) at which `values`
+/// reaches `threshold`; `NaN` when it never does.
+fn rounds_to(values: &[f64], threshold: f64) -> f64 {
+    values
+        .iter()
+        .position(|&v| v >= threshold)
+        .map_or(f64::NAN, |i| (i + 1) as f64)
+}
+
+fn last_finite(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .rev()
+        .copied()
+        .find(|v| v.is_finite())
+        .unwrap_or(f64::NAN)
+}
+
+fn finite_sum(values: &[f64]) -> f64 {
+    values.iter().copied().filter(|v| v.is_finite()).sum()
+}
+
+fn finite_max(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NAN, f64::max)
+}
+
+/// Mean of a metric over the records that carry it; `None` when absent.
+fn metric_mean(records: &[CellRecord], name: &str) -> Option<f64> {
+    let values: Vec<f64> = records
+        .iter()
+        .filter_map(|r| r.metric(name))
+        .filter(|v| v.is_finite())
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Max of a metric over the records that carry it; `None` when absent.
+fn metric_max(records: &[CellRecord], name: &str) -> Option<f64> {
+    records
+        .iter()
+        .filter_map(|r| r.metric(name))
+        .filter(|v| v.is_finite())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Min of a metric over the records that carry it; `None` when absent.
+fn metric_min(records: &[CellRecord], name: &str) -> Option<f64> {
+    records
+        .iter()
+        .filter_map(|r| r.metric(name))
+        .filter(|v| v.is_finite())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Derives the verdict rows the scenario's metric vocabulary supports.
+fn derive_comparisons(scenario: &str, records: &[CellRecord]) -> ComparisonSet {
+    let mut set = ComparisonSet::new(format!("{scenario} — paper-claim verdicts"));
+    if let Some(mean) = metric_mean(records, "completed") {
+        set.push(
+            Comparison::new(
+                "flooding completion rate",
+                "Theorems 3.16 / 4.20",
+                ">= 0.50 of trials",
+                format!("{mean:.2}"),
+                mean >= 0.5,
+            )
+            .with_note("fraction of cells whose flooding completed"),
+        );
+    }
+    if let (Some(max_deg), Some(cap)) = (
+        metric_max(records, "max_in_degree"),
+        metric_max(records, "in_degree_cap"),
+    ) {
+        set.push(
+            Comparison::new(
+                "peak RAES in-degree",
+                "RAES accept rule (Becchetti et al.)",
+                format!("<= cap {cap:.0}"),
+                format!("{max_deg:.0}"),
+                max_deg <= cap,
+            )
+            .with_note("max over every stored cell"),
+        );
+    }
+    if let Some(min_h_out) = metric_min(records, "min_h_out") {
+        set.push(
+            Comparison::new(
+                "min honest out-degree",
+                "RAES out-degree repair",
+                "> 0 (no honest node stranded)",
+                format!("{min_h_out:.0}"),
+                min_h_out > 0.0,
+            )
+            .with_note("min over every stored cell"),
+        );
+    }
+    if let Some(expansion) = metric_min(records, "expansion") {
+        set.push(
+            Comparison::new(
+                "snapshot expansion",
+                "Theorems 3.15 / 4.16",
+                "> 0 on every cell",
+                format!("{expansion:.4}"),
+                expansion > 0.0,
+            )
+            .with_note("min over every stored cell"),
+        );
+    }
+    if let Some(recovered) = metric_mean(records, "partition_recovered") {
+        set.push(
+            Comparison::new(
+                "partition recovery rate",
+                "partition-healing scenario",
+                ">= 0.50 of trials",
+                format!("{recovered:.2}"),
+                recovered >= 0.5,
+            )
+            .with_note("fraction of cells that re-healed after the partition"),
+        );
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(metrics: &[(&str, f64)]) -> CellRecord {
+        CellRecord {
+            scenario: "s".into(),
+            net: "SDGR".into(),
+            n: 256,
+            d: 4,
+            victim: "uniform".into(),
+            fault: None,
+            trial: 0,
+            seed: 7,
+            metrics: metrics.iter().map(|&(m, v)| (m.to_string(), v)).collect(),
+        }
+    }
+
+    fn series(columns: &[(&str, &[f64])]) -> SeriesRecord {
+        SeriesRecord {
+            scenario: "s".into(),
+            net: "SDGR".into(),
+            n: 256,
+            d: 4,
+            victim: "uniform".into(),
+            fault: None,
+            trial: 0,
+            seed: 7,
+            series: columns
+                .iter()
+                .map(|&(name, values)| (name.to_string(), values.to_vec()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn verdict_rules_fire_only_on_present_metrics() {
+        let records = vec![
+            cell(&[
+                ("completed", 1.0),
+                ("max_in_degree", 11.0),
+                ("in_degree_cap", 12.0),
+            ]),
+            cell(&[
+                ("completed", 1.0),
+                ("max_in_degree", 9.0),
+                ("in_degree_cap", 12.0),
+            ]),
+        ];
+        let report = scenario_report("demo", &records, &[]);
+        assert_eq!(report.comparisons.len(), 2, "completion + cap rules");
+        assert!(report.all_hold());
+        // A cap violation flips the verdict.
+        let bad = vec![cell(&[("max_in_degree", 13.0), ("in_degree_cap", 12.0)])];
+        assert!(!scenario_report("demo", &bad, &[]).all_hold());
+        // No known metrics → vacuous verdict set.
+        let none = vec![cell(&[("rounds", 5.0)])];
+        let empty = scenario_report("demo", &none, &[]);
+        assert!(empty.comparisons.is_empty());
+        assert!(empty.all_hold());
+    }
+
+    #[test]
+    fn trajectory_table_summarizes_series_columns() {
+        let records = vec![cell(&[("rounds", 3.0)])];
+        let run = series(&[
+            ("informed_fraction", &[0.2, 0.6, 1.0][..]),
+            ("newly_informed", &[50.0, 100.0, 102.0][..]),
+            ("alive", &[250.0, 252.0, 249.0][..]),
+        ]);
+        let report = scenario_report("demo", &records, std::slice::from_ref(&run));
+        assert_eq!(report.tables.len(), 2);
+        let md = report.tables[1].to_markdown();
+        assert!(md.contains("trajectory summaries"));
+        assert!(md.contains("rounds_to_half"), "{md}");
+        assert!(md.contains("total_newly_informed"), "{md}");
+        assert!(md.contains("final_alive"), "{md}");
+        // rounds_to_half: first round reaching 0.5 is round 2.
+        let derived = series_summary_record(&run);
+        assert_eq!(derived.metric("rounds_to_half"), Some(2.0));
+        assert_eq!(derived.metric("rounds_to_99"), Some(3.0));
+        assert_eq!(derived.metric("final_informed"), Some(1.0));
+        assert_eq!(derived.metric("total_newly_informed"), Some(252.0));
+    }
+
+    #[test]
+    fn threshold_never_reached_yields_nan_and_is_dashed_in_the_table() {
+        let run = series(&[("informed_fraction", &[0.1, 0.2][..])]);
+        let derived = series_summary_record(&run);
+        assert!(derived.metric("rounds_to_99").unwrap().is_nan());
+        let report = scenario_report("demo", &[cell(&[])], &[run]);
+        assert!(report.tables[1].to_markdown().contains('-'));
+    }
+}

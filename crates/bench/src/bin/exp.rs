@@ -1,12 +1,15 @@
 //! The single experiment runner over the scenario registry.
 //!
 //! ```text
-//! exp list                          # registered scenarios
+//! exp list                          # registered scenarios (+ series support)
 //! exp run <name> [<name>…]         # run scenarios (full preset)
 //! exp run --all                    # run every registered scenario
 //!   --smoke                        # tiny-n smoke grids (CI runs this per PR)
 //!   --resume                       # skip cells already in the checkpoint
+//!   --series                       # record per-round series + phase profiles
 //!   --out <dir>                    # output directory (default: results/)
+//! exp report <name> [<name>…]      # regenerate the verdict report from the
+//!   [--smoke] [--out <dir>]        # stored records — no cell is re-run
 //! ```
 //!
 //! Every run streams one JSON record per completed cell to
@@ -24,12 +27,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use churn_bench::scenarios;
-use churn_sim::scenario::{GridPreset, RunOptions};
+use churn_bench::{scenarios, Preset};
+use churn_sim::scenario::{scenario_series_path, GridPreset, RunOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: exp list\n       exp run <name>… | --all  [--smoke] [--resume] [--out <dir>]"
+        "usage: exp list\n       exp run <name>… | --all  [--smoke] [--resume] [--series] [--out <dir>]\n       exp report <name>… | --all  [--smoke] [--out <dir>]"
     );
     ExitCode::FAILURE
 }
@@ -40,16 +43,34 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("list") => {
             println!(
-                "{:<22} {:<21} {:>5} {:>5}  title",
-                "name", "measurement", "full", "smoke"
+                "{:<22} {:<21} {:>5} {:>5} {:<6}  title",
+                "name", "measurement", "full", "smoke", "series"
             );
+            let full_opts = RunOptions::default();
+            let smoke_opts = RunOptions {
+                preset: GridPreset::Smoke,
+                ..RunOptions::default()
+            };
             for scenario in registry.scenarios() {
+                // "series" column: `-` when the measurement has no per-round
+                // output, `yes` when `--series` would record one, `disk` when
+                // a .series.jsonl file from an earlier run is present.
+                let series = if !scenario.measurement().supports_series() {
+                    "-"
+                } else if scenario_series_path(scenario, &full_opts).exists()
+                    || scenario_series_path(scenario, &smoke_opts).exists()
+                {
+                    "disk"
+                } else {
+                    "yes"
+                };
                 println!(
-                    "{:<22} {:<21} {:>5} {:>5}  {}",
+                    "{:<22} {:<21} {:>5} {:>5} {:<6}  {}",
                     scenario.name(),
                     scenario.measurement().kind(),
                     scenario.cells(GridPreset::Full).len(),
                     scenario.cells(GridPreset::Smoke).len(),
+                    series,
                     scenario.title()
                 );
                 if scenario.has_fault_axis() {
@@ -59,7 +80,8 @@ fn main() -> ExitCode {
                         .map(churn_sim::scenario::FaultSpec::label)
                         .collect();
                     println!(
-                        "{:<22} {:<21} {:>5} {:>5}  faults: {}",
+                        "{:<22} {:<21} {:>5} {:>5} {:<6}  faults: {}",
+                        "",
                         "",
                         "",
                         "",
@@ -80,6 +102,7 @@ fn main() -> ExitCode {
                     "--all" => all = true,
                     "--smoke" => opts.preset = GridPreset::Smoke,
                     "--resume" => opts.resume = true,
+                    "--series" => opts.series = true,
                     "--out" => match rest.next() {
                         Some(dir) => opts.dir = PathBuf::from(dir),
                         None => return usage(),
@@ -138,6 +161,67 @@ fn main() -> ExitCode {
             } else {
                 eprintln!("rerun with --resume to retry exactly the failed cells");
                 ExitCode::FAILURE
+            }
+        }
+        Some("report") => {
+            let mut names: Vec<String> = Vec::new();
+            let mut all = false;
+            let mut opts = RunOptions::default();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--all" => all = true,
+                    "--smoke" => opts.preset = GridPreset::Smoke,
+                    "--out" => match rest.next() {
+                        Some(dir) => opts.dir = PathBuf::from(dir),
+                        None => return usage(),
+                    },
+                    name if !name.starts_with('-') => names.push(name.to_string()),
+                    _ => return usage(),
+                }
+            }
+            if all {
+                names = registry.names().into_iter().map(str::to_string).collect();
+            }
+            if names.is_empty() {
+                return usage();
+            }
+            let preset = match opts.preset {
+                GridPreset::Smoke => Preset::Quick,
+                GridPreset::Full => Preset::Full,
+            };
+            let mut failed = false;
+            for name in &names {
+                match scenarios::report_from_disk(&registry, name, &opts) {
+                    Ok(report) => {
+                        let title = registry
+                            .get(name)
+                            .map_or_else(|| name.clone(), |s| s.title().to_string());
+                        let artifact = registry
+                            .get(name)
+                            .map_or("", |s| s.reproduced_artifact())
+                            .to_string();
+                        churn_bench::print_report(
+                            &title,
+                            &artifact,
+                            preset,
+                            &report.tables,
+                            std::slice::from_ref(&report.comparisons),
+                        );
+                        if !report.all_hold() {
+                            failed = true;
+                        }
+                    }
+                    Err(message) => {
+                        eprintln!("report {name}: {message}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             }
         }
         _ => usage(),

@@ -19,9 +19,10 @@ use churn_core::{ModelKind, VictimPolicy};
 use churn_event::{BandwidthModel, CrashRestart, LatencyModel, LossModel, PartitionWindow};
 use churn_protocol::{AdversaryModel, AttackKind, ChurnDriver, SaturationPolicy};
 use churn_sim::scenario::{
-    run_scenario, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec, FaultSpec, FloodingSpec, Grid,
-    GridPreset, Measurement, NetSpec, RaesNet, RetryPolicy, RoundBudget, RunOptions, Scenario,
-    ScenarioOutcome, ScenarioRegistry,
+    load_cell_records, load_series_records, run_scenario, scenario_output_path,
+    scenario_series_path, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec, FaultSpec, FloodingSpec,
+    Grid, GridPreset, Measurement, NetSpec, RaesNet, RetryPolicy, RoundBudget, RunOptions,
+    Scenario, ScenarioOutcome, ScenarioRegistry,
 };
 
 /// Builds the full registry. Scenario names are stable — they are the
@@ -903,6 +904,42 @@ pub fn run_and_report(
     );
     println!("{}", table.to_markdown());
     outcome
+}
+
+/// Regenerates the report for `name` from the stored checkpoint (and, when
+/// present, the `.series.jsonl` side file) without running any cell. The
+/// verdict tables are rebuilt by `churn_analysis::scenario_report` from the
+/// on-disk records alone, so `exp report` works on a machine that only has
+/// the `results/` directory.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the scenario is unknown, the
+/// checkpoint is missing/unreadable, or it holds no cells yet.
+pub fn report_from_disk(
+    registry: &ScenarioRegistry,
+    name: &str,
+    opts: &RunOptions,
+) -> Result<churn_analysis::ScenarioReport, String> {
+    let scenario = registry
+        .get(name)
+        .ok_or_else(|| format!("unknown scenario {name:?} (try `exp list`)"))?;
+    let path = scenario_output_path(scenario, opts);
+    let records = load_cell_records(&path)
+        .map_err(|e| format!("{}: {e} (run the scenario first)", path.display()))?;
+    if records.is_empty() {
+        return Err(format!(
+            "{}: no stored cells yet (run the scenario first)",
+            path.display()
+        ));
+    }
+    let series_path = scenario_series_path(scenario, opts);
+    let series = if series_path.exists() {
+        load_series_records(&series_path).map_err(|e| format!("{}: {e}", series_path.display()))?
+    } else {
+        Vec::new()
+    };
+    Ok(churn_analysis::scenario_report(name, &records, &series))
 }
 
 /// Entry point of the legacy experiment shims: maps the historical `quick`

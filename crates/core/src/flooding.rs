@@ -1144,7 +1144,10 @@ fn run_flooding_loop<M: DynamicNetwork + ?Sized>(
     let mut peak_informed = 1usize;
 
     let outcome = loop {
-        let stats = step_fn(model);
+        let stats = {
+            let _sweep = tracing::span("sweep");
+            step_fn(model)
+        };
         let fraction = stats.informed_fraction();
         let informed = stats.informed;
         let round = stats.round;

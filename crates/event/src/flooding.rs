@@ -38,17 +38,26 @@ use crate::stats::EventStats;
 /// trajectory).
 const LATENCY_STREAM: u64 = 0x0A51_C0DE;
 
-/// Trace kinds recorded by the flooding process.
-const TRACE_INFORMED: u16 = 1;
-const TRACE_DUPLICATE: u16 = 2;
-const TRACE_LOST: u16 = 3;
-const TRACE_CHURN: u16 = 4;
-const TRACE_BLOCKED: u16 = 5;
-const TRACE_DOWN: u16 = 6;
-const TRACE_CRASH: u16 = 7;
-const TRACE_RESTART: u16 = 8;
-const TRACE_PULL: u16 = 9;
-const TRACE_VOID: u16 = 10;
+/// Trace kind: a node became informed (`subject` = node id).
+pub const TRACE_INFORMED: u16 = 1;
+/// Trace kind: a delivery reached an already-informed node.
+pub const TRACE_DUPLICATE: u16 = 2;
+/// Trace kind: a message was lost in flight.
+pub const TRACE_LOST: u16 = 3;
+/// Trace kind: a churn tick completed (`subject` = alive count after it).
+pub const TRACE_CHURN: u16 = 4;
+/// Trace kind: a send was dropped at a saturated bandwidth queue.
+pub const TRACE_BLOCKED: u16 = 5;
+/// Trace kind: a delivery reached a departed node.
+pub const TRACE_DOWN: u16 = 6;
+/// Trace kind: a node crashed (`subject` = node id).
+pub const TRACE_CRASH: u16 = 7;
+/// Trace kind: a crashed node restarted (`subject` = node id).
+pub const TRACE_RESTART: u16 = 8;
+/// Trace kind: an anti-entropy pull informed a node.
+pub const TRACE_PULL: u16 = 9;
+/// Trace kind: a delivery arrived for a recycled/void slot.
+pub const TRACE_VOID: u16 = 10;
 
 /// Where the rumor starts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -532,6 +541,7 @@ pub fn run_async_flooding_faulty<N: DynamicNetwork>(
             engine.sched.schedule_at(interval, Ev::AntiEntropy);
         }
     }
+    let event_loop = tracing::span("event-loop");
     while let Some(time) = engine.sched.peek_time() {
         if time > cfg.horizon {
             break;
@@ -577,6 +587,7 @@ pub fn run_async_flooding_faulty<N: DynamicNetwork>(
             }
         }
     }
+    drop(event_loop);
     let alive = net.alive_count();
     engine.into_record(alive)
 }
@@ -630,6 +641,7 @@ pub fn run_async_flooding_static_faulty(
             engine.sched.schedule_at(interval, Ev::AntiEntropy);
         }
     }
+    let event_loop = tracing::span("event-loop");
     while let Some(time) = engine.sched.peek_time() {
         if time > cfg.horizon {
             break;
@@ -662,6 +674,7 @@ pub fn run_async_flooding_static_faulty(
             }
         }
     }
+    drop(event_loop);
     engine.into_record(graph.len())
 }
 

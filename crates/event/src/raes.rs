@@ -42,15 +42,22 @@ use crate::latency::LatencyModel;
 use crate::sched::{Scheduler, TraceEvent};
 use crate::stats::{percentile, EventStats};
 
-/// Trace kinds recorded by the RAES process.
-const TRACE_CHURN: u16 = 10;
-const TRACE_REQUEST: u16 = 11;
-const TRACE_REPLY: u16 = 12;
-const TRACE_REPAIRED: u16 = 13;
-const TRACE_FLOOD: u16 = 14;
-const TRACE_CRASH: u16 = 15;
-const TRACE_RESTART: u16 = 16;
-const TRACE_SHED: u16 = 17;
+/// Trace kind: a churn tick completed (`subject` = alive count after it).
+pub const TRACE_CHURN: u16 = 10;
+/// Trace kind: a connect request was delivered.
+pub const TRACE_REQUEST: u16 = 11;
+/// Trace kind: a connect reply was delivered (`subject` = 1 accept, 0 reject).
+pub const TRACE_REPLY: u16 = 12;
+/// Trace kind: a node finished repairing its out-neighbourhood.
+pub const TRACE_REPAIRED: u16 = 13;
+/// Trace kind: the piggybacked flood started (`subject` = source id).
+pub const TRACE_FLOOD: u16 = 14;
+/// Trace kind: a node crashed (`subject` = node id).
+pub const TRACE_CRASH: u16 = 15;
+/// Trace kind: a crashed node restarted (`subject` = node id).
+pub const TRACE_RESTART: u16 = 16;
+/// Trace kind: a node shed a retry after exhausting its budget.
+pub const TRACE_SHED: u16 = 17;
 
 /// Configuration of one asynchronous RAES run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -877,6 +884,7 @@ impl Raes {
                 self.sched.schedule_at(at, Ev::FloodStart);
             }
         }
+        let event_loop = tracing::span("event-loop");
         while let Some(time) = self.sched.peek_time() {
             if time > self.cfg.horizon {
                 break;
@@ -920,6 +928,7 @@ impl Raes {
                 Ev::Restart { target, id } => self.on_restart(now, target, id),
             }
         }
+        drop(event_loop);
         self.finish()
     }
 

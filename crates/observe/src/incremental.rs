@@ -176,6 +176,7 @@ impl IncrementalSnapshot {
 
     /// Brings the view up to date with one recorded delta window.
     pub fn apply(&mut self, graph: &DynamicGraph, delta: &GraphDelta) {
+        let _snapshot = tracing::span("snapshot");
         let threshold = (self.rebuild_fraction * graph.len().max(1) as f64).ceil() as usize;
         if delta.dirty.len() >= threshold.max(1) {
             self.rebuild(graph);

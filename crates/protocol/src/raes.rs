@@ -417,6 +417,7 @@ impl RaesModel {
     /// steady-state container regrowth rare there, but a sufficiently large
     /// excursion can still allocate.)
     pub fn step_round_into(&mut self, summary: &mut ChurnSummary) {
+        let _round = tracing::span("raes-round");
         summary.clear();
         self.rounds += 1;
         match self.config.churn {

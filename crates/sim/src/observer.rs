@@ -41,8 +41,12 @@ where
     model.graph_mut().set_delta_recording(true);
     let mut delta = GraphDelta::new();
     for round in 1..=rounds {
-        let summary = model.advance_time_unit();
+        let summary = {
+            let _churn = churn_telemetry::span("churn");
+            model.advance_time_unit()
+        };
         model.graph_mut().take_delta_into(&mut delta);
+        let _observe = churn_telemetry::span("observe");
         observer(round, &*model, &summary, &delta);
     }
 }

@@ -38,6 +38,7 @@ use churn_event::{
 };
 use churn_protocol::{AdversaryModel, ChurnDriver, RaesConfig, SaturationPolicy};
 use churn_stochastic::rng::derive_seed;
+use churn_telemetry::PhaseProfiler;
 
 use crate::minijson;
 use crate::store::{escape_json, format_value};
@@ -554,6 +555,24 @@ impl Measurement {
             Measurement::AsyncFlooding(_) => "async-flooding",
             Measurement::AsyncRaes(_) => "async-raes",
         }
+    }
+
+    /// Whether this measurement can emit a per-round time series
+    /// ([`SeriesRecord`]) when the runner is invoked with
+    /// [`RunOptions::series`]: the round-iterating measurements record one
+    /// row per round (sync engines) or per unit of simulated time (async
+    /// engines, via the scheduler's event trace). The scalar census
+    /// measurements have no round structure to record.
+    #[must_use]
+    pub fn supports_series(&self) -> bool {
+        matches!(
+            self,
+            Measurement::Flooding(_)
+                | Measurement::ParallelFlooding(_)
+                | Measurement::RaesTracking { .. }
+                | Measurement::AsyncFlooding(_)
+                | Measurement::AsyncRaes(_)
+        )
     }
 }
 
@@ -1229,6 +1248,238 @@ fn read_checkpoint(path: &Path) -> io::Result<Vec<CheckpointLine>> {
 }
 
 // ---------------------------------------------------------------------------
+// Per-round time series
+// ---------------------------------------------------------------------------
+
+/// The per-round time series of one cell, streamed to the
+/// `.series.jsonl` side file when [`RunOptions::series`] is on.
+///
+/// The identity prefix (`scenario` … `seed`) matches the cell's
+/// [`CellRecord`] in the main output file; `seed` is the deterministic join
+/// key between the two. The series itself is column-oriented: named `f64`
+/// arrays, all the same length (one entry per round, or per unit of
+/// simulated time for the asynchronous measurements), with `NaN` encoding
+/// as `null`.
+///
+/// Series records are deterministic — same cell, same seed, same bytes — and
+/// never contain wall-clock values. The file follows the side-file
+/// lifecycle: rewritten in cell order each series-enabled run, carried over
+/// byte-verbatim for checkpointed cells on `--resume`, and removed by runs
+/// with series recording off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Network-spec label.
+    pub net: String,
+    /// Network size.
+    pub n: usize,
+    /// Degree parameter.
+    pub d: usize,
+    /// Victim-policy label.
+    pub victim: String,
+    /// Fault-axis label; `None` on fault-free cells (omitted from the line,
+    /// mirroring [`CellRecord`]).
+    pub fault: Option<String>,
+    /// Trial index.
+    pub trial: usize,
+    /// The cell's deterministic seed — the join key to the main record.
+    pub seed: u64,
+    /// Named per-round columns, in measurement order; every array has
+    /// [`Self::rounds`] entries.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl SeriesRecord {
+    /// Number of rounds recorded (the length of every column).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.series.first().map_or(0, |(_, v)| v.len())
+    }
+
+    /// The values of one named column.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|(column, _)| column == name)
+            .map(|(_, values)| values.as_slice())
+    }
+
+    /// Serialises the record as one JSON line (no trailing newline), in the
+    /// same deterministic encoding as [`CellRecord::to_json_line`]; `NaN`
+    /// (and any non-finite value) encodes as `null`.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let rounds = self.rounds();
+        let mut out = String::with_capacity(160 + 8 * rounds * self.series.len());
+        out.push_str("{\"scenario\":");
+        escape_json(&self.scenario, &mut out);
+        out.push_str(",\"net\":");
+        escape_json(&self.net, &mut out);
+        out.push_str(&format!(",\"n\":{},\"d\":{},\"victim\":", self.n, self.d));
+        escape_json(&self.victim, &mut out);
+        if let Some(fault) = &self.fault {
+            out.push_str(",\"fault\":");
+            escape_json(fault, &mut out);
+        }
+        out.push_str(&format!(
+            ",\"trial\":{},\"seed\":{},\"rounds\":{rounds},\"series\":{{",
+            self.trial, self.seed
+        ));
+        for (i, (column, values)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json(column, &mut out);
+            out.push_str(":[");
+            for (j, value) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format_value(*value));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a record from one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field (including
+    /// columns whose length disagrees with the recorded `rounds`).
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let value = minijson::parse(line)?;
+        fn field<'a>(v: &'a minijson::Value, key: &str) -> Result<&'a minijson::Value, String> {
+            v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+        }
+        let rounds = field(&value, "rounds")?
+            .as_usize()
+            .ok_or("rounds must be an integer")?;
+        let series_value = field(&value, "series")?;
+        let minijson::Value::Object(series_map) = series_value else {
+            return Err("series must be an object".to_string());
+        };
+        let mut series = Vec::with_capacity(series_map.len());
+        for (column, column_value) in series_map {
+            let minijson::Value::Array(entries) = column_value else {
+                return Err(format!("series column {column:?} must be an array"));
+            };
+            let mut values = Vec::with_capacity(entries.len());
+            for entry in entries {
+                values.push(
+                    entry
+                        .as_f64()
+                        .ok_or_else(|| format!("series column {column:?} must hold numbers"))?,
+                );
+            }
+            if values.len() != rounds {
+                return Err(format!(
+                    "series column {column:?} has {} entries, expected {rounds}",
+                    values.len()
+                ));
+            }
+            series.push((column.clone(), values));
+        }
+        Ok(SeriesRecord {
+            scenario: field(&value, "scenario")?
+                .as_str()
+                .ok_or("scenario must be a string")?
+                .to_owned(),
+            net: field(&value, "net")?
+                .as_str()
+                .ok_or("net must be a string")?
+                .to_owned(),
+            n: field(&value, "n")?
+                .as_usize()
+                .ok_or("n must be an integer")?,
+            d: field(&value, "d")?
+                .as_usize()
+                .ok_or("d must be an integer")?,
+            victim: field(&value, "victim")?
+                .as_str()
+                .ok_or("victim must be a string")?
+                .to_owned(),
+            fault: match value.get("fault") {
+                Some(fault) => Some(fault.as_str().ok_or("fault must be a string")?.to_owned()),
+                None => None,
+            },
+            trial: field(&value, "trial")?
+                .as_usize()
+                .ok_or("trial must be an integer")?,
+            seed: field(&value, "seed")?
+                .as_u64()
+                .ok_or("seed must be an integer")?,
+            series,
+        })
+    }
+}
+
+/// Loads every series record of a `.series.jsonl` side file. Like
+/// [`load_cell_records`], a torn *trailing* line (the signature of an
+/// interrupted run) is dropped with a warning; interior corruption is an
+/// error. Note that loaded records come back with their columns sorted by
+/// name (JSON objects do not order keys); the on-disk bytes keep
+/// measurement order.
+///
+/// # Errors
+///
+/// Returns any I/O error, or corruption before the last line.
+pub fn load_series_records(path: &Path) -> io::Result<Vec<SeriesRecord>> {
+    read_series_checkpoint(path)
+        .map(|lines| lines.into_iter().map(|(_, record, _)| record).collect())
+}
+
+/// Reads the series side file as `(seed, record, raw line)` triples with the
+/// same torn-tail tolerance as [`read_checkpoint`]. The resume path re-emits
+/// `raw` verbatim for checkpointed cells, keeping a resumed series file
+/// bit-identical to an uninterrupted one.
+fn read_series_checkpoint(path: &Path) -> io::Result<Vec<(u64, SeriesRecord, String)>> {
+    let data = fs::read(path)?;
+    let mut out = Vec::new();
+    let mut lines = data.split_inclusive(|&b| b == b'\n').peekable();
+    while let Some(line) = lines.next() {
+        let is_last = lines.peek().is_none();
+        let complete = line.last() == Some(&b'\n');
+        let parsed = std::str::from_utf8(line)
+            .map_err(|_| "invalid UTF-8".to_string())
+            .and_then(|text| {
+                let text = text.trim_end_matches(['\n', '\r']);
+                if text.trim().is_empty() {
+                    Ok(None)
+                } else {
+                    SeriesRecord::from_json_line(text).map(|record| Some((record, text)))
+                }
+            });
+        match parsed {
+            Ok(None) => {}
+            Ok(Some((record, text))) if complete => {
+                out.push((record.seed, record, text.to_string()));
+            }
+            Ok(Some(_)) => break,
+            Err(e) => {
+                if complete && !is_last {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}: {e}", path.display()),
+                    ));
+                }
+                eprintln!(
+                    "warning: {}: dropping corrupt trailing series line ({e}); \
+                     the cell's series re-emits on --resume only if the cell re-runs",
+                    path.display()
+                );
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -1299,6 +1550,15 @@ pub struct RunOptions {
     /// Stop after executing this many *new* cells (used by the
     /// resume-determinism tests to simulate an interrupted run).
     pub limit: Option<usize>,
+    /// Turn the telemetry layer on: measurements that support it (see
+    /// [`Measurement::supports_series`]) stream a per-round [`SeriesRecord`]
+    /// to the `.series.jsonl` side file, and a per-cell phase profiler is
+    /// attached whose wall-clock breakdown lands in the `.load.jsonl`
+    /// records. Off by default — with it off no subscriber is ever attached,
+    /// the engines' hot paths pay one branch per emission site, and the
+    /// main output file stays byte-identical either way (the telemetry
+    /// layer observes, it never steers).
+    pub series: bool,
 }
 
 impl Default for RunOptions {
@@ -1308,6 +1568,7 @@ impl Default for RunOptions {
             resume: false,
             dir: PathBuf::from("results"),
             limit: None,
+            series: false,
         }
     }
 }
@@ -1415,6 +1676,13 @@ pub struct LoadRecord {
     pub units: f64,
     /// Work units per wall-clock second.
     pub units_per_s: f64,
+    /// Wall-clock seconds per engine phase (`churn`, `sweep`, `observe`,
+    /// `snapshot`, `event-loop`, …), in first-appearance order. Empty unless
+    /// the run attached the phase profiler ([`RunOptions::series`]). Spans
+    /// nest (`raes-round` inside `churn`; `event-loop` around everything an
+    /// async engine does), so entries break the cell's time down — they do
+    /// not sum to `wall_s`.
+    pub phases: Vec<(String, f64)>,
 }
 
 impl LoadRecord {
@@ -1436,10 +1704,23 @@ impl LoadRecord {
         ));
         escape_json(self.unit, &mut out);
         out.push_str(&format!(
-            ",\"units\":{},\"units_per_s\":{}}}",
+            ",\"units\":{},\"units_per_s\":{}",
             format_value(self.units),
             format_value(self.units_per_s)
         ));
+        if !self.phases.is_empty() {
+            out.push_str(",\"phases\":{");
+            for (i, (phase, seconds)) in self.phases.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_json(phase, &mut out);
+                out.push(':');
+                out.push_str(&format_value(*seconds));
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 }
@@ -1457,6 +1738,16 @@ fn cell_work_units(metrics: &[(String, f64)]) -> (&'static str, f64) {
         }
     }
     ("cells", 1.0)
+}
+
+/// One successfully executed cell, as handed from a batch worker to the
+/// writer: the checkpoint record plus the side-file payloads (wall-clock,
+/// optional pre-serialised series line, optional phase breakdown).
+struct CellRun {
+    record: CellRecord,
+    wall_s: f64,
+    series_line: Option<String>,
+    phases: Vec<(String, f64)>,
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -1499,6 +1790,20 @@ pub fn scenario_load_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf {
     let suffix = match opts.preset {
         GridPreset::Full => "load.jsonl",
         GridPreset::Smoke => "smoke.load.jsonl",
+    };
+    opts.dir.join(format!("{}.{suffix}", scenario.name()))
+}
+
+/// The side file per-round time series are streamed to
+/// (`<name>.series.jsonl` / `<name>.smoke.series.jsonl`). Written only by
+/// series-enabled runs ([`RunOptions::series`]); a run with series off
+/// removes a stale one. On `--resume` with series on, lines of checkpointed
+/// cells carry over byte-verbatim and only re-executed cells re-emit.
+#[must_use]
+pub fn scenario_series_path(scenario: &Scenario, opts: &RunOptions) -> PathBuf {
+    let suffix = match opts.preset {
+        GridPreset::Full => "series.jsonl",
+        GridPreset::Smoke => "smoke.series.jsonl",
     };
     opts.dir.join(format!("{}.{suffix}", scenario.name()))
 }
@@ -1578,6 +1883,30 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
     let mut loads: Vec<LoadRecord> = Vec::new();
     let mut load_file: Option<fs::File> = None;
 
+    // The series side file mirrors the main checkpoint's lifecycle when
+    // series recording is on: carried-over lines are re-emitted byte-
+    // verbatim in cell order, fresh cells append theirs. With series off the
+    // file would go stale (re-executed cells could not refresh their lines),
+    // so it is removed instead.
+    let series_path = scenario_series_path(scenario, opts);
+    let mut series_lines: HashMap<u64, String> = HashMap::new();
+    let mut series_file: Option<fs::File> = None;
+    if opts.series {
+        if opts.resume && series_path.exists() {
+            series_lines = read_series_checkpoint(&series_path)?
+                .into_iter()
+                .map(|(seed, _, raw)| (seed, raw))
+                .collect();
+        }
+        if scenario.measurement().supports_series() {
+            series_file = Some(fs::File::create(&series_path)?);
+        } else {
+            let _ = fs::remove_file(&series_path);
+        }
+    } else {
+        let _ = fs::remove_file(&series_path);
+    }
+
     let pool = rayon::current_num_threads().max(1);
     let batch_size = (pool * 2).max(1);
     let mut executed = 0usize;
@@ -1588,13 +1917,21 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
     let mut cursor = 0usize;
     for batch in todo.chunks(batch_size) {
         let threads = crate::runner::sweep_cell_threads(batch.len());
-        let batch_records: Vec<Result<(CellRecord, f64), Box<CellFailure>>> = batch
+        let batch_records: Vec<Result<CellRun, Box<CellFailure>>> = batch
             .par_iter()
             .map(|&(cell, seed)| {
                 // A panicking cell must not take the grid down: it is caught,
                 // recorded as a structured failure, and the batch (and every
                 // later batch) keeps running. The closure only touches the
                 // cell's own state, so unwind-safety holds.
+                //
+                // The phase profiler is thread-scoped: engine spans emit on
+                // this worker thread only, so concurrently running cells
+                // never observe each other. With series off nothing is
+                // attached and the engines run their detached fast path.
+                let profiler = opts
+                    .series
+                    .then(|| std::sync::Arc::new(PhaseProfiler::new()));
                 let started = std::time::Instant::now();
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     // Fault-injection hook for the hardening smoke tests: a
@@ -1604,12 +1941,27 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                             panic!("injected panic for cell seed {seed} (CHURN_EXP_PANIC_SEED)");
                         }
                     }
-                    measure::run_cell(scenario.measurement(), &cell, seed, threads, opts.preset)
+                    let run = || {
+                        measure::run_cell(
+                            scenario.measurement(),
+                            &cell,
+                            seed,
+                            threads,
+                            opts.preset,
+                            opts.series,
+                        )
+                    };
+                    match &profiler {
+                        Some(profiler) => {
+                            churn_telemetry::subscriber::with_default(profiler.clone(), run)
+                        }
+                        None => run(),
+                    }
                 }));
                 let wall_s = started.elapsed().as_secs_f64();
                 match outcome {
-                    Ok(metrics) => Ok((
-                        CellRecord {
+                    Ok((metrics, series)) => {
+                        let record = CellRecord {
                             scenario: scenario.name().to_string(),
                             net: cell.net.label(),
                             n: cell.n,
@@ -1622,9 +1974,42 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                                 .into_iter()
                                 .map(|(metric, value)| (metric.to_string(), value))
                                 .collect(),
-                        },
-                        wall_s,
-                    )),
+                        };
+                        // Serialise the series in the worker (it is pure CPU
+                        // work on deterministic data); the writer thread only
+                        // splices bytes.
+                        let series_line = series.map(|series| {
+                            SeriesRecord {
+                                scenario: record.scenario.clone(),
+                                net: record.net.clone(),
+                                n: record.n,
+                                d: record.d,
+                                victim: record.victim.clone(),
+                                fault: record.fault.clone(),
+                                trial: record.trial,
+                                seed,
+                                series: series
+                                    .columns()
+                                    .iter()
+                                    .map(|(column, values)| ((*column).to_string(), values.clone()))
+                                    .collect(),
+                            }
+                            .to_json_line()
+                        });
+                        let phases = profiler.map_or_else(Vec::new, |profiler| {
+                            profiler
+                                .phases()
+                                .into_iter()
+                                .map(|(phase, seconds)| (phase.to_string(), seconds))
+                                .collect()
+                        });
+                        Ok(CellRun {
+                            record,
+                            wall_s,
+                            series_line,
+                            phases,
+                        })
+                    }
                     Err(payload) => Err(Box::new(CellFailure {
                         scenario: scenario.name().to_string(),
                         net: cell.net.label(),
@@ -1640,7 +2025,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
             .collect();
         for result in batch_records {
             match result {
-                Ok((record, wall_s)) => {
+                Ok(run) => {
+                    let record = run.record;
+                    let wall_s = run.wall_s;
                     let (unit, units) = cell_work_units(&record.metrics);
                     let load = LoadRecord {
                         scenario: record.scenario.clone(),
@@ -1654,6 +2041,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                         unit,
                         units,
                         units_per_s: if wall_s > 0.0 { units / wall_s } else { 0.0 },
+                        phases: run.phases,
                     };
                     let side = match load_file.as_mut() {
                         Some(side) => side,
@@ -1663,6 +2051,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                     side.write_all(b"\n")?;
                     side.flush()?;
                     loads.push(load);
+                    if let Some(series_line) = run.series_line {
+                        series_lines.insert(record.seed, series_line);
+                    }
                     lines.insert(record.seed, record.to_json_line());
                     executed += 1;
                 }
@@ -1683,12 +2074,25 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
                 Some(line) => {
                     file.write_all(line.as_bytes())?;
                     file.write_all(b"\n")?;
+                    // The series file advances in lockstep with the main
+                    // checkpoint (not every cell has a series line — carried-
+                    // over pre-series checkpoints don't — so absence just
+                    // skips).
+                    if let Some(side) = series_file.as_mut() {
+                        if let Some(series_line) = series_lines.get(&all[cursor].1) {
+                            side.write_all(series_line.as_bytes())?;
+                            side.write_all(b"\n")?;
+                        }
+                    }
                     cursor += 1;
                 }
                 None => break,
             }
         }
         file.flush()?;
+        if let Some(side) = series_file.as_mut() {
+            side.flush()?;
+        }
     }
     // Tail sweep: nothing is pending any more, so emit every remaining
     // available line. Cells past a panicked or limit-cut cell keep their
@@ -1697,10 +2101,19 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> io::Result<Scenar
         if let Some(line) = lines.get(&all[cursor].1) {
             file.write_all(line.as_bytes())?;
             file.write_all(b"\n")?;
+            if let Some(side) = series_file.as_mut() {
+                if let Some(series_line) = series_lines.get(&all[cursor].1) {
+                    side.write_all(series_line.as_bytes())?;
+                    side.write_all(b"\n")?;
+                }
+            }
         }
         cursor += 1;
     }
     file.flush()?;
+    if let Some(mut side) = series_file.take() {
+        side.flush()?;
+    }
     drop(file);
 
     // Report everything now in the file, in cell order (existing records

@@ -27,9 +27,11 @@ use churn_stochastic::rng::seeded_rng;
 use churn_stochastic::OnlineStats;
 
 use churn_event::{
-    run_async_flooding_faulty, run_async_raes_faulty, AsyncFloodingConfig, AsyncRaesConfig,
-    AsyncSource, EventStats,
+    flooding as event_flooding, raes as event_raes, run_async_flooding_faulty,
+    run_async_raes_faulty, AsyncFloodingConfig, AsyncRaesConfig, AsyncSource, EventStats,
+    TraceEvent,
 };
+use churn_telemetry::RoundSeries;
 
 use super::{
     AsyncFloodingSpec, AsyncRaesSpec, CellSpec, ExpansionSpec, FloodingSpec, GridPreset,
@@ -163,32 +165,41 @@ fn build_net(cell: &CellSpec, seed: u64) -> AnyNet {
 /// seed)`; `threads` only budgets the in-cell engines (whose output is
 /// thread-count independent), `preset` picks the cheap knobs of the
 /// measurements that have one.
+///
+/// With `series` on, measurements that support it
+/// ([`Measurement::supports_series`]) additionally return their per-round
+/// trajectory. Series capture is strictly passive — it reads state the
+/// engines already produce (the sync records' round vectors, the async
+/// schedulers' event traces), so the metrics are identical either way.
 pub(super) fn run_cell(
     measurement: &Measurement,
     cell: &CellSpec,
     seed: u64,
     threads: usize,
     preset: GridPreset,
-) -> Metrics {
+    series: bool,
+) -> (Metrics, Option<RoundSeries>) {
     match *measurement {
-        Measurement::Flooding(spec) => flooding_cell(cell, seed, spec),
-        Measurement::ParallelFlooding(spec) => parallel_flooding_cell(cell, seed, spec, threads),
-        Measurement::PartialFlooding => partial_flooding_cell(cell, seed),
-        Measurement::Isolation => isolation_cell(cell, seed),
-        Measurement::Expansion(spec) => expansion_cell(cell, seed, spec, threads),
+        Measurement::Flooding(spec) => flooding_cell(cell, seed, spec, series),
+        Measurement::ParallelFlooding(spec) => {
+            parallel_flooding_cell(cell, seed, spec, threads, series)
+        }
+        Measurement::PartialFlooding => (partial_flooding_cell(cell, seed), None),
+        Measurement::Isolation => (isolation_cell(cell, seed), None),
+        Measurement::Expansion(spec) => (expansion_cell(cell, seed, spec, threads), None),
         Measurement::RaesTracking {
             samples,
             interval_div,
-        } => raes_tracking_cell(cell, seed, samples, interval_div, preset),
-        Measurement::OnionSkin => onion_skin_cell(cell, seed),
+        } => raes_tracking_cell(cell, seed, samples, interval_div, preset, series),
+        Measurement::OnionSkin => (onion_skin_cell(cell, seed), None),
         Measurement::PoissonDemographics { units, smoke_units } => {
             let units = match preset {
                 GridPreset::Full => units,
                 GridPreset::Smoke => smoke_units,
             };
-            poisson_demographics_cell(cell, seed, units)
+            (poisson_demographics_cell(cell, seed, units), None)
         }
-        Measurement::StaticBaseline => static_baseline_cell(cell, seed),
+        Measurement::StaticBaseline => (static_baseline_cell(cell, seed), None),
         Measurement::P2pPropagation {
             blocks,
             smoke_blocks,
@@ -197,10 +208,10 @@ pub(super) fn run_cell(
                 GridPreset::Full => blocks,
                 GridPreset::Smoke => smoke_blocks,
             };
-            p2p_cell(cell, seed, blocks)
+            (p2p_cell(cell, seed, blocks), None)
         }
-        Measurement::AsyncFlooding(spec) => async_flooding_cell(cell, seed, spec),
-        Measurement::AsyncRaes(spec) => async_raes_cell(cell, seed, spec),
+        Measurement::AsyncFlooding(spec) => async_flooding_cell(cell, seed, spec, series),
+        Measurement::AsyncRaes(spec) => async_raes_cell(cell, seed, spec, series),
     }
 }
 
@@ -236,17 +247,104 @@ fn fault_stats_metrics(stats: &EventStats, out: &mut Metrics) {
     out.push(("redundancy_overhead", stats.redundancy_overhead()));
 }
 
+/// Per-round series of the synchronous flooding measurements, read straight
+/// off the record's round trajectory. Columns: `informed_fraction`,
+/// `informed`, `alive`, `newly_informed`; Byzantine cells add
+/// `informed_honest` and `alive_honest`.
+fn flooding_series(record: &FloodingRecord, byz: bool) -> RoundSeries {
+    let mut series = RoundSeries::new();
+    for stats in &record.rounds {
+        let mut row: Vec<(&'static str, f64)> = vec![
+            ("informed_fraction", stats.informed_fraction()),
+            ("informed", stats.informed as f64),
+            ("alive", stats.alive as f64),
+            ("newly_informed", stats.newly_informed as f64),
+        ];
+        if byz {
+            row.push(("informed_honest", stats.informed_honest as f64));
+            row.push(("alive_honest", stats.alive_honest as f64));
+        }
+        series.push_round(&row);
+    }
+    series
+}
+
+/// The event trace of an async engine binned into unit-time buckets:
+/// per-kind event counts per bucket, plus the alive count carried forward
+/// from the churn-tick events (`alive_kind`), starting at `initial_alive`.
+///
+/// The trace is recorded in processing order, and the schedulers pop in
+/// nondecreasing time order, so a single forward pass suffices. The last
+/// bucket is the one holding the final event (a partial unit at the horizon
+/// is still a row).
+struct TraceBins {
+    /// Alive count at the end of each bucket.
+    alive: Vec<f64>,
+    /// One count vector per requested kind, each `alive.len()` long.
+    counts: Vec<Vec<u64>>,
+}
+
+fn bin_trace(
+    trace: &[TraceEvent],
+    alive_kind: u16,
+    initial_alive: f64,
+    kinds: &[u16],
+) -> TraceBins {
+    let buckets = trace
+        .iter()
+        .map(|ev| f64::from_bits(ev.time_bits).max(0.0).floor() as usize)
+        .max()
+        .map_or(0, |last| last + 1);
+    let mut bins = TraceBins {
+        alive: vec![0.0; buckets],
+        counts: vec![vec![0u64; buckets]; kinds.len()],
+    };
+    let mut alive = initial_alive;
+    let mut filled = 0usize;
+    for ev in trace {
+        let bucket = f64::from_bits(ev.time_bits).max(0.0).floor() as usize;
+        // Buckets between events inherit the alive count in force.
+        while filled < bucket {
+            bins.alive[filled] = alive;
+            filled += 1;
+        }
+        if ev.kind == alive_kind {
+            alive = ev.subject as f64;
+        }
+        if let Some(slot) = kinds.iter().position(|&kind| kind == ev.kind) {
+            bins.counts[slot][bucket] += 1;
+        }
+    }
+    while filled < buckets {
+        bins.alive[filled] = alive;
+        filled += 1;
+    }
+    bins
+}
+
 /// Event-driven asynchronous flooding over the cell's (churning) network.
-fn async_flooding_cell(cell: &CellSpec, seed: u64, spec: AsyncFloodingSpec) -> Metrics {
+///
+/// Series columns (one row per unit of simulated time, from the scheduler's
+/// event trace): `informed_fraction`, `informed` (cumulative ever-informed),
+/// `alive`, `newly_informed`, `duplicates`, `lost`, `blocked`; fault cells
+/// add `crashes`, `restarts` and `pulls`. The trace recorder is passive —
+/// turning it on changes no RNG stream and no metric.
+fn async_flooding_cell(
+    cell: &CellSpec,
+    seed: u64,
+    spec: AsyncFloodingSpec,
+    series: bool,
+) -> (Metrics, Option<RoundSeries>) {
     let mut net = build_net(cell, seed);
     net.warm_up();
+    let initial_alive = net.alive_count() as f64;
     let horizon = spec.horizon.resolve(cell.n) as f64;
     let cfg = AsyncFloodingConfig {
         latency: spec.latency,
         bandwidth: spec.bandwidth,
         horizon,
         churn: true,
-        record_trace: false,
+        record_trace: series,
     };
     let plan = cell.fault.resolve();
     let record = run_async_flooding_faulty(&mut net, AsyncSource::Newest, &cfg, &plan, seed);
@@ -299,11 +397,66 @@ fn async_flooding_cell(cell: &CellSpec, seed: u64, spec: AsyncFloodingSpec) -> M
             out.push(("partition_recovered", f64::from(census.recovered())));
         }
     }
-    out
+    let series = series.then(|| {
+        let faulty = !cell.fault.is_none();
+        let mut kinds = vec![
+            event_flooding::TRACE_INFORMED,
+            event_flooding::TRACE_DUPLICATE,
+            event_flooding::TRACE_LOST,
+            event_flooding::TRACE_BLOCKED,
+        ];
+        if faulty {
+            kinds.extend([
+                event_flooding::TRACE_CRASH,
+                event_flooding::TRACE_RESTART,
+                event_flooding::TRACE_PULL,
+            ]);
+        }
+        let bins = bin_trace(
+            &record.trace,
+            event_flooding::TRACE_CHURN,
+            initial_alive,
+            &kinds,
+        );
+        let mut out = RoundSeries::new();
+        let mut informed_total = 0.0f64;
+        for bucket in 0..bins.alive.len() {
+            informed_total += bins.counts[0][bucket] as f64;
+            let mut row: Vec<(&'static str, f64)> = vec![
+                (
+                    "informed_fraction",
+                    informed_total / bins.alive[bucket].max(1.0),
+                ),
+                ("informed", informed_total),
+                ("alive", bins.alive[bucket]),
+                ("newly_informed", bins.counts[0][bucket] as f64),
+                ("duplicates", bins.counts[1][bucket] as f64),
+                ("lost", bins.counts[2][bucket] as f64),
+                ("blocked", bins.counts[3][bucket] as f64),
+            ];
+            if faulty {
+                row.push(("crashes", bins.counts[4][bucket] as f64));
+                row.push(("restarts", bins.counts[5][bucket] as f64));
+                row.push(("pulls", bins.counts[6][bucket] as f64));
+            }
+            out.push_round(&row);
+        }
+        out
+    });
+    (out, series)
 }
 
 /// Event-driven asynchronous RAES repair under message load.
-fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
+///
+/// Series columns (one row per unit of simulated time, from the scheduler's
+/// event trace): `requests`, `replies`, `repaired`, `alive`; fault cells add
+/// `sheds`, `crashes` and `restarts`.
+fn async_raes_cell(
+    cell: &CellSpec,
+    seed: u64,
+    spec: AsyncRaesSpec,
+    series: bool,
+) -> (Metrics, Option<RoundSeries>) {
     let NetSpec::Raes(net) = cell.net else {
         unreachable!("scenario validated at registration")
     };
@@ -321,7 +474,7 @@ fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
         backoff_factor: retry.factor,
         backoff_jitter: retry.jitter,
         retry_budget: retry.budget,
-        record_trace: false,
+        record_trace: series,
     };
     let plan = cell.fault.resolve();
     let record = run_async_raes_faulty(&cfg, &plan, seed);
@@ -361,7 +514,44 @@ fn async_raes_cell(cell: &CellSpec, seed: u64, spec: AsyncRaesSpec) -> Metrics {
         out.push(("max_retransmits", f64::from(record.stats.max_retransmits())));
         out.push(("p99_backoff", record.stats.p99_backoff()));
     }
-    out
+    let series = series.then(|| {
+        let faulty = !cell.fault.is_none();
+        let mut kinds = vec![
+            event_raes::TRACE_REQUEST,
+            event_raes::TRACE_REPLY,
+            event_raes::TRACE_REPAIRED,
+        ];
+        if faulty {
+            kinds.extend([
+                event_raes::TRACE_SHED,
+                event_raes::TRACE_CRASH,
+                event_raes::TRACE_RESTART,
+            ]);
+        }
+        let bins = bin_trace(
+            &record.trace,
+            event_raes::TRACE_CHURN,
+            cell.n as f64,
+            &kinds,
+        );
+        let mut out = RoundSeries::new();
+        for bucket in 0..bins.alive.len() {
+            let mut row: Vec<(&'static str, f64)> = vec![
+                ("requests", bins.counts[0][bucket] as f64),
+                ("replies", bins.counts[1][bucket] as f64),
+                ("repaired", bins.counts[2][bucket] as f64),
+                ("alive", bins.alive[bucket]),
+            ];
+            if faulty {
+                row.push(("sheds", bins.counts[3][bucket] as f64));
+                row.push(("crashes", bins.counts[4][bucket] as f64));
+                row.push(("restarts", bins.counts[5][bucket] as f64));
+            }
+            out.push_round(&row);
+        }
+        out
+    });
+    (out, series)
 }
 
 /// The isolated fraction of the current topology (nodes with no incident
@@ -449,7 +639,12 @@ fn byz_raes_metrics(model: &RaesModel, out: &mut Metrics) {
     ));
 }
 
-fn flooding_cell(cell: &CellSpec, seed: u64, spec: FloodingSpec) -> Metrics {
+fn flooding_cell(
+    cell: &CellSpec,
+    seed: u64,
+    spec: FloodingSpec,
+    series: bool,
+) -> (Metrics, Option<RoundSeries>) {
     let mut net = build_net(cell, seed);
     net.warm_up();
     let mut out = Metrics::new();
@@ -470,7 +665,8 @@ fn flooding_cell(cell: &CellSpec, seed: u64, spec: FloodingSpec) -> Metrics {
             byz_raes_metrics(model, &mut out);
         }
     }
-    out
+    let series = series.then(|| flooding_series(&record, byz_spec(cell)));
+    (out, series)
 }
 
 fn parallel_flooding_cell(
@@ -478,7 +674,8 @@ fn parallel_flooding_cell(
     seed: u64,
     spec: FloodingSpec,
     threads: usize,
-) -> Metrics {
+    series: bool,
+) -> (Metrics, Option<RoundSeries>) {
     let mut net = build_net(cell, seed);
     net.warm_up();
     let mut out = Metrics::new();
@@ -552,7 +749,8 @@ fn parallel_flooding_cell(
             byz_raes_metrics(model, &mut out);
         }
     }
-    out
+    let series = series.then(|| flooding_series(&record, byz_spec(cell)));
+    (out, series)
 }
 
 fn partial_flooding_cell(cell: &CellSpec, seed: u64) -> Metrics {
@@ -681,13 +879,16 @@ fn expansion_cell(cell: &CellSpec, seed: u64, spec: ExpansionSpec, threads: usiz
     out
 }
 
+/// RAES realized-graph tracking. Series columns (one row per observed
+/// round): `isolated`, `max_in_degree`, `saturated_fraction`, `alive`.
 fn raes_tracking_cell(
     cell: &CellSpec,
     seed: u64,
     samples: u64,
     interval_div: usize,
     preset: GridPreset,
-) -> Metrics {
+    series: bool,
+) -> (Metrics, Option<RoundSeries>) {
     let mut net = build_net(cell, seed);
     net.warm_up();
     let AnyNet::Raes(ref model) = net else {
@@ -707,14 +908,25 @@ fn raes_tracking_cell(
     let mut saturated_sum = 0.0f64;
     let mut saturated_rounds = 0u64;
     let mut isolated_rounds = 0u64;
+    let mut rounds_series = series.then(RoundSeries::new);
     for _ in 0..samples {
         observe_rounds(&mut net, interval, |_, m, _, delta| {
             inc.apply(m.graph(), delta);
             metrics.apply(m.graph(), delta);
             max_in_degree = max_in_degree.max(metrics.max_in_requests());
-            saturated_sum += metrics.saturated_count(cap) as f64 / m.alive_count().max(1) as f64;
+            let alive = m.alive_count();
+            let saturated = metrics.saturated_count(cap) as f64 / alive.max(1) as f64;
+            saturated_sum += saturated;
             saturated_rounds += 1;
             isolated_rounds += u64::from(metrics.isolated_count() > 0);
+            if let Some(rounds_series) = rounds_series.as_mut() {
+                rounds_series.push_round(&[
+                    ("isolated", metrics.isolated_count() as f64),
+                    ("max_in_degree", metrics.max_in_requests() as f64),
+                    ("saturated_fraction", saturated),
+                    ("alive", alive as f64),
+                ]);
+            }
         });
         let snapshot = inc.to_snapshot();
         let bounds = SizeRange::Full.bounds_for(snapshot.len(), cell.d, net.has_streaming_churn());
@@ -724,7 +936,7 @@ fn raes_tracking_cell(
             min_expansion = min_expansion.min(value);
         }
     }
-    vec![
+    let out = vec![
         (
             "min_h_out",
             if min_expansion.is_finite() {
@@ -740,7 +952,8 @@ fn raes_tracking_cell(
             saturated_sum / saturated_rounds.max(1) as f64,
         ),
         ("isolated_rounds", isolated_rounds as f64),
-    ]
+    ];
+    (out, rounds_series)
 }
 
 fn onion_skin_cell(cell: &CellSpec, seed: u64) -> Metrics {

@@ -22,7 +22,9 @@
 //! * [`protocol`] (`churn-protocol`) — the RAES-style bounded-in-degree
 //!   expander maintenance protocol over the same churn processes;
 //! * [`analysis`] (`churn-analysis`) — theory-vs-measured comparisons and
-//!   scaling classification.
+//!   scaling classification;
+//! * [`telemetry`] (`churn-telemetry`) — zero-cost-when-detached spans,
+//!   counters, phase profiling and per-round time-series buffers.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the reproduction results.
@@ -63,3 +65,4 @@ pub use churn_p2p as p2p;
 pub use churn_protocol as protocol;
 pub use churn_sim as sim;
 pub use churn_stochastic as stochastic;
+pub use churn_telemetry as telemetry;

@@ -1,0 +1,295 @@
+//! A minimal, dependency-free stand-in for the `tracing` crate.
+//!
+//! The build environment has no network access, so this vendored stub
+//! provides the slice of the `tracing` façade the workspace instruments
+//! itself with: named **spans** (wall-clock timed while a subscriber is
+//! attached) and monotonic **counters**, dispatched to either a process-wide
+//! global subscriber ([`subscriber::set_global_default`]) or a thread-scoped
+//! one ([`subscriber::with_default`], which is what the scenario runner uses
+//! so concurrently profiled cells never observe each other).
+//!
+//! ## The zero-cost-when-detached contract
+//!
+//! Every emission site compiles down to **one relaxed atomic load and one
+//! branch** when no subscriber is attached anywhere in the process:
+//! [`enabled`] reads a single attach counter, and both [`span`] and
+//! [`counter`] return immediately when it is zero — no `Instant::now()`, no
+//! allocation, no thread-local access. The hot paths of the simulation
+//! engines (model stepping, flooding sweeps, the event loop) stay
+//! bit-identical and allocation-free with nobody listening; the
+//! counting-allocator and golden-trajectory suites in the workspace pin
+//! this.
+//!
+//! Subscribers observe — they can never steer. Nothing in this crate feeds
+//! back into the instrumented code, so attaching a subscriber cannot change
+//! any deterministic output (RNG streams, trajectories, recorded files).
+//!
+//! Swapping this stub for the real crates.io `tracing` requires mapping the
+//! workspace's `span`/`counter` calls onto `span!`/`event!` macros; the
+//! subscriber trait here is deliberately tiny to keep that port mechanical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Severity levels, mirroring `tracing::Level` (the stub's dispatch ignores
+/// them; they exist so call sites stay source-compatible with the real
+/// crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Finest-grained information.
+    Trace,
+    /// Debug-level information.
+    Debug,
+    /// General information.
+    Info,
+    /// Warnings.
+    Warn,
+    /// Errors.
+    Error,
+}
+
+/// The observer side of the façade: receives closed spans (with their
+/// wall-clock duration) and counter increments.
+///
+/// Implementations must tolerate concurrent calls (`Send + Sync`) — the
+/// scenario runner profiles cells on rayon worker threads.
+pub trait Subscriber: Send + Sync {
+    /// A span named `name` closed after running for `nanos` wall-clock
+    /// nanoseconds.
+    fn span_close(&self, name: &'static str, nanos: u64);
+
+    /// The counter `name` was incremented by `value`.
+    fn counter(&self, name: &'static str, value: u64);
+}
+
+/// Number of attached subscribers anywhere in the process (the global
+/// default contributes 1, every live `with_default` scope contributes 1).
+/// This is the single word the detached fast path reads.
+static ATTACHED: AtomicUsize = AtomicUsize::new(0);
+
+static GLOBAL: OnceLock<Arc<dyn Subscriber>> = OnceLock::new();
+
+thread_local! {
+    static SCOPED: RefCell<Vec<Arc<dyn Subscriber>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `true` when any subscriber is attached (globally or in some thread's
+/// scope). One relaxed atomic load — this is the entire detached cost of an
+/// emission site.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ATTACHED.load(Ordering::Relaxed) != 0
+}
+
+/// The subscriber the current thread dispatches to: the innermost
+/// `with_default` scope, else the global default.
+fn dispatch() -> Option<Arc<dyn Subscriber>> {
+    SCOPED
+        .with(|stack| stack.borrow().last().cloned())
+        .or_else(|| GLOBAL.get().cloned())
+}
+
+/// Subscriber installation, mirroring `tracing::subscriber`.
+pub mod subscriber {
+    use super::{Arc, AtomicUsize, Ordering, Subscriber, ATTACHED, GLOBAL, SCOPED};
+
+    /// Error returned when a global default is already set.
+    #[derive(Debug)]
+    pub struct SetGlobalDefaultError;
+
+    impl std::fmt::Display for SetGlobalDefaultError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("a global default subscriber has already been set")
+        }
+    }
+
+    impl std::error::Error for SetGlobalDefaultError {}
+
+    /// Installs the process-wide default subscriber. Can succeed only once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetGlobalDefaultError`] when a global default already
+    /// exists.
+    pub fn set_global_default(
+        subscriber: Arc<dyn Subscriber>,
+    ) -> Result<(), SetGlobalDefaultError> {
+        GLOBAL.set(subscriber).map_err(|_| SetGlobalDefaultError)?;
+        ATTACHED.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Runs `f` with `subscriber` as the current thread's subscriber,
+    /// shadowing any global default for the duration. Scopes nest; the
+    /// innermost wins. Detaches on return (also on unwind).
+    pub fn with_default<R>(subscriber: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
+        struct Scope;
+        impl Drop for Scope {
+            fn drop(&mut self) {
+                SCOPED.with(|stack| stack.borrow_mut().pop());
+                ATTACHED.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        SCOPED.with(|stack| stack.borrow_mut().push(subscriber));
+        ATTACHED.fetch_add(1, Ordering::Relaxed);
+        let _scope = Scope;
+        f()
+    }
+
+    // Referenced so the import list stays honest under `--no-default-features`
+    // style cfg churn.
+    #[allow(dead_code)]
+    const _: fn() -> usize = || AtomicUsize::new(0).load(Ordering::Relaxed);
+}
+
+/// An open span: created by [`span`], closed (and reported) on drop.
+///
+/// When no subscriber was attached at creation, the guard is inert — it
+/// holds no timestamp and its drop is a branch on `None`.
+#[must_use = "a span reports its duration when dropped"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// The span's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            if let Some(sub) = dispatch() {
+                let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                sub.span_close(self.name, nanos);
+            }
+        }
+    }
+}
+
+/// Opens a wall-clock span. Detached cost: one relaxed load, one branch, no
+/// clock read.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Increments the counter `name` by `value` on the attached subscriber.
+/// Detached cost: one relaxed load, one branch.
+#[inline]
+pub fn counter(name: &'static str, value: u64) {
+    if enabled() {
+        if let Some(sub) = dispatch() {
+            sub.counter(name, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        spans: Mutex<Vec<(&'static str, u64)>>,
+        counters: Mutex<Vec<(&'static str, u64)>>,
+    }
+
+    impl Subscriber for Recorder {
+        fn span_close(&self, name: &'static str, nanos: u64) {
+            self.spans.lock().unwrap().push((name, nanos));
+        }
+
+        fn counter(&self, name: &'static str, value: u64) {
+            self.counters.lock().unwrap().push((name, value));
+        }
+    }
+
+    #[test]
+    fn detached_emission_is_inert() {
+        // No subscriber: spans carry no timestamp, counters go nowhere.
+        let s = span("idle");
+        assert!(s.start.is_none());
+        drop(s);
+        counter("idle", 7);
+    }
+
+    #[test]
+    fn scoped_subscriber_sees_spans_and_counters_then_detaches() {
+        let rec = Arc::new(Recorder::default());
+        let out = subscriber::with_default(rec.clone(), || {
+            assert!(enabled());
+            {
+                let _s = span("work");
+            }
+            counter("items", 3);
+            counter("items", 2);
+            42
+        });
+        assert_eq!(out, 42);
+        let spans = rec.spans.lock().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "work");
+        assert_eq!(
+            *rec.counters.lock().unwrap(),
+            vec![("items", 3), ("items", 2)]
+        );
+        // Back outside the scope the fast path is cold again (no global
+        // default is installed in this test binary).
+        let s = span("after");
+        assert!(s.start.is_none());
+    }
+
+    #[test]
+    fn scopes_nest_with_the_innermost_winning() {
+        let outer = Arc::new(Recorder::default());
+        let inner = Arc::new(Recorder::default());
+        subscriber::with_default(outer.clone(), || {
+            subscriber::with_default(inner.clone(), || {
+                counter("depth", 2);
+            });
+            counter("depth", 1);
+        });
+        assert_eq!(*inner.counters.lock().unwrap(), vec![("depth", 2)]);
+        assert_eq!(*outer.counters.lock().unwrap(), vec![("depth", 1)]);
+    }
+
+    #[test]
+    fn scoped_subscribers_are_per_thread() {
+        let rec = Arc::new(Recorder::default());
+        subscriber::with_default(rec.clone(), || {
+            // Another thread has no scope: its emissions are dropped even
+            // though the attach counter is non-zero.
+            std::thread::spawn(|| {
+                let s = span("other-thread");
+                // `enabled()` may be true (process-wide counter), but there
+                // is nothing to dispatch to, so the drop is a no-op.
+                drop(s);
+                counter("other", 1);
+            })
+            .join()
+            .unwrap();
+            counter("own", 1);
+        });
+        let counters = rec.counters.lock().unwrap();
+        assert_eq!(*counters, vec![("own", 1)]);
+    }
+}
