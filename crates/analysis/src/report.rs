@@ -15,7 +15,7 @@
 //! RAES cap check, and so on. New scenarios inherit verdicts by emitting the
 //! shared metric vocabulary.
 
-use churn_sim::scenario::{CellRecord, SeriesRecord};
+use churn_sim::scenario::{CellRecord, LoadRecord, SeriesRecord};
 use churn_sim::Table;
 
 use crate::comparison::{Comparison, ComparisonSet};
@@ -45,12 +45,18 @@ impl ScenarioReport {
 /// `records` comes from `load_cell_records` on the main checkpoint and must
 /// be non-empty for a meaningful report; `series` comes from
 /// `load_series_records` on the side file and may be empty (series-off runs,
-/// or measurements without per-round output).
+/// or measurements without per-round output); `loads` comes from
+/// `load_load_records` on the `.load.jsonl` side file and may be empty (the
+/// file only covers cells executed by the *last* invocation — resumed runs
+/// re-create it). The throughput table it feeds is explicitly marked
+/// machine-dependent: wall-clock never enters the deterministic checkpoint,
+/// and its numbers are only comparable on one machine.
 #[must_use]
 pub fn scenario_report(
     scenario: &str,
     records: &[CellRecord],
     series: &[SeriesRecord],
+    loads: &[LoadRecord],
 ) -> ScenarioReport {
     let mut tables = vec![summarize_cells(
         format!("{scenario} — per-point means"),
@@ -63,10 +69,103 @@ pub fn scenario_report(
             &derived,
         ));
     }
+    if !loads.is_empty() {
+        tables.push(throughput_table(scenario, loads));
+    }
     ScenarioReport {
         tables,
         comparisons: derive_comparisons(scenario, records),
     }
+}
+
+/// Renders per-point wall-clock throughput from the `.load.jsonl` side
+/// file: records grouped by `(net, n, d, victim)` in first-appearance
+/// order, with total wall time, total work units and the aggregate rate
+/// (total units over total seconds — the mean of per-cell rates would
+/// over-weight short cells). When any record carries a phase breakdown the
+/// dominant phase and its share of the group's phase time are appended.
+fn throughput_table(scenario: &str, loads: &[LoadRecord]) -> Table {
+    let mut groups: Vec<(String, usize, usize, String)> = Vec::new();
+    for load in loads {
+        let key = (load.net.clone(), load.n, load.d, load.victim.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    let has_phases = loads.iter().any(|l| !l.phases.is_empty());
+    let mut header: Vec<String> = vec![
+        "net".into(),
+        "n".into(),
+        "d".into(),
+        "victim".into(),
+        "cells".into(),
+        "unit".into(),
+        "units".into(),
+        "wall_s".into(),
+        "units/s".into(),
+    ];
+    if has_phases {
+        header.push("top phase".into());
+    }
+    let mut table = Table::new(
+        format!("{scenario} — wall-clock throughput (from .load.jsonl; machine-dependent, not checkpointed)"),
+        header,
+    );
+    for key in &groups {
+        let rows: Vec<&LoadRecord> = loads
+            .iter()
+            .filter(|l| l.net == key.0 && l.n == key.1 && l.d == key.2 && l.victim == key.3)
+            .collect();
+        let wall_s: f64 = rows.iter().map(|l| l.wall_s).sum();
+        let units: f64 = rows.iter().map(|l| l.units).sum();
+        let rate = if wall_s > 0.0 {
+            units / wall_s
+        } else {
+            f64::NAN
+        };
+        // The unit is uniform within a scenario; tolerate mixtures anyway.
+        let unit = rows
+            .iter()
+            .map(|l| l.unit)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+            .join("+");
+        let mut cells = vec![
+            key.0.clone(),
+            key.1.to_string(),
+            key.2.to_string(),
+            key.3.clone(),
+            rows.len().to_string(),
+            unit,
+            format!("{units:.0}"),
+            format!("{wall_s:.3}"),
+            format!("{rate:.0}"),
+        ];
+        if has_phases {
+            let mut phase_totals: Vec<(String, f64)> = Vec::new();
+            for row in &rows {
+                for (phase, seconds) in &row.phases {
+                    match phase_totals.iter_mut().find(|(name, _)| name == phase) {
+                        Some((_, total)) => *total += seconds,
+                        None => phase_totals.push((phase.clone(), *seconds)),
+                    }
+                }
+            }
+            let phase_sum: f64 = phase_totals.iter().map(|(_, s)| s).sum();
+            let top = phase_totals
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .filter(|_| phase_sum > 0.0)
+                .map_or_else(
+                    || "-".to_string(),
+                    |(name, seconds)| format!("{name} ({:.0}%)", 100.0 * seconds / phase_sum),
+                );
+            cells.push(top);
+        }
+        table.push_row(cells);
+    }
+    table
 }
 
 /// Collapses one per-round series into a flat metric record with the same
@@ -286,15 +385,15 @@ mod tests {
                 ("in_degree_cap", 12.0),
             ]),
         ];
-        let report = scenario_report("demo", &records, &[]);
+        let report = scenario_report("demo", &records, &[], &[]);
         assert_eq!(report.comparisons.len(), 2, "completion + cap rules");
         assert!(report.all_hold());
         // A cap violation flips the verdict.
         let bad = vec![cell(&[("max_in_degree", 13.0), ("in_degree_cap", 12.0)])];
-        assert!(!scenario_report("demo", &bad, &[]).all_hold());
+        assert!(!scenario_report("demo", &bad, &[], &[]).all_hold());
         // No known metrics → vacuous verdict set.
         let none = vec![cell(&[("rounds", 5.0)])];
-        let empty = scenario_report("demo", &none, &[]);
+        let empty = scenario_report("demo", &none, &[], &[]);
         assert!(empty.comparisons.is_empty());
         assert!(empty.all_hold());
     }
@@ -307,7 +406,7 @@ mod tests {
             ("newly_informed", &[50.0, 100.0, 102.0][..]),
             ("alive", &[250.0, 252.0, 249.0][..]),
         ]);
-        let report = scenario_report("demo", &records, std::slice::from_ref(&run));
+        let report = scenario_report("demo", &records, std::slice::from_ref(&run), &[]);
         assert_eq!(report.tables.len(), 2);
         let md = report.tables[1].to_markdown();
         assert!(md.contains("trajectory summaries"));
@@ -322,12 +421,75 @@ mod tests {
         assert_eq!(derived.metric("total_newly_informed"), Some(252.0));
     }
 
+    fn load(
+        net: &str,
+        trial: usize,
+        wall_s: f64,
+        units: f64,
+        phases: &[(&str, f64)],
+    ) -> LoadRecord {
+        LoadRecord {
+            scenario: "s".into(),
+            net: net.into(),
+            n: 256,
+            d: 4,
+            victim: "uniform".into(),
+            trial,
+            seed: 7,
+            wall_s,
+            unit: "events",
+            units,
+            units_per_s: units / wall_s,
+            phases: phases
+                .iter()
+                .map(|&(name, s)| (name.to_string(), s))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn throughput_table_aggregates_load_records_per_point() {
+        let loads = vec![
+            load(
+                "SDG",
+                0,
+                1.0,
+                1000.0,
+                &[("event-loop", 0.9), ("churn", 0.1)],
+            ),
+            load(
+                "SDG",
+                1,
+                3.0,
+                9000.0,
+                &[("event-loop", 2.4), ("churn", 0.6)],
+            ),
+            load("RAES", 0, 1.0, 500.0, &[]),
+        ];
+        let report = scenario_report("demo", &[cell(&[])], &[], &loads);
+        let table = report.tables.last().unwrap();
+        assert!(table.title().contains("machine-dependent"));
+        let md = table.to_markdown();
+        // SDG: 10000 units over 4 s — the aggregate rate, not the mean of
+        // per-cell rates (which would be 2000).
+        assert!(md.contains("2500"), "{md}");
+        assert!(md.contains("10000"), "{md}");
+        // Dominant phase with its share of the group's phase time.
+        assert!(md.contains("event-loop (82%)"), "{md}");
+        // The phase-free RAES group dashes the phase column.
+        assert!(md.contains('-'), "{md}");
+
+        // No load records → no throughput table at all.
+        let without = scenario_report("demo", &[cell(&[])], &[], &[]);
+        assert_eq!(without.tables.len(), 1);
+    }
+
     #[test]
     fn threshold_never_reached_yields_nan_and_is_dashed_in_the_table() {
         let run = series(&[("informed_fraction", &[0.1, 0.2][..])]);
         let derived = series_summary_record(&run);
         assert!(derived.metric("rounds_to_99").unwrap().is_nan());
-        let report = scenario_report("demo", &[cell(&[])], &[run]);
+        let report = scenario_report("demo", &[cell(&[])], &[run], &[]);
         assert!(report.tables[1].to_markdown().contains('-'));
     }
 }

@@ -36,7 +36,12 @@ use churn_event::{
     run_async_flooding, AsyncFloodingConfig, AsyncSource, BandwidthModel, LatencyModel,
 };
 
-const SIZES: [usize; 2] = [2_048, 65_536];
+const SIZES: [usize; 3] = [2_048, 65_536, 100_000];
+
+/// The n = 10^6 rows (sync + zero-latency only) are recorded with minimal
+/// samples — one async iteration at this size is seconds of work, and the
+/// BENCH_PR10 speedup claim only needs an order-of-magnitude-stable median.
+const BIG: usize = 1_000_000;
 
 fn warm_template(n: usize) -> AnyModel {
     let mut template = ModelKind::Sdgr.build(n, 8, 11).expect("valid parameters");
@@ -77,21 +82,32 @@ fn bench_sync(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
     for n in SIZES {
-        let mut template: Option<AnyModel> = None;
-        group.bench_with_input(BenchmarkId::new("sync", n), &n, |bencher, &n| {
-            let template = template.get_or_insert_with(|| warm_template(n));
-            bencher.iter(|| {
-                let mut model = template.clone();
-                let record = run_flooding(
-                    &mut model,
-                    FloodingSource::NextToJoin,
-                    &FloodingConfig::default(),
-                );
-                criterion::black_box(record.rounds_elapsed())
-            });
-        });
+        bench_sync_row(&mut group, n);
     }
     group.finish();
+
+    let mut group = c.benchmark_group("async_flooding");
+    group
+        .sample_size(2)
+        .measurement_time(Duration::from_secs(1));
+    bench_sync_row(&mut group, BIG);
+    group.finish();
+}
+
+fn bench_sync_row(group: &mut criterion::BenchmarkGroup<'_>, n: usize) {
+    let mut template: Option<AnyModel> = None;
+    group.bench_with_input(BenchmarkId::new("sync", n), &n, |bencher, &n| {
+        let template = template.get_or_insert_with(|| warm_template(n));
+        bencher.iter(|| {
+            let mut model = template.clone();
+            let record = run_flooding(
+                &mut model,
+                FloodingSource::NextToJoin,
+                &FloodingConfig::default(),
+            );
+            criterion::black_box(record.rounds_elapsed())
+        });
+    });
 }
 
 fn bench_async(c: &mut Criterion) {
@@ -115,6 +131,19 @@ fn bench_async(c: &mut Criterion) {
             BandwidthModel::drop_tail(32.0, 64),
         );
     }
+    group.finish();
+
+    let mut group = c.benchmark_group("async_flooding");
+    group
+        .sample_size(2)
+        .measurement_time(Duration::from_secs(1));
+    bench_async_row(
+        &mut group,
+        BenchmarkId::new("zero-latency", BIG),
+        BIG,
+        LatencyModel::Fixed(0.0),
+        BandwidthModel::unlimited(),
+    );
     group.finish();
 }
 

@@ -19,10 +19,10 @@ use churn_core::{ModelKind, VictimPolicy};
 use churn_event::{BandwidthModel, CrashRestart, LatencyModel, LossModel, PartitionWindow};
 use churn_protocol::{AdversaryModel, AttackKind, ChurnDriver, SaturationPolicy};
 use churn_sim::scenario::{
-    load_cell_records, load_series_records, run_scenario, scenario_output_path,
-    scenario_series_path, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec, FaultSpec, FloodingSpec,
-    Grid, GridPreset, Measurement, NetSpec, RaesNet, RetryPolicy, RoundBudget, RunOptions,
-    Scenario, ScenarioOutcome, ScenarioRegistry,
+    load_cell_records, load_load_records, load_series_records, run_scenario, scenario_load_path,
+    scenario_output_path, scenario_series_path, AsyncFloodingSpec, AsyncRaesSpec, ExpansionSpec,
+    FaultSpec, FloodingSpec, Grid, GridPreset, Measurement, NetSpec, RaesNet, RetryPolicy,
+    RoundBudget, RunOptions, Scenario, ScenarioOutcome, ScenarioRegistry,
 };
 
 /// Builds the full registry. Scenario names are stable — they are the
@@ -907,10 +907,13 @@ pub fn run_and_report(
 }
 
 /// Regenerates the report for `name` from the stored checkpoint (and, when
-/// present, the `.series.jsonl` side file) without running any cell. The
-/// verdict tables are rebuilt by `churn_analysis::scenario_report` from the
-/// on-disk records alone, so `exp report` works on a machine that only has
-/// the `results/` directory.
+/// present, the `.series.jsonl` and `.load.jsonl` side files) without
+/// running any cell. The verdict tables are rebuilt by
+/// `churn_analysis::scenario_report` from the on-disk records alone, so
+/// `exp report` works on a machine that only has the `results/` directory.
+/// The load file adds a wall-clock throughput table covering the cells the
+/// last invocation actually executed — machine-dependent by design, so it
+/// never feeds a verdict.
 ///
 /// # Errors
 ///
@@ -939,7 +942,15 @@ pub fn report_from_disk(
     } else {
         Vec::new()
     };
-    Ok(churn_analysis::scenario_report(name, &records, &series))
+    let load_path = scenario_load_path(scenario, opts);
+    let loads = if load_path.exists() {
+        load_load_records(&load_path).map_err(|e| format!("{}: {e}", load_path.display()))?
+    } else {
+        Vec::new()
+    };
+    Ok(churn_analysis::scenario_report(
+        name, &records, &series, &loads,
+    ))
 }
 
 /// Entry point of the legacy experiment shims: maps the historical `quick`

@@ -182,12 +182,21 @@ fn report_from_disk_rebuilds_verdicts_without_rewriting_the_checkpoint() {
         .expect("report regenerates from the stored files");
     assert_eq!(
         report.tables.len(),
-        2,
-        "per-point means plus the trajectory table from the series file"
+        3,
+        "per-point means, the trajectory table from the series file, and \
+         the throughput table from the load file"
     );
     assert!(
         report.tables[1].to_markdown().contains("rounds_to_half"),
         "trajectory table carries series-derived metrics"
+    );
+    assert!(
+        report.tables[2].title().contains("machine-dependent"),
+        "throughput table is flagged as machine-dependent"
+    );
+    assert!(
+        report.tables[2].to_markdown().contains("units/s"),
+        "throughput table carries the rate column"
     );
     assert!(!report.comparisons.is_empty(), "verdict rows derived");
     assert!(report.all_hold(), "flooding completes at smoke sizes");

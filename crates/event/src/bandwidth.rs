@@ -14,8 +14,9 @@
 //! does not recall it). Queue state is keyed by raw node identifier, so
 //! recycled slab cells never inherit a predecessor's backlog.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use churn_graph::hashing::IdHashMap;
 use serde::{Deserialize, Serialize};
 
 /// What happens to a message offered to a full egress queue.
@@ -137,9 +138,15 @@ pub enum Enqueue {
 #[derive(Debug)]
 pub struct EgressQueues {
     model: BandwidthModel,
-    pending: HashMap<u64, VecDeque<f64>>,
+    pending: IdHashMap<u64, VecDeque<f64>>,
+    /// Retired deques recycled by later senders, so churn-heavy runs do not
+    /// re-allocate queue storage once per node lifetime.
+    free: Vec<VecDeque<f64>>,
     peak_backlog: usize,
 }
+
+/// Retired-deque recycle cap: beyond this the allocator keeps up fine.
+const FREE_QUEUE_CAP: usize = 256;
 
 impl EgressQueues {
     /// Creates the queue set (empty; nodes materialize on first send).
@@ -147,7 +154,8 @@ impl EgressQueues {
     pub fn new(model: BandwidthModel) -> Self {
         EgressQueues {
             model,
-            pending: HashMap::new(),
+            pending: IdHashMap::default(),
+            free: Vec::new(),
             peak_backlog: 0,
         }
     }
@@ -176,7 +184,10 @@ impl EgressQueues {
                 queue_delay: 0.0,
             };
         }
-        let queue = self.pending.entry(sender).or_default();
+        let queue = self
+            .pending
+            .entry(sender)
+            .or_insert_with(|| self.free.pop().unwrap_or_default());
         while queue.front().is_some_and(|&departs| departs <= now) {
             queue.pop_front();
         }
@@ -199,7 +210,12 @@ impl EgressQueues {
     /// Drops the queue state of a dead node. Messages already accepted keep
     /// their scheduled departures (they have left the process).
     pub fn forget(&mut self, sender: u64) {
-        self.pending.remove(&sender);
+        if let Some(mut queue) = self.pending.remove(&sender) {
+            if self.free.len() < FREE_QUEUE_CAP {
+                queue.clear();
+                self.free.push(queue);
+            }
+        }
     }
 }
 
@@ -250,6 +266,23 @@ mod tests {
             };
             assert_eq!(departs, k as f64);
         }
+    }
+
+    #[test]
+    fn forget_recycles_queue_storage() {
+        let mut queues = EgressQueues::new(BandwidthModel::delaying(1.0));
+        assert!(matches!(queues.enqueue(1, 0.0), Enqueue::Sent { .. }));
+        queues.forget(1);
+        assert_eq!(queues.free.len(), 1, "retired deque lands on the freelist");
+        // The next fresh sender reuses the retired deque, cleared.
+        let Enqueue::Sent { departs, .. } = queues.enqueue(2, 0.0) else {
+            panic!("delaying queues never drop");
+        };
+        assert_eq!(departs, 1.0);
+        assert!(queues.free.is_empty());
+        // Forgetting an unknown sender leaves the freelist alone.
+        queues.forget(99);
+        assert!(queues.free.is_empty());
     }
 
     #[test]

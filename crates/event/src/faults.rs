@@ -33,7 +33,7 @@
 //!   after a downtime draw. Churn death of a down node wins: the node is
 //!   simply gone when the restart fires.
 
-use std::collections::{HashMap, HashSet};
+use churn_graph::hashing::{IdHashMap, IdHashSet};
 
 use churn_stochastic::rng::{derive_seed, substream_rng, SimRng};
 use churn_stochastic::{GilbertElliott, GilbertElliottState, Poisson};
@@ -273,34 +273,34 @@ impl FaultPlan {
 /// substream, per-link burst-channel states, and the down set of the
 /// crash–restart process.
 #[derive(Debug)]
-pub struct FaultState {
-    plan: FaultPlan,
+pub struct FaultState<'p> {
+    plan: &'p FaultPlan,
     rng: SimRng,
     /// Gilbert–Elliott channel state per directed link `(sender, receiver)`.
-    channels: HashMap<(u64, u64), GilbertElliottState>,
+    channels: IdHashMap<(u64, u64), GilbertElliottState>,
     /// Nodes currently crashed (down), by raw identifier.
-    down: HashSet<u64>,
+    down: IdHashSet<u64>,
     /// Down intervals `[crash, restart)` per node; the last interval of a
     /// node still down (or crashed-then-dead) is open: `restart = ∞`. This
     /// is what makes "a crash loses queued egress" enforceable after the
     /// fact: a message whose departure instant falls inside a sender's down
     /// window never made it to the wire.
-    down_windows: HashMap<u64, Vec<(f64, f64)>>,
+    down_windows: IdHashMap<u64, Vec<(f64, f64)>>,
     crashes: u64,
     restarts: u64,
 }
 
-impl FaultState {
+impl<'p> FaultState<'p> {
     /// Binds a plan to a run seed. The RNG is the dedicated fault
     /// substream of `seed`; an empty plan never draws from it.
     #[must_use]
-    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+    pub fn new(plan: &'p FaultPlan, seed: u64) -> Self {
         FaultState {
             plan,
             rng: substream_rng(seed, FAULT_STREAM),
-            channels: HashMap::new(),
-            down: HashSet::new(),
-            down_windows: HashMap::new(),
+            channels: IdHashMap::default(),
+            down: IdHashSet::default(),
+            down_windows: IdHashMap::default(),
             crashes: 0,
             restarts: 0,
         }
@@ -308,8 +308,8 @@ impl FaultState {
 
     /// The plan this state executes.
     #[must_use]
-    pub fn plan(&self) -> &FaultPlan {
-        &self.plan
+    pub fn plan(&self) -> &'p FaultPlan {
+        self.plan
     }
 
     /// The fault substream (for draws that belong to the fault layer but
@@ -478,7 +478,7 @@ mod tests {
         plan.validate().unwrap();
         assert_eq!(plan.label(), "none");
 
-        let mut state = FaultState::new(plan, 7);
+        let mut state = FaultState::new(&plan, 7);
         let reference = substream_rng(7, FAULT_STREAM);
         for _ in 0..32 {
             assert_eq!(state.copies(1, 2), 1);
@@ -532,7 +532,7 @@ mod tests {
         let mut plan = FaultPlan::none();
         plan.loss = LossModel::Iid { p: 0.3 };
         plan.validate().unwrap();
-        let mut state = FaultState::new(plan, 11);
+        let mut state = FaultState::new(&plan, 11);
         let trials = 100_000;
         let lost = (0..trials).filter(|_| state.copies(1, 2) == 0).count();
         let rate = lost as f64 / trials as f64;
@@ -544,7 +544,7 @@ mod tests {
         let chan = GilbertElliott::new(0.02, 0.2, 0.0, 1.0).unwrap();
         let mut plan = FaultPlan::none();
         plan.loss = LossModel::Bursty(chan);
-        let mut state = FaultState::new(plan, 13);
+        let mut state = FaultState::new(&plan, 13);
         // Alternating links still converge to the stationary loss, and the
         // channel map holds one state per directed link.
         let mut lost = 0usize;
@@ -567,7 +567,7 @@ mod tests {
         plan.reorder_p = 0.5;
         plan.reorder_max = 4.0;
         plan.validate().unwrap();
-        let mut state = FaultState::new(plan, 17);
+        let mut state = FaultState::new(&plan, 17);
         let trials = 50_000;
         let dup = (0..trials).filter(|_| state.copies(1, 2) == 2).count();
         assert!((dup as f64 / trials as f64 - 0.25).abs() < 0.01);
@@ -601,7 +601,7 @@ mod tests {
             }
         }
         let (cross, same) = (cross.unwrap(), same.unwrap());
-        let state = FaultState::new(plan.clone(), 19);
+        let state = FaultState::new(&plan, 19);
         assert!(!state.blocked(7.9, 0, cross), "before the window");
         assert!(state.blocked(8.0, 0, cross), "window start is inclusive");
         assert!(state.blocked(23.9, 0, cross));
@@ -623,7 +623,7 @@ mod tests {
             rate: 0.01,
             downtime: LatencyModel::Fixed(2.0),
         });
-        let mut state = FaultState::new(plan, 23);
+        let mut state = FaultState::new(&plan, 23);
         assert!(state.mark_down(5, 10.0));
         assert!(!state.mark_down(5, 10.5), "double crash is a no-op");
         assert!(state.is_down(5));
@@ -690,8 +690,8 @@ mod tests {
         plan.duplicate_p = 0.1;
         plan.reorder_p = 0.2;
         plan.reorder_max = 2.0;
-        let mut a = FaultState::new(plan.clone(), 29);
-        let mut b = FaultState::new(plan, 29);
+        let mut a = FaultState::new(&plan, 29);
+        let mut b = FaultState::new(&plan, 29);
         for k in 0..1000u64 {
             assert_eq!(a.copies(k, k + 1), b.copies(k, k + 1));
             assert_eq!(a.reorder_delay().to_bits(), b.reorder_delay().to_bits());

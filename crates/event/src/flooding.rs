@@ -20,10 +20,9 @@
 //! The half-unit offset keeps the synchronous convention that a round's
 //! deliveries land before the round's churn.
 
-use std::collections::HashSet;
-
 use churn_core::flooding::TAG_NO_FORWARD;
 use churn_core::DynamicNetwork;
+use churn_graph::hashing::IdHashSet;
 use churn_graph::{DenseHandle, DynamicGraph, NodeId};
 use churn_stochastic::rng::{substream_rng, SimRng};
 
@@ -32,6 +31,7 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::latency::LatencyModel;
 use crate::sched::{Scheduler, TraceEvent};
 use crate::stats::EventStats;
+use crate::trace::{TraceBins, TraceMode};
 
 /// Substream tag of the latency-sampling RNG (independent of every model
 /// substream, so attaching the event layer never perturbs the churn
@@ -80,8 +80,10 @@ pub struct AsyncFloodingConfig {
     /// Advance the network one churn unit per unit of simulated time
     /// (ticks at `k + 0.5`). Requires a finite horizon.
     pub churn: bool,
-    /// Record the event trace (determinism suite; off in production runs).
-    pub record_trace: bool,
+    /// Trace capture mode: off in production runs, [`TraceMode::Full`] for
+    /// the determinism suite, [`TraceMode::Bins`] for the streaming series
+    /// pipeline.
+    pub trace: TraceMode,
 }
 
 impl AsyncFloodingConfig {
@@ -94,7 +96,7 @@ impl AsyncFloodingConfig {
             bandwidth,
             horizon: 4096.0,
             churn: true,
-            record_trace: false,
+            trace: TraceMode::Off,
         }
     }
 
@@ -129,8 +131,10 @@ pub struct AsyncFloodingRecord {
     pub emergent_rounds: u32,
     /// Deterministic load counters.
     pub stats: EventStats,
-    /// Recorded event trace (empty unless requested).
+    /// Recorded event trace (empty unless [`TraceMode::Full`]).
     pub trace: Vec<TraceEvent>,
+    /// Streaming per-time-unit bins (`None` unless [`TraceMode::Bins`]).
+    pub bins: Option<TraceBins>,
     informed_ids: Vec<NodeId>,
 }
 
@@ -170,14 +174,14 @@ enum Ev {
 }
 
 /// The flooding state shared by the churning and the static driver.
-struct Engine {
+struct Engine<'p> {
     latency: LatencyModel,
     sched: Scheduler<Ev>,
     egress: EgressQueues,
     stats: EventStats,
     rng: SimRng,
-    faults: FaultState,
-    informed: HashSet<u64>,
+    faults: FaultState<'p>,
+    informed: IdHashSet<u64>,
     entries: Vec<(DenseHandle, NodeId)>,
     emergent_rounds: u32,
     completion_time: Option<f64>,
@@ -186,11 +190,15 @@ struct Engine {
     last_tick: f64,
 }
 
-impl Engine {
-    fn new(cfg: &AsyncFloodingConfig, plan: &FaultPlan, seed: u64) -> Self {
+impl<'p> Engine<'p> {
+    /// Builds the engine; `initial_alive` seeds the streaming binner's
+    /// alive series (the population before the first churn event).
+    fn new(cfg: &AsyncFloodingConfig, plan: &'p FaultPlan, seed: u64, initial_alive: f64) -> Self {
         let mut sched = Scheduler::new();
-        if cfg.record_trace {
-            sched.enable_trace();
+        match cfg.trace {
+            TraceMode::Off => {}
+            TraceMode::Full => sched.enable_trace(),
+            TraceMode::Bins => sched.enable_bins(TRACE_CHURN, initial_alive),
         }
         Engine {
             latency: cfg.latency,
@@ -198,8 +206,8 @@ impl Engine {
             egress: EgressQueues::new(cfg.bandwidth),
             stats: EventStats::new(),
             rng: substream_rng(seed, LATENCY_STREAM),
-            faults: FaultState::new(plan.clone(), seed),
-            informed: HashSet::new(),
+            faults: FaultState::new(plan, seed),
+            informed: IdHashSet::default(),
             entries: Vec::new(),
             emergent_rounds: 0,
             completion_time: None,
@@ -426,7 +434,7 @@ impl Engine {
         if self.faults.plan().partitions.is_empty() {
             return;
         }
-        let windows = self.faults.plan().partitions.clone();
+        let windows = &self.faults.plan().partitions;
         for (w_idx, window) in windows.iter().enumerate() {
             if window.heal <= self.last_tick || window.heal > now {
                 continue;
@@ -471,6 +479,7 @@ impl Engine {
             completion_time: self.completion_time,
             emergent_rounds: self.emergent_rounds,
             trace: self.sched.take_trace(),
+            bins: self.sched.take_bins(),
             stats: self.stats,
             informed_ids,
         }
@@ -525,7 +534,7 @@ pub fn run_async_flooding_faulty<N: DynamicNetwork>(
         AsyncSource::Node(id) => id,
         AsyncSource::Newest => net.newest_node().expect("network has a newest node"),
     };
-    let mut engine = Engine::new(cfg, plan, seed);
+    let mut engine = Engine::new(cfg, plan, seed, net.alive_count() as f64);
     let source_idx = net
         .graph()
         .dense_index_of(source_id)
@@ -629,7 +638,7 @@ pub fn run_async_flooding_static_faulty(
 ) -> AsyncFloodingRecord {
     cfg.validate().expect("invalid async flooding config");
     plan.validate().expect("invalid fault plan");
-    let mut engine = Engine::new(cfg, plan, seed);
+    let mut engine = Engine::new(cfg, plan, seed, graph.len() as f64);
     let source_idx = graph
         .dense_index_of(source)
         .expect("flooding source is in the graph");
@@ -693,7 +702,7 @@ mod tests {
             bandwidth: BandwidthModel::unlimited(),
             horizon: 16.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         let record = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 7);
         assert_eq!(record.stats.sim_time, 0.0);
@@ -723,7 +732,7 @@ mod tests {
             bandwidth: BandwidthModel::unlimited(),
             horizon: 64.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         let record = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 1);
         assert!(record.complete);
@@ -740,7 +749,7 @@ mod tests {
             bandwidth: BandwidthModel::unlimited(),
             horizon: 32.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         let mut plan = FaultPlan::none();
         plan.loss = crate::faults::LossModel::Iid { p: 1.0 };
@@ -761,7 +770,7 @@ mod tests {
             bandwidth: BandwidthModel::unlimited(),
             horizon: 64.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         let baseline = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 7);
         let mut plan = FaultPlan::none();
@@ -787,7 +796,7 @@ mod tests {
             bandwidth: BandwidthModel::unlimited(),
             horizon: 128.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         // Partition from the start; heal at t = 8; pull every unit.
         let mut plan = FaultPlan::none();
@@ -827,7 +836,7 @@ mod tests {
             bandwidth: BandwidthModel::delaying(1.0),
             horizon: 64.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         let record = run_async_flooding_static(&graph, NodeId::new(0), &cfg, 1);
         assert!(record.complete);

@@ -15,15 +15,17 @@
 //!
 //! ## Event order and determinism
 //!
-//! All events live in one [`churn_stochastic::EventQueue`]: a binary heap
-//! keyed by `f64` timestamp with a monotone sequence number as tie-break.
-//! The ordering is therefore *total* — two events never compare equal, and
-//! simultaneous events pop in the order they were scheduled. Every run is a
-//! pure function of its configuration and seed: same seed ⇒ identical event
-//! trace, identical statistics, identical final state, at any queue capacity
-//! and on any machine. The [`Scheduler`] wrapper adds the processed-event
-//! counter and an optional trace recorder the determinism suite pins this
-//! contract with.
+//! All events live in one [`churn_stochastic::EventQueue`]: a calendar
+//! queue keyed by `f64` timestamp with a monotone sequence number as
+//! tie-break. The ordering is therefore *total* — two events never compare
+//! equal, and simultaneous events pop in the order they were scheduled.
+//! Every run is a pure function of its configuration and seed: same seed ⇒
+//! identical event trace, identical statistics, identical final state, at
+//! any queue capacity and on any machine. The [`Scheduler`] wrapper adds
+//! the processed-event counter and an optional trace capture
+//! ([`TraceMode`]: full buffering for the determinism suite, streaming
+//! per-time-unit bins for the series pipeline) the determinism suite pins
+//! this contract with.
 //!
 //! ## Module map
 //!
@@ -61,6 +63,7 @@ pub mod latency;
 pub mod raes;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 
 pub use bandwidth::{BandwidthModel, EgressQueues, Enqueue, OverflowPolicy};
 pub use faults::{CrashRestart, FaultPlan, FaultState, LossModel, PartitionWindow};
@@ -74,3 +77,4 @@ pub use raes::{
 };
 pub use sched::{Scheduler, TraceEvent};
 pub use stats::EventStats;
+pub use trace::{TraceBins, TraceMode};

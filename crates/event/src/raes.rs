@@ -27,12 +27,13 @@
 //!   owner's churn event) to the accept's arrival — queueing behind flood
 //!   traffic shows up here.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::mem;
 
 use churn_core::driver::{streaming_round, ChurnHost};
 use churn_core::flooding::TAG_NO_FORWARD;
 use churn_core::ChurnSummary;
+use churn_graph::hashing::{IdHashMap, IdHashSet};
 use churn_graph::{DenseHandle, DynamicGraph, NodeId, RemovedNode};
 use churn_stochastic::rng::{seeded_rng, SimRng};
 
@@ -41,6 +42,7 @@ use crate::faults::{FaultPlan, FaultState};
 use crate::latency::LatencyModel;
 use crate::sched::{Scheduler, TraceEvent};
 use crate::stats::{percentile, EventStats};
+use crate::trace::{TraceBins, TraceMode};
 
 /// Trace kind: a churn tick completed (`subject` = alive count after it).
 pub const TRACE_CHURN: u16 = 10;
@@ -93,8 +95,10 @@ pub struct AsyncRaesConfig {
     /// [`EventStats::retries_exhausted`], never wedging the run). The
     /// default `u32::MAX` never sheds.
     pub retry_budget: u32,
-    /// Record the event trace (determinism suite; off in production runs).
-    pub record_trace: bool,
+    /// Trace capture mode: off in production runs, [`TraceMode::Full`] for
+    /// the determinism suite, [`TraceMode::Bins`] for the streaming series
+    /// pipeline.
+    pub trace: TraceMode,
 }
 
 impl AsyncRaesConfig {
@@ -115,7 +119,7 @@ impl AsyncRaesConfig {
             backoff_factor: 1.0,
             backoff_jitter: 0.0,
             retry_budget: u32::MAX,
-            record_trace: false,
+            trace: TraceMode::Off,
         }
     }
 
@@ -209,8 +213,10 @@ pub struct AsyncRaesRecord {
     pub alive: usize,
     /// Flood outcome (when a flood was injected).
     pub flood: Option<FloodSummary>,
-    /// Recorded event trace (empty unless requested).
+    /// Recorded event trace (empty unless [`TraceMode::Full`]).
     pub trace: Vec<TraceEvent>,
+    /// Streaming per-time-unit bins (`None` unless [`TraceMode::Bins`]).
+    pub bins: Option<TraceBins>,
 }
 
 /// One scheduled event. `departs` on the message events carries the
@@ -268,7 +274,7 @@ struct PendingSlot {
     retries: u32,
 }
 
-struct Raes {
+struct Raes<'p> {
     cfg: AsyncRaesConfig,
     cap: usize,
     graph: DynamicGraph,
@@ -276,12 +282,19 @@ struct Raes {
     sched: Scheduler<Ev>,
     egress: EgressQueues,
     stats: EventStats,
-    faults: FaultState,
+    faults: FaultState<'p>,
     order: VecDeque<(NodeId, u32)>,
     next_id: u64,
     pending: Vec<PendingSlot>,
+    /// Positional index over `pending`, keyed by `owner cell × d + slot`:
+    /// `pending_pos[key]` is the entry's current position in `pending`.
+    /// Entries are validated on lookup (cell recycling makes keys collide
+    /// across generations), so a stale position is harmless — but a valid
+    /// hit replaces the linear scan a reply would otherwise pay, which is
+    /// what made the initial `n·d` wiring quadratic.
+    pending_pos: Vec<u32>,
     /// In-flight accepts per target (raw id), counted against the cap.
-    reserved: HashMap<u64, u32>,
+    reserved: IdHashMap<u64, u32>,
     removal_scratch: RemovedNode,
     repairs_completed: u64,
     repair_requests: u64,
@@ -290,14 +303,14 @@ struct Raes {
     repair_times: Vec<f64>,
     max_in_degree: usize,
     // Flood state.
-    informed: HashSet<u64>,
+    informed: IdHashSet<u64>,
     flood_entries: Vec<(DenseHandle, NodeId)>,
     flood_completion: Option<f64>,
     flood_rounds: u32,
     flood_started: bool,
 }
 
-impl ChurnHost for Raes {
+impl ChurnHost for Raes<'_> {
     fn spawn(&mut self, time: f64) -> (NodeId, u32) {
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
@@ -307,7 +320,7 @@ impl ChurnHost for Raes {
             .expect("identifiers are never reused");
         let owner = self.graph.handle_at(idx).expect("newborn is alive");
         for slot in 0..self.cfg.d as u32 {
-            self.pending.push(PendingSlot {
+            self.pending_push(PendingSlot {
                 owner,
                 owner_id: id,
                 slot,
@@ -331,9 +344,10 @@ impl ChurnHost for Raes {
                 .graph
                 .handle_at(owner_idx)
                 .expect("dangling-slot owners survive the removal");
-            self.pending.push(PendingSlot {
+            let owner_id = self.graph.id_at(owner_idx).expect("owner is alive");
+            self.pending_push(PendingSlot {
                 owner,
-                owner_id: self.graph.id_at(owner_idx).expect("owner is alive"),
+                owner_id,
                 slot: slot as u32,
                 since: time,
                 in_flight: false,
@@ -349,8 +363,8 @@ impl ChurnHost for Raes {
     }
 }
 
-impl Raes {
-    fn new(cfg: AsyncRaesConfig, plan: &FaultPlan, seed: u64) -> Self {
+impl<'p> Raes<'p> {
+    fn new(cfg: AsyncRaesConfig, plan: &'p FaultPlan, seed: u64) -> Self {
         let rng = seeded_rng(seed);
         // Start empty and spawn the initial population through the same
         // join path churn uses: every node's d connect requests are capped
@@ -358,8 +372,10 @@ impl Raes {
         // raw random-graph generator would not respect it).
         let graph = DynamicGraph::with_capacity(cfg.n + 16);
         let mut sched = Scheduler::new();
-        if cfg.record_trace {
-            sched.enable_trace();
+        match cfg.trace {
+            TraceMode::Off => {}
+            TraceMode::Full => sched.enable_trace(),
+            TraceMode::Bins => sched.enable_bins(TRACE_CHURN, cfg.n as f64),
         }
         let mut model = Raes {
             cap: cfg.in_degree_cap(),
@@ -368,11 +384,12 @@ impl Raes {
             sched,
             egress: EgressQueues::new(cfg.bandwidth),
             stats: EventStats::new(),
-            faults: FaultState::new(plan.clone(), seed),
+            faults: FaultState::new(plan, seed),
             order: VecDeque::with_capacity(cfg.n + 1),
             next_id: 0,
             pending: Vec::new(),
-            reserved: HashMap::new(),
+            pending_pos: Vec::new(),
+            reserved: IdHashMap::default(),
             removal_scratch: RemovedNode::default(),
             repairs_completed: 0,
             repair_requests: 0,
@@ -380,7 +397,7 @@ impl Raes {
             phantoms: 0,
             repair_times: Vec::new(),
             max_in_degree: 0,
-            informed: HashSet::new(),
+            informed: IdHashSet::default(),
             flood_entries: Vec::new(),
             flood_completion: None,
             flood_rounds: 0,
@@ -392,6 +409,60 @@ impl Raes {
             model.order.push_back(born);
         }
         model
+    }
+
+    /// `pending_pos` key of an entry: dense cell index × out-degree + slot.
+    fn pending_key(&self, owner_index: u32, slot: u32) -> usize {
+        owner_index as usize * self.cfg.d + slot as usize
+    }
+
+    /// Records that the entry at `pos` is where its key now points.
+    fn note_pending_pos(&mut self, pos: usize) {
+        let key = self.pending_key(self.pending[pos].owner.index, self.pending[pos].slot);
+        if key >= self.pending_pos.len() {
+            self.pending_pos.resize(key + 1, u32::MAX);
+        }
+        self.pending_pos[key] = pos as u32;
+    }
+
+    fn pending_push(&mut self, entry: PendingSlot) {
+        self.pending.push(entry);
+        self.note_pending_pos(self.pending.len() - 1);
+    }
+
+    fn pending_swap_remove(&mut self, pos: usize) -> PendingSlot {
+        let entry = self.pending.swap_remove(pos);
+        if pos < self.pending.len() {
+            self.note_pending_pos(pos);
+        }
+        entry
+    }
+
+    /// Re-derives every index entry; call after a `retain` shifted
+    /// positions. O(len), which the retain itself already paid.
+    fn reindex_pending(&mut self) {
+        for pos in 0..self.pending.len() {
+            self.note_pending_pos(pos);
+        }
+    }
+
+    /// Position of the live entry for `(owner, slot)` — exactly what a
+    /// linear `position()` scan would find (entries are unique per live
+    /// `(owner, slot)`; the handle's generation distinguishes recycled
+    /// cells). The indexed probe is validated against the entry and falls
+    /// back to the scan when a collision left it stale.
+    fn pending_position(&self, owner: DenseHandle, slot: u32) -> Option<usize> {
+        let key = self.pending_key(owner.index, slot);
+        if let Some(&pos) = self.pending_pos.get(key) {
+            if let Some(p) = self.pending.get(pos as usize) {
+                if p.owner == owner && p.slot == slot {
+                    return Some(pos as usize);
+                }
+            }
+        }
+        self.pending
+            .iter()
+            .position(|p| p.owner == owner && p.slot == slot)
     }
 
     /// Reserved in-flight accepts pointed at `target_id`.
@@ -502,6 +573,7 @@ impl Raes {
     fn sweep_pending(&mut self, now: f64) {
         let graph = &self.graph;
         self.pending.retain(|p| graph.is_current(p.owner));
+        self.reindex_pending();
         let mut i = 0;
         while i < self.pending.len() {
             let p = &self.pending[i];
@@ -512,7 +584,7 @@ impl Raes {
             let timed_out = p.in_flight && now >= p.deadline;
             if timed_out {
                 if p.retries >= self.cfg.retry_budget {
-                    let shed = self.pending.swap_remove(i);
+                    let shed = self.pending_swap_remove(i);
                     self.stats.retries_exhausted += 1;
                     self.stats.record_repair_retries(shed.retries);
                     self.sched.record(TRACE_SHED, shed.owner_id.raw());
@@ -655,11 +727,7 @@ impl Raes {
             return;
         }
         self.stats.messages_delivered += 1;
-        let Some(i) = self
-            .pending
-            .iter()
-            .position(|p| p.owner == owner && p.slot == slot)
-        else {
+        let Some(i) = self.pending_position(owner, slot) else {
             return; // slot already repaired by a retransmitted request
         };
         if accept && self.graph.is_current(target) {
@@ -668,7 +736,7 @@ impl Raes {
                 .expect("owner and target are alive and the slot exists");
             let since = self.pending[i].since;
             self.stats.record_repair_retries(self.pending[i].retries);
-            self.pending.swap_remove(i);
+            self.pending_swap_remove(i);
             self.repairs_completed += 1;
             self.repair_times.push(now - since);
             let in_degree = self
@@ -823,6 +891,7 @@ impl Raes {
             // In-flight protocol state is lost: pending repairs it owned
             // and in-flight accepts reserved against it.
             self.pending.retain(|p| p.owner_id != id);
+            self.reindex_pending();
             self.reserved.remove(&id.raw());
             if self.informed.remove(&id.raw()) {
                 self.flood_entries.retain(|&(_, entry_id)| entry_id != id);
@@ -860,7 +929,7 @@ impl Raes {
                 .iter()
                 .any(|p| p.owner_id == id && p.slot == slot);
             if !already {
-                self.pending.push(PendingSlot {
+                self.pending_push(PendingSlot {
                     owner: target,
                     owner_id: id,
                     slot,
@@ -965,6 +1034,7 @@ impl Raes {
             alive,
             flood,
             trace: self.sched.take_trace(),
+            bins: self.sched.take_bins(),
             stats: self.stats,
         }
     }

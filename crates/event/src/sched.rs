@@ -10,6 +10,8 @@
 
 use churn_stochastic::EventQueue;
 
+use crate::trace::TraceBins;
+
 /// One processed event in a recorded trace: enough to compare two runs
 /// bit for bit without retaining payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,12 +27,23 @@ pub struct TraceEvent {
     pub subject: u64,
 }
 
+/// How [`Scheduler::record`] captures events.
+#[derive(Debug)]
+enum Capture {
+    Off,
+    /// Buffer every event verbatim (determinism suite).
+    Buffer(Vec<TraceEvent>),
+    /// Fold events into per-time-unit bins as they arrive (series
+    /// pipeline; no full-trace buffering).
+    Bins(TraceBins),
+}
+
 /// An instrumented future-event list with a total order.
 #[derive(Debug)]
 pub struct Scheduler<E> {
     queue: EventQueue<E>,
     processed: u64,
-    trace: Option<Vec<TraceEvent>>,
+    capture: Capture,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -38,7 +51,7 @@ impl<E> Default for Scheduler<E> {
         Scheduler {
             queue: EventQueue::new(),
             processed: 0,
-            trace: None,
+            capture: Capture::Off,
         }
     }
 }
@@ -50,14 +63,41 @@ impl<E> Scheduler<E> {
         Self::default()
     }
 
-    /// Turns trace recording on (records every [`Self::record`] call).
+    /// Turns full trace recording on (buffers every [`Self::record`] call).
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.capture = Capture::Buffer(Vec::new());
     }
 
-    /// Takes the recorded trace (empty if tracing was never enabled).
+    /// Turns streaming binning on: every [`Self::record`] call folds into a
+    /// [`TraceBins`] keyed on `alive_kind` / `initial_alive` instead of
+    /// being buffered.
+    pub fn enable_bins(&mut self, alive_kind: u16, initial_alive: f64) {
+        self.capture = Capture::Bins(TraceBins::new(alive_kind, initial_alive));
+    }
+
+    /// Takes the recorded trace (empty unless full tracing was enabled).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.take().unwrap_or_default()
+        match std::mem::replace(&mut self.capture, Capture::Off) {
+            Capture::Buffer(trace) => trace,
+            other => {
+                self.capture = other;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Takes the finalized bins (`None` unless binning was enabled).
+    pub fn take_bins(&mut self) -> Option<TraceBins> {
+        match std::mem::replace(&mut self.capture, Capture::Off) {
+            Capture::Bins(mut bins) => {
+                bins.finalize();
+                Some(bins)
+            }
+            other => {
+                self.capture = other;
+                None
+            }
+        }
     }
 
     /// Current simulated time: the timestamp of the most recently popped
@@ -114,17 +154,19 @@ impl<E> Scheduler<E> {
         popped
     }
 
-    /// Records the event being processed into the trace (no-op unless
-    /// tracing is enabled). Call once per popped event, after [`Self::pop`].
+    /// Records the event being processed into the active capture (no-op
+    /// with capture off). Call once per popped event, after [`Self::pop`].
     pub fn record(&mut self, kind: u16, subject: u64) {
         let (now, processed) = (self.queue.now(), self.processed);
-        if let Some(trace) = self.trace.as_mut() {
-            trace.push(TraceEvent {
+        match &mut self.capture {
+            Capture::Off => {}
+            Capture::Buffer(trace) => trace.push(TraceEvent {
                 time_bits: now.to_bits(),
                 index: processed.saturating_sub(1),
                 kind,
                 subject,
-            });
+            }),
+            Capture::Bins(bins) => bins.push(now.to_bits(), kind, subject),
         }
     }
 }

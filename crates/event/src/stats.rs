@@ -1,6 +1,53 @@
 //! Deterministic load counters of one event-driven run.
+//!
+//! Sample sets that only feed order statistics (percentiles, maxima,
+//! histograms) are held as sorted multisets — `BTreeMap<key, count>` — not
+//! as per-sample `Vec`s: quantized delay and backoff values repeat heavily,
+//! so a run recording tens of millions of samples stores a few hundred
+//! distinct keys. The nearest-rank percentile walks the multiset in key
+//! order, which is bit-identical to sorting the flat sample vector.
+
+use std::collections::BTreeMap;
 
 use churn_stochastic::{Histogram, OnlineStats};
+
+/// Maps a finite `f64` onto a `u64` whose unsigned order matches the float
+/// order (standard sign-flip trick), so a `BTreeMap` keyed by it iterates
+/// in ascending float order.
+fn order_key(value: f64) -> u64 {
+    let bits = value.to_bits();
+    if bits & (1 << 63) != 0 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Inverse of [`order_key`].
+fn key_value(key: u64) -> f64 {
+    if key & (1 << 63) != 0 {
+        f64::from_bits(key & !(1 << 63))
+    } else {
+        f64::from_bits(!key)
+    }
+}
+
+/// Nearest-rank percentile over a sorted multiset of `order_key`-keyed
+/// samples — identical to [`percentile`] over the flattened sample vector.
+fn multiset_percentile(samples: &BTreeMap<u64, u64>, total: u64, q: f64) -> f64 {
+    if total == 0 || !q.is_finite() {
+        return 0.0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (&key, &count) in samples {
+        seen += count;
+        if seen >= rank {
+            return key_value(key);
+        }
+    }
+    key_value(*samples.keys().next_back().expect("total > 0"))
+}
 
 /// Counters and queue-delay statistics of one run.
 ///
@@ -58,12 +105,18 @@ pub struct EventStats {
     /// (`None` while incomplete or without a healed partition).
     pub time_to_reheal: Option<f64>,
     delay: OnlineStats,
-    delays: Vec<f64>,
-    /// Backoff timeout chosen at each retransmission (histogram source).
-    backoff_delays: Vec<f64>,
-    /// Retransmit count per resolved repair — completed or shed
-    /// (histogram source).
-    retransmit_counts: Vec<u32>,
+    /// Sorted multiset of queue delays (percentile source).
+    delays: BTreeMap<u64, u64>,
+    /// Sorted multiset of backoff timeouts chosen at retransmissions
+    /// (percentile and histogram source).
+    backoff_delays: BTreeMap<u64, u64>,
+    /// Retransmissions with a recorded backoff timeout.
+    backoff_samples: u64,
+    /// Multiset of retransmit counts per resolved repair — completed or
+    /// shed (histogram source).
+    retransmit_counts: BTreeMap<u32, u64>,
+    /// Resolved repairs with a recorded retransmit count.
+    repair_samples: u64,
 }
 
 impl EventStats {
@@ -77,19 +130,19 @@ impl EventStats {
     /// simulated time).
     pub fn record_queue_delay(&mut self, delay: f64) {
         self.delay.push(delay);
-        self.delays.push(delay);
+        *self.delays.entry(order_key(delay)).or_insert(0) += 1;
     }
 
     /// Number of recorded queue delays (= messages that entered a queue).
     #[must_use]
     pub fn queue_samples(&self) -> usize {
-        self.delays.len()
+        self.delay.count() as usize
     }
 
     /// Mean egress-queue delay in simulated time (0 with no samples).
     #[must_use]
     pub fn mean_queue_delay(&self) -> f64 {
-        if self.delays.is_empty() {
+        if self.delay.count() == 0 {
             0.0
         } else {
             self.delay.mean()
@@ -97,11 +150,11 @@ impl EventStats {
     }
 
     /// 99th-percentile egress-queue delay in simulated time (0 with no
-    /// samples). Computed from the full sample set, so it is exact and
-    /// deterministic.
+    /// samples). Computed from the full sample multiset, so it is exact
+    /// and deterministic.
     #[must_use]
     pub fn p99_queue_delay(&self) -> f64 {
-        percentile(&self.delays, 0.99)
+        multiset_percentile(&self.delays, self.delay.count(), 0.99)
     }
 
     /// Messages still in flight (sent but not yet resolved) when the run
@@ -125,33 +178,36 @@ impl EventStats {
     /// with.
     pub fn record_retransmit(&mut self, timeout: f64) {
         self.retransmits += 1;
-        self.backoff_delays.push(timeout);
+        *self.backoff_delays.entry(order_key(timeout)).or_insert(0) += 1;
+        self.backoff_samples += 1;
     }
 
     /// Records the retransmit count of one resolved repair (completed or
     /// shed) — the source of [`Self::retransmit_histogram`].
     pub fn record_repair_retries(&mut self, retries: u32) {
-        self.retransmit_counts.push(retries);
+        *self.retransmit_counts.entry(retries).or_insert(0) += 1;
+        self.repair_samples += 1;
     }
 
     /// Number of resolved repairs with a recorded retransmit count.
     #[must_use]
     pub fn retransmit_samples(&self) -> usize {
-        self.retransmit_counts.len()
+        self.repair_samples as usize
     }
 
     /// Mean retransmits per resolved repair (0 with no samples — never
-    /// NaN).
+    /// NaN). Retransmit counts are integers, so summing grouped
+    /// `count × value` products is exact — identical to the per-sample sum.
     #[must_use]
     pub fn mean_retransmits(&self) -> f64 {
-        if self.retransmit_counts.is_empty() {
+        if self.repair_samples == 0 {
             0.0
         } else {
             self.retransmit_counts
                 .iter()
-                .map(|&c| f64::from(c))
+                .map(|(&retries, &count)| f64::from(retries) * count as f64)
                 .sum::<f64>()
-                / self.retransmit_counts.len() as f64
+                / self.repair_samples as f64
         }
     }
 
@@ -159,20 +215,26 @@ impl EventStats {
     /// samples).
     #[must_use]
     pub fn max_retransmits(&self) -> u32 {
-        self.retransmit_counts.iter().copied().max().unwrap_or(0)
+        self.retransmit_counts
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Histogram of retransmits per resolved repair; `None` with no
     /// samples (an empty sample set has no well-defined bin range).
     #[must_use]
     pub fn retransmit_histogram(&self, bins: usize) -> Option<Histogram> {
-        if self.retransmit_counts.is_empty() || bins == 0 {
+        if self.repair_samples == 0 || bins == 0 {
             return None;
         }
         let high = f64::from(self.max_retransmits()) + 1.0;
         let mut hist = Histogram::new(0.0, high, bins);
-        for &count in &self.retransmit_counts {
-            hist.push(f64::from(count));
+        for (&retries, &count) in &self.retransmit_counts {
+            for _ in 0..count {
+                hist.push(f64::from(retries));
+            }
         }
         Some(hist)
     }
@@ -181,20 +243,22 @@ impl EventStats {
     /// no samples).
     #[must_use]
     pub fn p99_backoff(&self) -> f64 {
-        percentile(&self.backoff_delays, 0.99)
+        multiset_percentile(&self.backoff_delays, self.backoff_samples, 0.99)
     }
 
     /// Histogram of backoff timeouts; `None` with no retransmissions.
     #[must_use]
     pub fn backoff_histogram(&self, bins: usize) -> Option<Histogram> {
-        if self.backoff_delays.is_empty() || bins == 0 {
+        if self.backoff_samples == 0 || bins == 0 {
             return None;
         }
-        let max = self.backoff_delays.iter().copied().fold(f64::MIN, f64::max);
+        let max = key_value(*self.backoff_delays.keys().next_back().expect("samples > 0"));
         let high = if max > 0.0 { max } else { 1.0 };
         let mut hist = Histogram::new(0.0, high, bins);
-        for &delay in &self.backoff_delays {
-            hist.push(delay);
+        for (&key, &count) in &self.backoff_delays {
+            for _ in 0..count {
+                hist.push(key_value(key));
+            }
         }
         Some(hist)
     }
@@ -296,6 +360,26 @@ mod tests {
         let backoff = stats.backoff_histogram(4).unwrap();
         assert_eq!(backoff.total(), 3);
         assert_eq!(stats.p99_backoff(), 32.0);
+    }
+
+    #[test]
+    fn multiset_percentile_matches_sorted_vector() {
+        // The multiset rank walk must be bit-identical to nearest-rank over
+        // the flat sample vector, including heavy ties and negative keys.
+        let samples = [3.5, -1.25, 0.0, 3.5, 3.5, 7.0, -1.25, 2.0, 0.0, 9.5];
+        let mut stats = EventStats::new();
+        for &s in &samples {
+            stats.record_queue_delay(s);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let multiset = multiset_percentile(&stats.delays, stats.delay.count(), q);
+            assert_eq!(multiset.to_bits(), percentile(&samples, q).to_bits());
+        }
+        assert_eq!(
+            stats.p99_queue_delay().to_bits(),
+            percentile(&samples, 0.99).to_bits()
+        );
+        assert_eq!(stats.queue_samples(), samples.len());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Trace capture modes and the streaming per-time-unit binner.
+//!
+//! The determinism suite wants every processed event verbatim
+//! ([`TraceMode::Full`]); the scenario series pipeline only ever *binned*
+//! the trace into unit-time buckets — so buffering tens of millions of
+//! [`crate::sched::TraceEvent`]s per cell just to fold them afterwards was
+//! pure memory waste. [`TraceMode::Bins`] folds each recorded event into a
+//! [`TraceBins`] as it is processed: O(horizon) memory instead of
+//! O(events), with bucket contents identical to binning a full trace after
+//! the fact (the equivalence is pinned by a test against the reference
+//! implementation in the scenario layer).
+
+/// How a run captures its event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No capture (production default).
+    #[default]
+    Off,
+    /// Buffer every recorded event (determinism suite; O(events) memory).
+    Full,
+    /// Fold events into per-time-unit bins as they are processed (series
+    /// pipeline; O(horizon) memory).
+    Bins,
+}
+
+/// Per-time-unit event counts plus an alive-population series, built
+/// streamingly from recorded events.
+///
+/// Bucket `k` covers simulated time `[k, k+1)`. `alive(k)` is the alive
+/// count when bucket `k` closed — the initial population until the first
+/// churn event lands, then the most recent churn event's count;
+/// `count(kind, k)` is the number of events of `kind` recorded in bucket
+/// `k`. Events must be fed in nondecreasing time order — which is how a
+/// [`crate::Scheduler`] records them.
+#[derive(Debug, Clone)]
+pub struct TraceBins {
+    /// The trace kind whose `subject` carries the alive count.
+    alive_kind: u16,
+    /// Finalized alive count per bucket (backfilled as buckets complete).
+    alive: Vec<f64>,
+    /// `counts[kind][bucket]`, outer vec grown lazily per kind.
+    counts: Vec<Vec<u64>>,
+    /// Alive count in force for the next backfilled bucket.
+    running_alive: f64,
+    /// Buckets whose alive value is already backfilled.
+    filled: usize,
+    /// Total buckets seen (max bucket index + 1).
+    buckets: usize,
+}
+
+impl TraceBins {
+    /// A fresh binner: `alive_kind` is the trace kind whose `subject` is
+    /// the alive count (e.g. the engines' `TRACE_CHURN`), `initial_alive`
+    /// the population before the first churn event.
+    #[must_use]
+    pub fn new(alive_kind: u16, initial_alive: f64) -> Self {
+        TraceBins {
+            alive_kind,
+            alive: Vec::new(),
+            counts: Vec::new(),
+            running_alive: initial_alive,
+            filled: 0,
+            buckets: 0,
+        }
+    }
+
+    /// Folds one recorded event into the bins. Must be called in
+    /// nondecreasing time order.
+    pub fn push(&mut self, time_bits: u64, kind: u16, subject: u64) {
+        let bucket = f64::from_bits(time_bits).max(0.0).floor() as usize;
+        self.buckets = self.buckets.max(bucket + 1);
+        while self.filled < bucket {
+            self.alive.push(self.running_alive);
+            self.filled += 1;
+        }
+        if kind == self.alive_kind {
+            self.running_alive = subject as f64;
+        }
+        let kind = usize::from(kind);
+        if self.counts.len() <= kind {
+            self.counts.resize_with(kind + 1, Vec::new);
+        }
+        let row = &mut self.counts[kind];
+        if row.len() <= bucket {
+            row.resize(bucket + 1, 0);
+        }
+        row[bucket] += 1;
+    }
+
+    /// Backfills the trailing alive values; called once when the run ends.
+    pub fn finalize(&mut self) {
+        while self.filled < self.buckets {
+            self.alive.push(self.running_alive);
+            self.filled += 1;
+        }
+    }
+
+    /// Number of buckets (the last recorded event's time unit + 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buckets
+    }
+
+    /// `true` when no event was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buckets == 0
+    }
+
+    /// Events of `kind` recorded in `bucket` (0 out of range).
+    #[must_use]
+    pub fn count(&self, kind: u16, bucket: usize) -> u64 {
+        self.counts
+            .get(usize::from(kind))
+            .and_then(|row| row.get(bucket))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Alive count in force when `bucket` began (0 out of range).
+    #[must_use]
+    pub fn alive(&self, bucket: usize) -> f64 {
+        self.alive.get(bucket).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_count_kinds_and_track_alive() {
+        let mut bins = TraceBins::new(4, 100.0);
+        bins.push(0.25f64.to_bits(), 1, 10); // bucket 0, kind 1
+        bins.push(0.5f64.to_bits(), 4, 99); // churn: alive now 99
+        bins.push(1.5f64.to_bits(), 1, 11); // bucket 1
+        bins.push(3.25f64.to_bits(), 2, 12); // bucket 3, kind 2
+        bins.finalize();
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins.count(1, 0), 1);
+        assert_eq!(bins.count(4, 0), 1);
+        assert_eq!(bins.count(1, 1), 1);
+        assert_eq!(bins.count(2, 3), 1);
+        assert_eq!(bins.count(2, 0), 0);
+        assert_eq!(bins.count(9, 2), 0, "unseen kinds read as zero");
+        // The churn event at 0.5 lands inside bucket 0, so bucket 0 closes
+        // at the churned count — matching the reference post-hoc binner.
+        assert_eq!(bins.alive(0), 99.0);
+        assert_eq!(bins.alive(1), 99.0);
+        assert_eq!(bins.alive(3), 99.0);
+        assert_eq!(bins.alive(7), 0.0, "out of range reads as zero");
+    }
+
+    #[test]
+    fn empty_bins_finalize_cleanly() {
+        let mut bins = TraceBins::new(4, 64.0);
+        bins.finalize();
+        assert!(bins.is_empty());
+        assert_eq!(bins.len(), 0);
+        assert_eq!(bins.count(1, 0), 0);
+    }
+}

@@ -12,7 +12,7 @@ use churn_core::DynamicNetwork;
 use churn_event::{
     run_async_flooding, run_async_flooding_static, run_async_flooding_static_faulty,
     run_async_raes, AsyncFloodingConfig, AsyncRaesConfig, AsyncSource, BandwidthModel, FaultPlan,
-    LatencyModel, Scheduler,
+    LatencyModel, Scheduler, TraceMode,
 };
 use churn_graph::generators::d_out_random_graph;
 use churn_graph::traversal::{bfs_distances, static_flooding_time};
@@ -40,7 +40,7 @@ fn traced_flooding(bandwidth: BandwidthModel, seed: u64) -> churn_event::AsyncFl
         bandwidth,
         horizon: 48.0,
         churn: true,
-        record_trace: true,
+        trace: TraceMode::Full,
     };
     run_async_flooding(&mut model, AsyncSource::Newest, &cfg, seed)
 }
@@ -75,7 +75,7 @@ fn same_seed_gives_identical_raes_traces_at_every_queue_capacity() {
         let cfg = AsyncRaesConfig {
             horizon: 40.0,
             flood_at: Some(6.0),
-            record_trace: true,
+            trace: TraceMode::Full,
             ..AsyncRaesConfig::new(
                 48,
                 3,
@@ -150,7 +150,7 @@ fn zero_latency_infinite_bandwidth_matches_the_synchronous_engine_bit_for_bit() 
         bandwidth: BandwidthModel::unlimited(),
         horizon: 1024.0,
         churn: false,
-        record_trace: false,
+        trace: TraceMode::Off,
     };
     let record = run_async_flooding_static(&graph, source, &cfg, 123);
 
@@ -181,7 +181,7 @@ fn unit_latency_emergent_rounds_equal_the_synchronous_flooding_time() {
         bandwidth: BandwidthModel::unlimited(),
         horizon: 1024.0,
         churn: false,
-        record_trace: false,
+        trace: TraceMode::Off,
     };
     let record = run_async_flooding_static(&graph, source, &cfg, 123);
     assert!(record.complete);
@@ -207,7 +207,7 @@ fn queueing_and_latency_stretch_completion_beyond_the_synchronous_rounds() {
         bandwidth: BandwidthModel::delaying(1.0),
         horizon: 4096.0,
         churn: false,
-        record_trace: false,
+        trace: TraceMode::Off,
     };
     let record = run_async_flooding_static(&graph, source, &cfg, 123);
     assert!(record.complete);
@@ -255,7 +255,7 @@ proptest! {
             bandwidth: BandwidthModel::unlimited(),
             horizon: 4096.0,
             churn: false,
-            record_trace: false,
+            trace: TraceMode::Off,
         };
         let plan = FaultPlan {
             duplicate_p,

@@ -6,7 +6,7 @@
 //! not attacker-controlled input, so a SplitMix64-style finalizer gives full
 //! avalanche at a few cycles with no DoS concern.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplicative-finalizer hasher for small fixed-width keys.
@@ -52,6 +52,9 @@ pub type IdBuildHasher = BuildHasherDefault<IdHasher>;
 
 /// A `HashMap` keyed by identifiers, hashed with [`IdHasher`].
 pub type IdHashMap<K, V> = HashMap<K, V, IdBuildHasher>;
+
+/// A `HashSet` of identifiers, hashed with [`IdHasher`].
+pub type IdHashSet<K> = HashSet<K, IdBuildHasher>;
 
 #[cfg(test)]
 mod tests {

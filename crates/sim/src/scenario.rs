@@ -1723,6 +1723,108 @@ impl LoadRecord {
         out.push('}');
         out
     }
+
+    /// Parses a load record from one JSON line.
+    ///
+    /// As with [`CellRecord::from_json_line`], JSON objects do not order
+    /// their keys, so a loaded record's phases come back sorted by name
+    /// rather than in first-appearance order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let value = minijson::parse(line)?;
+        fn field<'a>(v: &'a minijson::Value, key: &str) -> Result<&'a minijson::Value, String> {
+            v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+        }
+        let unit = match field(&value, "unit")?
+            .as_str()
+            .ok_or("unit must be a string")?
+        {
+            "events" => "events",
+            "rounds" => "rounds",
+            "cells" => "cells",
+            other => return Err(format!("unknown work unit {other:?}")),
+        };
+        let mut phases = Vec::new();
+        if let Some(phases_value) = value.get("phases") {
+            let minijson::Value::Object(phases_map) = phases_value else {
+                return Err("phases must be an object".to_string());
+            };
+            for (phase, seconds) in phases_map {
+                phases.push((
+                    phase.clone(),
+                    seconds
+                        .as_f64()
+                        .ok_or_else(|| format!("phase {phase:?} must be a number"))?,
+                ));
+            }
+        }
+        Ok(LoadRecord {
+            scenario: field(&value, "scenario")?
+                .as_str()
+                .ok_or("scenario must be a string")?
+                .to_owned(),
+            net: field(&value, "net")?
+                .as_str()
+                .ok_or("net must be a string")?
+                .to_owned(),
+            n: field(&value, "n")?
+                .as_usize()
+                .ok_or("n must be an integer")?,
+            d: field(&value, "d")?
+                .as_usize()
+                .ok_or("d must be an integer")?,
+            victim: field(&value, "victim")?
+                .as_str()
+                .ok_or("victim must be a string")?
+                .to_owned(),
+            trial: field(&value, "trial")?
+                .as_usize()
+                .ok_or("trial must be an integer")?,
+            seed: field(&value, "seed")?
+                .as_u64()
+                .ok_or("seed must be an integer")?,
+            wall_s: field(&value, "wall_s")?
+                .as_f64()
+                .ok_or("wall_s must be a number")?,
+            unit,
+            units: field(&value, "units")?
+                .as_f64()
+                .ok_or("units must be a number")?,
+            units_per_s: field(&value, "units_per_s")?
+                .as_f64()
+                .ok_or("units_per_s must be a number")?,
+            phases,
+        })
+    }
+}
+
+/// Loads every load record of a `.load.jsonl` side file (one JSON object
+/// per line; blank lines are skipped). The file is re-created on every
+/// invocation rather than checkpointed, so unlike [`load_cell_records`]
+/// there is no torn-tail repair: any malformed line is an error.
+///
+/// # Errors
+///
+/// Returns any I/O error; malformed lines are reported as corruption.
+pub fn load_load_records(path: &Path) -> io::Result<Vec<LoadRecord>> {
+    let data = fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for (k, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = LoadRecord::from_json_line(line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: {e}", path.display(), k + 1),
+            )
+        })?;
+        out.push(record);
+    }
+    Ok(out)
 }
 
 /// The throughput work unit of one cell, extracted from its metrics:
@@ -2449,6 +2551,87 @@ mod tests {
         assert_eq!(parsed.metric("completed"), Some(1.0));
         assert!(parsed.metric("weird \"metric\"").unwrap().is_nan());
         assert_eq!(parsed.metric("missing"), None);
+    }
+
+    #[test]
+    fn load_records_round_trip_through_json_lines() {
+        let record = LoadRecord {
+            scenario: "demo".to_string(),
+            net: "SDGR".to_string(),
+            n: 4096,
+            d: 4,
+            victim: "uniform".to_string(),
+            trial: 2,
+            seed: 99,
+            wall_s: 0.125,
+            unit: "events",
+            units: 50_000.0,
+            units_per_s: 400_000.0,
+            phases: vec![("event-loop".to_string(), 0.1), ("churn".to_string(), 0.02)],
+        };
+        let line = record.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = LoadRecord::from_json_line(&line).unwrap();
+        assert_eq!(parsed.scenario, record.scenario);
+        assert_eq!(parsed.unit, "events");
+        assert_eq!(parsed.wall_s.to_bits(), record.wall_s.to_bits());
+        assert_eq!(parsed.units_per_s.to_bits(), record.units_per_s.to_bits());
+        // JSON objects do not order keys: phases come back sorted by name.
+        let mut expected = record.phases.clone();
+        expected.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(parsed.phases, expected);
+
+        // Without phases the key is omitted and parses back empty.
+        let bare = LoadRecord {
+            phases: Vec::new(),
+            ..record.clone()
+        };
+        let bare_line = bare.to_json_line();
+        assert!(!bare_line.contains("phases"));
+        assert!(LoadRecord::from_json_line(&bare_line)
+            .unwrap()
+            .phases
+            .is_empty());
+
+        // Unknown work units are rejected, not silently leaked.
+        let corrupt = bare_line.replace("\"events\"", "\"bogons\"");
+        assert!(LoadRecord::from_json_line(&corrupt)
+            .unwrap_err()
+            .contains("bogons"));
+    }
+
+    #[test]
+    fn load_load_records_reads_the_side_file_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("churn-load-side-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.load.jsonl");
+        let record = LoadRecord {
+            scenario: "x".into(),
+            net: "SDG".into(),
+            n: 8,
+            d: 2,
+            victim: "uniform".into(),
+            trial: 0,
+            seed: 1,
+            wall_s: 0.5,
+            unit: "rounds",
+            units: 12.0,
+            units_per_s: 24.0,
+            phases: Vec::new(),
+        };
+        fs::write(
+            &path,
+            format!("{}\n\n{}\n", record.to_json_line(), record.to_json_line()),
+        )
+        .unwrap();
+        let loaded = load_load_records(&path).unwrap();
+        assert_eq!(loaded.len(), 2, "blank lines are skipped");
+        assert_eq!(loaded[0], record);
+
+        fs::write(&path, "{\"scenario\":\"x\",\"ne").unwrap();
+        let err = load_load_records(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -29,7 +29,7 @@ use churn_stochastic::OnlineStats;
 use churn_event::{
     flooding as event_flooding, raes as event_raes, run_async_flooding_faulty,
     run_async_raes_faulty, AsyncFloodingConfig, AsyncRaesConfig, AsyncSource, EventStats,
-    TraceEvent,
+    TraceMode,
 };
 use churn_telemetry::RoundSeries;
 
@@ -269,59 +269,6 @@ fn flooding_series(record: &FloodingRecord, byz: bool) -> RoundSeries {
     series
 }
 
-/// The event trace of an async engine binned into unit-time buckets:
-/// per-kind event counts per bucket, plus the alive count carried forward
-/// from the churn-tick events (`alive_kind`), starting at `initial_alive`.
-///
-/// The trace is recorded in processing order, and the schedulers pop in
-/// nondecreasing time order, so a single forward pass suffices. The last
-/// bucket is the one holding the final event (a partial unit at the horizon
-/// is still a row).
-struct TraceBins {
-    /// Alive count at the end of each bucket.
-    alive: Vec<f64>,
-    /// One count vector per requested kind, each `alive.len()` long.
-    counts: Vec<Vec<u64>>,
-}
-
-fn bin_trace(
-    trace: &[TraceEvent],
-    alive_kind: u16,
-    initial_alive: f64,
-    kinds: &[u16],
-) -> TraceBins {
-    let buckets = trace
-        .iter()
-        .map(|ev| f64::from_bits(ev.time_bits).max(0.0).floor() as usize)
-        .max()
-        .map_or(0, |last| last + 1);
-    let mut bins = TraceBins {
-        alive: vec![0.0; buckets],
-        counts: vec![vec![0u64; buckets]; kinds.len()],
-    };
-    let mut alive = initial_alive;
-    let mut filled = 0usize;
-    for ev in trace {
-        let bucket = f64::from_bits(ev.time_bits).max(0.0).floor() as usize;
-        // Buckets between events inherit the alive count in force.
-        while filled < bucket {
-            bins.alive[filled] = alive;
-            filled += 1;
-        }
-        if ev.kind == alive_kind {
-            alive = ev.subject as f64;
-        }
-        if let Some(slot) = kinds.iter().position(|&kind| kind == ev.kind) {
-            bins.counts[slot][bucket] += 1;
-        }
-    }
-    while filled < buckets {
-        bins.alive[filled] = alive;
-        filled += 1;
-    }
-    bins
-}
-
 /// Event-driven asynchronous flooding over the cell's (churning) network.
 ///
 /// Series columns (one row per unit of simulated time, from the scheduler's
@@ -337,14 +284,17 @@ fn async_flooding_cell(
 ) -> (Metrics, Option<RoundSeries>) {
     let mut net = build_net(cell, seed);
     net.warm_up();
-    let initial_alive = net.alive_count() as f64;
     let horizon = spec.horizon.resolve(cell.n) as f64;
     let cfg = AsyncFloodingConfig {
         latency: spec.latency,
         bandwidth: spec.bandwidth,
         horizon,
         churn: true,
-        record_trace: series,
+        trace: if series {
+            TraceMode::Bins
+        } else {
+            TraceMode::Off
+        },
     };
     let plan = cell.fault.resolve();
     let record = run_async_flooding_faulty(&mut net, AsyncSource::Newest, &cfg, &plan, seed);
@@ -399,45 +349,44 @@ fn async_flooding_cell(
     }
     let series = series.then(|| {
         let faulty = !cell.fault.is_none();
-        let mut kinds = vec![
-            event_flooding::TRACE_INFORMED,
-            event_flooding::TRACE_DUPLICATE,
-            event_flooding::TRACE_LOST,
-            event_flooding::TRACE_BLOCKED,
-        ];
-        if faulty {
-            kinds.extend([
-                event_flooding::TRACE_CRASH,
-                event_flooding::TRACE_RESTART,
-                event_flooding::TRACE_PULL,
-            ]);
-        }
-        let bins = bin_trace(
-            &record.trace,
-            event_flooding::TRACE_CHURN,
-            initial_alive,
-            &kinds,
-        );
+        let bins = record.bins.as_ref().expect("bins-mode run records bins");
         let mut out = RoundSeries::new();
         let mut informed_total = 0.0f64;
-        for bucket in 0..bins.alive.len() {
-            informed_total += bins.counts[0][bucket] as f64;
+        for bucket in 0..bins.len() {
+            let newly = bins.count(event_flooding::TRACE_INFORMED, bucket) as f64;
+            informed_total += newly;
+            let alive = bins.alive(bucket);
             let mut row: Vec<(&'static str, f64)> = vec![
-                (
-                    "informed_fraction",
-                    informed_total / bins.alive[bucket].max(1.0),
-                ),
+                ("informed_fraction", informed_total / alive.max(1.0)),
                 ("informed", informed_total),
-                ("alive", bins.alive[bucket]),
-                ("newly_informed", bins.counts[0][bucket] as f64),
-                ("duplicates", bins.counts[1][bucket] as f64),
-                ("lost", bins.counts[2][bucket] as f64),
-                ("blocked", bins.counts[3][bucket] as f64),
+                ("alive", alive),
+                ("newly_informed", newly),
+                (
+                    "duplicates",
+                    bins.count(event_flooding::TRACE_DUPLICATE, bucket) as f64,
+                ),
+                (
+                    "lost",
+                    bins.count(event_flooding::TRACE_LOST, bucket) as f64,
+                ),
+                (
+                    "blocked",
+                    bins.count(event_flooding::TRACE_BLOCKED, bucket) as f64,
+                ),
             ];
             if faulty {
-                row.push(("crashes", bins.counts[4][bucket] as f64));
-                row.push(("restarts", bins.counts[5][bucket] as f64));
-                row.push(("pulls", bins.counts[6][bucket] as f64));
+                row.push((
+                    "crashes",
+                    bins.count(event_flooding::TRACE_CRASH, bucket) as f64,
+                ));
+                row.push((
+                    "restarts",
+                    bins.count(event_flooding::TRACE_RESTART, bucket) as f64,
+                ));
+                row.push((
+                    "pulls",
+                    bins.count(event_flooding::TRACE_PULL, bucket) as f64,
+                ));
             }
             out.push_round(&row);
         }
@@ -474,7 +423,11 @@ fn async_raes_cell(
         backoff_factor: retry.factor,
         backoff_jitter: retry.jitter,
         retry_budget: retry.budget,
-        record_trace: series,
+        trace: if series {
+            TraceMode::Bins
+        } else {
+            TraceMode::Off
+        },
     };
     let plan = cell.fault.resolve();
     let record = run_async_raes_faulty(&cfg, &plan, seed);
@@ -516,36 +469,34 @@ fn async_raes_cell(
     }
     let series = series.then(|| {
         let faulty = !cell.fault.is_none();
-        let mut kinds = vec![
-            event_raes::TRACE_REQUEST,
-            event_raes::TRACE_REPLY,
-            event_raes::TRACE_REPAIRED,
-        ];
-        if faulty {
-            kinds.extend([
-                event_raes::TRACE_SHED,
-                event_raes::TRACE_CRASH,
-                event_raes::TRACE_RESTART,
-            ]);
-        }
-        let bins = bin_trace(
-            &record.trace,
-            event_raes::TRACE_CHURN,
-            cell.n as f64,
-            &kinds,
-        );
+        let bins = record.bins.as_ref().expect("bins-mode run records bins");
         let mut out = RoundSeries::new();
-        for bucket in 0..bins.alive.len() {
+        for bucket in 0..bins.len() {
             let mut row: Vec<(&'static str, f64)> = vec![
-                ("requests", bins.counts[0][bucket] as f64),
-                ("replies", bins.counts[1][bucket] as f64),
-                ("repaired", bins.counts[2][bucket] as f64),
-                ("alive", bins.alive[bucket]),
+                (
+                    "requests",
+                    bins.count(event_raes::TRACE_REQUEST, bucket) as f64,
+                ),
+                (
+                    "replies",
+                    bins.count(event_raes::TRACE_REPLY, bucket) as f64,
+                ),
+                (
+                    "repaired",
+                    bins.count(event_raes::TRACE_REPAIRED, bucket) as f64,
+                ),
+                ("alive", bins.alive(bucket)),
             ];
             if faulty {
-                row.push(("sheds", bins.counts[3][bucket] as f64));
-                row.push(("crashes", bins.counts[4][bucket] as f64));
-                row.push(("restarts", bins.counts[5][bucket] as f64));
+                row.push(("sheds", bins.count(event_raes::TRACE_SHED, bucket) as f64));
+                row.push((
+                    "crashes",
+                    bins.count(event_raes::TRACE_CRASH, bucket) as f64,
+                ));
+                row.push((
+                    "restarts",
+                    bins.count(event_raes::TRACE_RESTART, bucket) as f64,
+                ));
             }
             out.push_round(&row);
         }
@@ -1110,4 +1061,147 @@ fn p2p_cell(cell: &CellSpec, seed: u64, blocks: usize) -> Metrics {
         ),
         ("propagation_coverage", coverage.mean()),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use churn_event::{run_async_flooding, run_async_raes, TraceEvent};
+
+    use super::*;
+
+    /// The post-hoc reference binner the series pipeline used before the
+    /// streaming [`churn_event::TraceBins`] replaced it: fold a fully
+    /// buffered trace into unit-time buckets after the run. Kept here to
+    /// pin the streaming binner's bucket-for-bucket equivalence.
+    fn bin_trace(
+        trace: &[TraceEvent],
+        alive_kind: u16,
+        initial_alive: f64,
+        kinds: &[u16],
+    ) -> (Vec<f64>, Vec<Vec<u64>>) {
+        let buckets = trace
+            .iter()
+            .map(|ev| f64::from_bits(ev.time_bits).max(0.0).floor() as usize)
+            .max()
+            .map_or(0, |last| last + 1);
+        let mut alive_row = vec![0.0; buckets];
+        let mut counts = vec![vec![0u64; buckets]; kinds.len()];
+        let mut alive = initial_alive;
+        let mut filled = 0usize;
+        for ev in trace {
+            let bucket = f64::from_bits(ev.time_bits).max(0.0).floor() as usize;
+            while filled < bucket {
+                alive_row[filled] = alive;
+                filled += 1;
+            }
+            if ev.kind == alive_kind {
+                alive = ev.subject as f64;
+            }
+            if let Some(slot) = kinds.iter().position(|&kind| kind == ev.kind) {
+                counts[slot][bucket] += 1;
+            }
+        }
+        while filled < buckets {
+            alive_row[filled] = alive;
+            filled += 1;
+        }
+        (alive_row, counts)
+    }
+
+    #[test]
+    fn streaming_flooding_bins_match_the_reference_binner() {
+        let kinds = [
+            event_flooding::TRACE_INFORMED,
+            event_flooding::TRACE_DUPLICATE,
+            event_flooding::TRACE_LOST,
+            event_flooding::TRACE_BLOCKED,
+            event_flooding::TRACE_CRASH,
+            event_flooding::TRACE_RESTART,
+            event_flooding::TRACE_PULL,
+        ];
+        let run = |trace: TraceMode| {
+            let mut model =
+                RaesModel::new(RaesConfig::new(64, 3).seed(99)).expect("valid RAES config");
+            model.warm_up();
+            let initial_alive = model.alive_count() as f64;
+            let cfg = AsyncFloodingConfig {
+                latency: churn_event::LatencyModel::Exponential { mean: 0.5 },
+                bandwidth: churn_event::BandwidthModel::delaying(4.0),
+                horizon: 48.0,
+                churn: true,
+                trace,
+            };
+            (
+                run_async_flooding(&mut model, AsyncSource::Newest, &cfg, 7),
+                initial_alive,
+            )
+        };
+        let (full, initial_alive) = run(TraceMode::Full);
+        let (binned, _) = run(TraceMode::Bins);
+        assert!(!full.trace.is_empty(), "full mode buffered the trace");
+        assert!(binned.trace.is_empty(), "bins mode buffers nothing");
+        let bins = binned.bins.expect("bins mode records bins");
+        let (ref_alive, ref_counts) = bin_trace(
+            &full.trace,
+            event_flooding::TRACE_CHURN,
+            initial_alive,
+            &kinds,
+        );
+        assert_eq!(bins.len(), ref_alive.len());
+        for bucket in 0..bins.len() {
+            assert_eq!(
+                bins.alive(bucket).to_bits(),
+                ref_alive[bucket].to_bits(),
+                "alive diverged at bucket {bucket}"
+            );
+            for (slot, &kind) in kinds.iter().enumerate() {
+                assert_eq!(
+                    bins.count(kind, bucket),
+                    ref_counts[slot][bucket],
+                    "kind {kind} diverged at bucket {bucket}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_raes_bins_match_the_reference_binner() {
+        let kinds = [
+            event_raes::TRACE_REQUEST,
+            event_raes::TRACE_REPLY,
+            event_raes::TRACE_REPAIRED,
+            event_raes::TRACE_SHED,
+            event_raes::TRACE_CRASH,
+            event_raes::TRACE_RESTART,
+        ];
+        let run = |trace: TraceMode| {
+            let cfg = AsyncRaesConfig {
+                horizon: 40.0,
+                flood_at: Some(6.0),
+                trace,
+                ..AsyncRaesConfig::new(
+                    48,
+                    3,
+                    churn_event::LatencyModel::Uniform {
+                        low: 0.1,
+                        high: 1.5,
+                    },
+                    churn_event::BandwidthModel::delaying(8.0),
+                )
+            };
+            run_async_raes(&cfg, 13)
+        };
+        let full = run(TraceMode::Full);
+        let binned = run(TraceMode::Bins);
+        assert!(!full.trace.is_empty(), "full mode buffered the trace");
+        let bins = binned.bins.expect("bins mode records bins");
+        let (ref_alive, ref_counts) = bin_trace(&full.trace, event_raes::TRACE_CHURN, 48.0, &kinds);
+        assert_eq!(bins.len(), ref_alive.len());
+        for bucket in 0..bins.len() {
+            assert_eq!(bins.alive(bucket).to_bits(), ref_alive[bucket].to_bits());
+            for (slot, &kind) in kinds.iter().enumerate() {
+                assert_eq!(bins.count(kind, bucket), ref_counts[slot][bucket]);
+            }
+        }
+    }
 }

@@ -3,15 +3,46 @@
 //! The Poisson models schedule two kinds of future events — node arrivals and
 //! node deaths — and always process the earliest one next (Definition 4.5's jump
 //! chain is exactly the sequence of these processing instants). [`EventQueue`]
-//! provides that primitive: a binary heap keyed by `f64` time with stable FIFO
-//! tie-breaking and O(log n) cancellation by token.
+//! provides that primitive as a calendar queue: events hash into day-wide time
+//! buckets, a persistent cursor walks the calendar forward, and cancellation
+//! resolves through generation-stamped payload slots — O(1) amortized
+//! schedule, pop and cancel, against the O(log n) of the binary heap this
+//! replaced.
+//!
+//! # Ordering contract
+//!
+//! The total order is ascending `(time, sequence)` where `sequence` is a
+//! monotone per-queue counter stamped at [`schedule`](EventQueue::schedule)
+//! time: earliest time first, FIFO among equal times. No two events compare
+//! equal, so the pop order is unique — the determinism suites pin it bit for
+//! bit across implementations.
+//!
+//! # Calendar layout
+//!
+//! The calendar keeps `nbuckets` (a power of two) sorted deques. An event at
+//! time `t` lives on day `⌊t / width⌋` in bucket `day & (nbuckets − 1)`; all
+//! events of one day share one bucket, and each bucket holds every
+//! `nbuckets`-th day. Buckets stay sorted by `(time, sequence)`: the common
+//! monotone-schedule case appends at the back in O(1), out-of-order inserts
+//! binary-search their position. The pop cursor (`current_day`) only moves
+//! forward past days proven empty; when a whole rotation of the calendar
+//! finds nothing (sparse far-future events), a direct scan of the bucket
+//! fronts jumps the cursor to the next occupied day. The calendar resizes
+//! (and re-derives `width` from the live span) when the population strays
+//! past twice or below a quarter of the bucket count — deterministically,
+//! since the trigger depends only on the operation sequence.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
 /// Token identifying a scheduled event, usable to cancel it.
+///
+/// The low 32 bits index the event's payload slot; the high 32 bits carry
+/// the slot's generation, so a token goes stale the moment its event is
+/// popped or its cancellation is reclaimed — cancelling a stale token is a
+/// detected no-op, never a corruption.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EventToken(u64);
 
@@ -21,47 +52,67 @@ impl EventToken {
     pub const fn raw(self) -> u64 {
         self.0
     }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// One calendar entry: the ordering key plus the payload's slot index.
+/// Payloads live out-of-line in the slot arena so entries stay `Copy` and
+/// bucket moves never touch them.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: f64,
+    sequence: u64,
+    slot: u32,
+}
+
+impl Entry {
+    fn key(&self) -> (f64, u64) {
+        (self.time, self.sequence)
+    }
+}
+
+/// Payload slot state. `Cancelled` keeps the slot reserved until the
+/// matching calendar entry surfaces at a bucket front and is reclaimed.
+#[derive(Debug)]
+enum SlotState<E> {
+    Occupied(E),
+    Cancelled,
+    Free,
 }
 
 #[derive(Debug)]
-struct HeapEntry<E> {
-    time: f64,
-    sequence: u64,
-    token: EventToken,
-    payload: E,
+struct Slot<E> {
+    generation: u32,
+    state: SlotState<E>,
 }
 
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.sequence == other.sequence
-    }
-}
+/// Fewest buckets a calendar ever holds.
+const MIN_BUCKETS: usize = 4;
 
-impl<E> Eq for HeapEntry<E> {}
+/// Most recycled bucket vectors kept per thread.
+const BUCKET_POOL_CAP: usize = 8;
 
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; we want earliest time first, then FIFO.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.sequence.cmp(&self.sequence))
-    }
+thread_local! {
+    /// Bucket storage recycled across queue instances on this thread. Grid
+    /// sweeps build one engine (one queue) per cell, and the deque
+    /// capacities are the dominant per-cell allocation — reusing them makes
+    /// steady-state cell setup allocation-free.
+    static BUCKET_POOL: RefCell<Vec<Vec<VecDeque<Entry>>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// A future-event list ordered by event time.
 ///
 /// Events are scheduled with [`schedule`](Self::schedule) and retrieved in
 /// non-decreasing time order with [`pop`](Self::pop). Cancellation is lazy: a
-/// cancelled token is remembered and its event silently skipped when it
-/// surfaces.
+/// cancelled event's slot is marked and its calendar entry silently skipped
+/// (and the slot reclaimed) when it surfaces.
 ///
 /// # Example
 ///
@@ -78,22 +129,24 @@ impl<E> Ord for HeapEntry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
-    cancelled: std::collections::HashSet<EventToken>,
+    buckets: Vec<VecDeque<Entry>>,
+    /// Day width in simulated time units (see the module docs).
+    width: f64,
+    /// The pop cursor: no stored entry lives on an earlier day.
+    current_day: u64,
+    /// Entries in the calendar, including cancelled ones awaiting reclaim.
+    stored: usize,
+    /// Entries neither popped nor cancelled — the queue's logical length.
+    live: usize,
+    slots: Vec<Slot<E>>,
+    free_slots: Vec<u32>,
     next_sequence: u64,
-    next_token: u64,
     now: f64,
 }
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: std::collections::HashSet::new(),
-            next_sequence: 0,
-            next_token: 0,
-            now: 0.0,
-        }
+        Self::new()
     }
 }
 
@@ -101,7 +154,22 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at time 0.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        let buckets = BUCKET_POOL
+            .try_with(|pool| pool.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect());
+        EventQueue {
+            buckets,
+            width: 1.0,
+            current_day: 0,
+            stored: 0,
+            live: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            next_sequence: 0,
+            now: 0.0,
+        }
     }
 
     /// The time of the most recently popped event (0 before the first pop).
@@ -113,13 +181,23 @@ impl<E> EventQueue<E> {
     /// Number of scheduled (not yet popped, not cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len().min(self.heap.len())
+        self.live
     }
 
     /// Returns `true` when no live events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    fn day_of(&self, time: f64) -> u64 {
+        // The as-cast saturates at u64::MAX for out-of-range days, which
+        // preserves monotonicity — all that bucket selection needs.
+        (time / self.width) as u64
+    }
+
+    fn bucket_of(&self, day: u64) -> usize {
+        (day & (self.buckets.len() as u64 - 1)) as usize
     }
 
     /// Schedules `payload` at absolute time `time` and returns a cancellation
@@ -135,53 +213,205 @@ impl<E> EventQueue<E> {
             "cannot schedule an event at {time} before the current time {}",
             self.now
         );
-        let token = EventToken(self.next_token);
-        self.next_token += 1;
+        let slot = match self.free_slots.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].state = SlotState::Occupied(payload);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("fewer than 2^32 pending events");
+                self.slots.push(Slot {
+                    generation: 0,
+                    state: SlotState::Occupied(payload),
+                });
+                idx
+            }
+        };
+        let token =
+            EventToken((u64::from(self.slots[slot as usize].generation) << 32) | u64::from(slot));
         let sequence = self.next_sequence;
         self.next_sequence += 1;
-        self.heap.push(HeapEntry {
+        self.insert_entry(Entry {
             time,
             sequence,
-            token,
-            payload,
+            slot,
         });
+        self.live += 1;
+        if self.stored > 2 * self.buckets.len() {
+            self.rebuild(self.buckets.len() * 2);
+        }
         token
     }
 
+    /// Places an entry in its day's bucket, keeping the bucket sorted by
+    /// `(time, sequence)`. Monotone schedules (the hot path — every latency
+    /// draw lands at or after `now`, and sequences only grow) append at the
+    /// back without a search.
+    fn insert_entry(&mut self, entry: Entry) {
+        let day = self.day_of(entry.time);
+        if day < self.current_day {
+            self.current_day = day;
+        }
+        let index = self.bucket_of(day);
+        let bucket = &mut self.buckets[index];
+        match bucket.back() {
+            Some(back) if back.key() > entry.key() => {
+                let pos = bucket.partition_point(|e| e.key() < entry.key());
+                bucket.insert(pos, entry);
+            }
+            _ => bucket.push_back(entry),
+        }
+        self.stored += 1;
+    }
+
     /// Cancels a scheduled event. Returns `true` if the token was live (not
-    /// already popped or cancelled). Cancelling an unknown token is a no-op.
+    /// already popped or cancelled). Cancelling an unknown or stale token is
+    /// a detected no-op.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_token {
+        let Some(slot) = self.slots.get_mut(token.slot()) else {
+            return false;
+        };
+        if slot.generation != token.generation() {
             return false;
         }
-        self.cancelled.insert(token)
+        match slot.state {
+            SlotState::Occupied(_) => {
+                slot.state = SlotState::Cancelled;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Retires a slot whose calendar entry has been removed, bumping the
+    /// generation so outstanding tokens for it go stale.
+    fn retire_slot(&mut self, slot: u32) -> SlotState<E> {
+        let cell = &mut self.slots[slot as usize];
+        let state = std::mem::replace(&mut cell.state, SlotState::Free);
+        cell.generation = cell.generation.wrapping_add(1);
+        self.free_slots.push(slot);
+        state
+    }
+
+    /// Advances the cursor and reclaims cancelled fronts until the earliest
+    /// live entry sits at the front of its day's bucket; returns that bucket
+    /// index, or `None` when no live events remain.
+    fn settle(&mut self) -> Option<usize> {
+        if self.live == 0 {
+            return None;
+        }
+        loop {
+            // Walk at most one full rotation of the calendar day by day.
+            for _ in 0..self.buckets.len() {
+                let bucket = self.bucket_of(self.current_day);
+                while let Some(front) = self.buckets[bucket].front() {
+                    if self.day_of(front.time) != self.current_day {
+                        break;
+                    }
+                    let slot = front.slot;
+                    if matches!(self.slots[slot as usize].state, SlotState::Occupied(_)) {
+                        return Some(bucket);
+                    }
+                    self.buckets[bucket].pop_front();
+                    self.stored -= 1;
+                    self.retire_slot(slot);
+                }
+                self.current_day += 1;
+            }
+            // A whole rotation was empty: the next event is more than
+            // `nbuckets` days out. Jump the cursor straight to the earliest
+            // occupied day by scanning the bucket fronts.
+            let mut earliest: Option<(f64, u64)> = None;
+            for bucket in 0..self.buckets.len() {
+                while let Some(front) = self.buckets[bucket].front() {
+                    let slot = front.slot;
+                    if matches!(self.slots[slot as usize].state, SlotState::Occupied(_)) {
+                        if earliest.is_none_or(|best| front.key() < best) {
+                            earliest = Some(front.key());
+                        }
+                        break;
+                    }
+                    self.buckets[bucket].pop_front();
+                    self.stored -= 1;
+                    self.retire_slot(slot);
+                }
+            }
+            let (time, _) = earliest.expect("live > 0 implies an occupied entry");
+            self.current_day = self.day_of(time);
+        }
     }
 
     /// Pops the earliest live event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.token) {
-                continue;
-            }
-            self.now = entry.time;
-            return Some((entry.time, entry.payload));
+        let bucket = self.settle()?;
+        let entry = self.buckets[bucket].pop_front().expect("settled front");
+        self.stored -= 1;
+        self.live -= 1;
+        self.now = entry.time;
+        let SlotState::Occupied(payload) = self.retire_slot(entry.slot) else {
+            unreachable!("settle() leaves an occupied entry at the front");
+        };
+        if self.stored < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.buckets.len() / 2);
         }
-        None
+        Some((entry.time, payload))
     }
 
     /// Time of the earliest live event without popping it.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<f64> {
-        // Lazily discard cancelled entries from the top of the heap.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.token) {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.token);
-            } else {
-                return Some(entry.time);
-            }
+        let bucket = self.settle()?;
+        self.buckets[bucket].front().map(|entry| entry.time)
+    }
+
+    /// Resizes the calendar to `nbuckets` buckets, re-deriving the day width
+    /// from the span of the stored entries. Deterministic: the width depends
+    /// only on what is stored, which depends only on the operation sequence.
+    fn rebuild(&mut self, nbuckets: usize) {
+        let mut entries: Vec<Entry> = Vec::with_capacity(self.stored);
+        for bucket in &mut self.buckets {
+            entries.extend(bucket.drain(..));
         }
-        None
+        let mut min_time = f64::INFINITY;
+        let mut max_time = f64::NEG_INFINITY;
+        for entry in &entries {
+            min_time = min_time.min(entry.time);
+            max_time = max_time.max(entry.time);
+        }
+        let span = max_time - min_time;
+        // ~3 events per day on average; clamped so equal-time bursts and
+        // astronomic spans both stay usable.
+        self.width = if entries.is_empty() || !span.is_finite() || span <= 0.0 {
+            1.0
+        } else {
+            (3.0 * span / entries.len() as f64).max(1e-9)
+        };
+        if nbuckets > self.buckets.len() {
+            self.buckets.resize_with(nbuckets, VecDeque::new);
+        } else {
+            self.buckets.truncate(nbuckets);
+        }
+        self.current_day = self.day_of(self.now);
+        self.stored = 0;
+        for entry in entries {
+            self.insert_entry(entry);
+        }
+    }
+}
+
+impl<E> Drop for EventQueue<E> {
+    fn drop(&mut self) {
+        let mut buckets = std::mem::take(&mut self.buckets);
+        for bucket in &mut buckets {
+            bucket.clear();
+        }
+        let _ = BUCKET_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < BUCKET_POOL_CAP {
+                pool.push(buckets);
+            }
+        });
     }
 }
 
@@ -225,6 +455,30 @@ mod tests {
     fn cancel_unknown_token_is_noop() {
         let mut q: EventQueue<u8> = EventQueue::new();
         assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn cancel_after_pop_is_stale() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert!(!q.cancel(a), "a popped event's token is stale");
+        assert_eq!(q.len(), 1, "stale cancellation must not corrupt the count");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn tokens_go_stale_across_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        let b = q.schedule(2.0, "b");
+        assert_eq!(b.raw() & 0xFFFF_FFFF, a.raw() & 0xFFFF_FFFF, "slot reused");
+        assert_ne!(b.raw(), a.raw(), "but under a fresh generation");
+        assert!(!q.cancel(a), "the old generation no longer matches");
+        assert!(q.cancel(b), "the current generation still cancels");
+        assert!(q.pop().is_none());
     }
 
     #[test]
@@ -277,5 +531,36 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resize_thresholds() {
+        let mut q = EventQueue::new();
+        // Push far past the grow threshold, with ties and out-of-order times.
+        for i in 0..4096u64 {
+            let time = ((i * 2_654_435_761) % 97) as f64 / 7.0;
+            q.schedule(time, i);
+        }
+        let mut popped = Vec::with_capacity(4096);
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        while let Some((t, payload)) = q.pop() {
+            assert!(t >= last.0, "times nondecreasing");
+            popped.push(payload);
+            last = (t, payload);
+        }
+        assert_eq!(popped.len(), 4096, "every event surfaces exactly once");
+        popped.sort_unstable();
+        assert!(popped.iter().copied().eq(0..4096));
+    }
+
+    #[test]
+    fn sparse_far_future_events_surface_after_cursor_jump() {
+        let mut q = EventQueue::new();
+        q.schedule(0.25, "near");
+        q.schedule(1.0e9, "far");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        assert_eq!(q.peek_time(), Some(1.0e9));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("far"));
+        assert!(q.pop().is_none());
     }
 }
